@@ -1,0 +1,203 @@
+// Reproduces Figures 3.4-3.10: grid ranking cube vs rank-mapping vs the
+// SQL-style baseline on synthetic data (Tables 3.8/3.9 defaults, sizes
+// scaled per DESIGN.md: paper 3M -> 200k default).
+#include "bench/bench_common.h"
+#include "baselines/baselines.h"
+#include "core/grid_cube.h"
+#include "tests/reference.h"
+
+namespace rankcube::bench {
+namespace {
+
+struct Ctx {
+  Table table;
+  Pager pager;
+  std::unique_ptr<GridRankingCube> cube;
+  std::unique_ptr<BooleanFirst> boolean_first;
+  std::unique_ptr<RankMapping> rank_mapping;
+
+  Ctx(const SyntheticSpec& spec, int block_size) : table(GenerateSynthetic(spec)) {
+    cube = std::make_unique<GridRankingCube>(
+        table, pager, GridCubeOptions{.block_size = block_size});
+    boolean_first = std::make_unique<BooleanFirst>(table);
+    std::vector<int> all_dims(table.num_sel_dims());
+    for (int d = 0; d < table.num_sel_dims(); ++d) all_dims[d] = d;
+    rank_mapping = std::make_unique<RankMapping>(
+        table, std::vector<std::vector<int>>{all_dims});
+  }
+};
+
+std::shared_ptr<Ctx> GetCtx(uint64_t rows, int s, int c, int r,
+                            int block = 300) {
+  SyntheticSpec spec;
+  spec.num_rows = Rows(rows);
+  spec.num_sel_dims = s;
+  spec.cardinality = c;
+  spec.num_rank_dims = r;
+  std::string key = "ch3:" + std::to_string(spec.num_rows) + ":" +
+                    std::to_string(s) + ":" + std::to_string(c) + ":" +
+                    std::to_string(r) + ":" + std::to_string(block);
+  return Cached<Ctx>(key, [&] { return std::make_shared<Ctx>(spec, block); });
+}
+
+std::vector<TopKQuery> Queries(const Table& t, int k, double skew, int s,
+                               int r) {
+  QueryWorkloadSpec q;
+  q.num_queries = 20;
+  q.k = k;
+  q.skew = skew;
+  q.num_predicates = s;
+  q.num_rank_used = r;
+  return GenerateQueries(t, q);
+}
+
+enum class Method { kCube, kRankMapping, kBaseline };
+
+WorkloadResult RunMethod(Ctx& ctx, const std::vector<TopKQuery>& queries,
+                         Method m) {
+  switch (m) {
+    case Method::kCube:
+      return RunWorkload(queries, &ctx.pager,
+                         [&](const TopKQuery& q, Pager* p, ExecStats* s) {
+                           auto r = ctx.cube->TopK(q, p, s);
+                           benchmark::DoNotOptimize(r);
+                         });
+    case Method::kRankMapping:
+      return RunWorkload(
+          queries, &ctx.pager,
+          [&](const TopKQuery& q, Pager* p, ExecStats* s) {
+            // The thesis feeds rank-mapping the *optimal* bound values.
+            auto oracle = BruteForceTopK(ctx.table, q);
+            double kth = oracle.empty() ? 1e9 : oracle.back().score;
+            auto r = ctx.rank_mapping->TopK(q, kth, p, s);
+            benchmark::DoNotOptimize(r);
+          });
+    case Method::kBaseline:
+      return RunWorkload(queries, &ctx.pager,
+                         [&](const TopKQuery& q, Pager* p, ExecStats* s) {
+                           auto r = ctx.boolean_first->TopK(q, p, s);
+                           benchmark::DoNotOptimize(r);
+                         });
+  }
+  return {};
+}
+
+const char* Name(Method m) {
+  switch (m) {
+    case Method::kCube:
+      return "ranking_cube";
+    case Method::kRankMapping:
+      return "rank_mapping";
+    default:
+      return "baseline";
+  }
+}
+
+void RegisterAll() {
+  constexpr Method kMethods[] = {Method::kCube, Method::kRankMapping,
+                                 Method::kBaseline};
+  // Fig 3.4: execution time w.r.t. k.
+  for (Method m : kMethods) {
+    for (int k : {5, 10, 15, 20}) {
+      Reg(
+          std::string("Fig3.4/") + Name(m) + "/k:" + std::to_string(k),
+          [m, k](benchmark::State& state) {
+            auto ctx = GetCtx(200000, 3, 20, 2);
+            auto qs = Queries(ctx->table, k, 1.0, 2, 2);
+            for (auto _ : state) Publish(state, RunMethod(*ctx, qs, m));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 3.5: query skewness u.
+  for (Method m : kMethods) {
+    for (int u : {1, 2, 3, 4, 5}) {
+      Reg(
+          std::string("Fig3.5/") + Name(m) + "/u:" + std::to_string(u),
+          [m, u](benchmark::State& state) {
+            auto ctx = GetCtx(200000, 3, 20, 2);
+            auto qs = Queries(ctx->table, 10, u, 2, 2);
+            for (auto _ : state) Publish(state, RunMethod(*ctx, qs, m));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 3.6: dimensions in the ranking function (R = 4 data).
+  for (Method m : kMethods) {
+    for (int r : {2, 3, 4}) {
+      Reg(
+          std::string("Fig3.6/") + Name(m) + "/r:" + std::to_string(r),
+          [m, r](benchmark::State& state) {
+            auto ctx = GetCtx(200000, 3, 20, 4);
+            auto qs = Queries(ctx->table, 10, 1.0, 2, r);
+            for (auto _ : state) Publish(state, RunMethod(*ctx, qs, m));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 3.7: database size (paper 1M..10M -> scaled).
+  for (Method m : kMethods) {
+    for (uint64_t t : {100000, 200000, 300000, 500000, 1000000}) {
+      Reg(
+          std::string("Fig3.7/") + Name(m) + "/T:" + std::to_string(t),
+          [m, t](benchmark::State& state) {
+            auto ctx = GetCtx(t, 3, 20, 2);
+            auto qs = Queries(ctx->table, 10, 1.0, 2, 2);
+            for (auto _ : state) Publish(state, RunMethod(*ctx, qs, m));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 3.8: cardinality.
+  for (Method m : kMethods) {
+    for (int c : {10, 20, 50, 100}) {
+      Reg(
+          std::string("Fig3.8/") + Name(m) + "/C:" + std::to_string(c),
+          [m, c](benchmark::State& state) {
+            auto ctx = GetCtx(200000, 3, c, 2);
+            auto qs = Queries(ctx->table, 10, 1.0, 2, 2);
+            for (auto _ : state) Publish(state, RunMethod(*ctx, qs, m));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 3.9: number of selection conditions (S = 4 data).
+  for (Method m : kMethods) {
+    for (int s : {2, 3, 4}) {
+      Reg(
+          std::string("Fig3.9/") + Name(m) + "/s:" + std::to_string(s),
+          [m, s](benchmark::State& state) {
+            auto ctx = GetCtx(200000, 4, 20, 2);
+            auto qs = Queries(ctx->table, 10, 1.0, s, 2);
+            for (auto _ : state) Publish(state, RunMethod(*ctx, qs, m));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 3.10: base block size sensitivity (ranking cube only).
+  for (int b : {100, 200, 500, 1000}) {
+    Reg(
+        std::string("Fig3.10/ranking_cube/B:") + std::to_string(b),
+        [b](benchmark::State& state) {
+          auto ctx = GetCtx(200000, 3, 20, 2, b);
+          auto qs = Queries(ctx->table, 10, 1.0, 2, 2);
+          for (auto _ : state) {
+            Publish(state, RunMethod(*ctx, qs, Method::kCube));
+          }
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace rankcube::bench
+
+int main(int argc, char** argv) {
+  rankcube::bench::ParseScale(&argc, argv);
+  rankcube::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Reproduces Figures 3.11-3.15: ranking fragments on high-dimensional data
+// (12 selection dimensions) plus the CoverType-like real-data experiment.
+#include "bench/bench_common.h"
+#include "baselines/baselines.h"
+#include "core/ranking_fragments.h"
+#include "cube/fragments.h"
+#include "tests/reference.h"
+
+namespace rankcube::bench {
+namespace {
+
+struct Ctx {
+  Table table;
+  Pager pager;
+  std::unique_ptr<RankingFragments> fragments;
+  std::unique_ptr<BooleanFirst> boolean_first;
+  std::unique_ptr<RankMapping> rank_mapping;  // one composite per fragment
+
+  Ctx(Table&& t, int fragment_size) : table(std::move(t)) {
+    fragments = std::make_unique<RankingFragments>(
+        table, pager,
+        FragmentsOptions{.block_size = 300, .fragment_size = fragment_size});
+    boolean_first = std::make_unique<BooleanFirst>(table);
+    rank_mapping = std::make_unique<RankMapping>(
+        table, GroupDimensions(table.num_sel_dims(), fragment_size));
+  }
+};
+
+std::shared_ptr<Ctx> SynthCtx(uint64_t rows, int s, int f) {
+  std::string key = "frag:" + std::to_string(Rows(rows)) + ":" +
+                    std::to_string(s) + ":" + std::to_string(f);
+  return Cached<Ctx>(key, [&] {
+    SyntheticSpec spec;
+    spec.num_rows = Rows(rows);
+    spec.num_sel_dims = s;
+    spec.cardinality = 20;
+    spec.num_rank_dims = 2;
+    return std::make_shared<Ctx>(GenerateSynthetic(spec), f);
+  });
+}
+
+std::shared_ptr<Ctx> CovtypeCtx() {
+  return Cached<Ctx>("frag:covtype", [&] {
+    CovtypeSpec spec;
+    spec.base_rows = Rows(60000);
+    return std::make_shared<Ctx>(GenerateCovtypeLike(spec),
+                                 /*fragment_size=*/3);
+  });
+}
+
+std::vector<TopKQuery> Queries(const Table& t, int s, int k, int r = 2,
+                               uint64_t seed = 1234) {
+  QueryWorkloadSpec q;
+  q.num_queries = 20;
+  q.num_predicates = s;
+  q.num_rank_used = r;
+  q.k = k;
+  q.seed = seed;
+  return GenerateQueries(t, q);
+}
+
+enum class Method { kFragments, kRankMapping, kBaseline };
+
+WorkloadResult RunMethod(Ctx& ctx, const std::vector<TopKQuery>& queries,
+                         Method m) {
+  switch (m) {
+    case Method::kFragments:
+      return RunWorkload(queries, &ctx.pager,
+                         [&](const TopKQuery& q, Pager* p, ExecStats* s) {
+                           auto r = ctx.fragments->TopK(q, p, s);
+                           benchmark::DoNotOptimize(r);
+                         });
+    case Method::kRankMapping:
+      return RunWorkload(queries, &ctx.pager,
+                         [&](const TopKQuery& q, Pager* p, ExecStats* s) {
+                           auto oracle = BruteForceTopK(ctx.table, q);
+                           double kth =
+                               oracle.empty() ? 1e9 : oracle.back().score;
+                           auto r = ctx.rank_mapping->TopK(q, kth, p, s);
+                           benchmark::DoNotOptimize(r);
+                         });
+    case Method::kBaseline:
+      return RunWorkload(queries, &ctx.pager,
+                         [&](const TopKQuery& q, Pager* p, ExecStats* s) {
+                           auto r = ctx.boolean_first->TopK(q, p, s);
+                           benchmark::DoNotOptimize(r);
+                         });
+  }
+  return {};
+}
+
+const char* Name(Method m) {
+  switch (m) {
+    case Method::kFragments:
+      return "ranking_fragments";
+    case Method::kRankMapping:
+      return "rank_mapping";
+    default:
+      return "baseline";
+  }
+}
+
+void RegisterAll() {
+  constexpr Method kMethods[] = {Method::kFragments, Method::kRankMapping,
+                                 Method::kBaseline};
+  // Fig 3.11: space usage w.r.t. number of selection dimensions.
+  for (int s : {3, 6, 9, 12}) {
+    Reg(
+        "Fig3.11/space/S:" + std::to_string(s),
+        [s](benchmark::State& state) {
+          auto ctx = SynthCtx(100000, s, 2);
+          for (auto _ : state) {
+            state.counters["rf_bytes"] =
+                static_cast<double>(ctx->fragments->SizeBytes());
+            state.counters["rm_bytes"] =
+                static_cast<double>(ctx->rank_mapping->IndexSizeBytes());
+            state.counters["bl_bytes"] =
+                static_cast<double>(ctx->boolean_first->IndexSizeBytes());
+          }
+        })
+        ->Iterations(1);
+  }
+  // Fig 3.12: time w.r.t. number of covering fragments (crafted queries).
+  for (int cover : {1, 2, 3}) {
+    Reg(
+        "Fig3.12/ranking_fragments/cover:" + std::to_string(cover),
+        [cover](benchmark::State& state) {
+          auto ctx = SynthCtx(200000, 12, 2);
+          // Fragment grouping is {0,1},{2,3},...: queries on dims from
+          // `cover` distinct fragments.
+          std::vector<int> dims;
+          if (cover == 1) dims = {0, 1};
+          if (cover == 2) dims = {0, 2};
+          if (cover == 3) dims = {0, 2, 4};
+          std::vector<TopKQuery> qs;
+          Rng rng(5);
+          for (int i = 0; i < 20; ++i) {
+            TopKQuery q;
+            Tid anchor =
+                static_cast<Tid>(rng.UniformInt(ctx->table.num_rows()));
+            for (int d : dims) {
+              q.predicates.push_back({d, ctx->table.sel(anchor, d)});
+            }
+            q.function = std::make_shared<LinearFunction>(
+                std::vector<double>{1.0, 1.0});
+            q.k = 10;
+            qs.push_back(std::move(q));
+          }
+          for (auto _ : state) {
+            Publish(state, RunMethod(*ctx, qs, Method::kFragments));
+          }
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+  // Fig 3.13: fragment size.
+  for (int f : {1, 2, 3}) {
+    Reg(
+        "Fig3.13/ranking_fragments/F:" + std::to_string(f),
+        [f](benchmark::State& state) {
+          auto ctx = SynthCtx(200000, 12, f);
+          auto qs = Queries(ctx->table, 3, 10);
+          for (auto _ : state) {
+            Publish(state, RunMethod(*ctx, qs, Method::kFragments));
+          }
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+  // Fig 3.14: number of selection dimensions (s = 3 queries).
+  for (Method m : kMethods) {
+    for (int s : {3, 6, 9, 12}) {
+      Reg(
+          std::string("Fig3.14/") + Name(m) + "/S:" + std::to_string(s),
+          [m, s](benchmark::State& state) {
+            auto ctx = SynthCtx(200000, s, 2);
+            auto qs = Queries(ctx->table, 3, 10);
+            for (auto _ : state) Publish(state, RunMethod(*ctx, qs, m));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 3.15: CoverType-like data, time w.r.t. k (F = 3, s = 3, r = 3).
+  for (Method m : kMethods) {
+    for (int k : {5, 10, 15, 20}) {
+      Reg(
+          std::string("Fig3.15/") + Name(m) + "/k:" + std::to_string(k),
+          [m, k](benchmark::State& state) {
+            auto ctx = CovtypeCtx();
+            auto qs = Queries(ctx->table, 3, k, 3);
+            for (auto _ : state) Publish(state, RunMethod(*ctx, qs, m));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rankcube::bench
+
+int main(int argc, char** argv) {
+  rankcube::bench::ParseScale(&argc, argv);
+  rankcube::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

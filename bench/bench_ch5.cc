@@ -1,0 +1,403 @@
+// Reproduces Table 5.1 and Figures 5.7-5.22: index-merge configurations
+// TS / BL / PE / PE+SIG over B+-tree and R-tree indices (§5.4).
+#include "bench/bench_common.h"
+#include "baselines/baselines.h"
+#include "common/stopwatch.h"
+#include "merge/index_merge.h"
+
+namespace rankcube::bench {
+namespace {
+
+// Fanout 64 keeps the BL baseline's full-expansion state count tractable at
+// laptop scale while preserving every reported shape (DESIGN.md).
+constexpr int kFanout = 64;
+
+Table MakeData(uint64_t rows, int rank_dims, uint64_t seed = 9) {
+  SyntheticSpec spec;
+  spec.num_rows = rows;
+  spec.num_sel_dims = 1;
+  spec.cardinality = 2;
+  spec.num_rank_dims = rank_dims;
+  spec.seed = seed;
+  return GenerateSynthetic(spec);
+}
+
+/// m B+-trees over the first m ranking dims, plus signatures.
+struct BtreeCtx {
+  Table table;
+  Pager pager;
+  std::vector<std::unique_ptr<BTree>> btrees;
+  std::vector<std::unique_ptr<MergeIndex>> owned;
+  std::vector<const MergeIndex*> indices;
+  std::unique_ptr<JoinSignature> full_sig;
+  std::vector<std::unique_ptr<JoinSignature>> pair_sigs;
+  std::vector<std::vector<int>> pair_positions;
+
+  BtreeCtx(uint64_t rows, int m, int fanout = kFanout)
+      : table(MakeData(rows, m)) {
+    for (int d = 0; d < m; ++d) {
+      btrees.push_back(std::make_unique<BTree>(
+          table, d, pager, BTreeOptions{.fanout = fanout}));
+      owned.push_back(
+          std::make_unique<BTreeMergeIndex>(btrees.back().get(), d));
+      indices.push_back(owned.back().get());
+    }
+    full_sig = std::make_unique<JoinSignature>(indices);
+    for (int i = 0; i < m; ++i) {
+      for (int j = i + 1; j < m; ++j) {
+        pair_sigs.push_back(std::make_unique<JoinSignature>(
+            std::vector<const MergeIndex*>{indices[i], indices[j]}));
+        pair_positions.push_back({i, j});
+      }
+    }
+  }
+};
+
+std::shared_ptr<BtreeCtx> GetBtreeCtx(uint64_t rows, int m,
+                                      int fanout = kFanout) {
+  std::string key = "ch5b:" + std::to_string(Rows(rows)) + ":" +
+                    std::to_string(m) + ":" + std::to_string(fanout);
+  return Cached<BtreeCtx>(key, [&] {
+    return std::make_shared<BtreeCtx>(Rows(rows), m, fanout);
+  });
+}
+
+RankingFunctionPtr MakeF(const std::string& kind, int dims, Rng* rng) {
+  if (kind == "fs") {  // semi-monotone nearest-neighbor
+    std::vector<double> w(dims, 1.0), t(dims);
+    for (auto& v : t) v = rng->Uniform01();
+    return std::make_shared<QuadraticDistance>(std::move(w), std::move(t));
+  }
+  if (kind == "fg") return std::make_shared<GeneralAB>(dims, 0, 1);
+  // fc: constrained
+  double lo = 0.3 * rng->Uniform01();
+  return std::make_shared<ConstrainedSum>(dims, 0, 1, lo,
+                                          std::min(1.0, lo + 0.3));
+}
+
+enum class Mode { kTS, kBL, kPE, kPESig, kPE2dSig, kPE3dSig };
+
+const char* Name(Mode m) {
+  switch (m) {
+    case Mode::kTS: return "TS";
+    case Mode::kBL: return "BL";
+    case Mode::kPE: return "PE";
+    case Mode::kPESig: return "PE_SIG";
+    case Mode::kPE2dSig: return "PE_2dSIG";
+    case Mode::kPE3dSig: return "PE_3dSIG";
+  }
+  return "?";
+}
+
+WorkloadResult RunMode(BtreeCtx& ctx, const std::string& kind, int k,
+                       Mode mode, int nq = 10) {
+  Rng rng(11);
+  std::vector<TopKQuery> qs;
+  for (int i = 0; i < nq; ++i) {
+    TopKQuery q;
+    q.function = MakeF(kind, ctx.table.num_rank_dims(), &rng);
+    q.k = k;
+    qs.push_back(std::move(q));
+  }
+  return RunWorkload(qs, &ctx.pager, [&](const TopKQuery& q, Pager* p,
+                                         ExecStats* s) {
+    if (mode == Mode::kTS) {
+      auto r = TableScanTopK(ctx.table, q, p, s);
+      benchmark::DoNotOptimize(r);
+      return;
+    }
+    MergeOptions opt;
+    opt.mode = (mode == Mode::kBL) ? MergeOptions::Mode::kBaseline
+                                   : MergeOptions::Mode::kProgressive;
+    if (mode == Mode::kPESig || mode == Mode::kPE3dSig) {
+      opt.signatures = {ctx.full_sig.get()};
+      std::vector<int> all;
+      for (size_t i = 0; i < ctx.indices.size(); ++i) {
+        all.push_back(static_cast<int>(i));
+      }
+      opt.signature_positions = {all};
+    } else if (mode == Mode::kPE2dSig) {
+      for (size_t g = 0; g < ctx.pair_sigs.size(); ++g) {
+        opt.signatures.push_back(ctx.pair_sigs[g].get());
+        opt.signature_positions.push_back(ctx.pair_positions[g]);
+      }
+    }
+    auto r = IndexMergeTopK(ctx.table, ctx.indices, q.function, q.k, opt, p,
+                            s);
+    benchmark::DoNotOptimize(r);
+  });
+}
+
+void RegisterAll() {
+  // Table 5.1: basic vs improved index-merge, f = fg, top-100.
+  for (const char* variant : {"basic", "improved"}) {
+    Reg(
+        std::string("Tab5.1/") + variant, [variant](benchmark::State& state) {
+          auto ctx = GetBtreeCtx(200000, 2);
+          Mode mode =
+              std::string(variant) == "basic" ? Mode::kBL : Mode::kPESig;
+          for (auto _ : state) Publish(state, RunMode(*ctx, "fg", 100, mode));
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+
+  // Figs 5.7-5.9: time w.r.t. K for fs / fg / fc.
+  struct FigF { const char* fig; const char* kind; };
+  for (FigF ff : {FigF{"Fig5.7", "fs"}, FigF{"Fig5.8", "fg"},
+                  FigF{"Fig5.9", "fc"}}) {
+    for (Mode m : {Mode::kTS, Mode::kBL, Mode::kPE, Mode::kPESig}) {
+      for (int k : {10, 20, 50, 100}) {
+        Reg(
+            std::string(ff.fig) + "/" + Name(m) + "/K:" + std::to_string(k),
+            [ff, m, k](benchmark::State& state) {
+              auto ctx = GetBtreeCtx(200000, 2);
+              for (auto _ : state) Publish(state, RunMode(*ctx, ff.kind, k, m));
+            })
+            ->Unit(benchmark::kMillisecond)->Iterations(1);
+      }
+    }
+  }
+
+  // Figs 5.10-5.12: disk accesses / states / peak heap w.r.t. f, k = 100.
+  for (Mode m : {Mode::kBL, Mode::kPE, Mode::kPESig}) {
+    for (const char* kind : {"fs", "fg", "fc"}) {
+      Reg(
+          std::string("Fig5.10_5.11_5.12/") + Name(m) + "/f:" + kind,
+          [m, kind](benchmark::State& state) {
+            auto ctx = GetBtreeCtx(200000, 2);
+            for (auto _ : state) {
+              ctx->pager.ResetStats();
+              auto res = RunMode(*ctx, kind, 100, m);
+              Publish(state, res);
+              state.counters["index_pages"] = static_cast<double>(
+                  ctx->pager.stats(IoCategory::kBTree).physical);
+              state.counters["joinsig_pages"] = static_cast<double>(
+                  ctx->pager.stats(IoCategory::kJoinSignature).physical);
+            }
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+
+  // Fig 5.13: real-data-like (6 quantitative attrs, 2 R-trees of 3 dims).
+  for (Mode m : {Mode::kTS, Mode::kPE, Mode::kPESig}) {
+    for (int k : {10, 20, 50, 100}) {
+      Reg(
+          std::string("Fig5.13/") + Name(m) + "/K:" + std::to_string(k),
+          [m, k](benchmark::State& state) {
+            struct RtreeCtx {
+              Table table;
+              Pager pager;
+              RTree r1, r2;
+              std::unique_ptr<RTreeMergeIndex> m1, m2;
+              std::vector<const MergeIndex*> indices;
+              std::unique_ptr<JoinSignature> sig;
+              RtreeCtx()
+                  : table(MakeData(Rows(100000), 6, 31)),
+                    r1(3, pager, {.max_entries = kFanout}),
+                    r2(3, pager, {.max_entries = kFanout}) {
+                std::vector<int> a{0, 1, 2}, b{3, 4, 5};
+                r1.BulkLoadSTR(table, &a);
+                r2.BulkLoadSTR(table, &b);
+                m1 = std::make_unique<RTreeMergeIndex>(&r1, a);
+                m2 = std::make_unique<RTreeMergeIndex>(&r2, b);
+                indices = {m1.get(), m2.get()};
+                sig = std::make_unique<JoinSignature>(indices);
+              }
+            };
+            auto ctx = Cached<RtreeCtx>(
+                "ch5rt6", [] { return std::make_shared<RtreeCtx>(); });
+            Rng rng(21);
+            std::vector<TopKQuery> qs;
+            for (int i = 0; i < 10; ++i) {
+              TopKQuery q;
+              q.function = MakeF("fs", 6, &rng);
+              q.k = k;
+              qs.push_back(std::move(q));
+            }
+            for (auto _ : state) {
+              Publish(state,
+                      RunWorkload(qs, &ctx->pager,
+                                  [&](const TopKQuery& q, Pager* p,
+                                      ExecStats* s) {
+                                    MergeOptions opt;
+                                    if (m == Mode::kPESig) {
+                                      opt.signatures = {ctx->sig.get()};
+                                      opt.signature_positions = {{0, 1}};
+                                    }
+                                    if (m == Mode::kTS) {
+                                      auto r = TableScanTopK(ctx->table, q, p, s);
+                                      benchmark::DoNotOptimize(r);
+                                    } else {
+                                      auto r = IndexMergeTopK(
+                                          ctx->table, ctx->indices, q.function,
+                                          q.k, opt, p, s);
+                                      benchmark::DoNotOptimize(r);
+                                    }
+                                  }));
+            }
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+
+  // Fig 5.14: R-tree dimensionality (2 R-trees of d dims each).
+  for (int d : {1, 2, 3, 4}) {
+    Reg(
+        "Fig5.14/PE_SIG/rtree_dims:" + std::to_string(d),
+        [d](benchmark::State& state) {
+          struct DimCtx {
+            Table table;
+            Pager pager;
+            RTree r1, r2;
+            std::unique_ptr<RTreeMergeIndex> m1, m2;
+            std::vector<const MergeIndex*> indices;
+            std::unique_ptr<JoinSignature> sig;
+            explicit DimCtx(int d)
+                : table(MakeData(Rows(100000), 2 * d, 37)),
+                  r1(d, pager, {.max_entries = kFanout}),
+                  r2(d, pager, {.max_entries = kFanout}) {
+              std::vector<int> a, b;
+              for (int i = 0; i < d; ++i) a.push_back(i);
+              for (int i = d; i < 2 * d; ++i) b.push_back(i);
+              r1.BulkLoadSTR(table, &a);
+              r2.BulkLoadSTR(table, &b);
+              m1 = std::make_unique<RTreeMergeIndex>(&r1, a);
+              m2 = std::make_unique<RTreeMergeIndex>(&r2, b);
+              indices = {m1.get(), m2.get()};
+              sig = std::make_unique<JoinSignature>(indices);
+            }
+          };
+          auto ctx = Cached<DimCtx>("ch5dim:" + std::to_string(d), [d] {
+            return std::make_shared<DimCtx>(d);
+          });
+          Rng rng(41);
+          std::vector<TopKQuery> qs;
+          for (int i = 0; i < 10; ++i) {
+            TopKQuery q;
+            q.function = MakeF("fs", 2 * d, &rng);
+            q.k = 100;
+            qs.push_back(std::move(q));
+          }
+          for (auto _ : state) {
+            Publish(state,
+                    RunWorkload(qs, &ctx->pager,
+                                [&](const TopKQuery& q, Pager* p,
+                                    ExecStats* s) {
+                                  MergeOptions opt;
+                                  opt.signatures = {ctx->sig.get()};
+                                  opt.signature_positions = {{0, 1}};
+                                  auto r = IndexMergeTopK(
+                                      ctx->table, ctx->indices, q.function,
+                                      q.k, opt, p, s);
+                                  benchmark::DoNotOptimize(r);
+                                }));
+          }
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+
+  // Figs 5.15-5.17: 3-way merge, time / heap / disk w.r.t. K.
+  for (Mode m : {Mode::kTS, Mode::kPE, Mode::kPE2dSig, Mode::kPE3dSig}) {
+    for (int k : {10, 20, 50, 100}) {
+      Reg(
+          std::string("Fig5.15_5.16_5.17/") + Name(m) +
+              "/K:" + std::to_string(k),
+          [m, k](benchmark::State& state) {
+            auto ctx = GetBtreeCtx(100000, 3);
+            for (auto _ : state) {
+              ctx->pager.ResetStats();
+              auto res = RunMode(*ctx, "fs", k, m);
+              Publish(state, res);
+              state.counters["index_pages"] = static_cast<double>(
+                  ctx->pager.stats(IoCategory::kBTree).physical);
+            }
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+
+  // Fig 5.18: only a subset of indexed attributes participate in ranking.
+  for (int used : {1, 2}) {
+    Reg(
+        "Fig5.18/PE_SIG/attrs_used:" + std::to_string(used),
+        [used](benchmark::State& state) {
+          auto ctx = GetBtreeCtx(200000, 2);
+          std::vector<double> w(2, 0.0);
+          for (int d = 0; d < used; ++d) w[d] = 1.0;
+          auto f = std::make_shared<LinearFunction>(w);
+          std::vector<TopKQuery> qs(10);
+          for (auto& q : qs) {
+            q.function = f;
+            q.k = 100;
+          }
+          for (auto _ : state) {
+            Publish(state,
+                    RunWorkload(qs, &ctx->pager,
+                                [&](const TopKQuery& q, Pager* p,
+                                    ExecStats* s) {
+                                  MergeOptions opt;
+                                  opt.signatures = {ctx->full_sig.get()};
+                                  opt.signature_positions = {{0, 1}};
+                                  auto r = IndexMergeTopK(
+                                      ctx->table, ctx->indices, q.function,
+                                      q.k, opt, p, s);
+                                  benchmark::DoNotOptimize(r);
+                                }));
+          }
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+
+  // Fig 5.19: node size (fanout as page-size proxy).
+  for (int fanout : {16, 32, 64, 128}) {
+    Reg(
+        "Fig5.19/PE_SIG/fanout:" + std::to_string(fanout),
+        [fanout](benchmark::State& state) {
+          auto ctx = GetBtreeCtx(200000, 2, fanout);
+          for (auto _ : state) {
+            Publish(state, RunMode(*ctx, "fs", 100, Mode::kPESig));
+          }
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+
+  // Fig 5.20: time w.r.t. T.  Figs 5.21/5.22: join-signature construction
+  // time and size w.r.t. T.
+  for (uint64_t t : {uint64_t{100000}, uint64_t{200000}, uint64_t{500000}}) {
+    Reg(
+        "Fig5.20/PE_SIG/T:" + std::to_string(t),
+        [t](benchmark::State& state) {
+          auto ctx = GetBtreeCtx(t, 2);
+          for (auto _ : state) {
+            Publish(state, RunMode(*ctx, "fs", 100, Mode::kPESig));
+          }
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+    Reg(
+        "Fig5.21_5.22/joinsig/T:" + std::to_string(t),
+        [t](benchmark::State& state) {
+          auto ctx = GetBtreeCtx(t, 2);
+          for (auto _ : state) {
+            JoinSignature sig(ctx->indices);
+            state.counters["construction_ms"] = sig.construction_ms();
+            state.counters["bytes"] = static_cast<double>(sig.SizeBytes());
+            state.counters["states"] = static_cast<double>(sig.num_states());
+          }
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace rankcube::bench
+
+int main(int argc, char** argv) {
+  rankcube::bench::ParseScale(&argc, argv);
+  rankcube::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces Figures 6.3-6.4: SPJR queries over two relations — the
+// ranking-cube system (rank-aware selection + multi-way rank join) against
+// the conventional filter/join/sort baseline (§6.4).
+#include "bench/bench_common.h"
+#include "join/spjr_system.h"
+
+namespace rankcube::bench {
+namespace {
+
+struct Ctx {
+  Table r1, r2;
+  Pager pager;
+  std::unique_ptr<SpjrSystem> sys;
+
+  Ctx(uint64_t rows, int32_t join_card)
+      : r1(Make(rows, join_card, 61)), r2(Make(rows, join_card, 62)) {
+    sys = std::make_unique<SpjrSystem>(pager);
+    sys->AddRelation(r1);
+    sys->AddRelation(r2);
+  }
+
+  static Table Make(uint64_t rows, int32_t join_card, uint64_t seed) {
+    SyntheticSpec spec;
+    spec.num_rows = rows;
+    spec.num_sel_dims = 3;
+    spec.sel_cardinalities = {join_card, 10, 10};
+    spec.num_rank_dims = 2;
+    spec.seed = seed;
+    return GenerateSynthetic(spec);
+  }
+};
+
+std::shared_ptr<Ctx> GetCtx(uint64_t rows, int32_t card) {
+  std::string key =
+      "ch6:" + std::to_string(Rows(rows)) + ":" + std::to_string(card);
+  return Cached<Ctx>(key,
+                     [&] { return std::make_shared<Ctx>(Rows(rows), card); });
+}
+
+SpjrQuery MakeQuery(const Ctx& ctx, Rng* rng, int k) {
+  SpjrQuery q;
+  q.k = k;
+  q.relations.resize(2);
+  for (int r = 0; r < 2; ++r) {
+    q.relations[r].join_dim = 0;
+    q.relations[r].function = std::make_shared<LinearFunction>(
+        std::vector<double>{1 + rng->Uniform01(), 1 + rng->Uniform01()});
+  }
+  // One local predicate on relation 1 (anchored to existing data).
+  const Table& t = ctx.r1;
+  Tid anchor = static_cast<Tid>(rng->UniformInt(t.num_rows()));
+  q.relations[0].predicates = {{1, t.sel(anchor, 1)}};
+  return q;
+}
+
+void Run(Ctx& ctx, bool baseline, int k, benchmark::State& state) {
+  Rng rng(71);
+  double ms = 0, io = 0;
+  const int nq = 10;
+  for (int i = 0; i < nq; ++i) {
+    SpjrQuery q = MakeQuery(ctx, &rng, k);
+    ExecStats stats;
+    uint64_t before = ctx.pager.TotalPhysical();
+    if (baseline) {
+      auto r = ctx.sys->BaselineTopK(q, &ctx.pager, &stats);
+      benchmark::DoNotOptimize(r);
+    } else {
+      auto r = ctx.sys->TopK(q, &ctx.pager, &stats);
+      benchmark::DoNotOptimize(r);
+    }
+    ms += stats.time_ms;
+    io += static_cast<double>(ctx.pager.TotalPhysical() - before);
+  }
+  state.counters["ms_per_query"] = ms / nq;
+  state.counters["io_pages"] = io / nq;
+  state.counters["sim_cost_ms"] = (ms + 0.1 * io) / nq;
+}
+
+void RegisterAll() {
+  // Fig 6.3: execution time w.r.t. join-attribute cardinality.
+  for (const char* method : {"ranking_cube", "baseline"}) {
+    for (int32_t card : {10, 100, 1000, 10000}) {
+      Reg(
+          std::string("Fig6.3/") + method + "/card:" + std::to_string(card),
+          [method, card](benchmark::State& state) {
+            auto ctx = GetCtx(100000, card);
+            bool baseline = std::string(method) == "baseline";
+            for (auto _ : state) Run(*ctx, baseline, 10, state);
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 6.4: execution time w.r.t. database size.
+  for (const char* method : {"ranking_cube", "baseline"}) {
+    for (uint64_t t : {uint64_t{50000}, uint64_t{100000}, uint64_t{200000},
+                       uint64_t{400000}}) {
+      Reg(
+          std::string("Fig6.4/") + method + "/T:" + std::to_string(t),
+          [method, t](benchmark::State& state) {
+            auto ctx = GetCtx(t, 100);
+            bool baseline = std::string(method) == "baseline";
+            for (auto _ : state) Run(*ctx, baseline, 10, state);
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rankcube::bench
+
+int main(int argc, char** argv) {
+  rankcube::bench::ParseScale(&argc, argv);
+  rankcube::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,325 @@
+// Reproduces Figures 7.3-7.14: skyline queries with boolean predicates —
+// Boolean / Ranking / Signature configurations, dynamic skylines, the
+// signature-loading breakdown, and drill-down / roll-up heap reuse (§7.3).
+#include "bench/bench_common.h"
+#include "skyline/olap_session.h"
+#include "skyline/skyline_cube.h"
+
+namespace rankcube::bench {
+namespace {
+
+struct Ctx {
+  Table table;
+  Pager pager;
+  std::unique_ptr<SkylineEngine> engine;
+
+  Ctx(uint64_t rows, int dp, int c, RankDistribution dist, double zipf)
+      : table(Make(rows, dp, c, dist, zipf)) {
+    engine = std::make_unique<SkylineEngine>(table, pager);
+  }
+
+  static Table Make(uint64_t rows, int dp, int c, RankDistribution dist,
+                    double zipf) {
+    SyntheticSpec spec;
+    spec.num_rows = rows;
+    spec.num_sel_dims = 3;
+    spec.cardinality = c;
+    spec.num_rank_dims = dp;
+    spec.distribution = dist;
+    spec.sel_zipf_theta = zipf;
+    spec.seed = 83;
+    return GenerateSynthetic(spec);
+  }
+};
+
+std::shared_ptr<Ctx> GetCtx(uint64_t rows, int dp = 3, int c = 10,
+                            RankDistribution dist = RankDistribution::kUniform,
+                            double zipf = 0.0) {
+  std::string key = "ch7:" + std::to_string(Rows(rows)) + ":" +
+                    std::to_string(dp) + ":" + std::to_string(c) + ":" +
+                    std::to_string(static_cast<int>(dist)) + ":" +
+                    std::to_string(zipf);
+  return Cached<Ctx>(key, [&] {
+    return std::make_shared<Ctx>(Rows(rows), dp, c, dist, zipf);
+  });
+}
+
+enum class Method { kBoolean, kRanking, kSignature };
+const char* Name(Method m) {
+  switch (m) {
+    case Method::kBoolean: return "Boolean";
+    case Method::kRanking: return "Ranking";
+    default: return "Signature";
+  }
+}
+
+struct SkyResult {
+  double ms = 0, io = 0, heap = 0, sig_ms = 0, sig_pages = 0;
+};
+
+SkyResult RunMethod(Ctx& ctx, Method m, int num_preds,
+                    bool dynamic = false, int nq = 10) {
+  Rng rng(91);
+  SkyResult out;
+  for (int i = 0; i < nq; ++i) {
+    std::vector<Predicate> preds;
+    Tid anchor = static_cast<Tid>(rng.UniformInt(ctx.table.num_rows()));
+    for (int d = 0; d < num_preds; ++d) {
+      preds.push_back({d, ctx.table.sel(anchor, d)});
+    }
+    SkylineTransform tf =
+        dynamic ? SkylineTransform::Dynamic([&] {
+            std::vector<double> q(ctx.table.num_rank_dims());
+            for (auto& v : q) v = rng.Uniform01();
+            return q;
+          }())
+                : SkylineTransform::Static(ctx.table.num_rank_dims());
+    ExecStats stats;
+    uint64_t before = ctx.pager.TotalPhysical();
+    switch (m) {
+      case Method::kBoolean: {
+        auto r = ctx.engine->BooleanFirst(preds, tf, &ctx.pager, &stats);
+        benchmark::DoNotOptimize(r);
+        break;
+      }
+      case Method::kRanking: {
+        auto r = ctx.engine->RankingFirst(preds, tf, &ctx.pager, &stats);
+        benchmark::DoNotOptimize(r);
+        break;
+      }
+      case Method::kSignature: {
+        auto r = ctx.engine->Signature(preds, tf, &ctx.pager, &stats);
+        benchmark::DoNotOptimize(r);
+        break;
+      }
+    }
+    out.ms += stats.time_ms;
+    out.io += static_cast<double>(ctx.pager.TotalPhysical() - before);
+    out.heap += static_cast<double>(stats.peak_heap);
+    out.sig_ms += stats.signature_ms;
+    out.sig_pages += static_cast<double>(stats.signature_pages);
+  }
+  out.ms /= nq;
+  out.io /= nq;
+  out.heap /= nq;
+  out.sig_ms /= nq;
+  out.sig_pages /= nq;
+  return out;
+}
+
+void Publish7(benchmark::State& state, const SkyResult& r) {
+  state.counters["ms_per_query"] = r.ms;
+  state.counters["io_pages"] = r.io;
+  state.counters["peak_heap"] = r.heap;
+  state.counters["sig_ms"] = r.sig_ms;
+  state.counters["sig_pages"] = r.sig_pages;
+  state.counters["sim_cost_ms"] = r.ms + 0.1 * r.io;
+}
+
+void RegisterAll() {
+  constexpr Method kAll[] = {Method::kBoolean, Method::kRanking,
+                             Method::kSignature};
+  // Figs 7.3-7.5: time / disk accesses / peak heap w.r.t. T.
+  for (Method m : kAll) {
+    for (uint64_t t : {uint64_t{50000}, uint64_t{100000}, uint64_t{200000},
+                       uint64_t{400000}}) {
+      Reg(
+          std::string("Fig7.3_7.4_7.5/") + Name(m) + "/T:" + std::to_string(t),
+          [m, t](benchmark::State& state) {
+            auto ctx = GetCtx(t);
+            for (auto _ : state) Publish7(state, RunMethod(*ctx, m, 1));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 7.6: cardinality of boolean dimensions.
+  for (Method m : kAll) {
+    for (int c : {10, 100, 1000}) {
+      Reg(
+          std::string("Fig7.6/") + Name(m) + "/C:" + std::to_string(c),
+          [m, c](benchmark::State& state) {
+            auto ctx = GetCtx(100000, 3, c);
+            for (auto _ : state) Publish7(state, RunMethod(*ctx, m, 1));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 7.7: data distribution E / C / A.
+  for (Method m : kAll) {
+    for (auto dist : {RankDistribution::kUniform, RankDistribution::kCorrelated,
+                      RankDistribution::kAntiCorrelated}) {
+      const char* dn = dist == RankDistribution::kUniform       ? "E"
+                       : dist == RankDistribution::kCorrelated ? "C"
+                                                                : "A";
+      Reg(
+          std::string("Fig7.7/") + Name(m) + "/S:" + dn,
+          [m, dist](benchmark::State& state) {
+            auto ctx = GetCtx(50000, 3, 10, dist);
+            for (auto _ : state) Publish7(state, RunMethod(*ctx, m, 1));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 7.8: number of preference dimensions Dp.
+  for (Method m : kAll) {
+    for (int dp : {2, 3, 4}) {
+      Reg(
+          std::string("Fig7.8/") + Name(m) + "/Dp:" + std::to_string(dp),
+          [m, dp](benchmark::State& state) {
+            auto ctx = GetCtx(50000, dp);
+            for (auto _ : state) Publish7(state, RunMethod(*ctx, m, 1));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 7.9: number of boolean predicates m.
+  for (Method m : kAll) {
+    for (int preds : {1, 2, 3}) {
+      Reg(
+          std::string("Fig7.9/") + Name(m) + "/m:" + std::to_string(preds),
+          [m, preds](benchmark::State& state) {
+            auto ctx = GetCtx(100000);
+            for (auto _ : state) Publish7(state, RunMethod(*ctx, m, preds));
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 7.10: hardness — predicate selectivity via zipf value frequency.
+  for (Method m : kAll) {
+    for (int rank : {0, 3, 9}) {  // frequent .. rare predicate value
+      Reg(
+          std::string("Fig7.10/") + Name(m) + "/value_rank:" +
+              std::to_string(rank),
+          [m, rank](benchmark::State& state) {
+            auto ctx =
+                GetCtx(100000, 3, 10, RankDistribution::kUniform, 0.9);
+            std::vector<Predicate> preds = {{0, rank}};
+            SkylineTransform tf = SkylineTransform::Static(3);
+            for (auto _ : state) {
+              ExecStats stats;
+              uint64_t before = ctx->pager.TotalPhysical();
+              switch (m) {
+                case Method::kBoolean: {
+                  auto r = ctx->engine->BooleanFirst(preds, tf, &ctx->pager,
+                                                     &stats);
+                  benchmark::DoNotOptimize(r);
+                  break;
+                }
+                case Method::kRanking: {
+                  auto r = ctx->engine->RankingFirst(preds, tf, &ctx->pager,
+                                                     &stats);
+                  benchmark::DoNotOptimize(r);
+                  break;
+                }
+                case Method::kSignature: {
+                  auto r =
+                      ctx->engine->Signature(preds, tf, &ctx->pager, &stats);
+                  benchmark::DoNotOptimize(r);
+                  break;
+                }
+              }
+              state.counters["ms_per_query"] = stats.time_ms;
+              state.counters["io_pages"] = static_cast<double>(
+                  ctx->pager.TotalPhysical() - before);
+            }
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 7.11: static vs dynamic skylines with boolean predicates.
+  for (Method m : kAll) {
+    for (const char* kind : {"static", "dynamic"}) {
+      Reg(
+          std::string("Fig7.11/") + Name(m) + "/" + kind,
+          [m, kind](benchmark::State& state) {
+            auto ctx = GetCtx(100000);
+            bool dynamic = std::string(kind) == "dynamic";
+            for (auto _ : state) {
+              Publish7(state, RunMethod(*ctx, m, 1, dynamic));
+            }
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  // Fig 7.12: signature loading time vs query time.
+  for (uint64_t t : {uint64_t{50000}, uint64_t{100000}, uint64_t{200000}}) {
+    Reg(
+        "Fig7.12/Signature/T:" + std::to_string(t),
+        [t](benchmark::State& state) {
+          auto ctx = GetCtx(t);
+          for (auto _ : state) {
+            auto r = RunMethod(*ctx, Method::kSignature, 2);
+            state.counters["total_ms"] = r.ms;
+            state.counters["sig_load_ms"] = r.sig_ms;
+            state.counters["sig_pages"] = r.sig_pages;
+          }
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+  // Fig 7.13 / 7.14: drill-down / roll-up vs a fresh query.
+  for (const char* op : {"drill_down", "roll_up"}) {
+    for (const char* mode : {"session", "fresh"}) {
+      Reg(
+          std::string(op[0] == 'd' ? "Fig7.13/" : "Fig7.14/") + op + "/" +
+              mode,
+          [op, mode](benchmark::State& state) {
+            auto ctx = GetCtx(200000);
+            bool drill = std::string(op) == "drill_down";
+            bool session = std::string(mode) == "session";
+            SkylineTransform tf = SkylineTransform::Static(3);
+            Rng rng(97);
+            for (auto _ : state) {
+              double ms = 0, io = 0;
+              const int nq = 5;
+              for (int i = 0; i < nq; ++i) {
+                Tid anchor =
+                    static_cast<Tid>(rng.UniformInt(ctx->table.num_rows()));
+                Predicate p0{0, ctx->table.sel(anchor, 0)};
+                Predicate p1{1, ctx->table.sel(anchor, 1)};
+                std::vector<Predicate> initial =
+                    drill ? std::vector<Predicate>{p0}
+                          : std::vector<Predicate>{p0, p1};
+                std::vector<Predicate> target =
+                    drill ? std::vector<Predicate>{p0, p1}
+                          : std::vector<Predicate>{p0};
+                SkylineSession sess(ctx->engine.get());
+                ExecStats warm;
+                auto w = sess.Query(initial, tf, &ctx->pager, &warm);
+                benchmark::DoNotOptimize(w);
+                ExecStats stats;
+                uint64_t before = ctx->pager.TotalPhysical();
+                if (session) {
+                  auto r = drill
+                               ? sess.DrillDown({p1}, &ctx->pager, &stats)
+                               : sess.RollUp({1}, &ctx->pager, &stats);
+                  benchmark::DoNotOptimize(r);
+                } else {
+                  SkylineSession fresh2(ctx->engine.get());
+                  auto r = fresh2.Query(target, tf, &ctx->pager, &stats);
+                  benchmark::DoNotOptimize(r);
+                }
+                ms += stats.time_ms;
+                io += static_cast<double>(ctx->pager.TotalPhysical() -
+                                          before);
+              }
+              state.counters["ms_per_query"] = ms / nq;
+              state.counters["io_pages"] = io / nq;
+            }
+          })
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rankcube::bench
+
+int main(int argc, char** argv) {
+  rankcube::bench::ParseScale(&argc, argv);
+  rankcube::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Shared plumbing for the figure-reproduction benchmarks. Each bench binary
+// registers google-benchmark entries named after the thesis figure they
+// regenerate (e.g. "Fig3.4/ranking_cube/k:10"); counters carry the paper's
+// y-axes (ms per query, page accesses, states, heap sizes, bytes).
+//
+// Sizes are scaled to laptop defaults (DESIGN.md documents the scaling);
+// override with --rows_scale=N (multiplies every T) if you want the paper's
+// original sizes.
+#ifndef RANKCUBE_BENCH_BENCH_COMMON_H_
+#define RANKCUBE_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/topk_query.h"
+#include "gen/covtype.h"
+#include "gen/queries.h"
+#include "gen/synthetic.h"
+#include "storage/pager.h"
+
+namespace rankcube::bench {
+
+/// Global scale knob (1.0 = laptop defaults).
+inline double& RowsScale() {
+  static double scale = 1.0;
+  return scale;
+}
+
+inline uint64_t Rows(uint64_t base) {
+  return static_cast<uint64_t>(base * RowsScale());
+}
+
+/// Build-once cache shared across benchmark registrations.
+template <typename T>
+std::shared_ptr<T> Cached(const std::string& key,
+                          const std::function<std::shared_ptr<T>()>& build) {
+  static std::map<std::string, std::shared_ptr<void>> cache;
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, build()).first;
+  }
+  return std::static_pointer_cast<T>(it->second);
+}
+
+/// Average per-query results of running `run` over a workload.
+struct WorkloadResult {
+  double ms_per_query = 0.0;
+  double io_per_query = 0.0;
+  double sig_io_per_query = 0.0;
+  double states_per_query = 0.0;
+  double heap_per_query = 0.0;
+  double evaluated_per_query = 0.0;
+};
+
+/// `run(query, pager, stats)` executes one query charging `pager`.
+inline WorkloadResult RunWorkload(
+    const std::vector<TopKQuery>& queries, Pager* pager,
+    const std::function<void(const TopKQuery&, Pager*, ExecStats*)>& run) {
+  WorkloadResult out;
+  for (const auto& q : queries) {
+    ExecStats stats;
+    uint64_t before = pager->TotalPhysical();
+    run(q, pager, &stats);
+    out.ms_per_query += stats.time_ms;
+    out.io_per_query +=
+        static_cast<double>(pager->TotalPhysical() - before);
+    out.sig_io_per_query += static_cast<double>(stats.signature_pages);
+    out.states_per_query += static_cast<double>(stats.states_generated);
+    out.heap_per_query += static_cast<double>(stats.peak_heap);
+    out.evaluated_per_query += static_cast<double>(stats.tuples_evaluated);
+  }
+  double n = std::max<size_t>(1, queries.size());
+  out.ms_per_query /= n;
+  out.io_per_query /= n;
+  out.sig_io_per_query /= n;
+  out.states_per_query /= n;
+  out.heap_per_query /= n;
+  out.evaluated_per_query /= n;
+  return out;
+}
+
+/// Publishes a WorkloadResult on a benchmark's counters.
+inline void Publish(benchmark::State& state, const WorkloadResult& r) {
+  state.counters["ms_per_query"] = r.ms_per_query;
+  state.counters["io_pages"] = r.io_per_query;
+  state.counters["sig_pages"] = r.sig_io_per_query;
+  state.counters["states"] = r.states_per_query;
+  state.counters["peak_heap"] = r.heap_per_query;
+  state.counters["evaluated"] = r.evaluated_per_query;
+  // CPU time plus a nominal 0.1 ms per page read: the disk-weighted cost a
+  // 2007-era system would observe (the thesis's time axis is I/O-bound).
+  state.counters["sim_cost_ms"] = r.ms_per_query + 0.1 * r.io_per_query;
+}
+
+/// RegisterBenchmark shim accepting std::string names (older benchmark
+/// releases only take const char*; the library copies the name).
+template <typename Lambda>
+inline ::benchmark::internal::Benchmark* Reg(const std::string& name,
+                                             Lambda fn) {
+  return ::benchmark::RegisterBenchmark(name.c_str(), fn);
+}
+
+/// Parses --rows_scale=N out of argv (before benchmark::Initialize).
+inline void ParseScale(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--rows_scale=", 0) == 0) {
+      RowsScale() = std::stod(a.substr(13));
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return;
+    }
+  }
+}
+
+#define RANKCUBE_BENCH_MAIN()                         \
+  int main(int argc, char** argv) {                   \
+    ::rankcube::bench::ParseScale(&argc, argv);       \
+    ::benchmark::Initialize(&argc, argv);             \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();            \
+    ::benchmark::Shutdown();                          \
+    return 0;                                         \
+  }
+
+}  // namespace rankcube::bench
+
+#endif  // RANKCUBE_BENCH_BENCH_COMMON_H_

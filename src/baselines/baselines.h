@@ -1,0 +1,89 @@
+// Comparator methods the thesis benchmarks against:
+//  * TableScan      — sequential scan + top-k heap (TS, §5.4.1)
+//  * BooleanFirst   — per-dimension index selection then ranking ("baseline"
+//                     SQL-Server execution of §3.5.1 / "Boolean" of §4.4.1)
+//  * RankingFirst   — R-tree branch-and-bound with post-hoc boolean
+//                     verification by random table access ("Ranking", §4.4.1)
+//  * RankMapping    — top-k mapped to a range query over a clustered
+//                     composite index with optimal bounds ([14], §3.5.1)
+#ifndef RANKCUBE_BASELINES_BASELINES_H_
+#define RANKCUBE_BASELINES_BASELINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/rtree_search.h"
+#include "core/topk_query.h"
+#include "index/composite.h"
+#include "index/posting.h"
+#include "index/rtree.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// TS: full sequential scan, filtering predicates and keeping a size-k heap.
+std::vector<ScoredTuple> TableScanTopK(const Table& table,
+                                       const TopKQuery& query, Pager* pager,
+                                       ExecStats* stats);
+
+/// Boolean-first executor over posting-list indices.
+class BooleanFirst {
+ public:
+  explicit BooleanFirst(const Table& table);
+
+  /// Picks index-scan vs table-scan by estimated page cost (the thesis
+  /// reports the best of the two alternatives) and evaluates the query.
+  std::vector<ScoredTuple> TopK(const TopKQuery& query, Pager* pager,
+                                ExecStats* stats) const;
+
+  const PostingIndex& index() const { return posting_; }
+  size_t IndexSizeBytes() const { return posting_.SizeBytes(); }
+
+ private:
+  const Table& table_;
+  PostingIndex posting_;
+};
+
+/// Ranking-first executor: Algorithm 3 without signatures; boolean
+/// predicates verified per candidate tuple via random table access.
+class RankingFirst {
+ public:
+  RankingFirst(const Table& table, const RTree* rtree)
+      : table_(table), rtree_(rtree) {}
+
+  std::vector<ScoredTuple> TopK(const TopKQuery& query, Pager* pager,
+                                ExecStats* stats) const;
+
+ private:
+  const Table& table_;
+  const RTree* rtree_;
+};
+
+/// Rank-mapping baseline [14]: maps the ranking function + the true k-th
+/// score (the *optimal* bound, as the thesis concedes to this competitor)
+/// to a range box, executes it on composite indices, then ranks candidates.
+class RankMapping {
+ public:
+  /// `index_groups`: one composite index per group of selection dims (a
+  /// single group of all dims reproduces §3.5.2; per-fragment groups
+  /// reproduce §3.5.3).
+  RankMapping(const Table& table,
+              const std::vector<std::vector<int>>& index_groups);
+
+  /// `kth_score`: the optimal bound value (from an exact oracle).
+  std::vector<ScoredTuple> TopK(const TopKQuery& query, double kth_score,
+                                Pager* pager, ExecStats* stats) const;
+
+  /// Derives the optimal per-dimension range box for f and bound s*.
+  static Box OptimalBounds(const RankingFunction& f, double kth_score);
+
+  size_t IndexSizeBytes() const;
+
+ private:
+  const Table& table_;
+  std::vector<std::unique_ptr<CompositeIndex>> indices_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_BASELINES_BASELINES_H_

@@ -1,0 +1,97 @@
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "common/stopwatch.h"
+
+namespace rankcube {
+
+RankMapping::RankMapping(const Table& table,
+                         const std::vector<std::vector<int>>& index_groups)
+    : table_(table) {
+  for (const auto& group : index_groups) {
+    indices_.push_back(std::make_unique<CompositeIndex>(table, group));
+  }
+}
+
+Box RankMapping::OptimalBounds(const RankingFunction& f, double kth_score) {
+  Box box = Box::Unit(f.num_dims());
+  if (const auto* lin = dynamic_cast<const LinearFunction*>(&f)) {
+    const auto& w = lin->weights();
+    // f_min excluding dim i, then w_i * x_i <= s* - f_min_without_i.
+    double fmin = 0.0;
+    for (double wi : w) fmin += std::min(0.0, wi);  // domain [0,1]
+    for (size_t d = 0; d < w.size(); ++d) {
+      if (w[d] == 0.0) continue;
+      double without = fmin - std::min(0.0, w[d]);
+      double bound = (kth_score - without) / w[d];
+      if (w[d] > 0) {
+        box[d].hi = std::clamp(bound, 0.0, 1.0);
+      } else {
+        box[d].lo = std::clamp(bound, 0.0, 1.0);
+      }
+    }
+    return box;
+  }
+  if (const auto* q = dynamic_cast<const QuadraticDistance*>(&f)) {
+    // Per-dimension radius sqrt(s*/w_i) around the target (other dims can
+    // be at distance 0 in the best case).
+    Box domain = Box::Unit(f.num_dims());
+    std::vector<double> center = q->Minimizer(domain);
+    for (int d : q->involved_dims()) {
+      // Weight recovered by probing the 1-d second difference.
+      std::vector<double> p = center;
+      double base = q->Evaluate(p.data());
+      p[d] = center[d] + 0.5;
+      double w = (q->Evaluate(p.data()) - base) / 0.25;
+      if (w <= 0) continue;
+      double r = std::sqrt(std::max(0.0, kth_score / w));
+      box[d].lo = std::max(0.0, center[d] - r);
+      box[d].hi = std::min(1.0, center[d] + r);
+    }
+    return box;
+  }
+  return box;  // unknown function: unbounded range (no mapping benefit)
+}
+
+std::vector<ScoredTuple> RankMapping::TopK(const TopKQuery& query,
+                                           double kth_score, Pager* pager,
+                                           ExecStats* stats) const {
+  Stopwatch watch;
+  uint64_t pages_before = pager->TotalPhysical();
+
+  // Pick the composite index whose prefix covers most of the query.
+  const CompositeIndex* best = indices_.front().get();
+  int best_match = -1;
+  for (const auto& idx : indices_) {
+    int m = idx->PrefixMatch(query.predicates);
+    if (m > best_match) {
+      best_match = m;
+      best = idx.get();
+    }
+  }
+
+  Box bounds = OptimalBounds(*query.function, kth_score);
+  auto range = best->RangeQuery(query.predicates, bounds, pager);
+
+  TopKHeap topk(query.k);
+  std::vector<double> point(table_.num_rank_dims());
+  for (Tid t : range.candidates) {
+    for (int d = 0; d < table_.num_rank_dims(); ++d) {
+      point[d] = table_.rank(t, d);
+    }
+    topk.Offer(t, query.function->Evaluate(point.data()));
+    ++stats->tuples_evaluated;
+  }
+  stats->time_ms += watch.ElapsedMs();
+  stats->pages_read += pager->TotalPhysical() - pages_before;
+  return topk.Sorted();
+}
+
+size_t RankMapping::IndexSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& idx : indices_) bytes += idx->SizeBytes();
+  return bytes;
+}
+
+}  // namespace rankcube

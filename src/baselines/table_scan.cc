@@ -1,0 +1,34 @@
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "common/stopwatch.h"
+
+namespace rankcube {
+
+std::vector<ScoredTuple> TableScanTopK(const Table& table,
+                                       const TopKQuery& query, Pager* pager,
+                                       ExecStats* stats) {
+  Stopwatch watch;
+  uint64_t pages_before = pager->TotalPhysical();
+  TopKHeap topk(query.k);
+  table.ChargeFullScan(pager);
+  std::vector<double> point(table.num_rank_dims());
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    bool ok = true;
+    for (const auto& p : query.predicates) {
+      if (table.sel(t, p.dim) != p.value) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (int d = 0; d < table.num_rank_dims(); ++d) point[d] = table.rank(t, d);
+    topk.Offer(t, query.function->Evaluate(point.data()));
+    ++stats->tuples_evaluated;
+  }
+  stats->time_ms += watch.ElapsedMs();
+  stats->pages_read += pager->TotalPhysical() - pages_before;
+  return topk.Sorted();
+}
+
+}  // namespace rankcube

@@ -1,0 +1,82 @@
+#include "bitmap/bitvector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace rankcube {
+
+BitVector::BitVector(size_t nbits, bool value) : size_(nbits) {
+  words_.assign((nbits + 63) / 64, value ? ~0ull : 0ull);
+  if (value && (nbits & 63)) {
+    words_.back() &= (1ull << (nbits & 63)) - 1;
+  }
+}
+
+void BitVector::Set(size_t i, bool v) {
+  assert(i < size_);
+  if (v) {
+    words_[i >> 6] |= 1ull << (i & 63);
+  } else {
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+}
+
+void BitVector::PushBit(bool v) {
+  if ((size_ & 63) == 0) words_.push_back(0);
+  if (v) words_[size_ >> 6] |= 1ull << (size_ & 63);
+  ++size_;
+}
+
+void BitVector::AppendBits(uint64_t value, int nbits) {
+  for (int b = nbits - 1; b >= 0; --b) PushBit((value >> b) & 1ull);
+}
+
+void BitVector::AppendVector(const BitVector& other) {
+  for (size_t i = 0; i < other.size(); ++i) PushBit(other.Get(i));
+}
+
+uint64_t BitVector::ReadBits(size_t pos, int nbits) const {
+  uint64_t v = 0;
+  for (int b = 0; b < nbits; ++b) {
+    v = (v << 1) | static_cast<uint64_t>(Get(pos + b));
+  }
+  return v;
+}
+
+size_t BitVector::PopCount() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+size_t BitVector::LastOnePlusOne() const {
+  for (size_t i = size_; i > 0; --i) {
+    if (Get(i - 1)) return i;
+  }
+  return 0;
+}
+
+size_t BitVector::SelectOne(size_t i) const {
+  size_t seen = 0;
+  for (size_t p = 0; p < size_; ++p) {
+    if (Get(p) && seen++ == i) return p;
+  }
+  return size_;
+}
+
+bool BitVector::operator==(const BitVector& o) const {
+  if (size_ != o.size_) return false;
+  for (size_t i = 0; i < size_; ++i) {
+    if (Get(i) != o.Get(i)) return false;
+  }
+  return true;
+}
+
+std::string BitVector::ToString() const {
+  std::string s;
+  s.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) s.push_back(Get(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,44 @@
+#include "bitmap/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rankcube {
+
+BloomFilter::BloomFilter(size_t bits, int num_hashes)
+    : bits_(std::max<size_t>(8, bits), false), k_(std::max(1, num_hashes)) {}
+
+uint64_t BloomFilter::Mix(uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  uint64_t h1 = Mix(key);
+  uint64_t h2 = Mix(key ^ 0xFEEDFACECAFEBEEFull) | 1;
+  for (int i = 0; i < k_; ++i) {
+    bits_.Set((h1 + static_cast<uint64_t>(i) * h2) % bits_.size(), true);
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  uint64_t h1 = Mix(key);
+  uint64_t h2 = Mix(key ^ 0xFEEDFACECAFEBEEFull) | 1;
+  for (int i = 0; i < k_; ++i) {
+    if (!bits_.Get((h1 + static_cast<uint64_t>(i) * h2) % bits_.size())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int BloomFilter::OptimalHashes(size_t bits, size_t num_entries, int max_k) {
+  if (num_entries == 0) return 1;
+  double k = static_cast<double>(bits) / num_entries * std::log(2.0);
+  return std::min(max_k, std::max(1, static_cast<int>(std::lround(k))));
+}
+
+}  // namespace rankcube

@@ -1,0 +1,40 @@
+// Bloom filter used to compress oversized state-signatures in the
+// join-signature of Ch5 (§5.3.1) and discussed as a lossy signature
+// compressor in §4.5. No false negatives; false-positive rate controlled by
+// the bits-per-key budget.
+#ifndef RANKCUBE_BITMAP_BLOOM_H_
+#define RANKCUBE_BITMAP_BLOOM_H_
+
+#include <cstdint>
+
+#include "bitmap/bitvector.h"
+
+namespace rankcube {
+
+/// Standard bloom filter over 64-bit keys with double hashing.
+class BloomFilter {
+ public:
+  /// `bits` is the array size b; `num_hashes` is k (§5.3.1 derives the
+  /// optimal k = b/ne * ln 2, capped by a max; callers pass the result).
+  BloomFilter(size_t bits, int num_hashes);
+
+  void Insert(uint64_t key);
+  bool MayContain(uint64_t key) const;
+
+  size_t bits() const { return bits_.size(); }
+  size_t SizeBytes() const { return bits_.SizeBytes(); }
+  int num_hashes() const { return k_; }
+
+  /// Optimal k for `bits` budget and `num_entries` keys, capped at `max_k`.
+  static int OptimalHashes(size_t bits, size_t num_entries, int max_k = 8);
+
+ private:
+  static uint64_t Mix(uint64_t x);
+
+  BitVector bits_;
+  int k_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_BITMAP_BLOOM_H_

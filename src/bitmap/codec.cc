@@ -1,0 +1,273 @@
+#include "bitmap/codec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rankcube {
+
+namespace {
+
+// Bits needed to represent integer i (>= 1 bit).
+int GammaValueBits(uint64_t i) { return std::max(1, Log2Ceil(i + 1)); }
+
+// Gamma-style run code (§4.2.2): (bits-1) ones, a zero, then i in `bits`.
+void AppendGamma(uint64_t i, BitVector* out) {
+  int bits = GammaValueBits(i);
+  for (int b = 0; b < bits - 1; ++b) out->PushBit(true);
+  out->PushBit(false);
+  out->AppendBits(i, bits);
+}
+
+uint64_t ReadGamma(BitReader* reader) {
+  int bits = 1;
+  while (reader->ReadBit()) ++bits;
+  return reader->Read(bits);
+}
+
+int PosBits(int M) { return std::max(1, Log2Ceil(static_cast<uint64_t>(M))); }
+
+int LenBits(int M) {
+  return Log2Ceil(static_cast<uint64_t>(2 * M + 2));
+}
+
+// Positions of bits with value `v` in arr.
+std::vector<uint32_t> Positions(const BitVector& arr, bool v) {
+  std::vector<uint32_t> pos;
+  for (size_t i = 0; i < arr.size(); ++i) {
+    if (arr.Get(i) == v) pos.push_back(static_cast<uint32_t>(i));
+  }
+  return pos;
+}
+
+// Optimal prefix length for PC coding: p = log2(2^n / (n ln 2)) (§4.2.2).
+int PcPrefixLen(int n) {
+  double p = std::log2(std::pow(2.0, n) / (n * std::log(2.0)));
+  int pi = static_cast<int>(std::lround(p));
+  return std::min(n - 1, std::max(1, pi));
+}
+
+// Builds only the coding region for `scheme`; returns false when the scheme
+// cannot represent the array (e.g. PI-sparse of an all-zero array).
+bool BuildRegion(const BitVector& arr, int M, CodecScheme scheme,
+                 BitVector* region) {
+  const int pos_bits = PosBits(M);
+  const size_t L = arr.size();
+  switch (scheme) {
+    case CodecScheme::kBaseline: {
+      size_t keep = std::max<size_t>(1, arr.LastOnePlusOne());
+      keep = std::min(keep, L == 0 ? size_t{1} : L);
+      if (L == 0) {
+        region->PushBit(false);
+        return true;
+      }
+      for (size_t i = 0; i < keep; ++i) region->PushBit(arr.Get(i));
+      return true;
+    }
+    case CodecScheme::kPiSparse: {
+      auto pos = Positions(arr, true);
+      if (pos.empty()) return false;
+      for (uint32_t p : pos) region->AppendBits(p, pos_bits);
+      return true;
+    }
+    case CodecScheme::kPiDense: {
+      if (L == 0) return false;
+      auto pos = Positions(arr, false);
+      region->AppendBits(L - 1, pos_bits);  // original length (one-less)
+      for (uint32_t p : pos) region->AppendBits(p, pos_bits);
+      return true;
+    }
+    case CodecScheme::kRlSparse: {
+      auto pos = Positions(arr, true);
+      if (pos.empty()) return false;
+      uint64_t prev = 0;
+      for (uint32_t p : pos) {
+        AppendGamma(p - prev, region);  // i zeros then a one
+        prev = p + 1;
+      }
+      return true;
+    }
+    case CodecScheme::kRlDense: {
+      if (L == 0) return false;
+      region->AppendBits(L - 1, pos_bits);
+      // Runs of (i ones, then a zero) over arr + one artificial trailing 0.
+      size_t i = 0;
+      uint64_t ones = 0;
+      for (; i < L; ++i) {
+        if (arr.Get(i)) {
+          ++ones;
+        } else {
+          AppendGamma(ones, region);
+          ones = 0;
+        }
+      }
+      AppendGamma(ones, region);  // run terminated by the artificial 0
+      return true;
+    }
+    case CodecScheme::kPcSparse:
+    case CodecScheme::kPcDense: {
+      bool dense = scheme == CodecScheme::kPcDense;
+      auto pos = Positions(arr, !dense);
+      if (dense) {
+        if (L == 0) return false;
+        region->AppendBits(L - 1, pos_bits);
+      } else if (pos.empty()) {
+        return false;
+      }
+      const int n = pos_bits;
+      const int p = PcPrefixLen(n);
+      const int suffix_bits = n - p;
+      size_t i = 0;
+      while (i < pos.size()) {
+        uint32_t prefix = pos[i] >> suffix_bits;
+        size_t j = i;
+        while (j < pos.size() && (pos[j] >> suffix_bits) == prefix) ++j;
+        size_t count = j - i;
+        // A group can hold at most 2^suffix_bits suffixes (one-less coded);
+        // split oversized groups.
+        size_t cap = size_t{1} << suffix_bits;
+        size_t take = std::min(count, cap);
+        region->AppendBits(prefix, p);
+        region->AppendBits(take - 1, suffix_bits);
+        for (size_t t = 0; t < take; ++t) {
+          region->AppendBits(pos[i + t] & ((1u << suffix_bits) - 1),
+                             suffix_bits);
+        }
+        i += take;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int Log2Ceil(uint64_t x) {
+  int b = 0;
+  while ((uint64_t{1} << b) < x) ++b;
+  return b;
+}
+
+size_t NodeHeaderBits(int M) { return 3 + LenBits(M); }
+
+size_t EncodeNodeWith(const BitVector& arr, int M, CodecScheme scheme,
+                      BitVector* out) {
+  assert(M >= 2);
+  BitVector region;
+  bool ok = BuildRegion(arr, M, scheme, &region);
+  const size_t max_region = (size_t{1} << LenBits(M));
+  if (!ok || region.empty() || region.size() > max_region) {
+    scheme = CodecScheme::kBaseline;
+    region = BitVector();
+    BuildRegion(arr, M, CodecScheme::kBaseline, &region);
+  }
+  size_t before = out->size();
+  out->AppendBits(static_cast<uint64_t>(scheme), 3);
+  out->AppendBits(region.size() - 1, LenBits(M));  // one-less principle
+  out->AppendVector(region);
+  return out->size() - before;
+}
+
+size_t EncodeNodeAdaptive(const BitVector& arr, int M, BitVector* out) {
+  static constexpr CodecScheme kAll[] = {
+      CodecScheme::kBaseline, CodecScheme::kPiSparse, CodecScheme::kPiDense,
+      CodecScheme::kRlSparse, CodecScheme::kRlDense,  CodecScheme::kPcSparse,
+      CodecScheme::kPcDense,
+  };
+  BitVector best;
+  for (CodecScheme s : kAll) {
+    BitVector candidate;
+    EncodeNodeWith(arr, M, s, &candidate);
+    if (best.empty() || candidate.size() < best.size()) best = candidate;
+  }
+  out->AppendVector(best);
+  return best.size();
+}
+
+Status DecodeNode(BitReader* reader, int M, BitVector* out) {
+  const int pos_bits = PosBits(M);
+  if (reader->pos() + NodeHeaderBits(M) > reader->pos() + (1u << 30)) {
+    return Status::Corruption("bit stream underflow");
+  }
+  auto scheme = static_cast<CodecScheme>(reader->Read(3));
+  size_t region_len = static_cast<size_t>(reader->Read(LenBits(M))) + 1;
+  size_t region_end = reader->pos() + region_len;
+
+  *out = BitVector(static_cast<size_t>(M), false);
+  switch (scheme) {
+    case CodecScheme::kBaseline: {
+      for (size_t i = 0; i < region_len; ++i) {
+        bool b = reader->ReadBit();
+        if (i < out->size()) out->Set(i, b);
+      }
+      return Status::OK();
+    }
+    case CodecScheme::kPiSparse: {
+      if (region_len % pos_bits != 0) {
+        return Status::Corruption("PI region not position-aligned");
+      }
+      for (size_t i = 0; i < region_len / pos_bits; ++i) {
+        out->Set(reader->Read(pos_bits) % M, true);
+      }
+      return Status::OK();
+    }
+    case CodecScheme::kPiDense: {
+      size_t L = static_cast<size_t>(reader->Read(pos_bits)) + 1;
+      for (size_t i = 0; i < std::min(L, out->size()); ++i) out->Set(i, true);
+      while (reader->pos() < region_end) {
+        out->Set(reader->Read(pos_bits) % M, false);
+      }
+      return Status::OK();
+    }
+    case CodecScheme::kRlSparse: {
+      size_t p = 0;
+      while (reader->pos() < region_end) {
+        p += ReadGamma(reader);
+        if (p >= out->size()) break;
+        out->Set(p, true);
+        ++p;
+      }
+      return Status::OK();
+    }
+    case CodecScheme::kRlDense: {
+      size_t L = static_cast<size_t>(reader->Read(pos_bits)) + 1;
+      size_t p = 0;
+      while (reader->pos() < region_end && p <= L) {
+        uint64_t ones = ReadGamma(reader);
+        for (uint64_t i = 0; i < ones && p < out->size(); ++i) {
+          out->Set(p++, true);
+        }
+        ++p;  // the zero terminating this run
+      }
+      return Status::OK();
+    }
+    case CodecScheme::kPcSparse:
+    case CodecScheme::kPcDense: {
+      bool dense = scheme == CodecScheme::kPcDense;
+      size_t L = static_cast<size_t>(M);
+      if (dense) {
+        L = static_cast<size_t>(reader->Read(pos_bits)) + 1;
+        for (size_t i = 0; i < std::min(L, out->size()); ++i) {
+          out->Set(i, true);
+        }
+      }
+      const int n = pos_bits;
+      const int p = PcPrefixLen(n);
+      const int suffix_bits = n - p;
+      while (reader->pos() < region_end) {
+        uint64_t prefix = reader->Read(p);
+        size_t count = static_cast<size_t>(reader->Read(suffix_bits)) + 1;
+        for (size_t i = 0; i < count; ++i) {
+          uint64_t suffix = reader->Read(suffix_bits);
+          size_t position = ((prefix << suffix_bits) | suffix) % M;
+          out->Set(position, !dense);
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown coding scheme");
+}
+
+}  // namespace rankcube

@@ -1,0 +1,69 @@
+#include "bitmap/tidlist.h"
+
+namespace rankcube {
+
+namespace {
+
+void PutVarint(uint32_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+int VarintSize(uint32_t v) {
+  int n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeTidList(const std::vector<Tid>& tids) {
+  std::vector<uint8_t> out;
+  Tid prev = 0;
+  for (size_t i = 0; i < tids.size(); ++i) {
+    uint32_t delta = i == 0 ? tids[0] : tids[i] - prev;
+    PutVarint(delta, &out);
+    prev = tids[i];
+  }
+  return out;
+}
+
+std::vector<Tid> DecodeTidList(const std::vector<uint8_t>& bytes) {
+  std::vector<Tid> out;
+  Tid prev = 0;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < bytes.size()) {
+    uint32_t v = 0;
+    int shift = 0;
+    while (pos < bytes.size()) {
+      uint8_t b = bytes[pos++];
+      v |= static_cast<uint32_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+    }
+    Tid tid = first ? v : prev + v;
+    out.push_back(tid);
+    prev = tid;
+    first = false;
+  }
+  return out;
+}
+
+size_t TidListEncodedSize(const std::vector<Tid>& tids) {
+  size_t bytes = 0;
+  Tid prev = 0;
+  for (size_t i = 0; i < tids.size(); ++i) {
+    bytes += VarintSize(i == 0 ? tids[0] : tids[i] - prev);
+    prev = tids[i];
+  }
+  return bytes;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,26 @@
+// ID-list compression (§3.6.3): tid lists in cuboid cells are stored in
+// ascending order, so delta + varint coding bounds most gaps well below 32
+// bits. Used to report the compressed footprint of Ch3 cuboids (and usable
+// as a storage codec by any tid-list owner).
+#ifndef RANKCUBE_BITMAP_TIDLIST_H_
+#define RANKCUBE_BITMAP_TIDLIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// Encodes an ascending tid list as delta-varints.
+std::vector<uint8_t> EncodeTidList(const std::vector<Tid>& tids);
+
+/// Inverse of EncodeTidList.
+std::vector<Tid> DecodeTidList(const std::vector<uint8_t>& bytes);
+
+/// Encoded size without materializing the buffer.
+size_t TidListEncodedSize(const std::vector<Tid>& tids);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_BITMAP_TIDLIST_H_

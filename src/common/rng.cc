@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace rankcube {
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n == 0) return 0;
+  if (zipf_n_ != n || zipf_theta_ != theta) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      zipf_cdf_[i] = sum;
+    }
+    for (uint64_t i = 0; i < n; ++i) zipf_cdf_[i] /= sum;
+  }
+  double u = Uniform01();
+  // Binary search the CDF.
+  uint64_t lo = 0, hi = n - 1;
+  while (lo < hi) {
+    uint64_t mid = (lo + hi) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace rankcube

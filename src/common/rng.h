@@ -1,0 +1,52 @@
+// Deterministic random number generation for data/query synthesis.
+#ifndef RANKCUBE_COMMON_RNG_H_
+#define RANKCUBE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rankcube {
+
+/// Seeded pseudo-random generator used by every synthetic workload so that
+/// experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform01() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform01(); }
+
+  /// Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Standard normal.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Zipf-distributed integer in [0, n) with skew parameter `theta` in (0, 1].
+  /// theta -> 0 approaches uniform; larger values are more skewed.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+
+  // Cached harmonic normalization for Zipf (recomputed when (n, theta)
+  // changes).
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_COMMON_RNG_H_

@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace rankcube {
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* name = "unknown";
+  switch (code_) {
+    case Code::kOk:
+      name = "OK";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kOutOfRange:
+      name = "OutOfRange";
+      break;
+  }
+  return std::string(name) + ": " + message_;
+}
+
+}  // namespace rankcube

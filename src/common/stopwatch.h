@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by benchmark harnesses and query statistics.
+#ifndef RANKCUBE_COMMON_STOPWATCH_H_
+#define RANKCUBE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rankcube {
+
+/// Monotonic stopwatch; `ElapsedMs()` may be sampled repeatedly.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_COMMON_STOPWATCH_H_

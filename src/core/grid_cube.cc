@@ -1,0 +1,268 @@
+#include "core/grid_cube.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "bitmap/tidlist.h"
+#include "common/stopwatch.h"
+#include "cube/fragments.h"
+
+namespace rankcube {
+
+uint32_t GridCuboid::PidOfBid(const EquiDepthGrid& grid, Bid bid) const {
+  std::vector<int> coords = grid.CoordsOfBid(bid);
+  uint32_t pid = 0;
+  for (int c : coords) {
+    pid = pid * static_cast<uint32_t>(pseudo_bins) +
+          static_cast<uint32_t>(c / scale_factor);
+  }
+  return pid;
+}
+
+size_t GridCuboid::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, list] : cells) {
+    bytes += 16 + 4 * key.values.size() + list.size() * 8;  // bid+tid pairs
+  }
+  return bytes;
+}
+
+size_t GridCuboid::CompressedSizeBytes() const {
+  size_t bytes = 0;
+  std::vector<Tid> run;
+  for (const auto& [key, list] : cells) {
+    bytes += 16 + 4 * key.values.size();
+    size_t i = 0;
+    while (i < list.size()) {
+      Bid bid = list[i].first;
+      run.clear();
+      for (; i < list.size() && list[i].first == bid; ++i) {
+        run.push_back(list[i].second);
+      }
+      bytes += 4 + TidListEncodedSize(run);  // bid marker + coded run
+    }
+  }
+  return bytes;
+}
+
+GridCuboid BuildGridCuboid(const Table& table, const EquiDepthGrid& grid,
+                           const BaseBlockTable& base_blocks,
+                           std::vector<int> dims) {
+  GridCuboid cuboid;
+  cuboid.dims = std::move(dims);
+  std::sort(cuboid.dims.begin(), cuboid.dims.end());
+
+  // sf = floor((prod c_j)^(1/R)): merging sf bins per ranking dimension
+  // multiplies the expected tuples per cell by prod(c_j), restoring one
+  // page per cell (§3.2.3).
+  double prod = 1.0;
+  for (int d : cuboid.dims) {
+    prod *= static_cast<double>(table.schema().sel_cardinality[d]);
+  }
+  int sf = static_cast<int>(std::floor(
+      std::pow(prod, 1.0 / std::max(1, grid.num_dims()))));
+  cuboid.scale_factor = std::max(1, std::min(sf, grid.bins_per_dim()));
+  cuboid.pseudo_bins =
+      (grid.bins_per_dim() + cuboid.scale_factor - 1) / cuboid.scale_factor;
+
+  CellKey key;
+  key.values.resize(cuboid.dims.size());
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    Bid bid = base_blocks.BidOfTuple(t);
+    for (size_t i = 0; i < cuboid.dims.size(); ++i) {
+      key.values[i] = table.sel(t, cuboid.dims[i]);
+    }
+    key.pid = cuboid.PidOfBid(grid, bid);
+    cuboid.cells[key].emplace_back(bid, t);
+  }
+  for (auto& [k, list] : cuboid.cells) {
+    (void)k;
+    std::sort(list.begin(), list.end());
+  }
+  return cuboid;
+}
+
+CuboidTidSource::CuboidTidSource(const GridCuboid* cuboid,
+                                 const EquiDepthGrid* grid,
+                                 std::vector<int32_t> cell_values)
+    : cuboid_(cuboid), grid_(grid), cell_values_(std::move(cell_values)) {}
+
+void CuboidTidSource::GetTids(Bid bid, Pager* pager, ExecStats* stats,
+                              std::vector<Tid>* out) {
+  out->clear();
+  uint32_t pid = cuboid_->PidOfBid(*grid_, bid);
+  auto it = buffered_.find(pid);
+  if (it == buffered_.end()) {
+    // get_pseudo_block: one (or more) cuboid page reads, then buffered so a
+    // bid mapping to a previously retrieved pid costs nothing (§3.3.2).
+    CellKey key{cell_values_, pid};
+    auto cell = cuboid_->cells.find(key);
+    const std::vector<std::pair<Bid, Tid>>* list =
+        cell == cuboid_->cells.end() ? nullptr : &cell->second;
+    uint64_t bytes = list ? list->size() * 8 + 16 : 16;
+    uint64_t pages =
+        std::max<uint64_t>(1, (bytes + pager->page_size() - 1) /
+                                  pager->page_size());
+    pager->Access(IoCategory::kCuboid,
+                  (static_cast<uint64_t>(CellKeyHash{}(key)) << 8), pages);
+    it = buffered_.emplace(pid, list).first;
+  }
+  const auto* list = it->second;
+  if (list == nullptr) return;
+  auto lo = std::lower_bound(
+      list->begin(), list->end(), std::make_pair(bid, Tid{0}));
+  for (auto e = lo; e != list->end() && e->first == bid; ++e) {
+    out->push_back(e->second);
+  }
+  (void)stats;
+}
+
+void IntersectTidSource::GetTids(Bid bid, Pager* pager, ExecStats* stats,
+                                 std::vector<Tid>* out) {
+  out->clear();
+  std::vector<Tid> current, next, tmp;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    sources_[i]->GetTids(bid, pager, stats, &tmp);
+    std::sort(tmp.begin(), tmp.end());
+    if (i == 0) {
+      current = tmp;
+    } else {
+      next.clear();
+      std::set_intersection(current.begin(), current.end(), tmp.begin(),
+                            tmp.end(), std::back_inserter(next));
+      current.swap(next);
+    }
+    if (current.empty()) break;
+  }
+  *out = std::move(current);
+}
+
+void AllTidSource::GetTids(Bid bid, Pager* pager, ExecStats* stats,
+                           std::vector<Tid>* out) {
+  (void)pager;
+  (void)stats;
+  // No cuboid involved: the block table itself is consulted during the
+  // evaluate step; here we only enumerate membership.
+  *out = blocks_->GetBaseBlockNoCharge(bid);
+}
+
+std::vector<ScoredTuple> GridNeighborhoodTopK(
+    const Table& table, const EquiDepthGrid& grid,
+    const BaseBlockTable& base_blocks, const TopKQuery& query,
+    BlockTidSource* source, Pager* pager, ExecStats* stats) {
+  Stopwatch watch;
+  uint64_t pages_before = pager->TotalPhysical();
+  const RankingFunction& f = *query.function;
+  TopKHeap topk(query.k);
+
+  // Search state: candidate blocks ordered by f(bid) (H list of §3.3.2).
+  using Cand = std::pair<double, Bid>;
+  std::priority_queue<Cand, std::vector<Cand>, std::greater<>> h;
+  std::unordered_set<Bid> inserted;
+
+  std::vector<double> start = f.Minimizer(Box::Unit(grid.num_dims()));
+  Bid first = grid.BidOfPoint(start.data());
+  h.push({f.LowerBound(grid.BoxOfBid(first)), first});
+  inserted.insert(first);
+
+  std::vector<Tid> tids;
+  std::vector<double> point(table.num_rank_dims());
+  while (!h.empty()) {
+    auto [lb, bid] = h.top();
+    h.pop();
+    // Stop condition: S_k <= S_unseen (lb of the best remaining block).
+    if (topk.Full() && topk.KthScore() <= lb) break;
+
+    // Retrieve + evaluate.
+    source->GetTids(bid, pager, stats, &tids);
+    if (!tids.empty()) {
+      base_blocks.GetBaseBlock(bid, pager);  // fetch ranking values
+      for (Tid t : tids) {
+        for (int d = 0; d < table.num_rank_dims(); ++d) {
+          point[d] = table.rank(t, d);
+        }
+        topk.Offer(t, f.Evaluate(point.data()));
+        ++stats->tuples_evaluated;
+      }
+    }
+    // Expand neighborhood (Lemma 1).
+    for (Bid nb : grid.Neighbors(bid)) {
+      if (inserted.insert(nb).second) {
+        h.push({f.LowerBound(grid.BoxOfBid(nb)), nb});
+      }
+    }
+    stats->MergeMax(h.size());
+  }
+
+  stats->time_ms += watch.ElapsedMs();
+  stats->pages_read += pager->TotalPhysical() - pages_before;
+  return topk.Sorted();
+}
+
+GridRankingCube::GridRankingCube(const Table& table, const Pager& pager,
+                                 GridCubeOptions options)
+    : table_(table),
+      grid_(table, {.block_size = options.block_size, .min_bins = 1}),
+      base_blocks_(table, grid_) {
+  (void)pager;
+  Stopwatch watch;
+  std::vector<std::vector<int>> sets = options.cuboid_dim_sets;
+  if (sets.empty()) {
+    std::vector<int> all(table.num_sel_dims());
+    for (int d = 0; d < table.num_sel_dims(); ++d) all[d] = d;
+    sets = AllSubsets(all);
+  }
+  cuboids_.reserve(sets.size());
+  for (auto& dims : sets) {
+    cuboids_.push_back(BuildGridCuboid(table, grid_, base_blocks_, dims));
+  }
+  construction_ms_ = watch.ElapsedMs();
+}
+
+const GridCuboid* GridRankingCube::FindCuboid(
+    const std::vector<int>& dims) const {
+  std::vector<int> sorted = dims;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& c : cuboids_) {
+    if (c.dims == sorted) return &c;
+  }
+  return nullptr;
+}
+
+Result<std::vector<ScoredTuple>> GridRankingCube::TopK(const TopKQuery& query,
+                                                       Pager* pager,
+                                                       ExecStats* stats) const {
+  if (!query.function) {
+    return Status::InvalidArgument("query has no ranking function");
+  }
+  std::vector<int> qdims;
+  for (const auto& p : query.predicates) qdims.push_back(p.dim);
+  std::sort(qdims.begin(), qdims.end());
+
+  if (qdims.empty()) {
+    AllTidSource source(&base_blocks_);
+    return GridNeighborhoodTopK(table_, grid_, base_blocks_, query, &source,
+                                pager, stats);
+  }
+  const GridCuboid* cuboid = FindCuboid(qdims);
+  if (cuboid == nullptr) {
+    return Status::NotFound(
+        "no materialized cuboid matches the query dimensions; use "
+        "RankingFragments for partially materialized cubes");
+  }
+  std::vector<int32_t> values;
+  ProjectPredicates(query.predicates, cuboid->dims, &values);
+  CuboidTidSource source(cuboid, &grid_, std::move(values));
+  return GridNeighborhoodTopK(table_, grid_, base_blocks_, query, &source,
+                              pager, stats);
+}
+
+size_t GridRankingCube::SizeBytes() const {
+  size_t bytes = base_blocks_.SizeBytes();
+  for (const auto& c : cuboids_) bytes += c.SizeBytes();
+  return bytes;
+}
+
+}  // namespace rankcube

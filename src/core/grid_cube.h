@@ -1,0 +1,143 @@
+// Ranking cube with grid partition and neighborhood search (Ch3).
+//
+// Materialization: selection dimensions are cubed; the measure of a cell is
+// the tid list of tuples in that cell, organized by base block id and packed
+// into pseudo blocks so each cell-block fills a disk page (§3.2.3). Query
+// processing is the four-step pre-process / search / retrieve / evaluate
+// algorithm of §3.3 with Lemma 1's neighborhood expansion (convex f).
+#ifndef RANKCUBE_CORE_GRID_CUBE_H_
+#define RANKCUBE_CORE_GRID_CUBE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/grid_partition.h"
+#include "core/topk_query.h"
+#include "cube/cell.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// One materialized cuboid A'_1..A'_s _N_1..N_R: cells keyed by selection
+/// values + pseudo-block id, holding (bid, tid) pairs sorted by bid.
+struct GridCuboid {
+  std::vector<int> dims;  ///< selection dims, ascending
+  int scale_factor = 1;   ///< sf = floor((prod c_j)^(1/R)) (§3.2.3)
+  int pseudo_bins = 1;    ///< bins per dim after merging sf bins
+  std::unordered_map<CellKey, std::vector<std::pair<Bid, Tid>>, CellKeyHash>
+      cells;
+
+  /// Pseudo-block id covering base block `bid`.
+  uint32_t PidOfBid(const EquiDepthGrid& grid, Bid bid) const;
+
+  size_t SizeBytes() const;
+
+  /// Footprint under §3.6.3 ID-list compression (delta-varint coded tid
+  /// runs per base block).
+  size_t CompressedSizeBytes() const;
+};
+
+/// Builds one cuboid over `dims` (§3.2.3 pseudo blocking).
+GridCuboid BuildGridCuboid(const Table& table, const EquiDepthGrid& grid,
+                           const BaseBlockTable& base_blocks,
+                           std::vector<int> dims);
+
+/// Source of "which tuples of base block b satisfy the selection" — the
+/// retrieve step. Implementations wrap one cuboid (full cube) or an
+/// intersection of cuboids (ranking fragments, §3.4.2), buffering retrieved
+/// pseudo blocks (§3.3.2).
+class BlockTidSource {
+ public:
+  virtual ~BlockTidSource() = default;
+  virtual void GetTids(Bid bid, Pager* pager, ExecStats* stats,
+                       std::vector<Tid>* out) = 0;
+};
+
+/// Retrieve step against a single materialized cuboid cell.
+class CuboidTidSource : public BlockTidSource {
+ public:
+  CuboidTidSource(const GridCuboid* cuboid, const EquiDepthGrid* grid,
+                  std::vector<int32_t> cell_values);
+  void GetTids(Bid bid, Pager* pager, ExecStats* stats,
+               std::vector<Tid>* out) override;
+
+ private:
+  const GridCuboid* cuboid_;
+  const EquiDepthGrid* grid_;
+  std::vector<int32_t> cell_values_;
+  // pid -> pointer to the cell's (bid, tid) list (nullptr = empty cell).
+  std::unordered_map<uint32_t, const std::vector<std::pair<Bid, Tid>>*>
+      buffered_;
+};
+
+/// Intersects several cuboid sources (online cuboid-cell assembly, §3.4.2).
+class IntersectTidSource : public BlockTidSource {
+ public:
+  explicit IntersectTidSource(std::vector<std::unique_ptr<CuboidTidSource>>
+                                  sources)
+      : sources_(std::move(sources)) {}
+  void GetTids(Bid bid, Pager* pager, ExecStats* stats,
+               std::vector<Tid>* out) override;
+
+ private:
+  std::vector<std::unique_ptr<CuboidTidSource>> sources_;
+};
+
+/// Unfiltered source for queries with no predicates.
+class AllTidSource : public BlockTidSource {
+ public:
+  explicit AllTidSource(const BaseBlockTable* blocks) : blocks_(blocks) {}
+  void GetTids(Bid bid, Pager* pager, ExecStats* stats,
+               std::vector<Tid>* out) override;
+
+ private:
+  const BaseBlockTable* blocks_;
+};
+
+/// The §3.3 query algorithm: progressive neighborhood search over base
+/// blocks, retrieving tids through `source` and evaluating scores against
+/// `table` (charging get_base_block reads).
+std::vector<ScoredTuple> GridNeighborhoodTopK(
+    const Table& table, const EquiDepthGrid& grid,
+    const BaseBlockTable& base_blocks, const TopKQuery& query,
+    BlockTidSource* source, Pager* pager, ExecStats* stats);
+
+/// Full ranking cube: all 2^S - 1 cuboids over the selection dimensions
+/// (or a caller-selected subset).
+struct GridCubeOptions {
+  int block_size = 300;  ///< B (default per §3.5.1)
+  /// Cuboids to materialize; empty = every non-empty subset of the
+  /// selection dimensions.
+  std::vector<std::vector<int>> cuboid_dim_sets;
+};
+
+class GridRankingCube {
+ public:
+  GridRankingCube(const Table& table, const Pager& pager,
+                  GridCubeOptions options = GridCubeOptions());
+
+  /// Answers `query`; requires a materialized cuboid matching the query's
+  /// predicate dimensions (the full cube always has one).
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, Pager* pager,
+                                        ExecStats* stats) const;
+
+  const EquiDepthGrid& grid() const { return grid_; }
+  const BaseBlockTable& base_blocks() const { return base_blocks_; }
+  const GridCuboid* FindCuboid(const std::vector<int>& dims) const;
+
+  double construction_ms() const { return construction_ms_; }
+  size_t SizeBytes() const;
+
+ private:
+  const Table& table_;
+  EquiDepthGrid grid_;
+  BaseBlockTable base_blocks_;
+  std::vector<GridCuboid> cuboids_;
+  double construction_ms_ = 0.0;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_CORE_GRID_CUBE_H_

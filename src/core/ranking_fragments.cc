@@ -1,0 +1,83 @@
+#include "core/ranking_fragments.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "cube/fragments.h"
+
+namespace rankcube {
+
+RankingFragments::RankingFragments(const Table& table, const Pager& pager,
+                                   FragmentsOptions options)
+    : table_(table),
+      grid_(table, {.block_size = options.block_size, .min_bins = 1}),
+      base_blocks_(table, grid_) {
+  (void)pager;
+  Stopwatch watch;
+  groups_ = options.groups.empty()
+                ? GroupDimensions(table.num_sel_dims(), options.fragment_size)
+                : options.groups;
+  for (const auto& group : groups_) {
+    for (auto& dims : AllSubsets(group)) {
+      cuboid_dims_.push_back(dims);
+      cuboids_.push_back(
+          BuildGridCuboid(table, grid_, base_blocks_, std::move(dims)));
+    }
+  }
+  construction_ms_ = watch.ElapsedMs();
+}
+
+std::vector<int> RankingFragments::Covering(
+    const std::vector<int>& query_dims) const {
+  return SelectCoveringCuboids(cuboid_dims_, query_dims);
+}
+
+int RankingFragments::CoveringCuboidCount(const TopKQuery& query) const {
+  std::vector<int> qdims;
+  for (const auto& p : query.predicates) qdims.push_back(p.dim);
+  std::sort(qdims.begin(), qdims.end());
+  if (qdims.empty()) return 0;
+  return static_cast<int>(Covering(qdims).size());
+}
+
+Result<std::vector<ScoredTuple>> RankingFragments::TopK(
+    const TopKQuery& query, Pager* pager, ExecStats* stats) const {
+  if (!query.function) {
+    return Status::InvalidArgument("query has no ranking function");
+  }
+  std::vector<int> qdims;
+  for (const auto& p : query.predicates) qdims.push_back(p.dim);
+  std::sort(qdims.begin(), qdims.end());
+
+  if (qdims.empty()) {
+    AllTidSource source(&base_blocks_);
+    return GridNeighborhoodTopK(table_, grid_, base_blocks_, query, &source,
+                                pager, stats);
+  }
+  std::vector<int> cover = Covering(qdims);
+  if (cover.empty()) {
+    return Status::NotFound("query dimensions not covered by any fragment");
+  }
+  std::vector<std::unique_ptr<CuboidTidSource>> sources;
+  for (int ci : cover) {
+    std::vector<int32_t> values;
+    ProjectPredicates(query.predicates, cuboids_[ci].dims, &values);
+    sources.push_back(std::make_unique<CuboidTidSource>(&cuboids_[ci], &grid_,
+                                                        std::move(values)));
+  }
+  if (sources.size() == 1) {
+    return GridNeighborhoodTopK(table_, grid_, base_blocks_, query,
+                                sources.front().get(), pager, stats);
+  }
+  IntersectTidSource source(std::move(sources));
+  return GridNeighborhoodTopK(table_, grid_, base_blocks_, query, &source,
+                              pager, stats);
+}
+
+size_t RankingFragments::SizeBytes() const {
+  size_t bytes = base_blocks_.SizeBytes();
+  for (const auto& c : cuboids_) bytes += c.SizeBytes();
+  return bytes;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,55 @@
+// Ranking fragments (§3.4): semi-materialization for high boolean
+// dimensionality. Selection dimensions are partitioned into fragments of
+// size F; each fragment's cuboids are fully materialized over the *shared*
+// equi-depth partition, so any query can be answered online by intersecting
+// tid lists from a covering set of cuboids. Space grows linearly with the
+// number of selection dimensions (Lemma 2).
+#ifndef RANKCUBE_CORE_RANKING_FRAGMENTS_H_
+#define RANKCUBE_CORE_RANKING_FRAGMENTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/grid_cube.h"
+
+namespace rankcube {
+
+struct FragmentsOptions {
+  int block_size = 300;   ///< B
+  int fragment_size = 2;  ///< F (default per §3.5.1)
+  /// Explicit grouping override (empty = even grouping in dim order).
+  std::vector<std::vector<int>> groups;
+};
+
+class RankingFragments {
+ public:
+  RankingFragments(const Table& table, const Pager& pager,
+                   FragmentsOptions options = FragmentsOptions());
+
+  /// Answers `query`: covered by one cuboid when possible, otherwise by the
+  /// minimum covering set with online tid-list intersection (§3.4.2).
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, Pager* pager,
+                                        ExecStats* stats) const;
+
+  /// Number of cuboids a given query needs (1 = directly covered).
+  int CoveringCuboidCount(const TopKQuery& query) const;
+
+  const std::vector<std::vector<int>>& groups() const { return groups_; }
+  double construction_ms() const { return construction_ms_; }
+  size_t SizeBytes() const;
+
+ private:
+  std::vector<int> Covering(const std::vector<int>& query_dims) const;
+
+  const Table& table_;
+  EquiDepthGrid grid_;
+  BaseBlockTable base_blocks_;
+  std::vector<std::vector<int>> groups_;
+  std::vector<GridCuboid> cuboids_;          ///< all fragments' cuboids
+  std::vector<std::vector<int>> cuboid_dims_;
+  double construction_ms_ = 0.0;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_CORE_RANKING_FRAGMENTS_H_

@@ -1,0 +1,87 @@
+#include "core/rtree_search.h"
+
+#include <queue>
+
+#include "common/stopwatch.h"
+
+namespace rankcube {
+
+namespace {
+
+/// Heap entry: an R-tree node or a fully-scored data object.
+struct HeapEntry {
+  double score;  ///< lower bound (node) or exact score (tuple)
+  bool is_tuple;
+  uint32_t node_id;  ///< node entries
+  Tid tid;           ///< tuple entries
+  std::vector<int> path;
+
+  bool operator>(const HeapEntry& o) const { return score > o.score; }
+};
+
+}  // namespace
+
+std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const RTree& rtree,
+                                                 const TopKQuery& query,
+                                                 BooleanPruner* pruner,
+                                                 Pager* pager,
+                                                 ExecStats* stats) {
+  Stopwatch watch;
+  uint64_t pages_before = pager->TotalPhysical();
+  const RankingFunction& f = *query.function;
+  TopKHeap topk(query.k);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  heap.push({f.LowerBound(rtree.node(rtree.root()).mbr), false, rtree.root(),
+             0,
+             {}});
+
+  while (!heap.empty()) {
+    HeapEntry e = heap.top();
+    // Stop: f(topk.root) <= f(c_heap.root) (§4.3.2).
+    if (topk.Full() && topk.KthScore() <= e.score) break;
+    heap.pop();
+
+    if (e.is_tuple) {
+      if (pruner->Qualifies(e.tid, e.path, pager, stats)) {
+        topk.Offer(e.tid, e.score);
+      }
+      continue;
+    }
+    // Boolean pruning on the node before expansion (line 5 of Algorithm 3).
+    if (!pruner->MayContain(e.path, pager, stats)) continue;
+
+    const RTreeNode& node = rtree.node(e.node_id);
+    rtree.ChargeNodeAccess(pager, e.node_id);
+    if (node.is_leaf) {
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        const auto& entry = node.entries[i];
+        HeapEntry t;
+        t.score = f.Evaluate(entry.point.data());
+        ++stats->tuples_evaluated;
+        t.is_tuple = true;
+        t.tid = entry.tid;
+        t.path = e.path;
+        t.path.push_back(static_cast<int>(i) + 1);
+        heap.push(std::move(t));
+      }
+    } else {
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        HeapEntry c;
+        c.score = f.LowerBound(rtree.node(node.children[i]).mbr);
+        c.is_tuple = false;
+        c.node_id = node.children[i];
+        c.path = e.path;
+        c.path.push_back(static_cast<int>(i) + 1);
+        heap.push(std::move(c));
+      }
+    }
+    stats->MergeMax(heap.size());
+  }
+
+  stats->time_ms += watch.ElapsedMs();
+  stats->pages_read += pager->TotalPhysical() - pages_before;
+  return topk.Sorted();
+}
+
+}  // namespace rankcube

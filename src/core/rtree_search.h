@@ -1,0 +1,55 @@
+// Branch-and-bound top-k search over an R-tree (Algorithm 3, §4.3): a
+// candidate heap ordered by the ranking function's lower bound over node
+// MBRs, with a pluggable boolean pruner. Used by:
+//  * the signature ranking cube (pruner = signature tests),
+//  * the ranking-first baseline (node pruner = accept-all; tuples verified
+//    against the base table with random accesses),
+//  * Ch6's rank-aware selection (progressive variant in join/).
+#ifndef RANKCUBE_CORE_RTREE_SEARCH_H_
+#define RANKCUBE_CORE_RTREE_SEARCH_H_
+
+#include <vector>
+
+#include "core/topk_query.h"
+#include "index/rtree.h"
+
+namespace rankcube {
+
+/// Boolean-pruning hook for Algorithm 3. Paths are 1-based entry positions;
+/// tuple paths include the leaf entry position.
+class BooleanPruner {
+ public:
+  virtual ~BooleanPruner() = default;
+
+  /// May the subtree rooted at `path` contain a qualifying tuple?
+  /// (false => prune; must never produce false negatives).
+  virtual bool MayContain(const std::vector<int>& node_path, Pager* pager,
+                          ExecStats* stats) = 0;
+
+  /// Does the tuple at `tuple_path` qualify? Exact.
+  virtual bool Qualifies(Tid tid, const std::vector<int>& tuple_path,
+                         Pager* pager, ExecStats* stats) = 0;
+};
+
+/// Accept-all pruner (no boolean predicates).
+class NullPruner : public BooleanPruner {
+ public:
+  bool MayContain(const std::vector<int>&, Pager*, ExecStats*) override {
+    return true;
+  }
+  bool Qualifies(Tid, const std::vector<int>&, Pager*, ExecStats*) override {
+    return true;
+  }
+};
+
+/// Algorithm 3: progressive best-first search; halts when the k-th result
+/// score is no worse than the best possible unseen score.
+std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const RTree& rtree,
+                                                 const TopKQuery& query,
+                                                 BooleanPruner* pruner,
+                                                 Pager* pager,
+                                                 ExecStats* stats);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_CORE_RTREE_SEARCH_H_

@@ -1,0 +1,378 @@
+#include "core/signature_cube.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace rankcube {
+
+SignatureCube::SignatureCube(const Table& table, const Pager& pager,
+                             SignatureCubeOptions options)
+    : table_(table), page_size_(pager.page_size()), alpha_(options.alpha) {
+  Stopwatch total;
+
+  // 1. Partition by R-tree over the ranking dimensions (Algorithm 1 line 1).
+  Stopwatch rtree_watch;
+  RTreeOptions ropt;
+  ropt.max_entries = options.rtree_max_entries;
+  rtree_ = std::make_unique<RTree>(table.num_rank_dims(), pager, ropt);
+  if (options.bulk_load) {
+    rtree_->BulkLoadSTR(table);
+  } else {
+    std::vector<double> point(table.num_rank_dims());
+    for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      for (int d = 0; d < table.num_rank_dims(); ++d) {
+        point[d] = table.rank(t, d);
+      }
+      rtree_->Insert(t, point, /*track_updates=*/false);
+    }
+  }
+  rtree_build_ms_ = rtree_watch.ElapsedMs();
+
+  // 2. Paths for all tuples (Algorithm 1 line 2).
+  Stopwatch cube_watch;
+  std::vector<std::vector<int>> paths = rtree_->AllTuplePaths();
+
+  // 3. Per-cuboid, per-cell signature generation (lines 3-8). The default
+  //    set is the atomic cuboids: one per boolean dimension (§4.3.3).
+  std::vector<std::vector<int>> sets = options.cuboid_dim_sets;
+  if (sets.empty()) {
+    for (int d = 0; d < table.num_sel_dims(); ++d) sets.push_back({d});
+  }
+  const int M = rtree_->max_entries();
+  for (auto& dims : sets) {
+    SignatureCuboid cuboid;
+    cuboid.dims = dims;
+    std::sort(cuboid.dims.begin(), cuboid.dims.end());
+    CellKey key;
+    key.values.resize(cuboid.dims.size());
+    for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      for (size_t i = 0; i < cuboid.dims.size(); ++i) {
+        key.values[i] = table.sel(t, cuboid.dims[i]);
+      }
+      auto [it, inserted] = cuboid.sigs.try_emplace(key, Signature(M));
+      (void)inserted;
+      it->second.SetPath(paths[t]);
+    }
+    for (const auto& [cell, sig] : cuboid.sigs) {
+      cuboid.stored[cell] = StoredSignature::Compress(sig, page_size_, alpha_);
+      if (options.lossy_bloom) {
+        // §4.5: bloom over the SIDs whose bits are set. A set bit b of node
+        // `sid` corresponds to the child SID sid*(M+1)+b+1.
+        std::vector<Sid> present;
+        for (const auto& [sid, bits] : sig.nodes()) {
+          for (size_t b = 0; b < bits.size(); ++b) {
+            if (bits.Get(b)) {
+              present.push_back(sid * static_cast<Sid>(M + 1) +
+                                static_cast<Sid>(b + 1));
+            }
+          }
+        }
+        size_t bits = std::max<size_t>(
+            64, static_cast<size_t>(options.bloom_bits_per_entry *
+                                    present.size()));
+        BloomFilter bloom(bits,
+                          BloomFilter::OptimalHashes(bits, present.size()));
+        for (Sid s : present) bloom.Insert(s);
+        cuboid.blooms.emplace(cell, std::move(bloom));
+      }
+    }
+    cuboids_.push_back(std::move(cuboid));
+  }
+  construction_ms_ = cube_watch.ElapsedMs();
+  (void)total;
+}
+
+const SignatureCuboid* SignatureCube::FindCuboid(
+    const std::vector<int>& dims) const {
+  std::vector<int> sorted = dims;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& c : cuboids_) {
+    if (c.dims == sorted) return &c;
+  }
+  return nullptr;
+}
+
+const Signature* SignatureCube::CellSignature(const std::vector<int>& dims,
+                                              const CellKey& key) const {
+  const SignatureCuboid* c = FindCuboid(dims);
+  if (c == nullptr) return nullptr;
+  auto it = c->sigs.find(key);
+  return it == c->sigs.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Pruner for a provably-empty cell: rejects everything.
+class EmptyCellPruner : public BooleanPruner {
+ public:
+  bool MayContain(const std::vector<int>&, Pager*, ExecStats*) override {
+    return false;
+  }
+  bool Qualifies(Tid, const std::vector<int>&, Pager*, ExecStats*) override {
+    return false;
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BooleanPruner>> SignatureCube::MakePruner(
+    const std::vector<Predicate>& predicates) const {
+  if (predicates.empty()) {
+    return std::unique_ptr<BooleanPruner>(nullptr);
+  }
+  std::vector<SignaturePruner::Source> sources;
+  std::vector<int> qdims;
+  for (const auto& p : predicates) qdims.push_back(p.dim);
+  std::sort(qdims.begin(), qdims.end());
+
+  // Prefer one exactly-matching materialized cuboid; otherwise assemble from
+  // the atomic cuboids online (§4.3.3).
+  const SignatureCuboid* exact = FindCuboid(qdims);
+  if (exact != nullptr) {
+    std::vector<int32_t> values;
+    ProjectPredicates(predicates, exact->dims, &values);
+    CellKey key{values, 0};
+    auto it = exact->sigs.find(key);
+    if (it == exact->sigs.end()) {
+      return std::unique_ptr<BooleanPruner>(new EmptyCellPruner());
+    }
+    sources.push_back({&it->second, &exact->stored.at(key)});
+  } else {
+    for (const auto& p : predicates) {
+      const SignatureCuboid* atomic = FindCuboid({p.dim});
+      if (atomic == nullptr) {
+        return Status::NotFound("no atomic cuboid for queried dimension");
+      }
+      CellKey key{{p.value}, 0};
+      auto it = atomic->sigs.find(key);
+      if (it == atomic->sigs.end()) {
+        return std::unique_ptr<BooleanPruner>(new EmptyCellPruner());
+      }
+      sources.push_back({&it->second, &atomic->stored.at(key)});
+    }
+  }
+  return std::unique_ptr<BooleanPruner>(
+      new SignaturePruner(std::move(sources)));
+}
+
+Result<std::vector<ScoredTuple>> SignatureCube::TopK(const TopKQuery& query,
+                                                     Pager* pager,
+                                                     ExecStats* stats) const {
+  if (!query.function) {
+    return Status::InvalidArgument("query has no ranking function");
+  }
+  auto pruner = MakePruner(query.predicates);
+  if (!pruner.ok()) return pruner.status();
+  if (pruner.value() == nullptr) {
+    NullPruner null_pruner;
+    return RTreeBranchAndBoundTopK(*rtree_, query, &null_pruner, pager,
+                                   stats);
+  }
+  return RTreeBranchAndBoundTopK(*rtree_, query, pruner.value().get(), pager,
+                                 stats);
+}
+
+void SignatureCube::RebuildStored(SignatureCuboid* cuboid,
+                                  const CellKey& key) {
+  auto it = cuboid->sigs.find(key);
+  if (it == cuboid->sigs.end() || it->second.empty()) {
+    cuboid->sigs.erase(key);
+    cuboid->stored.erase(key);
+    return;
+  }
+  cuboid->stored[key] =
+      StoredSignature::Compress(it->second, page_size_, alpha_);
+}
+
+void SignatureCube::InsertBatch(const std::vector<Tid>& tids, Pager* pager) {
+  // Algorithm 2. Batch variant: collect R-tree path updates for all inserted
+  // tuples first, then touch each affected cell signature once.
+  std::vector<PathUpdate> updates;
+  std::vector<double> point(table_.num_rank_dims());
+  for (Tid t : tids) {
+    for (int d = 0; d < table_.num_rank_dims(); ++d) {
+      point[d] = table_.rank(t, d);
+    }
+    auto u = rtree_->Insert(t, point, /*track_updates=*/true);
+    updates.insert(updates.end(), std::make_move_iterator(u.begin()),
+                   std::make_move_iterator(u.end()));
+  }
+
+  for (auto& cuboid : cuboids_) {
+    // Group updates by cell (lines 2-4 of Algorithm 2).
+    std::unordered_map<CellKey, std::vector<const PathUpdate*>, CellKeyHash>
+        by_cell;
+    CellKey key;
+    key.values.resize(cuboid.dims.size());
+    for (const auto& u : updates) {
+      for (size_t i = 0; i < cuboid.dims.size(); ++i) {
+        key.values[i] = table_.sel(u.tid, cuboid.dims[i]);
+      }
+      by_cell[key].push_back(&u);
+    }
+    for (auto& [cell, cell_updates] : by_cell) {
+      auto sig_it = cuboid.sigs.find(cell);
+      if (sig_it == cuboid.sigs.end()) {
+        sig_it =
+            cuboid.sigs.try_emplace(cell, Signature(rtree_->max_entries()))
+                .first;
+      }
+      // Charge read of the cell's partial signatures + write-back.
+      auto stored_it = cuboid.stored.find(cell);
+      uint64_t sig_pages = 1;
+      if (stored_it != cuboid.stored.end()) {
+        sig_pages = std::max<uint64_t>(
+            1, (stored_it->second.CompressedBytes() + page_size_ - 1) /
+                   page_size_);
+      }
+      pager->Access(IoCategory::kSignature, CellKeyHash{}(cell),
+                    2 * sig_pages);  // read + write back
+      for (const PathUpdate* u : cell_updates) {
+        if (!u->old_path.empty()) sig_it->second.ClearPath(u->old_path);
+        if (!u->new_path.empty()) sig_it->second.SetPath(u->new_path);
+      }
+      RebuildStored(&cuboid, cell);
+    }
+  }
+}
+
+namespace {
+
+/// §4.5 pruner: bloom tests on node paths (one-sided), exact verification
+/// of candidate tuples against the base table.
+class LossyBloomPruner : public BooleanPruner {
+ public:
+  LossyBloomPruner(const Table& table, std::vector<Predicate> preds,
+                   std::vector<const BloomFilter*> blooms, int M)
+      : table_(table), preds_(std::move(preds)), blooms_(std::move(blooms)),
+        m_(M) {}
+
+  bool MayContain(const std::vector<int>& path, Pager*, ExecStats*) override {
+    if (path.empty()) return true;
+    Sid sid = SidOfPath(path, path.size(), m_);
+    for (const auto* bloom : blooms_) {
+      if (!bloom->MayContain(sid)) return false;
+    }
+    return true;
+  }
+
+  bool Qualifies(Tid tid, const std::vector<int>& path, Pager* pager,
+                 ExecStats* stats) override {
+    if (!MayContain(path, pager, stats)) return false;
+    // Bloom false positives make tuple-level bits unreliable; verify.
+    table_.ChargeRowFetch(pager, tid);
+    for (const auto& p : preds_) {
+      if (table_.sel(tid, p.dim) != p.value) return false;
+    }
+    return true;
+  }
+
+ private:
+  const Table& table_;
+  std::vector<Predicate> preds_;
+  std::vector<const BloomFilter*> blooms_;
+  int m_;
+};
+
+}  // namespace
+
+Result<std::vector<ScoredTuple>> SignatureCube::TopKLossy(
+    const TopKQuery& query, Pager* pager, ExecStats* stats) const {
+  if (!query.function) {
+    return Status::InvalidArgument("query has no ranking function");
+  }
+  std::vector<const BloomFilter*> blooms;
+  for (const auto& p : query.predicates) {
+    const SignatureCuboid* atomic = FindCuboid({p.dim});
+    if (atomic == nullptr) {
+      return Status::NotFound("no atomic cuboid for queried dimension");
+    }
+    auto it = atomic->blooms.find(CellKey{{p.value}, 0});
+    if (it == atomic->blooms.end()) {
+      return std::vector<ScoredTuple>{};  // value absent: empty result
+    }
+    blooms.push_back(&it->second);
+  }
+  if (blooms.empty()) {
+    NullPruner pruner;
+    return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, pager, stats);
+  }
+  LossyBloomPruner pruner(table_, query.predicates, std::move(blooms),
+                          rtree_->max_entries());
+  return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, pager, stats);
+}
+
+size_t SignatureCube::LossyBloomBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : cuboids_) {
+    for (const auto& [cell, bloom] : c.blooms) {
+      (void)cell;
+      bytes += bloom.SizeBytes();
+    }
+  }
+  return bytes;
+}
+
+size_t SignatureCube::CompressedBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : cuboids_) {
+    for (const auto& [cell, stored] : c.stored) {
+      (void)cell;
+      bytes += stored.CompressedBytes();
+    }
+  }
+  return bytes;
+}
+
+size_t SignatureCube::BaselineBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : cuboids_) {
+    for (const auto& [cell, stored] : c.stored) {
+      (void)cell;
+      bytes += stored.BaselineBytes();
+    }
+  }
+  return bytes;
+}
+
+// ------------------------------------------------------ SignaturePruner --
+
+void SignaturePruner::EnsureLoaded(size_t src, const std::vector<int>& path,
+                                   size_t len, Pager* pager,
+                                   ExecStats* stats) {
+  const StoredSignature* stored = sources_[src].stored;
+  if (stored == nullptr) return;
+  Stopwatch watch;
+  const int M = sources_[src].sig->M();
+  for (size_t l = 0; l <= len; ++l) {
+    Sid sid = SidOfPath(path, l, M);
+    size_t partial = stored->PartialOf(sid);
+    if (partial == SIZE_MAX) continue;
+    auto key = std::make_pair(src, partial);
+    if (loaded_.insert(key).second) {
+      pager->Access(IoCategory::kSignature,
+                    (static_cast<uint64_t>(src) << 48) ^ partial);
+      ++stats->signature_pages;
+    }
+  }
+  stats->signature_ms += watch.ElapsedMs();
+}
+
+bool SignaturePruner::MayContain(const std::vector<int>& node_path,
+                                 Pager* pager, ExecStats* stats) {
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    EnsureLoaded(s, node_path, node_path.size(), pager, stats);
+    if (!sources_[s].sig->TestPath(node_path)) return false;
+  }
+  return true;
+}
+
+bool SignaturePruner::Qualifies(Tid tid, const std::vector<int>& tuple_path,
+                                Pager* pager, ExecStats* stats) {
+  (void)tid;
+  // Leaf-entry bits are per-tuple, so the AND over sources is exact here.
+  return MayContain(tuple_path, pager, stats);
+}
+
+}  // namespace rankcube

@@ -1,0 +1,130 @@
+// Signature-as-measure ranking cube (Ch4): an R-tree partition shared as
+// template, per-cell signatures (by default one atomic cuboid per boolean
+// dimension, §4.2.4/§4.3.3), node-level compression + partial-signature
+// decomposition, incremental maintenance (Algorithm 2), and Algorithm 3's
+// branch-and-bound query with simultaneous ranking and boolean pruning.
+#ifndef RANKCUBE_CORE_SIGNATURE_CUBE_H_
+#define RANKCUBE_CORE_SIGNATURE_CUBE_H_
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bitmap/bloom.h"
+#include "core/rtree_search.h"
+#include "core/signature.h"
+#include "core/topk_query.h"
+#include "cube/cell.h"
+#include "index/rtree.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+struct SignatureCubeOptions {
+  /// Cuboids to materialize; empty = all atomic (single-dimension) cuboids.
+  std::vector<std::vector<int>> cuboid_dim_sets;
+  bool bulk_load = true;      ///< STR; false = tuple-at-a-time R-tree build
+  int rtree_max_entries = 0;  ///< 0 = derive from page size
+  double alpha = 0.5;         ///< partial-signature fill target (§4.2.3)
+
+  /// §4.5 lossy compression: additionally build one bloom filter per cell
+  /// over the signature's set SIDs. Querying with blooms admits false
+  /// positives, so candidate tuples are verified against the base table
+  /// (random accesses, charged) — trading space for extra verifications.
+  bool lossy_bloom = false;
+  double bloom_bits_per_entry = 10.0;  ///< ~1% false-positive rate
+};
+
+/// One cuboid's signatures: cell values -> signature (logical + stored).
+struct SignatureCuboid {
+  std::vector<int> dims;
+  std::unordered_map<CellKey, Signature, CellKeyHash> sigs;
+  std::unordered_map<CellKey, StoredSignature, CellKeyHash> stored;
+  std::unordered_map<CellKey, BloomFilter, CellKeyHash> blooms;  ///< §4.5
+};
+
+class SignatureCube {
+ public:
+  SignatureCube(const Table& table, const Pager& pager,
+                SignatureCubeOptions options = SignatureCubeOptions());
+
+  /// Algorithm 3 with signature boolean pruning.
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, Pager* pager,
+                                        ExecStats* stats) const;
+
+  /// Builds the boolean pruner for a conjunction of predicates: one
+  /// exactly-matching materialized cell when available, otherwise the
+  /// online assembly over atomic cuboids (§4.3.3). Returns:
+  ///  * ok(nullptr)  - no predicates: caller should use a NullPruner;
+  ///  * ok(pruner)   - signature-backed pruner (empty-cell => prune-all);
+  ///  * error        - a queried dimension has no cuboid.
+  Result<std::unique_ptr<BooleanPruner>> MakePruner(
+      const std::vector<Predicate>& predicates) const;
+
+  /// Incremental maintenance (Algorithm 2) for tuples already appended to
+  /// the table; updates the R-tree and all affected cell signatures.
+  void InsertBatch(const std::vector<Tid>& tids, Pager* pager);
+
+  const RTree& rtree() const { return *rtree_; }
+
+  /// Signature of one cell (nullptr = no tuple has this value).
+  const Signature* CellSignature(const std::vector<int>& dims,
+                                 const CellKey& key) const;
+
+  double construction_ms() const { return construction_ms_; }
+  double rtree_build_ms() const { return rtree_build_ms_; }
+  size_t CompressedBytes() const;
+  size_t BaselineBytes() const;
+  /// Total bytes of the §4.5 lossy bloom signatures (0 unless enabled).
+  size_t LossyBloomBytes() const;
+
+  /// Query with the lossy bloom signatures (§4.5): bloom pruning plus
+  /// per-candidate table verification. Requires lossy_bloom at build.
+  Result<std::vector<ScoredTuple>> TopKLossy(const TopKQuery& query,
+                                             Pager* pager,
+                                             ExecStats* stats) const;
+
+ private:
+  friend class SignaturePruner;
+  const SignatureCuboid* FindCuboid(const std::vector<int>& dims) const;
+  void RebuildStored(SignatureCuboid* cuboid, const CellKey& key);
+
+  const Table& table_;
+  size_t page_size_;
+  double alpha_;
+  std::unique_ptr<RTree> rtree_;
+  std::vector<SignatureCuboid> cuboids_;
+  double construction_ms_ = 0.0;
+  double rtree_build_ms_ = 0.0;
+};
+
+/// Boolean pruner backed by one or more cell signatures (assembled online
+/// for multi-predicate queries, §4.3.3). Charges partial-signature loads.
+class SignaturePruner : public BooleanPruner {
+ public:
+  /// Each element: (signature, stored form). All must pass for a path.
+  struct Source {
+    const Signature* sig;
+    const StoredSignature* stored;
+  };
+
+  explicit SignaturePruner(std::vector<Source> sources)
+      : sources_(std::move(sources)) {}
+
+  bool MayContain(const std::vector<int>& node_path, Pager* pager,
+                  ExecStats* stats) override;
+  bool Qualifies(Tid tid, const std::vector<int>& tuple_path, Pager* pager,
+                 ExecStats* stats) override;
+
+ private:
+  void EnsureLoaded(size_t src, const std::vector<int>& path, size_t len,
+                    Pager* pager, ExecStats* stats);
+
+  std::vector<Source> sources_;
+  std::set<std::pair<size_t, size_t>> loaded_;  ///< (source, partial) pairs
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_CORE_SIGNATURE_CUBE_H_

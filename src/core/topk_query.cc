@@ -1,0 +1,3 @@
+#include "core/topk_query.h"
+
+namespace rankcube {}  // namespace rankcube

@@ -1,0 +1,78 @@
+// Shared query-execution statistics and top-k result bookkeeping.
+#ifndef RANKCUBE_CORE_TOPK_QUERY_H_
+#define RANKCUBE_CORE_TOPK_QUERY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "func/query.h"
+#include "storage/table.h"
+#include "storage/pager.h"
+
+namespace rankcube {
+
+/// Counters every engine in the repository reports; the benchmark harnesses
+/// print these as the paper's series (time, #disk accesses, #states, peak
+/// heap size).
+struct ExecStats {
+  double time_ms = 0.0;
+  uint64_t pages_read = 0;        ///< physical page accesses during the query
+  uint64_t tuples_evaluated = 0;  ///< exact scores computed
+  uint64_t states_generated = 0;  ///< Ch5: joint states created
+  uint64_t states_examined = 0;   ///< Ch5: joint states popped
+  uint64_t peak_heap = 0;         ///< max candidate-heap entries
+  uint64_t signature_pages = 0;   ///< signature/join-signature accesses
+  double signature_ms = 0.0;      ///< time spent loading signatures (Fig 7.12)
+
+  void MergeMax(uint64_t heap_size) {
+    peak_heap = std::max(peak_heap, heap_size);
+  }
+};
+
+/// Bounded max-heap over scores: keeps the k smallest-scoring tuples seen;
+/// `KthScore()` is the current S_k bound used by every stop condition.
+class TopKHeap {
+ public:
+  explicit TopKHeap(int k) : k_(k) {}
+
+  void Offer(Tid tid, double score) {
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push_back({tid, score});
+      std::push_heap(heap_.begin(), heap_.end(), Worse);
+    } else if (!heap_.empty() && score < heap_.front().score) {
+      std::pop_heap(heap_.begin(), heap_.end(), Worse);
+      heap_.back() = {tid, score};
+      std::push_heap(heap_.begin(), heap_.end(), Worse);
+    }
+  }
+
+  bool Full() const { return static_cast<int>(heap_.size()) >= k_; }
+
+  /// S_k: the k-th best score so far, +inf until k results exist.
+  double KthScore() const {
+    return Full() && k_ > 0 ? heap_.front().score : kInfScore;
+  }
+
+  /// Results in ascending score order.
+  std::vector<ScoredTuple> Sorted() const {
+    std::vector<ScoredTuple> v = heap_;
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  static bool Worse(const ScoredTuple& a, const ScoredTuple& b) {
+    return a.score < b.score;  // max-heap on score
+  }
+
+  int k_;
+  std::vector<ScoredTuple> heap_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_CORE_TOPK_QUERY_H_

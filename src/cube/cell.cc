@@ -1,0 +1,37 @@
+#include "cube/cell.h"
+
+#include <sstream>
+
+namespace rankcube {
+
+bool ProjectPredicates(const std::vector<Predicate>& predicates,
+                       const std::vector<int>& dims,
+                       std::vector<int32_t>* values) {
+  values->clear();
+  values->reserve(dims.size());
+  for (int d : dims) {
+    bool found = false;
+    for (const auto& p : predicates) {
+      if (p.dim == d) {
+        values->push_back(p.value);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string CellToString(const std::vector<int>& dims, const CellKey& key) {
+  std::ostringstream os;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i) os << ",";
+    os << "A" << dims[i] << "="
+       << (i < key.values.size() ? key.values[i] : -1);
+  }
+  os << "@p" << key.pid;
+  return os.str();
+}
+
+}  // namespace rankcube

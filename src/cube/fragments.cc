@@ -1,0 +1,88 @@
+#include "cube/fragments.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+
+namespace rankcube {
+
+std::vector<std::vector<int>> GroupDimensions(int num_dims,
+                                              int fragment_size) {
+  std::vector<std::vector<int>> groups;
+  for (int start = 0; start < num_dims; start += fragment_size) {
+    std::vector<int> g;
+    for (int d = start; d < std::min(num_dims, start + fragment_size); ++d) {
+      g.push_back(d);
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::vector<std::vector<int>> AllSubsets(const std::vector<int>& dims) {
+  std::vector<std::vector<int>> subsets;
+  const size_t n = dims.size();
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<int> s;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) s.push_back(dims[i]);
+    }
+    subsets.push_back(std::move(s));
+  }
+  return subsets;
+}
+
+std::vector<int> SelectCoveringCuboids(
+    const std::vector<std::vector<int>>& materialized,
+    const std::vector<int>& query_dims) {
+  std::set<int> want(query_dims.begin(), query_dims.end());
+
+  // Candidates: materialized cuboids fully inside the query's dims.
+  std::vector<int> candidates;
+  for (size_t i = 0; i < materialized.size(); ++i) {
+    bool subset = std::all_of(materialized[i].begin(), materialized[i].end(),
+                              [&](int d) { return want.count(d) > 0; });
+    if (subset && !materialized[i].empty()) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  // Maximum step: drop candidates strictly contained in another candidate.
+  std::vector<int> maximal;
+  for (int ci : candidates) {
+    bool dominated = false;
+    for (int cj : candidates) {
+      if (ci == cj) continue;
+      const auto& a = materialized[ci];
+      const auto& b = materialized[cj];
+      if (a.size() < b.size() &&
+          std::includes(b.begin(), b.end(), a.begin(), a.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(ci);
+  }
+  // Minimum step: greedy set cover of `want`.
+  std::vector<int> chosen;
+  std::set<int> covered;
+  while (covered.size() < want.size()) {
+    int best = -1;
+    size_t best_gain = 0;
+    for (int ci : maximal) {
+      size_t gain = 0;
+      for (int d : materialized[ci]) {
+        if (want.count(d) && !covered.count(d)) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = ci;
+      }
+    }
+    if (best < 0) return {};  // cannot cover
+    chosen.push_back(best);
+    for (int d : materialized[best]) covered.insert(d);
+  }
+  return chosen;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,31 @@
+// Fragment grouping and covering-cuboid selection (§3.4). Selection
+// dimensions are evenly partitioned into groups of size F; the cuboids of
+// each group are fully materialized; a query over arbitrary dimensions is
+// answered by a minimum set of materialized cuboids that jointly cover it
+// (the minmax criterion of §3.4.2).
+#ifndef RANKCUBE_CUBE_FRAGMENTS_H_
+#define RANKCUBE_CUBE_FRAGMENTS_H_
+
+#include <vector>
+
+namespace rankcube {
+
+/// Evenly partitions dimensions {0..num_dims-1} into groups of size
+/// `fragment_size` (last group may be smaller).
+std::vector<std::vector<int>> GroupDimensions(int num_dims, int fragment_size);
+
+/// All non-empty subsets of `dims` (the 2^F - 1 cuboids of one fragment).
+std::vector<std::vector<int>> AllSubsets(const std::vector<int>& dims);
+
+/// Covering-cuboid selection (§3.4.2): among `materialized` cuboids (each a
+/// sorted dim list), keep those that are subsets of `query_dims` and maximal
+/// (no other candidate is a superset), then greedily pick a minimum subset
+/// whose union equals `query_dims`. Returns indices into `materialized`.
+/// Empty result means the query cannot be covered.
+std::vector<int> SelectCoveringCuboids(
+    const std::vector<std::vector<int>>& materialized,
+    const std::vector<int>& query_dims);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_CUBE_FRAGMENTS_H_

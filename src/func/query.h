@@ -1,0 +1,57 @@
+// Query model shared by every engine in the repository (§1.2.1):
+//   select top k * from R
+//   where A'_1 = a_1 and ... A'_s = a_s
+//   order by f(N'_1, ..., N'_r)
+#ifndef RANKCUBE_FUNC_QUERY_H_
+#define RANKCUBE_FUNC_QUERY_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "func/ranking_function.h"
+
+namespace rankcube {
+
+/// Equality predicate on one selection (boolean) dimension.
+struct Predicate {
+  int dim = 0;        ///< selection-dimension index
+  int32_t value = 0;  ///< required value
+
+  bool operator==(const Predicate&) const = default;
+};
+
+/// A multi-dimensionally selected top-k query.
+struct TopKQuery {
+  std::vector<Predicate> predicates;  ///< conjunctive equality selections
+  RankingFunctionPtr function;        ///< scoring; smaller is better
+  int k = 10;
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "top-" << k << " where ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i) os << " and ";
+      os << "A" << predicates[i].dim << "=" << predicates[i].value;
+    }
+    if (predicates.empty()) os << "true";
+    os << " order by " << (function ? function->ToString() : "<none>");
+    return os.str();
+  }
+};
+
+/// One ranked answer.
+struct ScoredTuple {
+  uint32_t tid = 0;
+  double score = 0.0;
+
+  bool operator<(const ScoredTuple& o) const {
+    return score < o.score || (score == o.score && tid < o.tid);
+  }
+  bool operator==(const ScoredTuple&) const = default;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_FUNC_QUERY_H_

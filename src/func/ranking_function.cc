@@ -1,0 +1,341 @@
+#include "func/ranking_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rankcube {
+
+namespace {
+
+std::vector<int> NonZeroDims(const std::vector<double>& w) {
+  std::vector<int> dims;
+  for (size_t d = 0; d < w.size(); ++d) {
+    if (w[d] != 0.0) dims.push_back(static_cast<int>(d));
+  }
+  return dims;
+}
+
+std::string WeightedTerms(const std::vector<double>& w, const char* var) {
+  std::ostringstream os;
+  bool first = true;
+  for (size_t d = 0; d < w.size(); ++d) {
+    if (w[d] == 0.0) continue;
+    if (!first) os << " + ";
+    os << w[d] << "*" << var << d;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<double> RankingFunction::Minimizer(const Box& box) const {
+  // Generic fallback: probe a small lattice (corners + midpoints) over the
+  // involved dimensions, anchored at box.lo for uninvolved ones.
+  const std::vector<int>& dims = involved_dims();
+  std::vector<double> best(num_dims());
+  for (int d = 0; d < num_dims(); ++d) best[d] = box[d].lo;
+  double best_score = Evaluate(best.data());
+  const int kSteps = 4;  // 5 probe values per involved dim
+  std::vector<int> idx(dims.size(), 0);
+  while (true) {
+    std::vector<double> p = best;
+    for (size_t j = 0; j < dims.size(); ++j) {
+      const Interval& iv = box[dims[j]];
+      p[dims[j]] = iv.lo + (iv.hi - iv.lo) * idx[j] / kSteps;
+    }
+    double s = Evaluate(p.data());
+    if (s < best_score) {
+      best_score = s;
+      best = p;
+    }
+    size_t j = 0;
+    for (; j < dims.size(); ++j) {
+      if (++idx[j] <= kSteps) break;
+      idx[j] = 0;
+    }
+    if (j == dims.size()) break;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------- Linear --
+
+LinearFunction::LinearFunction(std::vector<double> weights)
+    : w_(std::move(weights)), dims_(NonZeroDims(w_)) {}
+
+double LinearFunction::Evaluate(const double* p) const {
+  double s = 0.0;
+  for (int d : dims_) s += w_[d] * p[d];
+  return s;
+}
+
+double LinearFunction::LowerBound(const Box& box) const {
+  double s = 0.0;
+  for (int d : dims_) s += w_[d] * (w_[d] >= 0 ? box[d].lo : box[d].hi);
+  return s;
+}
+
+std::vector<double> LinearFunction::Minimizer(const Box& box) const {
+  std::vector<double> p(w_.size());
+  for (size_t d = 0; d < w_.size(); ++d) {
+    p[d] = (w_[d] >= 0) ? box[d].lo : box[d].hi;
+  }
+  return p;
+}
+
+std::optional<std::vector<int>> LinearFunction::MonotoneDirections() const {
+  std::vector<int> dir;
+  dir.reserve(dims_.size());
+  for (int d : dims_) dir.push_back(w_[d] >= 0 ? +1 : -1);
+  return dir;
+}
+
+std::string LinearFunction::ToString() const {
+  return "linear(" + WeightedTerms(w_, "N") + ")";
+}
+
+// ----------------------------------------------------- QuadraticDistance --
+
+QuadraticDistance::QuadraticDistance(std::vector<double> weights,
+                                     std::vector<double> targets)
+    : w_(std::move(weights)), t_(std::move(targets)), dims_(NonZeroDims(w_)) {}
+
+double QuadraticDistance::Evaluate(const double* p) const {
+  double s = 0.0;
+  for (int d : dims_) {
+    double diff = p[d] - t_[d];
+    s += w_[d] * diff * diff;
+  }
+  return s;
+}
+
+double QuadraticDistance::LowerBound(const Box& box) const {
+  double s = 0.0;
+  for (int d : dims_) {
+    double c = box[d].Clamp(t_[d]);
+    double diff = c - t_[d];
+    s += w_[d] * diff * diff;
+  }
+  return s;
+}
+
+std::vector<double> QuadraticDistance::Minimizer(const Box& box) const {
+  std::vector<double> p(w_.size());
+  for (size_t d = 0; d < w_.size(); ++d) p[d] = box[d].Clamp(t_[d]);
+  return p;
+}
+
+std::optional<std::vector<double>> QuadraticDistance::SemiMonotoneCenter()
+    const {
+  std::vector<double> c;
+  c.reserve(dims_.size());
+  for (int d : dims_) c.push_back(t_[d]);
+  return c;
+}
+
+std::string QuadraticDistance::ToString() const {
+  std::ostringstream os;
+  os << "l2dist(";
+  for (size_t j = 0; j < dims_.size(); ++j) {
+    if (j) os << " + ";
+    os << w_[dims_[j]] << "*(N" << dims_[j] << "-" << t_[dims_[j]] << ")^2";
+  }
+  os << ")";
+  return os.str();
+}
+
+// ------------------------------------------------------------ L1Distance --
+
+L1Distance::L1Distance(std::vector<double> weights, std::vector<double> targets)
+    : w_(std::move(weights)), t_(std::move(targets)), dims_(NonZeroDims(w_)) {}
+
+double L1Distance::Evaluate(const double* p) const {
+  double s = 0.0;
+  for (int d : dims_) s += w_[d] * std::abs(p[d] - t_[d]);
+  return s;
+}
+
+double L1Distance::LowerBound(const Box& box) const {
+  double s = 0.0;
+  for (int d : dims_) s += w_[d] * std::abs(box[d].Clamp(t_[d]) - t_[d]);
+  return s;
+}
+
+std::vector<double> L1Distance::Minimizer(const Box& box) const {
+  std::vector<double> p(w_.size());
+  for (size_t d = 0; d < w_.size(); ++d) p[d] = box[d].Clamp(t_[d]);
+  return p;
+}
+
+std::optional<std::vector<double>> L1Distance::SemiMonotoneCenter() const {
+  std::vector<double> c;
+  c.reserve(dims_.size());
+  for (int d : dims_) c.push_back(t_[d]);
+  return c;
+}
+
+std::string L1Distance::ToString() const {
+  return "l1dist(" + WeightedTerms(w_, "N") + ")";
+}
+
+// --------------------------------------------------------- SquaredLinear --
+
+SquaredLinear::SquaredLinear(std::vector<double> weights)
+    : w_(std::move(weights)), dims_(NonZeroDims(w_)) {}
+
+double SquaredLinear::Evaluate(const double* p) const {
+  double s = 0.0;
+  for (int d : dims_) s += w_[d] * p[d];
+  return s * s;
+}
+
+double SquaredLinear::InnerInterval(const Box& box, double* lo,
+                                    double* hi) const {
+  double l = 0.0, h = 0.0;
+  for (int d : dims_) {
+    if (w_[d] >= 0) {
+      l += w_[d] * box[d].lo;
+      h += w_[d] * box[d].hi;
+    } else {
+      l += w_[d] * box[d].hi;
+      h += w_[d] * box[d].lo;
+    }
+  }
+  *lo = l;
+  *hi = h;
+  return 0.0;
+}
+
+double SquaredLinear::LowerBound(const Box& box) const {
+  double lo, hi;
+  InnerInterval(box, &lo, &hi);
+  if (lo <= 0.0 && 0.0 <= hi) return 0.0;
+  double a = lo * lo, b = hi * hi;
+  return std::min(a, b);
+}
+
+std::vector<double> SquaredLinear::Minimizer(const Box& box) const {
+  // Start at the corner minimizing the inner linear form, then walk
+  // coordinates toward the opposite end until the inner value reaches 0.
+  std::vector<double> p(w_.size());
+  double inner = 0.0;
+  for (size_t d = 0; d < w_.size(); ++d) {
+    p[d] = (w_[d] >= 0) ? box[d].lo : box[d].hi;
+    inner += w_[d] * p[d];
+  }
+  if (inner >= 0.0) return p;  // lo already the minimizing corner
+  for (int d : dims_) {
+    double other = (w_[d] >= 0) ? box[d].hi : box[d].lo;
+    double delta = w_[d] * (other - p[d]);  // >= 0 by construction
+    if (inner + delta >= 0.0) {
+      // Solve w_d * (x - p_d) = -inner within this coordinate.
+      p[d] += -inner / w_[d];
+      return p;
+    }
+    inner += delta;
+    p[d] = other;
+  }
+  return p;  // inner < 0 everywhere: the max corner minimizes inner^2
+}
+
+std::string SquaredLinear::ToString() const {
+  return "sqlinear((" + WeightedTerms(w_, "N") + ")^2)";
+}
+
+// ------------------------------------------------------------- GeneralAB --
+
+GeneralAB::GeneralAB(int num_dims, int a_dim, int b_dim)
+    : r_(num_dims), a_(a_dim), b_(b_dim), dims_({a_dim, b_dim}) {}
+
+double GeneralAB::Evaluate(const double* p) const {
+  double diff = p[a_] - p[b_] * p[b_];
+  return diff * diff;
+}
+
+double GeneralAB::LowerBound(const Box& box) const {
+  // Range of b^2 over [blo, bhi]:
+  const Interval& ib = box[b_];
+  double b2_lo, b2_hi;
+  if (ib.lo <= 0.0 && 0.0 <= ib.hi) {
+    b2_lo = 0.0;
+    b2_hi = std::max(ib.lo * ib.lo, ib.hi * ib.hi);
+  } else {
+    double x = ib.lo * ib.lo, y = ib.hi * ib.hi;
+    b2_lo = std::min(x, y);
+    b2_hi = std::max(x, y);
+  }
+  // Range of a - b^2:
+  double lo = box[a_].lo - b2_hi;
+  double hi = box[a_].hi - b2_lo;
+  if (lo <= 0.0 && 0.0 <= hi) return 0.0;
+  return std::min(lo * lo, hi * hi);
+}
+
+std::vector<double> GeneralAB::Minimizer(const Box& box) const {
+  // Try to pick b so that b^2 lands inside [alo, ahi]; otherwise take the
+  // closest endpoint combination.
+  std::vector<double> p(r_);
+  for (int d = 0; d < r_; ++d) p[d] = box[d].lo;
+  const Interval& ia = box[a_];
+  const Interval& ib = box[b_];
+  double best = kInfScore;
+  auto consider = [&](double av, double bv) {
+    double diff = av - bv * bv;
+    double s = diff * diff;
+    if (s < best) {
+      best = s;
+      p[a_] = av;
+      p[b_] = bv;
+    }
+  };
+  for (double bv : {ib.lo, ib.hi, ib.Clamp(0.0), ib.Clamp(std::sqrt(std::max(
+                                      0.0, ia.lo))),
+                    ib.Clamp(std::sqrt(std::max(0.0, ia.hi)))}) {
+    consider(ia.Clamp(bv * bv), bv);
+  }
+  return p;
+}
+
+std::string GeneralAB::ToString() const {
+  std::ostringstream os;
+  os << "general((N" << a_ << "-N" << b_ << "^2)^2)";
+  return os.str();
+}
+
+// -------------------------------------------------------- ConstrainedSum --
+
+ConstrainedSum::ConstrainedSum(int num_dims, int a_dim, int b_dim, double lo,
+                               double hi)
+    : r_(num_dims), a_(a_dim), b_(b_dim), lo_(lo), hi_(hi),
+      dims_({a_dim, b_dim}) {}
+
+double ConstrainedSum::Evaluate(const double* p) const {
+  if (p[b_] < lo_ || p[b_] > hi_) return kInfScore;
+  return p[a_] + p[b_];
+}
+
+double ConstrainedSum::LowerBound(const Box& box) const {
+  const Interval& ib = box[b_];
+  if (ib.hi < lo_ || ib.lo > hi_) return kInfScore;
+  return box[a_].lo + std::max(ib.lo, lo_);
+}
+
+std::vector<double> ConstrainedSum::Minimizer(const Box& box) const {
+  std::vector<double> p(r_);
+  for (int d = 0; d < r_; ++d) p[d] = box[d].lo;
+  // Stay inside the box even when it misses the constraint band (the
+  // returned point then scores +inf, matching the +inf lower bound).
+  p[b_] = box[b_].Clamp(std::max(box[b_].lo, lo_));
+  return p;
+}
+
+std::string ConstrainedSum::ToString() const {
+  std::ostringstream os;
+  os << "constrained((N" << a_ << "+N" << b_ << ")/eta[" << lo_ << "," << hi_
+     << "])";
+  return os.str();
+}
+
+}  // namespace rankcube

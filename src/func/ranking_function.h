@@ -1,0 +1,210 @@
+// Ranking functions with box lower bounds (the "lower-bound function" class
+// of §1.2.1): given f over ranking dimensions and a domain region Omega, the
+// lower bound of f over Omega can be derived. Every search algorithm in this
+// repository (grid neighborhood search, R-tree branch-and-bound, index-merge)
+// prunes with these bounds.
+//
+// Shape metadata drives algorithm selection:
+//  * convex()              -> Ch3 neighborhood search is applicable (Lemma 1)
+//  * MonotoneDirections()  -> Ch5 neighborhood expansion, monotone case
+//  * SemiMonotoneCenter()  -> Ch5 neighborhood expansion, semi-monotone case
+//  * otherwise             -> Ch5 threshold expansion (general case)
+#ifndef RANKCUBE_FUNC_RANKING_FUNCTION_H_
+#define RANKCUBE_FUNC_RANKING_FUNCTION_H_
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace rankcube {
+
+/// Positive infinity; the score of tuples excluded by a constrained function.
+inline constexpr double kInfScore = std::numeric_limits<double>::infinity();
+
+/// Abstract scoring function over the R ranking dimensions of a table.
+/// Points are passed as dense R-vectors; a function only reads the
+/// dimensions in involved_dims(). Smaller scores are better (§1.2.1 assumes
+/// score-ascending order throughout).
+class RankingFunction {
+ public:
+  virtual ~RankingFunction() = default;
+
+  /// Total ranking dimensionality R of the space this function lives in.
+  virtual int num_dims() const = 0;
+
+  /// Indices (into the R dims) this function actually reads.
+  virtual const std::vector<int>& involved_dims() const = 0;
+
+  /// Exact score of a point (array of R values).
+  virtual double Evaluate(const double* point) const = 0;
+
+  /// Lower bound of f over `box` (box has R dims). Must satisfy
+  /// LowerBound(box) <= Evaluate(p) for every p in box.
+  virtual double LowerBound(const Box& box) const = 0;
+
+  /// A point inside `box` with score close to LowerBound(box); used to seed
+  /// the Ch3 neighborhood search. The default samples box corners and the
+  /// per-dimension midpoints, which is exact for every function shipped here.
+  virtual std::vector<double> Minimizer(const Box& box) const;
+
+  /// True when f is convex on its domain (Definition 1), enabling Lemma 1.
+  virtual bool convex() const { return false; }
+
+  /// If f is monotone, the per-involved-dimension direction: +1 when f grows
+  /// with the dimension, -1 when it shrinks (order matches involved_dims()).
+  virtual std::optional<std::vector<int>> MonotoneDirections() const {
+    return std::nullopt;
+  }
+
+  /// If f is semi-monotone (§5.2.2): the center o such that f grows with
+  /// |x_i - o_i| per involved dimension.
+  virtual std::optional<std::vector<double>> SemiMonotoneCenter() const {
+    return std::nullopt;
+  }
+
+  virtual std::string ToString() const = 0;
+
+  double Evaluate(const std::vector<double>& p) const {
+    return Evaluate(p.data());
+  }
+};
+
+using RankingFunctionPtr = std::shared_ptr<const RankingFunction>;
+
+/// f = sum_i w_i * x_i over the dimensions with non-zero weight. Convex and
+/// monotone (weights may be negative, matching the thesis's remark that
+/// convexity generalizes linear-monotone with non-negative weights).
+class LinearFunction : public RankingFunction {
+ public:
+  /// `weights` has size R; zero entries are uninvolved dimensions.
+  explicit LinearFunction(std::vector<double> weights);
+
+  int num_dims() const override { return static_cast<int>(w_.size()); }
+  const std::vector<int>& involved_dims() const override { return dims_; }
+  double Evaluate(const double* p) const override;
+  double LowerBound(const Box& box) const override;
+  std::vector<double> Minimizer(const Box& box) const override;
+  bool convex() const override { return true; }
+  std::optional<std::vector<int>> MonotoneDirections() const override;
+  std::string ToString() const override;
+
+  const std::vector<double>& weights() const { return w_; }
+
+ private:
+  std::vector<double> w_;
+  std::vector<int> dims_;
+};
+
+/// f = sum_i w_i * (x_i - t_i)^2 : the nearest-neighbor style distance query
+/// (Q2 in Example 1). Convex and semi-monotone around the target.
+class QuadraticDistance : public RankingFunction {
+ public:
+  /// `weights` size R (0 = uninvolved); `targets` size R (entries for
+  /// uninvolved dims are ignored).
+  QuadraticDistance(std::vector<double> weights, std::vector<double> targets);
+
+  int num_dims() const override { return static_cast<int>(w_.size()); }
+  const std::vector<int>& involved_dims() const override { return dims_; }
+  double Evaluate(const double* p) const override;
+  double LowerBound(const Box& box) const override;
+  std::vector<double> Minimizer(const Box& box) const override;
+  bool convex() const override { return true; }
+  std::optional<std::vector<double>> SemiMonotoneCenter() const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<double> w_;
+  std::vector<double> t_;
+  std::vector<int> dims_;
+};
+
+/// f = sum_i w_i * |x_i - t_i| : L1 variant of the above.
+class L1Distance : public RankingFunction {
+ public:
+  L1Distance(std::vector<double> weights, std::vector<double> targets);
+
+  int num_dims() const override { return static_cast<int>(w_.size()); }
+  const std::vector<int>& involved_dims() const override { return dims_; }
+  double Evaluate(const double* p) const override;
+  double LowerBound(const Box& box) const override;
+  std::vector<double> Minimizer(const Box& box) const override;
+  bool convex() const override { return true; }
+  std::optional<std::vector<double>> SemiMonotoneCenter() const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<double> w_;
+  std::vector<double> t_;
+  std::vector<int> dims_;
+};
+
+/// f = (sum_i w_i * x_i)^2, e.g. the thesis's min-square-error query
+/// fg = (2X - Y - Z)^2 (§4.4.2). Convex but neither monotone nor
+/// semi-monotone in general.
+class SquaredLinear : public RankingFunction {
+ public:
+  explicit SquaredLinear(std::vector<double> weights);
+
+  int num_dims() const override { return static_cast<int>(w_.size()); }
+  const std::vector<int>& involved_dims() const override { return dims_; }
+  double Evaluate(const double* p) const override;
+  double LowerBound(const Box& box) const override;
+  std::vector<double> Minimizer(const Box& box) const override;
+  bool convex() const override { return true; }
+  std::string ToString() const override;
+
+ private:
+  double InnerInterval(const Box& box, double* lo, double* hi) const;
+
+  std::vector<double> w_;
+  std::vector<int> dims_;
+};
+
+/// fg = (x_a - x_b^2)^2 : the "general" non-convex query of §5.4.2.
+class GeneralAB : public RankingFunction {
+ public:
+  GeneralAB(int num_dims, int a_dim, int b_dim);
+
+  int num_dims() const override { return r_; }
+  const std::vector<int>& involved_dims() const override { return dims_; }
+  double Evaluate(const double* p) const override;
+  double LowerBound(const Box& box) const override;
+  std::vector<double> Minimizer(const Box& box) const override;
+  std::string ToString() const override;
+
+ private:
+  int r_;
+  int a_;
+  int b_;
+  std::vector<int> dims_;
+};
+
+/// fc = (x_a + x_b) / eta(x_b) with eta = 1 on [lo, hi] and 0 elsewhere:
+/// the constrained query of §5.4.2 (score is +inf outside the constraint).
+class ConstrainedSum : public RankingFunction {
+ public:
+  ConstrainedSum(int num_dims, int a_dim, int b_dim, double lo, double hi);
+
+  int num_dims() const override { return r_; }
+  const std::vector<int>& involved_dims() const override { return dims_; }
+  double Evaluate(const double* p) const override;
+  double LowerBound(const Box& box) const override;
+  std::vector<double> Minimizer(const Box& box) const override;
+  std::string ToString() const override;
+
+ private:
+  int r_;
+  int a_;
+  int b_;
+  double lo_;
+  double hi_;
+  std::vector<int> dims_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_FUNC_RANKING_FUNCTION_H_

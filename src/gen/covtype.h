@@ -1,0 +1,28 @@
+// Synthetic stand-in for the Forest CoverType real data set (§3.5.1, §4.4.1,
+// §5.4.1). The UCI original is not available offline; this generator matches
+// the published schema statistics the thesis relies on: 3 ranking attributes
+// with large cardinalities (~1989 / 5787 / 5827 distinct values) and 12
+// selection attributes with cardinalities 255, 207, 185, 67, 7, 2, 2, 2, 2,
+// 2, 2, 2, with skewed (zipfian) value frequencies. The thesis duplicates the
+// data 5x to reach ~3.5M rows; `duplication` reproduces that switch.
+#ifndef RANKCUBE_GEN_COVTYPE_H_
+#define RANKCUBE_GEN_COVTYPE_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace rankcube {
+
+struct CovtypeSpec {
+  uint64_t base_rows = 116202;  ///< 581,012 / 5 scaled to laptop size
+  int duplication = 5;          ///< thesis duplicates the base data 5x
+  uint64_t seed = 7;
+};
+
+/// Generates the CoverType-like relation (12 selection dims, 3 ranking dims).
+Table GenerateCovtypeLike(const CovtypeSpec& spec);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_GEN_COVTYPE_H_

@@ -1,0 +1,89 @@
+#include "gen/queries.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rankcube {
+
+RankingFunctionPtr MakeRankingFunction(const Table& table,
+                                       QueryFunctionKind kind,
+                                       int num_rank_used, double skew,
+                                       Rng* rng) {
+  const int r_total = table.num_rank_dims();
+  const int r = std::min(num_rank_used, r_total);
+  std::vector<double> w(r_total, 0.0);
+  switch (kind) {
+    case QueryFunctionKind::kLinear: {
+      // Weights span [1, skew] so that max/min == u (Table 3.9).
+      for (int d = 0; d < r; ++d) w[d] = 1.0 + (skew - 1.0) * rng->Uniform01();
+      w[0] = 1.0;
+      if (r > 1) w[r - 1] = skew;
+      return std::make_shared<LinearFunction>(std::move(w));
+    }
+    case QueryFunctionKind::kDistance: {
+      std::vector<double> t(r_total, 0.0);
+      for (int d = 0; d < r; ++d) {
+        w[d] = 1.0 + (skew - 1.0) * rng->Uniform01();
+        t[d] = rng->Uniform01();
+      }
+      return std::make_shared<QuadraticDistance>(std::move(w), std::move(t));
+    }
+    case QueryFunctionKind::kSqLinear: {
+      // fg = (2X - Y - Z)^2 style: first weight positive, rest negative.
+      for (int d = 0; d < r; ++d) w[d] = (d == 0) ? 2.0 : -1.0;
+      return std::make_shared<SquaredLinear>(std::move(w));
+    }
+    case QueryFunctionKind::kGeneralAB:
+      return std::make_shared<GeneralAB>(r_total, 0, std::min(1, r_total - 1));
+    case QueryFunctionKind::kConstrained: {
+      double lo = 0.3 * rng->Uniform01();
+      double hi = lo + 0.2 + 0.3 * rng->Uniform01();
+      return std::make_shared<ConstrainedSum>(
+          r_total, 0, std::min(1, r_total - 1), lo, std::min(1.0, hi));
+    }
+  }
+  return nullptr;
+}
+
+std::vector<TopKQuery> GenerateQueries(const Table& table,
+                                       const QueryWorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<TopKQuery> out;
+  out.reserve(spec.num_queries);
+  const int s_total = table.num_sel_dims();
+  for (int q = 0; q < spec.num_queries; ++q) {
+    TopKQuery query;
+    query.k = spec.k;
+
+    // Choose `s` distinct selection dimensions.
+    std::vector<int> dims(s_total);
+    std::iota(dims.begin(), dims.end(), 0);
+    std::shuffle(dims.begin(), dims.end(), rng.engine());
+    int s = std::min(spec.num_predicates, s_total);
+
+    Tid anchor = 0;
+    if (spec.anchor_on_rows && table.num_rows() > 0) {
+      anchor = static_cast<Tid>(rng.UniformInt(table.num_rows()));
+    }
+    for (int i = 0; i < s; ++i) {
+      Predicate p;
+      p.dim = dims[i];
+      p.value = spec.anchor_on_rows && table.num_rows() > 0
+                    ? table.sel(anchor, p.dim)
+                    : static_cast<int32_t>(rng.UniformInt(
+                          table.schema().sel_cardinality[p.dim]));
+      query.predicates.push_back(p);
+    }
+    std::sort(query.predicates.begin(), query.predicates.end(),
+              [](const Predicate& a, const Predicate& b) {
+                return a.dim < b.dim;
+              });
+
+    query.function = MakeRankingFunction(table, spec.kind, spec.num_rank_used,
+                                         spec.skew, &rng);
+    out.push_back(std::move(query));
+  }
+  return out;
+}
+
+}  // namespace rankcube

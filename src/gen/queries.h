@@ -1,0 +1,52 @@
+// Random query workloads following Table 3.9: s selection conditions, a
+// ranking function over r dimensions, k results, and query skewness
+// u = max(alpha) / min(alpha) over linear weights.
+#ifndef RANKCUBE_GEN_QUERIES_H_
+#define RANKCUBE_GEN_QUERIES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "func/query.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// Kind of ranking function to synthesize.
+enum class QueryFunctionKind {
+  kLinear,     ///< sum of positive weights (skewness-controlled)
+  kDistance,   ///< weighted squared distance to a random target
+  kSqLinear,   ///< (w . x)^2 with mixed-sign weights (min-square-error)
+  kGeneralAB,  ///< (A - B^2)^2
+  kConstrained ///< (A + B)/eta(B)
+};
+
+struct QueryWorkloadSpec {
+  int num_queries = 20;       ///< thesis reports averages over 20 queries
+  int num_predicates = 2;     ///< s
+  int num_rank_used = 2;      ///< r
+  int k = 10;
+  double skew = 1.0;          ///< u
+  QueryFunctionKind kind = QueryFunctionKind::kLinear;
+  uint64_t seed = 1234;
+
+  /// When true, predicate values are drawn from an existing row so that the
+  /// selection is guaranteed non-empty (matches how the thesis samples
+  /// "randomly issued queries" over data that exists).
+  bool anchor_on_rows = true;
+};
+
+/// Generates `spec.num_queries` queries against `table`'s schema.
+std::vector<TopKQuery> GenerateQueries(const Table& table,
+                                       const QueryWorkloadSpec& spec);
+
+/// Builds one ranking function of `kind` over `r` of the table's ranking
+/// dimensions (the first `num_rank_used`, weights randomized by `rng`).
+RankingFunctionPtr MakeRankingFunction(const Table& table,
+                                       QueryFunctionKind kind,
+                                       int num_rank_used, double skew,
+                                       Rng* rng);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_GEN_QUERIES_H_

@@ -1,0 +1,40 @@
+// Synthetic data generation following Table 3.8 / §4.4.1 / §7.3.1: S
+// selection dimensions with cardinality C, R ranking dimensions in [0,1]
+// under uniform (E), correlated (C) or anti-correlated (A) distributions.
+#ifndef RANKCUBE_GEN_SYNTHETIC_H_
+#define RANKCUBE_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// Ranking-dimension joint distribution (S = {E, C, A} in §4.4.1).
+enum class RankDistribution {
+  kUniform,         ///< E: independent uniform
+  kCorrelated,      ///< C: values clustered around a shared level
+  kAntiCorrelated,  ///< A: values trade off (sum roughly constant)
+};
+
+/// Parameters for one synthetic relation.
+struct SyntheticSpec {
+  uint64_t num_rows = 100000;                 ///< T
+  int num_sel_dims = 3;                       ///< S
+  int32_t cardinality = 20;                   ///< C, per selection dimension
+  int num_rank_dims = 2;                      ///< R
+  RankDistribution distribution = RankDistribution::kUniform;
+  double sel_zipf_theta = 0.0;                ///< 0 = uniform selection values
+  uint64_t seed = 42;
+
+  /// Per-dimension cardinalities override (empty = all `cardinality`).
+  std::vector<int32_t> sel_cardinalities;
+};
+
+/// Materializes a table for `spec`.
+Table GenerateSynthetic(const SyntheticSpec& spec);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_GEN_SYNTHETIC_H_

@@ -1,0 +1,122 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rankcube {
+
+BTree::BTree(const Table& table, int dim, const Pager& pager,
+             BTreeOptions options)
+    : dim_(dim) {
+  // ~20 bytes/entry (8-byte key + pointer + overhead) -> fanout 204 at 4 KB,
+  // the figure the thesis quotes (§5.1.3).
+  fanout_ = options.fanout > 0
+                ? options.fanout
+                : std::max<int>(4, static_cast<int>(pager.page_size() / 20));
+
+  std::vector<std::pair<double, Tid>> sorted;
+  sorted.reserve(table.num_rows());
+  const double* col = table.rank_col(dim);
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    sorted.emplace_back(col[t], t);
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  // Bottom-up bulk load: leaves first, then parent levels.
+  std::vector<uint32_t> level_nodes;
+  for (size_t i = 0; i < sorted.size();
+       i += static_cast<size_t>(fanout_)) {
+    BTreeNode leaf;
+    leaf.id = static_cast<uint32_t>(nodes_.size());
+    leaf.is_leaf = true;
+    size_t end = std::min(sorted.size(), i + static_cast<size_t>(fanout_));
+    leaf.entries.assign(sorted.begin() + i, sorted.begin() + end);
+    leaf.range = {leaf.entries.front().first, leaf.entries.back().first};
+    level_nodes.push_back(leaf.id);
+    nodes_.push_back(std::move(leaf));
+  }
+  if (level_nodes.empty()) {  // empty relation: single empty leaf as root
+    BTreeNode leaf;
+    leaf.id = 0;
+    leaf.is_leaf = true;
+    nodes_.push_back(std::move(leaf));
+    level_nodes.push_back(0);
+  }
+  int levels = 1;
+  while (level_nodes.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t i = 0; i < level_nodes.size();
+         i += static_cast<size_t>(fanout_)) {
+      BTreeNode inner;
+      inner.id = static_cast<uint32_t>(nodes_.size());
+      size_t end =
+          std::min(level_nodes.size(), i + static_cast<size_t>(fanout_));
+      inner.children.assign(level_nodes.begin() + i,
+                            level_nodes.begin() + end);
+      inner.range = {nodes_[inner.children.front()].range.lo,
+                     nodes_[inner.children.back()].range.hi};
+      next.push_back(inner.id);
+      nodes_.push_back(std::move(inner));
+    }
+    level_nodes = std::move(next);
+    ++levels;
+  }
+  root_ = level_nodes.front();
+  depth_ = levels;
+
+  // Assign levels (root = 1) + parent links.
+  parent_.assign(nodes_.size(), root_);
+  pos_in_parent_.assign(nodes_.size(), 0);
+  std::vector<std::pair<uint32_t, int>> stack{{root_, 1}};
+  while (!stack.empty()) {
+    auto [id, level] = stack.back();
+    stack.pop_back();
+    nodes_[id].level = level;
+    for (size_t c = 0; c < nodes_[id].children.size(); ++c) {
+      uint32_t child = nodes_[id].children[c];
+      parent_[child] = id;
+      pos_in_parent_[child] = static_cast<int>(c) + 1;
+      stack.push_back({child, level + 1});
+    }
+  }
+}
+
+std::vector<int> BTree::NodePath(uint32_t id) const {
+  std::vector<int> path;
+  while (id != root_) {
+    path.push_back(pos_in_parent_[id]);
+    id = parent_[id];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::vector<int>> BTree::TuplePaths() const {
+  std::vector<std::vector<int>> paths;
+  size_t total = 0;
+  for (const auto& n : nodes_) {
+    if (n.is_leaf) total += n.entries.size();
+  }
+  paths.resize(total);
+  for (const auto& n : nodes_) {
+    if (!n.is_leaf) continue;
+    std::vector<int> leaf_path = NodePath(n.id);
+    for (const auto& [value, tid] : n.entries) {
+      (void)value;
+      paths[tid] = leaf_path;
+    }
+  }
+  return paths;
+}
+
+size_t BTree::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& n : nodes_) {
+    bytes += 32;                      // header + range
+    bytes += n.children.size() * 12;  // child ptr + separator key
+    bytes += n.entries.size() * 12;   // value + tid
+  }
+  return bytes;
+}
+
+}  // namespace rankcube

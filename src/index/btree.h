@@ -1,0 +1,81 @@
+// Bulk-loaded B+-tree over one ranking attribute. Used by the Ch5
+// index-merge engine (each attribute indexed separately, §5.1.1) and by the
+// boolean-first baseline's attribute indices. Nodes carry their subtree's
+// value range so joint states can compute ranking-function lower bounds, and
+// nodes expose 1-based paths/positions because the join-signature addresses
+// states by entry positions (§5.3.1).
+#ifndef RANKCUBE_INDEX_BTREE_H_
+#define RANKCUBE_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// One B+-tree node; `children` for internal nodes, `entries` for leaves.
+struct BTreeNode {
+  uint32_t id = 0;
+  bool is_leaf = false;
+  int level = 0;  ///< 1 = root (thesis levels count from 1)
+  Interval range{0.0, 0.0};
+  std::vector<uint32_t> children;
+  std::vector<std::pair<double, Tid>> entries;  ///< (value, tid), sorted
+
+  size_t fanout() const {
+    return is_leaf ? entries.size() : children.size();
+  }
+};
+
+/// Read-only B+-tree (built once by bulk load; Ch5 treats indices as given).
+struct BTreeOptions {
+  int fanout = 0;  ///< 0 = derive from page size (~204 for 4 KB, §5.1.3)
+};
+
+class BTree {
+ public:
+  /// Builds the index over `table`'s ranking column `dim`.
+  BTree(const Table& table, int dim, const Pager& pager,
+        BTreeOptions options = BTreeOptions());
+
+  int attribute() const { return dim_; }
+  int fanout() const { return fanout_; }
+  int depth() const { return depth_; }  ///< number of levels, root = level 1
+  uint32_t root() const { return root_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const BTreeNode& node(uint32_t id) const { return nodes_[id]; }
+
+  /// Charge one node read to the pager (category kBTree).
+  void ChargeNodeAccess(Pager* pager, uint32_t id) const {
+    pager->Access(IoCategory::kBTree,
+                  (static_cast<uint64_t>(dim_) << 32) | id);
+  }
+
+  /// 1-based child positions from the root down to (and excluding) `id`'s
+  /// entry position in its own parent... i.e. the path addressing node `id`.
+  std::vector<int> NodePath(uint32_t id) const;
+
+  /// Per-tuple path down to the leaf *node* (leaf entry position excluded,
+  /// §5.3.2). Result[tid] = path.
+  std::vector<std::vector<int>> TuplePaths() const;
+
+  /// Materialized size in bytes (for size-vs-T reports).
+  size_t SizeBytes() const;
+
+ private:
+  int dim_;
+  int fanout_;
+  int depth_ = 0;
+  uint32_t root_ = 0;
+  std::vector<BTreeNode> nodes_;
+  std::vector<uint32_t> parent_;
+  std::vector<int> pos_in_parent_;  ///< 1-based
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_INDEX_BTREE_H_

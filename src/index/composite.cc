@@ -1,0 +1,129 @@
+#include "index/composite.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rankcube {
+
+CompositeIndex::CompositeIndex(const Table& table, std::vector<int> sel_dims)
+    : table_(table), sel_dims_(std::move(sel_dims)) {
+  order_.resize(table.num_rows());
+  std::iota(order_.begin(), order_.end(), Tid{0});
+  std::sort(order_.begin(), order_.end(), [&](Tid a, Tid b) {
+    for (int d : sel_dims_) {
+      int32_t va = table_.sel(a, d), vb = table_.sel(b, d);
+      if (va != vb) return va < vb;
+    }
+    for (int d = 0; d < table_.num_rank_dims(); ++d) {
+      double va = table_.rank(a, d), vb = table_.rank(b, d);
+      if (va != vb) return va < vb;
+    }
+    return a < b;
+  });
+}
+
+int CompositeIndex::PrefixMatch(
+    const std::vector<Predicate>& predicates) const {
+  int match = 0;
+  for (int d : sel_dims_) {
+    bool found = false;
+    for (const auto& p : predicates) {
+      if (p.dim == d) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    ++match;
+  }
+  return match;
+}
+
+CompositeIndex::RangeResult CompositeIndex::RangeQuery(
+    const std::vector<Predicate>& predicates, const Box& rank_box,
+    Pager* pager) const {
+  // Values for the matched index prefix.
+  int prefix = PrefixMatch(predicates);
+  std::vector<int32_t> prefix_vals(prefix);
+  for (int i = 0; i < prefix; ++i) {
+    for (const auto& p : predicates) {
+      if (p.dim == sel_dims_[i]) prefix_vals[i] = p.value;
+    }
+  }
+
+  auto cmp_prefix = [&](Tid t) {
+    // -1 if t < prefix, 0 if equal, +1 if greater.
+    for (int i = 0; i < prefix; ++i) {
+      int32_t v = table_.sel(t, sel_dims_[i]);
+      if (v < prefix_vals[i]) return -1;
+      if (v > prefix_vals[i]) return +1;
+    }
+    return 0;
+  };
+
+  // Binary search the contiguous region matching the prefix.
+  size_t lo = 0, hi = order_.size();
+  {
+    size_t l = 0, r = order_.size();
+    while (l < r) {
+      size_t mid = (l + r) / 2;
+      if (cmp_prefix(order_[mid]) < 0) {
+        l = mid + 1;
+      } else {
+        r = mid;
+      }
+    }
+    lo = l;
+    l = lo;
+    r = order_.size();
+    while (l < r) {
+      size_t mid = (l + r) / 2;
+      if (cmp_prefix(order_[mid]) <= 0) {
+        l = mid + 1;
+      } else {
+        r = mid;
+      }
+    }
+    hi = l;
+  }
+
+  RangeResult res;
+  res.scanned = hi - lo;
+  // Sequential scan of the region, filtering the remaining predicates and
+  // the rank-bound box (the transformed range query).
+  for (size_t i = lo; i < hi; ++i) {
+    Tid t = order_[i];
+    bool ok = true;
+    for (const auto& p : predicates) {
+      if (table_.sel(t, p.dim) != p.value) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (int d = 0; ok && d < table_.num_rank_dims(); ++d) {
+      if (d < static_cast<int>(rank_box.dims()) &&
+          !rank_box[d].Contains(table_.rank(t, d))) {
+        ok = false;
+      }
+    }
+    if (ok) res.candidates.push_back(t);
+  }
+
+  // Charge: one seek + sequential pages of the region (clustered index rows
+  // pack like heap rows).
+  size_t rpp = table_.RowsPerPage(*pager);
+  uint64_t pages = (res.scanned + rpp - 1) / rpp;
+  pager->Access(IoCategory::kComposite, lo / std::max<size_t>(1, rpp),
+                std::max<uint64_t>(1, pages));
+  return res;
+}
+
+size_t CompositeIndex::SizeBytes() const {
+  // A clustered multi-dimensional index materializes the full key for every
+  // row: all indexed selection dims + all ranking dims + tid.
+  return order_.size() *
+         (4 + 4 * sel_dims_.size() + 8 * table_.num_rank_dims());
+}
+
+}  // namespace rankcube

@@ -1,0 +1,54 @@
+// Clustered composite index: selection dimensions first, then ranking
+// dimensions — the multi-dimensional index the rank-mapping baseline builds
+// (§3.5.1: "the dimension order in the index is first the selection
+// dimensions and then the ranking dimensions"). A range query is efficient
+// exactly when the query's selection dimensions form a prefix of the index
+// order; otherwise a wider region must be scanned, which is the sensitivity
+// the thesis observes in Figs 3.7/3.9/3.14.
+#ifndef RANKCUBE_INDEX_COMPOSITE_H_
+#define RANKCUBE_INDEX_COMPOSITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "func/query.h"
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+class CompositeIndex {
+ public:
+  /// Builds over `sel_dims` (in this order) then all ranking dimensions.
+  CompositeIndex(const Table& table, std::vector<int> sel_dims);
+
+  const std::vector<int>& sel_dims() const { return sel_dims_; }
+
+  struct RangeResult {
+    std::vector<Tid> candidates;  ///< tuples inside the scanned region that
+                                  ///< satisfy all predicates + rank bounds
+    uint64_t scanned = 0;         ///< tuples touched by the sequential scan
+  };
+
+  /// Executes the transformed range query: equality `predicates` plus a box
+  /// over the ranking dimensions. Charges sequential pages of the scanned
+  /// region.
+  RangeResult RangeQuery(const std::vector<Predicate>& predicates,
+                         const Box& rank_box, Pager* pager) const;
+
+  /// How many of the query's predicates line up with the index prefix; used
+  /// by the rank-mapping baseline to pick the best fragment index.
+  int PrefixMatch(const std::vector<Predicate>& predicates) const;
+
+  size_t SizeBytes() const;
+
+ private:
+  const Table& table_;
+  std::vector<int> sel_dims_;
+  std::vector<Tid> order_;  ///< tids sorted by (sel_dims..., rank dims...)
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_INDEX_COMPOSITE_H_

@@ -1,0 +1,43 @@
+#include "index/posting.h"
+
+namespace rankcube {
+
+PostingIndex::PostingIndex(const Table& table) {
+  const auto& schema = table.schema();
+  lists_.resize(schema.num_sel_dims());
+  for (int d = 0; d < schema.num_sel_dims(); ++d) {
+    lists_[d].resize(schema.sel_cardinality[d]);
+  }
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    for (int d = 0; d < schema.num_sel_dims(); ++d) {
+      lists_[d][table.sel(t, d)].push_back(t);
+    }
+  }
+}
+
+const std::vector<Tid>& PostingIndex::Lookup(int dim, int32_t value) const {
+  if (dim < 0 || dim >= static_cast<int>(lists_.size()) || value < 0 ||
+      value >= static_cast<int32_t>(lists_[dim].size())) {
+    return empty_;
+  }
+  return lists_[dim][value];
+}
+
+void PostingIndex::ChargeListScan(Pager* pager, int dim, int32_t value) const {
+  size_t bytes = Lookup(dim, value).size() * sizeof(Tid);
+  uint64_t pages = (bytes + pager->page_size() - 1) / pager->page_size();
+  pager->Access(IoCategory::kPosting, (uint64_t{static_cast<uint32_t>(dim)}
+                                       << 40) |
+                                          static_cast<uint32_t>(value),
+                std::max<uint64_t>(1, pages));
+}
+
+size_t PostingIndex::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& dim : lists_) {
+    for (const auto& list : dim) bytes += 16 + list.size() * sizeof(Tid);
+  }
+  return bytes;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,41 @@
+// Per-dimension posting lists: the "non-clustered index on each selection
+// dimension" of the SQL-Server baseline (§3.5.1) and the B+-tree-per-boolean-
+// dimension of the boolean-first approach (§4.4.1).
+#ifndef RANKCUBE_INDEX_POSTING_H_
+#define RANKCUBE_INDEX_POSTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// value -> sorted tid list, one per selection dimension.
+class PostingIndex {
+ public:
+  /// Builds posting lists for every selection dimension of `table`.
+  explicit PostingIndex(const Table& table);
+
+  /// Sorted tids with sel[dim] == value (empty when out of domain).
+  const std::vector<Tid>& Lookup(int dim, int32_t value) const;
+
+  /// List length, i.e. exact selectivity of the equality predicate.
+  size_t ListSize(int dim, int32_t value) const {
+    return Lookup(dim, value).size();
+  }
+
+  /// Charge the sequential pages of scanning one posting list.
+  void ChargeListScan(Pager* pager, int dim, int32_t value) const;
+
+  size_t SizeBytes() const;
+
+ private:
+  std::vector<std::vector<std::vector<Tid>>> lists_;  // [dim][value] -> tids
+  std::vector<Tid> empty_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_INDEX_POSTING_H_

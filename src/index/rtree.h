@@ -1,0 +1,118 @@
+// R-tree over the ranking dimensions: the hierarchical partition template of
+// Ch4 (signatures are built over its topology), the multi-dimensional index
+// of Ch5, and the BBS substrate of Ch7. Supports Guttman-style insertion
+// with quadratic node splitting (incremental maintenance needs the path
+// update-set, §4.2.5) and STR bulk loading (fast offline construction).
+#ifndef RANKCUBE_INDEX_RTREE_H_
+#define RANKCUBE_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// Leaf payload: a tuple and its ranking-vector.
+struct RTreeLeafEntry {
+  Tid tid = 0;
+  std::vector<double> point;
+};
+
+struct RTreeNode {
+  uint32_t id = 0;
+  bool is_leaf = true;
+  Box mbr;
+  std::vector<uint32_t> children;       ///< internal nodes
+  std::vector<RTreeLeafEntry> entries;  ///< leaf nodes
+
+  size_t fanout() const {
+    return is_leaf ? entries.size() : children.size();
+  }
+};
+
+/// A tuple whose R-tree path changed during an insert (§4.2.5). Paths are
+/// 1-based entry positions root->leaf, including the position within the
+/// leaf node; an empty old_path means the tuple is new.
+struct PathUpdate {
+  Tid tid = 0;
+  std::vector<int> old_path;
+  std::vector<int> new_path;
+};
+
+struct RTreeOptions {
+  int max_entries = 0;  ///< M; 0 = derive from page size (§4.2.2 sizing)
+  int min_entries = 0;  ///< m; 0 = ceil(0.4 * M)
+};
+
+class RTree {
+ public:
+  RTree(int dims, const Pager& pager, RTreeOptions options = RTreeOptions());
+
+  /// Bulk-loads with Sort-Tile-Recursive packing; tree must be empty.
+  /// `dims` selects which ranking columns feed the tree's coordinates
+  /// (nullptr = the first dims() columns); stored points use local order.
+  void BulkLoadSTR(const Table& table, const std::vector<int>* dims = nullptr);
+
+  /// Inserts one tuple; returns the update set of tuples whose paths
+  /// changed (including the inserted tuple, old_path empty). Pass
+  /// track_updates = false during bulk construction to skip the (possibly
+  /// large) path diff.
+  std::vector<PathUpdate> Insert(Tid tid, const std::vector<double>& point,
+                                 bool track_updates = true);
+
+  /// All tuple paths (leaf entry position included), via one DFS; indexed
+  /// by tid. Much cheaper than per-tuple TuplePath() calls.
+  std::vector<std::vector<int>> AllTuplePaths() const;
+
+  int dims() const { return dims_; }
+  int max_entries() const { return max_entries_; }
+  uint32_t root() const { return root_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const RTreeNode& node(uint32_t id) const { return nodes_[id]; }
+  size_t num_tuples() const { return num_tuples_; }
+
+  /// Levels, root = level 1; leaves are at level depth().
+  int depth() const;
+
+  void ChargeNodeAccess(Pager* pager, uint32_t id) const {
+    pager->Access(IoCategory::kRTree, id);
+  }
+
+  /// 1-based child positions addressing node `id` from the root.
+  std::vector<int> NodePath(uint32_t id) const;
+
+  /// Path of a stored tuple, leaf entry position included (§4.2.1).
+  std::vector<int> TuplePath(Tid tid) const;
+
+  /// All tuple paths with the leaf entry position *excluded* (the node
+  /// granularity used by join-signatures, §5.3.2). Result indexed by tid.
+  std::vector<std::vector<int>> TupleNodePaths() const;
+
+  size_t SizeBytes() const;
+
+ private:
+  uint32_t NewNode(bool is_leaf);
+  uint32_t ChooseLeaf(const std::vector<double>& point) const;
+  void RecomputeMbr(uint32_t id);
+  /// Splits overfull `id`; returns the new sibling (appended to parent).
+  uint32_t SplitNode(uint32_t id);
+  void CollectTuplePaths(uint32_t id, std::vector<int>* prefix,
+                         std::vector<PathUpdate>* out, bool as_old) const;
+  int PosInParent(uint32_t id) const;
+
+  int dims_;
+  int max_entries_;
+  int min_entries_;
+  uint32_t root_;
+  size_t num_tuples_ = 0;
+  std::vector<RTreeNode> nodes_;
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> leaf_of_;  ///< tid -> leaf node id
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_INDEX_RTREE_H_

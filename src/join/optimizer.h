@@ -1,0 +1,41 @@
+// SPJR query optimizer (§6.2): picks the per-relation access path
+// (rank-aware cube stream vs boolean-first materialize+sort) from estimated
+// page costs, using posting-list selectivities as cardinality estimates.
+#ifndef RANKCUBE_JOIN_OPTIMIZER_H_
+#define RANKCUBE_JOIN_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "func/query.h"
+#include "index/posting.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+struct AccessPlan {
+  enum class Kind {
+    kCubeStream,       ///< progressive rank-aware selection (§6.3.1)
+    kMaterializeSort,  ///< fetch all matches, sort by score
+  };
+  Kind kind = Kind::kCubeStream;
+  double est_matches = 0.0;  ///< estimated qualifying tuples
+  double est_cost = 0.0;     ///< estimated page cost of the chosen plan
+  std::string explain;
+};
+
+/// Estimated number of tuples matching a conjunction, from exact posting
+/// sizes assuming dimension independence (§6.2.1).
+double EstimateMatches(const Table& table, const PostingIndex& posting,
+                       const std::vector<Predicate>& predicates);
+
+/// Chooses the access path for one relation of a top-k join: with very few
+/// matches, materializing beats progressive search; with many, the cube
+/// stream only touches what the join consumes.
+AccessPlan ChooseAccessPath(const Table& table, const PostingIndex& posting,
+                            const std::vector<Predicate>& predicates, int k,
+                            const Pager& pager);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_JOIN_OPTIMIZER_H_

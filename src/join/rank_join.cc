@@ -1,0 +1,173 @@
+#include "join/rank_join.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace rankcube {
+
+namespace {
+
+struct Seen {
+  Tid tid;
+  double score;
+};
+
+class TopKJoined {
+ public:
+  explicit TopKJoined(int k) : k_(k) {}
+
+  void Offer(JoinedResult r) {
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push_back(std::move(r));
+      std::push_heap(heap_.begin(), heap_.end(), Worse);
+    } else if (!heap_.empty() && r.score < heap_.front().score) {
+      std::pop_heap(heap_.begin(), heap_.end(), Worse);
+      heap_.back() = std::move(r);
+      std::push_heap(heap_.begin(), heap_.end(), Worse);
+    }
+  }
+  bool Full() const { return static_cast<int>(heap_.size()) >= k_; }
+  double KthScore() const {
+    return Full() && k_ > 0 ? heap_.front().score : kInfScore;
+  }
+  std::vector<JoinedResult> Sorted() {
+    std::sort(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  static bool Worse(const JoinedResult& a, const JoinedResult& b) {
+    return a.score < b.score;
+  }
+  int k_;
+  std::vector<JoinedResult> heap_;
+};
+
+}  // namespace
+
+std::vector<JoinedResult> MultiWayRankJoin(
+    const std::vector<RankedStream*>& streams, const JoinKeyFn& join_key,
+    int k, RankJoinStats* join_stats) {
+  const size_t m = streams.size();
+  RankJoinStats local;
+  RankJoinStats* js = join_stats ? join_stats : &local;
+  TopKJoined topk(k);
+
+  // Per-relation state: hash table key -> seen tuples, last score, best
+  // (first) score, exhausted flag.
+  std::vector<std::unordered_map<int32_t, std::vector<Seen>>> tables(m);
+  std::vector<double> last(m), best(m);
+  std::vector<bool> exhausted(m, false);
+  for (size_t i = 0; i < m; ++i) {
+    best[i] = streams[i]->BestPossibleNext();
+    last[i] = best[i];
+    if (best[i] == kInfScore) exhausted[i] = true;
+  }
+
+  auto sum_best_excluding = [&](size_t i) {
+    double s = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (j != i) s += best[j];
+    }
+    return s;
+  };
+  // tau over non-exhausted inputs: the best combined score any future pull
+  // can produce.
+  auto threshold = [&]() {
+    double t = kInfScore;
+    for (size_t i = 0; i < m; ++i) {
+      if (exhausted[i]) continue;
+      double ti = streams[i]->BestPossibleNext() + sum_best_excluding(i);
+      t = std::min(t, ti);
+    }
+    return t;
+  };
+
+  std::vector<size_t> combo(m);
+  while (true) {
+    double tau = threshold();
+    if (tau == kInfScore) break;  // all inputs drained
+    if (topk.Full() && topk.KthScore() <= tau) break;
+
+    // Pull from the non-exhausted input whose next tuple participates in
+    // the lowest possible combined score (it defines tau).
+    size_t pick = m;
+    double pick_bound = kInfScore;
+    for (size_t i = 0; i < m; ++i) {
+      if (exhausted[i]) continue;
+      double b = streams[i]->BestPossibleNext() + sum_best_excluding(i);
+      if (b < pick_bound) {
+        pick_bound = b;
+        pick = i;
+      }
+    }
+    if (pick == m) break;
+
+    Tid tid;
+    double score;
+    if (!streams[pick]->GetNext(&tid, &score)) {
+      exhausted[pick] = true;
+      continue;
+    }
+    ++js->tuples_pulled;
+    last[pick] = score;
+
+    // List pruning (§6.3.3): a tuple whose own score plus the best possible
+    // partners already exceeds the k-th result can never contribute.
+    if (topk.Full() && score + sum_best_excluding(pick) > topk.KthScore()) {
+      ++js->pruned_tuples;
+      // Every future tuple of this stream is worse: the stream can only
+      // contribute via already-hashed tuples, so stop pulling from it.
+      exhausted[pick] = true;
+      continue;
+    }
+
+    int32_t key = join_key(static_cast<int>(pick), tid);
+
+    // Probe all other relations; enumerate the cartesian product of
+    // matching partner lists.
+    bool all_match = true;
+    std::vector<const std::vector<Seen>*> partners(m, nullptr);
+    for (size_t j = 0; j < m && all_match; ++j) {
+      if (j == static_cast<size_t>(pick)) continue;
+      auto it = tables[j].find(key);
+      if (it == tables[j].end() || it->second.empty()) {
+        all_match = false;
+      } else {
+        partners[j] = &it->second;
+      }
+    }
+    if (all_match) {
+      std::fill(combo.begin(), combo.end(), 0);
+      while (true) {
+        JoinedResult r;
+        r.tids.resize(m);
+        r.score = 0.0;
+        for (size_t j = 0; j < m; ++j) {
+          if (j == static_cast<size_t>(pick)) {
+            r.tids[j] = tid;
+            r.score += score;
+          } else {
+            const Seen& s = (*partners[j])[combo[j]];
+            r.tids[j] = s.tid;
+            r.score += s.score;
+          }
+        }
+        topk.Offer(std::move(r));
+        ++js->results_formed;
+        size_t j = 0;
+        for (; j < m; ++j) {
+          if (j == static_cast<size_t>(pick)) continue;
+          if (++combo[j] < partners[j]->size()) break;
+          combo[j] = 0;
+        }
+        if (j == m) break;
+      }
+    }
+    tables[pick][key].push_back({tid, score});
+  }
+  return topk.Sorted();
+}
+
+}  // namespace rankcube

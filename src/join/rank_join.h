@@ -1,0 +1,44 @@
+// Multi-way rank join (§6.3.2): a hash-ripple join over rank-aware
+// selection streams with bound-based early termination and list pruning
+// (§6.3.3). Combined score = sum of per-relation scores (monotone).
+#ifndef RANKCUBE_JOIN_RANK_JOIN_H_
+#define RANKCUBE_JOIN_RANK_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/topk_query.h"
+#include "join/ranked_stream.h"
+
+namespace rankcube {
+
+/// One joined result: a tuple id per relation plus the combined score.
+struct JoinedResult {
+  std::vector<Tid> tids;
+  double score = 0.0;
+
+  bool operator<(const JoinedResult& o) const {
+    return score < o.score || (score == o.score && tids < o.tids);
+  }
+};
+
+/// Resolves a relation-local tuple to its join-key value.
+using JoinKeyFn = std::function<int32_t(int relation, Tid tid)>;
+
+struct RankJoinStats {
+  uint64_t tuples_pulled = 0;   ///< stream GetNext calls that returned data
+  uint64_t results_formed = 0;  ///< join combinations materialized
+  uint64_t pruned_tuples = 0;   ///< dropped by list pruning
+};
+
+/// Top-k over the equi-join of the streams. Stops as soon as the k-th
+/// combined score is at most the HRJN-style threshold
+///   tau = max_i ( last_i + sum_{j != i} best_j ).
+std::vector<JoinedResult> MultiWayRankJoin(
+    const std::vector<RankedStream*>& streams, const JoinKeyFn& join_key,
+    int k, RankJoinStats* join_stats = nullptr);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_JOIN_RANK_JOIN_H_

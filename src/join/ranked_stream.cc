@@ -1,0 +1,73 @@
+#include "join/ranked_stream.h"
+
+namespace rankcube {
+
+CubeRankedStream::CubeRankedStream(const Table& table,
+                                   const SignatureCube& cube,
+                                   RankingFunctionPtr function,
+                                   std::unique_ptr<BooleanPruner> pruner,
+                                   Pager* pager, ExecStats* stats)
+    : table_(table),
+      cube_(cube),
+      f_(std::move(function)),
+      pruner_(std::move(pruner)),
+      pager_(pager),
+      stats_(stats) {
+  const RTree& rtree = cube_.rtree();
+  heap_.push({f_->LowerBound(rtree.node(rtree.root()).mbr), false,
+              rtree.root(), 0,
+              {}});
+}
+
+bool CubeRankedStream::GetNext(Tid* tid, double* score) {
+  const RTree& rtree = cube_.rtree();
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (e.is_tuple) {
+      if (pruner_ == nullptr ||
+          pruner_->Qualifies(e.tid, e.path, pager_, stats_)) {
+        *tid = e.tid;
+        *score = e.score;
+        return true;
+      }
+      continue;
+    }
+    if (pruner_ != nullptr &&
+        !pruner_->MayContain(e.path, pager_, stats_)) {
+      continue;
+    }
+    const RTreeNode& node = rtree.node(e.node_id);
+    rtree.ChargeNodeAccess(pager_, e.node_id);
+    if (node.is_leaf) {
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        Entry t;
+        t.score = f_->Evaluate(node.entries[i].point.data());
+        ++stats_->tuples_evaluated;
+        t.is_tuple = true;
+        t.tid = node.entries[i].tid;
+        t.path = e.path;
+        t.path.push_back(static_cast<int>(i) + 1);
+        heap_.push(std::move(t));
+      }
+    } else {
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        Entry c;
+        c.score = f_->LowerBound(rtree.node(node.children[i]).mbr);
+        c.is_tuple = false;
+        c.node_id = node.children[i];
+        c.path = e.path;
+        c.path.push_back(static_cast<int>(i) + 1);
+        heap_.push(std::move(c));
+      }
+    }
+    stats_->MergeMax(heap_.size());
+  }
+  return false;
+}
+
+double CubeRankedStream::BestPossibleNext() const {
+  return heap_.empty() ? kInfScore : heap_.top().score;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,214 @@
+#include "join/spjr_system.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+
+namespace rankcube {
+
+int SpjrSystem::AddRelation(const Table& table) {
+  auto rel = std::make_unique<Relation>();
+  rel->table = &table;
+  rel->cube = std::make_unique<SignatureCube>(table, pager_template_);
+  rel->posting = std::make_unique<PostingIndex>(table);
+  relations_.push_back(std::move(rel));
+  return static_cast<int>(relations_.size()) - 1;
+}
+
+AccessPlan SpjrSystem::Plan(const SpjrQuery& query, int relation) const {
+  const Relation& rel = *relations_[relation];
+  return ChooseAccessPath(*rel.table, *rel.posting,
+                          query.relations[relation].predicates, query.k,
+                          pager_template_);
+}
+
+std::vector<ScoredTuple> SpjrSystem::MaterializeSorted(
+    const Relation& rel, const SpjrRelationQuery& q, Pager* pager,
+    ExecStats* stats) const {
+  // Boolean-first: most selective posting list, fetch + verify + score.
+  std::vector<ScoredTuple> out;
+  const Table& table = *rel.table;
+  std::vector<double> point(table.num_rank_dims());
+  const std::vector<Tid>* list = nullptr;
+  if (!q.predicates.empty()) {
+    const Predicate* best = &q.predicates.front();
+    for (const auto& p : q.predicates) {
+      if (rel.posting->ListSize(p.dim, p.value) <
+          rel.posting->ListSize(best->dim, best->value)) {
+        best = &p;
+      }
+    }
+    rel.posting->ChargeListScan(pager, best->dim, best->value);
+    list = &rel.posting->Lookup(best->dim, best->value);
+  }
+  auto consider = [&](Tid t) {
+    for (const auto& p : q.predicates) {
+      if (table.sel(t, p.dim) != p.value) return;
+    }
+    for (int d = 0; d < table.num_rank_dims(); ++d) {
+      point[d] = table.rank(t, d);
+    }
+    out.push_back({t, q.function->Evaluate(point.data())});
+    ++stats->tuples_evaluated;
+  };
+  if (list != nullptr) {
+    for (Tid t : *list) {
+      table.ChargeRowFetch(pager, t);
+      consider(t);
+    }
+  } else {
+    table.ChargeFullScan(pager);
+    for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) consider(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<JoinedResult>> SpjrSystem::TopK(
+    const SpjrQuery& query, Pager* pager, ExecStats* stats,
+    RankJoinStats* join_stats) {
+  if (query.relations.size() != relations_.size()) {
+    return Status::InvalidArgument("query arity != registered relations");
+  }
+  Stopwatch watch;
+  uint64_t pages_before = pager->TotalPhysical();
+
+  std::vector<std::unique_ptr<RankedStream>> streams;
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    const auto& rq = query.relations[r];
+    if (!rq.function) {
+      return Status::InvalidArgument("relation has no ranking function");
+    }
+    AccessPlan plan = Plan(query, static_cast<int>(r));
+    if (plan.kind == AccessPlan::Kind::kMaterializeSort) {
+      streams.push_back(std::make_unique<SortedVectorStream>(
+          MaterializeSorted(*relations_[r], rq, pager, stats)));
+    } else {
+      auto pruner = relations_[r]->cube->MakePruner(rq.predicates);
+      if (!pruner.ok()) return pruner.status();
+      streams.push_back(std::make_unique<CubeRankedStream>(
+          *relations_[r]->table, *relations_[r]->cube, rq.function,
+          std::move(std::move(pruner).value()), pager, stats));
+    }
+  }
+
+  std::vector<RankedStream*> raw;
+  for (auto& s : streams) raw.push_back(s.get());
+  auto key_fn = [this, &query](int relation, Tid tid) {
+    return relations_[relation]->table->sel(
+        tid, query.relations[relation].join_dim);
+  };
+  auto results = MultiWayRankJoin(raw, key_fn, query.k, join_stats);
+
+  stats->time_ms += watch.ElapsedMs();
+  stats->pages_read += pager->TotalPhysical() - pages_before;
+  return results;
+}
+
+Result<std::vector<JoinedResult>> SpjrSystem::BaselineTopK(
+    const SpjrQuery& query, Pager* pager, ExecStats* stats) const {
+  if (query.relations.size() != relations_.size()) {
+    return Status::InvalidArgument("query arity != registered relations");
+  }
+  Stopwatch watch;
+  uint64_t pages_before = pager->TotalPhysical();
+
+  // Filter + score every relation by full scan, then hash-join all.
+  std::vector<std::vector<ScoredTuple>> inputs(relations_.size());
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    const auto& rq = query.relations[r];
+    const Table& table = *relations_[r]->table;
+    table.ChargeFullScan(pager);
+    std::vector<double> point(table.num_rank_dims());
+    for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      bool ok = true;
+      for (const auto& p : rq.predicates) {
+        if (table.sel(t, p.dim) != p.value) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (int d = 0; d < table.num_rank_dims(); ++d) {
+        point[d] = table.rank(t, d);
+      }
+      inputs[r].push_back({t, rq.function->Evaluate(point.data())});
+      ++stats->tuples_evaluated;
+    }
+  }
+
+  // Iteratively hash-join relation 0 with 1, ..., m-2 (materialized), then
+  // stream the final join into a k-bounded heap: a sort-based plan never
+  // needs the full (possibly quadratic) join result in memory at once.
+  struct Partial {
+    std::vector<Tid> tids;
+    double score;
+    int32_t key;
+  };
+  std::vector<Partial> acc;
+  for (const auto& st : inputs[0]) {
+    acc.push_back({{st.tid},
+                   st.score,
+                   relations_[0]->table->sel(st.tid,
+                                             query.relations[0].join_dim)});
+  }
+  std::vector<JoinedResult> heap;  // max-heap on score, size <= k
+  auto worse = [](const JoinedResult& a, const JoinedResult& b) {
+    return a.score < b.score;
+  };
+  for (size_t r = 1; r < relations_.size(); ++r) {
+    std::unordered_map<int32_t, std::vector<ScoredTuple>> hash;
+    for (const auto& st : inputs[r]) {
+      hash[relations_[r]->table->sel(st.tid, query.relations[r].join_dim)]
+          .push_back(st);
+    }
+    const bool last = (r + 1 == relations_.size());
+    std::vector<Partial> next;
+    for (const auto& p : acc) {
+      auto it = hash.find(p.key);
+      if (it == hash.end()) continue;
+      for (const auto& st : it->second) {
+        if (last) {
+          double score = p.score + st.score;
+          if (static_cast<int>(heap.size()) >= query.k &&
+              score >= heap.front().score) {
+            continue;
+          }
+          JoinedResult jr;
+          jr.tids = p.tids;
+          jr.tids.push_back(st.tid);
+          jr.score = score;
+          if (static_cast<int>(heap.size()) < query.k) {
+            heap.push_back(std::move(jr));
+            std::push_heap(heap.begin(), heap.end(), worse);
+          } else {
+            std::pop_heap(heap.begin(), heap.end(), worse);
+            heap.back() = std::move(jr);
+            std::push_heap(heap.begin(), heap.end(), worse);
+          }
+        } else {
+          Partial np = p;
+          np.tids.push_back(st.tid);
+          np.score += st.score;
+          next.push_back(std::move(np));
+        }
+      }
+    }
+    if (!last) acc = std::move(next);
+  }
+  if (relations_.size() == 1) {
+    for (auto& p : acc) {
+      heap.push_back({std::move(p.tids), p.score});
+    }
+  }
+  std::vector<JoinedResult> all = std::move(heap);
+  std::sort(all.begin(), all.end());
+  if (all.size() > static_cast<size_t>(query.k)) all.resize(query.k);
+
+  stats->time_ms += watch.ElapsedMs();
+  stats->pages_read += pager->TotalPhysical() - pages_before;
+  return all;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,76 @@
+// The ranking-cube SPJR system (Fig 6.1): registered relations carry a
+// ranking cube (signature implementation) plus posting indices; SPJR
+// queries (select-project-join-rank, §6.1.1) execute as optimizer-chosen
+// rank-aware selections feeding the multi-way rank join. A conventional
+// full-join baseline reproduces the comparison in §6.4.
+#ifndef RANKCUBE_JOIN_SPJR_SYSTEM_H_
+#define RANKCUBE_JOIN_SPJR_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/signature_cube.h"
+#include "index/posting.h"
+#include "join/optimizer.h"
+#include "join/rank_join.h"
+#include "join/ranked_stream.h"
+
+namespace rankcube {
+
+/// One relation's slice of an SPJR query.
+struct SpjrRelationQuery {
+  std::vector<Predicate> predicates;  ///< local boolean selections
+  RankingFunctionPtr function;        ///< over this relation's ranking dims
+  int join_dim = 0;                   ///< selection dim used as join key
+};
+
+struct SpjrQuery {
+  std::vector<SpjrRelationQuery> relations;  ///< parallel to registration
+  int k = 10;
+};
+
+class SpjrSystem {
+ public:
+  explicit SpjrSystem(const Pager& pager) : pager_template_(pager) {}
+
+  /// Registers a relation (kept by reference; must outlive the system) and
+  /// builds its ranking cube + posting indices. Returns the relation slot.
+  int AddRelation(const Table& table);
+
+  /// Rank-aware execution: optimizer -> rank-aware selections -> multi-way
+  /// rank join.
+  Result<std::vector<JoinedResult>> TopK(const SpjrQuery& query, Pager* pager,
+                                         ExecStats* stats,
+                                         RankJoinStats* join_stats = nullptr);
+
+  /// Conventional plan: filter + full hash join + sort, for §6.4's
+  /// comparison.
+  Result<std::vector<JoinedResult>> BaselineTopK(const SpjrQuery& query,
+                                                 Pager* pager,
+                                                 ExecStats* stats) const;
+
+  /// The plan the optimizer would pick for one relation of `query`.
+  AccessPlan Plan(const SpjrQuery& query, int relation) const;
+
+  const SignatureCube& cube(int relation) const {
+    return *relations_[relation]->cube;
+  }
+
+ private:
+  struct Relation {
+    const Table* table;
+    std::unique_ptr<SignatureCube> cube;
+    std::unique_ptr<PostingIndex> posting;
+  };
+
+  std::vector<ScoredTuple> MaterializeSorted(
+      const Relation& rel, const SpjrRelationQuery& q, Pager* pager,
+      ExecStats* stats) const;
+
+  const Pager& pager_template_;
+  std::vector<std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_JOIN_SPJR_SYSTEM_H_

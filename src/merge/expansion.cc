@@ -1,0 +1,293 @@
+#include "merge/expansion.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rankcube {
+
+namespace {
+
+/// One component's children ordered by partial score f'(e) = lower bound of
+/// f with this component narrowed to the child's box, everything else at
+/// the parent's box (§5.2.3). A leaf component contributes itself (pos 0).
+struct Component {
+  struct Entry {
+    int pos;        // 1-based child position; 0 = self
+    double fprime;  // f'(e)
+  };
+  std::vector<Entry> entries;  // ascending fprime
+};
+
+std::vector<Component> BuildComponents(const std::vector<uint32_t>& nodes,
+                                       const Box& parent_box,
+                                       const ExpansionContext& ctx) {
+  const auto& indices = *ctx.indices;
+  std::vector<Component> comps(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const MergeIndex& idx = *indices[i];
+    Component& c = comps[i];
+    if (idx.IsLeaf(nodes[i])) {
+      c.entries.push_back({0, ctx.f->LowerBound(parent_box)});
+      continue;
+    }
+    size_t n = idx.NumChildren(nodes[i]);
+    c.entries.reserve(n);
+    Box box = parent_box;
+    for (size_t j = 0; j < n; ++j) {
+      idx.WriteBox(idx.Child(nodes[i], j), &box);
+      c.entries.push_back(
+          {static_cast<int>(j) + 1, ctx.f->LowerBound(box)});
+    }
+    idx.WriteBox(nodes[i], &box);  // restore for next component
+    std::sort(c.entries.begin(), c.entries.end(),
+              [](const Component::Entry& a, const Component::Entry& b) {
+                return a.fprime < b.fprime ||
+                       (a.fprime == b.fprime && a.pos < b.pos);
+              });
+  }
+  return comps;
+}
+
+/// Exact joint lower bound for a coordinate assignment.
+double JointLb(const std::vector<uint32_t>& nodes, const Box& parent_box,
+               const std::vector<int>& coords, const ExpansionContext& ctx) {
+  const auto& indices = *ctx.indices;
+  Box box = parent_box;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (coords[i] > 0) {
+      indices[i]->WriteBox(indices[i]->Child(nodes[i], coords[i] - 1), &box);
+    }
+  }
+  return ctx.f->LowerBound(box);
+}
+
+struct HeapItem {
+  double lb;
+  uint64_t seq;
+  std::vector<int> coords;      // per-component actual child positions
+  std::vector<int> rank;        // per-component index into sorted entries
+                                // (neighborhood only)
+  bool passes_signature = true;
+
+  bool operator>(const HeapItem& o) const {
+    return lb > o.lb || (lb == o.lb && seq > o.seq);
+  }
+};
+
+class LocalHeap {
+ public:
+  explicit LocalHeap(size_t* counter) : counter_(counter) {}
+  ~LocalHeap() {
+    if (counter_ != nullptr) *counter_ -= heap_.size();
+  }
+
+  void Push(HeapItem item) {
+    heap_.push(std::move(item));
+    if (counter_ != nullptr) ++*counter_;
+  }
+  bool empty() const { return heap_.empty(); }
+  const HeapItem& top() const { return heap_.top(); }
+  HeapItem Pop() {
+    HeapItem item = heap_.top();
+    heap_.pop();
+    if (counter_ != nullptr) --*counter_;
+    return item;
+  }
+
+ private:
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  size_t* counter_;
+};
+
+// ---------------------------------------------------------- Neighborhood --
+
+class NeighborhoodExpander : public Expander {
+ public:
+  NeighborhoodExpander(const std::vector<uint32_t>& nodes,
+                       const Box& parent_box, const ExpansionContext& ctx)
+      : nodes_(nodes),
+        parent_box_(parent_box),
+        ctx_(ctx),
+        comps_(BuildComponents(nodes, parent_box, ctx)),
+        heap_(ctx.local_entries) {
+    PushRank(std::vector<int>(comps_.size(), 0));
+  }
+
+  bool GetNext(ChildSpec* out) override {
+    while (!heap_.empty()) {
+      HeapItem item = heap_.Pop();
+      // Staircase lattice: advance component j only while every later
+      // component is still at its initial rank — generates each position
+      // exactly once (the m-way generalization of §5.2.2's N relation).
+      for (size_t j = 0; j < comps_.size(); ++j) {
+        bool later_initial = true;
+        for (size_t j2 = j + 1; j2 < comps_.size(); ++j2) {
+          if (item.rank[j2] != 0) later_initial = false;
+        }
+        if (!later_initial) continue;
+        if (item.rank[j] + 1 >= static_cast<int>(comps_[j].entries.size())) {
+          continue;
+        }
+        std::vector<int> next = item.rank;
+        ++next[j];
+        PushRank(std::move(next));
+      }
+      if (!item.passes_signature) continue;  // empty state: expand, skip
+      out->lb = item.lb;
+      out->coords = item.coords;
+      return true;
+    }
+    return false;
+  }
+
+  double PeekScore() const override {
+    return heap_.empty() ? kInfScore : heap_.top().lb;
+  }
+
+ private:
+  void PushRank(std::vector<int> rank) {
+    HeapItem item;
+    item.rank = std::move(rank);
+    item.coords.resize(comps_.size());
+    for (size_t i = 0; i < comps_.size(); ++i) {
+      item.coords[i] = comps_[i].entries[item.rank[i]].pos;
+    }
+    item.lb = JointLb(nodes_, parent_box_, item.coords, ctx_);
+    item.seq = seq_++;
+    item.passes_signature = !ctx_.child_ok || ctx_.child_ok(item.coords);
+    heap_.Push(std::move(item));
+  }
+
+  std::vector<uint32_t> nodes_;
+  Box parent_box_;
+  ExpansionContext ctx_;
+  std::vector<Component> comps_;
+  LocalHeap heap_;
+  uint64_t seq_ = 0;
+};
+
+// ------------------------------------------------------------- Threshold --
+
+class ThresholdExpander : public Expander {
+ public:
+  ThresholdExpander(const std::vector<uint32_t>& nodes, const Box& parent_box,
+                    const ExpansionContext& ctx)
+      : nodes_(nodes),
+        parent_box_(parent_box),
+        ctx_(ctx),
+        comps_(BuildComponents(nodes, parent_box, ctx)),
+        consumed_(comps_.size(), 1),
+        heap_(ctx.local_entries) {
+    // Initial state: the best entry of every component.
+    std::vector<int> coords(comps_.size());
+    for (size_t i = 0; i < comps_.size(); ++i) {
+      coords[i] = comps_[i].entries[0].pos;
+    }
+    PushCoords(std::move(coords));
+  }
+
+  bool GetNext(ChildSpec* out) override {
+    Refill();
+    if (heap_.empty()) return false;
+    HeapItem item = heap_.Pop();
+    out->lb = item.lb;
+    out->coords = item.coords;
+    return true;
+  }
+
+  double PeekScore() const override {
+    double peek = heap_.empty() ? kInfScore : heap_.top().lb;
+    return std::min(peek, NextThreshold());
+  }
+
+ private:
+  double NextThreshold() const {
+    double t = kInfScore;
+    for (size_t i = 0; i < comps_.size(); ++i) {
+      if (consumed_[i] < comps_[i].entries.size()) {
+        t = std::min(t, comps_[i].entries[consumed_[i]].fprime);
+      }
+    }
+    return t;
+  }
+
+  /// Advance thresholds until the heap top is proven to be the next-best
+  /// child (f(l_heap.root) <= min_i f'(e_i^{t_i}), §5.2.3).
+  void Refill() {
+    while (true) {
+      double threshold = NextThreshold();
+      if (threshold == kInfScore) return;  // all components exhausted
+      if (!heap_.empty() && heap_.top().lb <= threshold) return;
+      // Advance the component with the minimal next partial score.
+      size_t s = comps_.size();
+      double best = kInfScore;
+      for (size_t i = 0; i < comps_.size(); ++i) {
+        if (consumed_[i] < comps_[i].entries.size() &&
+            comps_[i].entries[consumed_[i]].fprime < best) {
+          best = comps_[i].entries[consumed_[i]].fprime;
+          s = i;
+        }
+      }
+      if (s == comps_.size()) return;
+      // New candidates: consumed prefixes of the others x the new entry.
+      std::vector<int> coords(comps_.size());
+      EmitProduct(s, 0, &coords);
+      ++consumed_[s];
+    }
+  }
+
+  void EmitProduct(size_t s, size_t depth, std::vector<int>* coords) {
+    if (depth == comps_.size()) {
+      PushCoords(*coords);
+      return;
+    }
+    if (depth == s) {
+      (*coords)[depth] = comps_[s].entries[consumed_[s]].pos;
+      EmitProduct(s, depth + 1, coords);
+      return;
+    }
+    for (size_t j = 0; j < consumed_[depth]; ++j) {
+      (*coords)[depth] = comps_[depth].entries[j].pos;
+      EmitProduct(s, depth + 1, coords);
+    }
+  }
+
+  void PushCoords(std::vector<int> coords) {
+    if (ctx_.child_ok && !ctx_.child_ok(coords)) return;  // empty: prune
+    HeapItem item;
+    item.lb = JointLb(nodes_, parent_box_, coords, ctx_);
+    item.coords = std::move(coords);
+    item.seq = seq_++;
+    heap_.Push(std::move(item));
+  }
+
+  std::vector<uint32_t> nodes_;
+  Box parent_box_;
+  ExpansionContext ctx_;
+  std::vector<Component> comps_;
+  std::vector<size_t> consumed_;
+  LocalHeap heap_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace
+
+bool NeighborhoodApplicable(const std::vector<const MergeIndex*>& indices,
+                            const RankingFunction& f) {
+  for (const auto* idx : indices) {
+    if (!idx->ordered()) return false;
+  }
+  return f.MonotoneDirections().has_value() ||
+         f.SemiMonotoneCenter().has_value();
+}
+
+std::unique_ptr<Expander> MakeExpander(const std::vector<uint32_t>& nodes,
+                                       const Box& parent_box,
+                                       const ExpansionContext& ctx) {
+  if (NeighborhoodApplicable(*ctx.indices, *ctx.f)) {
+    return std::make_unique<NeighborhoodExpander>(nodes, parent_box, ctx);
+  }
+  return std::make_unique<ThresholdExpander>(nodes, parent_box, ctx);
+}
+
+}  // namespace rankcube

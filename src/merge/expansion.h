@@ -1,0 +1,61 @@
+// Progressive child-state generation for the double-heap algorithm (§5.2):
+// every joint state lazily yields its child states best-first through an
+// Expander. Two strategies:
+//  * NeighborhoodExpander (§5.2.2) — ordered indices + separable monotone /
+//    semi-monotone f: children per component sorted by partial score, the
+//    frontier walks the staircase lattice (no duplicates by construction).
+//  * ThresholdExpander (§5.2.3) — general f: sort-merge over per-component
+//    partial scores with threshold positions (instance-optimal, Lemma 7).
+#ifndef RANKCUBE_MERGE_EXPANSION_H_
+#define RANKCUBE_MERGE_EXPANSION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "func/ranking_function.h"
+#include "merge/merge_index.h"
+
+namespace rankcube {
+
+/// A child state identified by per-component child positions (1-based;
+/// 0 = the component is a leaf joining as itself).
+struct ChildSpec {
+  double lb = 0.0;
+  std::vector<int> coords;
+};
+
+/// Engine-supplied hooks shared by both expanders.
+struct ExpansionContext {
+  const std::vector<const MergeIndex*>* indices = nullptr;
+  const RankingFunction* f = nullptr;
+  /// Empty-state pruning (join-signature); null = accept all children.
+  std::function<bool(const std::vector<int>& coords)> child_ok;
+  /// Shared counter of live local-heap entries (peak-heap accounting).
+  size_t* local_entries = nullptr;
+};
+
+class Expander {
+ public:
+  virtual ~Expander() = default;
+  /// Next-best child; false when exhausted.
+  virtual bool GetNext(ChildSpec* out) = 0;
+  /// Best possible score of any future child (+inf when exhausted); the
+  /// double-heap re-inserts the parent with this score.
+  virtual double PeekScore() const = 0;
+};
+
+/// Chooses the strategy for a state with component `nodes` whose combined
+/// domain is `parent_box`: neighborhood expansion when every index is
+/// ordered and f is (semi-)monotone — i.e. separable — else threshold.
+std::unique_ptr<Expander> MakeExpander(const std::vector<uint32_t>& nodes,
+                                       const Box& parent_box,
+                                       const ExpansionContext& ctx);
+
+/// Exposed for tests: true when the neighborhood strategy applies.
+bool NeighborhoodApplicable(const std::vector<const MergeIndex*>& indices,
+                            const RankingFunction& f);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_MERGE_EXPANSION_H_

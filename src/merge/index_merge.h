@@ -1,0 +1,44 @@
+// Ranked query processing by index-merge (Ch5): progressive search over the
+// space of joint states composed of nodes from m hierarchical indices.
+//
+// Three configurations reproduce the thesis's comparisons:
+//  * kBaseline (BL)     — Algorithm 4: full expansion of popped states.
+//  * kProgressive (PE)  — the double-heap algorithm: states expand lazily
+//                         through neighborhood / threshold expansion (§5.2).
+//  * PE + signatures    — kProgressive with join-signatures pruning
+//                         empty states (§5.3, type-II optimality).
+#ifndef RANKCUBE_MERGE_INDEX_MERGE_H_
+#define RANKCUBE_MERGE_INDEX_MERGE_H_
+
+#include <vector>
+
+#include "core/topk_query.h"
+#include "merge/expansion.h"
+#include "merge/join_signature.h"
+#include "merge/merge_index.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+struct MergeOptions {
+  enum class Mode { kBaseline, kProgressive };
+  Mode mode = Mode::kProgressive;
+
+  /// Join-signatures for empty-state pruning. Each signature covers the
+  /// engine index positions listed in the parallel `signature_positions`
+  /// entry (a single all-positions signature, or pairwise ones for m > 2,
+  /// §5.3.3). Empty = no signature pruning.
+  std::vector<const JoinSignature*> signatures;
+  std::vector<std::vector<int>> signature_positions;
+};
+
+/// Top-k over the merged indices (no boolean predicates in Ch5's model).
+/// Results and I/O/state counters are written to `stats`.
+std::vector<ScoredTuple> IndexMergeTopK(
+    const Table& table, const std::vector<const MergeIndex*>& indices,
+    const RankingFunctionPtr& function, int k, const MergeOptions& options,
+    Pager* pager, ExecStats* stats);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_MERGE_INDEX_MERGE_H_

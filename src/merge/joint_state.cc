@@ -1,0 +1,37 @@
+#include "merge/joint_state.h"
+
+namespace rankcube {
+
+StateKey MakeStateKey(const std::vector<std::vector<int>>& paths) {
+  StateKey key;
+  size_t total = paths.size();
+  for (const auto& p : paths) total += p.size();
+  key.flat.reserve(total);
+  for (const auto& p : paths) {
+    key.flat.push_back(static_cast<int>(p.size()));
+    key.flat.insert(key.flat.end(), p.begin(), p.end());
+  }
+  return key;
+}
+
+StateKey MakeStateKeySubset(const std::vector<std::vector<int>>& paths,
+                            const std::vector<int>& positions) {
+  StateKey key;
+  for (int i : positions) {
+    key.flat.push_back(static_cast<int>(paths[i].size()));
+    key.flat.insert(key.flat.end(), paths[i].begin(), paths[i].end());
+  }
+  return key;
+}
+
+uint64_t CoordCode(const std::vector<int>& coords,
+                   const std::vector<int>& bases) {
+  uint64_t code = 0;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    code = code * static_cast<uint64_t>(bases[i] + 1) +
+           static_cast<uint64_t>(coords[i]);
+  }
+  return code;
+}
+
+}  // namespace rankcube

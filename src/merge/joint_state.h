@@ -1,0 +1,46 @@
+// Joint-state identity: a state in the merged space is addressed by the
+// per-index node paths (§5.3.1); child states by per-index child positions
+// (0 = the index bottomed out at a leaf and contributes itself, §5.1.1).
+#ifndef RANKCUBE_MERGE_JOINT_STATE_H_
+#define RANKCUBE_MERGE_JOINT_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rankcube {
+
+/// Exact (collision-free) key for a joint state: the concatenated per-index
+/// node paths with length separators.
+struct StateKey {
+  std::vector<int> flat;
+
+  bool operator==(const StateKey&) const = default;
+};
+
+struct StateKeyHash {
+  size_t operator()(const StateKey& k) const {
+    uint64_t h = 0xCBF29CE484222325ull;
+    for (int v : k.flat) {
+      h ^= static_cast<uint64_t>(v) + 0x9E3779B9u;
+      h *= 0x100000001B3ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Builds the key of the state addressed by `paths` (one path per index).
+StateKey MakeStateKey(const std::vector<std::vector<int>>& paths);
+
+/// Same, restricted to a subset of index positions (pairwise signatures).
+StateKey MakeStateKeySubset(const std::vector<std::vector<int>>& paths,
+                            const std::vector<int>& positions);
+
+/// Linearizes child coordinates (1-based positions, 0 = self) with bases
+/// fanout_i + 1: the bit/bloom address inside a state-signature.
+uint64_t CoordCode(const std::vector<int>& coords,
+                   const std::vector<int>& bases);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_MERGE_JOINT_STATE_H_

@@ -1,0 +1,3 @@
+#include "merge/merge_index.h"
+
+namespace rankcube {}  // namespace rankcube

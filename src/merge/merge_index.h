@@ -1,0 +1,123 @@
+// Uniform view over hierarchical indices for the Ch5 index-merge paradigm:
+// a top-k query merges m indices (B+-trees or R-trees), each covering a
+// subset of the ranking dimensions (§5.1.1). The view exposes exactly what
+// joint-state search needs: node topology, per-node domain boxes projected
+// into the full ranking space, leaf tid lists, paths (for join-signatures),
+// and whether entries are totally ordered (neighborhood expansion needs it).
+#ifndef RANKCUBE_MERGE_MERGE_INDEX_H_
+#define RANKCUBE_MERGE_MERGE_INDEX_H_
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "index/btree.h"
+#include "index/rtree.h"
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+class MergeIndex {
+ public:
+  virtual ~MergeIndex() = default;
+
+  /// Table ranking dimensions this index covers.
+  virtual const std::vector<int>& dims() const = 0;
+  virtual uint32_t root() const = 0;
+  virtual bool IsLeaf(uint32_t id) const = 0;
+  virtual size_t NumChildren(uint32_t id) const = 0;
+  virtual uint32_t Child(uint32_t id, size_t i) const = 0;
+  /// Overwrites this index's dims in `box` with node `id`'s extent.
+  virtual void WriteBox(uint32_t id, Box* box) const = 0;
+  /// Tids stored in leaf `id`.
+  virtual void LeafTids(uint32_t id, std::vector<Tid>* out) const = 0;
+  /// True when child entries are totally ordered along one attribute.
+  virtual bool ordered() const = 0;
+  virtual int fanout() const = 0;
+  virtual void ChargeAccess(Pager* pager, uint32_t id) const = 0;
+  /// Node-granularity tuple paths (no leaf entry position), for
+  /// join-signature construction (§5.3.2). Indexed by tid.
+  virtual std::vector<std::vector<int>> TupleNodePaths() const = 0;
+};
+
+/// B+-tree over one attribute.
+class BTreeMergeIndex : public MergeIndex {
+ public:
+  /// `table_dim` is the ranking column the tree indexes.
+  BTreeMergeIndex(const BTree* tree, int table_dim)
+      : tree_(tree), dims_{table_dim} {}
+
+  const std::vector<int>& dims() const override { return dims_; }
+  uint32_t root() const override { return tree_->root(); }
+  bool IsLeaf(uint32_t id) const override { return tree_->node(id).is_leaf; }
+  size_t NumChildren(uint32_t id) const override {
+    return tree_->node(id).children.size();
+  }
+  uint32_t Child(uint32_t id, size_t i) const override {
+    return tree_->node(id).children[i];
+  }
+  void WriteBox(uint32_t id, Box* box) const override {
+    (*box)[dims_[0]] = tree_->node(id).range;
+  }
+  void LeafTids(uint32_t id, std::vector<Tid>* out) const override {
+    out->clear();
+    for (const auto& [v, tid] : tree_->node(id).entries) {
+      (void)v;
+      out->push_back(tid);
+    }
+  }
+  bool ordered() const override { return true; }
+  int fanout() const override { return tree_->fanout(); }
+  void ChargeAccess(Pager* pager, uint32_t id) const override {
+    tree_->ChargeNodeAccess(pager, id);
+  }
+  std::vector<std::vector<int>> TupleNodePaths() const override {
+    return tree_->TuplePaths();
+  }
+
+ private:
+  const BTree* tree_;
+  std::vector<int> dims_;
+};
+
+/// R-tree over a set of attributes (`dims[i]` is the table column of the
+/// tree's local coordinate i).
+class RTreeMergeIndex : public MergeIndex {
+ public:
+  RTreeMergeIndex(const RTree* tree, std::vector<int> dims)
+      : tree_(tree), dims_(std::move(dims)) {}
+
+  const std::vector<int>& dims() const override { return dims_; }
+  uint32_t root() const override { return tree_->root(); }
+  bool IsLeaf(uint32_t id) const override { return tree_->node(id).is_leaf; }
+  size_t NumChildren(uint32_t id) const override {
+    return tree_->node(id).children.size();
+  }
+  uint32_t Child(uint32_t id, size_t i) const override {
+    return tree_->node(id).children[i];
+  }
+  void WriteBox(uint32_t id, Box* box) const override {
+    const Box& mbr = tree_->node(id).mbr;
+    for (size_t d = 0; d < dims_.size(); ++d) (*box)[dims_[d]] = mbr[d];
+  }
+  void LeafTids(uint32_t id, std::vector<Tid>* out) const override {
+    out->clear();
+    for (const auto& e : tree_->node(id).entries) out->push_back(e.tid);
+  }
+  bool ordered() const override { return false; }
+  int fanout() const override { return tree_->max_entries(); }
+  void ChargeAccess(Pager* pager, uint32_t id) const override {
+    tree_->ChargeNodeAccess(pager, id);
+  }
+  std::vector<std::vector<int>> TupleNodePaths() const override {
+    return tree_->TupleNodePaths();
+  }
+
+ private:
+  const RTree* tree_;
+  std::vector<int> dims_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_MERGE_MERGE_INDEX_H_

@@ -1,0 +1,77 @@
+#include "skyline/olap_session.h"
+
+#include <algorithm>
+
+namespace rankcube {
+
+Result<std::vector<Tid>> SkylineSession::Query(
+    std::vector<Predicate> predicates, SkylineTransform transform,
+    Pager* pager, ExecStats* stats) {
+  predicates_ = std::move(predicates);
+  transform_ = std::move(transform);
+  journal_ = BBSJournal();
+  auto pruner = engine_->cube().MakePruner(predicates_);
+  if (!pruner.ok()) return pruner.status();
+  auto result =
+      BBSSkyline(engine_->table(), engine_->cube().rtree(), transform_,
+                 pruner.value().get(), pager, stats, &journal_);
+  active_ = true;
+  return result;
+}
+
+Result<std::vector<Tid>> SkylineSession::RunSeeded(
+    const std::vector<BBSJournal::Entry>& seed, Pager* pager,
+    ExecStats* stats) {
+  BBSJournal fresh;
+  auto pruner = engine_->cube().MakePruner(predicates_);
+  if (!pruner.ok()) return pruner.status();
+  auto result =
+      BBSSkyline(engine_->table(), engine_->cube().rtree(), transform_,
+                 pruner.value().get(), pager, stats, &fresh, &seed);
+  journal_ = std::move(fresh);
+  return result;
+}
+
+Result<std::vector<Tid>> SkylineSession::DrillDown(
+    const std::vector<Predicate>& extra, Pager* pager, ExecStats* stats) {
+  if (!active_) return Status::InvalidArgument("no active session query");
+  for (const auto& p : extra) predicates_.push_back(p);
+  std::sort(predicates_.begin(), predicates_.end(),
+            [](const Predicate& a, const Predicate& b) {
+              return a.dim < b.dim;
+            });
+  // Re-constructed heap (Fig 7.2): previous skyline + dominance-discarded.
+  // Entries the old (weaker) predicate set pruned stay pruned.
+  std::vector<BBSJournal::Entry> seed = journal_.skyline;
+  seed.insert(seed.end(), journal_.dominated.begin(),
+              journal_.dominated.end());
+  // Boolean-pruned entries must be carried forward in the journal so a
+  // later roll-up can still re-admit them.
+  std::vector<BBSJournal::Entry> carried = journal_.boolean_pruned;
+  auto result = RunSeeded(seed, pager, stats);
+  journal_.boolean_pruned.insert(journal_.boolean_pruned.end(),
+                                 carried.begin(), carried.end());
+  return result;
+}
+
+Result<std::vector<Tid>> SkylineSession::RollUp(
+    const std::vector<int>& drop_dims, Pager* pager, ExecStats* stats) {
+  if (!active_) return Status::InvalidArgument("no active session query");
+  std::vector<Predicate> kept;
+  for (const auto& p : predicates_) {
+    if (std::find(drop_dims.begin(), drop_dims.end(), p.dim) ==
+        drop_dims.end()) {
+      kept.push_back(p);
+    }
+  }
+  predicates_ = std::move(kept);
+  // Relaxing predicates re-admits boolean-pruned entries (§7.2.4).
+  std::vector<BBSJournal::Entry> seed = journal_.skyline;
+  seed.insert(seed.end(), journal_.dominated.begin(),
+              journal_.dominated.end());
+  seed.insert(seed.end(), journal_.boolean_pruned.begin(),
+              journal_.boolean_pruned.end());
+  return RunSeeded(seed, pager, stats);
+}
+
+}  // namespace rankcube

@@ -1,0 +1,51 @@
+// Drill-down / roll-up skyline sessions (§7.2.4): instead of re-running BBS
+// from the R-tree root when the user tightens or relaxes the boolean
+// selection, the candidate heap is re-constructed from the previous run's
+// journal (Fig 7.2):
+//  * drill-down (add predicates): seed = previous skyline + entries that
+//    were discarded by dominance (boolean-pruned entries stay pruned);
+//  * roll-up (remove predicates): seed additionally re-admits the entries
+//    the old predicate set had boolean-pruned.
+#ifndef RANKCUBE_SKYLINE_OLAP_SESSION_H_
+#define RANKCUBE_SKYLINE_OLAP_SESSION_H_
+
+#include <vector>
+
+#include "skyline/skyline_cube.h"
+
+namespace rankcube {
+
+class SkylineSession {
+ public:
+  explicit SkylineSession(const SkylineEngine* engine) : engine_(engine) {}
+
+  /// Fresh query; establishes the session state.
+  Result<std::vector<Tid>> Query(std::vector<Predicate> predicates,
+                                 SkylineTransform transform, Pager* pager,
+                                 ExecStats* stats);
+
+  /// Adds `extra` predicates to the current selection.
+  Result<std::vector<Tid>> DrillDown(const std::vector<Predicate>& extra,
+                                     Pager* pager, ExecStats* stats);
+
+  /// Removes the predicates on `drop_dims` from the current selection.
+  Result<std::vector<Tid>> RollUp(const std::vector<int>& drop_dims,
+                                  Pager* pager, ExecStats* stats);
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+ private:
+  Result<std::vector<Tid>> RunSeeded(
+      const std::vector<BBSJournal::Entry>& seed, Pager* pager,
+      ExecStats* stats);
+
+  const SkylineEngine* engine_;
+  std::vector<Predicate> predicates_;
+  SkylineTransform transform_ = SkylineTransform::Static(0);
+  BBSJournal journal_;
+  bool active_ = false;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_SKYLINE_OLAP_SESSION_H_

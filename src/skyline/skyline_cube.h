@@ -1,0 +1,48 @@
+// Skyline query engine over the signature ranking cube (Ch7): the three
+// evaluated configurations — Boolean (filter-first), Ranking (BBS with
+// per-candidate verification), Signature (BBS with signature pruning).
+#ifndef RANKCUBE_SKYLINE_SKYLINE_CUBE_H_
+#define RANKCUBE_SKYLINE_SKYLINE_CUBE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/signature_cube.h"
+#include "index/posting.h"
+#include "skyline/bbs.h"
+
+namespace rankcube {
+
+class SkylineEngine {
+ public:
+  /// Builds the R-tree + signature cube + posting indices over `table`.
+  SkylineEngine(const Table& table, const Pager& pager);
+
+  /// BBS + signature boolean pruning (the thesis's method).
+  Result<std::vector<Tid>> Signature(const std::vector<Predicate>& predicates,
+                                     const SkylineTransform& transform,
+                                     Pager* pager, ExecStats* stats,
+                                     BBSJournal* journal = nullptr) const;
+
+  /// BBS; boolean predicates verified per candidate via table fetches.
+  std::vector<Tid> RankingFirst(const std::vector<Predicate>& predicates,
+                                const SkylineTransform& transform,
+                                Pager* pager, ExecStats* stats) const;
+
+  /// Filter-first: posting-list selection, then in-memory skyline.
+  std::vector<Tid> BooleanFirst(const std::vector<Predicate>& predicates,
+                                const SkylineTransform& transform,
+                                Pager* pager, ExecStats* stats) const;
+
+  const SignatureCube& cube() const { return cube_; }
+  const Table& table() const { return table_; }
+
+ private:
+  const Table& table_;
+  SignatureCube cube_;
+  PostingIndex posting_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_SKYLINE_SKYLINE_CUBE_H_

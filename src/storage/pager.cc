@@ -1,0 +1,84 @@
+#include "storage/pager.h"
+
+#include <sstream>
+
+namespace rankcube {
+
+const char* IoCategoryName(IoCategory cat) {
+  switch (cat) {
+    case IoCategory::kTable:
+      return "table";
+    case IoCategory::kPosting:
+      return "posting";
+    case IoCategory::kComposite:
+      return "composite";
+    case IoCategory::kBTree:
+      return "btree";
+    case IoCategory::kRTree:
+      return "rtree";
+    case IoCategory::kCuboid:
+      return "cuboid";
+    case IoCategory::kBaseBlock:
+      return "baseblock";
+    case IoCategory::kSignature:
+      return "signature";
+    case IoCategory::kJoinSignature:
+      return "joinsig";
+    default:
+      return "?";
+  }
+}
+
+void Pager::Access(IoCategory cat, uint64_t key, uint64_t npages) {
+  IoStats& s = stats_[static_cast<int>(cat)];
+  s.logical += npages;
+  if (npages != 1 || options_.cache_pages == 0) {
+    s.physical += npages;
+    return;
+  }
+  CacheKey ck = MakeKey(cat, key);
+  auto it = in_cache_.find(ck);
+  if (it != in_cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh
+    return;                                       // hit: no physical access
+  }
+  s.physical += 1;
+  lru_.push_front(ck);
+  in_cache_[ck] = lru_.begin();
+  if (lru_.size() > options_.cache_pages) {
+    in_cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+uint64_t Pager::TotalLogical() const {
+  uint64_t t = 0;
+  for (const auto& s : stats_) t += s.logical;
+  return t;
+}
+
+uint64_t Pager::TotalPhysical() const {
+  uint64_t t = 0;
+  for (const auto& s : stats_) t += s.physical;
+  return t;
+}
+
+void Pager::ResetStats() { stats_.fill(IoStats{}); }
+
+void Pager::ClearCache() {
+  lru_.clear();
+  in_cache_.clear();
+}
+
+std::string Pager::StatsString() const {
+  std::ostringstream os;
+  for (int c = 0; c < static_cast<int>(IoCategory::kNumCategories); ++c) {
+    const IoStats& s = stats_[c];
+    if (s.logical == 0) continue;
+    os << IoCategoryName(static_cast<IoCategory>(c)) << "=" << s.physical
+       << "/" << s.logical << " ";
+  }
+  return os.str();
+}
+
+}  // namespace rankcube

@@ -1,0 +1,62 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace rankcube {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  sel_cols_.resize(schema_.num_sel_dims());
+  rank_cols_.resize(schema_.num_rank_dims);
+}
+
+Status Table::AddRow(const std::vector<int32_t>& sel,
+                     const std::vector<double>& rank) {
+  if (static_cast<int>(sel.size()) != schema_.num_sel_dims()) {
+    return Status::InvalidArgument("selection arity mismatch");
+  }
+  if (static_cast<int>(rank.size()) != schema_.num_rank_dims) {
+    return Status::InvalidArgument("ranking arity mismatch");
+  }
+  for (int d = 0; d < schema_.num_sel_dims(); ++d) {
+    if (sel[d] < 0 || sel[d] >= schema_.sel_cardinality[d]) {
+      return Status::OutOfRange("selection value out of dimension domain");
+    }
+    sel_cols_[d].push_back(sel[d]);
+  }
+  for (int d = 0; d < schema_.num_rank_dims; ++d) {
+    rank_cols_[d].push_back(rank[d]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+std::vector<double> Table::RankRow(Tid row) const {
+  std::vector<double> v(schema_.num_rank_dims);
+  for (int d = 0; d < schema_.num_rank_dims; ++d) v[d] = rank_cols_[d][row];
+  return v;
+}
+
+size_t Table::RowBytes() const {
+  // tid + S ints + R doubles, the unit-cost accounting the thesis uses when
+  // comparing index sizes against "the base table" (§3.5.3).
+  return 4 + 4 * schema_.num_sel_dims() + 8 * schema_.num_rank_dims;
+}
+
+size_t Table::RowsPerPage(const Pager& pager) const {
+  return std::max<size_t>(1, pager.page_size() / RowBytes());
+}
+
+uint64_t Table::NumPages(const Pager& pager) const {
+  size_t rpp = RowsPerPage(pager);
+  return (num_rows_ + rpp - 1) / rpp;
+}
+
+void Table::ChargeRowFetch(Pager* pager, Tid row) const {
+  pager->Access(IoCategory::kTable, row / RowsPerPage(*pager));
+}
+
+void Table::ChargeFullScan(Pager* pager) const {
+  pager->Access(IoCategory::kTable, 0, NumPages(*pager));
+}
+
+}  // namespace rankcube

@@ -1,0 +1,71 @@
+// In-memory column-major relation with S categorical selection dimensions and
+// R real-valued ranking dimensions (§1.2.1 data model). Row fetches are
+// charged to the pager as heap-page accesses so baselines that do random
+// tuple lookups pay the same cost profile the thesis measures.
+#ifndef RANKCUBE_STORAGE_TABLE_H_
+#define RANKCUBE_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace rankcube {
+
+using Tid = uint32_t;  ///< tuple identifier (dense, 0-based)
+
+/// Shape of a relation: cardinality of each selection dimension plus the
+/// number of ranking dimensions. Ranking values live in [0, 1] by convention
+/// (§3.2.2); generators normalize into that range.
+struct TableSchema {
+  std::vector<int32_t> sel_cardinality;  ///< size S; values in [0, card)
+  int num_rank_dims = 0;                 ///< R
+
+  int num_sel_dims() const { return static_cast<int>(sel_cardinality.size()); }
+};
+
+/// Column-major table. Append-only; rows are identified by insertion order.
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_sel_dims() const { return schema_.num_sel_dims(); }
+  int num_rank_dims() const { return schema_.num_rank_dims; }
+
+  /// Appends a row; `sel` must have S entries in range, `rank` R entries.
+  Status AddRow(const std::vector<int32_t>& sel,
+                const std::vector<double>& rank);
+
+  int32_t sel(Tid row, int dim) const { return sel_cols_[dim][row]; }
+  double rank(Tid row, int dim) const { return rank_cols_[dim][row]; }
+
+  /// Copy of the full ranking-vector of a row (size R).
+  std::vector<double> RankRow(Tid row) const;
+  /// Pointer view used on hot paths; valid until the next AddRow.
+  const double* rank_col(int dim) const { return rank_cols_[dim].data(); }
+
+  /// Bytes a row occupies in the simulated heap file.
+  size_t RowBytes() const;
+  /// Rows that fit one heap page for `pager`.
+  size_t RowsPerPage(const Pager& pager) const;
+  /// Total heap pages of the relation (used by sequential scans).
+  uint64_t NumPages(const Pager& pager) const;
+
+  /// Charge a random access fetching `row`'s heap page.
+  void ChargeRowFetch(Pager* pager, Tid row) const;
+  /// Charge a full sequential scan of the heap file.
+  void ChargeFullScan(Pager* pager) const;
+
+ private:
+  TableSchema schema_;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<int32_t>> sel_cols_;
+  std::vector<std::vector<double>> rank_cols_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_STORAGE_TABLE_H_

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "func/ranking_function.h"
+
+namespace rankcube {
+namespace {
+
+TEST(LinearFunctionTest, EvaluateAndBounds) {
+  LinearFunction f({1.0, 2.0});
+  double p[] = {0.5, 0.25};
+  EXPECT_DOUBLE_EQ(f.Evaluate(p), 1.0);
+  Box box{{0.2, 0.4}, {0.1, 0.3}};
+  EXPECT_DOUBLE_EQ(f.LowerBound(box), 0.2 + 2 * 0.1);
+  EXPECT_TRUE(f.convex());
+  auto dirs = f.MonotoneDirections();
+  ASSERT_TRUE(dirs.has_value());
+  EXPECT_EQ(*dirs, (std::vector<int>{1, 1}));
+}
+
+TEST(LinearFunctionTest, NegativeWeights) {
+  LinearFunction f({1.0, -1.0});
+  Box box{{0.0, 1.0}, {0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(f.LowerBound(box), -1.0);  // x=0, y=1
+  auto mins = f.Minimizer(box);
+  EXPECT_DOUBLE_EQ(mins[0], 0.0);
+  EXPECT_DOUBLE_EQ(mins[1], 1.0);
+  EXPECT_EQ((*f.MonotoneDirections())[1], -1);
+}
+
+TEST(LinearFunctionTest, UninvolvedDims) {
+  LinearFunction f({0.0, 3.0, 0.0});
+  EXPECT_EQ(f.involved_dims(), (std::vector<int>{1}));
+  double p[] = {9.0, 0.5, 7.0};
+  EXPECT_DOUBLE_EQ(f.Evaluate(p), 1.5);
+}
+
+TEST(QuadraticDistanceTest, EvaluateAndBounds) {
+  QuadraticDistance f({1.0, 1.0}, {0.5, 0.5});
+  double p[] = {0.7, 0.5};
+  EXPECT_NEAR(f.Evaluate(p), 0.04, 1e-12);
+  // Box containing the target: bound 0.
+  EXPECT_DOUBLE_EQ(f.LowerBound(Box::Unit(2)), 0.0);
+  // Box away from the target.
+  Box far{{0.8, 0.9}, {0.5, 0.6}};
+  EXPECT_NEAR(f.LowerBound(far), 0.09, 1e-12);
+  auto center = f.SemiMonotoneCenter();
+  ASSERT_TRUE(center.has_value());
+  EXPECT_EQ(*center, (std::vector<double>{0.5, 0.5}));
+}
+
+TEST(L1DistanceTest, Evaluate) {
+  L1Distance f({2.0, 1.0}, {0.5, 0.0});
+  double p[] = {0.75, 0.5};
+  EXPECT_DOUBLE_EQ(f.Evaluate(p), 2 * 0.25 + 0.5);
+  EXPECT_TRUE(f.convex());
+}
+
+TEST(SquaredLinearTest, ZeroInsideBox) {
+  // fg = (2X - Y - Z)^2 (§4.4.2's general query).
+  SquaredLinear f({2.0, -1.0, -1.0});
+  EXPECT_DOUBLE_EQ(f.LowerBound(Box::Unit(3)), 0.0);
+  double p[] = {0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(f.Evaluate(p), 0.0);
+  // Minimizer achieves the lower bound.
+  auto m = f.Minimizer(Box::Unit(3));
+  EXPECT_NEAR(f.Evaluate(m.data()), 0.0, 1e-12);
+}
+
+TEST(SquaredLinearTest, BoxAwayFromZero) {
+  SquaredLinear f({1.0, -1.0});
+  Box box{{0.8, 0.9}, {0.0, 0.1}};  // inner in [0.7, 0.9]
+  EXPECT_NEAR(f.LowerBound(box), 0.49, 1e-12);
+  auto m = f.Minimizer(box);
+  EXPECT_NEAR(f.Evaluate(m.data()), 0.49, 1e-12);
+}
+
+TEST(GeneralABTest, EvaluateAndBounds) {
+  GeneralAB f(2, 0, 1);  // (A - B^2)^2
+  double p[] = {0.25, 0.5};
+  EXPECT_DOUBLE_EQ(f.Evaluate(p), 0.0);
+  EXPECT_DOUBLE_EQ(f.LowerBound(Box::Unit(2)), 0.0);
+  Box box{{0.9, 1.0}, {0.0, 0.1}};  // a ~ 1, b^2 ~ 0
+  EXPECT_NEAR(f.LowerBound(box), (0.9 - 0.01) * (0.9 - 0.01), 1e-12);
+}
+
+TEST(ConstrainedSumTest, InfOutsideBand) {
+  ConstrainedSum f(2, 0, 1, 0.4, 0.6);
+  double inside[] = {0.1, 0.5};
+  double outside[] = {0.1, 0.9};
+  EXPECT_DOUBLE_EQ(f.Evaluate(inside), 0.6);
+  EXPECT_EQ(f.Evaluate(outside), kInfScore);
+  Box out_box{{0.0, 1.0}, {0.7, 1.0}};
+  EXPECT_EQ(f.LowerBound(out_box), kInfScore);
+  Box in_box{{0.2, 0.3}, {0.3, 0.5}};
+  EXPECT_DOUBLE_EQ(f.LowerBound(in_box), 0.2 + 0.4);
+}
+
+// ------------------------------------------------------------------------
+// Property sweep: for every function kind, LowerBound(box) must bound
+// Evaluate(p) for all p in box, and Minimizer(box) must land in the box.
+// ------------------------------------------------------------------------
+
+RankingFunctionPtr MakeFunction(const std::string& kind) {
+  if (kind == "linear") return std::make_shared<LinearFunction>(
+      std::vector<double>{1.0, 2.5, 0.5});
+  if (kind == "linear_neg") return std::make_shared<LinearFunction>(
+      std::vector<double>{1.0, -2.0, 0.0});
+  if (kind == "l2") return std::make_shared<QuadraticDistance>(
+      std::vector<double>{1.0, 1.0, 2.0}, std::vector<double>{0.3, 0.7, 0.5});
+  if (kind == "l1") return std::make_shared<L1Distance>(
+      std::vector<double>{1.0, 1.0, 0.0}, std::vector<double>{0.9, 0.1, 0.0});
+  if (kind == "sqlinear") return std::make_shared<SquaredLinear>(
+      std::vector<double>{2.0, -1.0, -1.0});
+  if (kind == "generalab") return std::make_shared<GeneralAB>(3, 0, 1);
+  return std::make_shared<ConstrainedSum>(3, 0, 1, 0.3, 0.7);
+}
+
+class FunctionPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FunctionPropertyTest, LowerBoundHolsdOverRandomBoxes) {
+  auto f = MakeFunction(GetParam());
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Box box(3);
+    for (int d = 0; d < 3; ++d) {
+      double a = rng.Uniform01(), b = rng.Uniform01();
+      box[d] = {std::min(a, b), std::max(a, b)};
+    }
+    double lb = f->LowerBound(box);
+    for (int i = 0; i < 20; ++i) {
+      std::vector<double> p(3);
+      for (int d = 0; d < 3; ++d) {
+        p[d] = box[d].lo + box[d].width() * rng.Uniform01();
+      }
+      double v = f->Evaluate(p.data());
+      if (lb == kInfScore) {
+        // An infinite bound asserts no point in the box is feasible.
+        EXPECT_EQ(v, kInfScore) << GetParam() << " box=" << box.ToString();
+      } else {
+        EXPECT_GE(v - lb, -1e-9) << GetParam() << " box=" << box.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(FunctionPropertyTest, MinimizerInsideBoxAndNearBound) {
+  auto f = MakeFunction(GetParam());
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    Box box(3);
+    for (int d = 0; d < 3; ++d) {
+      double a = rng.Uniform01(), b = rng.Uniform01();
+      box[d] = {std::min(a, b), std::max(a, b)};
+    }
+    auto m = f->Minimizer(box);
+    ASSERT_EQ(m.size(), 3u);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(m[d], box[d].lo - 1e-12);
+      EXPECT_LE(m[d], box[d].hi + 1e-12);
+    }
+    // The minimizer's score upper-bounds the lower bound.
+    double lb = f->LowerBound(box);
+    if (lb < kInfScore) {
+      EXPECT_GE(f->Evaluate(m.data()) - lb, -1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FunctionPropertyTest,
+                         ::testing::Values("linear", "linear_neg", "l2", "l1",
+                                           "sqlinear", "generalab",
+                                           "constrained"));
+
+}  // namespace
+}  // namespace rankcube

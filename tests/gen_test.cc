@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/covtype.h"
+#include "gen/queries.h"
+#include "gen/synthetic.h"
+
+namespace rankcube {
+namespace {
+
+TEST(SyntheticTest, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.num_rows = 500;
+  spec.num_sel_dims = 4;
+  spec.cardinality = 7;
+  spec.num_rank_dims = 3;
+  Table t = GenerateSynthetic(spec);
+  EXPECT_EQ(t.num_rows(), 500u);
+  EXPECT_EQ(t.num_sel_dims(), 4);
+  EXPECT_EQ(t.num_rank_dims(), 3);
+  for (Tid r = 0; r < 500; ++r) {
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_GE(t.sel(r, d), 0);
+      EXPECT_LT(t.sel(r, d), 7);
+    }
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(t.rank(r, d), 0.0);
+      EXPECT_LE(t.rank(r, d), 1.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.num_rows = 50;
+  Table a = GenerateSynthetic(spec);
+  Table b = GenerateSynthetic(spec);
+  for (Tid r = 0; r < 50; ++r) {
+    EXPECT_EQ(a.sel(r, 0), b.sel(r, 0));
+    EXPECT_DOUBLE_EQ(a.rank(r, 0), b.rank(r, 0));
+  }
+}
+
+TEST(SyntheticTest, PerDimensionCardinalities) {
+  SyntheticSpec spec;
+  spec.num_rows = 100;
+  spec.sel_cardinalities = {2, 50};
+  spec.num_sel_dims = 2;
+  Table t = GenerateSynthetic(spec);
+  EXPECT_EQ(t.schema().sel_cardinality[0], 2);
+  EXPECT_EQ(t.schema().sel_cardinality[1], 50);
+  for (Tid r = 0; r < 100; ++r) EXPECT_LT(t.sel(r, 0), 2);
+}
+
+double PearsonR(const Table& t, int d1, int d2) {
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const double n = static_cast<double>(t.num_rows());
+  for (Tid r = 0; r < t.num_rows(); ++r) {
+    double x = t.rank(r, d1), y = t.rank(r, d2);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  double cov = sxy / n - sx / n * sy / n;
+  double vx = sxx / n - sx / n * sx / n;
+  double vy = syy / n - sy / n * sy / n;
+  return cov / std::sqrt(vx * vy);
+}
+
+TEST(SyntheticTest, CorrelatedDataIsCorrelated) {
+  SyntheticSpec spec;
+  spec.num_rows = 5000;
+  spec.distribution = RankDistribution::kCorrelated;
+  Table t = GenerateSynthetic(spec);
+  EXPECT_GT(PearsonR(t, 0, 1), 0.5);
+}
+
+TEST(SyntheticTest, AntiCorrelatedDataIsAntiCorrelated) {
+  SyntheticSpec spec;
+  spec.num_rows = 5000;
+  spec.distribution = RankDistribution::kAntiCorrelated;
+  Table t = GenerateSynthetic(spec);
+  EXPECT_LT(PearsonR(t, 0, 1), -0.3);
+}
+
+TEST(SyntheticTest, UniformRoughlyIndependent) {
+  SyntheticSpec spec;
+  spec.num_rows = 5000;
+  Table t = GenerateSynthetic(spec);
+  EXPECT_NEAR(PearsonR(t, 0, 1), 0.0, 0.1);
+}
+
+TEST(CovtypeTest, SchemaMatchesPublishedStatistics) {
+  CovtypeSpec spec;
+  spec.base_rows = 2000;
+  Table t = GenerateCovtypeLike(spec);
+  ASSERT_EQ(t.num_sel_dims(), 12);
+  EXPECT_EQ(t.num_rank_dims(), 3);
+  EXPECT_EQ(t.schema().sel_cardinality[0], 255);
+  EXPECT_EQ(t.schema().sel_cardinality[4], 7);
+  EXPECT_EQ(t.schema().sel_cardinality[11], 2);
+  EXPECT_EQ(t.num_rows(), 2000u * 5);  // 5x duplication
+}
+
+TEST(QueryGenTest, RespectsSpec) {
+  SyntheticSpec dspec;
+  dspec.num_rows = 200;
+  dspec.num_sel_dims = 5;
+  Table t = GenerateSynthetic(dspec);
+  QueryWorkloadSpec qspec;
+  qspec.num_queries = 10;
+  qspec.num_predicates = 3;
+  qspec.num_rank_used = 2;
+  qspec.k = 7;
+  auto queries = GenerateQueries(t, qspec);
+  ASSERT_EQ(queries.size(), 10u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.k, 7);
+    EXPECT_EQ(q.predicates.size(), 3u);
+    ASSERT_NE(q.function, nullptr);
+    EXPECT_LE(q.function->involved_dims().size(), 2u);
+    // Predicates reference distinct, sorted dims.
+    for (size_t i = 1; i < q.predicates.size(); ++i) {
+      EXPECT_LT(q.predicates[i - 1].dim, q.predicates[i].dim);
+    }
+  }
+}
+
+TEST(QueryGenTest, AnchoredQueriesAreNonEmpty) {
+  SyntheticSpec dspec;
+  dspec.num_rows = 100;
+  dspec.cardinality = 50;  // sparse: random values would often be empty
+  Table t = GenerateSynthetic(dspec);
+  QueryWorkloadSpec qspec;
+  qspec.num_queries = 20;
+  qspec.num_predicates = 2;
+  for (const auto& q : GenerateQueries(t, qspec)) {
+    bool any = false;
+    for (Tid r = 0; r < t.num_rows() && !any; ++r) {
+      bool ok = true;
+      for (const auto& p : q.predicates) {
+        if (t.sel(r, p.dim) != p.value) ok = false;
+      }
+      any = ok;
+    }
+    EXPECT_TRUE(any) << q.ToString();
+  }
+}
+
+TEST(QueryGenTest, SkewControlsWeightRatio) {
+  SyntheticSpec dspec;
+  dspec.num_rows = 10;
+  dspec.num_rank_dims = 3;
+  Table t = GenerateSynthetic(dspec);
+  Rng rng(5);
+  auto f = MakeRankingFunction(t, QueryFunctionKind::kLinear, 3, 4.0, &rng);
+  auto lin = dynamic_cast<const LinearFunction*>(f.get());
+  ASSERT_NE(lin, nullptr);
+  double mn = 1e9, mx = 0;
+  for (double w : lin->weights()) {
+    if (w == 0) continue;
+    mn = std::min(mn, w);
+    mx = std::max(mx, w);
+  }
+  EXPECT_NEAR(mx / mn, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rankcube

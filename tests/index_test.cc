@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/synthetic.h"
+#include "index/btree.h"
+#include "index/composite.h"
+#include "index/posting.h"
+#include "index/rtree.h"
+
+namespace rankcube {
+namespace {
+
+Table SmallTable(uint64_t rows = 2000, int rank_dims = 2, uint64_t seed = 11) {
+  SyntheticSpec spec;
+  spec.num_rows = rows;
+  spec.num_sel_dims = 3;
+  spec.cardinality = 5;
+  spec.num_rank_dims = rank_dims;
+  spec.seed = seed;
+  return GenerateSynthetic(spec);
+}
+
+TEST(BTreeTest, StructureInvariants) {
+  Table t = SmallTable();
+  Pager pager;
+  BTree bt(t, 0, pager, {.fanout = 8});
+  EXPECT_EQ(bt.fanout(), 8);
+  EXPECT_GE(bt.depth(), 2);
+  // Every tuple present exactly once across leaves, in sorted order.
+  size_t count = 0;
+  double prev = -1.0;
+  std::set<Tid> seen;
+  // Walk leaves left-to-right via recursive descent.
+  std::vector<uint32_t> stack{bt.root()};
+  std::vector<uint32_t> order;
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    const BTreeNode& n = bt.node(id);
+    if (n.is_leaf) {
+      order.push_back(id);
+    } else {
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  for (uint32_t leaf : order) {
+    const BTreeNode& n = bt.node(leaf);
+    EXPECT_LE(n.fanout(), 8u);
+    for (const auto& [v, tid] : n.entries) {
+      EXPECT_GE(v, prev);
+      prev = v;
+      EXPECT_TRUE(seen.insert(tid).second);
+      EXPECT_GE(v, n.range.lo);
+      EXPECT_LE(v, n.range.hi);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, t.num_rows());
+}
+
+TEST(BTreeTest, NodeRangesNestInParents) {
+  Table t = SmallTable();
+  Pager pager;
+  BTree bt(t, 1, pager, {.fanout = 16});
+  std::vector<uint32_t> stack{bt.root()};
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    const BTreeNode& n = bt.node(id);
+    for (uint32_t c : n.children) {
+      EXPECT_GE(bt.node(c).range.lo, n.range.lo - 1e-12);
+      EXPECT_LE(bt.node(c).range.hi, n.range.hi + 1e-12);
+      stack.push_back(c);
+    }
+  }
+}
+
+TEST(BTreeTest, PathsAddressNodes) {
+  Table t = SmallTable(500);
+  Pager pager;
+  BTree bt(t, 0, pager, {.fanout = 4});
+  // Resolve every node's path back down from the root.
+  for (uint32_t id = 0; id < bt.num_nodes(); ++id) {
+    std::vector<int> path = bt.NodePath(id);
+    uint32_t walk = bt.root();
+    for (int p : path) walk = bt.node(walk).children[p - 1];
+    EXPECT_EQ(walk, id);
+  }
+}
+
+TEST(BTreeTest, TuplePathsReachCorrectLeaf) {
+  Table t = SmallTable(300);
+  Pager pager;
+  BTree bt(t, 0, pager, {.fanout = 4});
+  auto paths = bt.TuplePaths();
+  ASSERT_EQ(paths.size(), t.num_rows());
+  for (Tid tid = 0; tid < 50; ++tid) {
+    uint32_t walk = bt.root();
+    for (int p : paths[tid]) walk = bt.node(walk).children[p - 1];
+    const BTreeNode& leaf = bt.node(walk);
+    ASSERT_TRUE(leaf.is_leaf);
+    bool found = false;
+    for (const auto& [v, id] : leaf.entries) found |= (id == tid);
+    EXPECT_TRUE(found);
+  }
+}
+
+void CheckRTreeInvariants(const RTree& rt, size_t expected_tuples) {
+  std::set<Tid> seen;
+  std::vector<uint32_t> stack{rt.root()};
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    const RTreeNode& n = rt.node(id);
+    EXPECT_LE(n.fanout(), static_cast<size_t>(rt.max_entries()));
+    if (n.is_leaf) {
+      for (const auto& e : n.entries) {
+        EXPECT_TRUE(seen.insert(e.tid).second);
+        EXPECT_TRUE(n.mbr.Contains(e.point))
+            << "entry outside leaf MBR " << n.mbr.ToString();
+      }
+    } else {
+      for (uint32_t c : n.children) {
+        const Box& cb = rt.node(c).mbr;
+        for (size_t d = 0; d < cb.dims(); ++d) {
+          EXPECT_GE(cb[d].lo, n.mbr[d].lo - 1e-12);
+          EXPECT_LE(cb[d].hi, n.mbr[d].hi + 1e-12);
+        }
+        stack.push_back(c);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), expected_tuples);
+}
+
+TEST(RTreeTest, BulkLoadInvariants) {
+  Table t = SmallTable(3000, 2);
+  Pager pager;
+  RTree rt(2, pager, {.max_entries = 16});
+  rt.BulkLoadSTR(t);
+  CheckRTreeInvariants(rt, t.num_rows());
+  EXPECT_GE(rt.depth(), 2);
+}
+
+TEST(RTreeTest, InsertInvariants) {
+  Table t = SmallTable(800, 3);
+  Pager pager;
+  RTree rt(3, pager, {.max_entries = 8});
+  for (Tid i = 0; i < t.num_rows(); ++i) {
+    rt.Insert(i, t.RankRow(i), /*track_updates=*/false);
+  }
+  CheckRTreeInvariants(rt, t.num_rows());
+}
+
+TEST(RTreeTest, TuplePathsResolve) {
+  Table t = SmallTable(500, 2);
+  Pager pager;
+  RTree rt(2, pager, {.max_entries = 8});
+  rt.BulkLoadSTR(t);
+  auto paths = rt.AllTuplePaths();
+  for (Tid tid = 0; tid < t.num_rows(); ++tid) {
+    const auto& path = paths[tid];
+    ASSERT_FALSE(path.empty());
+    uint32_t walk = rt.root();
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      walk = rt.node(walk).children[path[i] - 1];
+    }
+    const RTreeNode& leaf = rt.node(walk);
+    ASSERT_TRUE(leaf.is_leaf);
+    EXPECT_EQ(leaf.entries[path.back() - 1].tid, tid);
+    // TuplePath agrees with the bulk DFS.
+    EXPECT_EQ(rt.TuplePath(tid), path);
+  }
+}
+
+TEST(RTreeTest, InsertUpdateSetIsAccurate) {
+  // Property: applying reported path updates to a shadow map must yield the
+  // same paths as recomputing from scratch after every insert.
+  Table t = SmallTable(400, 2, /*seed=*/31);
+  Pager pager;
+  RTree rt(2, pager, {.max_entries = 4});  // tiny fanout: many splits
+  std::vector<std::vector<int>> shadow;
+  for (Tid i = 0; i < t.num_rows(); ++i) {
+    auto updates = rt.Insert(i, t.RankRow(i));
+    shadow.resize(std::max(shadow.size(), static_cast<size_t>(i) + 1));
+    for (const auto& u : updates) {
+      if (u.tid >= shadow.size()) shadow.resize(u.tid + 1);
+      if (!u.old_path.empty()) {
+        EXPECT_EQ(shadow[u.tid], u.old_path) << "tid " << u.tid;
+      }
+      shadow[u.tid] = u.new_path;
+    }
+    if (i % 97 == 0) {
+      auto actual = rt.AllTuplePaths();
+      for (Tid j = 0; j <= i; ++j) {
+        ASSERT_EQ(shadow[j], actual[j]) << "after insert " << i << " tid " << j;
+      }
+    }
+  }
+  auto actual = rt.AllTuplePaths();
+  for (Tid j = 0; j < t.num_rows(); ++j) EXPECT_EQ(shadow[j], actual[j]);
+}
+
+TEST(RTreeTest, FanoutDerivedFromPageSize) {
+  Pager pager;  // 4 KB
+  RTree r2(2, pager);
+  RTree r5(5, pager);
+  EXPECT_EQ(r2.max_entries(), 204);  // §4.2.2's published figure
+  EXPECT_EQ(r5.max_entries(), 93);
+}
+
+TEST(PostingTest, ListsAreCompleteAndSorted) {
+  Table t = SmallTable(1000);
+  PostingIndex idx(t);
+  size_t total = 0;
+  for (int32_t v = 0; v < 5; ++v) {
+    const auto& list = idx.Lookup(0, v);
+    total += list.size();
+    for (size_t i = 1; i < list.size(); ++i) EXPECT_LT(list[i - 1], list[i]);
+    for (Tid tid : list) EXPECT_EQ(t.sel(tid, 0), v);
+  }
+  EXPECT_EQ(total, t.num_rows());
+  EXPECT_TRUE(idx.Lookup(0, 99).empty());
+  EXPECT_TRUE(idx.Lookup(9, 0).empty());
+}
+
+TEST(CompositeTest, PrefixMatchFollowsIndexOrder) {
+  Table t = SmallTable(100);
+  CompositeIndex idx(t, {2, 0, 1});
+  EXPECT_EQ(idx.PrefixMatch({{2, 1}}), 1);
+  EXPECT_EQ(idx.PrefixMatch({{0, 1}}), 0);          // not a prefix
+  EXPECT_EQ(idx.PrefixMatch({{0, 1}, {2, 3}}), 2);  // dims {2,0} covered
+}
+
+TEST(CompositeTest, RangeQueryFindsExactlyMatchingTuples) {
+  Table t = SmallTable(2000);
+  CompositeIndex idx(t, {0, 1, 2});
+  Pager pager;
+  std::vector<Predicate> preds{{0, 2}, {1, 3}};
+  Box box = Box::Unit(2);
+  box[0].hi = 0.5;
+  auto res = idx.RangeQuery(preds, box, &pager);
+  std::set<Tid> expect;
+  for (Tid i = 0; i < t.num_rows(); ++i) {
+    if (t.sel(i, 0) == 2 && t.sel(i, 1) == 3 && t.rank(i, 0) <= 0.5) {
+      expect.insert(i);
+    }
+  }
+  EXPECT_EQ(std::set<Tid>(res.candidates.begin(), res.candidates.end()),
+            expect);
+  EXPECT_GT(pager.stats(IoCategory::kComposite).physical, 0u);
+  // The scan touched at least the matching region.
+  EXPECT_GE(res.scanned, expect.size());
+}
+
+}  // namespace
+}  // namespace rankcube

@@ -1,0 +1,246 @@
+// Cross-module integration and property tests: engines must agree with each
+// other and with oracles across data distributions, function shapes and
+// query skews; materialization options must change cost, never results.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/grid_cube.h"
+#include "core/ranking_fragments.h"
+#include "core/signature_cube.h"
+#include "gen/covtype.h"
+#include "gen/queries.h"
+#include "gen/synthetic.h"
+#include "join/spjr_system.h"
+#include "reference.h"
+
+namespace rankcube {
+namespace {
+
+TEST(TopKHeapTest, KeepsKSmallest) {
+  TopKHeap heap(3);
+  for (int i = 10; i > 0; --i) heap.Offer(i, i * 1.0);
+  auto sorted = heap.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0].score, 1.0);
+  EXPECT_DOUBLE_EQ(sorted[2].score, 3.0);
+  EXPECT_DOUBLE_EQ(heap.KthScore(), 3.0);
+}
+
+TEST(TopKHeapTest, KthScoreInfUntilFull) {
+  TopKHeap heap(2);
+  EXPECT_EQ(heap.KthScore(), kInfScore);
+  heap.Offer(1, 5.0);
+  EXPECT_EQ(heap.KthScore(), kInfScore);
+  heap.Offer(2, 3.0);
+  EXPECT_DOUBLE_EQ(heap.KthScore(), 5.0);
+}
+
+TEST(ExecStatsTest, MergeMaxTracksPeak) {
+  ExecStats s;
+  s.MergeMax(5);
+  s.MergeMax(3);
+  s.MergeMax(9);
+  EXPECT_EQ(s.peak_heap, 9u);
+}
+
+TEST(PagerTest, StatsStringListsNonZeroCategories) {
+  Pager pager;
+  pager.Access(IoCategory::kRTree, 1);
+  std::string s = pager.StatsString();
+  EXPECT_NE(s.find("rtree=1/1"), std::string::npos);
+  EXPECT_EQ(s.find("btree"), std::string::npos);
+}
+
+// Engines agree across distributions x function kinds x skew.
+struct EngineSweepParam {
+  RankDistribution dist;
+  QueryFunctionKind kind;
+};
+
+class EngineAgreementTest
+    : public ::testing::TestWithParam<EngineSweepParam> {};
+
+TEST_P(EngineAgreementTest, GridAndSignatureAgreeWithOracle) {
+  SyntheticSpec spec;
+  spec.num_rows = 4000;
+  spec.num_sel_dims = 3;
+  spec.cardinality = 8;
+  spec.num_rank_dims = 2;
+  spec.distribution = GetParam().dist;
+  spec.seed = 101;
+  Table t = GenerateSynthetic(spec);
+  Pager pager;
+  GridRankingCube grid(t, pager);
+  SignatureCube sig(t, pager);
+
+  QueryWorkloadSpec qs;
+  qs.num_queries = 10;
+  qs.kind = GetParam().kind;
+  qs.skew = 3.0;
+  for (const auto& q : GenerateQueries(t, qs)) {
+    auto oracle = ScoresOf(BruteForceTopK(t, q));
+    ExecStats s1, s2;
+    auto g = grid.TopK(q, &pager, &s1);
+    auto s = sig.TopK(q, &pager, &s2);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(ScoresOf(*g), oracle) << q.ToString();
+    EXPECT_EQ(ScoresOf(*s), oracle) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineAgreementTest,
+    ::testing::Values(
+        EngineSweepParam{RankDistribution::kUniform,
+                         QueryFunctionKind::kLinear},
+        EngineSweepParam{RankDistribution::kCorrelated,
+                         QueryFunctionKind::kLinear},
+        EngineSweepParam{RankDistribution::kAntiCorrelated,
+                         QueryFunctionKind::kLinear},
+        EngineSweepParam{RankDistribution::kUniform,
+                         QueryFunctionKind::kDistance},
+        EngineSweepParam{RankDistribution::kAntiCorrelated,
+                         QueryFunctionKind::kDistance}));
+
+TEST(SignatureCubeTest, MaterializedMultiDimCuboidGivesSameAnswers) {
+  SyntheticSpec spec;
+  spec.num_rows = 5000;
+  spec.num_sel_dims = 3;
+  spec.cardinality = 10;
+  spec.num_rank_dims = 2;
+  Table t = GenerateSynthetic(spec);
+  Pager pager;
+  SignatureCube atomic(t, pager);  // atomic cuboids only
+  SignatureCubeOptions opt;
+  opt.cuboid_dim_sets = {{0}, {1}, {2}, {0, 1}};  // + one 2-d cuboid
+  SignatureCube multi(t, pager, opt);
+
+  QueryWorkloadSpec qs;
+  qs.num_queries = 12;
+  qs.num_predicates = 2;
+  for (const auto& q : GenerateQueries(t, qs)) {
+    ExecStats s1, s2;
+    auto a = atomic.TopK(q, &pager, &s1);
+    auto m = multi.TopK(q, &pager, &s2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(ScoresOf(*a), ScoresOf(*m)) << q.ToString();
+  }
+}
+
+TEST(SignatureCubeTest, ExactCuboidPrunesNoWorseThanAssembled) {
+  // A materialized (0,1) cuboid cell has no cross-dimension false
+  // positives, so its search can only touch fewer or equal R-tree pages.
+  SyntheticSpec spec;
+  spec.num_rows = 20000;
+  spec.num_sel_dims = 2;
+  spec.cardinality = 10;
+  spec.num_rank_dims = 2;
+  Table t = GenerateSynthetic(spec);
+  Pager pager;
+  SignatureCube atomic(t, pager,
+                       SignatureCubeOptions{.cuboid_dim_sets = {{0}, {1}}});
+  SignatureCube exact(t, pager,
+                      SignatureCubeOptions{.cuboid_dim_sets = {{0, 1}}});
+  TopKQuery q;
+  q.predicates = {{0, t.sel(0, 0)}, {1, t.sel(0, 1)}};
+  q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 1});
+  q.k = 20;
+  pager.ResetStats();
+  ExecStats s1;
+  auto r1 = atomic.TopK(q, &pager, &s1);
+  uint64_t atomic_rtree = pager.stats(IoCategory::kRTree).physical;
+  pager.ResetStats();
+  ExecStats s2;
+  auto r2 = exact.TopK(q, &pager, &s2);
+  uint64_t exact_rtree = pager.stats(IoCategory::kRTree).physical;
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(ScoresOf(*r1), ScoresOf(*r2));
+  EXPECT_LE(exact_rtree, atomic_rtree);
+}
+
+TEST(CovtypeIntegrationTest, FragmentsAnswerCovtypeQueries) {
+  CovtypeSpec spec;
+  spec.base_rows = 3000;
+  Table t = GenerateCovtypeLike(spec);
+  Pager pager;
+  RankingFragments frags(t, pager, {.block_size = 300, .fragment_size = 3});
+  QueryWorkloadSpec qs;
+  qs.num_queries = 8;
+  qs.num_predicates = 3;
+  qs.num_rank_used = 3;
+  for (const auto& q : GenerateQueries(t, qs)) {
+    ExecStats stats;
+    auto res = frags.TopK(q, &pager, &stats);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q))) << q.ToString();
+  }
+}
+
+TEST(SpjrSystemTest, ArityMismatchRejected) {
+  SyntheticSpec spec;
+  spec.num_rows = 100;
+  Table t = GenerateSynthetic(spec);
+  Pager pager;
+  SpjrSystem sys(pager);
+  sys.AddRelation(t);
+  SpjrQuery q;  // zero relations vs one registered
+  ExecStats stats;
+  EXPECT_FALSE(sys.TopK(q, &pager, &stats).ok());
+  EXPECT_FALSE(sys.BaselineTopK(q, &pager, &stats).ok());
+}
+
+TEST(SpjrSystemTest, MissingFunctionRejected) {
+  SyntheticSpec spec;
+  spec.num_rows = 100;
+  Table t = GenerateSynthetic(spec);
+  Pager pager;
+  SpjrSystem sys(pager);
+  sys.AddRelation(t);
+  SpjrQuery q;
+  q.relations.resize(1);  // function left null
+  ExecStats stats;
+  auto res = sys.TopK(q, &pager, &stats);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(OptimizerTest, ExplainStringIsInformative) {
+  SyntheticSpec spec;
+  spec.num_rows = 10000;
+  Table t = GenerateSynthetic(spec);
+  Pager pager;
+  PostingIndex posting(t);
+  AccessPlan plan = ChooseAccessPath(t, posting, {{0, 1}}, 10, pager);
+  EXPECT_NE(plan.explain.find("est_matches"), std::string::npos);
+  EXPECT_NE(plan.explain.find("->"), std::string::npos);
+}
+
+TEST(GridCubeTest, ConstructionTimeAndSizeReported) {
+  SyntheticSpec spec;
+  spec.num_rows = 5000;
+  Table t = GenerateSynthetic(spec);
+  Pager pager;
+  GridRankingCube cube(t, pager);
+  EXPECT_GT(cube.construction_ms(), 0.0);
+  EXPECT_GT(cube.SizeBytes(), t.num_rows() * 8);  // at least the tid lists
+}
+
+TEST(QueryToStringTest, ReadableForms) {
+  TopKQuery q;
+  q.predicates = {{0, 3}};
+  q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 2});
+  q.k = 7;
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("top-7"), std::string::npos);
+  EXPECT_NE(s.find("A0=3"), std::string::npos);
+  EXPECT_NE(s.find("linear"), std::string::npos);
+  TopKQuery empty;
+  empty.k = 1;
+  EXPECT_NE(empty.ToString().find("true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rankcube

@@ -1,0 +1,101 @@
+// Randomized stress tests for the Ch5 engines: across many random
+// functions, seeds and ks, PE / PE+SIG / BL must return identical score
+// sequences (BL is itself validated against the brute-force oracle).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "merge/index_merge.h"
+#include "reference.h"
+
+namespace rankcube {
+namespace {
+
+RankingFunctionPtr RandomFunction(Rng* rng, int dims) {
+  switch (rng->UniformInt(5)) {
+    case 0: {
+      std::vector<double> w(dims);
+      for (auto& v : w) v = rng->Uniform(0.1, 3.0);
+      return std::make_shared<LinearFunction>(std::move(w));
+    }
+    case 1: {
+      std::vector<double> w(dims);
+      for (auto& v : w) v = rng->Uniform(-2.0, 2.0);
+      if (w[0] == 0) w[0] = 1.0;
+      return std::make_shared<LinearFunction>(std::move(w));
+    }
+    case 2: {
+      std::vector<double> w(dims), t(dims);
+      for (auto& v : w) v = rng->Uniform(0.5, 2.0);
+      for (auto& v : t) v = rng->Uniform01();
+      return std::make_shared<QuadraticDistance>(std::move(w), std::move(t));
+    }
+    case 3:
+      return std::make_shared<GeneralAB>(dims, 0, dims > 1 ? 1 : 0);
+    default: {
+      double lo = rng->Uniform(0.0, 0.5);
+      return std::make_shared<ConstrainedSum>(dims, 0, dims > 1 ? 1 : 0, lo,
+                                              lo + rng->Uniform(0.1, 0.5));
+    }
+  }
+}
+
+class MergeStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeStressTest, AllModesAgreeWithOracle) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  SyntheticSpec spec;
+  spec.num_rows = 1500 + rng.UniformInt(1500);
+  spec.num_sel_dims = 1;
+  spec.cardinality = 2;
+  spec.num_rank_dims = 2;
+  spec.seed = static_cast<uint64_t>(seed) * 13 + 1;
+  spec.distribution = static_cast<RankDistribution>(rng.UniformInt(3));
+  Table table = GenerateSynthetic(spec);
+  Pager pager;
+
+  int fanout = 4 + static_cast<int>(rng.UniformInt(12));
+  BTree b0(table, 0, pager, {.fanout = fanout});
+  BTree b1(table, 1, pager, {.fanout = fanout});
+  BTreeMergeIndex m0(&b0, 0), m1(&b1, 1);
+  std::vector<const MergeIndex*> indices{&m0, &m1};
+  JoinSignature sig(indices);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    auto f = RandomFunction(&rng, 2);
+    int k = 1 + static_cast<int>(rng.UniformInt(40));
+    TopKQuery q;
+    q.function = f;
+    q.k = k;
+    auto oracle = ScoresOf(BruteForceTopK(table, q));
+
+    MergeOptions bl;
+    bl.mode = MergeOptions::Mode::kBaseline;
+    ExecStats s1;
+    EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, k, bl, &pager, &s1)),
+              oracle)
+        << "BL " << f->ToString() << " k=" << k;
+
+    MergeOptions pe;
+    ExecStats s2;
+    EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, k, pe, &pager, &s2)),
+              oracle)
+        << "PE " << f->ToString() << " k=" << k;
+
+    MergeOptions ps;
+    ps.signatures = {&sig};
+    ps.signature_positions = {{0, 1}};
+    ExecStats s3;
+    EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, k, ps, &pager, &s3)),
+              oracle)
+        << "PE+SIG " << f->ToString() << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeStressTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace rankcube

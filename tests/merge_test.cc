@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gen/queries.h"
+#include "gen/synthetic.h"
+#include "merge/index_merge.h"
+#include "reference.h"
+
+namespace rankcube {
+namespace {
+
+struct MergeFixture {
+  Table table;
+  Pager pager;
+  std::vector<std::unique_ptr<BTree>> btrees;
+  std::vector<std::unique_ptr<MergeIndex>> owned;
+  std::vector<const MergeIndex*> indices;
+
+  explicit MergeFixture(uint64_t rows, int rank_dims, int fanout = 8,
+                        uint64_t seed = 9)
+      : table(MakeTable(rows, rank_dims, seed)) {
+    for (int d = 0; d < rank_dims; ++d) {
+      btrees.push_back(
+          std::make_unique<BTree>(table, d, pager,
+                                  BTreeOptions{.fanout = fanout}));
+      owned.push_back(
+          std::make_unique<BTreeMergeIndex>(btrees.back().get(), d));
+      indices.push_back(owned.back().get());
+    }
+  }
+
+  static Table MakeTable(uint64_t rows, int rank_dims, uint64_t seed) {
+    SyntheticSpec spec;
+    spec.num_rows = rows;
+    spec.num_sel_dims = 1;
+    spec.cardinality = 2;
+    spec.num_rank_dims = rank_dims;
+    spec.seed = seed;
+    return GenerateSynthetic(spec);
+  }
+
+  TopKQuery Query(RankingFunctionPtr f, int k) const {
+    TopKQuery q;
+    q.function = std::move(f);
+    q.k = k;
+    return q;
+  }
+};
+
+std::vector<RankingFunctionPtr> TestFunctions2d() {
+  return {
+      std::make_shared<LinearFunction>(std::vector<double>{1.0, 2.0}),
+      std::make_shared<QuadraticDistance>(std::vector<double>{1.0, 1.0},
+                                          std::vector<double>{0.4, 0.7}),
+      std::make_shared<GeneralAB>(2, 0, 1),
+      std::make_shared<ConstrainedSum>(2, 0, 1, 0.2, 0.6),
+      std::make_shared<SquaredLinear>(std::vector<double>{1.0, -1.0}),
+  };
+}
+
+TEST(IndexMergeTest, BaselineMatchesBruteForce) {
+  MergeFixture fx(3000, 2);
+  for (const auto& f : TestFunctions2d()) {
+    TopKQuery q = fx.Query(f, 10);
+    MergeOptions opt;
+    opt.mode = MergeOptions::Mode::kBaseline;
+    ExecStats stats;
+    auto res = IndexMergeTopK(fx.table, fx.indices, q.function, q.k, opt,
+                              &fx.pager, &stats);
+    EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(fx.table, q)))
+        << f->ToString();
+  }
+}
+
+TEST(IndexMergeTest, ProgressiveMatchesBruteForce) {
+  MergeFixture fx(5000, 2);
+  for (const auto& f : TestFunctions2d()) {
+    TopKQuery q = fx.Query(f, 20);
+    MergeOptions opt;
+    ExecStats stats;
+    auto res = IndexMergeTopK(fx.table, fx.indices, q.function, q.k, opt,
+                              &fx.pager, &stats);
+    EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(fx.table, q)))
+        << f->ToString();
+  }
+}
+
+TEST(IndexMergeTest, ProgressiveWithSignatureMatchesBruteForce) {
+  MergeFixture fx(5000, 2);
+  JoinSignature sig({fx.indices[0], fx.indices[1]});
+  for (const auto& f : TestFunctions2d()) {
+    TopKQuery q = fx.Query(f, 20);
+    MergeOptions opt;
+    opt.signatures = {&sig};
+    opt.signature_positions = {{0, 1}};
+    ExecStats stats;
+    auto res = IndexMergeTopK(fx.table, fx.indices, q.function, q.k, opt,
+                              &fx.pager, &stats);
+    EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(fx.table, q)))
+        << f->ToString();
+  }
+}
+
+TEST(IndexMergeTest, ProgressiveGeneratesFewerStatesThanBaseline) {
+  MergeFixture fx(4000, 2);
+  auto f = std::make_shared<GeneralAB>(2, 0, 1);
+  MergeOptions bl;
+  bl.mode = MergeOptions::Mode::kBaseline;
+  ExecStats sbl;
+  IndexMergeTopK(fx.table, fx.indices, f, 50, bl, &fx.pager, &sbl);
+  MergeOptions pe;
+  ExecStats spe;
+  IndexMergeTopK(fx.table, fx.indices, f, 50, pe, &fx.pager, &spe);
+  EXPECT_LT(spe.states_generated, sbl.states_generated);  // Table 5.1's gap
+  EXPECT_LT(spe.peak_heap, sbl.peak_heap);
+}
+
+TEST(IndexMergeTest, SignatureReducesIndexAccessesOnGeneralQuery) {
+  MergeFixture fx(20000, 2, /*fanout=*/16);
+  JoinSignature sig({fx.indices[0], fx.indices[1]});
+  auto f = std::make_shared<GeneralAB>(2, 0, 1);
+  MergeOptions pe;
+  ExecStats spe;
+  fx.pager.ResetStats();
+  IndexMergeTopK(fx.table, fx.indices, f, 100, pe, &fx.pager, &spe);
+  uint64_t pe_nodes = fx.pager.stats(IoCategory::kBTree).physical;
+  MergeOptions sigopt;
+  sigopt.signatures = {&sig};
+  sigopt.signature_positions = {{0, 1}};
+  ExecStats ssig;
+  fx.pager.ResetStats();
+  auto res_sig = IndexMergeTopK(fx.table, fx.indices, f, 100, sigopt,
+                                &fx.pager, &ssig);
+  uint64_t sig_nodes = fx.pager.stats(IoCategory::kBTree).physical;
+  EXPECT_LT(sig_nodes, pe_nodes);
+  EXPECT_LT(ssig.states_generated, spe.states_generated);
+}
+
+TEST(IndexMergeTest, ThreeWayMergeAllConfigurations) {
+  MergeFixture fx(3000, 3);
+  auto f = std::make_shared<QuadraticDistance>(
+      std::vector<double>{1.0, 1.0, 1.0}, std::vector<double>{0.2, 0.5, 0.9});
+  TopKQuery q = fx.Query(f, 15);
+  auto oracle = ScoresOf(BruteForceTopK(fx.table, q));
+
+  MergeOptions pe;
+  ExecStats s1;
+  EXPECT_EQ(ScoresOf(IndexMergeTopK(fx.table, fx.indices, f, 15, pe,
+                                    &fx.pager, &s1)),
+            oracle);
+
+  // One 3-d signature.
+  JoinSignature sig3({fx.indices[0], fx.indices[1], fx.indices[2]});
+  MergeOptions o3;
+  o3.signatures = {&sig3};
+  o3.signature_positions = {{0, 1, 2}};
+  ExecStats s2;
+  EXPECT_EQ(ScoresOf(IndexMergeTopK(fx.table, fx.indices, f, 15, o3,
+                                    &fx.pager, &s2)),
+            oracle);
+
+  // Three pairwise 2-d signatures (§5.3.3).
+  JoinSignature s01({fx.indices[0], fx.indices[1]});
+  JoinSignature s02({fx.indices[0], fx.indices[2]});
+  JoinSignature s12({fx.indices[1], fx.indices[2]});
+  MergeOptions o2;
+  o2.signatures = {&s01, &s02, &s12};
+  o2.signature_positions = {{0, 1}, {0, 2}, {1, 2}};
+  ExecStats s3;
+  EXPECT_EQ(ScoresOf(IndexMergeTopK(fx.table, fx.indices, f, 15, o2,
+                                    &fx.pager, &s3)),
+            oracle);
+}
+
+TEST(IndexMergeTest, RTreeIndicesMerge) {
+  // 4 ranking dims split across two 2-d R-trees (Fig 5.13/5.14 setup).
+  SyntheticSpec spec;
+  spec.num_rows = 4000;
+  spec.num_sel_dims = 1;
+  spec.cardinality = 2;
+  spec.num_rank_dims = 4;
+  spec.seed = 13;
+  Table table = GenerateSynthetic(spec);
+  Pager pager;
+  RTree r1(2, pager, {.max_entries = 16});
+  RTree r2(2, pager, {.max_entries = 16});
+  std::vector<int> d01{0, 1}, d23{2, 3};
+  r1.BulkLoadSTR(table, &d01);
+  r2.BulkLoadSTR(table, &d23);
+  RTreeMergeIndex m1(&r1, d01), m2(&r2, d23);
+  std::vector<const MergeIndex*> indices{&m1, &m2};
+
+  auto f = std::make_shared<QuadraticDistance>(
+      std::vector<double>{1, 1, 1, 1}, std::vector<double>{0.3, 0.6, 0.2, 0.8});
+  TopKQuery q;
+  q.function = f;
+  q.k = 25;
+  auto oracle = ScoresOf(BruteForceTopK(table, q));
+
+  MergeOptions pe;
+  ExecStats s1;
+  EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, 25, pe, &pager, &s1)),
+            oracle);
+
+  JoinSignature sig({&m1, &m2});
+  MergeOptions o;
+  o.signatures = {&sig};
+  o.signature_positions = {{0, 1}};
+  ExecStats s2;
+  EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, 25, o, &pager, &s2)),
+            oracle);
+}
+
+TEST(IndexMergeTest, PartialAttributesInRanking) {
+  // Fig 5.18: f uses only one of the two indexed attribute groups.
+  MergeFixture fx(3000, 2);
+  auto f = std::make_shared<LinearFunction>(std::vector<double>{1.0, 0.0});
+  TopKQuery q = fx.Query(f, 10);
+  MergeOptions pe;
+  ExecStats stats;
+  auto res =
+      IndexMergeTopK(fx.table, fx.indices, f, 10, pe, &fx.pager, &stats);
+  EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(fx.table, q)));
+}
+
+TEST(IndexMergeTest, KLargerThanData) {
+  MergeFixture fx(50, 2);
+  auto f = std::make_shared<LinearFunction>(std::vector<double>{1.0, 1.0});
+  MergeOptions pe;
+  ExecStats stats;
+  auto res =
+      IndexMergeTopK(fx.table, fx.indices, f, 500, pe, &fx.pager, &stats);
+  EXPECT_EQ(res.size(), 50u);
+}
+
+TEST(ExpansionTest, NeighborhoodApplicability) {
+  MergeFixture fx(100, 2);
+  LinearFunction lin({1.0, 1.0});
+  QuadraticDistance dist({1.0, 1.0}, {0.5, 0.5});
+  GeneralAB gen(2, 0, 1);
+  EXPECT_TRUE(NeighborhoodApplicable(fx.indices, lin));
+  EXPECT_TRUE(NeighborhoodApplicable(fx.indices, dist));
+  EXPECT_FALSE(NeighborhoodApplicable(fx.indices, gen));
+}
+
+TEST(JoinSignatureTest, NoFalseNegativesOnRealTuples) {
+  MergeFixture fx(2000, 2, /*fanout=*/4);  // deep trees
+  JoinSignature sig({fx.indices[0], fx.indices[1]});
+  auto p0 = fx.indices[0]->TupleNodePaths();
+  auto p1 = fx.indices[1]->TupleNodePaths();
+  for (Tid t = 0; t < 200; ++t) {
+    size_t depth = std::max(p0[t].size(), p1[t].size());
+    std::vector<std::vector<int>> prefix(2);
+    for (size_t level = 0; level < depth; ++level) {
+      StateKey key = MakeStateKey(prefix);
+      ASSERT_TRUE(sig.StateExists(key)) << "tid " << t << " level " << level;
+      std::vector<int> coords(2);
+      coords[0] = level < p0[t].size() ? p0[t][level] : 0;
+      coords[1] = level < p1[t].size() ? p1[t][level] : 0;
+      EXPECT_TRUE(sig.ChildMayBeNonEmpty(key, coords));
+      if (level < p0[t].size()) prefix[0].push_back(p0[t][level]);
+      if (level < p1[t].size()) prefix[1].push_back(p1[t][level]);
+    }
+  }
+}
+
+TEST(JoinSignatureTest, DetectsEmptyStates) {
+  // Construct a table where dim0 and dim1 are perfectly anti-aligned so
+  // many joint states are empty.
+  TableSchema schema;
+  schema.sel_cardinality = {2};
+  schema.num_rank_dims = 2;
+  Table t(schema);
+  for (int i = 0; i < 256; ++i) {
+    double x = i / 256.0;
+    ASSERT_TRUE(t.AddRow({0}, {x, 1.0 - x}).ok());
+  }
+  Pager pager;
+  BTree b0(t, 0, pager, {.fanout = 4});
+  BTree b1(t, 1, pager, {.fanout = 4});
+  BTreeMergeIndex m0(&b0, 0), m1(&b1, 1);
+  JoinSignature sig({&m0, &m1});
+  // Root state: children pair (first of A, first of B) = (low x, low 1-x)
+  // = (low x, high x) cannot both hold the same tuple... At the root level
+  // the child (1,1) pairs A's smallest quartile with B's smallest quartile,
+  // i.e. x < 0.25 and 1-x < 0.25 -> empty.
+  StateKey root = MakeStateKey({{}, {}});
+  ASSERT_TRUE(sig.StateExists(root));
+  EXPECT_FALSE(sig.ChildMayBeNonEmpty(root, {1, 1}));
+  // (1, last) pairs small x with large 1-x: non-empty.
+  int last = static_cast<int>(b1.node(b1.root()).children.size());
+  EXPECT_TRUE(sig.ChildMayBeNonEmpty(root, {1, last}));
+}
+
+TEST(JoinSignatureTest, SizeAndCountsReported) {
+  MergeFixture fx(3000, 2);
+  JoinSignature sig({fx.indices[0], fx.indices[1]});
+  EXPECT_GT(sig.num_states(), 0u);
+  EXPECT_GT(sig.SizeBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rankcube

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/signature.h"
+
+namespace rankcube {
+namespace {
+
+// Paths from Table 4.1 (the thesis's running example, M = 2).
+const std::vector<std::vector<int>> kPaths = {
+    {1, 1, 1},  // t1 (a1, b1)
+    {1, 1, 2},  // t2 (a2, b2)
+    {1, 2, 1},  // t3 (a1, b1)
+    {1, 2, 2},  // t4 (a3, b3)
+    {2, 1, 1},  // t5 (a4, b1)
+    {2, 1, 2},  // t6 (a2, b3)
+    {2, 2, 1},  // t7 (a4, b2)
+    {2, 2, 2},  // t8 (a3, b3)
+};
+
+TEST(SidTest, PaperExample) {
+  // §4.2.1: with M = 2, the path of node N3 is <1,1> and its SID is 4.
+  EXPECT_EQ(SidOfPath({1, 1}, 2, 2), 4u);
+  EXPECT_EQ(SidOfPath({}, 0, 2), 0u);   // root
+  EXPECT_EQ(SidOfPath({1}, 1, 2), 1u);  // N1
+  EXPECT_EQ(SidOfPath({2}, 1, 2), 2u);  // N2
+}
+
+TEST(SignatureTest, A1SignatureFromFigure43) {
+  // (A = a1) covers t1 <1,1,1> and t3 <1,2,1>.
+  Signature sig = Signature::FromPaths({kPaths[0], kPaths[2]}, 2);
+  // Root: left child only.
+  EXPECT_TRUE(sig.TestPath({1}, 1));
+  EXPECT_FALSE(sig.TestPath({2}, 1));
+  // N1: both children (N3 via t1, N4 via t3).
+  EXPECT_TRUE(sig.TestPath({1, 1}, 2));
+  EXPECT_TRUE(sig.TestPath({1, 2}, 2));
+  // Leaf entries.
+  EXPECT_TRUE(sig.TestPath({1, 1, 1}));
+  EXPECT_FALSE(sig.TestPath({1, 1, 2}));
+  EXPECT_TRUE(sig.TestPath({1, 2, 1}));
+  EXPECT_FALSE(sig.TestPath({1, 2, 2}));
+}
+
+TEST(SignatureTest, UnionExampleFigure47) {
+  // (A=a2): t2 <1,1,2>, t6 <2,1,2>.  (B=b2): t2 <1,1,2>, t7 <2,2,1>.
+  Signature a2 = Signature::FromPaths({kPaths[1], kPaths[5]}, 2);
+  Signature b2 = Signature::FromPaths({kPaths[1], kPaths[6]}, 2);
+  Signature u = Signature::Union(a2, b2);
+  EXPECT_TRUE(u.TestPath({1, 1, 2}));  // t2
+  EXPECT_TRUE(u.TestPath({2, 1, 2}));  // t6
+  EXPECT_TRUE(u.TestPath({2, 2, 1}));  // t7
+  EXPECT_FALSE(u.TestPath({1, 1, 1}));
+}
+
+TEST(SignatureTest, IntersectExampleFigure47) {
+  // (A=a2 and B=b2) contains only t2.
+  Signature a2 = Signature::FromPaths({kPaths[1], kPaths[5]}, 2);
+  Signature b2 = Signature::FromPaths({kPaths[1], kPaths[6]}, 2);
+  Signature i = Signature::Intersect(a2, b2);
+  EXPECT_TRUE(i.TestPath({1, 1, 2}));   // t2 survives
+  EXPECT_FALSE(i.TestPath({2, 1, 2}));  // t6 gone
+  EXPECT_FALSE(i.TestPath({2, 2, 1}));  // t7 gone
+  // The recursive rule also cleared the now-empty N2 branch entirely.
+  EXPECT_FALSE(i.TestPath({2}, 1));
+}
+
+TEST(SignatureTest, ClearPathPropagatesEmptiness) {
+  Signature sig = Signature::FromPaths({{1, 1, 1}, {1, 2, 1}}, 2);
+  sig.ClearPath({1, 1, 1});
+  EXPECT_FALSE(sig.TestPath({1, 1, 1}));
+  EXPECT_FALSE(sig.TestPath({1, 1}, 2));  // N3 branch emptied
+  EXPECT_TRUE(sig.TestPath({1, 2, 1}));   // sibling untouched
+  sig.ClearPath({1, 2, 1});
+  EXPECT_TRUE(sig.empty());  // everything propagated to the root
+}
+
+TEST(SignatureTest, SetPathAfterClearRestores) {
+  Signature sig(2);
+  sig.SetPath({2, 1, 2});
+  EXPECT_TRUE(sig.TestPath({2, 1, 2}));
+  sig.ClearPath({2, 1, 2});
+  EXPECT_TRUE(sig.empty());
+  sig.SetPath({2, 1, 2});
+  EXPECT_TRUE(sig.TestPath({2, 1, 2}));
+}
+
+TEST(SignatureTest, TestPathPrefixSemantics) {
+  Signature sig = Signature::FromPaths({{1, 2, 1}}, 2);
+  EXPECT_TRUE(sig.TestPath({1, 2, 1}, 0));  // empty prefix: trivially true
+  EXPECT_TRUE(sig.TestPath({1, 2, 1}, 1));
+  EXPECT_TRUE(sig.TestPath({1, 2, 1}, 2));
+  EXPECT_TRUE(sig.TestPath({1, 2, 1}, 3));
+  EXPECT_FALSE(sig.TestPath({1, 1, 1}, 2));
+}
+
+TEST(StoredSignatureTest, CompressionRoundTripAccounting) {
+  // Larger fanout: build from many random-ish paths.
+  const int M = 32;
+  std::vector<std::vector<int>> paths;
+  for (int i = 0; i < 500; ++i) {
+    paths.push_back({1 + (i * 7) % M, 1 + (i * 13) % M, 1 + i % M});
+  }
+  Signature sig = Signature::FromPaths(paths, M);
+  StoredSignature stored = StoredSignature::Compress(sig, 4096, 0.5);
+  EXPECT_GT(stored.partials().size(), 0u);
+  EXPECT_GT(stored.CompressedBytes(), 0u);
+  EXPECT_LE(stored.CompressedBytes(), stored.BaselineBytes());
+  // Every node is owned by exactly one partial.
+  size_t owned = 0;
+  for (const auto& p : stored.partials()) owned += p.node_sids.size();
+  EXPECT_EQ(owned, sig.num_nodes());
+  for (const auto& [sid, bits] : sig.nodes()) {
+    (void)bits;
+    EXPECT_NE(stored.PartialOf(sid), SIZE_MAX);
+  }
+}
+
+TEST(StoredSignatureTest, SmallAlphaMakesMorePartials) {
+  const int M = 16;
+  Rng rng(17);
+  std::vector<std::vector<int>> paths;
+  for (int i = 0; i < 4000; ++i) {
+    paths.push_back({static_cast<int>(rng.UniformInt(M)) + 1,
+                     static_cast<int>(rng.UniformInt(M)) + 1,
+                     static_cast<int>(rng.UniformInt(M)) + 1});
+  }
+  Signature sig = Signature::FromPaths(paths, M);
+  StoredSignature big = StoredSignature::Compress(sig, 4096, 0.9);
+  StoredSignature small = StoredSignature::Compress(sig, 4096, 0.02);
+  EXPECT_GT(small.partials().size(), big.partials().size());
+}
+
+TEST(StoredSignatureTest, EmptySignature) {
+  Signature sig(8);
+  StoredSignature stored = StoredSignature::Compress(sig, 4096);
+  EXPECT_TRUE(stored.partials().empty());
+  EXPECT_EQ(stored.CompressedBytes(), 0u);
+  EXPECT_EQ(stored.PartialOf(0), SIZE_MAX);
+}
+
+}  // namespace
+}  // namespace rankcube

@@ -1,0 +1,85 @@
+// Randomized drill-down / roll-up session sequences: after any sequence of
+// operations, the session's skyline must equal a fresh query's skyline under
+// the session's current predicate set.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "skyline/olap_session.h"
+
+namespace rankcube {
+namespace {
+
+std::set<Tid> Oracle(const Table& t, const std::vector<Predicate>& preds,
+                     const SkylineTransform& tf) {
+  std::vector<Tid> qual;
+  for (Tid i = 0; i < static_cast<Tid>(t.num_rows()); ++i) {
+    bool ok = true;
+    for (const auto& p : preds) {
+      if (t.sel(i, p.dim) != p.value) ok = false;
+    }
+    if (ok) qual.push_back(i);
+  }
+  auto sky = SkylineOfTuples(t, qual, tf);
+  return std::set<Tid>(sky.begin(), sky.end());
+}
+
+class SessionStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionStressTest, RandomOpSequencesStayConsistent) {
+  Rng rng(GetParam() * 7 + 3);
+  SyntheticSpec spec;
+  spec.num_rows = 2000;
+  spec.num_sel_dims = 4;
+  spec.cardinality = 3;
+  spec.num_rank_dims = 2;
+  spec.seed = GetParam();
+  spec.distribution = static_cast<RankDistribution>(rng.UniformInt(3));
+  Table t = GenerateSynthetic(spec);
+  Pager pager;
+  SkylineEngine engine(t, pager);
+  SkylineTransform tf = SkylineTransform::Static(2);
+  SkylineSession session(&engine);
+
+  Tid anchor = static_cast<Tid>(rng.UniformInt(t.num_rows()));
+  ExecStats stats;
+  auto r0 = session.Query({{0, t.sel(anchor, 0)}}, tf, &pager, &stats);
+  ASSERT_TRUE(r0.ok());
+
+  for (int op = 0; op < 5; ++op) {
+    const auto& preds = session.predicates();
+    bool can_drill = preds.size() < 3;
+    bool can_roll = preds.size() > 0;
+    bool drill = can_drill && (!can_roll || rng.UniformInt(2) == 0);
+    Result<std::vector<Tid>> res(std::vector<Tid>{});
+    if (drill) {
+      // Pick an unused dimension.
+      int dim = -1;
+      for (int d = 0; d < t.num_sel_dims(); ++d) {
+        bool used = false;
+        for (const auto& p : preds) used |= (p.dim == d);
+        if (!used) {
+          dim = d;
+          break;
+        }
+      }
+      ASSERT_GE(dim, 0);
+      res = session.DrillDown({{dim, t.sel(anchor, dim)}}, &pager, &stats);
+    } else if (can_roll) {
+      res = session.RollUp({preds.front().dim}, &pager, &stats);
+    } else {
+      continue;
+    }
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(std::set<Tid>(res->begin(), res->end()),
+              Oracle(t, session.predicates(), tf))
+        << "op " << op << (drill ? " drill" : " roll");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionStressTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace rankcube

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace rankcube {
+namespace {
+
+TEST(PagerTest, CountsPerCategory) {
+  Pager pager;
+  pager.Access(IoCategory::kRTree, 1);
+  pager.Access(IoCategory::kRTree, 2);
+  pager.Access(IoCategory::kSignature, 9);
+  EXPECT_EQ(pager.stats(IoCategory::kRTree).physical, 2u);
+  EXPECT_EQ(pager.stats(IoCategory::kSignature).physical, 1u);
+  EXPECT_EQ(pager.TotalPhysical(), 3u);
+  pager.ResetStats();
+  EXPECT_EQ(pager.TotalPhysical(), 0u);
+}
+
+TEST(PagerTest, CacheAbsorbsRepeatedReads) {
+  Pager pager({.page_size = 4096, .cache_pages = 8});
+  for (int i = 0; i < 5; ++i) pager.Access(IoCategory::kBTree, 42);
+  EXPECT_EQ(pager.stats(IoCategory::kBTree).logical, 5u);
+  EXPECT_EQ(pager.stats(IoCategory::kBTree).physical, 1u);
+}
+
+TEST(PagerTest, CacheEvictsLru) {
+  Pager pager({.page_size = 4096, .cache_pages = 2});
+  pager.Access(IoCategory::kBTree, 1);
+  pager.Access(IoCategory::kBTree, 2);
+  pager.Access(IoCategory::kBTree, 3);  // evicts 1
+  pager.Access(IoCategory::kBTree, 1);  // miss again
+  EXPECT_EQ(pager.stats(IoCategory::kBTree).physical, 4u);
+}
+
+TEST(PagerTest, MultiPageReadsBypassCache) {
+  Pager pager({.page_size = 4096, .cache_pages = 8});
+  pager.Access(IoCategory::kTable, 0, 10);
+  pager.Access(IoCategory::kTable, 0, 10);
+  EXPECT_EQ(pager.stats(IoCategory::kTable).physical, 20u);
+}
+
+TEST(PagerTest, CategoriesDoNotCollideInCache) {
+  Pager pager({.page_size = 4096, .cache_pages = 8});
+  pager.Access(IoCategory::kBTree, 7);
+  pager.Access(IoCategory::kRTree, 7);
+  EXPECT_EQ(pager.TotalPhysical(), 2u);
+}
+
+Table MakeTable() {
+  TableSchema schema;
+  schema.sel_cardinality = {4, 3};
+  schema.num_rank_dims = 2;
+  Table t(schema);
+  EXPECT_TRUE(t.AddRow({1, 2}, {0.5, 0.25}).ok());
+  EXPECT_TRUE(t.AddRow({3, 0}, {0.1, 0.9}).ok());
+  return t;
+}
+
+TEST(TableTest, StoresValues) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.sel(0, 0), 1);
+  EXPECT_EQ(t.sel(1, 1), 0);
+  EXPECT_DOUBLE_EQ(t.rank(0, 1), 0.25);
+  EXPECT_EQ(t.RankRow(1), (std::vector<double>{0.1, 0.9}));
+}
+
+TEST(TableTest, RejectsBadRows) {
+  Table t = MakeTable();
+  EXPECT_FALSE(t.AddRow({1}, {0.0, 0.0}).ok());        // wrong sel arity
+  EXPECT_FALSE(t.AddRow({1, 2}, {0.0}).ok());          // wrong rank arity
+  EXPECT_FALSE(t.AddRow({9, 0}, {0.0, 0.0}).ok());     // out of domain
+  EXPECT_FALSE(t.AddRow({-1, 0}, {0.0, 0.0}).ok());    // negative
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, PageAccounting) {
+  Table t = MakeTable();
+  Pager pager;
+  // Row = 4 + 4*2 + 8*2 = 28 bytes -> 146 rows / 4KB page.
+  EXPECT_EQ(t.RowBytes(), 28u);
+  EXPECT_EQ(t.RowsPerPage(pager), 146u);
+  EXPECT_EQ(t.NumPages(pager), 1u);
+  t.ChargeFullScan(&pager);
+  EXPECT_EQ(pager.stats(IoCategory::kTable).physical, 1u);
+  t.ChargeRowFetch(&pager, 0);
+  EXPECT_EQ(pager.stats(IoCategory::kTable).physical, 2u);
+}
+
+}  // namespace
+}  // namespace rankcube
