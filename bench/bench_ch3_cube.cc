@@ -1,10 +1,9 @@
 // Reproduces Figures 3.4-3.10: grid ranking cube vs rank-mapping vs the
 // SQL-style baseline on synthetic data (Tables 3.8/3.9 defaults, sizes
-// scaled per DESIGN.md: paper 3M -> 200k default).
+// scaled per DESIGN.md: paper 3M -> 200k default). Every method is created
+// from the EngineRegistry and runs through RankingEngine::Execute.
 #include "bench/bench_common.h"
-#include "baselines/baselines.h"
-#include "core/grid_cube.h"
-#include "tests/reference.h"
+#include "engine/registry.h"
 
 namespace rankcube::bench {
 namespace {
@@ -12,18 +11,19 @@ namespace {
 struct Ctx {
   Table table;
   Pager pager;
-  std::unique_ptr<GridRankingCube> cube;
-  std::unique_ptr<BooleanFirst> boolean_first;
-  std::unique_ptr<RankMapping> rank_mapping;
+  std::unique_ptr<RankingEngine> cube;
+  std::unique_ptr<RankingEngine> boolean_first;
+  std::unique_ptr<RankingEngine> rank_mapping;
 
-  Ctx(const SyntheticSpec& spec, int block_size) : table(GenerateSynthetic(spec)) {
-    cube = std::make_unique<GridRankingCube>(
-        table, pager, GridCubeOptions{.block_size = block_size});
-    boolean_first = std::make_unique<BooleanFirst>(table);
-    std::vector<int> all_dims(table.num_sel_dims());
-    for (int d = 0; d < table.num_sel_dims(); ++d) all_dims[d] = d;
-    rank_mapping = std::make_unique<RankMapping>(
-        table, std::vector<std::vector<int>>{all_dims});
+  Ctx(const SyntheticSpec& spec, int block_size)
+      : table(GenerateSynthetic(spec)) {
+    EngineBuildOptions options;
+    options.grid.block_size = block_size;
+    auto& registry = EngineRegistry::Global();
+    cube = MustEngine(registry.Create("grid", table, pager, options));
+    boolean_first =
+        MustEngine(registry.Create("boolean_first", table, pager));
+    rank_mapping = MustEngine(registry.Create("rank_mapping", table, pager));
   }
 };
 
@@ -57,27 +57,13 @@ WorkloadResult RunMethod(Ctx& ctx, const std::vector<TopKQuery>& queries,
                          Method m) {
   switch (m) {
     case Method::kCube:
-      return RunWorkload(queries, &ctx.pager,
-                         [&](const TopKQuery& q, Pager* p, ExecStats* s) {
-                           auto r = ctx.cube->TopK(q, p, s);
-                           benchmark::DoNotOptimize(r);
-                         });
+      return RunWorkload(queries, &ctx.pager, *ctx.cube);
     case Method::kRankMapping:
-      return RunWorkload(
-          queries, &ctx.pager,
-          [&](const TopKQuery& q, Pager* p, ExecStats* s) {
-            // The thesis feeds rank-mapping the *optimal* bound values.
-            auto oracle = BruteForceTopK(ctx.table, q);
-            double kth = oracle.empty() ? 1e9 : oracle.back().score;
-            auto r = ctx.rank_mapping->TopK(q, kth, p, s);
-            benchmark::DoNotOptimize(r);
-          });
+      // The engine feeds rank-mapping the *optimal* bound values, as the
+      // thesis does for this competitor.
+      return RunWorkload(queries, &ctx.pager, *ctx.rank_mapping);
     case Method::kBaseline:
-      return RunWorkload(queries, &ctx.pager,
-                         [&](const TopKQuery& q, Pager* p, ExecStats* s) {
-                           auto r = ctx.boolean_first->TopK(q, p, s);
-                           benchmark::DoNotOptimize(r);
-                         });
+      return RunWorkload(queries, &ctx.pager, *ctx.boolean_first);
   }
   return {};
 }

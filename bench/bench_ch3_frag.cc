@@ -1,10 +1,10 @@
 // Reproduces Figures 3.11-3.15: ranking fragments on high-dimensional data
 // (12 selection dimensions) plus the CoverType-like real-data experiment.
+// Every method is created from the EngineRegistry and runs through
+// RankingEngine::Execute.
 #include "bench/bench_common.h"
-#include "baselines/baselines.h"
-#include "core/ranking_fragments.h"
 #include "cube/fragments.h"
-#include "tests/reference.h"
+#include "engine/registry.h"
 
 namespace rankcube::bench {
 namespace {
@@ -12,17 +12,23 @@ namespace {
 struct Ctx {
   Table table;
   Pager pager;
-  std::unique_ptr<RankingFragments> fragments;
-  std::unique_ptr<BooleanFirst> boolean_first;
-  std::unique_ptr<RankMapping> rank_mapping;  // one composite per fragment
+  std::unique_ptr<RankingEngine> fragments;
+  std::unique_ptr<RankingEngine> boolean_first;
+  std::unique_ptr<RankingEngine> rank_mapping;  // one composite per fragment
 
   Ctx(Table&& t, int fragment_size) : table(std::move(t)) {
-    fragments = std::make_unique<RankingFragments>(
-        table, pager,
-        FragmentsOptions{.block_size = 300, .fragment_size = fragment_size});
-    boolean_first = std::make_unique<BooleanFirst>(table);
-    rank_mapping = std::make_unique<RankMapping>(
-        table, GroupDimensions(table.num_sel_dims(), fragment_size));
+    EngineBuildOptions options;
+    options.fragments.block_size = 300;
+    options.fragments.fragment_size = fragment_size;
+    options.rank_mapping_groups =
+        GroupDimensions(table.num_sel_dims(), fragment_size);
+    auto& registry = EngineRegistry::Global();
+    fragments =
+        MustEngine(registry.Create("fragments", table, pager, options));
+    boolean_first =
+        MustEngine(registry.Create("boolean_first", table, pager));
+    rank_mapping =
+        MustEngine(registry.Create("rank_mapping", table, pager, options));
   }
 };
 
@@ -65,26 +71,11 @@ WorkloadResult RunMethod(Ctx& ctx, const std::vector<TopKQuery>& queries,
                          Method m) {
   switch (m) {
     case Method::kFragments:
-      return RunWorkload(queries, &ctx.pager,
-                         [&](const TopKQuery& q, Pager* p, ExecStats* s) {
-                           auto r = ctx.fragments->TopK(q, p, s);
-                           benchmark::DoNotOptimize(r);
-                         });
+      return RunWorkload(queries, &ctx.pager, *ctx.fragments);
     case Method::kRankMapping:
-      return RunWorkload(queries, &ctx.pager,
-                         [&](const TopKQuery& q, Pager* p, ExecStats* s) {
-                           auto oracle = BruteForceTopK(ctx.table, q);
-                           double kth =
-                               oracle.empty() ? 1e9 : oracle.back().score;
-                           auto r = ctx.rank_mapping->TopK(q, kth, p, s);
-                           benchmark::DoNotOptimize(r);
-                         });
+      return RunWorkload(queries, &ctx.pager, *ctx.rank_mapping);
     case Method::kBaseline:
-      return RunWorkload(queries, &ctx.pager,
-                         [&](const TopKQuery& q, Pager* p, ExecStats* s) {
-                           auto r = ctx.boolean_first->TopK(q, p, s);
-                           benchmark::DoNotOptimize(r);
-                         });
+      return RunWorkload(queries, &ctx.pager, *ctx.boolean_first);
   }
   return {};
 }
@@ -113,9 +104,9 @@ void RegisterAll() {
             state.counters["rf_bytes"] =
                 static_cast<double>(ctx->fragments->SizeBytes());
             state.counters["rm_bytes"] =
-                static_cast<double>(ctx->rank_mapping->IndexSizeBytes());
+                static_cast<double>(ctx->rank_mapping->SizeBytes());
             state.counters["bl_bytes"] =
-                static_cast<double>(ctx->boolean_first->IndexSizeBytes());
+                static_cast<double>(ctx->boolean_first->SizeBytes());
           }
         })
         ->Iterations(1);

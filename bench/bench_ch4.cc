@@ -4,8 +4,8 @@
 #include "bench/bench_common.h"
 
 #include "common/stopwatch.h"
-#include "baselines/baselines.h"
 #include "core/signature_cube.h"
+#include "engine/builtin_engines.h"
 #include "index/btree.h"
 
 namespace rankcube::bench {
@@ -23,14 +23,26 @@ Table MakeData(uint64_t rows, int c) {
 struct Ctx {
   Table table;
   Pager pager;
-  std::unique_ptr<SignatureCube> cube;
-  std::unique_ptr<BooleanFirst> boolean_first;
-  std::unique_ptr<RankingFirst> ranking_first;
+  std::shared_ptr<SignatureCube> cube;  ///< size/compression figures
+  std::unique_ptr<RankingEngine> signature;
+  std::unique_ptr<RankingEngine> boolean_first;
+  std::unique_ptr<RankingEngine> ranking_first;
 
   Ctx(uint64_t rows, int c) : table(MakeData(rows, c)) {
-    cube = std::make_unique<SignatureCube>(table, pager);
-    boolean_first = std::make_unique<BooleanFirst>(table);
-    ranking_first = std::make_unique<RankingFirst>(table, &cube->rtree());
+    cube = std::make_shared<SignatureCube>(table, pager);
+    signature = MakeSignatureCubeEngine(table, cube);
+    boolean_first =
+        MakeBooleanFirstEngine(table, std::make_shared<BooleanFirst>(table));
+    // Ranking-first shares the cube's R-tree partition (aliasing pointer
+    // keeps the cube alive).
+    ranking_first = MakeRankingFirstEngine(
+        table, std::shared_ptr<const RTree>(cube, &cube->rtree()));
+  }
+
+  const RankingEngine& Engine(const std::string& method) const {
+    if (method == "boolean") return *boolean_first;
+    if (method == "ranking") return *ranking_first;
+    return *signature;
   }
 };
 
@@ -163,23 +175,9 @@ void RegisterAll() {
           [method, k](benchmark::State& state) {
             auto ctx = GetCtx(200000, 20);  // moderate selectivity: k <= matches
             auto qs = Queries(ctx->table, k, "linear");
-            std::string m = method;
             for (auto _ : state) {
               Publish(state,
-                      RunWorkload(qs, &ctx->pager,
-                                  [&](const TopKQuery& q, Pager* p,
-                                      ExecStats* s) {
-                                    if (m == "boolean") {
-                                      auto r = ctx->boolean_first->TopK(q, p, s);
-                                      benchmark::DoNotOptimize(r);
-                                    } else if (m == "ranking") {
-                                      auto r = ctx->ranking_first->TopK(q, p, s);
-                                      benchmark::DoNotOptimize(r);
-                                    } else {
-                                      auto r = ctx->cube->TopK(q, p, s);
-                                      benchmark::DoNotOptimize(r);
-                                    }
-                                  }));
+                      RunWorkload(qs, &ctx->pager, ctx->Engine(method)));
             }
           })
           ->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -194,20 +192,9 @@ void RegisterAll() {
           [method, kind](benchmark::State& state) {
             auto ctx = GetCtx(200000, 20);
             auto qs = Queries(ctx->table, 100, kind);
-            std::string m = method;
             for (auto _ : state) {
               ctx->pager.ResetStats();
-              auto res = RunWorkload(
-                  qs, &ctx->pager,
-                  [&](const TopKQuery& q, Pager* p, ExecStats* s) {
-                    if (m == "ranking") {
-                      auto r = ctx->ranking_first->TopK(q, p, s);
-                      benchmark::DoNotOptimize(r);
-                    } else {
-                      auto r = ctx->cube->TopK(q, p, s);
-                      benchmark::DoNotOptimize(r);
-                    }
-                  });
+              auto res = RunWorkload(qs, &ctx->pager, ctx->Engine(method));
               Publish(state, res);
               state.counters["rtree_pages"] = static_cast<double>(
                   ctx->pager.stats(IoCategory::kRTree).physical /

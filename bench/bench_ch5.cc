@@ -1,8 +1,10 @@
 // Reproduces Table 5.1 and Figures 5.7-5.22: index-merge configurations
-// TS / BL / PE / PE+SIG over B+-tree and R-tree indices (§5.4).
+// TS / BL / PE / PE+SIG over B+-tree and R-tree indices (§5.4). All modes
+// run through RankingEngine adapters (the engines share each context's
+// cached B+-trees / R-trees; wrapping is free).
 #include "bench/bench_common.h"
-#include "baselines/baselines.h"
 #include "common/stopwatch.h"
+#include "engine/builtin_engines.h"
 #include "merge/index_merge.h"
 
 namespace rankcube::bench {
@@ -99,13 +101,10 @@ WorkloadResult RunMode(BtreeCtx& ctx, const std::string& kind, int k,
     q.k = k;
     qs.push_back(std::move(q));
   }
-  return RunWorkload(qs, &ctx.pager, [&](const TopKQuery& q, Pager* p,
-                                         ExecStats* s) {
-    if (mode == Mode::kTS) {
-      auto r = TableScanTopK(ctx.table, q, p, s);
-      benchmark::DoNotOptimize(r);
-      return;
-    }
+  std::unique_ptr<RankingEngine> engine;
+  if (mode == Mode::kTS) {
+    engine = MakeTableScanEngine(ctx.table);
+  } else {
     MergeOptions opt;
     opt.mode = (mode == Mode::kBL) ? MergeOptions::Mode::kBaseline
                                    : MergeOptions::Mode::kProgressive;
@@ -122,10 +121,9 @@ WorkloadResult RunMode(BtreeCtx& ctx, const std::string& kind, int k,
         opt.signature_positions.push_back(ctx.pair_positions[g]);
       }
     }
-    auto r = IndexMergeTopK(ctx.table, ctx.indices, q.function, q.k, opt, p,
-                            s);
-    benchmark::DoNotOptimize(r);
-  });
+    engine = MakeIndexMergeEngine(ctx.table, ctx.indices, std::move(opt));
+  }
+  return RunWorkload(qs, &ctx.pager, *engine);
 }
 
 void RegisterAll() {
@@ -215,26 +213,20 @@ void RegisterAll() {
               q.k = k;
               qs.push_back(std::move(q));
             }
+            std::unique_ptr<RankingEngine> engine;
+            if (m == Mode::kTS) {
+              engine = MakeTableScanEngine(ctx->table);
+            } else {
+              MergeOptions opt;
+              if (m == Mode::kPESig) {
+                opt.signatures = {ctx->sig.get()};
+                opt.signature_positions = {{0, 1}};
+              }
+              engine = MakeIndexMergeEngine(ctx->table, ctx->indices,
+                                            std::move(opt));
+            }
             for (auto _ : state) {
-              Publish(state,
-                      RunWorkload(qs, &ctx->pager,
-                                  [&](const TopKQuery& q, Pager* p,
-                                      ExecStats* s) {
-                                    MergeOptions opt;
-                                    if (m == Mode::kPESig) {
-                                      opt.signatures = {ctx->sig.get()};
-                                      opt.signature_positions = {{0, 1}};
-                                    }
-                                    if (m == Mode::kTS) {
-                                      auto r = TableScanTopK(ctx->table, q, p, s);
-                                      benchmark::DoNotOptimize(r);
-                                    } else {
-                                      auto r = IndexMergeTopK(
-                                          ctx->table, ctx->indices, q.function,
-                                          q.k, opt, p, s);
-                                      benchmark::DoNotOptimize(r);
-                                    }
-                                  }));
+              Publish(state, RunWorkload(qs, &ctx->pager, *engine));
             }
           })
           ->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -279,19 +271,13 @@ void RegisterAll() {
             q.k = 100;
             qs.push_back(std::move(q));
           }
+          MergeOptions opt;
+          opt.signatures = {ctx->sig.get()};
+          opt.signature_positions = {{0, 1}};
+          auto engine =
+              MakeIndexMergeEngine(ctx->table, ctx->indices, std::move(opt));
           for (auto _ : state) {
-            Publish(state,
-                    RunWorkload(qs, &ctx->pager,
-                                [&](const TopKQuery& q, Pager* p,
-                                    ExecStats* s) {
-                                  MergeOptions opt;
-                                  opt.signatures = {ctx->sig.get()};
-                                  opt.signature_positions = {{0, 1}};
-                                  auto r = IndexMergeTopK(
-                                      ctx->table, ctx->indices, q.function,
-                                      q.k, opt, p, s);
-                                  benchmark::DoNotOptimize(r);
-                                }));
+            Publish(state, RunWorkload(qs, &ctx->pager, *engine));
           }
         })
         ->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -331,19 +317,13 @@ void RegisterAll() {
             q.function = f;
             q.k = 100;
           }
+          MergeOptions opt;
+          opt.signatures = {ctx->full_sig.get()};
+          opt.signature_positions = {{0, 1}};
+          auto engine =
+              MakeIndexMergeEngine(ctx->table, ctx->indices, std::move(opt));
           for (auto _ : state) {
-            Publish(state,
-                    RunWorkload(qs, &ctx->pager,
-                                [&](const TopKQuery& q, Pager* p,
-                                    ExecStats* s) {
-                                  MergeOptions opt;
-                                  opt.signatures = {ctx->full_sig.get()};
-                                  opt.signature_positions = {{0, 1}};
-                                  auto r = IndexMergeTopK(
-                                      ctx->table, ctx->indices, q.function,
-                                      q.k, opt, p, s);
-                                  benchmark::DoNotOptimize(r);
-                                }));
+            Publish(state, RunWorkload(qs, &ctx->pager, *engine));
           }
         })
         ->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -11,12 +11,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "core/topk_query.h"
+#include "engine/batch_executor.h"
+#include "engine/engine.h"
 #include "gen/covtype.h"
 #include "gen/queries.h"
 #include "gen/synthetic.h"
@@ -46,7 +50,18 @@ std::shared_ptr<T> Cached(const std::string& key,
   return std::static_pointer_cast<T>(it->second);
 }
 
-/// Average per-query results of running `run` over a workload.
+/// Unwraps an engine-build Result; a bench cannot run without its engine.
+inline std::unique_ptr<RankingEngine> MustEngine(
+    Result<std::unique_ptr<RankingEngine>> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// Average per-query results of running a workload through one engine.
 struct WorkloadResult {
   double ms_per_query = 0.0;
   double io_per_query = 0.0;
@@ -56,31 +71,54 @@ struct WorkloadResult {
   double evaluated_per_query = 0.0;
 };
 
-/// `run(query, pager, stats)` executes one query charging `pager`.
+/// Per-query averages from accumulated totals (ExecStats::operator+= does
+/// the summing; this divides once).
+inline WorkloadResult AverageOver(const ExecStats& total,
+                                  uint64_t physical_pages, size_t queries) {
+  double n = std::max<size_t>(1, queries);
+  WorkloadResult out;
+  out.ms_per_query = total.time_ms / n;
+  out.io_per_query = static_cast<double>(physical_pages) / n;
+  out.sig_io_per_query = static_cast<double>(total.signature_pages) / n;
+  out.states_per_query = static_cast<double>(total.states_generated) / n;
+  out.heap_per_query = static_cast<double>(total.peak_heap) / n;
+  out.evaluated_per_query = static_cast<double>(total.tuples_evaluated) / n;
+  return out;
+}
+
+/// `run(query, pager, stats)` executes one query charging `pager`. (Legacy
+/// shim for harnesses not yet on RankingEngine; prefer the engine overload.)
 inline WorkloadResult RunWorkload(
     const std::vector<TopKQuery>& queries, Pager* pager,
     const std::function<void(const TopKQuery&, Pager*, ExecStats*)>& run) {
-  WorkloadResult out;
+  ExecStats total;
+  uint64_t before = pager->TotalPhysical();
   for (const auto& q : queries) {
     ExecStats stats;
-    uint64_t before = pager->TotalPhysical();
     run(q, pager, &stats);
-    out.ms_per_query += stats.time_ms;
-    out.io_per_query +=
-        static_cast<double>(pager->TotalPhysical() - before);
-    out.sig_io_per_query += static_cast<double>(stats.signature_pages);
-    out.states_per_query += static_cast<double>(stats.states_generated);
-    out.heap_per_query += static_cast<double>(stats.peak_heap);
-    out.evaluated_per_query += static_cast<double>(stats.tuples_evaluated);
+    total += stats;
   }
-  double n = std::max<size_t>(1, queries.size());
-  out.ms_per_query /= n;
-  out.io_per_query /= n;
-  out.sig_io_per_query /= n;
-  out.states_per_query /= n;
-  out.heap_per_query /= n;
-  out.evaluated_per_query /= n;
-  return out;
+  return AverageOver(total, pager->TotalPhysical() - before, queries.size());
+}
+
+/// Engine path: the whole workload goes through BatchExecutor / the unified
+/// Execute interface. Aborts on the first error — a benchmark measuring a
+/// failing engine would publish garbage.
+inline WorkloadResult RunWorkload(const std::vector<TopKQuery>& queries,
+                                  Pager* pager, const RankingEngine& engine) {
+  ExecContext ctx;
+  ctx.pager = pager;
+  BatchExecutor executor(&engine, {.stop_on_error = true});
+  auto report = executor.Run(queries, ctx);
+  if (!report.ok() || report.value().failed > 0) {
+    const Status& s =
+        report.ok() ? report.value().first_error : report.status();
+    std::fprintf(stderr, "workload failed on engine '%s': %s\n",
+                 engine.name().c_str(), s.ToString().c_str());
+    std::abort();
+  }
+  return AverageOver(report.value().total, report.value().physical_pages,
+                     report.value().num_queries);
 }
 
 /// Publishes a WorkloadResult on a benchmark's counters.
@@ -109,7 +147,14 @@ inline void ParseScale(int* argc, char** argv) {
   for (int i = 1; i < *argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--rows_scale=", 0) == 0) {
-      RowsScale() = std::stod(a.substr(13));
+      char* end = nullptr;
+      double scale = std::strtod(a.c_str() + 13, &end);
+      if (end == a.c_str() + 13 || *end != '\0' || !(scale > 0.0)) {
+        std::fprintf(stderr, "invalid --rows_scale value: '%s'\n",
+                     a.c_str() + 13);
+        std::exit(1);
+      }
+      RowsScale() = scale;
       for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
       --*argc;
       return;

@@ -1,10 +1,14 @@
 // High-dimensional apartment search (§1.2.2): many boolean amenities AND
 // many ranking criteria. Boolean dimensionality is handled by ranking
 // fragments (Ch3); ranking dimensionality by index-merge over two B+-tree
-// indices with a join-signature (Ch5).
+// indices with a join-signature (Ch5). Both run behind the same
+// RankingEngine interface.
 #include <cstdio>
+#include <memory>
 
 #include "core/ranking_fragments.h"
+#include "engine/builtin_engines.h"
+#include "engine/query_builder.h"
 #include "gen/synthetic.h"
 #include "merge/index_merge.h"
 
@@ -21,29 +25,33 @@ int main() {
   spec.seed = 11;
   Table apartments = GenerateSynthetic(spec);
   Pager pager;
+  ExecContext ctx;
+  ctx.pager = &pager;
 
   // --- Part 1: high boolean dimensionality -> ranking fragments (F=2). ---
-  RankingFragments fragments(apartments, pager, {.fragment_size = 2});
-  TopKQuery q;
-  q.predicates = {{0, 1}, {5, 1}, {9, 1}};  // washer + AC + parking
-  q.function = std::make_shared<LinearFunction>(
-      std::vector<double>{0.6, 0.4, 0.0, 0.0});  // rent + distance
-  q.k = 5;
-  ExecStats s1;
-  auto res = fragments.TopK(q, &pager, &s1);
+  auto fragments = std::make_shared<RankingFragments>(
+      apartments, pager, FragmentsOptions{.fragment_size = 2});
+  auto frag_engine = MakeFragmentsEngine(apartments, fragments);
+
+  TopKQuery q = QueryBuilder()
+                    .Where(0, 1).Where(5, 1).Where(9, 1)  // washer+AC+parking
+                    .OrderByLinear({0.6, 0.4, 0.0, 0.0})  // rent + distance
+                    .Limit(5)
+                    .Build();
+  auto res = frag_engine->Execute(q, ctx);
   if (!res.ok()) {
     std::printf("error: %s\n", res.status().ToString().c_str());
     return 1;
   }
   std::printf("Fragments (12 boolean dims, query covered by %d cuboids):\n",
-              fragments.CoveringCuboidCount(q));
-  for (const auto& apt : *res) {
+              fragments->CoveringCuboidCount(q));
+  for (const auto& apt : res->tuples) {
     std::printf("  apt #%u  rent=%.2f dist=%.2f  score=%.4f\n", apt.tid,
                 apartments.rank(apt.tid, 0), apartments.rank(apt.tid, 1),
                 apt.score);
   }
-  std::printf("  -> %.2f ms, %llu pages\n\n", s1.time_ms,
-              static_cast<unsigned long long>(s1.pages_read));
+  std::printf("  -> %.2f ms, %llu pages\n\n", res->stats.time_ms,
+              static_cast<unsigned long long>(res->stats.pages_read));
 
   // --- Part 2: high ranking dimensionality -> index-merge (Ch5). --------
   // Two B+-trees (rent, deposit) merged under a non-monotone trade-off
@@ -57,18 +65,26 @@ int main() {
   MergeOptions opt;
   opt.signatures = {&sig};
   opt.signature_positions = {{0, 1}};
-  auto f = std::make_shared<GeneralAB>(4, 0, 2);
-  ExecStats s2;
-  auto merged = IndexMergeTopK(apartments, indices, f, 5, opt, &pager, &s2);
+  auto merge_engine = MakeIndexMergeEngine(apartments, indices, opt);
+
+  TopKQuery q2 = QueryBuilder()
+                     .OrderBy(std::make_shared<GeneralAB>(4, 0, 2))
+                     .Limit(5)
+                     .Build();
+  auto merged = merge_engine->Execute(q2, ctx);
+  if (!merged.ok()) {
+    std::printf("error: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
   std::printf("Index-merge (f = (rent - deposit^2)^2, join-signature on):\n");
-  for (const auto& apt : merged) {
+  for (const auto& apt : merged->tuples) {
     std::printf("  apt #%u  rent=%.2f deposit=%.2f  score=%.6f\n", apt.tid,
                 apartments.rank(apt.tid, 0), apartments.rank(apt.tid, 2),
                 apt.score);
   }
   std::printf("  -> %.2f ms, %llu states generated, %llu signature pages\n",
-              s2.time_ms,
-              static_cast<unsigned long long>(s2.states_generated),
-              static_cast<unsigned long long>(s2.signature_pages));
+              merged->stats.time_ms,
+              static_cast<unsigned long long>(merged->stats.states_generated),
+              static_cast<unsigned long long>(merged->stats.signature_pages));
   return 0;
 }

@@ -5,8 +5,11 @@
 // compare against all makers — the OLAP-of-ranked-queries workflow the
 // ranking cube was designed for.
 #include <cstdio>
+#include <memory>
 
 #include "core/ranking_fragments.h"
+#include "engine/builtin_engines.h"
+#include "engine/query_builder.h"
 #include "gen/synthetic.h"
 
 using namespace rankcube;
@@ -29,29 +32,25 @@ int main() {
 
   Pager pager;
   // High(ish)-dimensional selection space: materialize ranking fragments
-  // (F = 2) instead of the full 2^4-cuboid cube.
-  RankingFragments fragments(notebooks, pager,
-                             {.block_size = 300, .fragment_size = 2});
+  // (F = 2) instead of the full 2^4-cuboid cube, and query them through the
+  // unified engine interface.
+  auto fragments = std::make_shared<RankingFragments>(
+      notebooks, pager,
+      FragmentsOptions{.block_size = 300, .fragment_size = 2});
+  auto engine = MakeFragmentsEngine(notebooks, fragments);
 
-  // Market potential f over (cpu, memory, disk).
-  auto f = std::make_shared<LinearFunction>(
-      std::vector<double>{0.5, 0.3, 0.2});
+  // Market potential f over (cpu, memory, disk). Drill: top-5 low-end Dell
+  // notebooks; then roll up on brand to compare against all makers.
+  QueryBuilder base;
+  base.OrderByLinear({0.5, 0.3, 0.2}).Limit(5);
+  TopKQuery drill = QueryBuilder(base).Where(0, 0 /* dell */)
+                        .Where(1, 0 /* low end */).Build();
+  TopKQuery rollup = QueryBuilder(base).Where(1, 0 /* low end */).Build();
 
-  // Drill: top-5 low-end Dell notebooks.
-  TopKQuery drill;
-  drill.predicates = {{0, 0 /* dell */}, {1, 0 /* low end */}};
-  drill.function = f;
-  drill.k = 5;
-
-  // Roll up on brand: top-5 low-end notebooks across all makers.
-  TopKQuery rollup;
-  rollup.predicates = {{1, 0 /* low end */}};
-  rollup.function = f;
-  rollup.k = 5;
-
-  ExecStats s1, s2;
-  auto dell = fragments.TopK(drill, &pager, &s1);
-  auto all = fragments.TopK(rollup, &pager, &s2);
+  ExecContext ctx;
+  ctx.pager = &pager;
+  auto dell = engine->Execute(drill, ctx);
+  auto all = engine->Execute(rollup, ctx);
   if (!dell.ok() || !all.ok()) {
     std::printf("error: %s %s\n", dell.status().ToString().c_str(),
                 all.status().ToString().c_str());
@@ -59,13 +58,13 @@ int main() {
   }
 
   std::printf("Top low-end DELL notebooks (%zu covering cuboid(s)):\n",
-              static_cast<size_t>(fragments.CoveringCuboidCount(drill)));
-  for (const auto& nb : *dell) {
+              static_cast<size_t>(fragments->CoveringCuboidCount(drill)));
+  for (const auto& nb : dell->tuples) {
     std::printf("  #%u  score=%.4f\n", nb.tid, nb.score);
   }
   std::printf("\nTop low-end notebooks, ALL brands:\n");
   int dell_in_top = 0;
-  for (const auto& nb : *all) {
+  for (const auto& nb : all->tuples) {
     bool is_dell = notebooks.sel(nb.tid, 0) == 0;
     dell_in_top += is_dell;
     std::printf("  #%u  %-6s score=%.4f\n", nb.tid,
@@ -74,7 +73,7 @@ int main() {
   std::printf("\nAnalysis: %d of the top-%d low-end notebooks are Dell — "
               "that is Dell's position in the low-end market.\n",
               dell_in_top, rollup.k);
-  std::printf("(drill query: %.2f ms; roll-up query: %.2f ms)\n", s1.time_ms,
-              s2.time_ms);
+  std::printf("(drill query: %.2f ms; roll-up query: %.2f ms)\n",
+              dell->stats.time_ms, all->stats.time_ms);
   return 0;
 }

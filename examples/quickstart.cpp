@@ -1,13 +1,13 @@
-// Quickstart: build a ranking cube over a small relation and answer a
-// multi-dimensionally selected top-k query three ways (grid cube, signature
-// cube, table-scan oracle).
+// Quickstart: build a relation, pick top-k engines from the EngineRegistry,
+// and answer one multi-dimensionally selected top-k query through the
+// unified RankingEngine::Execute interface — every engine is interchangeable
+// behind the same call.
 //
 //   ./examples/quickstart
 #include <cstdio>
 
-#include "baselines/baselines.h"
-#include "core/grid_cube.h"
-#include "core/signature_cube.h"
+#include "engine/query_builder.h"
+#include "engine/registry.h"
 #include "gen/synthetic.h"
 
 using namespace rankcube;
@@ -23,45 +23,45 @@ int main() {
   Table table = GenerateSynthetic(spec);
 
   // 2. Simulated block device: every index/cube structure charges page
-  //    accesses here, so methods can be compared on I/O.
+  //    accesses here, so engines can be compared on I/O.
   Pager pager;
 
-  // 3. Materialize both ranking-cube variants.
-  GridRankingCube grid_cube(table, pager);        // Ch3: grid + neighborhood
-  SignatureCube signature_cube(table, pager);     // Ch4: R-tree + signatures
-
-  // 4. "select top 5 * from R where A0 = a and A1 = b
+  // 3. "select top 5 * from R where A0 = a and A1 = b
   //     order by N0 + 2*N1"
-  TopKQuery query;
-  query.predicates = {{0, table.sel(42, 0)}, {1, table.sel(42, 1)}};
-  query.function =
-      std::make_shared<LinearFunction>(std::vector<double>{1.0, 2.0});
-  query.k = 5;
+  TopKQuery query = QueryBuilder()
+                        .Where(0, table.sel(42, 0))
+                        .Where(1, table.sel(42, 1))
+                        .OrderByLinear({1.0, 2.0})
+                        .Limit(5)
+                        .Build();
   std::printf("query: %s\n\n", query.ToString().c_str());
 
-  auto show = [&](const char* name, const std::vector<ScoredTuple>& result,
-                  const ExecStats& stats) {
+  // 4. Any registered engine answers it; the cubes touch a tiny fraction of
+  //    the data the scan reads.
+  for (const char* name : {"grid", "signature", "table_scan"}) {
+    auto engine = EngineRegistry::Global().Create(name, table, pager);
+    if (!engine.ok()) {
+      std::printf("error: %s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    ExecContext ctx;
+    ctx.pager = &pager;
+    auto result = (*engine)->Execute(query, ctx);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
     std::printf("%-16s", name);
-    for (const auto& r : result) std::printf(" (t%u, %.4f)", r.tid, r.score);
-    std::printf("\n  %-14s %.3f ms, %llu pages, %llu tuples evaluated\n",
-                "", stats.time_ms,
-                static_cast<unsigned long long>(stats.pages_read),
-                static_cast<unsigned long long>(stats.tuples_evaluated));
-  };
-
-  ExecStats s1, s2, s3;
-  auto r1 = grid_cube.TopK(query, &pager, &s1);
-  auto r2 = signature_cube.TopK(query, &pager, &s2);
-  auto r3 = TableScanTopK(table, query, &pager, &s3);
-  if (!r1.ok() || !r2.ok()) {
-    std::printf("error: %s %s\n", r1.status().ToString().c_str(),
-                r2.status().ToString().c_str());
-    return 1;
+    for (const auto& r : result->tuples) {
+      std::printf(" (t%u, %.4f)", r.tid, r.score);
+    }
+    std::printf("\n  %-14s %.3f ms, %llu pages, %llu tuples evaluated\n", "",
+                result->stats.time_ms,
+                static_cast<unsigned long long>(result->stats.pages_read),
+                static_cast<unsigned long long>(
+                    result->stats.tuples_evaluated));
   }
-  show("grid cube", *r1, s1);
-  show("signature cube", *r2, s2);
-  show("table scan", r3, s3);
-  std::printf("\nAll three agree; the cubes touch a tiny fraction of the "
-              "data the scan reads.\n");
+  std::printf("\nAll three agree; every engine ran through "
+              "EngineRegistry::Create + RankingEngine::Execute.\n");
   return 0;
 }

@@ -4,9 +4,11 @@
 // mileage (normalized). Users issue ad hoc top-k queries such as
 //   Q1: top 10 red sedans ordered by price + mileage
 //   Q2: top 5 Ford convertibles closest to ($20k, 10k miles)
+// Both run through the unified engine API against the Ch4 signature cube.
 #include <cstdio>
 
-#include "core/signature_cube.h"
+#include "engine/query_builder.h"
+#include "engine/registry.h"
 #include "gen/synthetic.h"
 
 using namespace rankcube;
@@ -31,41 +33,48 @@ int main() {
   Table cars = GenerateSynthetic(spec);
 
   Pager pager;
-  SignatureCube cube(cars, pager);
+  auto engine = EngineRegistry::Global().Create("signature", cars, pager);
+  if (!engine.ok()) {
+    std::printf("error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
 
   // Q1: select top 10 * from R where type='sedan' and color='red'
   //     order by price + milage asc
-  TopKQuery q1;
-  q1.predicates = {{0, 0 /* sedan */}, {2, 0 /* red */}};
-  q1.function =
-      std::make_shared<LinearFunction>(std::vector<double>{1.0, 1.0});
-  q1.k = 10;
+  TopKQuery q1 = QueryBuilder()
+                     .Where(0, 0 /* sedan */)
+                     .Where(2, 0 /* red */)
+                     .OrderByLinear({1.0, 1.0})
+                     .Limit(10)
+                     .Build();
 
   // Q2: select top 5 * from R where maker='ford' and type='convertible'
   //     order by (price - 20k)^2 + (milage - 10k)^2 asc
   // (normalized: $20k ~ 0.4 of the price scale, 10k miles ~ 0.1).
-  TopKQuery q2;
-  q2.predicates = {{1, 0 /* ford */}, {0, 1 /* convertible */}};
-  q2.function = std::make_shared<QuadraticDistance>(
-      std::vector<double>{1.0, 1.0}, std::vector<double>{0.4, 0.1});
-  q2.k = 5;
+  TopKQuery q2 = QueryBuilder()
+                     .Where(1, 0 /* ford */)
+                     .Where(0, 1 /* convertible */)
+                     .OrderByDistance({1.0, 1.0}, {0.4, 0.1})
+                     .Limit(5)
+                     .Build();
 
   for (const auto* q : {&q1, &q2}) {
-    ExecStats stats;
-    auto res = cube.TopK(*q, &pager, &stats);
+    ExecContext ctx;
+    ctx.pager = &pager;
+    auto res = (*engine)->Execute(*q, ctx);
     if (!res.ok()) {
       std::printf("error: %s\n", res.status().ToString().c_str());
       return 1;
     }
     std::printf("%s\n", q->ToString().c_str());
-    for (const auto& car : *res) {
+    for (const auto& car : res->tuples) {
       std::printf("  car #%u: %s %s %s  price=%.2f mileage=%.2f  score=%.4f\n",
                   car.tid, kColors[cars.sel(car.tid, 2)],
                   kMakers[cars.sel(car.tid, 1)], kTypes[cars.sel(car.tid, 0)],
                   cars.rank(car.tid, 0), cars.rank(car.tid, 1), car.score);
     }
-    std::printf("  -> %.3f ms, %llu page reads\n\n", stats.time_ms,
-                static_cast<unsigned long long>(stats.pages_read));
+    std::printf("  -> %.3f ms, %llu page reads\n\n", res->stats.time_ms,
+                static_cast<unsigned long long>(res->stats.pages_read));
   }
   return 0;
 }

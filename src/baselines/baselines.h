@@ -21,10 +21,15 @@
 
 namespace rankcube {
 
+// All baselines validate through ValidateQuery (func/query.h) and report
+// malformed queries as a non-ok Status, matching the cube engines; the seed's
+// silent empty-vector behavior is gone. The uniform public entry point is
+// the RankingEngine facade (engine/engine.h).
+
 /// TS: full sequential scan, filtering predicates and keeping a size-k heap.
-std::vector<ScoredTuple> TableScanTopK(const Table& table,
-                                       const TopKQuery& query, Pager* pager,
-                                       ExecStats* stats);
+Result<std::vector<ScoredTuple>> TableScanTopK(const Table& table,
+                                               const TopKQuery& query,
+                                               Pager* pager, ExecStats* stats);
 
 /// Boolean-first executor over posting-list indices.
 class BooleanFirst {
@@ -33,8 +38,8 @@ class BooleanFirst {
 
   /// Picks index-scan vs table-scan by estimated page cost (the thesis
   /// reports the best of the two alternatives) and evaluates the query.
-  std::vector<ScoredTuple> TopK(const TopKQuery& query, Pager* pager,
-                                ExecStats* stats) const;
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, Pager* pager,
+                                        ExecStats* stats) const;
 
   const PostingIndex& index() const { return posting_; }
   size_t IndexSizeBytes() const { return posting_.SizeBytes(); }
@@ -51,8 +56,8 @@ class RankingFirst {
   RankingFirst(const Table& table, const RTree* rtree)
       : table_(table), rtree_(rtree) {}
 
-  std::vector<ScoredTuple> TopK(const TopKQuery& query, Pager* pager,
-                                ExecStats* stats) const;
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, Pager* pager,
+                                        ExecStats* stats) const;
 
  private:
   const Table& table_;
@@ -71,8 +76,9 @@ class RankMapping {
               const std::vector<std::vector<int>>& index_groups);
 
   /// `kth_score`: the optimal bound value (from an exact oracle).
-  std::vector<ScoredTuple> TopK(const TopKQuery& query, double kth_score,
-                                Pager* pager, ExecStats* stats) const;
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query,
+                                        double kth_score, Pager* pager,
+                                        ExecStats* stats) const;
 
   /// Derives the optimal per-dimension range box for f and bound s*.
   static Box OptimalBounds(const RankingFunction& f, double kth_score);

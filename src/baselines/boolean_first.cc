@@ -8,9 +8,10 @@ namespace rankcube {
 BooleanFirst::BooleanFirst(const Table& table)
     : table_(table), posting_(table) {}
 
-std::vector<ScoredTuple> BooleanFirst::TopK(const TopKQuery& query,
-                                            Pager* pager,
-                                            ExecStats* stats) const {
+Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
+                                                    Pager* pager,
+                                                    ExecStats* stats) const {
+  RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
   Stopwatch watch;
   uint64_t pages_before = pager->TotalPhysical();
   TopKHeap topk(query.k);

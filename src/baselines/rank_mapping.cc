@@ -54,9 +54,11 @@ Box RankMapping::OptimalBounds(const RankingFunction& f, double kth_score) {
   return box;  // unknown function: unbounded range (no mapping benefit)
 }
 
-std::vector<ScoredTuple> RankMapping::TopK(const TopKQuery& query,
-                                           double kth_score, Pager* pager,
-                                           ExecStats* stats) const {
+Result<std::vector<ScoredTuple>> RankMapping::TopK(const TopKQuery& query,
+                                                   double kth_score,
+                                                   Pager* pager,
+                                                   ExecStats* stats) const {
+  RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
   Stopwatch watch;
   uint64_t pages_before = pager->TotalPhysical();
 

@@ -31,9 +31,10 @@ class TableVerifyPruner : public BooleanPruner {
 
 }  // namespace
 
-std::vector<ScoredTuple> RankingFirst::TopK(const TopKQuery& query,
-                                            Pager* pager,
-                                            ExecStats* stats) const {
+Result<std::vector<ScoredTuple>> RankingFirst::TopK(const TopKQuery& query,
+                                                    Pager* pager,
+                                                    ExecStats* stats) const {
+  RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
   TableVerifyPruner pruner(table_, query.predicates);
   return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, pager, stats);
 }

@@ -5,9 +5,11 @@
 
 namespace rankcube {
 
-std::vector<ScoredTuple> TableScanTopK(const Table& table,
-                                       const TopKQuery& query, Pager* pager,
-                                       ExecStats* stats) {
+Result<std::vector<ScoredTuple>> TableScanTopK(const Table& table,
+                                               const TopKQuery& query,
+                                               Pager* pager,
+                                               ExecStats* stats) {
+  RC_RETURN_IF_ERROR(ValidateQuery(query, table.schema()));
   Stopwatch watch;
   uint64_t pages_before = pager->TotalPhysical();
   TopKHeap topk(query.k);

@@ -29,6 +29,22 @@ struct ExecStats {
   void MergeMax(uint64_t heap_size) {
     peak_heap = std::max(peak_heap, heap_size);
   }
+
+  /// Accumulates another query's counters. Every field adds, including
+  /// peak_heap: across a workload the sum divided by the query count is the
+  /// average peak (the series the benchmarks report); within one query use
+  /// MergeMax. BatchExecutor and the bench harness aggregate through this.
+  ExecStats& operator+=(const ExecStats& o) {
+    time_ms += o.time_ms;
+    pages_read += o.pages_read;
+    tuples_evaluated += o.tuples_evaluated;
+    states_generated += o.states_generated;
+    states_examined += o.states_examined;
+    peak_heap += o.peak_heap;
+    signature_pages += o.signature_pages;
+    signature_ms += o.signature_ms;
+    return *this;
+  }
 };
 
 /// Bounded max-heap over scores: keeps the k smallest-scoring tuples seen;

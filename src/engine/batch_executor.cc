@@ -1,0 +1,34 @@
+#include "engine/batch_executor.h"
+
+namespace rankcube {
+
+Result<BatchReport> BatchExecutor::Run(const std::vector<TopKQuery>& workload,
+                                       ExecContext& ctx) const {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument("BatchExecutor has no engine");
+  }
+  if (ctx.pager == nullptr) {
+    return Status::InvalidArgument("ExecContext has no pager");
+  }
+  BatchReport report;
+  report.num_queries = workload.size();
+  uint64_t before = ctx.pager->TotalPhysical();
+  for (const TopKQuery& query : workload) {
+    Result<TopKResult> r = engine_->Execute(query, ctx);
+    ++report.executed;
+    if (!r.ok()) {
+      if (report.failed == 0) report.first_error = r.status();
+      ++report.failed;
+      if (options_.stop_on_error) break;
+      continue;
+    }
+    report.total += r.value().stats;
+    if (options_.keep_results) {
+      report.results.push_back(std::move(r).value());
+    }
+  }
+  report.physical_pages = ctx.pager->TotalPhysical() - before;
+  return report;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,77 @@
+// Runs a workload vector through one RankingEngine and aggregates the
+// ExecStats — the loop every bench binary used to reimplement by hand. The
+// report carries totals (accumulated with ExecStats::operator+=) plus the
+// physical-page delta observed on the context's pager, and per-query
+// averages derived from them.
+#ifndef RANKCUBE_ENGINE_BATCH_EXECUTOR_H_
+#define RANKCUBE_ENGINE_BATCH_EXECUTOR_H_
+
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace rankcube {
+
+struct BatchOptions {
+  /// Retain each query's TopKResult (memory-heavy for large workloads;
+  /// off = counters only).
+  bool keep_results = false;
+  /// Stop at the first failing query instead of counting and continuing.
+  bool stop_on_error = false;
+};
+
+struct BatchReport {
+  size_t num_queries = 0;  ///< workload size
+  size_t executed = 0;     ///< queries actually run (< num_queries when
+                           ///< stop_on_error cut the batch short)
+  size_t failed = 0;
+  Status first_error;  ///< OK when failed == 0
+
+  ExecStats total;               ///< accumulated over successful queries
+  uint64_t physical_pages = 0;   ///< pager physical delta over the batch
+
+  std::vector<TopKResult> results;  ///< per query, when keep_results
+
+  size_t succeeded() const { return executed - failed; }
+  double AvgMs() const { return total.time_ms / Denom(); }
+  double AvgPhysicalPages() const {
+    return static_cast<double>(physical_pages) / Denom();
+  }
+  double AvgStatesGenerated() const {
+    return static_cast<double>(total.states_generated) / Denom();
+  }
+  double AvgPeakHeap() const {
+    return static_cast<double>(total.peak_heap) / Denom();
+  }
+  double AvgTuplesEvaluated() const {
+    return static_cast<double>(total.tuples_evaluated) / Denom();
+  }
+  double AvgSignaturePages() const {
+    return static_cast<double>(total.signature_pages) / Denom();
+  }
+
+ private:
+  double Denom() const { return succeeded() > 0 ? succeeded() : 1.0; }
+};
+
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(const RankingEngine* engine,
+                         BatchOptions options = BatchOptions())
+      : engine_(engine), options_(options) {}
+
+  /// Executes the workload in order inside `ctx` (the per-query page budget
+  /// and trace hook apply to each query individually). Only setup failures
+  /// (no pager) fail the whole batch; per-query errors are tallied in the
+  /// report unless stop_on_error is set.
+  Result<BatchReport> Run(const std::vector<TopKQuery>& workload,
+                          ExecContext& ctx) const;
+
+ private:
+  const RankingEngine* engine_;
+  BatchOptions options_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_ENGINE_BATCH_EXECUTOR_H_

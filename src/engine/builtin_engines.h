@@ -1,0 +1,63 @@
+// RankingEngine adapters over the seven executor families in this
+// repository. Each adapter either wraps structures the caller already built
+// (shared_ptr; the bench harnesses cache cubes across figures) or is built
+// from scratch by the EngineRegistry factories (registry.cc).
+#ifndef RANKCUBE_ENGINE_BUILTIN_ENGINES_H_
+#define RANKCUBE_ENGINE_BUILTIN_ENGINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/grid_cube.h"
+#include "core/ranking_fragments.h"
+#include "core/signature_cube.h"
+#include "engine/engine.h"
+#include "merge/index_merge.h"
+
+namespace rankcube {
+
+/// Ch3 grid ranking cube ("grid").
+std::unique_ptr<RankingEngine> MakeGridCubeEngine(
+    const Table& table, std::shared_ptr<const GridRankingCube> cube);
+
+/// Ch3 ranking fragments ("fragments").
+std::unique_ptr<RankingEngine> MakeFragmentsEngine(
+    const Table& table, std::shared_ptr<const RankingFragments> fragments);
+
+/// Ch4 signature cube ("signature"); `lossy` = query through the §4.5
+/// bloom signatures ("signature_lossy"; the cube must have been built with
+/// lossy_bloom enabled).
+std::unique_ptr<RankingEngine> MakeSignatureCubeEngine(
+    const Table& table, std::shared_ptr<const SignatureCube> cube,
+    bool lossy = false);
+
+/// Sequential-scan oracle ("table_scan").
+std::unique_ptr<RankingEngine> MakeTableScanEngine(const Table& table);
+
+/// Boolean-first baseline ("boolean_first").
+std::unique_ptr<RankingEngine> MakeBooleanFirstEngine(
+    const Table& table, std::shared_ptr<const BooleanFirst> baseline);
+
+/// Ranking-first baseline ("ranking_first") over a caller-provided R-tree
+/// (e.g. a signature cube's partition template).
+std::unique_ptr<RankingEngine> MakeRankingFirstEngine(
+    const Table& table, std::shared_ptr<const RTree> rtree);
+
+/// Rank-mapping baseline ("rank_mapping"). The engine feeds it the optimal
+/// k-th-score bound from an in-memory oracle, the concession the thesis
+/// grants this competitor (§3.5.1); oracle evaluation charges no pages.
+std::unique_ptr<RankingEngine> MakeRankMappingEngine(
+    const Table& table, std::shared_ptr<const RankMapping> baseline);
+
+/// Ch5 index-merge ("index_merge") over caller-provided merge indices.
+/// `options.signatures` entries must outlive the engine; `owned` (optional)
+/// transfers ownership of backing structures with matching lifetime.
+std::unique_ptr<RankingEngine> MakeIndexMergeEngine(
+    const Table& table, std::vector<const MergeIndex*> indices,
+    MergeOptions options,
+    std::shared_ptr<const void> owned = nullptr);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_ENGINE_BUILTIN_ENGINES_H_

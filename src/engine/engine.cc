@@ -1,0 +1,38 @@
+#include "engine/engine.h"
+
+namespace rankcube {
+
+Result<TopKResult> RankingEngine::Execute(const TopKQuery& query,
+                                          ExecContext& ctx) const {
+  if (ctx.pager == nullptr) {
+    return Status::InvalidArgument("ExecContext has no pager");
+  }
+  RC_RETURN_IF_ERROR(ValidateQuery(query, table_->schema()));
+  if (!SupportsPredicates() && !query.predicates.empty()) {
+    return Status::NotSupported("engine '" + name_ +
+                                "' does not evaluate boolean predicates");
+  }
+  ctx.Trace(name_ + ": " + query.ToString());
+
+  uint64_t before = ctx.pager->TotalPhysical();
+  Result<TopKResult> result = ExecuteImpl(query, ctx);
+  uint64_t physical = ctx.pager->TotalPhysical() - before;
+
+  if (!result.ok()) {
+    // The engine's own failure outranks a budget overrun: an admission
+    // layer must not retry-with-larger-budget a query that cannot succeed.
+    ctx.Trace(name_ + ": error: " + result.status().ToString());
+    return result;
+  }
+  if (ctx.page_budget > 0 && physical > ctx.page_budget) {
+    return Status::OutOfRange("engine '" + name_ + "' read " +
+                              std::to_string(physical) +
+                              " pages, budget was " +
+                              std::to_string(ctx.page_budget));
+  }
+  ctx.Trace(name_ + ": " + std::to_string(result.value().tuples.size()) +
+            " tuples, " + std::to_string(physical) + " pages");
+  return result;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,90 @@
+// The unified top-k execution interface (§1.2.1's query model as an API).
+//
+// The thesis's central claim is that ranking cubes, fragments, signature
+// cubes and the comparator baselines are interchangeable executors of the
+// same multi-dimensionally selected top-k query. This layer makes that
+// interchangeability literal: every engine is a RankingEngine answering
+//   Result<TopKResult> Execute(const TopKQuery&, ExecContext&)
+// and nothing else. Engines are obtained from EngineRegistry (registry.h),
+// queries are assembled with QueryBuilder (query_builder.h), and workloads
+// run through BatchExecutor (batch_executor.h).
+#ifndef RANKCUBE_ENGINE_ENGINE_H_
+#define RANKCUBE_ENGINE_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/topk_query.h"
+#include "func/query.h"
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// Per-query execution environment: the simulated block device every page
+/// access is charged to, an optional I/O budget, and an optional trace hook.
+struct ExecContext {
+  Pager* pager = nullptr;
+
+  /// Physical pages one query may read; 0 = unlimited. Exceeding the budget
+  /// fails the query with Status::OutOfRange (the result is discarded), the
+  /// admission-control contract a serving layer needs.
+  uint64_t page_budget = 0;
+
+  /// Trace hook; receives one line per execution phase when set.
+  std::function<void(const std::string&)> trace;
+
+  void Trace(const std::string& line) const {
+    if (trace) trace(line);
+  }
+};
+
+/// What an engine returns: the ranked tuples plus the execution counters the
+/// benchmarks report (time, page accesses, states, peak heap, ...).
+struct TopKResult {
+  std::vector<ScoredTuple> tuples;
+  ExecStats stats;
+};
+
+/// Polymorphic top-k engine. Subclasses implement ExecuteImpl; the
+/// non-virtual Execute wraps it with the shared contract:
+///  1. the query is validated (ValidateQuery) against the engine's table,
+///  2. engines that cannot evaluate boolean predicates reject them,
+///  3. physical page reads are metered against ctx.page_budget,
+///  4. begin/end trace lines are emitted when ctx.trace is set.
+class RankingEngine {
+ public:
+  RankingEngine(std::string name, const Table* table)
+      : name_(std::move(name)), table_(table) {}
+  virtual ~RankingEngine() = default;
+
+  /// Registry key this engine was created under ("grid", "table_scan", ...).
+  const std::string& name() const { return name_; }
+  const Table& table() const { return *table_; }
+
+  /// False for engines whose query model has no boolean selections
+  /// (Ch5 index-merge); Execute rejects predicated queries up front.
+  virtual bool SupportsPredicates() const { return true; }
+
+  /// Bytes of auxiliary structures (cuboids, signatures, indices) this
+  /// engine queries; 0 for scan-only engines. Drives the space figures.
+  virtual size_t SizeBytes() const { return 0; }
+
+  /// Answers `query` inside `ctx`. Never throws; all failure modes —
+  /// malformed query, missing cuboid, exhausted budget — come back as a
+  /// non-ok Status, identically across engines.
+  Result<TopKResult> Execute(const TopKQuery& query, ExecContext& ctx) const;
+
+ protected:
+  virtual Result<TopKResult> ExecuteImpl(const TopKQuery& query,
+                                         ExecContext& ctx) const = 0;
+
+ private:
+  std::string name_;
+  const Table* table_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_ENGINE_ENGINE_H_

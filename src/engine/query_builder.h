@@ -1,0 +1,63 @@
+// Fluent construction of TopKQuery values:
+//   TopKQuery q = QueryBuilder()
+//                     .Where(0, red).Where(2, sedan)
+//                     .OrderByLinear({1.0, 2.0})
+//                     .Limit(10)
+//                     .Build();
+// The builder only assembles the struct; validation happens inside
+// RankingEngine::Execute via ValidateQuery, so a malformed build fails with
+// the same Status an engine would report for a hand-rolled query.
+#ifndef RANKCUBE_ENGINE_QUERY_BUILDER_H_
+#define RANKCUBE_ENGINE_QUERY_BUILDER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "func/query.h"
+
+namespace rankcube {
+
+class QueryBuilder {
+ public:
+  /// Adds the conjunctive equality selection `A<dim> = value`.
+  QueryBuilder& Where(int dim, int32_t value) {
+    query_.predicates.push_back({dim, value});
+    return *this;
+  }
+
+  /// Sets the ranking function (smaller scores rank higher).
+  QueryBuilder& OrderBy(RankingFunctionPtr function) {
+    query_.function = std::move(function);
+    return *this;
+  }
+
+  /// order by sum_i weights[i] * N_i (one weight per ranking dimension;
+  /// zero = uninvolved).
+  QueryBuilder& OrderByLinear(std::vector<double> weights) {
+    return OrderBy(std::make_shared<LinearFunction>(std::move(weights)));
+  }
+
+  /// order by weighted squared distance to `targets` (the nearest-neighbor
+  /// query shape, Q2 of Example 1).
+  QueryBuilder& OrderByDistance(std::vector<double> weights,
+                                std::vector<double> targets) {
+    return OrderBy(std::make_shared<QuadraticDistance>(std::move(weights),
+                                                       std::move(targets)));
+  }
+
+  QueryBuilder& Limit(int k) {
+    query_.k = k;
+    return *this;
+  }
+
+  /// The assembled query; the builder can keep being amended and rebuilt.
+  TopKQuery Build() const { return query_; }
+
+ private:
+  TopKQuery query_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_ENGINE_QUERY_BUILDER_H_

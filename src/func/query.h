@@ -5,12 +5,15 @@
 #ifndef RANKCUBE_FUNC_QUERY_H_
 #define RANKCUBE_FUNC_QUERY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "func/ranking_function.h"
+#include "storage/table.h"
 
 namespace rankcube {
 
@@ -41,6 +44,44 @@ struct TopKQuery {
   }
 };
 
+/// Shared sanity check applied by every engine before execution (the seed's
+/// engines disagreed: cubes returned Status, baselines silently returned
+/// empty vectors). All execution now funnels through this one helper so a
+/// malformed query fails identically regardless of the engine.
+inline Status ValidateQuery(const TopKQuery& query, const TableSchema& schema) {
+  if (query.k <= 0) {
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(query.k));
+  }
+  if (!query.function) {
+    return Status::InvalidArgument("query has no ranking function");
+  }
+  if (query.function->num_dims() != schema.num_rank_dims) {
+    return Status::InvalidArgument(
+        "ranking function covers " +
+        std::to_string(query.function->num_dims()) + " dims but table has " +
+        std::to_string(schema.num_rank_dims));
+  }
+  std::vector<bool> seen(schema.sel_cardinality.size(), false);
+  for (const auto& p : query.predicates) {
+    if (p.dim < 0 || p.dim >= schema.num_sel_dims()) {
+      return Status::InvalidArgument("predicate dimension A" +
+                                     std::to_string(p.dim) + " out of range");
+    }
+    if (p.value < 0 || p.value >= schema.sel_cardinality[p.dim]) {
+      return Status::InvalidArgument(
+          "predicate value " + std::to_string(p.value) + " out of range for A" +
+          std::to_string(p.dim));
+    }
+    if (seen[p.dim]) {
+      return Status::InvalidArgument("duplicate predicate on dimension A" +
+                                     std::to_string(p.dim));
+    }
+    seen[p.dim] = true;
+  }
+  return Status::OK();
+}
+
 /// One ranked answer.
 struct ScoredTuple {
   uint32_t tid = 0;
@@ -51,6 +92,32 @@ struct ScoredTuple {
   }
   bool operator==(const ScoredTuple&) const = default;
 };
+
+/// Exact top-k by full in-memory evaluation; returns ascending scores. The
+/// reference oracle: correctness tests compare every engine against it, and
+/// the rank-mapping engine derives its optimal k-th-score bound from it
+/// (no pages are charged — it reads the in-memory columns directly).
+inline std::vector<ScoredTuple> BruteForceTopK(const Table& table,
+                                               const TopKQuery& query) {
+  std::vector<ScoredTuple> all;
+  std::vector<double> point(table.num_rank_dims());
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    bool ok = true;
+    for (const auto& p : query.predicates) {
+      if (table.sel(t, p.dim) != p.value) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (int d = 0; d < table.num_rank_dims(); ++d) point[d] = table.rank(t, d);
+    double s = query.function->Evaluate(point.data());
+    if (s < kInfScore) all.push_back({t, s});
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > static_cast<size_t>(query.k)) all.resize(query.k);
+  return all;
+}
 
 }  // namespace rankcube
 

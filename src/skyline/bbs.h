@@ -42,10 +42,10 @@ class SkylineTransform {
 /// Journal of a BBS run (heap re-construction for OLAP sessions).
 struct BBSJournal {
   struct Entry {
-    double mindist;
-    bool is_tuple;
-    uint32_t node_id;  ///< nodes
-    Tid tid;           ///< tuples
+    double mindist = 0.0;
+    bool is_tuple = false;
+    uint32_t node_id = 0;  ///< nodes
+    Tid tid = 0;           ///< tuples
     std::vector<int> path;
   };
   std::vector<Entry> skyline;         ///< result tuples (as heap entries)

@@ -1,0 +1,276 @@
+// Unit tests for the unified engine layer: registry lookup, QueryBuilder,
+// shared validation (identical Status across engines for malformed queries),
+// page budgets, trace hooks, ExecStats accumulation, and BatchExecutor.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/batch_executor.h"
+#include "engine/builtin_engines.h"
+#include "engine/query_builder.h"
+#include "engine/registry.h"
+#include "gen/synthetic.h"
+
+namespace rankcube {
+namespace {
+
+Table SmallTable() {
+  SyntheticSpec spec;
+  spec.num_rows = 1500;
+  spec.num_sel_dims = 3;
+  spec.cardinality = 5;
+  spec.num_rank_dims = 2;
+  spec.seed = 11;
+  return GenerateSynthetic(spec);
+}
+
+TEST(EngineRegistryTest, BuiltinsAreRegistered) {
+  auto& registry = EngineRegistry::Global();
+  for (const char* name :
+       {"grid", "fragments", "signature", "signature_lossy", "table_scan",
+        "boolean_first", "ranking_first", "rank_mapping", "index_merge"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  EXPECT_GE(registry.Names().size(), 9u);
+}
+
+TEST(EngineRegistryTest, UnknownEngineIsNotFound) {
+  Table table = SmallTable();
+  Pager pager;
+  auto r = EngineRegistry::Global().Create("no_such_engine", table, pager);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(EngineRegistryTest, DuplicateRegistrationFails) {
+  auto& registry = EngineRegistry::Global();
+  Status s = registry.Register(
+      "table_scan", [](const Table& table, const Pager&,
+                       const EngineBuildOptions&)
+                        -> Result<std::unique_ptr<RankingEngine>> {
+        return MakeTableScanEngine(table);
+      });
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(QueryBuilderTest, BuildsTheQueryModel) {
+  TopKQuery q = QueryBuilder()
+                    .Where(0, 3)
+                    .Where(2, 1)
+                    .OrderByLinear({1.0, 2.0})
+                    .Limit(25)
+                    .Build();
+  ASSERT_EQ(q.predicates.size(), 2u);
+  EXPECT_EQ(q.predicates[0], (Predicate{0, 3}));
+  EXPECT_EQ(q.predicates[1], (Predicate{2, 1}));
+  EXPECT_EQ(q.k, 25);
+  ASSERT_NE(q.function, nullptr);
+  std::vector<double> p{0.5, 0.25};
+  EXPECT_DOUBLE_EQ(q.function->Evaluate(p.data()), 1.0);
+}
+
+TEST(ValidateQueryTest, RejectsMalformedQueries) {
+  Table table = SmallTable();
+  const auto& schema = table.schema();
+
+  auto ok = QueryBuilder().Where(0, 1).OrderByLinear({1, 1}).Limit(5).Build();
+  EXPECT_TRUE(ValidateQuery(ok, schema).ok());
+
+  auto bad_k = QueryBuilder().OrderByLinear({1, 1}).Limit(0).Build();
+  EXPECT_EQ(ValidateQuery(bad_k, schema).code(),
+            Status::Code::kInvalidArgument);
+
+  auto no_fn = QueryBuilder().Where(0, 1).Limit(5).Build();
+  EXPECT_EQ(ValidateQuery(no_fn, schema).code(),
+            Status::Code::kInvalidArgument);
+
+  auto bad_dim =
+      QueryBuilder().Where(9, 0).OrderByLinear({1, 1}).Limit(5).Build();
+  EXPECT_EQ(ValidateQuery(bad_dim, schema).code(),
+            Status::Code::kInvalidArgument);
+
+  auto bad_value =
+      QueryBuilder().Where(0, 99).OrderByLinear({1, 1}).Limit(5).Build();
+  EXPECT_EQ(ValidateQuery(bad_value, schema).code(),
+            Status::Code::kInvalidArgument);
+
+  auto dup = QueryBuilder()
+                 .Where(1, 0)
+                 .Where(1, 2)
+                 .OrderByLinear({1, 1})
+                 .Limit(5)
+                 .Build();
+  EXPECT_EQ(ValidateQuery(dup, schema).code(),
+            Status::Code::kInvalidArgument);
+
+  auto wrong_dims =
+      QueryBuilder().OrderByLinear({1, 1, 1}).Limit(5).Build();
+  EXPECT_EQ(ValidateQuery(wrong_dims, schema).code(),
+            Status::Code::kInvalidArgument);
+}
+
+// The error-consistency contract: a malformed query fails with the same
+// Status code on every registered engine — the seed's baselines used to
+// return silently empty vectors instead.
+TEST(EngineExecuteTest, MalformedQueryFailsIdenticallyOnEveryEngine) {
+  Table table = SmallTable();
+  Pager pager;
+  auto malformed =
+      QueryBuilder().Where(0, 999).OrderByLinear({1, 1}).Limit(5).Build();
+
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    SCOPED_TRACE(name);
+    auto engine = EngineRegistry::Global().Create(name, table, pager);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    ExecContext ctx;
+    ctx.pager = &pager;
+    auto r = (*engine)->Execute(malformed, ctx);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  }
+}
+
+TEST(EngineExecuteTest, PredicatesRejectedWhenUnsupported) {
+  Table table = SmallTable();
+  Pager pager;
+  auto engine = EngineRegistry::Global().Create("index_merge", table, pager);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_FALSE((*engine)->SupportsPredicates());
+
+  ExecContext ctx;
+  ctx.pager = &pager;
+  auto q = QueryBuilder().Where(0, 1).OrderByLinear({1, 1}).Limit(5).Build();
+  auto r = (*engine)->Execute(q, ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotSupported);
+
+  auto no_preds = QueryBuilder().OrderByLinear({1, 1}).Limit(5).Build();
+  EXPECT_TRUE((*engine)->Execute(no_preds, ctx).ok());
+}
+
+TEST(EngineExecuteTest, MissingPagerIsInvalidArgument) {
+  Table table = SmallTable();
+  Pager pager;
+  auto engine = EngineRegistry::Global().Create("table_scan", table, pager);
+  ASSERT_TRUE(engine.ok());
+  ExecContext ctx;  // no pager
+  auto q = QueryBuilder().OrderByLinear({1, 1}).Limit(5).Build();
+  auto r = (*engine)->Execute(q, ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(EngineExecuteTest, PageBudgetIsEnforced) {
+  Table table = SmallTable();
+  Pager pager;
+  auto engine = EngineRegistry::Global().Create("table_scan", table, pager);
+  ASSERT_TRUE(engine.ok());
+  auto q = QueryBuilder().OrderByLinear({1, 1}).Limit(5).Build();
+
+  ExecContext tight;
+  tight.pager = &pager;
+  tight.page_budget = 1;  // a full scan reads far more than one page
+  auto r = (*engine)->Execute(q, tight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kOutOfRange);
+
+  ExecContext roomy;
+  roomy.pager = &pager;
+  roomy.page_budget = 1u << 20;
+  EXPECT_TRUE((*engine)->Execute(q, roomy).ok());
+}
+
+TEST(EngineExecuteTest, TraceHookFires) {
+  Table table = SmallTable();
+  Pager pager;
+  auto engine = EngineRegistry::Global().Create("table_scan", table, pager);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<std::string> lines;
+  ExecContext ctx;
+  ctx.pager = &pager;
+  ctx.trace = [&lines](const std::string& line) { lines.push_back(line); };
+  auto q = QueryBuilder().OrderByLinear({1, 1}).Limit(5).Build();
+  ASSERT_TRUE((*engine)->Execute(q, ctx).ok());
+  ASSERT_EQ(lines.size(), 2u);  // begin + end
+  EXPECT_NE(lines[0].find("table_scan"), std::string::npos);
+  EXPECT_NE(lines[1].find("pages"), std::string::npos);
+}
+
+TEST(ExecStatsTest, PlusEqualsAccumulatesEveryCounter) {
+  ExecStats a;
+  a.time_ms = 1.5;
+  a.pages_read = 10;
+  a.tuples_evaluated = 3;
+  a.states_generated = 7;
+  a.states_examined = 5;
+  a.peak_heap = 4;
+  a.signature_pages = 2;
+  a.signature_ms = 0.25;
+
+  ExecStats b = a;
+  b += a;
+  EXPECT_DOUBLE_EQ(b.time_ms, 3.0);
+  EXPECT_EQ(b.pages_read, 20u);
+  EXPECT_EQ(b.tuples_evaluated, 6u);
+  EXPECT_EQ(b.states_generated, 14u);
+  EXPECT_EQ(b.states_examined, 10u);
+  EXPECT_EQ(b.peak_heap, 8u);
+  EXPECT_EQ(b.signature_pages, 4u);
+  EXPECT_DOUBLE_EQ(b.signature_ms, 0.5);
+}
+
+TEST(BatchExecutorTest, AggregatesStatsAndCountsFailures) {
+  Table table = SmallTable();
+  Pager pager;
+  auto engine = EngineRegistry::Global().Create("boolean_first", table, pager);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<TopKQuery> workload;
+  workload.push_back(QueryBuilder()
+                         .Where(0, table.sel(5, 0))
+                         .OrderByLinear({1, 1})
+                         .Limit(5)
+                         .Build());
+  workload.push_back(QueryBuilder()
+                         .Where(1, table.sel(9, 1))
+                         .OrderByLinear({1, 2})
+                         .Limit(3)
+                         .Build());
+  // One malformed query: counted as failed, not fatal.
+  workload.push_back(
+      QueryBuilder().Where(0, 999).OrderByLinear({1, 1}).Limit(5).Build());
+
+  ExecContext ctx;
+  ctx.pager = &pager;
+  BatchExecutor batch(engine->get());
+  auto report = batch.Run(workload, ctx);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report.value().num_queries, 3u);
+  EXPECT_EQ(report.value().executed, 3u);
+  EXPECT_EQ(report.value().failed, 1u);
+  EXPECT_EQ(report.value().succeeded(), 2u);
+  EXPECT_EQ(report.value().first_error.code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_GT(report.value().total.tuples_evaluated, 0u);
+  EXPECT_GT(report.value().AvgMs(), 0.0);
+  EXPECT_TRUE(report.value().results.empty());  // keep_results defaults off
+
+  ExecContext stop_ctx;
+  stop_ctx.pager = &pager;
+  BatchExecutor strict(engine->get(), {.stop_on_error = true});
+  std::vector<TopKQuery> bad_first{workload[2], workload[0]};
+  auto strict_report = strict.Run(bad_first, stop_ctx);
+  ASSERT_TRUE(strict_report.ok());
+  EXPECT_EQ(strict_report.value().num_queries, 2u);
+  EXPECT_EQ(strict_report.value().executed, 1u);  // stop cut the batch short
+  EXPECT_EQ(strict_report.value().failed, 1u);
+  EXPECT_EQ(strict_report.value().succeeded(), 0u);
+  EXPECT_EQ(strict_report.value().total.tuples_evaluated, 0u);
+}
+
+}  // namespace
+}  // namespace rankcube

@@ -1,37 +1,14 @@
-// Brute-force oracles shared by correctness tests.
+// Brute-force oracles shared by correctness tests. BruteForceTopK itself
+// lives in func/query.h (the rank-mapping engine needs it too).
 #ifndef RANKCUBE_TESTS_REFERENCE_H_
 #define RANKCUBE_TESTS_REFERENCE_H_
 
-#include <algorithm>
 #include <vector>
 
 #include "func/query.h"
 #include "storage/table.h"
 
 namespace rankcube {
-
-/// Exact top-k by full evaluation; returns ascending scores.
-inline std::vector<ScoredTuple> BruteForceTopK(const Table& table,
-                                               const TopKQuery& query) {
-  std::vector<ScoredTuple> all;
-  std::vector<double> point(table.num_rank_dims());
-  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
-    bool ok = true;
-    for (const auto& p : query.predicates) {
-      if (table.sel(t, p.dim) != p.value) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
-    for (int d = 0; d < table.num_rank_dims(); ++d) point[d] = table.rank(t, d);
-    double s = query.function->Evaluate(point.data());
-    if (s < kInfScore) all.push_back({t, s});
-  }
-  std::sort(all.begin(), all.end());
-  if (all.size() > static_cast<size_t>(query.k)) all.resize(query.k);
-  return all;
-}
 
 /// Scores of a result list (tid ties at the k-boundary make tid comparison
 /// unreliable; scores are the contract).

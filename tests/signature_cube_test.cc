@@ -89,8 +89,9 @@ TEST(SignatureCubeTest, SignaturePruningBeatsRankingFirstOnIo) {
     pager.ResetStats();
     ExecStats s2;
     auto r2 = ranking.TopK(q, &pager, &s2);
+    ASSERT_TRUE(r2.ok());
     rank_io += pager.stats(IoCategory::kRTree).physical;
-    EXPECT_EQ(ScoresOf(r1.value()), ScoresOf(r2));
+    EXPECT_EQ(ScoresOf(r1.value()), ScoresOf(*r2));
   }
   EXPECT_LT(sig_io, rank_io);  // Fig 4.13's claim
 }
@@ -190,7 +191,8 @@ TEST(BaselinesTest, TableScanMatchesBruteForce) {
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
     auto res = TableScanTopK(t, q, &pager, &stats);
-    EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(t, q)));
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)));
   }
 }
 
@@ -203,7 +205,8 @@ TEST(BaselinesTest, BooleanFirstMatchesBruteForce) {
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
     auto res = bf.TopK(q, &pager, &stats);
-    EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(t, q)));
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)));
   }
 }
 
@@ -217,7 +220,8 @@ TEST(BaselinesTest, RankingFirstMatchesBruteForce) {
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
     auto res = rf.TopK(q, &pager, &stats);
-    EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(t, q)));
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)));
   }
 }
 
@@ -232,7 +236,8 @@ TEST(BaselinesTest, RankMappingWithOptimalBoundsMatchesBruteForce) {
     double kth = oracle.empty() ? 1e9 : oracle.back().score;
     ExecStats stats;
     auto res = rm.TopK(q, kth, &pager, &stats);
-    EXPECT_EQ(ScoresOf(res), ScoresOf(oracle)) << q.ToString();
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(ScoresOf(*res), ScoresOf(oracle)) << q.ToString();
   }
 }
 
@@ -248,7 +253,8 @@ TEST(BaselinesTest, RankMappingDistanceQueries) {
     double kth = oracle.empty() ? 1e9 : oracle.back().score;
     ExecStats stats;
     auto res = rm.TopK(q, kth, &pager, &stats);
-    EXPECT_EQ(ScoresOf(res), ScoresOf(oracle)) << q.ToString();
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(ScoresOf(*res), ScoresOf(oracle)) << q.ToString();
   }
 }
 
