@@ -10,7 +10,8 @@ namespace {
 
 struct Ctx {
   Table table;
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   std::unique_ptr<RankingEngine> cube;
   std::unique_ptr<RankingEngine> boolean_first;
   std::unique_ptr<RankingEngine> rank_mapping;
@@ -20,10 +21,10 @@ struct Ctx {
     EngineBuildOptions options;
     options.grid.block_size = block_size;
     auto& registry = EngineRegistry::Global();
-    cube = MustEngine(registry.Create("grid", table, pager, options));
+    cube = MustEngine(registry.Create("grid", table, io, options));
     boolean_first =
-        MustEngine(registry.Create("boolean_first", table, pager));
-    rank_mapping = MustEngine(registry.Create("rank_mapping", table, pager));
+        MustEngine(registry.Create("boolean_first", table, io));
+    rank_mapping = MustEngine(registry.Create("rank_mapping", table, io));
   }
 };
 
@@ -57,13 +58,13 @@ WorkloadResult RunMethod(Ctx& ctx, const std::vector<TopKQuery>& queries,
                          Method m) {
   switch (m) {
     case Method::kCube:
-      return RunWorkload(queries, &ctx.pager, *ctx.cube);
+      return RunWorkload(queries, &ctx.io, *ctx.cube);
     case Method::kRankMapping:
       // The engine feeds rank-mapping the *optimal* bound values, as the
       // thesis does for this competitor.
-      return RunWorkload(queries, &ctx.pager, *ctx.rank_mapping);
+      return RunWorkload(queries, &ctx.io, *ctx.rank_mapping);
     case Method::kBaseline:
-      return RunWorkload(queries, &ctx.pager, *ctx.boolean_first);
+      return RunWorkload(queries, &ctx.io, *ctx.boolean_first);
   }
   return {};
 }

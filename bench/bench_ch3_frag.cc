@@ -11,7 +11,8 @@ namespace {
 
 struct Ctx {
   Table table;
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   std::unique_ptr<RankingEngine> fragments;
   std::unique_ptr<RankingEngine> boolean_first;
   std::unique_ptr<RankingEngine> rank_mapping;  // one composite per fragment
@@ -24,11 +25,11 @@ struct Ctx {
         GroupDimensions(table.num_sel_dims(), fragment_size);
     auto& registry = EngineRegistry::Global();
     fragments =
-        MustEngine(registry.Create("fragments", table, pager, options));
+        MustEngine(registry.Create("fragments", table, io, options));
     boolean_first =
-        MustEngine(registry.Create("boolean_first", table, pager));
+        MustEngine(registry.Create("boolean_first", table, io));
     rank_mapping =
-        MustEngine(registry.Create("rank_mapping", table, pager, options));
+        MustEngine(registry.Create("rank_mapping", table, io, options));
   }
 };
 
@@ -71,11 +72,11 @@ WorkloadResult RunMethod(Ctx& ctx, const std::vector<TopKQuery>& queries,
                          Method m) {
   switch (m) {
     case Method::kFragments:
-      return RunWorkload(queries, &ctx.pager, *ctx.fragments);
+      return RunWorkload(queries, &ctx.io, *ctx.fragments);
     case Method::kRankMapping:
-      return RunWorkload(queries, &ctx.pager, *ctx.rank_mapping);
+      return RunWorkload(queries, &ctx.io, *ctx.rank_mapping);
     case Method::kBaseline:
-      return RunWorkload(queries, &ctx.pager, *ctx.boolean_first);
+      return RunWorkload(queries, &ctx.io, *ctx.boolean_first);
   }
   return {};
 }

@@ -22,14 +22,15 @@ Table MakeData(uint64_t rows, int c) {
 
 struct Ctx {
   Table table;
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   std::shared_ptr<SignatureCube> cube;  ///< size/compression figures
   std::unique_ptr<RankingEngine> signature;
   std::unique_ptr<RankingEngine> boolean_first;
   std::unique_ptr<RankingEngine> ranking_first;
 
   Ctx(uint64_t rows, int c) : table(MakeData(rows, c)) {
-    cube = std::make_shared<SignatureCube>(table, pager);
+    cube = std::make_shared<SignatureCube>(table, io);
     signature = MakeSignatureCubeEngine(table, cube);
     boolean_first =
         MakeBooleanFirstEngine(table, std::make_shared<BooleanFirst>(table));
@@ -92,11 +93,12 @@ void RegisterAll() {
         "Fig4.8_4.9/build/T:" + std::to_string(t),
         [t](benchmark::State& state) {
           Table table = MakeData(Rows(t), 100);
-          Pager pager;
+          PageStore store;
+  IoSession io{&store};
           for (auto _ : state) {
             SignatureCubeOptions opt;
             opt.bulk_load = false;  // the 2007 system inserts tuple by tuple
-            SignatureCube cube(table, pager, opt);
+            SignatureCube cube(table, io, opt);
             state.counters["pcube_ms"] = cube.construction_ms();
             state.counters["rtree_ms"] = cube.rtree_build_ms();
             state.counters["pcube_bytes"] =
@@ -107,7 +109,7 @@ void RegisterAll() {
             std::vector<std::unique_ptr<BTree>> btrees;
             size_t bbytes = 0;
             for (int d = 0; d < table.num_rank_dims(); ++d) {
-              btrees.push_back(std::make_unique<BTree>(table, d, pager));
+              btrees.push_back(std::make_unique<BTree>(table, d, io));
               bbytes += btrees.back()->SizeBytes();
             }
             state.counters["btree_ms"] = watch.ElapsedMs();
@@ -142,8 +144,9 @@ void RegisterAll() {
           [t, batch](benchmark::State& state) {
             // Fresh cube per run (inserts mutate it).
             Table table = MakeData(Rows(t), 100);
-            Pager pager;
-            SignatureCube cube(table, pager);
+            PageStore store;
+  IoSession io{&store};
+            SignatureCube cube(table, io);
             Rng rng(3);
             for (auto _ : state) {
               std::vector<Tid> fresh;
@@ -159,7 +162,7 @@ void RegisterAll() {
                 fresh.push_back(static_cast<Tid>(table.num_rows() - 1));
               }
               Stopwatch watch;
-              cube.InsertBatch(fresh, &pager);
+              cube.InsertBatch(fresh, &io);
               state.counters["ms_per_tuple"] = watch.ElapsedMs() / batch;
             }
           })
@@ -177,7 +180,7 @@ void RegisterAll() {
             auto qs = Queries(ctx->table, k, "linear");
             for (auto _ : state) {
               Publish(state,
-                      RunWorkload(qs, &ctx->pager, ctx->Engine(method)));
+                      RunWorkload(qs, &ctx->io, ctx->Engine(method)));
             }
           })
           ->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -193,11 +196,11 @@ void RegisterAll() {
             auto ctx = GetCtx(200000, 20);
             auto qs = Queries(ctx->table, 100, kind);
             for (auto _ : state) {
-              ctx->pager.ResetStats();
-              auto res = RunWorkload(qs, &ctx->pager, ctx->Engine(method));
+              ctx->io.ResetStats();
+              auto res = RunWorkload(qs, &ctx->io, ctx->Engine(method));
               Publish(state, res);
               state.counters["rtree_pages"] = static_cast<double>(
-                  ctx->pager.stats(IoCategory::kRTree).physical /
+                  ctx->io.stats(IoCategory::kRTree).physical /
                   qs.size());
             }
           })

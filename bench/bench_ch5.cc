@@ -27,7 +27,8 @@ Table MakeData(uint64_t rows, int rank_dims, uint64_t seed = 9) {
 /// m B+-trees over the first m ranking dims, plus signatures.
 struct BtreeCtx {
   Table table;
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   std::vector<std::unique_ptr<BTree>> btrees;
   std::vector<std::unique_ptr<MergeIndex>> owned;
   std::vector<const MergeIndex*> indices;
@@ -39,7 +40,7 @@ struct BtreeCtx {
       : table(MakeData(rows, m)) {
     for (int d = 0; d < m; ++d) {
       btrees.push_back(std::make_unique<BTree>(
-          table, d, pager, BTreeOptions{.fanout = fanout}));
+          table, d, io, BTreeOptions{.fanout = fanout}));
       owned.push_back(
           std::make_unique<BTreeMergeIndex>(btrees.back().get(), d));
       indices.push_back(owned.back().get());
@@ -123,7 +124,7 @@ WorkloadResult RunMode(BtreeCtx& ctx, const std::string& kind, int k,
     }
     engine = MakeIndexMergeEngine(ctx.table, ctx.indices, std::move(opt));
   }
-  return RunWorkload(qs, &ctx.pager, *engine);
+  return RunWorkload(qs, &ctx.io, *engine);
 }
 
 void RegisterAll() {
@@ -164,13 +165,13 @@ void RegisterAll() {
           [m, kind](benchmark::State& state) {
             auto ctx = GetBtreeCtx(200000, 2);
             for (auto _ : state) {
-              ctx->pager.ResetStats();
+              ctx->io.ResetStats();
               auto res = RunMode(*ctx, kind, 100, m);
               Publish(state, res);
               state.counters["index_pages"] = static_cast<double>(
-                  ctx->pager.stats(IoCategory::kBTree).physical);
+                  ctx->io.stats(IoCategory::kBTree).physical);
               state.counters["joinsig_pages"] = static_cast<double>(
-                  ctx->pager.stats(IoCategory::kJoinSignature).physical);
+                  ctx->io.stats(IoCategory::kJoinSignature).physical);
             }
           })
           ->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -185,15 +186,16 @@ void RegisterAll() {
           [m, k](benchmark::State& state) {
             struct RtreeCtx {
               Table table;
-              Pager pager;
+              PageStore store;
+  IoSession io{&store};
               RTree r1, r2;
               std::unique_ptr<RTreeMergeIndex> m1, m2;
               std::vector<const MergeIndex*> indices;
               std::unique_ptr<JoinSignature> sig;
               RtreeCtx()
                   : table(MakeData(Rows(100000), 6, 31)),
-                    r1(3, pager, {.max_entries = kFanout}),
-                    r2(3, pager, {.max_entries = kFanout}) {
+                    r1(3, io, {.max_entries = kFanout}),
+                    r2(3, io, {.max_entries = kFanout}) {
                 std::vector<int> a{0, 1, 2}, b{3, 4, 5};
                 r1.BulkLoadSTR(table, &a);
                 r2.BulkLoadSTR(table, &b);
@@ -226,7 +228,7 @@ void RegisterAll() {
                                             std::move(opt));
             }
             for (auto _ : state) {
-              Publish(state, RunWorkload(qs, &ctx->pager, *engine));
+              Publish(state, RunWorkload(qs, &ctx->io, *engine));
             }
           })
           ->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -240,15 +242,16 @@ void RegisterAll() {
         [d](benchmark::State& state) {
           struct DimCtx {
             Table table;
-            Pager pager;
+            PageStore store;
+  IoSession io{&store};
             RTree r1, r2;
             std::unique_ptr<RTreeMergeIndex> m1, m2;
             std::vector<const MergeIndex*> indices;
             std::unique_ptr<JoinSignature> sig;
             explicit DimCtx(int d)
                 : table(MakeData(Rows(100000), 2 * d, 37)),
-                  r1(d, pager, {.max_entries = kFanout}),
-                  r2(d, pager, {.max_entries = kFanout}) {
+                  r1(d, io, {.max_entries = kFanout}),
+                  r2(d, io, {.max_entries = kFanout}) {
               std::vector<int> a, b;
               for (int i = 0; i < d; ++i) a.push_back(i);
               for (int i = d; i < 2 * d; ++i) b.push_back(i);
@@ -277,7 +280,7 @@ void RegisterAll() {
           auto engine =
               MakeIndexMergeEngine(ctx->table, ctx->indices, std::move(opt));
           for (auto _ : state) {
-            Publish(state, RunWorkload(qs, &ctx->pager, *engine));
+            Publish(state, RunWorkload(qs, &ctx->io, *engine));
           }
         })
         ->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -292,11 +295,11 @@ void RegisterAll() {
           [m, k](benchmark::State& state) {
             auto ctx = GetBtreeCtx(100000, 3);
             for (auto _ : state) {
-              ctx->pager.ResetStats();
+              ctx->io.ResetStats();
               auto res = RunMode(*ctx, "fs", k, m);
               Publish(state, res);
               state.counters["index_pages"] = static_cast<double>(
-                  ctx->pager.stats(IoCategory::kBTree).physical);
+                  ctx->io.stats(IoCategory::kBTree).physical);
             }
           })
           ->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -323,7 +326,7 @@ void RegisterAll() {
           auto engine =
               MakeIndexMergeEngine(ctx->table, ctx->indices, std::move(opt));
           for (auto _ : state) {
-            Publish(state, RunWorkload(qs, &ctx->pager, *engine));
+            Publish(state, RunWorkload(qs, &ctx->io, *engine));
           }
         })
         ->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -9,12 +9,13 @@ namespace {
 
 struct Ctx {
   Table r1, r2;
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   std::unique_ptr<SpjrSystem> sys;
 
   Ctx(uint64_t rows, int32_t join_card)
       : r1(Make(rows, join_card, 61)), r2(Make(rows, join_card, 62)) {
-    sys = std::make_unique<SpjrSystem>(pager);
+    sys = std::make_unique<SpjrSystem>(store);
     sys->AddRelation(r1);
     sys->AddRelation(r2);
   }
@@ -60,16 +61,16 @@ void Run(Ctx& ctx, bool baseline, int k, benchmark::State& state) {
   for (int i = 0; i < nq; ++i) {
     SpjrQuery q = MakeQuery(ctx, &rng, k);
     ExecStats stats;
-    uint64_t before = ctx.pager.TotalPhysical();
+    uint64_t before = ctx.io.TotalPhysical();
     if (baseline) {
-      auto r = ctx.sys->BaselineTopK(q, &ctx.pager, &stats);
+      auto r = ctx.sys->BaselineTopK(q, &ctx.io, &stats);
       benchmark::DoNotOptimize(r);
     } else {
-      auto r = ctx.sys->TopK(q, &ctx.pager, &stats);
+      auto r = ctx.sys->TopK(q, &ctx.io, &stats);
       benchmark::DoNotOptimize(r);
     }
     ms += stats.time_ms;
-    io += static_cast<double>(ctx.pager.TotalPhysical() - before);
+    io += static_cast<double>(ctx.io.TotalPhysical() - before);
   }
   state.counters["ms_per_query"] = ms / nq;
   state.counters["io_pages"] = io / nq;

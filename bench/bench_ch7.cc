@@ -10,12 +10,13 @@ namespace {
 
 struct Ctx {
   Table table;
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   std::unique_ptr<SkylineEngine> engine;
 
   Ctx(uint64_t rows, int dp, int c, RankDistribution dist, double zipf)
       : table(Make(rows, dp, c, dist, zipf)) {
-    engine = std::make_unique<SkylineEngine>(table, pager);
+    engine = std::make_unique<SkylineEngine>(table, io);
   }
 
   static Table Make(uint64_t rows, int dp, int c, RankDistribution dist,
@@ -75,26 +76,26 @@ SkyResult RunMethod(Ctx& ctx, Method m, int num_preds,
           }())
                 : SkylineTransform::Static(ctx.table.num_rank_dims());
     ExecStats stats;
-    uint64_t before = ctx.pager.TotalPhysical();
+    uint64_t before = ctx.io.TotalPhysical();
     switch (m) {
       case Method::kBoolean: {
-        auto r = ctx.engine->BooleanFirst(preds, tf, &ctx.pager, &stats);
+        auto r = ctx.engine->BooleanFirst(preds, tf, &ctx.io, &stats);
         benchmark::DoNotOptimize(r);
         break;
       }
       case Method::kRanking: {
-        auto r = ctx.engine->RankingFirst(preds, tf, &ctx.pager, &stats);
+        auto r = ctx.engine->RankingFirst(preds, tf, &ctx.io, &stats);
         benchmark::DoNotOptimize(r);
         break;
       }
       case Method::kSignature: {
-        auto r = ctx.engine->Signature(preds, tf, &ctx.pager, &stats);
+        auto r = ctx.engine->Signature(preds, tf, &ctx.io, &stats);
         benchmark::DoNotOptimize(r);
         break;
       }
     }
     out.ms += stats.time_ms;
-    out.io += static_cast<double>(ctx.pager.TotalPhysical() - before);
+    out.io += static_cast<double>(ctx.io.TotalPhysical() - before);
     out.heap += static_cast<double>(stats.peak_heap);
     out.sig_ms += stats.signature_ms;
     out.sig_pages += static_cast<double>(stats.signature_pages);
@@ -197,30 +198,30 @@ void RegisterAll() {
             SkylineTransform tf = SkylineTransform::Static(3);
             for (auto _ : state) {
               ExecStats stats;
-              uint64_t before = ctx->pager.TotalPhysical();
+              uint64_t before = ctx->io.TotalPhysical();
               switch (m) {
                 case Method::kBoolean: {
-                  auto r = ctx->engine->BooleanFirst(preds, tf, &ctx->pager,
+                  auto r = ctx->engine->BooleanFirst(preds, tf, &ctx->io,
                                                      &stats);
                   benchmark::DoNotOptimize(r);
                   break;
                 }
                 case Method::kRanking: {
-                  auto r = ctx->engine->RankingFirst(preds, tf, &ctx->pager,
+                  auto r = ctx->engine->RankingFirst(preds, tf, &ctx->io,
                                                      &stats);
                   benchmark::DoNotOptimize(r);
                   break;
                 }
                 case Method::kSignature: {
                   auto r =
-                      ctx->engine->Signature(preds, tf, &ctx->pager, &stats);
+                      ctx->engine->Signature(preds, tf, &ctx->io, &stats);
                   benchmark::DoNotOptimize(r);
                   break;
                 }
               }
               state.counters["ms_per_query"] = stats.time_ms;
               state.counters["io_pages"] = static_cast<double>(
-                  ctx->pager.TotalPhysical() - before);
+                  ctx->io.TotalPhysical() - before);
             }
           })
           ->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -284,22 +285,22 @@ void RegisterAll() {
                           : std::vector<Predicate>{p0};
                 SkylineSession sess(ctx->engine.get());
                 ExecStats warm;
-                auto w = sess.Query(initial, tf, &ctx->pager, &warm);
+                auto w = sess.Query(initial, tf, &ctx->io, &warm);
                 benchmark::DoNotOptimize(w);
                 ExecStats stats;
-                uint64_t before = ctx->pager.TotalPhysical();
+                uint64_t before = ctx->io.TotalPhysical();
                 if (session) {
                   auto r = drill
-                               ? sess.DrillDown({p1}, &ctx->pager, &stats)
-                               : sess.RollUp({1}, &ctx->pager, &stats);
+                               ? sess.DrillDown({p1}, &ctx->io, &stats)
+                               : sess.RollUp({1}, &ctx->io, &stats);
                   benchmark::DoNotOptimize(r);
                 } else {
                   SkylineSession fresh2(ctx->engine.get());
-                  auto r = fresh2.Query(target, tf, &ctx->pager, &stats);
+                  auto r = fresh2.Query(target, tf, &ctx->io, &stats);
                   benchmark::DoNotOptimize(r);
                 }
                 ms += stats.time_ms;
-                io += static_cast<double>(ctx->pager.TotalPhysical() -
+                io += static_cast<double>(ctx->io.TotalPhysical() -
                                           before);
               }
               state.counters["ms_per_query"] = ms / nq;

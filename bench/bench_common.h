@@ -24,7 +24,7 @@
 #include "gen/covtype.h"
 #include "gen/queries.h"
 #include "gen/synthetic.h"
-#include "storage/pager.h"
+#include "storage/io_session.h"
 
 namespace rankcube::bench {
 
@@ -86,28 +86,28 @@ inline WorkloadResult AverageOver(const ExecStats& total,
   return out;
 }
 
-/// `run(query, pager, stats)` executes one query charging `pager`. (Legacy
+/// `run(query, io, stats)` executes one query charging `io`. (Legacy
 /// shim for harnesses not yet on RankingEngine; prefer the engine overload.)
 inline WorkloadResult RunWorkload(
-    const std::vector<TopKQuery>& queries, Pager* pager,
-    const std::function<void(const TopKQuery&, Pager*, ExecStats*)>& run) {
+    const std::vector<TopKQuery>& queries, IoSession* io,
+    const std::function<void(const TopKQuery&, IoSession*, ExecStats*)>& run) {
   ExecStats total;
-  uint64_t before = pager->TotalPhysical();
+  uint64_t before = io->TotalPhysical();
   for (const auto& q : queries) {
     ExecStats stats;
-    run(q, pager, &stats);
+    run(q, io, &stats);
     total += stats;
   }
-  return AverageOver(total, pager->TotalPhysical() - before, queries.size());
+  return AverageOver(total, io->TotalPhysical() - before, queries.size());
 }
 
 /// Engine path: the whole workload goes through BatchExecutor / the unified
 /// Execute interface. Aborts on the first error — a benchmark measuring a
 /// failing engine would publish garbage.
 inline WorkloadResult RunWorkload(const std::vector<TopKQuery>& queries,
-                                  Pager* pager, const RankingEngine& engine) {
+                                  IoSession* io, const RankingEngine& engine) {
   ExecContext ctx;
-  ctx.pager = pager;
+  ctx.io = io;
   BatchExecutor executor(&engine, {.stop_on_error = true});
   auto report = executor.Run(queries, ctx);
   if (!report.ok() || report.value().failed > 0) {

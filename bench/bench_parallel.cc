@@ -1,0 +1,233 @@
+// Parallel-scaling harness: runs one synthetic workload through every
+// registered engine on 1..N worker threads via BatchExecutor::ExecuteParallel
+// and reports queries/sec, pages/query and latency percentiles. Unlike the
+// figure-reproduction benches this binary does not need google-benchmark; it
+// always builds, and it emits a machine-readable JSON report so the perf
+// trajectory of the engine can be tracked commit over commit.
+//
+// Usage:
+//   bench_parallel [--threads=N] [--rows=N] [--queries=N] [--k=N]
+//                  [--cache_pages=N] [--engines=a,b,c] [--json=PATH]
+//
+// --threads gives the maximum worker count; the harness sweeps
+// {1, 2, 4, ...} powers of two up to it. Output goes to stdout (one line
+// per configuration) and to --json (default BENCH_parallel.json).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/batch_executor.h"
+#include "engine/registry.h"
+#include "gen/queries.h"
+#include "gen/synthetic.h"
+
+namespace rankcube {
+namespace {
+
+struct Flags {
+  int threads = 4;
+  uint64_t rows = 20000;
+  int queries = 200;
+  int k = 10;
+  size_t cache_pages = 0;
+  /// Simulated device latency per missed page; the default matches the
+  /// 0.1 ms/page disk-weighted cost bench_common has always reported.
+  uint32_t latency_us = 100;
+  std::string engines;  // comma-separated; empty = all registered
+  std::string json = "BENCH_parallel.json";
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--threads=", &v)) {
+      f.threads = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--rows=", &v)) {
+      f.rows = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--queries=", &v)) {
+      f.queries = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--k=", &v)) {
+      f.k = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--cache_pages=", &v)) {
+      f.cache_pages = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--latency_us=", &v)) {
+      f.latency_us = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--engines=", &v)) {
+      f.engines = v;
+    } else if (ParseFlag(argv[i], "--json=", &v)) {
+      f.json = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(1);
+    }
+  }
+  if (f.threads < 1) f.threads = 1;
+  return f;
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct Row {
+  std::string engine;
+  int threads = 0;
+  size_t queries = 0;
+  double qps = 0.0;
+  double pages_per_query = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double speedup_vs_1 = 0.0;
+  uint64_t construction_pages = 0;
+};
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  SyntheticSpec spec;
+  spec.num_rows = flags.rows;
+  spec.num_sel_dims = 3;
+  spec.cardinality = 8;
+  spec.num_rank_dims = 2;
+  spec.seed = 7;
+  Table table = GenerateSynthetic(spec);
+
+  PageStore store({.page_size = 4096,
+                   .cache_pages = flags.cache_pages,
+                   .read_latency_us = flags.latency_us});
+
+  auto& registry = EngineRegistry::Global();
+  std::vector<std::string> names = flags.engines.empty()
+                                       ? registry.Names()
+                                       : SplitCsv(flags.engines);
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t < flags.threads; t *= 2) thread_counts.push_back(t);
+  thread_counts.push_back(flags.threads);
+
+  std::vector<Row> rows;
+  for (const std::string& name : names) {
+    // Build under a dedicated construction session so the figures include
+    // honest construction I/O next to construction time.
+    IoSession build_io(&store);
+    auto engine = registry.Create(name, table, build_io);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n", name.c_str(),
+                   engine.status().ToString().c_str());
+      continue;
+    }
+
+    QueryWorkloadSpec qspec;
+    qspec.num_queries = flags.queries;
+    qspec.num_predicates = (*engine)->SupportsPredicates() ? 2 : 0;
+    qspec.num_rank_used = 2;
+    qspec.k = flags.k;
+    qspec.seed = 4242;
+    std::vector<TopKQuery> workload = GenerateQueries(table, qspec);
+
+    BatchExecutor batch(engine->get(), {.record_latencies = true});
+    // Short untimed warmup (code paths, allocator); with simulated latency
+    // on, timing is dominated by deterministic device waits anyway.
+    std::vector<TopKQuery> warmup(
+        workload.begin(),
+        workload.begin() + std::min<size_t>(10, workload.size()));
+    (void)batch.ExecuteAll(warmup, store);
+
+    double qps_at_1 = 0.0;
+    for (int t : thread_counts) {
+      auto report = batch.ExecuteParallel(workload, store, t);
+      if (!report.ok() || report.value().failed > 0) {
+        const Status& s = report.ok() ? report.value().first_error
+                                      : report.status();
+        std::fprintf(stderr, "workload failed on %s (t=%d): %s\n",
+                     name.c_str(), t, s.ToString().c_str());
+        std::exit(1);
+      }
+      const BatchReport& r = report.value();
+      Row row;
+      row.engine = name;
+      row.threads = t;
+      row.queries = r.succeeded();
+      row.qps = r.Qps();
+      row.pages_per_query = r.AvgPhysicalPages();
+      row.p50_ms = Percentile(r.latencies_ms, 0.50);
+      row.p99_ms = Percentile(r.latencies_ms, 0.99);
+      row.construction_pages = build_io.TotalPhysical();
+      if (t == 1) qps_at_1 = row.qps;
+      row.speedup_vs_1 = qps_at_1 > 0.0 ? row.qps / qps_at_1 : 0.0;
+      rows.push_back(row);
+      std::printf(
+          "%-16s threads=%-2d qps=%10.1f  pages/q=%8.1f  p50=%7.3fms  "
+          "p99=%7.3fms  speedup=%5.2fx  build_pages=%llu\n",
+          name.c_str(), t, row.qps, row.pages_per_query, row.p50_ms,
+          row.p99_ms, row.speedup_vs_1,
+          static_cast<unsigned long long>(row.construction_pages));
+    }
+  }
+
+  std::FILE* out = std::fopen(flags.json.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"parallel_scaling\",\n"
+               "  \"rows\": %llu,\n  \"queries\": %d,\n  \"k\": %d,\n"
+               "  \"cache_pages\": %llu,\n  \"read_latency_us\": %u,\n"
+               "  \"max_threads\": %d,\n"
+               "  \"results\": [\n",
+               static_cast<unsigned long long>(flags.rows), flags.queries,
+               flags.k, static_cast<unsigned long long>(flags.cache_pages),
+               flags.latency_us, flags.threads);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"engine\": \"%s\", \"threads\": %d, \"queries\": %zu, "
+        "\"qps\": %.1f, \"pages_per_query\": %.2f, \"p50_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"speedup_vs_1\": %.3f, "
+        "\"construction_pages\": %llu}%s\n",
+        r.engine.c_str(), r.threads, r.queries, r.qps, r.pages_per_query,
+        r.p50_ms, r.p99_ms, r.speedup_vs_1,
+        static_cast<unsigned long long>(r.construction_pages),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", flags.json.c_str());
+  return 0;
+}
+
+}  // namespace rankcube
+
+int main(int argc, char** argv) { return rankcube::Main(argc, argv); }

@@ -24,13 +24,14 @@ int main() {
   spec.num_rank_dims = 4;
   spec.seed = 11;
   Table apartments = GenerateSynthetic(spec);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   ExecContext ctx;
-  ctx.pager = &pager;
+  ctx.io = &io;
 
   // --- Part 1: high boolean dimensionality -> ranking fragments (F=2). ---
   auto fragments = std::make_shared<RankingFragments>(
-      apartments, pager, FragmentsOptions{.fragment_size = 2});
+      apartments, io, FragmentsOptions{.fragment_size = 2});
   auto frag_engine = MakeFragmentsEngine(apartments, fragments);
 
   TopKQuery q = QueryBuilder()
@@ -56,8 +57,8 @@ int main() {
   // --- Part 2: high ranking dimensionality -> index-merge (Ch5). --------
   // Two B+-trees (rent, deposit) merged under a non-monotone trade-off
   // function (rent - deposit^2)^2 with join-signature pruning.
-  BTree rent_idx(apartments, 0, pager);
-  BTree deposit_idx(apartments, 2, pager);
+  BTree rent_idx(apartments, 0, io);
+  BTree deposit_idx(apartments, 2, io);
   BTreeMergeIndex m0(&rent_idx, 0), m1(&deposit_idx, 2);
   std::vector<const MergeIndex*> indices{&m0, &m1};
   JoinSignature sig(indices);

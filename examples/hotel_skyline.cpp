@@ -21,14 +21,15 @@ int main() {
   spec.seed = 3;
   Table hotels = GenerateSynthetic(spec);
 
-  Pager pager;
-  SkylineEngine engine(hotels, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(hotels, io);
   SkylineSession session(&engine);
   SkylineTransform tf = SkylineTransform::Static(2);
 
   // Skyline of hotels with breakfast.
   ExecStats s0;
-  auto base = session.Query({{2, 1}}, tf, &pager, &s0);
+  auto base = session.Query({{2, 1}}, tf, &io, &s0);
   if (!base.ok()) {
     std::printf("error: %s\n", base.status().ToString().c_str());
     return 1;
@@ -38,13 +39,13 @@ int main() {
 
   // Drill down: also require wifi. Reuses the candidate heap.
   ExecStats s1;
-  auto drilled = session.DrillDown({{3, 1}}, &pager, &s1);
+  auto drilled = session.DrillDown({{3, 1}}, &io, &s1);
   std::printf("  + wifi (drill-down):  %zu hotels, %.2f ms\n",
               drilled.value().size(), s1.time_ms);
 
   // Roll up: drop the breakfast requirement.
   ExecStats s2;
-  auto rolled = session.RollUp({2}, &pager, &s2);
+  auto rolled = session.RollUp({2}, &io, &s2);
   std::printf("  - breakfast (roll-up): %zu hotels, %.2f ms\n",
               rolled.value().size(), s2.time_ms);
 
@@ -52,7 +53,7 @@ int main() {
   // sweet spot" (§7.2.3).
   ExecStats s3;
   auto dyn = engine.Signature({{3, 1}}, SkylineTransform::Dynamic({0.3, 0.2}),
-                              &pager, &s3);
+                              &io, &s3);
   std::printf("Dynamic skyline around (price=0.3, dist=0.2) with wifi: "
               "%zu hotels, %.2f ms\n",
               dyn.value().size(), s3.time_ms);

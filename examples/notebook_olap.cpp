@@ -30,12 +30,13 @@ int main() {
   spec.seed = 7;
   Table notebooks = GenerateSynthetic(spec);
 
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   // High(ish)-dimensional selection space: materialize ranking fragments
   // (F = 2) instead of the full 2^4-cuboid cube, and query them through the
   // unified engine interface.
   auto fragments = std::make_shared<RankingFragments>(
-      notebooks, pager,
+      notebooks, io,
       FragmentsOptions{.block_size = 300, .fragment_size = 2});
   auto engine = MakeFragmentsEngine(notebooks, fragments);
 
@@ -48,7 +49,7 @@ int main() {
   TopKQuery rollup = QueryBuilder(base).Where(1, 0 /* low end */).Build();
 
   ExecContext ctx;
-  ctx.pager = &pager;
+  ctx.io = &io;
   auto dell = engine->Execute(drill, ctx);
   auto all = engine->Execute(rollup, ctx);
   if (!dell.ok() || !all.ok()) {

@@ -24,7 +24,8 @@ int main() {
 
   // 2. Simulated block device: every index/cube structure charges page
   //    accesses here, so engines can be compared on I/O.
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
 
   // 3. "select top 5 * from R where A0 = a and A1 = b
   //     order by N0 + 2*N1"
@@ -39,13 +40,13 @@ int main() {
   // 4. Any registered engine answers it; the cubes touch a tiny fraction of
   //    the data the scan reads.
   for (const char* name : {"grid", "signature", "table_scan"}) {
-    auto engine = EngineRegistry::Global().Create(name, table, pager);
+    auto engine = EngineRegistry::Global().Create(name, table, io);
     if (!engine.ok()) {
       std::printf("error: %s\n", engine.status().ToString().c_str());
       return 1;
     }
     ExecContext ctx;
-    ctx.pager = &pager;
+    ctx.io = &io;
     auto result = (*engine)->Execute(query, ctx);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());

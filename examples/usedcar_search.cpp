@@ -32,8 +32,9 @@ int main() {
   spec.seed = 2026;
   Table cars = GenerateSynthetic(spec);
 
-  Pager pager;
-  auto engine = EngineRegistry::Global().Create("signature", cars, pager);
+  PageStore store;
+  IoSession io{&store};
+  auto engine = EngineRegistry::Global().Create("signature", cars, io);
   if (!engine.ok()) {
     std::printf("error: %s\n", engine.status().ToString().c_str());
     return 1;
@@ -60,7 +61,7 @@ int main() {
 
   for (const auto* q : {&q1, &q2}) {
     ExecContext ctx;
-    ctx.pager = &pager;
+    ctx.io = &io;
     auto res = (*engine)->Execute(*q, ctx);
     if (!res.ok()) {
       std::printf("error: %s\n", res.status().ToString().c_str());

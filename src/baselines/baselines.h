@@ -29,7 +29,7 @@ namespace rankcube {
 /// TS: full sequential scan, filtering predicates and keeping a size-k heap.
 Result<std::vector<ScoredTuple>> TableScanTopK(const Table& table,
                                                const TopKQuery& query,
-                                               Pager* pager, ExecStats* stats);
+                                               IoSession* io, ExecStats* stats);
 
 /// Boolean-first executor over posting-list indices.
 class BooleanFirst {
@@ -38,7 +38,7 @@ class BooleanFirst {
 
   /// Picks index-scan vs table-scan by estimated page cost (the thesis
   /// reports the best of the two alternatives) and evaluates the query.
-  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, Pager* pager,
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, IoSession* io,
                                         ExecStats* stats) const;
 
   const PostingIndex& index() const { return posting_; }
@@ -56,7 +56,7 @@ class RankingFirst {
   RankingFirst(const Table& table, const RTree* rtree)
       : table_(table), rtree_(rtree) {}
 
-  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, Pager* pager,
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, IoSession* io,
                                         ExecStats* stats) const;
 
  private:
@@ -77,7 +77,7 @@ class RankMapping {
 
   /// `kth_score`: the optimal bound value (from an exact oracle).
   Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query,
-                                        double kth_score, Pager* pager,
+                                        double kth_score, IoSession* io,
                                         ExecStats* stats) const;
 
   /// Derives the optimal per-dimension range box for f and bound s*.

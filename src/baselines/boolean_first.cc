@@ -9,11 +9,11 @@ BooleanFirst::BooleanFirst(const Table& table)
     : table_(table), posting_(table) {}
 
 Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
-                                                    Pager* pager,
+                                                    IoSession* io,
                                                     ExecStats* stats) const {
   RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
   Stopwatch watch;
-  uint64_t pages_before = pager->TotalPhysical();
+  uint64_t pages_before = io->TotalPhysical();
   TopKHeap topk(query.k);
   std::vector<double> point(table_.num_rank_dims());
 
@@ -28,16 +28,16 @@ Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
       best = &p;
     }
   }
-  size_t rpp = table_.RowsPerPage(*pager);
-  uint64_t scan_cost = table_.NumPages(*pager);
+  size_t rpp = table_.RowsPerPage(io->page_size());
+  uint64_t scan_cost = table_.NumPages(io->page_size());
   // Index plan: posting pages + one random heap access per candidate.
   uint64_t index_cost =
-      best ? 1 + best_len * sizeof(Tid) / pager->page_size() + best_len
+      best ? 1 + best_len * sizeof(Tid) / io->page_size() + best_len
            : UINT64_MAX;
   (void)rpp;
 
   if (best == nullptr || index_cost >= scan_cost) {
-    table_.ChargeFullScan(pager);
+    table_.ChargeFullScan(io);
     for (Tid t = 0; t < static_cast<Tid>(table_.num_rows()); ++t) {
       bool ok = true;
       for (const auto& p : query.predicates) {
@@ -54,9 +54,9 @@ Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
       ++stats->tuples_evaluated;
     }
   } else {
-    posting_.ChargeListScan(pager, best->dim, best->value);
+    posting_.ChargeListScan(io, best->dim, best->value);
     for (Tid t : posting_.Lookup(best->dim, best->value)) {
-      table_.ChargeRowFetch(pager, t);  // random access to the heap page
+      table_.ChargeRowFetch(io, t);  // random access to the heap page
       bool ok = true;
       for (const auto& p : query.predicates) {
         if (table_.sel(t, p.dim) != p.value) {
@@ -73,7 +73,7 @@ Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
     }
   }
   stats->time_ms += watch.ElapsedMs();
-  stats->pages_read += pager->TotalPhysical() - pages_before;
+  stats->pages_read += io->TotalPhysical() - pages_before;
   return topk.Sorted();
 }
 

@@ -56,11 +56,11 @@ Box RankMapping::OptimalBounds(const RankingFunction& f, double kth_score) {
 
 Result<std::vector<ScoredTuple>> RankMapping::TopK(const TopKQuery& query,
                                                    double kth_score,
-                                                   Pager* pager,
+                                                   IoSession* io,
                                                    ExecStats* stats) const {
   RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
   Stopwatch watch;
-  uint64_t pages_before = pager->TotalPhysical();
+  uint64_t pages_before = io->TotalPhysical();
 
   // Pick the composite index whose prefix covers most of the query.
   const CompositeIndex* best = indices_.front().get();
@@ -74,7 +74,7 @@ Result<std::vector<ScoredTuple>> RankMapping::TopK(const TopKQuery& query,
   }
 
   Box bounds = OptimalBounds(*query.function, kth_score);
-  auto range = best->RangeQuery(query.predicates, bounds, pager);
+  auto range = best->RangeQuery(query.predicates, bounds, io);
 
   TopKHeap topk(query.k);
   std::vector<double> point(table_.num_rank_dims());
@@ -86,7 +86,7 @@ Result<std::vector<ScoredTuple>> RankMapping::TopK(const TopKQuery& query,
     ++stats->tuples_evaluated;
   }
   stats->time_ms += watch.ElapsedMs();
-  stats->pages_read += pager->TotalPhysical() - pages_before;
+  stats->pages_read += io->TotalPhysical() - pages_before;
   return topk.Sorted();
 }
 

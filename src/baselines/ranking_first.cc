@@ -11,13 +11,13 @@ class TableVerifyPruner : public BooleanPruner {
   TableVerifyPruner(const Table& table, const std::vector<Predicate>& preds)
       : table_(table), preds_(preds) {}
 
-  bool MayContain(const std::vector<int>&, Pager*, ExecStats*) override {
+  bool MayContain(const std::vector<int>&, IoSession*, ExecStats*) override {
     return true;  // no pre-computed boolean knowledge
   }
 
-  bool Qualifies(Tid tid, const std::vector<int>&, Pager* pager,
+  bool Qualifies(Tid tid, const std::vector<int>&, IoSession* io,
                  ExecStats*) override {
-    table_.ChargeRowFetch(pager, tid);
+    table_.ChargeRowFetch(io, tid);
     for (const auto& p : preds_) {
       if (table_.sel(tid, p.dim) != p.value) return false;
     }
@@ -32,11 +32,11 @@ class TableVerifyPruner : public BooleanPruner {
 }  // namespace
 
 Result<std::vector<ScoredTuple>> RankingFirst::TopK(const TopKQuery& query,
-                                                    Pager* pager,
+                                                    IoSession* io,
                                                     ExecStats* stats) const {
   RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
   TableVerifyPruner pruner(table_, query.predicates);
-  return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, pager, stats);
+  return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, io, stats);
 }
 
 }  // namespace rankcube

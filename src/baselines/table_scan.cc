@@ -7,13 +7,13 @@ namespace rankcube {
 
 Result<std::vector<ScoredTuple>> TableScanTopK(const Table& table,
                                                const TopKQuery& query,
-                                               Pager* pager,
+                                               IoSession* io,
                                                ExecStats* stats) {
   RC_RETURN_IF_ERROR(ValidateQuery(query, table.schema()));
   Stopwatch watch;
-  uint64_t pages_before = pager->TotalPhysical();
+  uint64_t pages_before = io->TotalPhysical();
   TopKHeap topk(query.k);
-  table.ChargeFullScan(pager);
+  table.ChargeFullScan(io);
   std::vector<double> point(table.num_rank_dims());
   for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
     bool ok = true;
@@ -29,7 +29,7 @@ Result<std::vector<ScoredTuple>> TableScanTopK(const Table& table,
     ++stats->tuples_evaluated;
   }
   stats->time_ms += watch.ElapsedMs();
-  stats->pages_read += pager->TotalPhysical() - pages_before;
+  stats->pages_read += io->TotalPhysical() - pages_before;
   return topk.Sorted();
 }
 

@@ -44,6 +44,13 @@ GridCuboid BuildGridCuboid(const Table& table, const EquiDepthGrid& grid,
                            const BaseBlockTable& base_blocks,
                            std::vector<int> dims);
 
+/// Charges the construction I/O of one built cuboid to `io`: a full
+/// relation scan (the build reads every tuple) plus the cuboid's pages
+/// written (category kCuboid, keyed by `index`). Shared by the full cube
+/// and the fragments so their cost models cannot diverge.
+void ChargeCuboidBuild(const Table& table, IoSession& io,
+                       const GridCuboid& cuboid, size_t index);
+
 /// Source of "which tuples of base block b satisfy the selection" — the
 /// retrieve step. Implementations wrap one cuboid (full cube) or an
 /// intersection of cuboids (ranking fragments, §3.4.2), buffering retrieved
@@ -51,7 +58,7 @@ GridCuboid BuildGridCuboid(const Table& table, const EquiDepthGrid& grid,
 class BlockTidSource {
  public:
   virtual ~BlockTidSource() = default;
-  virtual void GetTids(Bid bid, Pager* pager, ExecStats* stats,
+  virtual void GetTids(Bid bid, IoSession* io, ExecStats* stats,
                        std::vector<Tid>* out) = 0;
 };
 
@@ -60,7 +67,7 @@ class CuboidTidSource : public BlockTidSource {
  public:
   CuboidTidSource(const GridCuboid* cuboid, const EquiDepthGrid* grid,
                   std::vector<int32_t> cell_values);
-  void GetTids(Bid bid, Pager* pager, ExecStats* stats,
+  void GetTids(Bid bid, IoSession* io, ExecStats* stats,
                std::vector<Tid>* out) override;
 
  private:
@@ -78,7 +85,7 @@ class IntersectTidSource : public BlockTidSource {
   explicit IntersectTidSource(std::vector<std::unique_ptr<CuboidTidSource>>
                                   sources)
       : sources_(std::move(sources)) {}
-  void GetTids(Bid bid, Pager* pager, ExecStats* stats,
+  void GetTids(Bid bid, IoSession* io, ExecStats* stats,
                std::vector<Tid>* out) override;
 
  private:
@@ -89,7 +96,7 @@ class IntersectTidSource : public BlockTidSource {
 class AllTidSource : public BlockTidSource {
  public:
   explicit AllTidSource(const BaseBlockTable* blocks) : blocks_(blocks) {}
-  void GetTids(Bid bid, Pager* pager, ExecStats* stats,
+  void GetTids(Bid bid, IoSession* io, ExecStats* stats,
                std::vector<Tid>* out) override;
 
  private:
@@ -102,7 +109,7 @@ class AllTidSource : public BlockTidSource {
 std::vector<ScoredTuple> GridNeighborhoodTopK(
     const Table& table, const EquiDepthGrid& grid,
     const BaseBlockTable& base_blocks, const TopKQuery& query,
-    BlockTidSource* source, Pager* pager, ExecStats* stats);
+    BlockTidSource* source, IoSession* io, ExecStats* stats);
 
 /// Full ranking cube: all 2^S - 1 cuboids over the selection dimensions
 /// (or a caller-selected subset).
@@ -113,21 +120,39 @@ struct GridCubeOptions {
   std::vector<std::vector<int>> cuboid_dim_sets;
 };
 
+/// Hash over a sorted dimension set; keys the cuboid lookup maps.
+struct DimSetHash {
+  size_t operator()(const std::vector<int>& dims) const {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (int d : dims) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(d));
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
 class GridRankingCube {
  public:
-  GridRankingCube(const Table& table, const Pager& pager,
+  /// Builds the cube, charging construction I/O (one relation scan per
+  /// cuboid plus the cuboid pages written) to `io`.
+  GridRankingCube(const Table& table, IoSession& io,
                   GridCubeOptions options = GridCubeOptions());
 
   /// Answers `query`; requires a materialized cuboid matching the query's
   /// predicate dimensions (the full cube always has one).
-  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, Pager* pager,
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, IoSession* io,
                                         ExecStats* stats) const;
 
   const EquiDepthGrid& grid() const { return grid_; }
   const BaseBlockTable& base_blocks() const { return base_blocks_; }
+  /// Hashed lookup keyed on the sorted dimension set; O(1) per query
+  /// instead of a linear scan over 2^S - 1 cuboids.
   const GridCuboid* FindCuboid(const std::vector<int>& dims) const;
 
   double construction_ms() const { return construction_ms_; }
+  /// Physical pages the construction pass charged (scan + cuboid writes).
+  uint64_t construction_pages() const { return construction_pages_; }
   size_t SizeBytes() const;
 
  private:
@@ -135,7 +160,10 @@ class GridRankingCube {
   EquiDepthGrid grid_;
   BaseBlockTable base_blocks_;
   std::vector<GridCuboid> cuboids_;
+  /// sorted dims -> index into cuboids_.
+  std::unordered_map<std::vector<int>, size_t, DimSetHash> cuboid_index_;
   double construction_ms_ = 0.0;
+  uint64_t construction_pages_ = 0;
 };
 
 }  // namespace rankcube

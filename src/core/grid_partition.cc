@@ -110,13 +110,13 @@ BaseBlockTable::BaseBlockTable(const Table& table, const EquiDepthGrid& grid)
 }
 
 const std::vector<Tid>& BaseBlockTable::GetBaseBlock(Bid bid,
-                                                     Pager* pager) const {
+                                                     IoSession* io) const {
   const auto& block = blocks_[bid];
   uint64_t pages =
-      std::max<uint64_t>(1, (block.size() * row_bytes_ + pager->page_size() -
+      std::max<uint64_t>(1, (block.size() * row_bytes_ + io->page_size() -
                              1) /
-                                pager->page_size());
-  pager->Access(IoCategory::kBaseBlock, bid, pages);
+                                io->page_size());
+  io->Access(IoCategory::kBaseBlock, bid, pages);
   return block;
 }
 

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "common/geometry.h"
-#include "storage/pager.h"
+#include "storage/io_session.h"
 #include "storage/table.h"
 
 namespace rankcube {
@@ -61,7 +61,7 @@ class BaseBlockTable {
   BaseBlockTable(const Table& table, const EquiDepthGrid& grid);
 
   /// Tuples of one block; charges the block's pages (category kBaseBlock).
-  const std::vector<Tid>& GetBaseBlock(Bid bid, Pager* pager) const;
+  const std::vector<Tid>& GetBaseBlock(Bid bid, IoSession* io) const;
 
   /// Membership view without I/O accounting (for in-memory enumeration).
   const std::vector<Tid>& GetBaseBlockNoCharge(Bid bid) const {

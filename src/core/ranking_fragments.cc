@@ -7,13 +7,13 @@
 
 namespace rankcube {
 
-RankingFragments::RankingFragments(const Table& table, const Pager& pager,
+RankingFragments::RankingFragments(const Table& table, IoSession& io,
                                    FragmentsOptions options)
     : table_(table),
       grid_(table, {.block_size = options.block_size, .min_bins = 1}),
       base_blocks_(table, grid_) {
-  (void)pager;
   Stopwatch watch;
+  uint64_t pages_before = io.TotalPhysical();
   groups_ = options.groups.empty()
                 ? GroupDimensions(table.num_sel_dims(), options.fragment_size)
                 : options.groups;
@@ -22,13 +22,19 @@ RankingFragments::RankingFragments(const Table& table, const Pager& pager,
       cuboid_dims_.push_back(dims);
       cuboids_.push_back(
           BuildGridCuboid(table, grid_, base_blocks_, std::move(dims)));
+      ChargeCuboidBuild(table, io, cuboids_.back(), cuboids_.size() - 1);
+      exact_cover_.emplace(cuboids_.back().dims, cuboids_.size() - 1);
     }
   }
+  construction_pages_ = io.TotalPhysical() - pages_before;
   construction_ms_ = watch.ElapsedMs();
 }
 
 std::vector<int> RankingFragments::Covering(
     const std::vector<int>& query_dims) const {
+  // Fast path: one materialized cuboid covers the query exactly.
+  auto it = exact_cover_.find(query_dims);
+  if (it != exact_cover_.end()) return {static_cast<int>(it->second)};
   return SelectCoveringCuboids(cuboid_dims_, query_dims);
 }
 
@@ -41,7 +47,7 @@ int RankingFragments::CoveringCuboidCount(const TopKQuery& query) const {
 }
 
 Result<std::vector<ScoredTuple>> RankingFragments::TopK(
-    const TopKQuery& query, Pager* pager, ExecStats* stats) const {
+    const TopKQuery& query, IoSession* io, ExecStats* stats) const {
   if (!query.function) {
     return Status::InvalidArgument("query has no ranking function");
   }
@@ -52,7 +58,7 @@ Result<std::vector<ScoredTuple>> RankingFragments::TopK(
   if (qdims.empty()) {
     AllTidSource source(&base_blocks_);
     return GridNeighborhoodTopK(table_, grid_, base_blocks_, query, &source,
-                                pager, stats);
+                                io, stats);
   }
   std::vector<int> cover = Covering(qdims);
   if (cover.empty()) {
@@ -67,11 +73,11 @@ Result<std::vector<ScoredTuple>> RankingFragments::TopK(
   }
   if (sources.size() == 1) {
     return GridNeighborhoodTopK(table_, grid_, base_blocks_, query,
-                                sources.front().get(), pager, stats);
+                                sources.front().get(), io, stats);
   }
   IntersectTidSource source(std::move(sources));
   return GridNeighborhoodTopK(table_, grid_, base_blocks_, query, &source,
-                              pager, stats);
+                              io, stats);
 }
 
 size_t RankingFragments::SizeBytes() const {

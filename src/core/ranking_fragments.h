@@ -8,6 +8,7 @@
 #define RANKCUBE_CORE_RANKING_FRAGMENTS_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/grid_cube.h"
@@ -23,12 +24,14 @@ struct FragmentsOptions {
 
 class RankingFragments {
  public:
-  RankingFragments(const Table& table, const Pager& pager,
+  /// Builds all fragments' cuboids, charging construction I/O (one relation
+  /// scan per cuboid plus the cuboid pages written) to `io`.
+  RankingFragments(const Table& table, IoSession& io,
                    FragmentsOptions options = FragmentsOptions());
 
   /// Answers `query`: covered by one cuboid when possible, otherwise by the
   /// minimum covering set with online tid-list intersection (§3.4.2).
-  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, Pager* pager,
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, IoSession* io,
                                         ExecStats* stats) const;
 
   /// Number of cuboids a given query needs (1 = directly covered).
@@ -36,6 +39,8 @@ class RankingFragments {
 
   const std::vector<std::vector<int>>& groups() const { return groups_; }
   double construction_ms() const { return construction_ms_; }
+  /// Physical pages the construction pass charged (scan + cuboid writes).
+  uint64_t construction_pages() const { return construction_pages_; }
   size_t SizeBytes() const;
 
  private:
@@ -47,7 +52,12 @@ class RankingFragments {
   std::vector<std::vector<int>> groups_;
   std::vector<GridCuboid> cuboids_;          ///< all fragments' cuboids
   std::vector<std::vector<int>> cuboid_dims_;
+  /// sorted dims -> cuboid index; resolves directly-covered queries (the
+  /// common case: all predicate dims inside one fragment) without running
+  /// greedy set cover.
+  std::unordered_map<std::vector<int>, size_t, DimSetHash> exact_cover_;
   double construction_ms_ = 0.0;
+  uint64_t construction_pages_ = 0;
 };
 
 }  // namespace rankcube

@@ -24,10 +24,10 @@ struct HeapEntry {
 std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const RTree& rtree,
                                                  const TopKQuery& query,
                                                  BooleanPruner* pruner,
-                                                 Pager* pager,
+                                                 IoSession* io,
                                                  ExecStats* stats) {
   Stopwatch watch;
-  uint64_t pages_before = pager->TotalPhysical();
+  uint64_t pages_before = io->TotalPhysical();
   const RankingFunction& f = *query.function;
   TopKHeap topk(query.k);
 
@@ -43,16 +43,16 @@ std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const RTree& rtree,
     heap.pop();
 
     if (e.is_tuple) {
-      if (pruner->Qualifies(e.tid, e.path, pager, stats)) {
+      if (pruner->Qualifies(e.tid, e.path, io, stats)) {
         topk.Offer(e.tid, e.score);
       }
       continue;
     }
     // Boolean pruning on the node before expansion (line 5 of Algorithm 3).
-    if (!pruner->MayContain(e.path, pager, stats)) continue;
+    if (!pruner->MayContain(e.path, io, stats)) continue;
 
     const RTreeNode& node = rtree.node(e.node_id);
-    rtree.ChargeNodeAccess(pager, e.node_id);
+    rtree.ChargeNodeAccess(io, e.node_id);
     if (node.is_leaf) {
       for (size_t i = 0; i < node.entries.size(); ++i) {
         const auto& entry = node.entries[i];
@@ -80,7 +80,7 @@ std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const RTree& rtree,
   }
 
   stats->time_ms += watch.ElapsedMs();
-  stats->pages_read += pager->TotalPhysical() - pages_before;
+  stats->pages_read += io->TotalPhysical() - pages_before;
   return topk.Sorted();
 }
 

@@ -23,21 +23,21 @@ class BooleanPruner {
 
   /// May the subtree rooted at `path` contain a qualifying tuple?
   /// (false => prune; must never produce false negatives).
-  virtual bool MayContain(const std::vector<int>& node_path, Pager* pager,
+  virtual bool MayContain(const std::vector<int>& node_path, IoSession* io,
                           ExecStats* stats) = 0;
 
   /// Does the tuple at `tuple_path` qualify? Exact.
   virtual bool Qualifies(Tid tid, const std::vector<int>& tuple_path,
-                         Pager* pager, ExecStats* stats) = 0;
+                         IoSession* io, ExecStats* stats) = 0;
 };
 
 /// Accept-all pruner (no boolean predicates).
 class NullPruner : public BooleanPruner {
  public:
-  bool MayContain(const std::vector<int>&, Pager*, ExecStats*) override {
+  bool MayContain(const std::vector<int>&, IoSession*, ExecStats*) override {
     return true;
   }
-  bool Qualifies(Tid, const std::vector<int>&, Pager*, ExecStats*) override {
+  bool Qualifies(Tid, const std::vector<int>&, IoSession*, ExecStats*) override {
     return true;
   }
 };
@@ -47,7 +47,7 @@ class NullPruner : public BooleanPruner {
 std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const RTree& rtree,
                                                  const TopKQuery& query,
                                                  BooleanPruner* pruner,
-                                                 Pager* pager,
+                                                 IoSession* io,
                                                  ExecStats* stats);
 
 }  // namespace rankcube

@@ -6,16 +6,16 @@
 
 namespace rankcube {
 
-SignatureCube::SignatureCube(const Table& table, const Pager& pager,
+SignatureCube::SignatureCube(const Table& table, IoSession& io,
                              SignatureCubeOptions options)
-    : table_(table), page_size_(pager.page_size()), alpha_(options.alpha) {
+    : table_(table), page_size_(io.page_size()), alpha_(options.alpha) {
   Stopwatch total;
 
   // 1. Partition by R-tree over the ranking dimensions (Algorithm 1 line 1).
   Stopwatch rtree_watch;
   RTreeOptions ropt;
   ropt.max_entries = options.rtree_max_entries;
-  rtree_ = std::make_unique<RTree>(table.num_rank_dims(), pager, ropt);
+  rtree_ = std::make_unique<RTree>(table.num_rank_dims(), io, ropt);
   if (options.bulk_load) {
     rtree_->BulkLoadSTR(table);
   } else {
@@ -106,10 +106,10 @@ namespace {
 /// Pruner for a provably-empty cell: rejects everything.
 class EmptyCellPruner : public BooleanPruner {
  public:
-  bool MayContain(const std::vector<int>&, Pager*, ExecStats*) override {
+  bool MayContain(const std::vector<int>&, IoSession*, ExecStats*) override {
     return false;
   }
-  bool Qualifies(Tid, const std::vector<int>&, Pager*, ExecStats*) override {
+  bool Qualifies(Tid, const std::vector<int>&, IoSession*, ExecStats*) override {
     return false;
   }
 };
@@ -157,7 +157,7 @@ Result<std::unique_ptr<BooleanPruner>> SignatureCube::MakePruner(
 }
 
 Result<std::vector<ScoredTuple>> SignatureCube::TopK(const TopKQuery& query,
-                                                     Pager* pager,
+                                                     IoSession* io,
                                                      ExecStats* stats) const {
   if (!query.function) {
     return Status::InvalidArgument("query has no ranking function");
@@ -166,10 +166,10 @@ Result<std::vector<ScoredTuple>> SignatureCube::TopK(const TopKQuery& query,
   if (!pruner.ok()) return pruner.status();
   if (pruner.value() == nullptr) {
     NullPruner null_pruner;
-    return RTreeBranchAndBoundTopK(*rtree_, query, &null_pruner, pager,
+    return RTreeBranchAndBoundTopK(*rtree_, query, &null_pruner, io,
                                    stats);
   }
-  return RTreeBranchAndBoundTopK(*rtree_, query, pruner.value().get(), pager,
+  return RTreeBranchAndBoundTopK(*rtree_, query, pruner.value().get(), io,
                                  stats);
 }
 
@@ -185,7 +185,7 @@ void SignatureCube::RebuildStored(SignatureCuboid* cuboid,
       StoredSignature::Compress(it->second, page_size_, alpha_);
 }
 
-void SignatureCube::InsertBatch(const std::vector<Tid>& tids, Pager* pager) {
+void SignatureCube::InsertBatch(const std::vector<Tid>& tids, IoSession* io) {
   // Algorithm 2. Batch variant: collect R-tree path updates for all inserted
   // tuples first, then touch each affected cell signature once.
   std::vector<PathUpdate> updates;
@@ -226,7 +226,7 @@ void SignatureCube::InsertBatch(const std::vector<Tid>& tids, Pager* pager) {
             1, (stored_it->second.CompressedBytes() + page_size_ - 1) /
                    page_size_);
       }
-      pager->Access(IoCategory::kSignature, CellKeyHash{}(cell),
+      io->Access(IoCategory::kSignature, CellKeyHash{}(cell),
                     2 * sig_pages);  // read + write back
       for (const PathUpdate* u : cell_updates) {
         if (!u->old_path.empty()) sig_it->second.ClearPath(u->old_path);
@@ -248,7 +248,7 @@ class LossyBloomPruner : public BooleanPruner {
       : table_(table), preds_(std::move(preds)), blooms_(std::move(blooms)),
         m_(M) {}
 
-  bool MayContain(const std::vector<int>& path, Pager*, ExecStats*) override {
+  bool MayContain(const std::vector<int>& path, IoSession*, ExecStats*) override {
     if (path.empty()) return true;
     Sid sid = SidOfPath(path, path.size(), m_);
     for (const auto* bloom : blooms_) {
@@ -257,11 +257,11 @@ class LossyBloomPruner : public BooleanPruner {
     return true;
   }
 
-  bool Qualifies(Tid tid, const std::vector<int>& path, Pager* pager,
+  bool Qualifies(Tid tid, const std::vector<int>& path, IoSession* io,
                  ExecStats* stats) override {
-    if (!MayContain(path, pager, stats)) return false;
+    if (!MayContain(path, io, stats)) return false;
     // Bloom false positives make tuple-level bits unreliable; verify.
-    table_.ChargeRowFetch(pager, tid);
+    table_.ChargeRowFetch(io, tid);
     for (const auto& p : preds_) {
       if (table_.sel(tid, p.dim) != p.value) return false;
     }
@@ -278,7 +278,7 @@ class LossyBloomPruner : public BooleanPruner {
 }  // namespace
 
 Result<std::vector<ScoredTuple>> SignatureCube::TopKLossy(
-    const TopKQuery& query, Pager* pager, ExecStats* stats) const {
+    const TopKQuery& query, IoSession* io, ExecStats* stats) const {
   if (!query.function) {
     return Status::InvalidArgument("query has no ranking function");
   }
@@ -296,11 +296,11 @@ Result<std::vector<ScoredTuple>> SignatureCube::TopKLossy(
   }
   if (blooms.empty()) {
     NullPruner pruner;
-    return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, pager, stats);
+    return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, io, stats);
   }
   LossyBloomPruner pruner(table_, query.predicates, std::move(blooms),
                           rtree_->max_entries());
-  return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, pager, stats);
+  return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, io, stats);
 }
 
 size_t SignatureCube::LossyBloomBytes() const {
@@ -339,7 +339,7 @@ size_t SignatureCube::BaselineBytes() const {
 // ------------------------------------------------------ SignaturePruner --
 
 void SignaturePruner::EnsureLoaded(size_t src, const std::vector<int>& path,
-                                   size_t len, Pager* pager,
+                                   size_t len, IoSession* io,
                                    ExecStats* stats) {
   const StoredSignature* stored = sources_[src].stored;
   if (stored == nullptr) return;
@@ -351,7 +351,7 @@ void SignaturePruner::EnsureLoaded(size_t src, const std::vector<int>& path,
     if (partial == SIZE_MAX) continue;
     auto key = std::make_pair(src, partial);
     if (loaded_.insert(key).second) {
-      pager->Access(IoCategory::kSignature,
+      io->Access(IoCategory::kSignature,
                     (static_cast<uint64_t>(src) << 48) ^ partial);
       ++stats->signature_pages;
     }
@@ -360,19 +360,19 @@ void SignaturePruner::EnsureLoaded(size_t src, const std::vector<int>& path,
 }
 
 bool SignaturePruner::MayContain(const std::vector<int>& node_path,
-                                 Pager* pager, ExecStats* stats) {
+                                 IoSession* io, ExecStats* stats) {
   for (size_t s = 0; s < sources_.size(); ++s) {
-    EnsureLoaded(s, node_path, node_path.size(), pager, stats);
+    EnsureLoaded(s, node_path, node_path.size(), io, stats);
     if (!sources_[s].sig->TestPath(node_path)) return false;
   }
   return true;
 }
 
 bool SignaturePruner::Qualifies(Tid tid, const std::vector<int>& tuple_path,
-                                Pager* pager, ExecStats* stats) {
+                                IoSession* io, ExecStats* stats) {
   (void)tid;
   // Leaf-entry bits are per-tuple, so the AND over sources is exact here.
-  return MayContain(tuple_path, pager, stats);
+  return MayContain(tuple_path, io, stats);
 }
 
 }  // namespace rankcube

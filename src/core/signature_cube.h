@@ -46,11 +46,11 @@ struct SignatureCuboid {
 
 class SignatureCube {
  public:
-  SignatureCube(const Table& table, const Pager& pager,
+  SignatureCube(const Table& table, IoSession& io,
                 SignatureCubeOptions options = SignatureCubeOptions());
 
   /// Algorithm 3 with signature boolean pruning.
-  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, Pager* pager,
+  Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, IoSession* io,
                                         ExecStats* stats) const;
 
   /// Builds the boolean pruner for a conjunction of predicates: one
@@ -64,7 +64,7 @@ class SignatureCube {
 
   /// Incremental maintenance (Algorithm 2) for tuples already appended to
   /// the table; updates the R-tree and all affected cell signatures.
-  void InsertBatch(const std::vector<Tid>& tids, Pager* pager);
+  void InsertBatch(const std::vector<Tid>& tids, IoSession* io);
 
   const RTree& rtree() const { return *rtree_; }
 
@@ -82,7 +82,7 @@ class SignatureCube {
   /// Query with the lossy bloom signatures (§4.5): bloom pruning plus
   /// per-candidate table verification. Requires lossy_bloom at build.
   Result<std::vector<ScoredTuple>> TopKLossy(const TopKQuery& query,
-                                             Pager* pager,
+                                             IoSession* io,
                                              ExecStats* stats) const;
 
  private:
@@ -112,14 +112,14 @@ class SignaturePruner : public BooleanPruner {
   explicit SignaturePruner(std::vector<Source> sources)
       : sources_(std::move(sources)) {}
 
-  bool MayContain(const std::vector<int>& node_path, Pager* pager,
+  bool MayContain(const std::vector<int>& node_path, IoSession* io,
                   ExecStats* stats) override;
-  bool Qualifies(Tid tid, const std::vector<int>& tuple_path, Pager* pager,
+  bool Qualifies(Tid tid, const std::vector<int>& tuple_path, IoSession* io,
                  ExecStats* stats) override;
 
  private:
   void EnsureLoaded(size_t src, const std::vector<int>& path, size_t len,
-                    Pager* pager, ExecStats* stats);
+                    IoSession* io, ExecStats* stats);
 
   std::vector<Source> sources_;
   std::set<std::pair<size_t, size_t>> loaded_;  ///< (source, partial) pairs

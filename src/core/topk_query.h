@@ -9,7 +9,7 @@
 
 #include "func/query.h"
 #include "storage/table.h"
-#include "storage/pager.h"
+#include "storage/io_session.h"
 
 namespace rankcube {
 

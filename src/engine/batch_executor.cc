@@ -1,18 +1,40 @@
 #include "engine/batch_executor.h"
 
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/stopwatch.h"
+
 namespace rankcube {
+
+namespace {
+
+/// Everything one finished query contributes to the report; filled into a
+/// per-query slot so merging is deterministic in workload order.
+struct QuerySlot {
+  bool executed = false;
+  Status status;
+  std::optional<TopKResult> result;  ///< set on success (moved into report
+                                     ///< when keep_results)
+  ExecStats stats;                   ///< copy kept even when result dropped
+};
+
+}  // namespace
 
 Result<BatchReport> BatchExecutor::Run(const std::vector<TopKQuery>& workload,
                                        ExecContext& ctx) const {
   if (engine_ == nullptr) {
     return Status::InvalidArgument("BatchExecutor has no engine");
   }
-  if (ctx.pager == nullptr) {
-    return Status::InvalidArgument("ExecContext has no pager");
+  if (ctx.io == nullptr) {
+    return Status::InvalidArgument("ExecContext has no I/O session");
   }
+  Stopwatch wall;
   BatchReport report;
   report.num_queries = workload.size();
-  uint64_t before = ctx.pager->TotalPhysical();
+  uint64_t before = ctx.io->TotalPhysical();
   for (const TopKQuery& query : workload) {
     Result<TopKResult> r = engine_->Execute(query, ctx);
     ++report.executed;
@@ -23,11 +45,104 @@ Result<BatchReport> BatchExecutor::Run(const std::vector<TopKQuery>& workload,
       continue;
     }
     report.total += r.value().stats;
+    if (options_.record_latencies) {
+      report.latencies_ms.push_back(r.value().stats.time_ms);
+    }
     if (options_.keep_results) {
       report.results.push_back(std::move(r).value());
     }
   }
-  report.physical_pages = ctx.pager->TotalPhysical() - before;
+  report.physical_pages = ctx.io->TotalPhysical() - before;
+  report.wall_ms = wall.ElapsedMs();
+  return report;
+}
+
+Result<BatchReport> BatchExecutor::ExecuteAll(
+    const std::vector<TopKQuery>& workload, const PageStore& store) const {
+  return ExecuteParallel(workload, store, 1);
+}
+
+Result<BatchReport> BatchExecutor::ExecuteParallel(
+    const std::vector<TopKQuery>& workload, const PageStore& store,
+    int num_threads) const {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument("BatchExecutor has no engine");
+  }
+  const size_t n = workload.size();
+  size_t workers = num_threads > 1 ? static_cast<size_t>(num_threads) : 1;
+  if (workers > n && n > 0) workers = n;
+
+  Stopwatch wall;
+  std::vector<QuerySlot> slots(n);
+  std::vector<IoSession> sessions(workers, IoSession(&store));
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> abort{false};
+
+  auto worker_loop = [&](size_t w) {
+    // One fresh session per query (budgets and counters are query-local),
+    // accumulated into the worker's session after each query; nothing here
+    // is shared mutably across threads except the store's internally
+    // locked cache.
+    while (true) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      if (abort.load(std::memory_order_relaxed)) break;
+      QuerySlot& slot = slots[i];
+      IoSession io(&store);
+      ExecContext ctx;
+      ctx.io = &io;
+      ctx.page_budget = options_.page_budget;
+      Result<TopKResult> r = engine_->Execute(workload[i], ctx);
+      sessions[w].MergeFrom(io);
+      slot.executed = true;
+      if (r.ok()) {
+        slot.stats = r.value().stats;
+        slot.result = std::move(r).value();
+      } else {
+        slot.status = r.status();
+        if (options_.stop_on_error) {
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) threads.emplace_back(worker_loop, w);
+    for (auto& t : threads) t.join();
+  }
+
+  // Deterministic merge in workload order, on the calling thread after the
+  // join (which orders every worker's writes before these reads).
+  BatchReport report;
+  report.num_queries = n;
+  for (QuerySlot& slot : slots) {
+    if (!slot.executed) continue;
+    ++report.executed;
+    if (!slot.result.has_value()) {
+      if (report.failed == 0) report.first_error = slot.status;
+      ++report.failed;
+      continue;
+    }
+    report.total += slot.stats;
+    if (options_.record_latencies) {
+      report.latencies_ms.push_back(slot.stats.time_ms);
+    }
+    if (options_.keep_results) {
+      report.results.push_back(std::move(*slot.result));
+    }
+  }
+  for (const IoSession& io : sessions) {
+    report.physical_pages += io.TotalPhysical();
+    for (int c = 0; c < static_cast<int>(IoCategory::kNumCategories); ++c) {
+      report.io[c] += io.stats(static_cast<IoCategory>(c));
+    }
+  }
+  report.wall_ms = wall.ElapsedMs();
   return report;
 }
 

@@ -1,11 +1,21 @@
 // Runs a workload vector through one RankingEngine and aggregates the
-// ExecStats — the loop every bench binary used to reimplement by hand. The
-// report carries totals (accumulated with ExecStats::operator+=) plus the
-// physical-page delta observed on the context's pager, and per-query
-// averages derived from them.
+// ExecStats — the loop every bench binary used to reimplement by hand.
+//
+// Three entry points:
+//  * Run(workload, ctx)            — sequential, inside a caller-owned
+//    ExecContext/IoSession (per-query budget and trace hook apply).
+//  * ExecuteAll(workload, store)   — sequential, one fresh IoSession per
+//    query against the shared PageStore.
+//  * ExecuteParallel(workload, store, num_threads) — worker pool; each
+//    worker owns its IoSession, so the only shared mutable state is the
+//    store's sharded cache. Per-query results and stats are collected into
+//    per-query slots and merged in workload order after the workers join,
+//    so the report (totals, results, latencies) is deterministic and
+//    tuple-identical to ExecuteAll regardless of scheduling.
 #ifndef RANKCUBE_ENGINE_BATCH_EXECUTOR_H_
 #define RANKCUBE_ENGINE_BATCH_EXECUTOR_H_
 
+#include <array>
 #include <vector>
 
 #include "engine/engine.h"
@@ -14,10 +24,21 @@ namespace rankcube {
 
 struct BatchOptions {
   /// Retain each query's TopKResult (memory-heavy for large workloads;
-  /// off = counters only).
+  /// off = counters only). Results are always in workload order.
   bool keep_results = false;
   /// Stop at the first failing query instead of counting and continuing.
+  /// Parallel execution stops dispatching new queries after a failure;
+  /// queries already in flight still finish.
   bool stop_on_error = false;
+  /// Physical-page budget applied to every query individually (0 = none);
+  /// used by ExecuteAll / ExecuteParallel, which build their own contexts.
+  /// Note: physical counts depend on buffer-cache state, so with a
+  /// cache-enabled store a borderline query's pass/fail can differ between
+  /// schedules (as in any system that admits by physical I/O).
+  uint64_t page_budget = 0;
+  /// Record every successful query's latency (ms, workload order) in
+  /// BatchReport::latencies_ms, for percentile reporting.
+  bool record_latencies = false;
 };
 
 struct BatchReport {
@@ -25,15 +46,29 @@ struct BatchReport {
   size_t executed = 0;     ///< queries actually run (< num_queries when
                            ///< stop_on_error cut the batch short)
   size_t failed = 0;
-  Status first_error;  ///< OK when failed == 0
+  Status first_error;  ///< earliest failure by workload order; OK when
+                       ///< failed == 0
 
-  ExecStats total;               ///< accumulated over successful queries
-  uint64_t physical_pages = 0;   ///< pager physical delta over the batch
+  ExecStats total;              ///< accumulated over successful queries
+  uint64_t physical_pages = 0;  ///< physical pages the batch's sessions read
+  /// Per-category physical/logical counters summed over the batch's
+  /// sessions (Run: the context session's delta is not split by category,
+  /// so this stays zero there).
+  std::array<IoStats, static_cast<int>(IoCategory::kNumCategories)> io{};
+  double wall_ms = 0.0;  ///< wall-clock of the whole batch (spawn to join)
 
-  std::vector<TopKResult> results;  ///< per query, when keep_results
+  std::vector<TopKResult> results;   ///< per query, when keep_results
+  std::vector<double> latencies_ms;  ///< per successful query, when
+                                     ///< record_latencies
 
   size_t succeeded() const { return executed - failed; }
   double AvgMs() const { return total.time_ms / Denom(); }
+  /// Queries per second by wall-clock — the scaling figure ExecuteParallel
+  /// exists to improve. 0 when wall time was not measured.
+  double Qps() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(succeeded()) / wall_ms
+                         : 0.0;
+  }
   double AvgPhysicalPages() const {
     return static_cast<double>(physical_pages) / Denom();
   }
@@ -62,10 +97,25 @@ class BatchExecutor {
 
   /// Executes the workload in order inside `ctx` (the per-query page budget
   /// and trace hook apply to each query individually). Only setup failures
-  /// (no pager) fail the whole batch; per-query errors are tallied in the
-  /// report unless stop_on_error is set.
+  /// (no I/O session) fail the whole batch; per-query errors are tallied in
+  /// the report unless stop_on_error is set.
   Result<BatchReport> Run(const std::vector<TopKQuery>& workload,
                           ExecContext& ctx) const;
+
+  /// Sequential execution against `store`, one fresh IoSession per query.
+  Result<BatchReport> ExecuteAll(const std::vector<TopKQuery>& workload,
+                                 const PageStore& store) const;
+
+  /// Executes the workload on `num_threads` workers (<= 1 falls back to
+  /// ExecuteAll). Queries are claimed from a shared atomic cursor and each
+  /// runs in a fresh IoSession against the shared `store`. Result tuples
+  /// are identical to sequential execution; only cache hit/miss
+  /// attribution (physical_pages — and therefore page_budget verdicts on
+  /// borderline queries, see BatchOptions) may differ, since workers race
+  /// for the shared buffer cache.
+  Result<BatchReport> ExecuteParallel(const std::vector<TopKQuery>& workload,
+                                      const PageStore& store,
+                                      int num_threads) const;
 
  private:
   const RankingEngine* engine_;

@@ -16,7 +16,7 @@ class GridCubeEngine final : public RankingEngine {
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
                                  ExecContext& ctx) const override {
     TopKResult out;
-    auto r = cube_->TopK(query, ctx.pager, &out.stats);
+    auto r = cube_->TopK(query, ctx.io, &out.stats);
     if (!r.ok()) return r.status();
     out.tuples = std::move(r).value();
     return out;
@@ -37,7 +37,7 @@ class FragmentsEngine final : public RankingEngine {
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
                                  ExecContext& ctx) const override {
     TopKResult out;
-    auto r = fragments_->TopK(query, ctx.pager, &out.stats);
+    auto r = fragments_->TopK(query, ctx.io, &out.stats);
     if (!r.ok()) return r.status();
     out.tuples = std::move(r).value();
     return out;
@@ -63,8 +63,8 @@ class SignatureCubeEngine final : public RankingEngine {
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
                                  ExecContext& ctx) const override {
     TopKResult out;
-    auto r = lossy_ ? cube_->TopKLossy(query, ctx.pager, &out.stats)
-                    : cube_->TopK(query, ctx.pager, &out.stats);
+    auto r = lossy_ ? cube_->TopKLossy(query, ctx.io, &out.stats)
+                    : cube_->TopK(query, ctx.io, &out.stats);
     if (!r.ok()) return r.status();
     out.tuples = std::move(r).value();
     return out;
@@ -84,7 +84,7 @@ class TableScanEngine final : public RankingEngine {
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
                                  ExecContext& ctx) const override {
     TopKResult out;
-    auto r = TableScanTopK(table(), query, ctx.pager, &out.stats);
+    auto r = TableScanTopK(table(), query, ctx.io, &out.stats);
     if (!r.ok()) return r.status();
     out.tuples = std::move(r).value();
     return out;
@@ -102,7 +102,7 @@ class BooleanFirstEngine final : public RankingEngine {
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
                                  ExecContext& ctx) const override {
     TopKResult out;
-    auto r = baseline_->TopK(query, ctx.pager, &out.stats);
+    auto r = baseline_->TopK(query, ctx.io, &out.stats);
     if (!r.ok()) return r.status();
     out.tuples = std::move(r).value();
     return out;
@@ -125,7 +125,7 @@ class RankingFirstEngine final : public RankingEngine {
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
                                  ExecContext& ctx) const override {
     TopKResult out;
-    auto r = baseline_.TopK(query, ctx.pager, &out.stats);
+    auto r = baseline_.TopK(query, ctx.io, &out.stats);
     if (!r.ok()) return r.status();
     out.tuples = std::move(r).value();
     return out;
@@ -147,7 +147,7 @@ class RankMappingEngine final : public RankingEngine {
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
                                  ExecContext& ctx) const override {
     TopKResult out;
-    auto r = baseline_->TopK(query, OptimalKthScore(query), ctx.pager,
+    auto r = baseline_->TopK(query, OptimalKthScore(query), ctx.io,
                              &out.stats);
     if (!r.ok()) return r.status();
     out.tuples = std::move(r).value();
@@ -183,7 +183,7 @@ class IndexMergeEngine final : public RankingEngine {
                                  ExecContext& ctx) const override {
     TopKResult out;
     out.tuples = IndexMergeTopK(table(), indices_, query.function, query.k,
-                                options_, ctx.pager, &out.stats);
+                                options_, ctx.io, &out.stats);
     return out;
   }
 

@@ -4,8 +4,8 @@ namespace rankcube {
 
 Result<TopKResult> RankingEngine::Execute(const TopKQuery& query,
                                           ExecContext& ctx) const {
-  if (ctx.pager == nullptr) {
-    return Status::InvalidArgument("ExecContext has no pager");
+  if (ctx.io == nullptr) {
+    return Status::InvalidArgument("ExecContext has no I/O session");
   }
   RC_RETURN_IF_ERROR(ValidateQuery(query, table_->schema()));
   if (!SupportsPredicates() && !query.predicates.empty()) {
@@ -14,9 +14,9 @@ Result<TopKResult> RankingEngine::Execute(const TopKQuery& query,
   }
   ctx.Trace(name_ + ": " + query.ToString());
 
-  uint64_t before = ctx.pager->TotalPhysical();
+  uint64_t before = ctx.io->TotalPhysical();
   Result<TopKResult> result = ExecuteImpl(query, ctx);
-  uint64_t physical = ctx.pager->TotalPhysical() - before;
+  uint64_t physical = ctx.io->TotalPhysical() - before;
 
   if (!result.ok()) {
     // The engine's own failure outranks a budget overrun: an admission

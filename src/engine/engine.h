@@ -17,15 +17,16 @@
 
 #include "core/topk_query.h"
 #include "func/query.h"
-#include "storage/pager.h"
+#include "storage/io_session.h"
 #include "storage/table.h"
 
 namespace rankcube {
 
-/// Per-query execution environment: the simulated block device every page
-/// access is charged to, an optional I/O budget, and an optional trace hook.
+/// Per-query execution environment: the I/O session every page access is
+/// charged to (one session per query or worker thread — never shared
+/// across threads), an optional I/O budget, and an optional trace hook.
 struct ExecContext {
-  Pager* pager = nullptr;
+  IoSession* io = nullptr;
 
   /// Physical pages one query may read; 0 = unlimited. Exceeding the budget
   /// fails the query with Status::OutOfRange (the result is discarded), the

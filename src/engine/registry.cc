@@ -19,7 +19,7 @@ struct MergeBundle {
 };
 
 Result<std::unique_ptr<RankingEngine>> BuildIndexMerge(
-    const Table& table, const Pager& pager, const EngineBuildOptions& opts) {
+    const Table& table, IoSession& io, const EngineBuildOptions& opts) {
   if (table.num_rank_dims() < 1) {
     return Status::InvalidArgument("index_merge needs ranking dimensions");
   }
@@ -27,7 +27,7 @@ Result<std::unique_ptr<RankingEngine>> BuildIndexMerge(
   std::vector<const MergeIndex*> raw;
   for (int d = 0; d < table.num_rank_dims(); ++d) {
     bundle->btrees.push_back(std::make_unique<BTree>(
-        table, d, pager, BTreeOptions{.fanout = opts.merge_btree_fanout}));
+        table, d, io, BTreeOptions{.fanout = opts.merge_btree_fanout}));
     bundle->indices.push_back(
         std::make_unique<BTreeMergeIndex>(bundle->btrees.back().get(), d));
     raw.push_back(bundle->indices.back().get());
@@ -54,63 +54,63 @@ void RegisterBuiltins(EngineRegistry* registry) {
     assert(s.ok());
   };
 
-  must("grid", [](const Table& table, const Pager& pager,
+  must("grid", [](const Table& table, IoSession& io,
                   const EngineBuildOptions& opts)
            -> Result<std::unique_ptr<RankingEngine>> {
     return MakeGridCubeEngine(
-        table, std::make_shared<GridRankingCube>(table, pager, opts.grid));
+        table, std::make_shared<GridRankingCube>(table, io, opts.grid));
   });
 
-  must("fragments", [](const Table& table, const Pager& pager,
+  must("fragments", [](const Table& table, IoSession& io,
                        const EngineBuildOptions& opts)
            -> Result<std::unique_ptr<RankingEngine>> {
     return MakeFragmentsEngine(
         table,
-        std::make_shared<RankingFragments>(table, pager, opts.fragments));
+        std::make_shared<RankingFragments>(table, io, opts.fragments));
   });
 
-  must("signature", [](const Table& table, const Pager& pager,
+  must("signature", [](const Table& table, IoSession& io,
                        const EngineBuildOptions& opts)
            -> Result<std::unique_ptr<RankingEngine>> {
     return MakeSignatureCubeEngine(
-        table, std::make_shared<SignatureCube>(table, pager, opts.signature),
+        table, std::make_shared<SignatureCube>(table, io, opts.signature),
         /*lossy=*/false);
   });
 
-  must("signature_lossy", [](const Table& table, const Pager& pager,
+  must("signature_lossy", [](const Table& table, IoSession& io,
                              const EngineBuildOptions& opts)
            -> Result<std::unique_ptr<RankingEngine>> {
     SignatureCubeOptions sig = opts.signature;
     sig.lossy_bloom = true;
     return MakeSignatureCubeEngine(
-        table, std::make_shared<SignatureCube>(table, pager, sig),
+        table, std::make_shared<SignatureCube>(table, io, sig),
         /*lossy=*/true);
   });
 
-  must("table_scan", [](const Table& table, const Pager&,
+  must("table_scan", [](const Table& table, IoSession&,
                         const EngineBuildOptions&)
            -> Result<std::unique_ptr<RankingEngine>> {
     return MakeTableScanEngine(table);
   });
 
-  must("boolean_first", [](const Table& table, const Pager&,
+  must("boolean_first", [](const Table& table, IoSession&,
                            const EngineBuildOptions&)
            -> Result<std::unique_ptr<RankingEngine>> {
     return MakeBooleanFirstEngine(table, std::make_shared<BooleanFirst>(table));
   });
 
-  must("ranking_first", [](const Table& table, const Pager& pager,
+  must("ranking_first", [](const Table& table, IoSession& io,
                            const EngineBuildOptions&)
            -> Result<std::unique_ptr<RankingEngine>> {
     if (table.num_rank_dims() < 1) {
       return Status::InvalidArgument("ranking_first needs ranking dimensions");
     }
-    auto rtree = std::make_shared<RTree>(table.num_rank_dims(), pager);
+    auto rtree = std::make_shared<RTree>(table.num_rank_dims(), io);
     rtree->BulkLoadSTR(table);
     return MakeRankingFirstEngine(table, std::move(rtree));
   });
 
-  must("rank_mapping", [](const Table& table, const Pager&,
+  must("rank_mapping", [](const Table& table, IoSession&,
                           const EngineBuildOptions& opts)
            -> Result<std::unique_ptr<RankingEngine>> {
     std::vector<std::vector<int>> groups = opts.rank_mapping_groups;
@@ -162,7 +162,7 @@ std::vector<std::string> EngineRegistry::Names() const {
 }
 
 Result<std::unique_ptr<RankingEngine>> EngineRegistry::Create(
-    const std::string& name, const Table& table, const Pager& pager,
+    const std::string& name, const Table& table, IoSession& io,
     const EngineBuildOptions& options) const {
   EngineFactory factory;
   {
@@ -173,7 +173,7 @@ Result<std::unique_ptr<RankingEngine>> EngineRegistry::Create(
     }
     factory = it->second;
   }
-  return factory(table, pager, options);
+  return factory(table, io, options);
 }
 
 }  // namespace rankcube

@@ -47,7 +47,7 @@ struct EngineBuildOptions {
 };
 
 using EngineFactory = std::function<Result<std::unique_ptr<RankingEngine>>(
-    const Table&, const Pager&, const EngineBuildOptions&)>;
+    const Table&, IoSession&, const EngineBuildOptions&)>;
 
 class EngineRegistry {
  public:
@@ -62,11 +62,12 @@ class EngineRegistry {
   /// Registered keys, sorted.
   std::vector<std::string> Names() const;
 
-  /// Builds the engine `name` over `table`. Build-time page charges go to
-  /// copies of `pager`'s configuration (matching how the seed constructors
-  /// take `const Pager&` for sizing only).
+  /// Builds the engine `name` over `table`. `io` is the construction
+  /// session: factories read page geometry from it and charge build-time
+  /// I/O to it (grid/fragments report construction_pages from exactly
+  /// these charges).
   Result<std::unique_ptr<RankingEngine>> Create(
-      const std::string& name, const Table& table, const Pager& pager,
+      const std::string& name, const Table& table, IoSession& io,
       const EngineBuildOptions& options = EngineBuildOptions()) const;
 
  private:

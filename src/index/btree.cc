@@ -5,14 +5,14 @@
 
 namespace rankcube {
 
-BTree::BTree(const Table& table, int dim, const Pager& pager,
+BTree::BTree(const Table& table, int dim, IoSession& io,
              BTreeOptions options)
     : dim_(dim) {
   // ~20 bytes/entry (8-byte key + pointer + overhead) -> fanout 204 at 4 KB,
   // the figure the thesis quotes (§5.1.3).
   fanout_ = options.fanout > 0
                 ? options.fanout
-                : std::max<int>(4, static_cast<int>(pager.page_size() / 20));
+                : std::max<int>(4, static_cast<int>(io.page_size() / 20));
 
   std::vector<std::pair<double, Tid>> sorted;
   sorted.reserve(table.num_rows());

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/geometry.h"
-#include "storage/pager.h"
+#include "storage/io_session.h"
 #include "storage/table.h"
 
 namespace rankcube {
@@ -39,7 +39,7 @@ struct BTreeOptions {
 class BTree {
  public:
   /// Builds the index over `table`'s ranking column `dim`.
-  BTree(const Table& table, int dim, const Pager& pager,
+  BTree(const Table& table, int dim, IoSession& io,
         BTreeOptions options = BTreeOptions());
 
   int attribute() const { return dim_; }
@@ -49,9 +49,9 @@ class BTree {
   size_t num_nodes() const { return nodes_.size(); }
   const BTreeNode& node(uint32_t id) const { return nodes_[id]; }
 
-  /// Charge one node read to the pager (category kBTree).
-  void ChargeNodeAccess(Pager* pager, uint32_t id) const {
-    pager->Access(IoCategory::kBTree,
+  /// Charge one node read to the session (category kBTree).
+  void ChargeNodeAccess(IoSession* io, uint32_t id) const {
+    io->Access(IoCategory::kBTree,
                   (static_cast<uint64_t>(dim_) << 32) | id);
   }
 

@@ -41,7 +41,7 @@ int CompositeIndex::PrefixMatch(
 
 CompositeIndex::RangeResult CompositeIndex::RangeQuery(
     const std::vector<Predicate>& predicates, const Box& rank_box,
-    Pager* pager) const {
+    IoSession* io) const {
   // Values for the matched index prefix.
   int prefix = PrefixMatch(predicates);
   std::vector<int32_t> prefix_vals(prefix);
@@ -112,9 +112,9 @@ CompositeIndex::RangeResult CompositeIndex::RangeQuery(
 
   // Charge: one seek + sequential pages of the region (clustered index rows
   // pack like heap rows).
-  size_t rpp = table_.RowsPerPage(*pager);
+  size_t rpp = table_.RowsPerPage(io->page_size());
   uint64_t pages = (res.scanned + rpp - 1) / rpp;
-  pager->Access(IoCategory::kComposite, lo / std::max<size_t>(1, rpp),
+  io->Access(IoCategory::kComposite, lo / std::max<size_t>(1, rpp),
                 std::max<uint64_t>(1, pages));
   return res;
 }

@@ -13,7 +13,7 @@
 
 #include "common/geometry.h"
 #include "func/query.h"
-#include "storage/pager.h"
+#include "storage/io_session.h"
 #include "storage/table.h"
 
 namespace rankcube {
@@ -35,7 +35,7 @@ class CompositeIndex {
   /// over the ranking dimensions. Charges sequential pages of the scanned
   /// region.
   RangeResult RangeQuery(const std::vector<Predicate>& predicates,
-                         const Box& rank_box, Pager* pager) const;
+                         const Box& rank_box, IoSession* io) const;
 
   /// How many of the query's predicates line up with the index prefix; used
   /// by the rank-mapping baseline to pick the best fragment index.

@@ -23,10 +23,10 @@ const std::vector<Tid>& PostingIndex::Lookup(int dim, int32_t value) const {
   return lists_[dim][value];
 }
 
-void PostingIndex::ChargeListScan(Pager* pager, int dim, int32_t value) const {
+void PostingIndex::ChargeListScan(IoSession* io, int dim, int32_t value) const {
   size_t bytes = Lookup(dim, value).size() * sizeof(Tid);
-  uint64_t pages = (bytes + pager->page_size() - 1) / pager->page_size();
-  pager->Access(IoCategory::kPosting, (uint64_t{static_cast<uint32_t>(dim)}
+  uint64_t pages = (bytes + io->page_size() - 1) / io->page_size();
+  io->Access(IoCategory::kPosting, (uint64_t{static_cast<uint32_t>(dim)}
                                        << 40) |
                                           static_cast<uint32_t>(value),
                 std::max<uint64_t>(1, pages));

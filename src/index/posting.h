@@ -7,7 +7,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "storage/pager.h"
+#include "storage/io_session.h"
 #include "storage/table.h"
 
 namespace rankcube {
@@ -27,7 +27,7 @@ class PostingIndex {
   }
 
   /// Charge the sequential pages of scanning one posting list.
-  void ChargeListScan(Pager* pager, int dim, int32_t value) const;
+  void ChargeListScan(IoSession* io, int dim, int32_t value) const;
 
   size_t SizeBytes() const;
 

@@ -27,14 +27,14 @@ double EnlargedArea(const Box& b, const Box& add) {
 
 }  // namespace
 
-RTree::RTree(int dims, const Pager& pager, RTreeOptions options)
+RTree::RTree(int dims, IoSession& io, RTreeOptions options)
     : dims_(dims) {
   // Entry = d coordinates + pointer: 8d + 4 bytes -> M = 204 (2d) / ~94 (5d)
   // at 4 KB pages, matching §4.2.2.
   max_entries_ =
       options.max_entries > 0
           ? options.max_entries
-          : std::max<int>(4, static_cast<int>(pager.page_size() /
+          : std::max<int>(4, static_cast<int>(io.page_size() /
                                               (8 * dims + 4)));
   min_entries_ = options.min_entries > 0
                      ? options.min_entries

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/geometry.h"
-#include "storage/pager.h"
+#include "storage/io_session.h"
 #include "storage/table.h"
 
 namespace rankcube {
@@ -49,7 +49,7 @@ struct RTreeOptions {
 
 class RTree {
  public:
-  RTree(int dims, const Pager& pager, RTreeOptions options = RTreeOptions());
+  RTree(int dims, IoSession& io, RTreeOptions options = RTreeOptions());
 
   /// Bulk-loads with Sort-Tile-Recursive packing; tree must be empty.
   /// `dims` selects which ranking columns feed the tree's coordinates
@@ -77,8 +77,8 @@ class RTree {
   /// Levels, root = level 1; leaves are at level depth().
   int depth() const;
 
-  void ChargeNodeAccess(Pager* pager, uint32_t id) const {
-    pager->Access(IoCategory::kRTree, id);
+  void ChargeNodeAccess(IoSession* io, uint32_t id) const {
+    io->Access(IoCategory::kRTree, id);
   }
 
   /// 1-based child positions addressing node `id` from the root.

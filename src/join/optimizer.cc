@@ -21,7 +21,7 @@ double EstimateMatches(const Table& table, const PostingIndex& posting,
 
 AccessPlan ChooseAccessPath(const Table& table, const PostingIndex& posting,
                             const std::vector<Predicate>& predicates, int k,
-                            const Pager& pager) {
+                            const PageStore& store) {
   AccessPlan plan;
   plan.est_matches = EstimateMatches(table, posting, predicates);
 
@@ -33,7 +33,7 @@ AccessPlan ChooseAccessPath(const Table& table, const PostingIndex& posting,
         min_list, static_cast<double>(posting.ListSize(p.dim, p.value)));
   }
   double materialize_cost =
-      predicates.empty() ? static_cast<double>(table.NumPages(pager))
+      predicates.empty() ? static_cast<double>(table.NumPages(store.page_size()))
                          : min_list + 1.0;
 
   // Cube-stream plan: the join typically consumes a few k' >= k tuples per

@@ -34,7 +34,7 @@ double EstimateMatches(const Table& table, const PostingIndex& posting,
 /// stream only touches what the join consumes.
 AccessPlan ChooseAccessPath(const Table& table, const PostingIndex& posting,
                             const std::vector<Predicate>& predicates, int k,
-                            const Pager& pager);
+                            const PageStore& store);
 
 }  // namespace rankcube
 

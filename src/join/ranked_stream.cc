@@ -6,12 +6,12 @@ CubeRankedStream::CubeRankedStream(const Table& table,
                                    const SignatureCube& cube,
                                    RankingFunctionPtr function,
                                    std::unique_ptr<BooleanPruner> pruner,
-                                   Pager* pager, ExecStats* stats)
+                                   IoSession* io, ExecStats* stats)
     : table_(table),
       cube_(cube),
       f_(std::move(function)),
       pruner_(std::move(pruner)),
-      pager_(pager),
+      io_(io),
       stats_(stats) {
   const RTree& rtree = cube_.rtree();
   heap_.push({f_->LowerBound(rtree.node(rtree.root()).mbr), false,
@@ -26,7 +26,7 @@ bool CubeRankedStream::GetNext(Tid* tid, double* score) {
     heap_.pop();
     if (e.is_tuple) {
       if (pruner_ == nullptr ||
-          pruner_->Qualifies(e.tid, e.path, pager_, stats_)) {
+          pruner_->Qualifies(e.tid, e.path, io_, stats_)) {
         *tid = e.tid;
         *score = e.score;
         return true;
@@ -34,11 +34,11 @@ bool CubeRankedStream::GetNext(Tid* tid, double* score) {
       continue;
     }
     if (pruner_ != nullptr &&
-        !pruner_->MayContain(e.path, pager_, stats_)) {
+        !pruner_->MayContain(e.path, io_, stats_)) {
       continue;
     }
     const RTreeNode& node = rtree.node(e.node_id);
-    rtree.ChargeNodeAccess(pager_, e.node_id);
+    rtree.ChargeNodeAccess(io_, e.node_id);
     if (node.is_leaf) {
       for (size_t i = 0; i < node.entries.size(); ++i) {
         Entry t;

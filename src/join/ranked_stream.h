@@ -32,10 +32,10 @@ class RankedStream {
 class CubeRankedStream : public RankedStream {
  public:
   /// `pruner` may be nullptr (no predicates). Keeps references; the cube,
-  /// pager and stats must outlive the stream.
+  /// session and stats must outlive the stream.
   CubeRankedStream(const Table& table, const SignatureCube& cube,
                    RankingFunctionPtr function,
-                   std::unique_ptr<BooleanPruner> pruner, Pager* pager,
+                   std::unique_ptr<BooleanPruner> pruner, IoSession* io,
                    ExecStats* stats);
 
   bool GetNext(Tid* tid, double* score) override;
@@ -55,7 +55,7 @@ class CubeRankedStream : public RankedStream {
   const SignatureCube& cube_;
   RankingFunctionPtr f_;
   std::unique_ptr<BooleanPruner> pruner_;
-  Pager* pager_;
+  IoSession* io_;
   ExecStats* stats_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
 };

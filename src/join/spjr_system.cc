@@ -10,7 +10,10 @@ namespace rankcube {
 int SpjrSystem::AddRelation(const Table& table) {
   auto rel = std::make_unique<Relation>();
   rel->table = &table;
-  rel->cube = std::make_unique<SignatureCube>(table, pager_template_);
+  // Relation structures are built under a throwaway construction session;
+  // only the store's geometry outlives the call.
+  IoSession build_io(&store_);
+  rel->cube = std::make_unique<SignatureCube>(table, build_io);
   rel->posting = std::make_unique<PostingIndex>(table);
   relations_.push_back(std::move(rel));
   return static_cast<int>(relations_.size()) - 1;
@@ -20,11 +23,11 @@ AccessPlan SpjrSystem::Plan(const SpjrQuery& query, int relation) const {
   const Relation& rel = *relations_[relation];
   return ChooseAccessPath(*rel.table, *rel.posting,
                           query.relations[relation].predicates, query.k,
-                          pager_template_);
+                          store_);
 }
 
 std::vector<ScoredTuple> SpjrSystem::MaterializeSorted(
-    const Relation& rel, const SpjrRelationQuery& q, Pager* pager,
+    const Relation& rel, const SpjrRelationQuery& q, IoSession* io,
     ExecStats* stats) const {
   // Boolean-first: most selective posting list, fetch + verify + score.
   std::vector<ScoredTuple> out;
@@ -39,7 +42,7 @@ std::vector<ScoredTuple> SpjrSystem::MaterializeSorted(
         best = &p;
       }
     }
-    rel.posting->ChargeListScan(pager, best->dim, best->value);
+    rel.posting->ChargeListScan(io, best->dim, best->value);
     list = &rel.posting->Lookup(best->dim, best->value);
   }
   auto consider = [&](Tid t) {
@@ -54,11 +57,11 @@ std::vector<ScoredTuple> SpjrSystem::MaterializeSorted(
   };
   if (list != nullptr) {
     for (Tid t : *list) {
-      table.ChargeRowFetch(pager, t);
+      table.ChargeRowFetch(io, t);
       consider(t);
     }
   } else {
-    table.ChargeFullScan(pager);
+    table.ChargeFullScan(io);
     for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) consider(t);
   }
   std::sort(out.begin(), out.end());
@@ -66,13 +69,13 @@ std::vector<ScoredTuple> SpjrSystem::MaterializeSorted(
 }
 
 Result<std::vector<JoinedResult>> SpjrSystem::TopK(
-    const SpjrQuery& query, Pager* pager, ExecStats* stats,
+    const SpjrQuery& query, IoSession* io, ExecStats* stats,
     RankJoinStats* join_stats) {
   if (query.relations.size() != relations_.size()) {
     return Status::InvalidArgument("query arity != registered relations");
   }
   Stopwatch watch;
-  uint64_t pages_before = pager->TotalPhysical();
+  uint64_t pages_before = io->TotalPhysical();
 
   std::vector<std::unique_ptr<RankedStream>> streams;
   for (size_t r = 0; r < relations_.size(); ++r) {
@@ -83,13 +86,13 @@ Result<std::vector<JoinedResult>> SpjrSystem::TopK(
     AccessPlan plan = Plan(query, static_cast<int>(r));
     if (plan.kind == AccessPlan::Kind::kMaterializeSort) {
       streams.push_back(std::make_unique<SortedVectorStream>(
-          MaterializeSorted(*relations_[r], rq, pager, stats)));
+          MaterializeSorted(*relations_[r], rq, io, stats)));
     } else {
       auto pruner = relations_[r]->cube->MakePruner(rq.predicates);
       if (!pruner.ok()) return pruner.status();
       streams.push_back(std::make_unique<CubeRankedStream>(
           *relations_[r]->table, *relations_[r]->cube, rq.function,
-          std::move(std::move(pruner).value()), pager, stats));
+          std::move(std::move(pruner).value()), io, stats));
     }
   }
 
@@ -102,24 +105,24 @@ Result<std::vector<JoinedResult>> SpjrSystem::TopK(
   auto results = MultiWayRankJoin(raw, key_fn, query.k, join_stats);
 
   stats->time_ms += watch.ElapsedMs();
-  stats->pages_read += pager->TotalPhysical() - pages_before;
+  stats->pages_read += io->TotalPhysical() - pages_before;
   return results;
 }
 
 Result<std::vector<JoinedResult>> SpjrSystem::BaselineTopK(
-    const SpjrQuery& query, Pager* pager, ExecStats* stats) const {
+    const SpjrQuery& query, IoSession* io, ExecStats* stats) const {
   if (query.relations.size() != relations_.size()) {
     return Status::InvalidArgument("query arity != registered relations");
   }
   Stopwatch watch;
-  uint64_t pages_before = pager->TotalPhysical();
+  uint64_t pages_before = io->TotalPhysical();
 
   // Filter + score every relation by full scan, then hash-join all.
   std::vector<std::vector<ScoredTuple>> inputs(relations_.size());
   for (size_t r = 0; r < relations_.size(); ++r) {
     const auto& rq = query.relations[r];
     const Table& table = *relations_[r]->table;
-    table.ChargeFullScan(pager);
+    table.ChargeFullScan(io);
     std::vector<double> point(table.num_rank_dims());
     for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
       bool ok = true;
@@ -207,7 +210,7 @@ Result<std::vector<JoinedResult>> SpjrSystem::BaselineTopK(
   if (all.size() > static_cast<size_t>(query.k)) all.resize(query.k);
 
   stats->time_ms += watch.ElapsedMs();
-  stats->pages_read += pager->TotalPhysical() - pages_before;
+  stats->pages_read += io->TotalPhysical() - pages_before;
   return all;
 }
 

@@ -31,7 +31,9 @@ struct SpjrQuery {
 
 class SpjrSystem {
  public:
-  explicit SpjrSystem(const Pager& pager) : pager_template_(pager) {}
+  /// `store` provides the page geometry for every registered relation's
+  /// structures and must outlive the system.
+  explicit SpjrSystem(const PageStore& store) : store_(store) {}
 
   /// Registers a relation (kept by reference; must outlive the system) and
   /// builds its ranking cube + posting indices. Returns the relation slot.
@@ -39,14 +41,14 @@ class SpjrSystem {
 
   /// Rank-aware execution: optimizer -> rank-aware selections -> multi-way
   /// rank join.
-  Result<std::vector<JoinedResult>> TopK(const SpjrQuery& query, Pager* pager,
+  Result<std::vector<JoinedResult>> TopK(const SpjrQuery& query, IoSession* io,
                                          ExecStats* stats,
                                          RankJoinStats* join_stats = nullptr);
 
   /// Conventional plan: filter + full hash join + sort, for §6.4's
   /// comparison.
   Result<std::vector<JoinedResult>> BaselineTopK(const SpjrQuery& query,
-                                                 Pager* pager,
+                                                 IoSession* io,
                                                  ExecStats* stats) const;
 
   /// The plan the optimizer would pick for one relation of `query`.
@@ -64,10 +66,10 @@ class SpjrSystem {
   };
 
   std::vector<ScoredTuple> MaterializeSorted(
-      const Relation& rel, const SpjrRelationQuery& q, Pager* pager,
+      const Relation& rel, const SpjrRelationQuery& q, IoSession* io,
       ExecStats* stats) const;
 
-  const Pager& pager_template_;
+  const PageStore& store_;
   std::vector<std::unique_ptr<Relation>> relations_;
 };
 

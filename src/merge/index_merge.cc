@@ -33,12 +33,12 @@ class Engine {
  public:
   Engine(const Table& table, const std::vector<const MergeIndex*>& indices,
          const RankingFunctionPtr& function, int k,
-         const MergeOptions& options, Pager* pager, ExecStats* stats)
+         const MergeOptions& options, IoSession* io, ExecStats* stats)
       : table_(table),
         indices_(indices),
         f_(function),
         options_(options),
-        pager_(pager),
+        io_(io),
         stats_(stats),
         topk_(k),
         accessed_(indices.size()),
@@ -49,7 +49,7 @@ class Engine {
 
   std::vector<ScoredTuple> Run() {
     Stopwatch watch;
-    uint64_t pages_before = pager_->TotalPhysical();
+    uint64_t pages_before = io_->TotalPhysical();
 
     State* root = NewState();
     root->nodes.reserve(indices_.size());
@@ -87,7 +87,7 @@ class Engine {
     }
 
     stats_->time_ms += watch.ElapsedMs();
-    stats_->pages_read += pager_->TotalPhysical() - pages_before;
+    stats_->pages_read += io_->TotalPhysical() - pages_before;
     return topk_.Sorted();
   }
 
@@ -103,7 +103,7 @@ class Engine {
 
   void ChargeNodeOnce(size_t i, uint32_t node) {
     if (accessed_[i].insert(node).second) {
-      indices_[i]->ChargeAccess(pager_, node);
+      indices_[i]->ChargeAccess(io_, node);
     }
   }
 
@@ -124,7 +124,7 @@ class Engine {
   void ChargeSignature(const StateKey& key) {
     uint64_t h = StateKeyHash{}(key);
     if (signature_loaded_.insert(h).second) {
-      pager_->Access(IoCategory::kJoinSignature, h);
+      io_->Access(IoCategory::kJoinSignature, h);
       ++stats_->signature_pages;
     }
   }
@@ -278,7 +278,7 @@ class Engine {
   const std::vector<const MergeIndex*>& indices_;
   RankingFunctionPtr f_;
   const MergeOptions& options_;
-  Pager* pager_;
+  IoSession* io_;
   ExecStats* stats_;
   TopKHeap topk_;
 
@@ -300,8 +300,8 @@ class Engine {
 std::vector<ScoredTuple> IndexMergeTopK(
     const Table& table, const std::vector<const MergeIndex*>& indices,
     const RankingFunctionPtr& function, int k, const MergeOptions& options,
-    Pager* pager, ExecStats* stats) {
-  Engine engine(table, indices, function, k, options, pager, stats);
+    IoSession* io, ExecStats* stats) {
+  Engine engine(table, indices, function, k, options, io, stats);
   return engine.Run();
 }
 

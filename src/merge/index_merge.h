@@ -37,7 +37,7 @@ struct MergeOptions {
 std::vector<ScoredTuple> IndexMergeTopK(
     const Table& table, const std::vector<const MergeIndex*>& indices,
     const RankingFunctionPtr& function, int k, const MergeOptions& options,
-    Pager* pager, ExecStats* stats);
+    IoSession* io, ExecStats* stats);
 
 }  // namespace rankcube
 

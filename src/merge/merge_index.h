@@ -12,7 +12,7 @@
 #include "common/geometry.h"
 #include "index/btree.h"
 #include "index/rtree.h"
-#include "storage/pager.h"
+#include "storage/io_session.h"
 #include "storage/table.h"
 
 namespace rankcube {
@@ -34,7 +34,7 @@ class MergeIndex {
   /// True when child entries are totally ordered along one attribute.
   virtual bool ordered() const = 0;
   virtual int fanout() const = 0;
-  virtual void ChargeAccess(Pager* pager, uint32_t id) const = 0;
+  virtual void ChargeAccess(IoSession* io, uint32_t id) const = 0;
   /// Node-granularity tuple paths (no leaf entry position), for
   /// join-signature construction (§5.3.2). Indexed by tid.
   virtual std::vector<std::vector<int>> TupleNodePaths() const = 0;
@@ -68,8 +68,8 @@ class BTreeMergeIndex : public MergeIndex {
   }
   bool ordered() const override { return true; }
   int fanout() const override { return tree_->fanout(); }
-  void ChargeAccess(Pager* pager, uint32_t id) const override {
-    tree_->ChargeNodeAccess(pager, id);
+  void ChargeAccess(IoSession* io, uint32_t id) const override {
+    tree_->ChargeNodeAccess(io, id);
   }
   std::vector<std::vector<int>> TupleNodePaths() const override {
     return tree_->TuplePaths();
@@ -106,8 +106,8 @@ class RTreeMergeIndex : public MergeIndex {
   }
   bool ordered() const override { return false; }
   int fanout() const override { return tree_->max_entries(); }
-  void ChargeAccess(Pager* pager, uint32_t id) const override {
-    tree_->ChargeNodeAccess(pager, id);
+  void ChargeAccess(IoSession* io, uint32_t id) const override {
+    tree_->ChargeNodeAccess(io, id);
   }
   std::vector<std::vector<int>> TupleNodePaths() const override {
     return tree_->TupleNodePaths();

@@ -74,11 +74,11 @@ struct HeapEntry {
 
 std::vector<Tid> BBSSkyline(const Table& table, const RTree& rtree,
                             const SkylineTransform& transform,
-                            BooleanPruner* pruner, Pager* pager,
+                            BooleanPruner* pruner, IoSession* io,
                             ExecStats* stats, BBSJournal* journal,
                             const std::vector<BBSJournal::Entry>* seed) {
   Stopwatch watch;
-  uint64_t pages_before = pager->TotalPhysical();
+  uint64_t pages_before = io->TotalPhysical();
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
   uint64_t seq = 0;
@@ -116,7 +116,7 @@ std::vector<Tid> BBSSkyline(const Table& table, const RTree& rtree,
         continue;
       }
       if (pruner != nullptr &&
-          !pruner->Qualifies(e.tid, e.path, pager, stats)) {
+          !pruner->Qualifies(e.tid, e.path, io, stats)) {
         if (journal) journal->boolean_pruned.push_back(std::move(e));
         continue;
       }
@@ -133,11 +133,11 @@ std::vector<Tid> BBSSkyline(const Table& table, const RTree& rtree,
       if (journal) journal->dominated.push_back(std::move(e));
       continue;
     }
-    if (pruner != nullptr && !pruner->MayContain(e.path, pager, stats)) {
+    if (pruner != nullptr && !pruner->MayContain(e.path, io, stats)) {
       if (journal) journal->boolean_pruned.push_back(std::move(e));
       continue;
     }
-    rtree.ChargeNodeAccess(pager, e.node_id);
+    rtree.ChargeNodeAccess(io, e.node_id);
     if (node.is_leaf) {
       for (size_t i = 0; i < node.entries.size(); ++i) {
         BBSJournal::Entry c;
@@ -165,7 +165,7 @@ std::vector<Tid> BBSSkyline(const Table& table, const RTree& rtree,
   }
 
   stats->time_ms += watch.ElapsedMs();
-  stats->pages_read += pager->TotalPhysical() - pages_before;
+  stats->pages_read += io->TotalPhysical() - pages_before;
   return skyline;
 }
 

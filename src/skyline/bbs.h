@@ -58,7 +58,7 @@ struct BBSJournal {
 /// `journal` is given the discarded entries are recorded.
 std::vector<Tid> BBSSkyline(const Table& table, const RTree& rtree,
                             const SkylineTransform& transform,
-                            BooleanPruner* pruner, Pager* pager,
+                            BooleanPruner* pruner, IoSession* io,
                             ExecStats* stats, BBSJournal* journal = nullptr,
                             const std::vector<BBSJournal::Entry>* seed =
                                 nullptr);

@@ -6,7 +6,7 @@ namespace rankcube {
 
 Result<std::vector<Tid>> SkylineSession::Query(
     std::vector<Predicate> predicates, SkylineTransform transform,
-    Pager* pager, ExecStats* stats) {
+    IoSession* io, ExecStats* stats) {
   predicates_ = std::move(predicates);
   transform_ = std::move(transform);
   journal_ = BBSJournal();
@@ -14,26 +14,26 @@ Result<std::vector<Tid>> SkylineSession::Query(
   if (!pruner.ok()) return pruner.status();
   auto result =
       BBSSkyline(engine_->table(), engine_->cube().rtree(), transform_,
-                 pruner.value().get(), pager, stats, &journal_);
+                 pruner.value().get(), io, stats, &journal_);
   active_ = true;
   return result;
 }
 
 Result<std::vector<Tid>> SkylineSession::RunSeeded(
-    const std::vector<BBSJournal::Entry>& seed, Pager* pager,
+    const std::vector<BBSJournal::Entry>& seed, IoSession* io,
     ExecStats* stats) {
   BBSJournal fresh;
   auto pruner = engine_->cube().MakePruner(predicates_);
   if (!pruner.ok()) return pruner.status();
   auto result =
       BBSSkyline(engine_->table(), engine_->cube().rtree(), transform_,
-                 pruner.value().get(), pager, stats, &fresh, &seed);
+                 pruner.value().get(), io, stats, &fresh, &seed);
   journal_ = std::move(fresh);
   return result;
 }
 
 Result<std::vector<Tid>> SkylineSession::DrillDown(
-    const std::vector<Predicate>& extra, Pager* pager, ExecStats* stats) {
+    const std::vector<Predicate>& extra, IoSession* io, ExecStats* stats) {
   if (!active_) return Status::InvalidArgument("no active session query");
   for (const auto& p : extra) predicates_.push_back(p);
   std::sort(predicates_.begin(), predicates_.end(),
@@ -48,14 +48,14 @@ Result<std::vector<Tid>> SkylineSession::DrillDown(
   // Boolean-pruned entries must be carried forward in the journal so a
   // later roll-up can still re-admit them.
   std::vector<BBSJournal::Entry> carried = journal_.boolean_pruned;
-  auto result = RunSeeded(seed, pager, stats);
+  auto result = RunSeeded(seed, io, stats);
   journal_.boolean_pruned.insert(journal_.boolean_pruned.end(),
                                  carried.begin(), carried.end());
   return result;
 }
 
 Result<std::vector<Tid>> SkylineSession::RollUp(
-    const std::vector<int>& drop_dims, Pager* pager, ExecStats* stats) {
+    const std::vector<int>& drop_dims, IoSession* io, ExecStats* stats) {
   if (!active_) return Status::InvalidArgument("no active session query");
   std::vector<Predicate> kept;
   for (const auto& p : predicates_) {
@@ -71,7 +71,7 @@ Result<std::vector<Tid>> SkylineSession::RollUp(
               journal_.dominated.end());
   seed.insert(seed.end(), journal_.boolean_pruned.begin(),
               journal_.boolean_pruned.end());
-  return RunSeeded(seed, pager, stats);
+  return RunSeeded(seed, io, stats);
 }
 
 }  // namespace rankcube

@@ -21,22 +21,22 @@ class SkylineSession {
 
   /// Fresh query; establishes the session state.
   Result<std::vector<Tid>> Query(std::vector<Predicate> predicates,
-                                 SkylineTransform transform, Pager* pager,
+                                 SkylineTransform transform, IoSession* io,
                                  ExecStats* stats);
 
   /// Adds `extra` predicates to the current selection.
   Result<std::vector<Tid>> DrillDown(const std::vector<Predicate>& extra,
-                                     Pager* pager, ExecStats* stats);
+                                     IoSession* io, ExecStats* stats);
 
   /// Removes the predicates on `drop_dims` from the current selection.
   Result<std::vector<Tid>> RollUp(const std::vector<int>& drop_dims,
-                                  Pager* pager, ExecStats* stats);
+                                  IoSession* io, ExecStats* stats);
 
   const std::vector<Predicate>& predicates() const { return predicates_; }
 
  private:
   Result<std::vector<Tid>> RunSeeded(
-      const std::vector<BBSJournal::Entry>& seed, Pager* pager,
+      const std::vector<BBSJournal::Entry>& seed, IoSession* io,
       ExecStats* stats);
 
   const SkylineEngine* engine_;

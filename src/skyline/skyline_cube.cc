@@ -14,12 +14,12 @@ class TableVerifyPruner : public BooleanPruner {
   TableVerifyPruner(const Table& table, const std::vector<Predicate>& preds)
       : table_(table), preds_(preds) {}
 
-  bool MayContain(const std::vector<int>&, Pager*, ExecStats*) override {
+  bool MayContain(const std::vector<int>&, IoSession*, ExecStats*) override {
     return true;
   }
-  bool Qualifies(Tid tid, const std::vector<int>&, Pager* pager,
+  bool Qualifies(Tid tid, const std::vector<int>&, IoSession* io,
                  ExecStats*) override {
-    table_.ChargeRowFetch(pager, tid);
+    table_.ChargeRowFetch(io, tid);
     for (const auto& p : preds_) {
       if (table_.sel(tid, p.dim) != p.value) return false;
     }
@@ -33,35 +33,35 @@ class TableVerifyPruner : public BooleanPruner {
 
 }  // namespace
 
-SkylineEngine::SkylineEngine(const Table& table, const Pager& pager)
-    : table_(table), cube_(table, pager), posting_(table) {}
+SkylineEngine::SkylineEngine(const Table& table, IoSession& io)
+    : table_(table), cube_(table, io), posting_(table) {}
 
 Result<std::vector<Tid>> SkylineEngine::Signature(
     const std::vector<Predicate>& predicates,
-    const SkylineTransform& transform, Pager* pager, ExecStats* stats,
+    const SkylineTransform& transform, IoSession* io, ExecStats* stats,
     BBSJournal* journal) const {
   auto pruner = cube_.MakePruner(predicates);
   if (!pruner.ok()) return pruner.status();
   return BBSSkyline(table_, cube_.rtree(), transform, pruner.value().get(),
-                    pager, stats, journal);
+                    io, stats, journal);
 }
 
 std::vector<Tid> SkylineEngine::RankingFirst(
     const std::vector<Predicate>& predicates,
-    const SkylineTransform& transform, Pager* pager, ExecStats* stats) const {
+    const SkylineTransform& transform, IoSession* io, ExecStats* stats) const {
   TableVerifyPruner pruner(table_, predicates);
   return BBSSkyline(table_, cube_.rtree(), transform,
-                    predicates.empty() ? nullptr : &pruner, pager, stats);
+                    predicates.empty() ? nullptr : &pruner, io, stats);
 }
 
 std::vector<Tid> SkylineEngine::BooleanFirst(
     const std::vector<Predicate>& predicates,
-    const SkylineTransform& transform, Pager* pager, ExecStats* stats) const {
+    const SkylineTransform& transform, IoSession* io, ExecStats* stats) const {
   Stopwatch watch;
-  uint64_t pages_before = pager->TotalPhysical();
+  uint64_t pages_before = io->TotalPhysical();
   std::vector<Tid> candidates;
   if (predicates.empty()) {
-    table_.ChargeFullScan(pager);
+    table_.ChargeFullScan(io);
     candidates.resize(table_.num_rows());
     for (Tid t = 0; t < static_cast<Tid>(table_.num_rows()); ++t) {
       candidates[t] = t;
@@ -74,9 +74,9 @@ std::vector<Tid> SkylineEngine::BooleanFirst(
         best = &p;
       }
     }
-    posting_.ChargeListScan(pager, best->dim, best->value);
+    posting_.ChargeListScan(io, best->dim, best->value);
     for (Tid t : posting_.Lookup(best->dim, best->value)) {
-      table_.ChargeRowFetch(pager, t);
+      table_.ChargeRowFetch(io, t);
       bool ok = true;
       for (const auto& p : predicates) {
         if (table_.sel(t, p.dim) != p.value) {
@@ -90,7 +90,7 @@ std::vector<Tid> SkylineEngine::BooleanFirst(
   stats->tuples_evaluated += candidates.size();
   auto skyline = SkylineOfTuples(table_, candidates, transform);
   stats->time_ms += watch.ElapsedMs();
-  stats->pages_read += pager->TotalPhysical() - pages_before;
+  stats->pages_read += io->TotalPhysical() - pages_before;
   return skyline;
 }
 

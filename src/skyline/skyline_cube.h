@@ -16,23 +16,23 @@ namespace rankcube {
 class SkylineEngine {
  public:
   /// Builds the R-tree + signature cube + posting indices over `table`.
-  SkylineEngine(const Table& table, const Pager& pager);
+  SkylineEngine(const Table& table, IoSession& io);
 
   /// BBS + signature boolean pruning (the thesis's method).
   Result<std::vector<Tid>> Signature(const std::vector<Predicate>& predicates,
                                      const SkylineTransform& transform,
-                                     Pager* pager, ExecStats* stats,
+                                     IoSession* io, ExecStats* stats,
                                      BBSJournal* journal = nullptr) const;
 
   /// BBS; boolean predicates verified per candidate via table fetches.
   std::vector<Tid> RankingFirst(const std::vector<Predicate>& predicates,
                                 const SkylineTransform& transform,
-                                Pager* pager, ExecStats* stats) const;
+                                IoSession* io, ExecStats* stats) const;
 
   /// Filter-first: posting-list selection, then in-memory skyline.
   std::vector<Tid> BooleanFirst(const std::vector<Predicate>& predicates,
                                 const SkylineTransform& transform,
-                                Pager* pager, ExecStats* stats) const;
+                                IoSession* io, ExecStats* stats) const;
 
   const SignatureCube& cube() const { return cube_; }
   const Table& table() const { return table_; }

@@ -1,0 +1,43 @@
+#include "storage/io_session.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+namespace rankcube {
+
+uint64_t IoSession::TotalLogical() const {
+  uint64_t t = 0;
+  for (const auto& s : stats_) t += s.logical;
+  return t;
+}
+
+uint64_t IoSession::TotalPhysical() const {
+  uint64_t t = 0;
+  for (const auto& s : stats_) t += s.physical;
+  return t;
+}
+
+void IoSession::SimulateWait(uint64_t pages) const {
+  std::this_thread::sleep_for(std::chrono::microseconds(
+      static_cast<uint64_t>(store_->read_latency_us()) * pages));
+}
+
+void IoSession::MergeFrom(const IoSession& other) {
+  for (int c = 0; c < static_cast<int>(IoCategory::kNumCategories); ++c) {
+    stats_[c] += other.stats_[c];
+  }
+}
+
+std::string IoSession::StatsString() const {
+  std::ostringstream os;
+  for (int c = 0; c < static_cast<int>(IoCategory::kNumCategories); ++c) {
+    const IoStats& s = stats_[c];
+    if (s.logical == 0) continue;
+    os << IoCategoryName(static_cast<IoCategory>(c)) << "=" << s.physical
+       << "/" << s.logical << " ";
+  }
+  return os.str();
+}
+
+}  // namespace rankcube

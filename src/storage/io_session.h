@@ -1,0 +1,72 @@
+// Per-query half of the simulated block device (see page_store.h for the
+// split). An IoSession charges page accesses against a shared PageStore and
+// keeps the per-category logical/physical counters for exactly one query —
+// or one construction pass, or one worker thread of a parallel batch.
+//
+// Contract: a session is owned by a single thread and never shared. All
+// counters are plain (unsynchronized) fields; cross-thread visibility is the
+// owner's job (BatchExecutor joins its workers before merging sessions).
+// Because counters are session-local, "pages this phase read" is a simple
+// snapshot difference on the owning thread — there is no racy delta against
+// a globally shared pager.
+#ifndef RANKCUBE_STORAGE_IO_SESSION_H_
+#define RANKCUBE_STORAGE_IO_SESSION_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "storage/page_store.h"
+
+namespace rankcube {
+
+class IoSession {
+ public:
+  /// Binds the session to `store` (not owned; must outlive the session).
+  explicit IoSession(const PageStore* store) : store_(store) {}
+
+  const PageStore& store() const { return *store_; }
+  size_t page_size() const { return store_->page_size(); }
+
+  /// Record an access to page `key` of `cat`. Multi-page reads (npages > 1)
+  /// are charged fully and bypass the cache (they model sequential scans).
+  /// When the store simulates device latency, missed pages block the owning
+  /// thread for that long.
+  void Access(IoCategory cat, uint64_t key, uint64_t npages = 1) {
+    IoStats& s = stats_[static_cast<int>(cat)];
+    s.logical += npages;
+    uint64_t missed = npages;
+    if (npages == 1 && store_->cache_enabled() &&
+        store_->AdmitOrHit(cat, key)) {
+      missed = 0;
+    }
+    s.physical += missed;
+    if (missed > 0 && store_->read_latency_us() > 0) SimulateWait(missed);
+  }
+
+  const IoStats& stats(IoCategory cat) const {
+    return stats_[static_cast<int>(cat)];
+  }
+  uint64_t TotalLogical() const;
+  uint64_t TotalPhysical() const;
+
+  void ResetStats() { stats_.fill(IoStats{}); }
+
+  /// Accumulates another session's counters (e.g. a finished worker's).
+  void MergeFrom(const IoSession& other);
+
+  /// One line per non-zero category; for harness output.
+  std::string StatsString() const;
+
+ private:
+  /// Sleeps for `pages` worth of simulated device reads (out of line to
+  /// keep <thread> out of this header's hot path).
+  void SimulateWait(uint64_t pages) const;
+
+  const PageStore* store_;
+  std::array<IoStats, static_cast<int>(IoCategory::kNumCategories)> stats_{};
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_STORAGE_IO_SESSION_H_

@@ -1,0 +1,78 @@
+#include "storage/page_store.h"
+
+namespace rankcube {
+
+const char* IoCategoryName(IoCategory cat) {
+  switch (cat) {
+    case IoCategory::kTable:
+      return "table";
+    case IoCategory::kPosting:
+      return "posting";
+    case IoCategory::kComposite:
+      return "composite";
+    case IoCategory::kBTree:
+      return "btree";
+    case IoCategory::kRTree:
+      return "rtree";
+    case IoCategory::kCuboid:
+      return "cuboid";
+    case IoCategory::kBaseBlock:
+      return "baseblock";
+    case IoCategory::kSignature:
+      return "signature";
+    case IoCategory::kJoinSignature:
+      return "joinsig";
+    default:
+      return "?";
+  }
+}
+
+PageStore::PageStore(Options options) : options_(options) {
+  size_t shards = options_.cache_shards > 0 ? options_.cache_shards : 1;
+  // A shard needs at least one page of capacity to admit anything; with a
+  // tiny cache, fewer shards keep the configured capacity exact.
+  if (options_.cache_pages > 0 && shards > options_.cache_pages) {
+    shards = options_.cache_pages;
+  }
+  options_.cache_shards = shards;
+  // Round shard capacity up so the total is never below the configured
+  // cache_pages (it may exceed it by at most shards - 1 pages).
+  shard_capacity_ = (options_.cache_pages + shards - 1) / shards;
+  shards_ = std::vector<Shard>(shards);
+}
+
+PageStore::Shard& PageStore::ShardOf(CacheKey key) const {
+  // Multiplicative hash over the full key; the low bits of MakeKey carry the
+  // page id, the high bits the category.
+  uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  return shards_[(h >> 32) % shards_.size()];
+}
+
+bool PageStore::AdmitOrHit(IoCategory cat, uint64_t key) const {
+  if (!cache_enabled()) return false;
+  CacheKey ck = MakeKey(cat, key);
+  Shard& shard = ShardOf(ck);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.in_cache.find(ck);
+  if (it != shard.in_cache.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
+    return true;
+  }
+  shard.lru.push_front(ck);
+  shard.in_cache[ck] = shard.lru.begin();
+  if (shard.lru.size() > shard_capacity_) {
+    shard.in_cache.erase(shard.lru.back());
+    shard.lru.pop_back();
+  }
+  return false;
+}
+
+void PageStore::ClearCache() const {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.in_cache.clear();
+  }
+}
+
+}  // namespace rankcube

@@ -1,0 +1,123 @@
+// Shared, thread-safe half of the simulated block device. The thesis
+// evaluates methods by execution time and by the number of (4 KB) disk-block
+// accesses; every structure in this repository (tables, B+-trees, R-trees,
+// cuboids, base-block tables, signatures, join-signatures) routes page
+// access through the storage layer so those counts can be reported exactly.
+//
+// The storage layer is split so many queries can run concurrently:
+//  * PageStore (this file)  — immutable page geometry plus an optional LRU
+//    buffer cache, sharded with per-shard mutexes so concurrent queries can
+//    probe it without serializing on one lock. One PageStore is shared by
+//    every structure and every query over a dataset.
+//  * IoSession (io_session.h) — per-query access counters. Each query (or
+//    worker thread) owns exactly one session; sessions are never shared
+//    across threads, which is what makes their counters race-free.
+//
+// The optional cache models the node-buffering the thesis assumes ("many
+// index implementations buffer the previously retrieved index nodes",
+// §5.1.3).
+#ifndef RANKCUBE_STORAGE_PAGE_STORE_H_
+#define RANKCUBE_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace rankcube {
+
+/// Which subsystem a page belongs to; stats are reported per category.
+enum class IoCategory : int {
+  kTable = 0,       ///< heap pages of the base relation
+  kPosting,         ///< per-dimension posting-list (non-clustered) indices
+  kComposite,       ///< clustered composite index (rank-mapping baseline)
+  kBTree,           ///< B+-tree nodes (Ch5 index-merge)
+  kRTree,           ///< R-tree nodes (Ch4/Ch5/Ch7)
+  kCuboid,          ///< ranking-cube cuboid cells / pseudo blocks (Ch3)
+  kBaseBlock,       ///< base block table (Ch3)
+  kSignature,       ///< partial signatures (Ch4/Ch7)
+  kJoinSignature,   ///< join-signature state signatures (Ch5)
+  kNumCategories,
+};
+
+/// Returns a short printable name ("rtree", "signature", ...).
+const char* IoCategoryName(IoCategory cat);
+
+/// Per-category access counters. Owned by an IoSession (single-threaded);
+/// never shared between queries.
+struct IoStats {
+  uint64_t logical = 0;   ///< accesses requested
+  uint64_t physical = 0;  ///< accesses that missed the buffer cache
+
+  /// Buffer-cache hits (multi-page scans bypass the cache and add equally
+  /// to both counters, so the difference is exactly the hit count).
+  uint64_t hits() const { return logical - physical; }
+
+  IoStats& operator+=(const IoStats& o) {
+    logical += o.logical;
+    physical += o.physical;
+    return *this;
+  }
+};
+
+/// Immutable page geometry + thread-safe sharded LRU buffer cache. Shared
+/// by all structures over a dataset and by all concurrently running queries;
+/// all methods are safe to call from multiple threads.
+class PageStore {
+ public:
+  struct Options {
+    size_t page_size = 4096;  ///< bytes per block (thesis default)
+    size_t cache_pages = 0;   ///< LRU capacity in pages; 0 disables caching
+    size_t cache_shards = 8;  ///< lock shards (clamped to >= 1)
+    /// Simulated device latency per physical page read, in microseconds
+    /// (0 = none). Sessions sleep this long per missed page, which makes
+    /// the simulated device behave like the I/O-bound system the thesis
+    /// measures (bench_common's 0.1 ms/page convention) and lets parallel
+    /// batch execution overlap device waits across worker threads.
+    uint32_t read_latency_us = 0;
+  };
+
+  PageStore() : PageStore(Options{}) {}
+  explicit PageStore(Options options);
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  size_t page_size() const { return options_.page_size; }
+  bool cache_enabled() const { return options_.cache_pages > 0; }
+  size_t cache_pages() const { return options_.cache_pages; }
+  uint32_t read_latency_us() const { return options_.read_latency_us; }
+
+  /// Probes the cache for page `key` of `cat`. Returns true on a hit (the
+  /// entry is refreshed to most-recent); on a miss the page is admitted,
+  /// evicting the shard's least-recently-used entry if the shard is full.
+  /// Always false when caching is disabled. Thread-safe.
+  bool AdmitOrHit(IoCategory cat, uint64_t key) const;
+
+  /// Drops every cached page (does not touch any session's counters).
+  void ClearCache() const;
+
+ private:
+  using CacheKey = uint64_t;
+  static CacheKey MakeKey(IoCategory cat, uint64_t key) {
+    return (static_cast<uint64_t>(cat) << 56) ^ (key & 0x00FFFFFFFFFFFFFFull);
+  }
+
+  /// One LRU shard; `mu` guards `lru` + `in_cache`. Most-recent at front.
+  struct Shard {
+    std::mutex mu;
+    std::list<CacheKey> lru;
+    std::unordered_map<CacheKey, std::list<CacheKey>::iterator> in_cache;
+  };
+
+  Shard& ShardOf(CacheKey key) const;
+
+  Options options_;
+  size_t shard_capacity_ = 0;  ///< pages per shard
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_STORAGE_PAGE_STORE_H_

@@ -42,21 +42,21 @@ size_t Table::RowBytes() const {
   return 4 + 4 * schema_.num_sel_dims() + 8 * schema_.num_rank_dims;
 }
 
-size_t Table::RowsPerPage(const Pager& pager) const {
-  return std::max<size_t>(1, pager.page_size() / RowBytes());
+size_t Table::RowsPerPage(size_t page_size) const {
+  return std::max<size_t>(1, page_size / RowBytes());
 }
 
-uint64_t Table::NumPages(const Pager& pager) const {
-  size_t rpp = RowsPerPage(pager);
+uint64_t Table::NumPages(size_t page_size) const {
+  size_t rpp = RowsPerPage(page_size);
   return (num_rows_ + rpp - 1) / rpp;
 }
 
-void Table::ChargeRowFetch(Pager* pager, Tid row) const {
-  pager->Access(IoCategory::kTable, row / RowsPerPage(*pager));
+void Table::ChargeRowFetch(IoSession* io, Tid row) const {
+  io->Access(IoCategory::kTable, row / RowsPerPage(io->page_size()));
 }
 
-void Table::ChargeFullScan(Pager* pager) const {
-  pager->Access(IoCategory::kTable, 0, NumPages(*pager));
+void Table::ChargeFullScan(IoSession* io) const {
+  io->Access(IoCategory::kTable, 0, NumPages(io->page_size()));
 }
 
 }  // namespace rankcube

@@ -1,6 +1,6 @@
 // In-memory column-major relation with S categorical selection dimensions and
 // R real-valued ranking dimensions (§1.2.1 data model). Row fetches are
-// charged to the pager as heap-page accesses so baselines that do random
+// charged to the I/O session as heap-page accesses so baselines that do random
 // tuple lookups pay the same cost profile the thesis measures.
 #ifndef RANKCUBE_STORAGE_TABLE_H_
 #define RANKCUBE_STORAGE_TABLE_H_
@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "storage/pager.h"
+#include "storage/io_session.h"
 
 namespace rankcube {
 
@@ -49,15 +49,15 @@ class Table {
 
   /// Bytes a row occupies in the simulated heap file.
   size_t RowBytes() const;
-  /// Rows that fit one heap page for `pager`.
-  size_t RowsPerPage(const Pager& pager) const;
+  /// Rows that fit one heap page of `page_size` bytes.
+  size_t RowsPerPage(size_t page_size) const;
   /// Total heap pages of the relation (used by sequential scans).
-  uint64_t NumPages(const Pager& pager) const;
+  uint64_t NumPages(size_t page_size) const;
 
   /// Charge a random access fetching `row`'s heap page.
-  void ChargeRowFetch(Pager* pager, Tid row) const;
+  void ChargeRowFetch(IoSession* io, Tid row) const;
   /// Charge a full sequential scan of the heap file.
-  void ChargeFullScan(Pager* pager) const;
+  void ChargeFullScan(IoSession* io) const;
 
  private:
   TableSchema schema_;

@@ -38,8 +38,9 @@ TEST(EngineRegistryTest, BuiltinsAreRegistered) {
 
 TEST(EngineRegistryTest, UnknownEngineIsNotFound) {
   Table table = SmallTable();
-  Pager pager;
-  auto r = EngineRegistry::Global().Create("no_such_engine", table, pager);
+  PageStore store;
+  IoSession io{&store};
+  auto r = EngineRegistry::Global().Create("no_such_engine", table, io);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
 }
@@ -47,7 +48,7 @@ TEST(EngineRegistryTest, UnknownEngineIsNotFound) {
 TEST(EngineRegistryTest, DuplicateRegistrationFails) {
   auto& registry = EngineRegistry::Global();
   Status s = registry.Register(
-      "table_scan", [](const Table& table, const Pager&,
+      "table_scan", [](const Table& table, IoSession&,
                        const EngineBuildOptions&)
                         -> Result<std::unique_ptr<RankingEngine>> {
         return MakeTableScanEngine(table);
@@ -116,16 +117,17 @@ TEST(ValidateQueryTest, RejectsMalformedQueries) {
 // return silently empty vectors instead.
 TEST(EngineExecuteTest, MalformedQueryFailsIdenticallyOnEveryEngine) {
   Table table = SmallTable();
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   auto malformed =
       QueryBuilder().Where(0, 999).OrderByLinear({1, 1}).Limit(5).Build();
 
   for (const std::string& name : EngineRegistry::Global().Names()) {
     SCOPED_TRACE(name);
-    auto engine = EngineRegistry::Global().Create(name, table, pager);
+    auto engine = EngineRegistry::Global().Create(name, table, io);
     ASSERT_TRUE(engine.ok()) << engine.status().ToString();
     ExecContext ctx;
-    ctx.pager = &pager;
+    ctx.io = &io;
     auto r = (*engine)->Execute(malformed, ctx);
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
@@ -134,13 +136,14 @@ TEST(EngineExecuteTest, MalformedQueryFailsIdenticallyOnEveryEngine) {
 
 TEST(EngineExecuteTest, PredicatesRejectedWhenUnsupported) {
   Table table = SmallTable();
-  Pager pager;
-  auto engine = EngineRegistry::Global().Create("index_merge", table, pager);
+  PageStore store;
+  IoSession io{&store};
+  auto engine = EngineRegistry::Global().Create("index_merge", table, io);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_FALSE((*engine)->SupportsPredicates());
 
   ExecContext ctx;
-  ctx.pager = &pager;
+  ctx.io = &io;
   auto q = QueryBuilder().Where(0, 1).OrderByLinear({1, 1}).Limit(5).Build();
   auto r = (*engine)->Execute(q, ctx);
   ASSERT_FALSE(r.ok());
@@ -150,12 +153,13 @@ TEST(EngineExecuteTest, PredicatesRejectedWhenUnsupported) {
   EXPECT_TRUE((*engine)->Execute(no_preds, ctx).ok());
 }
 
-TEST(EngineExecuteTest, MissingPagerIsInvalidArgument) {
+TEST(EngineExecuteTest, MissingSessionIsInvalidArgument) {
   Table table = SmallTable();
-  Pager pager;
-  auto engine = EngineRegistry::Global().Create("table_scan", table, pager);
+  PageStore store;
+  IoSession io{&store};
+  auto engine = EngineRegistry::Global().Create("table_scan", table, io);
   ASSERT_TRUE(engine.ok());
-  ExecContext ctx;  // no pager
+  ExecContext ctx;  // no I/O session
   auto q = QueryBuilder().OrderByLinear({1, 1}).Limit(5).Build();
   auto r = (*engine)->Execute(q, ctx);
   ASSERT_FALSE(r.ok());
@@ -164,33 +168,35 @@ TEST(EngineExecuteTest, MissingPagerIsInvalidArgument) {
 
 TEST(EngineExecuteTest, PageBudgetIsEnforced) {
   Table table = SmallTable();
-  Pager pager;
-  auto engine = EngineRegistry::Global().Create("table_scan", table, pager);
+  PageStore store;
+  IoSession io{&store};
+  auto engine = EngineRegistry::Global().Create("table_scan", table, io);
   ASSERT_TRUE(engine.ok());
   auto q = QueryBuilder().OrderByLinear({1, 1}).Limit(5).Build();
 
   ExecContext tight;
-  tight.pager = &pager;
+  tight.io = &io;
   tight.page_budget = 1;  // a full scan reads far more than one page
   auto r = (*engine)->Execute(q, tight);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), Status::Code::kOutOfRange);
 
   ExecContext roomy;
-  roomy.pager = &pager;
+  roomy.io = &io;
   roomy.page_budget = 1u << 20;
   EXPECT_TRUE((*engine)->Execute(q, roomy).ok());
 }
 
 TEST(EngineExecuteTest, TraceHookFires) {
   Table table = SmallTable();
-  Pager pager;
-  auto engine = EngineRegistry::Global().Create("table_scan", table, pager);
+  PageStore store;
+  IoSession io{&store};
+  auto engine = EngineRegistry::Global().Create("table_scan", table, io);
   ASSERT_TRUE(engine.ok());
 
   std::vector<std::string> lines;
   ExecContext ctx;
-  ctx.pager = &pager;
+  ctx.io = &io;
   ctx.trace = [&lines](const std::string& line) { lines.push_back(line); };
   auto q = QueryBuilder().OrderByLinear({1, 1}).Limit(5).Build();
   ASSERT_TRUE((*engine)->Execute(q, ctx).ok());
@@ -224,8 +230,9 @@ TEST(ExecStatsTest, PlusEqualsAccumulatesEveryCounter) {
 
 TEST(BatchExecutorTest, AggregatesStatsAndCountsFailures) {
   Table table = SmallTable();
-  Pager pager;
-  auto engine = EngineRegistry::Global().Create("boolean_first", table, pager);
+  PageStore store;
+  IoSession io{&store};
+  auto engine = EngineRegistry::Global().Create("boolean_first", table, io);
   ASSERT_TRUE(engine.ok());
 
   std::vector<TopKQuery> workload;
@@ -244,7 +251,7 @@ TEST(BatchExecutorTest, AggregatesStatsAndCountsFailures) {
       QueryBuilder().Where(0, 999).OrderByLinear({1, 1}).Limit(5).Build());
 
   ExecContext ctx;
-  ctx.pager = &pager;
+  ctx.io = &io;
   BatchExecutor batch(engine->get());
   auto report = batch.Run(workload, ctx);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -260,7 +267,7 @@ TEST(BatchExecutorTest, AggregatesStatsAndCountsFailures) {
   EXPECT_TRUE(report.value().results.empty());  // keep_results defaults off
 
   ExecContext stop_ctx;
-  stop_ctx.pager = &pager;
+  stop_ctx.io = &io;
   BatchExecutor strict(engine->get(), {.stop_on_error = true});
   std::vector<TopKQuery> bad_first{workload[2], workload[0]};
   auto strict_report = strict.Run(bad_first, stop_ctx);

@@ -18,7 +18,8 @@ namespace {
 
 struct Fixture {
   Table table;
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
 
   Fixture() : table(MakeTable()) {}
 
@@ -47,12 +48,12 @@ TEST(EngineParityTest, EveryRegisteredEngineMatchesTableScanOracle) {
   Fixture fx;
   auto& registry = EngineRegistry::Global();
 
-  auto oracle_engine = registry.Create("table_scan", fx.table, fx.pager);
+  auto oracle_engine = registry.Create("table_scan", fx.table, fx.io);
   ASSERT_TRUE(oracle_engine.ok()) << oracle_engine.status().ToString();
 
   for (const std::string& name : registry.Names()) {
     SCOPED_TRACE("engine: " + name);
-    auto engine = registry.Create(name, fx.table, fx.pager);
+    auto engine = registry.Create(name, fx.table, fx.io);
     ASSERT_TRUE(engine.ok()) << engine.status().ToString();
 
     // Engines without boolean-predicate support (index_merge) get the same
@@ -65,7 +66,7 @@ TEST(EngineParityTest, EveryRegisteredEngineMatchesTableScanOracle) {
     for (const TopKQuery& query : workload) {
       SCOPED_TRACE(query.ToString());
       ExecContext ctx;
-      ctx.pager = &fx.pager;
+      ctx.io = &fx.io;
       auto got = (*engine)->Execute(query, ctx);
       ASSERT_TRUE(got.ok()) << got.status().ToString();
       auto want = (*oracle_engine)->Execute(query, ctx);
@@ -78,12 +79,12 @@ TEST(EngineParityTest, EveryRegisteredEngineMatchesTableScanOracle) {
 TEST(EngineParityTest, BatchExecutorReportsSameTuplesAsSingleQueries) {
   Fixture fx;
   auto& registry = EngineRegistry::Global();
-  auto engine = registry.Create("grid", fx.table, fx.pager);
+  auto engine = registry.Create("grid", fx.table, fx.io);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
 
   auto workload = fx.Workload(2);
   ExecContext ctx;
-  ctx.pager = &fx.pager;
+  ctx.io = &fx.io;
 
   BatchExecutor batch(engine->get(), {.keep_results = true});
   auto report = batch.Run(workload, ctx);

@@ -67,16 +67,17 @@ TEST(LossyBloomTest, MatchesBruteForce) {
   spec.cardinality = 10;
   spec.num_rank_dims = 2;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   SignatureCubeOptions opt;
   opt.lossy_bloom = true;
-  SignatureCube cube(t, pager, opt);
+  SignatureCube cube(t, io, opt);
   QueryWorkloadSpec qs;
   qs.num_queries = 15;
   qs.num_predicates = 2;
   for (const auto& q : GenerateQueries(t, qs)) {
     ExecStats stats;
-    auto res = cube.TopKLossy(q, &pager, &stats);
+    auto res = cube.TopKLossy(q, &io, &stats);
     ASSERT_TRUE(res.ok()) << res.status().ToString();
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q))) << q.ToString();
   }
@@ -89,11 +90,12 @@ TEST(LossyBloomTest, SmallerThanExactSignatures) {
   spec.cardinality = 50;
   spec.num_rank_dims = 2;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   SignatureCubeOptions opt;
   opt.lossy_bloom = true;
   opt.bloom_bits_per_entry = 4.0;  // aggressive lossy budget
-  SignatureCube cube(t, pager, opt);
+  SignatureCube cube(t, io, opt);
   EXPECT_GT(cube.LossyBloomBytes(), 0u);
   EXPECT_LT(cube.LossyBloomBytes(), cube.CompressedBytes());
 }
@@ -105,38 +107,40 @@ TEST(LossyBloomTest, VerificationChargesTableAccesses) {
   spec.cardinality = 10;
   spec.num_rank_dims = 2;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   SignatureCubeOptions opt;
   opt.lossy_bloom = true;
-  SignatureCube cube(t, pager, opt);
+  SignatureCube cube(t, io, opt);
   TopKQuery q;
   q.predicates = {{0, t.sel(0, 0)}, {1, t.sel(0, 1)}};
   q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 1});
   q.k = 10;
-  pager.ResetStats();
+  io.ResetStats();
   ExecStats stats;
-  auto res = cube.TopKLossy(q, &pager, &stats);
+  auto res = cube.TopKLossy(q, &io, &stats);
   ASSERT_TRUE(res.ok());
   // Bloom pruning cannot decide tuples exactly: candidates are verified
   // against the heap file.
-  EXPECT_GT(pager.stats(IoCategory::kTable).physical, 0u);
+  EXPECT_GT(io.stats(IoCategory::kTable).physical, 0u);
 }
 
 TEST(LossyBloomTest, DisabledCubeRejectsGracefully) {
   SyntheticSpec spec;
   spec.num_rows = 500;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
-  SignatureCube cube(t, pager);  // lossy_bloom off
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube cube(t, io);  // lossy_bloom off
   TopKQuery q;
   q.predicates = {{0, t.sel(0, 0)}};
   q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 1});
   ExecStats stats;
-  auto res = cube.TopKLossy(q, &pager, &stats);
+  auto res = cube.TopKLossy(q, &io, &stats);
   // No bloom for the cell: reported as an empty result (value absent) —
   // never a crash; exact TopK remains available.
   ASSERT_TRUE(res.ok());
-  auto exact = cube.TopK(q, &pager, &stats);
+  auto exact = cube.TopK(q, &io, &stats);
   ASSERT_TRUE(exact.ok());
 }
 

@@ -99,15 +99,16 @@ TEST(GridCuboidTest, CellsPartitionAllTuples) {
 
 TEST(GridRankingCubeTest, MatchesBruteForceOnWorkload) {
   Table t = MakeData(8000, 3, 10, 2);
-  Pager pager;
-  GridRankingCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  GridRankingCube cube(t, io);
   QueryWorkloadSpec qspec;
   qspec.num_queries = 25;
   qspec.num_predicates = 2;
   qspec.k = 10;
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
-    auto res = cube.TopK(q, &pager, &stats);
+    auto res = cube.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok()) << res.status().ToString();
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)))
         << q.ToString();
@@ -116,14 +117,15 @@ TEST(GridRankingCubeTest, MatchesBruteForceOnWorkload) {
 
 TEST(GridRankingCubeTest, DistanceFunctionWorkload) {
   Table t = MakeData(6000, 3, 10, 2);
-  Pager pager;
-  GridRankingCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  GridRankingCube cube(t, io);
   QueryWorkloadSpec qspec;
   qspec.num_queries = 15;
   qspec.kind = QueryFunctionKind::kDistance;
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
-    auto res = cube.TopK(q, &pager, &stats);
+    auto res = cube.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok());
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q))) << q.ToString();
   }
@@ -132,14 +134,15 @@ TEST(GridRankingCubeTest, DistanceFunctionWorkload) {
 TEST(GridRankingCubeTest, RankingSubsetOfDimensions) {
   // r < R: function over 2 of 4 ranking dimensions (Fig 3.6 setting).
   Table t = MakeData(6000, 3, 10, 4);
-  Pager pager;
-  GridRankingCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  GridRankingCube cube(t, io);
   QueryWorkloadSpec qspec;
   qspec.num_queries = 10;
   qspec.num_rank_used = 2;
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
-    auto res = cube.TopK(q, &pager, &stats);
+    auto res = cube.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok());
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q))) << q.ToString();
   }
@@ -147,8 +150,9 @@ TEST(GridRankingCubeTest, RankingSubsetOfDimensions) {
 
 TEST(GridRankingCubeTest, EmptySelectionGivesEmptyResult) {
   Table t = MakeData(1000, 3, 10, 2);
-  Pager pager;
-  GridRankingCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  GridRankingCube cube(t, io);
   TopKQuery q;
   // Guaranteed-empty conjunction is unlikely with anchored queries; force
   // an out-of-data combination by brute-force search.
@@ -156,48 +160,51 @@ TEST(GridRankingCubeTest, EmptySelectionGivesEmptyResult) {
   q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 1});
   q.k = 5;
   ExecStats stats;
-  auto res = cube.TopK(q, &pager, &stats);
+  auto res = cube.TopK(q, &io, &stats);
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)));
 }
 
 TEST(GridRankingCubeTest, NoPredicates) {
   Table t = MakeData(2000);
-  Pager pager;
-  GridRankingCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  GridRankingCube cube(t, io);
   TopKQuery q;
   q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 2});
   q.k = 5;
   ExecStats stats;
-  auto res = cube.TopK(q, &pager, &stats);
+  auto res = cube.TopK(q, &io, &stats);
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)));
 }
 
 TEST(GridRankingCubeTest, KLargerThanMatches) {
   Table t = MakeData(500, 3, 20, 2);
-  Pager pager;
-  GridRankingCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  GridRankingCube cube(t, io);
   TopKQuery q;
   q.predicates = {{0, t.sel(0, 0)}, {1, t.sel(0, 1)}, {2, t.sel(0, 2)}};
   q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 1});
   q.k = 100;  // more than can match
   ExecStats stats;
-  auto res = cube.TopK(q, &pager, &stats);
+  auto res = cube.TopK(q, &io, &stats);
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)));
 }
 
 TEST(GridRankingCubeTest, ProgressiveSearchTouchesFewBlocks) {
   Table t = MakeData(20000, 3, 10, 2);
-  Pager pager;
-  GridRankingCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  GridRankingCube cube(t, io);
   QueryWorkloadSpec qspec;
   qspec.num_queries = 10;
   uint64_t evaluated = 0;
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
-    auto res = cube.TopK(q, &pager, &stats);
+    auto res = cube.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok());
     evaluated += stats.tuples_evaluated;
   }
@@ -207,13 +214,14 @@ TEST(GridRankingCubeTest, ProgressiveSearchTouchesFewBlocks) {
 
 TEST(GridRankingCubeTest, MissingCuboidReportsNotFound) {
   Table t = MakeData(1000);
-  Pager pager;
-  GridRankingCube cube(t, pager, {.block_size = 300, .cuboid_dim_sets = {{0}}});
+  PageStore store;
+  IoSession io{&store};
+  GridRankingCube cube(t, io, {.block_size = 300, .cuboid_dim_sets = {{0}}});
   TopKQuery q;
   q.predicates = {{1, 0}};
   q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 1});
   ExecStats stats;
-  auto res = cube.TopK(q, &pager, &stats);
+  auto res = cube.TopK(q, &io, &stats);
   EXPECT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), Status::Code::kNotFound);
 }
@@ -257,8 +265,9 @@ TEST(CoveringCuboidsTest, PrefersMaximalCuboid) {
 
 TEST(RankingFragmentsTest, MatchesBruteForceAcrossCoverCounts) {
   Table t = MakeData(8000, 6, 8, 2);
-  Pager pager;
-  RankingFragments frags(t, pager, {.block_size = 300, .fragment_size = 2});
+  PageStore store;
+  IoSession io{&store};
+  RankingFragments frags(t, io, {.block_size = 300, .fragment_size = 2});
   // Queries intentionally spanning 1, 2 and 3 fragments.
   std::vector<std::vector<int>> dimsets = {{0, 1}, {0, 2}, {0, 2, 4}, {1, 3}};
   for (const auto& dims : dimsets) {
@@ -267,7 +276,7 @@ TEST(RankingFragmentsTest, MatchesBruteForceAcrossCoverCounts) {
     q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 2});
     q.k = 10;
     ExecStats stats;
-    auto res = frags.TopK(q, &pager, &stats);
+    auto res = frags.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok()) << res.status().ToString();
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q))) << q.ToString();
   }
@@ -275,8 +284,9 @@ TEST(RankingFragmentsTest, MatchesBruteForceAcrossCoverCounts) {
 
 TEST(RankingFragmentsTest, CoveringCountMatchesQueryShape) {
   Table t = MakeData(1000, 6, 4, 2);
-  Pager pager;
-  RankingFragments frags(t, pager, {.block_size = 300, .fragment_size = 2});
+  PageStore store;
+  IoSession io{&store};
+  RankingFragments frags(t, io, {.block_size = 300, .fragment_size = 2});
   TopKQuery q1;
   q1.predicates = {{0, 0}, {1, 0}};
   EXPECT_EQ(frags.CoveringCuboidCount(q1), 1);  // same fragment
@@ -290,11 +300,12 @@ TEST(RankingFragmentsTest, CoveringCountMatchesQueryShape) {
 
 TEST(RankingFragmentsTest, SpaceGrowsLinearlyWithDimensions) {
   // Lemma 2: with fixed F, fragment space is linear in S.
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   Table t6 = MakeData(4000, 6, 8, 2, /*seed=*/1);
   Table t12 = MakeData(4000, 12, 8, 2, /*seed=*/1);
-  RankingFragments f6(t6, pager, {.block_size = 300, .fragment_size = 2});
-  RankingFragments f12(t12, pager, {.block_size = 300, .fragment_size = 2});
+  RankingFragments f6(t6, io, {.block_size = 300, .fragment_size = 2});
+  RankingFragments f12(t12, io, {.block_size = 300, .fragment_size = 2});
   double ratio = static_cast<double>(f12.SizeBytes()) / f6.SizeBytes();
   EXPECT_GT(ratio, 1.5);
   EXPECT_LT(ratio, 2.6);  // ~2x cuboids, not 2^6 more

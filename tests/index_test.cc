@@ -23,8 +23,9 @@ Table SmallTable(uint64_t rows = 2000, int rank_dims = 2, uint64_t seed = 11) {
 
 TEST(BTreeTest, StructureInvariants) {
   Table t = SmallTable();
-  Pager pager;
-  BTree bt(t, 0, pager, {.fanout = 8});
+  PageStore store;
+  IoSession io{&store};
+  BTree bt(t, 0, io, {.fanout = 8});
   EXPECT_EQ(bt.fanout(), 8);
   EXPECT_GE(bt.depth(), 2);
   // Every tuple present exactly once across leaves, in sorted order.
@@ -63,8 +64,9 @@ TEST(BTreeTest, StructureInvariants) {
 
 TEST(BTreeTest, NodeRangesNestInParents) {
   Table t = SmallTable();
-  Pager pager;
-  BTree bt(t, 1, pager, {.fanout = 16});
+  PageStore store;
+  IoSession io{&store};
+  BTree bt(t, 1, io, {.fanout = 16});
   std::vector<uint32_t> stack{bt.root()};
   while (!stack.empty()) {
     uint32_t id = stack.back();
@@ -80,8 +82,9 @@ TEST(BTreeTest, NodeRangesNestInParents) {
 
 TEST(BTreeTest, PathsAddressNodes) {
   Table t = SmallTable(500);
-  Pager pager;
-  BTree bt(t, 0, pager, {.fanout = 4});
+  PageStore store;
+  IoSession io{&store};
+  BTree bt(t, 0, io, {.fanout = 4});
   // Resolve every node's path back down from the root.
   for (uint32_t id = 0; id < bt.num_nodes(); ++id) {
     std::vector<int> path = bt.NodePath(id);
@@ -93,8 +96,9 @@ TEST(BTreeTest, PathsAddressNodes) {
 
 TEST(BTreeTest, TuplePathsReachCorrectLeaf) {
   Table t = SmallTable(300);
-  Pager pager;
-  BTree bt(t, 0, pager, {.fanout = 4});
+  PageStore store;
+  IoSession io{&store};
+  BTree bt(t, 0, io, {.fanout = 4});
   auto paths = bt.TuplePaths();
   ASSERT_EQ(paths.size(), t.num_rows());
   for (Tid tid = 0; tid < 50; ++tid) {
@@ -138,8 +142,9 @@ void CheckRTreeInvariants(const RTree& rt, size_t expected_tuples) {
 
 TEST(RTreeTest, BulkLoadInvariants) {
   Table t = SmallTable(3000, 2);
-  Pager pager;
-  RTree rt(2, pager, {.max_entries = 16});
+  PageStore store;
+  IoSession io{&store};
+  RTree rt(2, io, {.max_entries = 16});
   rt.BulkLoadSTR(t);
   CheckRTreeInvariants(rt, t.num_rows());
   EXPECT_GE(rt.depth(), 2);
@@ -147,8 +152,9 @@ TEST(RTreeTest, BulkLoadInvariants) {
 
 TEST(RTreeTest, InsertInvariants) {
   Table t = SmallTable(800, 3);
-  Pager pager;
-  RTree rt(3, pager, {.max_entries = 8});
+  PageStore store;
+  IoSession io{&store};
+  RTree rt(3, io, {.max_entries = 8});
   for (Tid i = 0; i < t.num_rows(); ++i) {
     rt.Insert(i, t.RankRow(i), /*track_updates=*/false);
   }
@@ -157,8 +163,9 @@ TEST(RTreeTest, InsertInvariants) {
 
 TEST(RTreeTest, TuplePathsResolve) {
   Table t = SmallTable(500, 2);
-  Pager pager;
-  RTree rt(2, pager, {.max_entries = 8});
+  PageStore store;
+  IoSession io{&store};
+  RTree rt(2, io, {.max_entries = 8});
   rt.BulkLoadSTR(t);
   auto paths = rt.AllTuplePaths();
   for (Tid tid = 0; tid < t.num_rows(); ++tid) {
@@ -180,8 +187,9 @@ TEST(RTreeTest, InsertUpdateSetIsAccurate) {
   // Property: applying reported path updates to a shadow map must yield the
   // same paths as recomputing from scratch after every insert.
   Table t = SmallTable(400, 2, /*seed=*/31);
-  Pager pager;
-  RTree rt(2, pager, {.max_entries = 4});  // tiny fanout: many splits
+  PageStore store;
+  IoSession io{&store};
+  RTree rt(2, io, {.max_entries = 4});  // tiny fanout: many splits
   std::vector<std::vector<int>> shadow;
   for (Tid i = 0; i < t.num_rows(); ++i) {
     auto updates = rt.Insert(i, t.RankRow(i));
@@ -205,9 +213,10 @@ TEST(RTreeTest, InsertUpdateSetIsAccurate) {
 }
 
 TEST(RTreeTest, FanoutDerivedFromPageSize) {
-  Pager pager;  // 4 KB
-  RTree r2(2, pager);
-  RTree r5(5, pager);
+  PageStore store;
+  IoSession io{&store};
+  RTree r2(2, io);
+  RTree r5(5, io);
   EXPECT_EQ(r2.max_entries(), 204);  // §4.2.2's published figure
   EXPECT_EQ(r5.max_entries(), 93);
 }
@@ -238,11 +247,12 @@ TEST(CompositeTest, PrefixMatchFollowsIndexOrder) {
 TEST(CompositeTest, RangeQueryFindsExactlyMatchingTuples) {
   Table t = SmallTable(2000);
   CompositeIndex idx(t, {0, 1, 2});
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   std::vector<Predicate> preds{{0, 2}, {1, 3}};
   Box box = Box::Unit(2);
   box[0].hi = 0.5;
-  auto res = idx.RangeQuery(preds, box, &pager);
+  auto res = idx.RangeQuery(preds, box, &io);
   std::set<Tid> expect;
   for (Tid i = 0; i < t.num_rows(); ++i) {
     if (t.sel(i, 0) == 2 && t.sel(i, 1) == 3 && t.rank(i, 0) <= 0.5) {
@@ -251,7 +261,7 @@ TEST(CompositeTest, RangeQueryFindsExactlyMatchingTuples) {
   }
   EXPECT_EQ(std::set<Tid>(res.candidates.begin(), res.candidates.end()),
             expect);
-  EXPECT_GT(pager.stats(IoCategory::kComposite).physical, 0u);
+  EXPECT_GT(io.stats(IoCategory::kComposite).physical, 0u);
   // The scan touched at least the matching region.
   EXPECT_GE(res.scanned, expect.size());
 }

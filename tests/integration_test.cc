@@ -43,10 +43,11 @@ TEST(ExecStatsTest, MergeMaxTracksPeak) {
   EXPECT_EQ(s.peak_heap, 9u);
 }
 
-TEST(PagerTest, StatsStringListsNonZeroCategories) {
-  Pager pager;
-  pager.Access(IoCategory::kRTree, 1);
-  std::string s = pager.StatsString();
+TEST(IoSessionTest, StatsStringListsNonZeroCategories) {
+  PageStore store;
+  IoSession io{&store};
+  io.Access(IoCategory::kRTree, 1);
+  std::string s = io.StatsString();
   EXPECT_NE(s.find("rtree=1/1"), std::string::npos);
   EXPECT_EQ(s.find("btree"), std::string::npos);
 }
@@ -69,9 +70,10 @@ TEST_P(EngineAgreementTest, GridAndSignatureAgreeWithOracle) {
   spec.distribution = GetParam().dist;
   spec.seed = 101;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
-  GridRankingCube grid(t, pager);
-  SignatureCube sig(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  GridRankingCube grid(t, io);
+  SignatureCube sig(t, io);
 
   QueryWorkloadSpec qs;
   qs.num_queries = 10;
@@ -80,8 +82,8 @@ TEST_P(EngineAgreementTest, GridAndSignatureAgreeWithOracle) {
   for (const auto& q : GenerateQueries(t, qs)) {
     auto oracle = ScoresOf(BruteForceTopK(t, q));
     ExecStats s1, s2;
-    auto g = grid.TopK(q, &pager, &s1);
-    auto s = sig.TopK(q, &pager, &s2);
+    auto g = grid.TopK(q, &io, &s1);
+    auto s = sig.TopK(q, &io, &s2);
     ASSERT_TRUE(g.ok());
     ASSERT_TRUE(s.ok());
     EXPECT_EQ(ScoresOf(*g), oracle) << q.ToString();
@@ -110,19 +112,20 @@ TEST(SignatureCubeTest, MaterializedMultiDimCuboidGivesSameAnswers) {
   spec.cardinality = 10;
   spec.num_rank_dims = 2;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
-  SignatureCube atomic(t, pager);  // atomic cuboids only
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube atomic(t, io);  // atomic cuboids only
   SignatureCubeOptions opt;
   opt.cuboid_dim_sets = {{0}, {1}, {2}, {0, 1}};  // + one 2-d cuboid
-  SignatureCube multi(t, pager, opt);
+  SignatureCube multi(t, io, opt);
 
   QueryWorkloadSpec qs;
   qs.num_queries = 12;
   qs.num_predicates = 2;
   for (const auto& q : GenerateQueries(t, qs)) {
     ExecStats s1, s2;
-    auto a = atomic.TopK(q, &pager, &s1);
-    auto m = multi.TopK(q, &pager, &s2);
+    auto a = atomic.TopK(q, &io, &s1);
+    auto m = multi.TopK(q, &io, &s2);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(m.ok());
     EXPECT_EQ(ScoresOf(*a), ScoresOf(*m)) << q.ToString();
@@ -138,23 +141,24 @@ TEST(SignatureCubeTest, ExactCuboidPrunesNoWorseThanAssembled) {
   spec.cardinality = 10;
   spec.num_rank_dims = 2;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
-  SignatureCube atomic(t, pager,
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube atomic(t, io,
                        SignatureCubeOptions{.cuboid_dim_sets = {{0}, {1}}});
-  SignatureCube exact(t, pager,
+  SignatureCube exact(t, io,
                       SignatureCubeOptions{.cuboid_dim_sets = {{0, 1}}});
   TopKQuery q;
   q.predicates = {{0, t.sel(0, 0)}, {1, t.sel(0, 1)}};
   q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 1});
   q.k = 20;
-  pager.ResetStats();
+  io.ResetStats();
   ExecStats s1;
-  auto r1 = atomic.TopK(q, &pager, &s1);
-  uint64_t atomic_rtree = pager.stats(IoCategory::kRTree).physical;
-  pager.ResetStats();
+  auto r1 = atomic.TopK(q, &io, &s1);
+  uint64_t atomic_rtree = io.stats(IoCategory::kRTree).physical;
+  io.ResetStats();
   ExecStats s2;
-  auto r2 = exact.TopK(q, &pager, &s2);
-  uint64_t exact_rtree = pager.stats(IoCategory::kRTree).physical;
+  auto r2 = exact.TopK(q, &io, &s2);
+  uint64_t exact_rtree = io.stats(IoCategory::kRTree).physical;
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(ScoresOf(*r1), ScoresOf(*r2));
@@ -165,15 +169,16 @@ TEST(CovtypeIntegrationTest, FragmentsAnswerCovtypeQueries) {
   CovtypeSpec spec;
   spec.base_rows = 3000;
   Table t = GenerateCovtypeLike(spec);
-  Pager pager;
-  RankingFragments frags(t, pager, {.block_size = 300, .fragment_size = 3});
+  PageStore store;
+  IoSession io{&store};
+  RankingFragments frags(t, io, {.block_size = 300, .fragment_size = 3});
   QueryWorkloadSpec qs;
   qs.num_queries = 8;
   qs.num_predicates = 3;
   qs.num_rank_used = 3;
   for (const auto& q : GenerateQueries(t, qs)) {
     ExecStats stats;
-    auto res = frags.TopK(q, &pager, &stats);
+    auto res = frags.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok()) << res.status().ToString();
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q))) << q.ToString();
   }
@@ -183,26 +188,28 @@ TEST(SpjrSystemTest, ArityMismatchRejected) {
   SyntheticSpec spec;
   spec.num_rows = 100;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
-  SpjrSystem sys(pager);
+  PageStore store;
+  IoSession io{&store};
+  SpjrSystem sys(store);
   sys.AddRelation(t);
   SpjrQuery q;  // zero relations vs one registered
   ExecStats stats;
-  EXPECT_FALSE(sys.TopK(q, &pager, &stats).ok());
-  EXPECT_FALSE(sys.BaselineTopK(q, &pager, &stats).ok());
+  EXPECT_FALSE(sys.TopK(q, &io, &stats).ok());
+  EXPECT_FALSE(sys.BaselineTopK(q, &io, &stats).ok());
 }
 
 TEST(SpjrSystemTest, MissingFunctionRejected) {
   SyntheticSpec spec;
   spec.num_rows = 100;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
-  SpjrSystem sys(pager);
+  PageStore store;
+  IoSession io{&store};
+  SpjrSystem sys(store);
   sys.AddRelation(t);
   SpjrQuery q;
   q.relations.resize(1);  // function left null
   ExecStats stats;
-  auto res = sys.TopK(q, &pager, &stats);
+  auto res = sys.TopK(q, &io, &stats);
   EXPECT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), Status::Code::kInvalidArgument);
 }
@@ -211,9 +218,10 @@ TEST(OptimizerTest, ExplainStringIsInformative) {
   SyntheticSpec spec;
   spec.num_rows = 10000;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   PostingIndex posting(t);
-  AccessPlan plan = ChooseAccessPath(t, posting, {{0, 1}}, 10, pager);
+  AccessPlan plan = ChooseAccessPath(t, posting, {{0, 1}}, 10, store);
   EXPECT_NE(plan.explain.find("est_matches"), std::string::npos);
   EXPECT_NE(plan.explain.find("->"), std::string::npos);
 }
@@ -222,8 +230,9 @@ TEST(GridCubeTest, ConstructionTimeAndSizeReported) {
   SyntheticSpec spec;
   spec.num_rows = 5000;
   Table t = GenerateSynthetic(spec);
-  Pager pager;
-  GridRankingCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  GridRankingCube cube(t, io);
   EXPECT_GT(cube.construction_ms(), 0.0);
   EXPECT_GT(cube.SizeBytes(), t.num_rows() * 8);  // at least the tid lists
 }

@@ -88,8 +88,9 @@ void ExpectNear(const std::vector<double>& a, const std::vector<double>& b) {
 TEST(RankJoinTest, TwoWayMatchesOracle) {
   Table r1 = MakeRelation(2000, 50, 1);
   Table r2 = MakeRelation(1500, 50, 2);
-  Pager pager;
-  SpjrSystem sys(pager);
+  PageStore store;
+  IoSession io{&store};
+  SpjrSystem sys(store);
   sys.AddRelation(r1);
   sys.AddRelation(r2);
 
@@ -106,7 +107,7 @@ TEST(RankJoinTest, TwoWayMatchesOracle) {
       std::make_shared<LinearFunction>(std::vector<double>{2.0, 0.5});
 
   ExecStats stats;
-  auto res = sys.TopK(q, &pager, &stats);
+  auto res = sys.TopK(q, &io, &stats);
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   ExpectNear(ScoresOfJoined(*res), OracleJoinScores({&r1, &r2}, q));
 }
@@ -114,8 +115,9 @@ TEST(RankJoinTest, TwoWayMatchesOracle) {
 TEST(RankJoinTest, BaselineMatchesOracleAndSystem) {
   Table r1 = MakeRelation(1200, 30, 3);
   Table r2 = MakeRelation(900, 30, 4);
-  Pager pager;
-  SpjrSystem sys(pager);
+  PageStore store;
+  IoSession io{&store};
+  SpjrSystem sys(store);
   sys.AddRelation(r1);
   sys.AddRelation(r2);
 
@@ -128,8 +130,8 @@ TEST(RankJoinTest, BaselineMatchesOracleAndSystem) {
         std::make_shared<LinearFunction>(std::vector<double>{1.0, 1.0});
   }
   ExecStats s1, s2;
-  auto fast = sys.TopK(q, &pager, &s1);
-  auto base = sys.BaselineTopK(q, &pager, &s2);
+  auto fast = sys.TopK(q, &io, &s1);
+  auto base = sys.BaselineTopK(q, &io, &s2);
   ASSERT_TRUE(fast.ok());
   ASSERT_TRUE(base.ok());
   auto oracle = OracleJoinScores({&r1, &r2}, q);
@@ -141,8 +143,9 @@ TEST(RankJoinTest, ThreeWayMatchesOracle) {
   Table r1 = MakeRelation(800, 20, 5);
   Table r2 = MakeRelation(700, 20, 6);
   Table r3 = MakeRelation(600, 20, 7);
-  Pager pager;
-  SpjrSystem sys(pager);
+  PageStore store;
+  IoSession io{&store};
+  SpjrSystem sys(store);
   sys.AddRelation(r1);
   sys.AddRelation(r2);
   sys.AddRelation(r3);
@@ -157,7 +160,7 @@ TEST(RankJoinTest, ThreeWayMatchesOracle) {
   }
   q.relations[1].predicates = {{1, r2.sel(3, 1)}};
   ExecStats stats;
-  auto res = sys.TopK(q, &pager, &stats);
+  auto res = sys.TopK(q, &io, &stats);
   ASSERT_TRUE(res.ok());
   ExpectNear(ScoresOfJoined(*res), OracleJoinScores({&r1, &r2, &r3}, q));
 }
@@ -165,8 +168,9 @@ TEST(RankJoinTest, ThreeWayMatchesOracle) {
 TEST(RankJoinTest, DistanceFunctionsAcrossRelations) {
   Table r1 = MakeRelation(1000, 25, 8);
   Table r2 = MakeRelation(1000, 25, 9);
-  Pager pager;
-  SpjrSystem sys(pager);
+  PageStore store;
+  IoSession io{&store};
+  SpjrSystem sys(store);
   sys.AddRelation(r1);
   sys.AddRelation(r2);
 
@@ -180,7 +184,7 @@ TEST(RankJoinTest, DistanceFunctionsAcrossRelations) {
   q.relations[1].function = std::make_shared<QuadraticDistance>(
       std::vector<double>{1.0, 2.0}, std::vector<double>{0.8, 0.1});
   ExecStats stats;
-  auto res = sys.TopK(q, &pager, &stats);
+  auto res = sys.TopK(q, &io, &stats);
   ASSERT_TRUE(res.ok());
   ExpectNear(ScoresOfJoined(*res), OracleJoinScores({&r1, &r2}, q));
 }
@@ -188,8 +192,9 @@ TEST(RankJoinTest, DistanceFunctionsAcrossRelations) {
 TEST(RankJoinTest, RankAwarePullsFarFewerTuplesThanBaseline) {
   Table r1 = MakeRelation(20000, 40, 10);
   Table r2 = MakeRelation(20000, 40, 11);
-  Pager pager;
-  SpjrSystem sys(pager);
+  PageStore store;
+  IoSession io{&store};
+  SpjrSystem sys(store);
   sys.AddRelation(r1);
   sys.AddRelation(r2);
   SpjrQuery q;
@@ -202,7 +207,7 @@ TEST(RankJoinTest, RankAwarePullsFarFewerTuplesThanBaseline) {
   }
   ExecStats stats;
   RankJoinStats js;
-  auto res = sys.TopK(q, &pager, &stats, &js);
+  auto res = sys.TopK(q, &io, &stats, &js);
   ASSERT_TRUE(res.ok());
   EXPECT_LT(js.tuples_pulled, r1.num_rows() / 4);  // early termination bites
 }
@@ -212,8 +217,9 @@ TEST(RankJoinTest, EmptyJoinReturnsNothing) {
   // predicates that never match.
   Table r1 = MakeRelation(300, 10, 12);
   Table r2 = MakeRelation(300, 10, 13);
-  Pager pager;
-  SpjrSystem sys(pager);
+  PageStore store;
+  IoSession io{&store};
+  SpjrSystem sys(store);
   sys.AddRelation(r1);
   sys.AddRelation(r2);
   SpjrQuery q;
@@ -227,21 +233,22 @@ TEST(RankJoinTest, EmptyJoinReturnsNothing) {
   q.relations[1].function =
       std::make_shared<LinearFunction>(std::vector<double>{1.0, 1.0});
   ExecStats stats;
-  auto res = sys.TopK(q, &pager, &stats);
+  auto res = sys.TopK(q, &io, &stats);
   ASSERT_TRUE(res.ok());
   ExpectNear(ScoresOfJoined(*res), OracleJoinScores({&r1, &r2}, q));
 }
 
 TEST(OptimizerTest, SelectiveQueriesMaterialize) {
   Table r1 = MakeRelation(50000, 1000, 14);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   PostingIndex posting(r1);
   // Highly selective: three predicates.
   std::vector<Predicate> selective = {{0, 1}, {1, 2}, {2, 3}};
-  AccessPlan p1 = ChooseAccessPath(r1, posting, selective, 10, pager);
+  AccessPlan p1 = ChooseAccessPath(r1, posting, selective, 10, store);
   EXPECT_EQ(p1.kind, AccessPlan::Kind::kMaterializeSort) << p1.explain;
   // Unselective: no predicates.
-  AccessPlan p2 = ChooseAccessPath(r1, posting, {}, 10, pager);
+  AccessPlan p2 = ChooseAccessPath(r1, posting, {}, 10, store);
   EXPECT_EQ(p2.kind, AccessPlan::Kind::kCubeStream) << p2.explain;
 }
 
@@ -255,14 +262,15 @@ TEST(OptimizerTest, EstimatesMatchIndependence) {
 
 TEST(RankedStreamTest, EmitsAscendingScores) {
   Table r1 = MakeRelation(3000, 10, 16);
-  Pager pager;
-  SignatureCube cube(r1, pager);
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube cube(r1, io);
   auto f = std::make_shared<LinearFunction>(std::vector<double>{1.0, 1.0});
   ExecStats stats;
   auto pruner = cube.MakePruner({{1, r1.sel(0, 1)}});
   ASSERT_TRUE(pruner.ok());
   CubeRankedStream stream(r1, cube, f, std::move(std::move(pruner).value()),
-                          &pager, &stats);
+                          &io, &stats);
   double prev = -1.0;
   Tid tid;
   double score;

@@ -55,11 +55,12 @@ TEST_P(MergeStressTest, AllModesAgreeWithOracle) {
   spec.seed = static_cast<uint64_t>(seed) * 13 + 1;
   spec.distribution = static_cast<RankDistribution>(rng.UniformInt(3));
   Table table = GenerateSynthetic(spec);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
 
   int fanout = 4 + static_cast<int>(rng.UniformInt(12));
-  BTree b0(table, 0, pager, {.fanout = fanout});
-  BTree b1(table, 1, pager, {.fanout = fanout});
+  BTree b0(table, 0, io, {.fanout = fanout});
+  BTree b1(table, 1, io, {.fanout = fanout});
   BTreeMergeIndex m0(&b0, 0), m1(&b1, 1);
   std::vector<const MergeIndex*> indices{&m0, &m1};
   JoinSignature sig(indices);
@@ -75,13 +76,13 @@ TEST_P(MergeStressTest, AllModesAgreeWithOracle) {
     MergeOptions bl;
     bl.mode = MergeOptions::Mode::kBaseline;
     ExecStats s1;
-    EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, k, bl, &pager, &s1)),
+    EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, k, bl, &io, &s1)),
               oracle)
         << "BL " << f->ToString() << " k=" << k;
 
     MergeOptions pe;
     ExecStats s2;
-    EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, k, pe, &pager, &s2)),
+    EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, k, pe, &io, &s2)),
               oracle)
         << "PE " << f->ToString() << " k=" << k;
 
@@ -89,7 +90,7 @@ TEST_P(MergeStressTest, AllModesAgreeWithOracle) {
     ps.signatures = {&sig};
     ps.signature_positions = {{0, 1}};
     ExecStats s3;
-    EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, k, ps, &pager, &s3)),
+    EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, k, ps, &io, &s3)),
               oracle)
         << "PE+SIG " << f->ToString() << " k=" << k;
   }

@@ -12,7 +12,8 @@ namespace {
 
 struct MergeFixture {
   Table table;
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   std::vector<std::unique_ptr<BTree>> btrees;
   std::vector<std::unique_ptr<MergeIndex>> owned;
   std::vector<const MergeIndex*> indices;
@@ -22,7 +23,7 @@ struct MergeFixture {
       : table(MakeTable(rows, rank_dims, seed)) {
     for (int d = 0; d < rank_dims; ++d) {
       btrees.push_back(
-          std::make_unique<BTree>(table, d, pager,
+          std::make_unique<BTree>(table, d, io,
                                   BTreeOptions{.fanout = fanout}));
       owned.push_back(
           std::make_unique<BTreeMergeIndex>(btrees.back().get(), d));
@@ -67,7 +68,7 @@ TEST(IndexMergeTest, BaselineMatchesBruteForce) {
     opt.mode = MergeOptions::Mode::kBaseline;
     ExecStats stats;
     auto res = IndexMergeTopK(fx.table, fx.indices, q.function, q.k, opt,
-                              &fx.pager, &stats);
+                              &fx.io, &stats);
     EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(fx.table, q)))
         << f->ToString();
   }
@@ -80,7 +81,7 @@ TEST(IndexMergeTest, ProgressiveMatchesBruteForce) {
     MergeOptions opt;
     ExecStats stats;
     auto res = IndexMergeTopK(fx.table, fx.indices, q.function, q.k, opt,
-                              &fx.pager, &stats);
+                              &fx.io, &stats);
     EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(fx.table, q)))
         << f->ToString();
   }
@@ -96,7 +97,7 @@ TEST(IndexMergeTest, ProgressiveWithSignatureMatchesBruteForce) {
     opt.signature_positions = {{0, 1}};
     ExecStats stats;
     auto res = IndexMergeTopK(fx.table, fx.indices, q.function, q.k, opt,
-                              &fx.pager, &stats);
+                              &fx.io, &stats);
     EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(fx.table, q)))
         << f->ToString();
   }
@@ -108,10 +109,10 @@ TEST(IndexMergeTest, ProgressiveGeneratesFewerStatesThanBaseline) {
   MergeOptions bl;
   bl.mode = MergeOptions::Mode::kBaseline;
   ExecStats sbl;
-  IndexMergeTopK(fx.table, fx.indices, f, 50, bl, &fx.pager, &sbl);
+  IndexMergeTopK(fx.table, fx.indices, f, 50, bl, &fx.io, &sbl);
   MergeOptions pe;
   ExecStats spe;
-  IndexMergeTopK(fx.table, fx.indices, f, 50, pe, &fx.pager, &spe);
+  IndexMergeTopK(fx.table, fx.indices, f, 50, pe, &fx.io, &spe);
   EXPECT_LT(spe.states_generated, sbl.states_generated);  // Table 5.1's gap
   EXPECT_LT(spe.peak_heap, sbl.peak_heap);
 }
@@ -122,17 +123,17 @@ TEST(IndexMergeTest, SignatureReducesIndexAccessesOnGeneralQuery) {
   auto f = std::make_shared<GeneralAB>(2, 0, 1);
   MergeOptions pe;
   ExecStats spe;
-  fx.pager.ResetStats();
-  IndexMergeTopK(fx.table, fx.indices, f, 100, pe, &fx.pager, &spe);
-  uint64_t pe_nodes = fx.pager.stats(IoCategory::kBTree).physical;
+  fx.io.ResetStats();
+  IndexMergeTopK(fx.table, fx.indices, f, 100, pe, &fx.io, &spe);
+  uint64_t pe_nodes = fx.io.stats(IoCategory::kBTree).physical;
   MergeOptions sigopt;
   sigopt.signatures = {&sig};
   sigopt.signature_positions = {{0, 1}};
   ExecStats ssig;
-  fx.pager.ResetStats();
+  fx.io.ResetStats();
   auto res_sig = IndexMergeTopK(fx.table, fx.indices, f, 100, sigopt,
-                                &fx.pager, &ssig);
-  uint64_t sig_nodes = fx.pager.stats(IoCategory::kBTree).physical;
+                                &fx.io, &ssig);
+  uint64_t sig_nodes = fx.io.stats(IoCategory::kBTree).physical;
   EXPECT_LT(sig_nodes, pe_nodes);
   EXPECT_LT(ssig.states_generated, spe.states_generated);
 }
@@ -147,7 +148,7 @@ TEST(IndexMergeTest, ThreeWayMergeAllConfigurations) {
   MergeOptions pe;
   ExecStats s1;
   EXPECT_EQ(ScoresOf(IndexMergeTopK(fx.table, fx.indices, f, 15, pe,
-                                    &fx.pager, &s1)),
+                                    &fx.io, &s1)),
             oracle);
 
   // One 3-d signature.
@@ -157,7 +158,7 @@ TEST(IndexMergeTest, ThreeWayMergeAllConfigurations) {
   o3.signature_positions = {{0, 1, 2}};
   ExecStats s2;
   EXPECT_EQ(ScoresOf(IndexMergeTopK(fx.table, fx.indices, f, 15, o3,
-                                    &fx.pager, &s2)),
+                                    &fx.io, &s2)),
             oracle);
 
   // Three pairwise 2-d signatures (§5.3.3).
@@ -169,7 +170,7 @@ TEST(IndexMergeTest, ThreeWayMergeAllConfigurations) {
   o2.signature_positions = {{0, 1}, {0, 2}, {1, 2}};
   ExecStats s3;
   EXPECT_EQ(ScoresOf(IndexMergeTopK(fx.table, fx.indices, f, 15, o2,
-                                    &fx.pager, &s3)),
+                                    &fx.io, &s3)),
             oracle);
 }
 
@@ -182,9 +183,10 @@ TEST(IndexMergeTest, RTreeIndicesMerge) {
   spec.num_rank_dims = 4;
   spec.seed = 13;
   Table table = GenerateSynthetic(spec);
-  Pager pager;
-  RTree r1(2, pager, {.max_entries = 16});
-  RTree r2(2, pager, {.max_entries = 16});
+  PageStore store;
+  IoSession io{&store};
+  RTree r1(2, io, {.max_entries = 16});
+  RTree r2(2, io, {.max_entries = 16});
   std::vector<int> d01{0, 1}, d23{2, 3};
   r1.BulkLoadSTR(table, &d01);
   r2.BulkLoadSTR(table, &d23);
@@ -200,7 +202,7 @@ TEST(IndexMergeTest, RTreeIndicesMerge) {
 
   MergeOptions pe;
   ExecStats s1;
-  EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, 25, pe, &pager, &s1)),
+  EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, 25, pe, &io, &s1)),
             oracle);
 
   JoinSignature sig({&m1, &m2});
@@ -208,7 +210,7 @@ TEST(IndexMergeTest, RTreeIndicesMerge) {
   o.signatures = {&sig};
   o.signature_positions = {{0, 1}};
   ExecStats s2;
-  EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, 25, o, &pager, &s2)),
+  EXPECT_EQ(ScoresOf(IndexMergeTopK(table, indices, f, 25, o, &io, &s2)),
             oracle);
 }
 
@@ -220,7 +222,7 @@ TEST(IndexMergeTest, PartialAttributesInRanking) {
   MergeOptions pe;
   ExecStats stats;
   auto res =
-      IndexMergeTopK(fx.table, fx.indices, f, 10, pe, &fx.pager, &stats);
+      IndexMergeTopK(fx.table, fx.indices, f, 10, pe, &fx.io, &stats);
   EXPECT_EQ(ScoresOf(res), ScoresOf(BruteForceTopK(fx.table, q)));
 }
 
@@ -230,7 +232,7 @@ TEST(IndexMergeTest, KLargerThanData) {
   MergeOptions pe;
   ExecStats stats;
   auto res =
-      IndexMergeTopK(fx.table, fx.indices, f, 500, pe, &fx.pager, &stats);
+      IndexMergeTopK(fx.table, fx.indices, f, 500, pe, &fx.io, &stats);
   EXPECT_EQ(res.size(), 50u);
 }
 
@@ -276,9 +278,10 @@ TEST(JoinSignatureTest, DetectsEmptyStates) {
     double x = i / 256.0;
     ASSERT_TRUE(t.AddRow({0}, {x, 1.0 - x}).ok());
   }
-  Pager pager;
-  BTree b0(t, 0, pager, {.fanout = 4});
-  BTree b1(t, 1, pager, {.fanout = 4});
+  PageStore store;
+  IoSession io{&store};
+  BTree b0(t, 0, io, {.fanout = 4});
+  BTree b1(t, 1, io, {.fanout = 4});
   BTreeMergeIndex m0(&b0, 0), m1(&b1, 1);
   JoinSignature sig({&m0, &m1});
   // Root state: children pair (first of A, first of B) = (low x, low 1-x)

@@ -1,0 +1,151 @@
+// Parallel-execution parity: for every registered engine, a workload run
+// through BatchExecutor::ExecuteParallel on a worker pool returns exactly
+// the tuples sequential execution returns, in workload order — engines are
+// const and data-race free, per-query state lives in each worker's
+// IoSession, and the only cross-thread state is the PageStore's sharded
+// cache. Run under ThreadSanitizer in CI (tsan job).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/batch_executor.h"
+#include "engine/registry.h"
+#include "gen/queries.h"
+#include "gen/synthetic.h"
+
+namespace rankcube {
+namespace {
+
+constexpr int kThreads = 4;
+
+struct Fixture {
+  Table table;
+  PageStore store;
+  IoSession io{&store};
+
+  Fixture() : table(MakeTable()) {}
+
+  static Table MakeTable() {
+    SyntheticSpec spec;
+    spec.num_rows = 3000;
+    spec.num_sel_dims = 3;
+    spec.cardinality = 5;
+    spec.num_rank_dims = 2;
+    spec.seed = 99;
+    return GenerateSynthetic(spec);
+  }
+
+  std::vector<TopKQuery> Workload(int num_predicates, int num_queries = 24) {
+    QueryWorkloadSpec spec;
+    spec.num_queries = num_queries;
+    spec.num_predicates = num_predicates;
+    spec.num_rank_used = 2;
+    spec.k = 5;
+    spec.seed = 1234;
+    return GenerateQueries(table, spec);
+  }
+};
+
+TEST(ParallelParityTest, EveryEngineMatchesSequentialTupleForTuple) {
+  Fixture fx;
+  auto& registry = EngineRegistry::Global();
+
+  for (const std::string& name : registry.Names()) {
+    SCOPED_TRACE("engine: " + name);
+    auto engine = registry.Create(name, fx.table, fx.io);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+    auto workload = fx.Workload((*engine)->SupportsPredicates() ? 2 : 0);
+    ASSERT_FALSE(workload.empty());
+
+    BatchExecutor batch(engine->get(), {.keep_results = true});
+    auto seq = batch.ExecuteAll(workload, fx.store);
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+    ASSERT_EQ(seq.value().failed, 0u) << seq.value().first_error.ToString();
+
+    auto par = batch.ExecuteParallel(workload, fx.store, kThreads);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    EXPECT_EQ(par.value().failed, 0u) << par.value().first_error.ToString();
+    ASSERT_EQ(par.value().results.size(), seq.value().results.size());
+    for (size_t i = 0; i < workload.size(); ++i) {
+      SCOPED_TRACE("query " + std::to_string(i) + ": " +
+                   workload[i].ToString());
+      EXPECT_EQ(par.value().results[i].tuples, seq.value().results[i].tuples);
+    }
+    // Logical work is deterministic; only cache hit/miss attribution may
+    // shift between schedules.
+    EXPECT_EQ(par.value().total.tuples_evaluated,
+              seq.value().total.tuples_evaluated);
+  }
+}
+
+TEST(ParallelParityTest, SharedCacheDoesNotChangeResults) {
+  // A small shared cache maximizes cross-thread contention on the store;
+  // results must still be identical (this is the TSan stress surface).
+  Fixture fx;
+  PageStore cached({.page_size = 4096, .cache_pages = 256,
+                    .cache_shards = 4});
+  IoSession build{&cached};
+  auto& registry = EngineRegistry::Global();
+  auto engine = registry.Create("grid", fx.table, build);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto workload = fx.Workload(2, 32);
+  BatchExecutor batch(engine->get(), {.keep_results = true});
+  auto seq = batch.ExecuteAll(workload, cached);
+  ASSERT_TRUE(seq.ok());
+  auto par = batch.ExecuteParallel(workload, cached, kThreads);
+  ASSERT_TRUE(par.ok());
+  ASSERT_EQ(par.value().results.size(), seq.value().results.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ(par.value().results[i].tuples, seq.value().results[i].tuples);
+  }
+}
+
+TEST(ParallelParityTest, ReportMergesDeterministically) {
+  Fixture fx;
+  auto& registry = EngineRegistry::Global();
+  auto engine = registry.Create("table_scan", fx.table, fx.io);
+  ASSERT_TRUE(engine.ok());
+
+  auto workload = fx.Workload(1, 16);
+  BatchExecutor batch(engine->get(), {.record_latencies = true});
+  auto a = batch.ExecuteParallel(workload, fx.store, kThreads);
+  auto b = batch.ExecuteParallel(workload, fx.store, kThreads);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().executed, workload.size());
+  EXPECT_EQ(a.value().latencies_ms.size(), workload.size());
+  // Counters that do not depend on timing or cache state are identical
+  // across runs and thread schedules.
+  EXPECT_EQ(a.value().total.tuples_evaluated, b.value().total.tuples_evaluated);
+  EXPECT_EQ(a.value().total.pages_read, b.value().total.pages_read);
+  EXPECT_EQ(a.value().physical_pages, b.value().physical_pages);
+  EXPECT_GT(a.value().wall_ms, 0.0);
+}
+
+TEST(ParallelParityTest, PerQueryBudgetAppliesPerSession) {
+  Fixture fx;
+  auto& registry = EngineRegistry::Global();
+  auto engine = registry.Create("table_scan", fx.table, fx.io);
+  ASSERT_TRUE(engine.ok());
+
+  auto workload = fx.Workload(1, 8);
+  // A 1-page budget fails every table_scan query, sequentially and in
+  // parallel alike; budgets are charged against each query's own session,
+  // not a shared global counter.
+  BatchExecutor batch(engine->get(), {.page_budget = 1});
+  auto seq = batch.ExecuteAll(workload, fx.store);
+  auto par = batch.ExecuteParallel(workload, fx.store, kThreads);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(seq.value().failed, workload.size());
+  EXPECT_EQ(par.value().failed, workload.size());
+  EXPECT_EQ(par.value().first_error.code(), Status::Code::kOutOfRange)
+      << par.value().first_error.ToString();
+}
+
+}  // namespace
+}  // namespace rankcube

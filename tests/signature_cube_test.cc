@@ -22,14 +22,15 @@ Table MakeData(uint64_t rows = 6000, int s = 3, int32_t c = 10, int r = 2,
 
 TEST(SignatureCubeTest, MatchesBruteForceOnWorkload) {
   Table t = MakeData();
-  Pager pager;
-  SignatureCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube cube(t, io);
   QueryWorkloadSpec qspec;
   qspec.num_queries = 25;
   qspec.num_predicates = 2;
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
-    auto res = cube.TopK(q, &pager, &stats);
+    auto res = cube.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok()) << res.status().ToString();
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q))) << q.ToString();
   }
@@ -37,8 +38,9 @@ TEST(SignatureCubeTest, MatchesBruteForceOnWorkload) {
 
 TEST(SignatureCubeTest, AllFunctionKinds) {
   Table t = MakeData(4000, 3, 8, 3);
-  Pager pager;
-  SignatureCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube cube(t, io);
   for (auto kind : {QueryFunctionKind::kLinear, QueryFunctionKind::kDistance,
                     QueryFunctionKind::kSqLinear}) {
     QueryWorkloadSpec qspec;
@@ -47,7 +49,7 @@ TEST(SignatureCubeTest, AllFunctionKinds) {
     qspec.kind = kind;
     for (const auto& q : GenerateQueries(t, qspec)) {
       ExecStats stats;
-      auto res = cube.TopK(q, &pager, &stats);
+      auto res = cube.TopK(q, &io, &stats);
       ASSERT_TRUE(res.ok());
       EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)))
           << q.ToString();
@@ -57,15 +59,16 @@ TEST(SignatureCubeTest, AllFunctionKinds) {
 
 TEST(SignatureCubeTest, InsertBuildMatchesBulkBuild) {
   Table t = MakeData(2000);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   SignatureCubeOptions opt;
   opt.bulk_load = false;  // tuple-at-a-time R-tree construction
-  SignatureCube cube(t, pager, opt);
+  SignatureCube cube(t, io, opt);
   QueryWorkloadSpec qspec;
   qspec.num_queries = 10;
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
-    auto res = cube.TopK(q, &pager, &stats);
+    auto res = cube.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok());
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q))) << q.ToString();
   }
@@ -73,24 +76,25 @@ TEST(SignatureCubeTest, InsertBuildMatchesBulkBuild) {
 
 TEST(SignatureCubeTest, SignaturePruningBeatsRankingFirstOnIo) {
   Table t = MakeData(20000, 3, 50, 2);  // selective predicates
-  Pager pager;
-  SignatureCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube cube(t, io);
   RankingFirst ranking(t, &cube.rtree());
   QueryWorkloadSpec qspec;
   qspec.num_queries = 10;
   qspec.num_predicates = 2;
   uint64_t sig_io = 0, rank_io = 0;
   for (const auto& q : GenerateQueries(t, qspec)) {
-    pager.ResetStats();
+    io.ResetStats();
     ExecStats s1;
-    auto r1 = cube.TopK(q, &pager, &s1);
+    auto r1 = cube.TopK(q, &io, &s1);
     ASSERT_TRUE(r1.ok());
-    sig_io += pager.stats(IoCategory::kRTree).physical;
-    pager.ResetStats();
+    sig_io += io.stats(IoCategory::kRTree).physical;
+    io.ResetStats();
     ExecStats s2;
-    auto r2 = ranking.TopK(q, &pager, &s2);
+    auto r2 = ranking.TopK(q, &io, &s2);
     ASSERT_TRUE(r2.ok());
-    rank_io += pager.stats(IoCategory::kRTree).physical;
+    rank_io += io.stats(IoCategory::kRTree).physical;
     EXPECT_EQ(ScoresOf(r1.value()), ScoresOf(*r2));
   }
   EXPECT_LT(sig_io, rank_io);  // Fig 4.13's claim
@@ -115,10 +119,11 @@ TEST(SignatureCubeTest, IncrementalInsertMatchesRebuild) {
                     t.RankRow(i))
                     .ok());
   }
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   SignatureCubeOptions opt;
   opt.bulk_load = false;
-  SignatureCube cube(prefix, pager, opt);
+  SignatureCube cube(prefix, io, opt);
 
   std::vector<Tid> extra;
   for (Tid i = 2500; i < 3000; ++i) {
@@ -128,13 +133,13 @@ TEST(SignatureCubeTest, IncrementalInsertMatchesRebuild) {
                     .ok());
     extra.push_back(i);
   }
-  cube.InsertBatch(extra, &pager);
+  cube.InsertBatch(extra, &io);
 
   QueryWorkloadSpec qspec;
   qspec.num_queries = 15;
   for (const auto& q : GenerateQueries(prefix, qspec)) {
     ExecStats stats;
-    auto res = cube.TopK(q, &pager, &stats);
+    auto res = cube.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok());
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(prefix, q)))
         << q.ToString();
@@ -143,8 +148,9 @@ TEST(SignatureCubeTest, IncrementalInsertMatchesRebuild) {
 
 TEST(SignatureCubeTest, EmptyCellShortCircuits) {
   Table t = MakeData(500, 2, 3, 2);
-  Pager pager;
-  SignatureCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube cube(t, io);
   TopKQuery q;
   q.predicates = {{0, 2}, {1, 2}};
   // Find a combination that doesn't exist; if it exists, skip.
@@ -154,28 +160,30 @@ TEST(SignatureCubeTest, EmptyCellShortCircuits) {
   }
   q.function = std::make_shared<LinearFunction>(std::vector<double>{1, 1});
   ExecStats stats;
-  auto res = cube.TopK(q, &pager, &stats);
+  auto res = cube.TopK(q, &io, &stats);
   ASSERT_TRUE(res.ok());
   if (!exists) EXPECT_TRUE(res->empty());
 }
 
 TEST(SignatureCubeTest, CompressedSmallerThanBaseline) {
   Table t = MakeData(10000, 3, 20, 2);
-  Pager pager;
-  SignatureCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube cube(t, io);
   EXPECT_GT(cube.CompressedBytes(), 0u);
   EXPECT_LT(cube.CompressedBytes(), cube.BaselineBytes());
 }
 
 TEST(SignatureCubeTest, SignaturePagesAreCounted) {
   Table t = MakeData(8000, 3, 10, 2);
-  Pager pager;
-  SignatureCube cube(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube cube(t, io);
   QueryWorkloadSpec qspec;
   qspec.num_queries = 5;
   ExecStats stats;
   for (const auto& q : GenerateQueries(t, qspec)) {
-    auto res = cube.TopK(q, &pager, &stats);
+    auto res = cube.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok());
   }
   EXPECT_GT(stats.signature_pages, 0u);
@@ -185,12 +193,13 @@ TEST(SignatureCubeTest, SignaturePagesAreCounted) {
 
 TEST(BaselinesTest, TableScanMatchesBruteForce) {
   Table t = MakeData(3000);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   QueryWorkloadSpec qspec;
   qspec.num_queries = 10;
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
-    auto res = TableScanTopK(t, q, &pager, &stats);
+    auto res = TableScanTopK(t, q, &io, &stats);
     ASSERT_TRUE(res.ok());
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)));
   }
@@ -198,13 +207,14 @@ TEST(BaselinesTest, TableScanMatchesBruteForce) {
 
 TEST(BaselinesTest, BooleanFirstMatchesBruteForce) {
   Table t = MakeData(3000);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   BooleanFirst bf(t);
   QueryWorkloadSpec qspec;
   qspec.num_queries = 10;
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
-    auto res = bf.TopK(q, &pager, &stats);
+    auto res = bf.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok());
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)));
   }
@@ -212,14 +222,15 @@ TEST(BaselinesTest, BooleanFirstMatchesBruteForce) {
 
 TEST(BaselinesTest, RankingFirstMatchesBruteForce) {
   Table t = MakeData(3000);
-  Pager pager;
-  SignatureCube cube(t, pager);  // reuse its R-tree
+  PageStore store;
+  IoSession io{&store};
+  SignatureCube cube(t, io);  // reuse its R-tree
   RankingFirst rf(t, &cube.rtree());
   QueryWorkloadSpec qspec;
   qspec.num_queries = 10;
   for (const auto& q : GenerateQueries(t, qspec)) {
     ExecStats stats;
-    auto res = rf.TopK(q, &pager, &stats);
+    auto res = rf.TopK(q, &io, &stats);
     ASSERT_TRUE(res.ok());
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, q)));
   }
@@ -227,7 +238,8 @@ TEST(BaselinesTest, RankingFirstMatchesBruteForce) {
 
 TEST(BaselinesTest, RankMappingWithOptimalBoundsMatchesBruteForce) {
   Table t = MakeData(3000);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   RankMapping rm(t, {{0, 1, 2}});
   QueryWorkloadSpec qspec;
   qspec.num_queries = 10;
@@ -235,7 +247,7 @@ TEST(BaselinesTest, RankMappingWithOptimalBoundsMatchesBruteForce) {
     auto oracle = BruteForceTopK(t, q);
     double kth = oracle.empty() ? 1e9 : oracle.back().score;
     ExecStats stats;
-    auto res = rm.TopK(q, kth, &pager, &stats);
+    auto res = rm.TopK(q, kth, &io, &stats);
     ASSERT_TRUE(res.ok());
     EXPECT_EQ(ScoresOf(*res), ScoresOf(oracle)) << q.ToString();
   }
@@ -243,7 +255,8 @@ TEST(BaselinesTest, RankMappingWithOptimalBoundsMatchesBruteForce) {
 
 TEST(BaselinesTest, RankMappingDistanceQueries) {
   Table t = MakeData(3000);
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   RankMapping rm(t, {{0, 1, 2}});
   QueryWorkloadSpec qspec;
   qspec.num_queries = 8;
@@ -252,7 +265,7 @@ TEST(BaselinesTest, RankMappingDistanceQueries) {
     auto oracle = BruteForceTopK(t, q);
     double kth = oracle.empty() ? 1e9 : oracle.back().score;
     ExecStats stats;
-    auto res = rm.TopK(q, kth, &pager, &stats);
+    auto res = rm.TopK(q, kth, &io, &stats);
     ASSERT_TRUE(res.ok());
     EXPECT_EQ(ScoresOf(*res), ScoresOf(oracle)) << q.ToString();
   }

@@ -38,14 +38,15 @@ TEST_P(SessionStressTest, RandomOpSequencesStayConsistent) {
   spec.seed = GetParam();
   spec.distribution = static_cast<RankDistribution>(rng.UniformInt(3));
   Table t = GenerateSynthetic(spec);
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineTransform tf = SkylineTransform::Static(2);
   SkylineSession session(&engine);
 
   Tid anchor = static_cast<Tid>(rng.UniformInt(t.num_rows()));
   ExecStats stats;
-  auto r0 = session.Query({{0, t.sel(anchor, 0)}}, tf, &pager, &stats);
+  auto r0 = session.Query({{0, t.sel(anchor, 0)}}, tf, &io, &stats);
   ASSERT_TRUE(r0.ok());
 
   for (int op = 0; op < 5; ++op) {
@@ -66,9 +67,9 @@ TEST_P(SessionStressTest, RandomOpSequencesStayConsistent) {
         }
       }
       ASSERT_GE(dim, 0);
-      res = session.DrillDown({{dim, t.sel(anchor, dim)}}, &pager, &stats);
+      res = session.DrillDown({{dim, t.sel(anchor, dim)}}, &io, &stats);
     } else if (can_roll) {
-      res = session.RollUp({preds.front().dim}, &pager, &stats);
+      res = session.RollUp({preds.front().dim}, &io, &stats);
     } else {
       continue;
     }

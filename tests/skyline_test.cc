@@ -65,18 +65,19 @@ class SkylineParamTest
 
 TEST_P(SkylineParamTest, AllThreeMethodsMatchOracle) {
   Table t = MakeData(3000, GetParam());
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineTransform tf = SkylineTransform::Static(2);
   std::vector<Predicate> preds = {{0, t.sel(5, 0)}};
   auto oracle = OracleSkyline(t, preds, tf);
 
   ExecStats s1, s2, s3;
-  auto sig = engine.Signature(preds, tf, &pager, &s1);
+  auto sig = engine.Signature(preds, tf, &io, &s1);
   ASSERT_TRUE(sig.ok());
   EXPECT_EQ(AsSet(*sig), oracle);
-  EXPECT_EQ(AsSet(engine.RankingFirst(preds, tf, &pager, &s2)), oracle);
-  EXPECT_EQ(AsSet(engine.BooleanFirst(preds, tf, &pager, &s3)), oracle);
+  EXPECT_EQ(AsSet(engine.RankingFirst(preds, tf, &io, &s2)), oracle);
+  EXPECT_EQ(AsSet(engine.BooleanFirst(preds, tf, &io, &s3)), oracle);
 }
 
 INSTANTIATE_TEST_SUITE_P(Distributions, SkylineParamTest,
@@ -86,51 +87,55 @@ INSTANTIATE_TEST_SUITE_P(Distributions, SkylineParamTest,
 
 TEST(SkylineTest, NoPredicates) {
   Table t = MakeData(2000, RankDistribution::kUniform);
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineTransform tf = SkylineTransform::Static(2);
   auto oracle = OracleSkyline(t, {}, tf);
   ExecStats stats;
-  auto res = engine.Signature({}, tf, &pager, &stats);
+  auto res = engine.Signature({}, tf, &io, &stats);
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(AsSet(*res), oracle);
 }
 
 TEST(SkylineTest, DynamicSkyline) {
   Table t = MakeData(2500, RankDistribution::kUniform);
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineTransform tf = SkylineTransform::Dynamic({0.45, 0.55});
   std::vector<Predicate> preds = {{1, t.sel(10, 1)}};
   auto oracle = OracleSkyline(t, preds, tf);
   ExecStats s1, s2;
-  auto sig = engine.Signature(preds, tf, &pager, &s1);
+  auto sig = engine.Signature(preds, tf, &io, &s1);
   ASSERT_TRUE(sig.ok());
   EXPECT_EQ(AsSet(*sig), oracle);
-  EXPECT_EQ(AsSet(engine.RankingFirst(preds, tf, &pager, &s2)), oracle);
+  EXPECT_EQ(AsSet(engine.RankingFirst(preds, tf, &io, &s2)), oracle);
 }
 
 TEST(SkylineTest, ThreeDimensionalSkyline) {
   Table t = MakeData(2000, RankDistribution::kAntiCorrelated, 3);
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineTransform tf = SkylineTransform::Static(3);
   auto oracle = OracleSkyline(t, {}, tf);
   ExecStats stats;
-  auto res = engine.Signature({}, tf, &pager, &stats);
+  auto res = engine.Signature({}, tf, &io, &stats);
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(AsSet(*res), oracle);
 }
 
 TEST(SkylineTest, MultiPredicateConjunction) {
   Table t = MakeData(4000, RankDistribution::kUniform);
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineTransform tf = SkylineTransform::Static(2);
   std::vector<Predicate> preds = {{0, t.sel(99, 0)}, {2, t.sel(99, 2)}};
   auto oracle = OracleSkyline(t, preds, tf);
   ExecStats stats;
-  auto res = engine.Signature(preds, tf, &pager, &stats);
+  auto res = engine.Signature(preds, tf, &io, &stats);
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(AsSet(*res), oracle);
   EXPECT_GT(stats.signature_pages, 0u);
@@ -138,19 +143,20 @@ TEST(SkylineTest, MultiPredicateConjunction) {
 
 TEST(SkylineTest, SignatureBeatsRankingOnIo) {
   Table t = MakeData(20000, RankDistribution::kUniform, 2, 43);
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineTransform tf = SkylineTransform::Static(2);
   std::vector<Predicate> preds = {{0, t.sel(0, 0)}, {1, t.sel(0, 1)}};
-  pager.ResetStats();
+  io.ResetStats();
   ExecStats s1;
-  auto sig = engine.Signature(preds, tf, &pager, &s1);
+  auto sig = engine.Signature(preds, tf, &io, &s1);
   ASSERT_TRUE(sig.ok());
-  uint64_t sig_table_io = pager.stats(IoCategory::kTable).physical;
-  pager.ResetStats();
+  uint64_t sig_table_io = io.stats(IoCategory::kTable).physical;
+  io.ResetStats();
   ExecStats s2;
-  engine.RankingFirst(preds, tf, &pager, &s2);
-  uint64_t rank_table_io = pager.stats(IoCategory::kTable).physical;
+  engine.RankingFirst(preds, tf, &io, &s2);
+  uint64_t rank_table_io = io.stats(IoCategory::kTable).physical;
   // Ranking-first pays a random table access per skyline candidate;
   // signature pruning avoids (almost) all of them.
   EXPECT_LT(sig_table_io, rank_table_io);
@@ -158,20 +164,21 @@ TEST(SkylineTest, SignatureBeatsRankingOnIo) {
 
 TEST(SkylineSessionTest, DrillDownMatchesFreshQuery) {
   Table t = MakeData(3000, RankDistribution::kUniform);
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineSession session(&engine);
   SkylineTransform tf = SkylineTransform::Static(2);
 
   std::vector<Predicate> base = {{0, t.sel(17, 0)}};
   ExecStats s0;
-  auto first = session.Query(base, tf, &pager, &s0);
+  auto first = session.Query(base, tf, &io, &s0);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(AsSet(*first), OracleSkyline(t, base, tf));
 
   std::vector<Predicate> extra = {{1, t.sel(17, 1)}};
   ExecStats s1;
-  auto drilled = session.DrillDown(extra, &pager, &s1);
+  auto drilled = session.DrillDown(extra, &io, &s1);
   ASSERT_TRUE(drilled.ok());
   std::vector<Predicate> both = base;
   both.push_back(extra[0]);
@@ -180,19 +187,20 @@ TEST(SkylineSessionTest, DrillDownMatchesFreshQuery) {
 
 TEST(SkylineSessionTest, RollUpMatchesFreshQuery) {
   Table t = MakeData(3000, RankDistribution::kUniform, 2, 47);
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineSession session(&engine);
   SkylineTransform tf = SkylineTransform::Static(2);
 
   std::vector<Predicate> both = {{0, t.sel(23, 0)}, {1, t.sel(23, 1)}};
   ExecStats s0;
-  auto first = session.Query(both, tf, &pager, &s0);
+  auto first = session.Query(both, tf, &io, &s0);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(AsSet(*first), OracleSkyline(t, both, tf));
 
   ExecStats s1;
-  auto rolled = session.RollUp({1}, &pager, &s1);
+  auto rolled = session.RollUp({1}, &io, &s1);
   ASSERT_TRUE(rolled.ok());
   EXPECT_EQ(AsSet(*rolled),
             OracleSkyline(t, {{0, t.sel(23, 0)}}, tf));
@@ -200,26 +208,28 @@ TEST(SkylineSessionTest, RollUpMatchesFreshQuery) {
 
 TEST(SkylineSessionTest, DrillThenRollRoundTrip) {
   Table t = MakeData(2500, RankDistribution::kUniform, 2, 53);
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineSession session(&engine);
   SkylineTransform tf = SkylineTransform::Static(2);
 
   std::vector<Predicate> base = {{0, t.sel(3, 0)}};
   ExecStats s;
-  auto q0 = session.Query(base, tf, &pager, &s);
+  auto q0 = session.Query(base, tf, &io, &s);
   ASSERT_TRUE(q0.ok());
-  auto q1 = session.DrillDown({{2, t.sel(3, 2)}}, &pager, &s);
+  auto q1 = session.DrillDown({{2, t.sel(3, 2)}}, &io, &s);
   ASSERT_TRUE(q1.ok());
-  auto q2 = session.RollUp({2}, &pager, &s);
+  auto q2 = session.RollUp({2}, &io, &s);
   ASSERT_TRUE(q2.ok());
   EXPECT_EQ(AsSet(*q2), OracleSkyline(t, base, tf));
 }
 
 TEST(SkylineSessionTest, DrillDownIsCheaperThanFresh) {
   Table t = MakeData(20000, RankDistribution::kUniform, 2, 59);
-  Pager pager;
-  SkylineEngine engine(t, pager);
+  PageStore store;
+  IoSession io{&store};
+  SkylineEngine engine(t, io);
   SkylineTransform tf = SkylineTransform::Static(2);
   std::vector<Predicate> base = {{0, t.sel(100, 0)}};
   std::vector<Predicate> extra = {{1, t.sel(100, 1)}};
@@ -228,17 +238,17 @@ TEST(SkylineSessionTest, DrillDownIsCheaperThanFresh) {
 
   SkylineSession session(&engine);
   ExecStats s0;
-  ASSERT_TRUE(session.Query(base, tf, &pager, &s0).ok());
-  pager.ResetStats();
+  ASSERT_TRUE(session.Query(base, tf, &io, &s0).ok());
+  io.ResetStats();
   ExecStats sdrill;
-  ASSERT_TRUE(session.DrillDown(extra, &pager, &sdrill).ok());
-  uint64_t drill_io = pager.stats(IoCategory::kRTree).physical;
+  ASSERT_TRUE(session.DrillDown(extra, &io, &sdrill).ok());
+  uint64_t drill_io = io.stats(IoCategory::kRTree).physical;
 
-  pager.ResetStats();
+  io.ResetStats();
   SkylineSession fresh(&engine);
   ExecStats sfresh;
-  ASSERT_TRUE(fresh.Query(both, tf, &pager, &sfresh).ok());
-  uint64_t fresh_io = pager.stats(IoCategory::kRTree).physical;
+  ASSERT_TRUE(fresh.Query(both, tf, &io, &sfresh).ok());
+  uint64_t fresh_io = io.stats(IoCategory::kRTree).physical;
   EXPECT_LE(drill_io, fresh_io);  // Fig 7.13's claim
 }
 

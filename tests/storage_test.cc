@@ -1,51 +1,152 @@
 #include <gtest/gtest.h>
 
-#include "storage/pager.h"
+#include <thread>
+#include <vector>
+
+#include "storage/io_session.h"
 #include "storage/table.h"
 
 namespace rankcube {
 namespace {
 
-TEST(PagerTest, CountsPerCategory) {
-  Pager pager;
-  pager.Access(IoCategory::kRTree, 1);
-  pager.Access(IoCategory::kRTree, 2);
-  pager.Access(IoCategory::kSignature, 9);
-  EXPECT_EQ(pager.stats(IoCategory::kRTree).physical, 2u);
-  EXPECT_EQ(pager.stats(IoCategory::kSignature).physical, 1u);
-  EXPECT_EQ(pager.TotalPhysical(), 3u);
-  pager.ResetStats();
-  EXPECT_EQ(pager.TotalPhysical(), 0u);
+TEST(IoSessionTest, CountsPerCategory) {
+  PageStore store;
+  IoSession io{&store};
+  io.Access(IoCategory::kRTree, 1);
+  io.Access(IoCategory::kRTree, 2);
+  io.Access(IoCategory::kSignature, 9);
+  EXPECT_EQ(io.stats(IoCategory::kRTree).physical, 2u);
+  EXPECT_EQ(io.stats(IoCategory::kSignature).physical, 1u);
+  EXPECT_EQ(io.TotalPhysical(), 3u);
+  io.ResetStats();
+  EXPECT_EQ(io.TotalPhysical(), 0u);
 }
 
-TEST(PagerTest, CacheAbsorbsRepeatedReads) {
-  Pager pager({.page_size = 4096, .cache_pages = 8});
-  for (int i = 0; i < 5; ++i) pager.Access(IoCategory::kBTree, 42);
-  EXPECT_EQ(pager.stats(IoCategory::kBTree).logical, 5u);
-  EXPECT_EQ(pager.stats(IoCategory::kBTree).physical, 1u);
+TEST(IoSessionTest, CacheAbsorbsRepeatedReads) {
+  PageStore store({.page_size = 4096, .cache_pages = 8});
+  IoSession io{&store};
+  for (int i = 0; i < 5; ++i) io.Access(IoCategory::kBTree, 42);
+  EXPECT_EQ(io.stats(IoCategory::kBTree).logical, 5u);
+  EXPECT_EQ(io.stats(IoCategory::kBTree).physical, 1u);
+  EXPECT_EQ(io.stats(IoCategory::kBTree).hits(), 4u);
 }
 
-TEST(PagerTest, CacheEvictsLru) {
-  Pager pager({.page_size = 4096, .cache_pages = 2});
-  pager.Access(IoCategory::kBTree, 1);
-  pager.Access(IoCategory::kBTree, 2);
-  pager.Access(IoCategory::kBTree, 3);  // evicts 1
-  pager.Access(IoCategory::kBTree, 1);  // miss again
-  EXPECT_EQ(pager.stats(IoCategory::kBTree).physical, 4u);
+TEST(IoSessionTest, CacheEvictsLru) {
+  // One shard = the classic global LRU: eviction order is exactly
+  // least-recently-used across all keys.
+  PageStore store({.page_size = 4096, .cache_pages = 2, .cache_shards = 1});
+  IoSession io{&store};
+  io.Access(IoCategory::kBTree, 1);
+  io.Access(IoCategory::kBTree, 2);
+  io.Access(IoCategory::kBTree, 3);  // evicts 1
+  io.Access(IoCategory::kBTree, 1);  // miss again, evicts 2
+  EXPECT_EQ(io.stats(IoCategory::kBTree).physical, 4u);
+  io.Access(IoCategory::kBTree, 3);  // still resident
+  io.Access(IoCategory::kBTree, 1);  // still resident
+  EXPECT_EQ(io.stats(IoCategory::kBTree).physical, 4u);
+  EXPECT_EQ(io.stats(IoCategory::kBTree).hits(), 2u);
 }
 
-TEST(PagerTest, MultiPageReadsBypassCache) {
-  Pager pager({.page_size = 4096, .cache_pages = 8});
-  pager.Access(IoCategory::kTable, 0, 10);
-  pager.Access(IoCategory::kTable, 0, 10);
-  EXPECT_EQ(pager.stats(IoCategory::kTable).physical, 20u);
+TEST(IoSessionTest, LruRefreshOnHit) {
+  PageStore store({.page_size = 4096, .cache_pages = 2, .cache_shards = 1});
+  IoSession io{&store};
+  io.Access(IoCategory::kBTree, 1);
+  io.Access(IoCategory::kBTree, 2);
+  io.Access(IoCategory::kBTree, 1);  // hit: 1 becomes most recent
+  io.Access(IoCategory::kBTree, 3);  // evicts 2, not 1
+  io.Access(IoCategory::kBTree, 1);  // hit
+  EXPECT_EQ(io.stats(IoCategory::kBTree).physical, 3u);
+  EXPECT_EQ(io.stats(IoCategory::kBTree).hits(), 2u);
 }
 
-TEST(PagerTest, CategoriesDoNotCollideInCache) {
-  Pager pager({.page_size = 4096, .cache_pages = 8});
-  pager.Access(IoCategory::kBTree, 7);
-  pager.Access(IoCategory::kRTree, 7);
-  EXPECT_EQ(pager.TotalPhysical(), 2u);
+TEST(IoSessionTest, MultiPageReadsBypassCache) {
+  PageStore store({.page_size = 4096, .cache_pages = 8});
+  IoSession io{&store};
+  io.Access(IoCategory::kTable, 0, 10);
+  io.Access(IoCategory::kTable, 0, 10);
+  EXPECT_EQ(io.stats(IoCategory::kTable).physical, 20u);
+  EXPECT_EQ(io.stats(IoCategory::kTable).hits(), 0u);
+}
+
+TEST(IoSessionTest, CategoriesDoNotCollideInCache) {
+  PageStore store({.page_size = 4096, .cache_pages = 8});
+  IoSession io{&store};
+  io.Access(IoCategory::kBTree, 7);
+  io.Access(IoCategory::kRTree, 7);
+  EXPECT_EQ(io.TotalPhysical(), 2u);
+}
+
+TEST(IoSessionTest, HitMissAccountingIsPerCategory) {
+  PageStore store({.page_size = 4096, .cache_pages = 16});
+  IoSession io{&store};
+  io.Access(IoCategory::kBTree, 1);   // miss
+  io.Access(IoCategory::kBTree, 1);   // hit
+  io.Access(IoCategory::kCuboid, 5);  // miss
+  io.Access(IoCategory::kCuboid, 5);  // hit
+  io.Access(IoCategory::kCuboid, 5);  // hit
+  EXPECT_EQ(io.stats(IoCategory::kBTree).logical, 2u);
+  EXPECT_EQ(io.stats(IoCategory::kBTree).physical, 1u);
+  EXPECT_EQ(io.stats(IoCategory::kBTree).hits(), 1u);
+  EXPECT_EQ(io.stats(IoCategory::kCuboid).logical, 3u);
+  EXPECT_EQ(io.stats(IoCategory::kCuboid).physical, 1u);
+  EXPECT_EQ(io.stats(IoCategory::kCuboid).hits(), 2u);
+  EXPECT_EQ(io.TotalLogical(), 5u);
+  EXPECT_EQ(io.TotalPhysical(), 2u);
+}
+
+TEST(IoSessionTest, SessionsShareTheStoreCache) {
+  PageStore store({.page_size = 4096, .cache_pages = 8});
+  IoSession a{&store};
+  IoSession b{&store};
+  a.Access(IoCategory::kBTree, 7);  // miss, admits the page
+  b.Access(IoCategory::kBTree, 7);  // hit through the shared cache
+  EXPECT_EQ(a.stats(IoCategory::kBTree).physical, 1u);
+  EXPECT_EQ(b.stats(IoCategory::kBTree).physical, 0u);
+  EXPECT_EQ(b.stats(IoCategory::kBTree).hits(), 1u);
+
+  store.ClearCache();
+  b.Access(IoCategory::kBTree, 7);  // cold again
+  EXPECT_EQ(b.stats(IoCategory::kBTree).physical, 1u);
+}
+
+TEST(IoSessionTest, MergeFromAccumulates) {
+  PageStore store;
+  IoSession a{&store};
+  IoSession b{&store};
+  a.Access(IoCategory::kTable, 0, 3);
+  b.Access(IoCategory::kTable, 1);
+  b.Access(IoCategory::kRTree, 2);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.stats(IoCategory::kTable).physical, 4u);
+  EXPECT_EQ(a.stats(IoCategory::kRTree).physical, 1u);
+  EXPECT_EQ(a.TotalPhysical(), 5u);
+}
+
+TEST(PageStoreTest, ConcurrentSessionsCountExactly) {
+  // Many threads hammer one shared store, each through its own session;
+  // session counters must be exact (logical is untouched by cache races)
+  // and the run must be clean under ThreadSanitizer.
+  PageStore store({.page_size = 4096, .cache_pages = 64, .cache_shards = 8});
+  constexpr int kThreads = 8;
+  constexpr int kAccesses = 2000;
+  std::vector<IoSession> sessions(kThreads, IoSession(&store));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAccesses; ++i) {
+        sessions[t].Access(IoCategory::kRTree,
+                           static_cast<uint64_t>(i % 128));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  uint64_t logical = 0;
+  for (const auto& s : sessions) logical += s.TotalLogical();
+  EXPECT_EQ(logical, static_cast<uint64_t>(kThreads) * kAccesses);
+  for (const auto& s : sessions) {
+    EXPECT_LE(s.TotalPhysical(), s.TotalLogical());
+  }
 }
 
 Table MakeTable() {
@@ -78,15 +179,16 @@ TEST(TableTest, RejectsBadRows) {
 
 TEST(TableTest, PageAccounting) {
   Table t = MakeTable();
-  Pager pager;
+  PageStore store;
+  IoSession io{&store};
   // Row = 4 + 4*2 + 8*2 = 28 bytes -> 146 rows / 4KB page.
   EXPECT_EQ(t.RowBytes(), 28u);
-  EXPECT_EQ(t.RowsPerPage(pager), 146u);
-  EXPECT_EQ(t.NumPages(pager), 1u);
-  t.ChargeFullScan(&pager);
-  EXPECT_EQ(pager.stats(IoCategory::kTable).physical, 1u);
-  t.ChargeRowFetch(&pager, 0);
-  EXPECT_EQ(pager.stats(IoCategory::kTable).physical, 2u);
+  EXPECT_EQ(t.RowsPerPage(io.page_size()), 146u);
+  EXPECT_EQ(t.NumPages(io.page_size()), 1u);
+  t.ChargeFullScan(&io);
+  EXPECT_EQ(io.stats(IoCategory::kTable).physical, 1u);
+  t.ChargeRowFetch(&io, 0);
+  EXPECT_EQ(io.stats(IoCategory::kTable).physical, 2u);
 }
 
 }  // namespace
