@@ -1,0 +1,321 @@
+// Scoring hot-path microbenchmark: per RankingFunction class and per block
+// size, compares the scalar inner loop every engine used to run (gather a
+// point vector + one virtual Evaluate per tuple) against the column-direct
+// EvaluateBatch path (one virtual call per block reading rank_col()
+// directly), plus the OfferBatch threshold filter against per-tuple Offer.
+// Like bench_parallel it needs no google-benchmark, always builds, and
+// emits a machine-readable JSON report (BENCH_hotpath.json) so the scoring
+// throughput trajectory is tracked commit over commit.
+//
+// Usage:
+//   bench_hotpath [--rows=N] [--reps=N] [--json=PATH] [--smoke]
+//
+// The default --rows matches the repository's laptop-scale bench convention
+// (bench_parallel uses the same 20k-row synthetic relation): columns stay
+// cache-resident, so the figures isolate scoring *compute* throughput —
+// the gather + virtual-dispatch overhead the batch path removes. Larger
+// --rows shifts both paths toward memory-bound random column gathers and
+// compresses the gap; both regimes are real, this benchmark reports the
+// compute one.
+//
+// --smoke shrinks rows/reps to a few milliseconds of work; CI runs it to
+// make sure the benchmark binary and the batch paths stay healthy under an
+// optimized build.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/topk_query.h"
+#include "func/ranking_function.h"
+#include "gen/synthetic.h"
+
+namespace rankcube {
+namespace {
+
+constexpr int kRankDims = 4;
+
+struct Flags {
+  uint64_t rows = 20000;
+  int reps = 10;       ///< passes over the tid stream per trial
+  int trials = 5;      ///< best-of-N trials per cell (noise robustness)
+  bool smoke = false;  ///< tiny sizes for CI health checks
+  std::string json = "BENCH_hotpath.json";
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--rows=", &v)) {
+      f.rows = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--reps=", &v)) {
+      f.reps = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--trials=", &v)) {
+      f.trials = std::atoi(v.c_str());
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      f.smoke = true;
+    } else if (ParseFlag(argv[i], "--json=", &v)) {
+      f.json = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(1);
+    }
+  }
+  if (f.smoke) {
+    f.rows = std::min<uint64_t>(f.rows, 10000);
+    f.reps = std::min(f.reps, 3);
+    f.trials = std::min(f.trials, 1);
+  }
+  return f;
+}
+
+/// The pre-batch inner loop, kept verbatim as the baseline: per tuple, a
+/// gather into a point vector and one virtual Evaluate call. The point
+/// buffer is caller-provided scratch, hoisted out of the timed per-block
+/// calls exactly as the engines hoisted it out of their scan loops.
+void ScalarScore(const Table& table, const RankingFunction& f,
+                 const Tid* tids, size_t n, std::vector<double>* point,
+                 double* out) {
+  point->resize(table.num_rank_dims());
+  for (size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < table.num_rank_dims(); ++d) {
+      (*point)[d] = table.rank(tids[i], d);
+    }
+    out[i] = f.Evaluate(point->data());
+  }
+}
+
+struct Row {
+  std::string function;
+  size_t block_size = 0;
+  double scalar_mtps = 0.0;  ///< million tuples scored / second
+  double batch_mtps = 0.0;
+  double speedup = 0.0;
+};
+
+struct OfferRow {
+  int k = 0;
+  double offer_mtps = 0.0;
+  double offer_batch_mtps = 0.0;
+  double speedup = 0.0;
+};
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  SyntheticSpec spec;
+  spec.num_rows = flags.rows;
+  spec.num_sel_dims = 2;
+  spec.cardinality = 8;
+  spec.num_rank_dims = kRankDims;
+  spec.seed = 7;
+  Table table = GenerateSynthetic(spec);
+
+  // Tuple stream: every tid once, scrambled, so block starts are not
+  // cache-aligned runs — the access pattern of a real retrieve step.
+  Rng rng(31);
+  std::vector<Tid> tids(table.num_rows());
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) tids[t] = t;
+  for (size_t i = tids.size() - 1; i > 0; --i) {
+    std::swap(tids[i], tids[rng.UniformInt(i + 1)]);
+  }
+
+  std::vector<std::pair<std::string, RankingFunctionPtr>> funcs;
+  funcs.emplace_back("linear", std::make_shared<LinearFunction>(
+                                   std::vector<double>{0.4, 0.3, 0.2, 0.1}));
+  funcs.emplace_back("quadratic",
+                     std::make_shared<QuadraticDistance>(
+                         std::vector<double>{1.0, 1.0, 1.0, 1.0},
+                         std::vector<double>{0.2, 0.4, 0.6, 0.8}));
+  funcs.emplace_back("l1", std::make_shared<L1Distance>(
+                               std::vector<double>{1.0, 0.5, 0.25, 0.125},
+                               std::vector<double>{0.5, 0.5, 0.5, 0.5}));
+  funcs.emplace_back("squared_linear",
+                     std::make_shared<SquaredLinear>(
+                         std::vector<double>{2.0, -1.0, -1.0, 0.5}));
+  funcs.emplace_back("general_ab",
+                     std::make_shared<GeneralAB>(kRankDims, 0, 1));
+  funcs.emplace_back("constrained_sum", std::make_shared<ConstrainedSum>(
+                                            kRankDims, 0, 1, 0.25, 0.75));
+
+  const size_t block_sizes[] = {64, 256, 1024, 4096};
+  std::vector<Row> rows;
+  std::vector<double> scalar_out(tids.size());
+  std::vector<double> batch_out(tids.size());
+  std::vector<double> point;
+  double sink = 0.0;
+
+  for (const auto& [name, f] : funcs) {
+    for (size_t block : block_sizes) {
+      // One warm pass each, also used as a correctness check: the batch
+      // path must reproduce the scalar scores bit for bit.
+      ScalarScore(table, *f, tids.data(), tids.size(), &point,
+                  scalar_out.data());
+      for (size_t off = 0; off < tids.size(); off += block) {
+        size_t n = std::min(block, tids.size() - off);
+        f->EvaluateBatch(table, tids.data() + off, n, batch_out.data() + off);
+      }
+      for (size_t i = 0; i < tids.size(); ++i) {
+        if (scalar_out[i] != batch_out[i]) {
+          std::fprintf(stderr,
+                       "PARITY FAILURE: %s block=%zu tid=%u scalar=%.17g "
+                       "batch=%.17g\n",
+                       name.c_str(), block, tids[i], scalar_out[i],
+                       batch_out[i]);
+          return 1;
+        }
+      }
+
+      // Best of N trials per path: the minimum is the least-disturbed
+      // measurement on a shared machine.
+      double scalar_ms = kInfScore;
+      double batch_ms = kInfScore;
+      for (int trial = 0; trial < flags.trials; ++trial) {
+        Stopwatch watch;
+        for (int rep = 0; rep < flags.reps; ++rep) {
+          for (size_t off = 0; off < tids.size(); off += block) {
+            size_t n = std::min(block, tids.size() - off);
+            ScalarScore(table, *f, tids.data() + off, n, &point,
+                        scalar_out.data() + off);
+          }
+          sink += scalar_out[0];
+        }
+        scalar_ms = std::min(scalar_ms, watch.ElapsedMs());
+
+        watch.Restart();
+        for (int rep = 0; rep < flags.reps; ++rep) {
+          for (size_t off = 0; off < tids.size(); off += block) {
+            size_t n = std::min(block, tids.size() - off);
+            f->EvaluateBatch(table, tids.data() + off, n,
+                             batch_out.data() + off);
+          }
+          sink += batch_out[0];
+        }
+        batch_ms = std::min(batch_ms, watch.ElapsedMs());
+      }
+
+      const double scored =
+          static_cast<double>(tids.size()) * flags.reps / 1e6;
+      Row row;
+      row.function = name;
+      row.block_size = block;
+      row.scalar_mtps = scored / (scalar_ms / 1000.0);
+      row.batch_mtps = scored / (batch_ms / 1000.0);
+      row.speedup = scalar_ms / batch_ms;
+      rows.push_back(row);
+      std::printf(
+          "%-16s block=%-5zu scalar=%8.1f Mt/s  batch=%8.1f Mt/s  "
+          "speedup=%5.2fx\n",
+          name.c_str(), block, row.scalar_mtps, row.batch_mtps, row.speedup);
+    }
+  }
+
+  // Threshold-aware OfferBatch vs per-tuple Offer, on linear scores: once
+  // the heap saturates, whole blocks fail the S_k bound with n compares.
+  std::vector<OfferRow> offer_rows;
+  {
+    const auto& f = *funcs.front().second;
+    f.EvaluateBatch(table, tids.data(), tids.size(), batch_out.data());
+    for (int k : {10, 100}) {
+      double offer_ms = kInfScore;
+      double batch_ms = kInfScore;
+      double kth = 0.0;
+      double kth_batch = 0.0;
+      for (int trial = 0; trial < flags.trials; ++trial) {
+        Stopwatch watch;
+        for (int rep = 0; rep < flags.reps; ++rep) {
+          TopKHeap heap(k);
+          for (size_t i = 0; i < tids.size(); ++i) {
+            heap.Offer(tids[i], batch_out[i]);
+          }
+          kth = heap.KthScore();
+        }
+        offer_ms = std::min(offer_ms, watch.ElapsedMs());
+
+        watch.Restart();
+        for (int rep = 0; rep < flags.reps; ++rep) {
+          TopKHeap heap(k);
+          for (size_t off = 0; off < tids.size(); off += 1024) {
+            size_t n = std::min<size_t>(1024, tids.size() - off);
+            heap.OfferBatch(tids.data() + off, batch_out.data() + off, n);
+          }
+          kth_batch = heap.KthScore();
+        }
+        batch_ms = std::min(batch_ms, watch.ElapsedMs());
+      }
+      if (kth != kth_batch) {
+        std::fprintf(stderr, "PARITY FAILURE: OfferBatch k=%d\n", k);
+        return 1;
+      }
+
+      const double offered =
+          static_cast<double>(tids.size()) * flags.reps / 1e6;
+      OfferRow row;
+      row.k = k;
+      row.offer_mtps = offered / (offer_ms / 1000.0);
+      row.offer_batch_mtps = offered / (batch_ms / 1000.0);
+      row.speedup = offer_ms / batch_ms;
+      offer_rows.push_back(row);
+      std::printf(
+          "offer k=%-4d       scalar=%8.1f Mt/s  batch=%8.1f Mt/s  "
+          "speedup=%5.2fx\n",
+          k, row.offer_mtps, row.offer_batch_mtps, row.speedup);
+    }
+  }
+
+  std::FILE* out = std::fopen(flags.json.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"scoring_hotpath\",\n"
+               "  \"rows\": %llu,\n  \"reps\": %d,\n"
+               "  \"trials\": %d,\n"
+               "  \"rank_dims\": %d,\n  \"results\": [\n",
+               static_cast<unsigned long long>(flags.rows), flags.reps,
+               flags.trials, kRankDims);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"function\": \"%s\", \"block_size\": %zu, "
+                 "\"scalar_mtuples_per_s\": %.1f, "
+                 "\"batch_mtuples_per_s\": %.1f, \"speedup\": %.3f}%s\n",
+                 r.function.c_str(), r.block_size, r.scalar_mtps,
+                 r.batch_mtps, r.speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"offer\": [\n");
+  for (size_t i = 0; i < offer_rows.size(); ++i) {
+    const OfferRow& r = offer_rows[i];
+    std::fprintf(out,
+                 "    {\"k\": %d, \"offer_mtuples_per_s\": %.1f, "
+                 "\"offer_batch_mtuples_per_s\": %.1f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.k, r.offer_mtps, r.offer_batch_mtps, r.speedup,
+                 i + 1 < offer_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s (sink=%g)\n", flags.json.c_str(), sink);
+  return 0;
+}
+
+}  // namespace rankcube
+
+int main(int argc, char** argv) { return rankcube::Main(argc, argv); }

@@ -202,6 +202,7 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(out,
                "{\n  \"bench\": \"parallel_scaling\",\n"
+               "  \"scoring\": \"batch\",\n"
                "  \"rows\": %llu,\n  \"queries\": %d,\n  \"k\": %d,\n"
                "  \"cache_pages\": %llu,\n  \"read_latency_us\": %u,\n"
                "  \"max_threads\": %d,\n"

@@ -2,6 +2,7 @@
 
 #include "baselines/baselines.h"
 #include "common/stopwatch.h"
+#include "core/batch_scorer.h"
 
 namespace rankcube {
 
@@ -15,7 +16,7 @@ Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
   Stopwatch watch;
   uint64_t pages_before = io->TotalPhysical();
   TopKHeap topk(query.k);
-  std::vector<double> point(table_.num_rank_dims());
+  BatchScorer scorer(table_, *query.function, &topk, stats);
 
   // Cost-pick index scan (most selective predicate) vs full table scan,
   // as the thesis does ("we report the best performance of the two").
@@ -46,12 +47,7 @@ Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
           break;
         }
       }
-      if (!ok) continue;
-      for (int d = 0; d < table_.num_rank_dims(); ++d) {
-        point[d] = table_.rank(t, d);
-      }
-      topk.Offer(t, query.function->Evaluate(point.data()));
-      ++stats->tuples_evaluated;
+      if (ok) scorer.Add(t);
     }
   } else {
     posting_.ChargeListScan(io, best->dim, best->value);
@@ -64,14 +60,10 @@ Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
           break;
         }
       }
-      if (!ok) continue;
-      for (int d = 0; d < table_.num_rank_dims(); ++d) {
-        point[d] = table_.rank(t, d);
-      }
-      topk.Offer(t, query.function->Evaluate(point.data()));
-      ++stats->tuples_evaluated;
+      if (ok) scorer.Add(t);
     }
   }
+  scorer.Flush();
   stats->time_ms += watch.ElapsedMs();
   stats->pages_read += io->TotalPhysical() - pages_before;
   return topk.Sorted();

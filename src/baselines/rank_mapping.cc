@@ -3,6 +3,7 @@
 
 #include "baselines/baselines.h"
 #include "common/stopwatch.h"
+#include "core/batch_scorer.h"
 
 namespace rankcube {
 
@@ -77,14 +78,11 @@ Result<std::vector<ScoredTuple>> RankMapping::TopK(const TopKQuery& query,
   auto range = best->RangeQuery(query.predicates, bounds, io);
 
   TopKHeap topk(query.k);
-  std::vector<double> point(table_.num_rank_dims());
-  for (Tid t : range.candidates) {
-    for (int d = 0; d < table_.num_rank_dims(); ++d) {
-      point[d] = table_.rank(t, d);
-    }
-    topk.Offer(t, query.function->Evaluate(point.data()));
-    ++stats->tuples_evaluated;
-  }
+  // The composite index hands back its candidates as one block; score them
+  // with a single column-direct batch call.
+  std::vector<double> scores;
+  ScoreBlockAndOffer(table_, *query.function, range.candidates.data(),
+                     range.candidates.size(), &scores, &topk, stats);
   stats->time_ms += watch.ElapsedMs();
   stats->pages_read += io->TotalPhysical() - pages_before;
   return topk.Sorted();

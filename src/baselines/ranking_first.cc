@@ -36,7 +36,7 @@ Result<std::vector<ScoredTuple>> RankingFirst::TopK(const TopKQuery& query,
                                                     ExecStats* stats) const {
   RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
   TableVerifyPruner pruner(table_, query.predicates);
-  return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, io, stats);
+  return RTreeBranchAndBoundTopK(table_, *rtree_, query, &pruner, io, stats);
 }
 
 }  // namespace rankcube

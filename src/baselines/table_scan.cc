@@ -2,6 +2,7 @@
 
 #include "baselines/baselines.h"
 #include "common/stopwatch.h"
+#include "core/batch_scorer.h"
 
 namespace rankcube {
 
@@ -14,7 +15,7 @@ Result<std::vector<ScoredTuple>> TableScanTopK(const Table& table,
   uint64_t pages_before = io->TotalPhysical();
   TopKHeap topk(query.k);
   table.ChargeFullScan(io);
-  std::vector<double> point(table.num_rank_dims());
+  BatchScorer scorer(table, *query.function, &topk, stats);
   for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
     bool ok = true;
     for (const auto& p : query.predicates) {
@@ -23,11 +24,9 @@ Result<std::vector<ScoredTuple>> TableScanTopK(const Table& table,
         break;
       }
     }
-    if (!ok) continue;
-    for (int d = 0; d < table.num_rank_dims(); ++d) point[d] = table.rank(t, d);
-    topk.Offer(t, query.function->Evaluate(point.data()));
-    ++stats->tuples_evaluated;
+    if (ok) scorer.Add(t);
   }
+  scorer.Flush();
   stats->time_ms += watch.ElapsedMs();
   stats->pages_read += io->TotalPhysical() - pages_before;
   return topk.Sorted();

@@ -1,0 +1,69 @@
+// Glue between the batch scoring API (RankingFunction::EvaluateBatch) and
+// the top-k bookkeeping (TopKHeap::OfferBatch). Every evaluate loop in the
+// repository funnels through one of the two helpers here, so no Execute path
+// gathers a per-tuple point vector or pays a virtual Evaluate call per tuple
+// anymore: scoring costs one EvaluateBatch + one OfferBatch per block.
+#ifndef RANKCUBE_CORE_BATCH_SCORER_H_
+#define RANKCUBE_CORE_BATCH_SCORER_H_
+
+#include <vector>
+
+#include "core/topk_query.h"
+#include "func/ranking_function.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// Scores one block of tuples column-direct and offers the results,
+/// reusing the caller's scratch buffer across blocks. For call sites that
+/// already have their tuples blocked (grid base blocks, merged index
+/// leaves, a rank-mapping candidate list).
+inline void ScoreBlockAndOffer(const Table& table, const RankingFunction& f,
+                               const Tid* tids, size_t n,
+                               std::vector<double>* scratch, TopKHeap* topk,
+                               ExecStats* stats) {
+  if (n == 0) return;
+  scratch->resize(n);
+  f.EvaluateBatch(table, tids, n, scratch->data());
+  topk->OfferBatch(tids, scratch->data(), n);
+  stats->tuples_evaluated += n;
+}
+
+/// Accumulating variant for scan-style loops that discover qualifying
+/// tuples one at a time: Add() buffers tids and flushes a full block
+/// through ScoreBlockAndOffer; call Flush() once after the loop.
+class BatchScorer {
+ public:
+  /// Tuples scored per EvaluateBatch call. Large enough to amortize the
+  /// virtual dispatch, small enough that tids + scores stay in L1.
+  static constexpr size_t kBlock = 1024;
+
+  BatchScorer(const Table& table, const RankingFunction& f, TopKHeap* topk,
+              ExecStats* stats)
+      : table_(table), f_(f), topk_(topk), stats_(stats) {
+    tids_.reserve(kBlock);
+  }
+
+  void Add(Tid tid) {
+    tids_.push_back(tid);
+    if (tids_.size() >= kBlock) Flush();
+  }
+
+  void Flush() {
+    ScoreBlockAndOffer(table_, f_, tids_.data(), tids_.size(), &scores_,
+                       topk_, stats_);
+    tids_.clear();
+  }
+
+ private:
+  const Table& table_;
+  const RankingFunction& f_;
+  TopKHeap* topk_;
+  ExecStats* stats_;
+  std::vector<Tid> tids_;
+  std::vector<double> scores_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_CORE_BATCH_SCORER_H_

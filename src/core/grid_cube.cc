@@ -7,16 +7,23 @@
 
 #include "bitmap/tidlist.h"
 #include "common/stopwatch.h"
+#include "core/batch_scorer.h"
 #include "cube/fragments.h"
 
 namespace rankcube {
 
 uint32_t GridCuboid::PidOfBid(const EquiDepthGrid& grid, Bid bid) const {
-  std::vector<int> coords = grid.CoordsOfBid(bid);
+  // Decodes the row-major bin coordinates in place (most significant
+  // first), folding each into the pseudo-block id as it appears — this runs
+  // per tuple at build time and per bid at query time, so it must not
+  // allocate a coords vector the way grid.CoordsOfBid(bid) does.
+  const Bid bins = static_cast<Bid>(grid.bins_per_dim());
+  Bid div = 1;
+  for (int d = 1; d < grid.num_dims(); ++d) div *= bins;
   uint32_t pid = 0;
-  for (int c : coords) {
-    pid = pid * static_cast<uint32_t>(pseudo_bins) +
-          static_cast<uint32_t>(c / scale_factor);
+  for (int d = 0; d < grid.num_dims(); ++d, div /= bins) {
+    const uint32_t c = static_cast<uint32_t>(bid / div % bins);
+    pid = pid * static_cast<uint32_t>(pseudo_bins) + c / scale_factor;
   }
   return pid;
 }
@@ -119,19 +126,56 @@ void CuboidTidSource::GetTids(Bid bid, IoSession* io, ExecStats* stats,
   (void)stats;
 }
 
+namespace {
+
+/// Intersects two ascending tid runs into `out` with a galloping merge:
+/// the shorter run drives, binary-searching forward in the longer one.
+/// Degenerates to the linear two-pointer merge when the runs are of
+/// comparable length.
+void GallopingIntersect(const std::vector<Tid>& a, const std::vector<Tid>& b,
+                        std::vector<Tid>* out) {
+  out->clear();
+  const std::vector<Tid>& small = a.size() <= b.size() ? a : b;
+  const std::vector<Tid>& large = a.size() <= b.size() ? b : a;
+  auto it = large.begin();
+  for (Tid v : small) {
+    // Gallop: double the step until the probe reaches v, then binary
+    // search inside the last bracket.
+    size_t step = 1;
+    auto hi = it;
+    while (hi != large.end() && *hi < v) {
+      it = hi;
+      if (static_cast<size_t>(large.end() - hi) <= step) {
+        hi = large.end();
+        break;
+      }
+      hi += step;
+      step *= 2;
+    }
+    it = std::lower_bound(it, hi, v);
+    if (it == large.end()) break;
+    if (*it == v) {
+      out->push_back(v);
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
 void IntersectTidSource::GetTids(Bid bid, IoSession* io, ExecStats* stats,
                                  std::vector<Tid>* out) {
   out->clear();
   std::vector<Tid> current, next, tmp;
   for (size_t i = 0; i < sources_.size(); ++i) {
     sources_[i]->GetTids(bid, io, stats, &tmp);
-    std::sort(tmp.begin(), tmp.end());
+    // Cuboid lists are stored sorted by (bid, tid), so the per-bid run each
+    // source emits is already ascending — no re-sort needed.
+    assert(std::is_sorted(tmp.begin(), tmp.end()));
     if (i == 0) {
       current = tmp;
     } else {
-      next.clear();
-      std::set_intersection(current.begin(), current.end(), tmp.begin(),
-                            tmp.end(), std::back_inserter(next));
+      GallopingIntersect(current, tmp, &next);
       current.swap(next);
     }
     if (current.empty()) break;
@@ -168,24 +212,21 @@ std::vector<ScoredTuple> GridNeighborhoodTopK(
   inserted.insert(first);
 
   std::vector<Tid> tids;
-  std::vector<double> point(table.num_rank_dims());
+  std::vector<double> scores;
   while (!h.empty()) {
     auto [lb, bid] = h.top();
     h.pop();
     // Stop condition: S_k <= S_unseen (lb of the best remaining block).
     if (topk.Full() && topk.KthScore() <= lb) break;
 
-    // Retrieve + evaluate.
+    // Retrieve + evaluate: the block's tuples are scored in one
+    // column-direct EvaluateBatch call (§3.3.2 hands us tuples per block,
+    // so the batch boundary is free).
     source->GetTids(bid, io, stats, &tids);
     if (!tids.empty()) {
       base_blocks.GetBaseBlock(bid, io);  // fetch ranking values
-      for (Tid t : tids) {
-        for (int d = 0; d < table.num_rank_dims(); ++d) {
-          point[d] = table.rank(t, d);
-        }
-        topk.Offer(t, f.Evaluate(point.data()));
-        ++stats->tuples_evaluated;
-      }
+      ScoreBlockAndOffer(table, f, tids.data(), tids.size(), &scores, &topk,
+                         stats);
     }
     // Expand neighborhood (Lemma 1).
     for (Bid nb : grid.Neighbors(bid)) {

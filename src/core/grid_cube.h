@@ -120,18 +120,6 @@ struct GridCubeOptions {
   std::vector<std::vector<int>> cuboid_dim_sets;
 };
 
-/// Hash over a sorted dimension set; keys the cuboid lookup maps.
-struct DimSetHash {
-  size_t operator()(const std::vector<int>& dims) const {
-    uint64_t h = 1469598103934665603ull;  // FNV-1a
-    for (int d : dims) {
-      h ^= static_cast<uint64_t>(static_cast<uint32_t>(d));
-      h *= 1099511628211ull;
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
 class GridRankingCube {
  public:
   /// Builds the cube, charging construction I/O (one relation scan per

@@ -39,16 +39,18 @@ uint32_t EquiDepthGrid::num_blocks() const {
   return n;
 }
 
+int EquiDepthGrid::BinOf(int dim, double value) const {
+  const auto& b = boundaries_[dim];
+  // Bin i covers [b[i], b[i+1]); the last bin is closed at 1.
+  int bin = static_cast<int>(
+      std::upper_bound(b.begin() + 1, b.end() - 1, value) - (b.begin() + 1));
+  return std::min(bin, bins_ - 1);
+}
+
 Bid EquiDepthGrid::BidOfPoint(const double* point) const {
   Bid bid = 0;
   for (int d = 0; d < dims_; ++d) {
-    const auto& b = boundaries_[d];
-    // Bin i covers [b[i], b[i+1]); the last bin is closed at 1.
-    int bin = static_cast<int>(std::upper_bound(b.begin() + 1, b.end() - 1,
-                                                point[d]) -
-                               (b.begin() + 1));
-    bin = std::min(bin, bins_ - 1);
-    bid = bid * static_cast<Bid>(bins_) + static_cast<Bid>(bin);
+    bid = bid * static_cast<Bid>(bins_) + static_cast<Bid>(BinOf(d, point[d]));
   }
   return bid;
 }
@@ -97,15 +99,21 @@ std::vector<Bid> EquiDepthGrid::Neighbors(Bid bid) const {
 BaseBlockTable::BaseBlockTable(const Table& table, const EquiDepthGrid& grid)
     : table_(table), row_bytes_(8 + 8 * table.num_rank_dims()) {
   blocks_.resize(grid.num_blocks());
-  tuple_bid_.resize(table.num_rows());
-  std::vector<double> point(table.num_rank_dims());
-  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
-    for (int d = 0; d < table.num_rank_dims(); ++d) {
-      point[d] = table.rank(t, d);
+  // Column-direct bid assignment: one pass per ranking dimension over its
+  // contiguous column, folding each tuple's bin into the row-major bid —
+  // no per-tuple point gather. Agrees with BidOfPoint because both go
+  // through EquiDepthGrid::BinOf.
+  tuple_bid_.assign(table.num_rows(), 0);
+  for (int d = 0; d < table.num_rank_dims(); ++d) {
+    const double* col = table.rank_col(d);
+    const Bid bins = static_cast<Bid>(grid.bins_per_dim());
+    for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      tuple_bid_[t] =
+          tuple_bid_[t] * bins + static_cast<Bid>(grid.BinOf(d, col[t]));
     }
-    Bid bid = grid.BidOfPoint(point.data());
-    tuple_bid_[t] = bid;
-    blocks_[bid].push_back(t);
+  }
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    blocks_[tuple_bid_[t]].push_back(t);
   }
 }
 

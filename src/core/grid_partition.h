@@ -29,6 +29,9 @@ class EquiDepthGrid {
   int bins_per_dim() const { return bins_; }
   uint32_t num_blocks() const;
 
+  /// Bin of `value` along `dim` (equi-depth boundaries; last bin closed).
+  int BinOf(int dim, double value) const;
+
   /// Block containing `point` (R-dimensional).
   Bid BidOfPoint(const double* point) const;
 

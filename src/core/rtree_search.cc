@@ -21,7 +21,8 @@ struct HeapEntry {
 
 }  // namespace
 
-std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const RTree& rtree,
+std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const Table& table,
+                                                 const RTree& rtree,
                                                  const TopKQuery& query,
                                                  BooleanPruner* pruner,
                                                  IoSession* io,
@@ -36,6 +37,8 @@ std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const RTree& rtree,
              0,
              {}});
 
+  std::vector<Tid> leaf_tids;
+  std::vector<double> leaf_scores;
   while (!heap.empty()) {
     HeapEntry e = heap.top();
     // Stop: f(topk.root) <= f(c_heap.root) (§4.3.2).
@@ -54,13 +57,16 @@ std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const RTree& rtree,
     const RTreeNode& node = rtree.node(e.node_id);
     rtree.ChargeNodeAccess(io, e.node_id);
     if (node.is_leaf) {
+      // The whole leaf is scored column-direct in one batch call; the
+      // exact scores then enter the candidate heap (tuples stay lazy:
+      // they are offered to the top-k only when popped, after boolean
+      // verification).
+      ScoreLeafEntries(table, f, node, &leaf_tids, &leaf_scores, stats);
       for (size_t i = 0; i < node.entries.size(); ++i) {
-        const auto& entry = node.entries[i];
         HeapEntry t;
-        t.score = f.Evaluate(entry.point.data());
-        ++stats->tuples_evaluated;
+        t.score = leaf_scores[i];
         t.is_tuple = true;
-        t.tid = entry.tid;
+        t.tid = leaf_tids[i];
         t.path = e.path;
         t.path.push_back(static_cast<int>(i) + 1);
         heap.push(std::move(t));

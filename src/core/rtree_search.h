@@ -42,9 +42,31 @@ class NullPruner : public BooleanPruner {
   }
 };
 
+/// Scores every entry of an R-tree leaf with one column-direct
+/// EvaluateBatch call (entries are exact copies of the table's ranking
+/// rows), filling the parallel tids/scores arrays and charging
+/// stats->tuples_evaluated. Shared by the branch-and-bound search and the
+/// progressive ranked stream so the two leaf paths cannot diverge.
+inline void ScoreLeafEntries(const Table& table, const RankingFunction& f,
+                             const RTreeNode& node, std::vector<Tid>* tids,
+                             std::vector<double>* scores, ExecStats* stats) {
+  tids->resize(node.entries.size());
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    (*tids)[i] = node.entries[i].tid;
+  }
+  scores->resize(tids->size());
+  f.EvaluateBatch(table, tids->data(), tids->size(), scores->data());
+  stats->tuples_evaluated += tids->size();
+}
+
 /// Algorithm 3: progressive best-first search; halts when the k-th result
-/// score is no worse than the best possible unseen score.
-std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const RTree& rtree,
+/// score is no worse than the best possible unseen score. `table` is the
+/// relation the R-tree indexes: leaf entries are exact copies of its
+/// ranking rows, so a whole leaf is scored with one column-direct
+/// RankingFunction::EvaluateBatch call instead of a scalar Evaluate per
+/// entry.
+std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const Table& table,
+                                                 const RTree& rtree,
                                                  const TopKQuery& query,
                                                  BooleanPruner* pruner,
                                                  IoSession* io,

@@ -21,9 +21,7 @@ SignatureCube::SignatureCube(const Table& table, IoSession& io,
   } else {
     std::vector<double> point(table.num_rank_dims());
     for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
-      for (int d = 0; d < table.num_rank_dims(); ++d) {
-        point[d] = table.rank(t, d);
-      }
+      table.CopyRankRow(t, point.data());
       rtree_->Insert(t, point, /*track_updates=*/false);
     }
   }
@@ -78,6 +76,7 @@ SignatureCube::SignatureCube(const Table& table, IoSession& io,
       }
     }
     cuboids_.push_back(std::move(cuboid));
+    cuboid_index_.emplace(cuboids_.back().dims, cuboids_.size() - 1);
   }
   construction_ms_ = cube_watch.ElapsedMs();
   (void)total;
@@ -87,10 +86,8 @@ const SignatureCuboid* SignatureCube::FindCuboid(
     const std::vector<int>& dims) const {
   std::vector<int> sorted = dims;
   std::sort(sorted.begin(), sorted.end());
-  for (const auto& c : cuboids_) {
-    if (c.dims == sorted) return &c;
-  }
-  return nullptr;
+  auto it = cuboid_index_.find(sorted);
+  return it == cuboid_index_.end() ? nullptr : &cuboids_[it->second];
 }
 
 const Signature* SignatureCube::CellSignature(const std::vector<int>& dims,
@@ -166,11 +163,11 @@ Result<std::vector<ScoredTuple>> SignatureCube::TopK(const TopKQuery& query,
   if (!pruner.ok()) return pruner.status();
   if (pruner.value() == nullptr) {
     NullPruner null_pruner;
-    return RTreeBranchAndBoundTopK(*rtree_, query, &null_pruner, io,
+    return RTreeBranchAndBoundTopK(table_, *rtree_, query, &null_pruner, io,
                                    stats);
   }
-  return RTreeBranchAndBoundTopK(*rtree_, query, pruner.value().get(), io,
-                                 stats);
+  return RTreeBranchAndBoundTopK(table_, *rtree_, query,
+                                 pruner.value().get(), io, stats);
 }
 
 void SignatureCube::RebuildStored(SignatureCuboid* cuboid,
@@ -191,9 +188,7 @@ void SignatureCube::InsertBatch(const std::vector<Tid>& tids, IoSession* io) {
   std::vector<PathUpdate> updates;
   std::vector<double> point(table_.num_rank_dims());
   for (Tid t : tids) {
-    for (int d = 0; d < table_.num_rank_dims(); ++d) {
-      point[d] = table_.rank(t, d);
-    }
+    table_.CopyRankRow(t, point.data());
     auto u = rtree_->Insert(t, point, /*track_updates=*/true);
     updates.insert(updates.end(), std::make_move_iterator(u.begin()),
                    std::make_move_iterator(u.end()));
@@ -296,11 +291,11 @@ Result<std::vector<ScoredTuple>> SignatureCube::TopKLossy(
   }
   if (blooms.empty()) {
     NullPruner pruner;
-    return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, io, stats);
+    return RTreeBranchAndBoundTopK(table_, *rtree_, query, &pruner, io, stats);
   }
   LossyBloomPruner pruner(table_, query.predicates, std::move(blooms),
                           rtree_->max_entries());
-  return RTreeBranchAndBoundTopK(*rtree_, query, &pruner, io, stats);
+  return RTreeBranchAndBoundTopK(table_, *rtree_, query, &pruner, io, stats);
 }
 
 size_t SignatureCube::LossyBloomBytes() const {

@@ -95,6 +95,9 @@ class SignatureCube {
   double alpha_;
   std::unique_ptr<RTree> rtree_;
   std::vector<SignatureCuboid> cuboids_;
+  /// sorted dims -> index into cuboids_; O(1) FindCuboid per pruner source
+  /// instead of a linear scan over the cuboid list.
+  std::unordered_map<std::vector<int>, size_t, DimSetHash> cuboid_index_;
   double construction_ms_ = 0.0;
   double rtree_build_ms_ = 0.0;
 };

@@ -64,6 +64,22 @@ class TopKHeap {
     }
   }
 
+  /// Offers a block of scored tuples, filtering against the current S_k
+  /// bound before touching the heap: a block whose tuples all score worse
+  /// than KthScore() costs n compares and zero heap operations. Produces
+  /// exactly the same heap state as n repeated Offer() calls.
+  void OfferBatch(const Tid* tids, const double* scores, size_t n) {
+    if (k_ <= 0) return;
+    size_t i = 0;
+    // Fill phase: until k results exist every tuple enters the heap.
+    for (; i < n && static_cast<int>(heap_.size()) < k_; ++i) {
+      Offer(tids[i], scores[i]);
+    }
+    for (; i < n; ++i) {
+      if (scores[i] < heap_.front().score) Offer(tids[i], scores[i]);
+    }
+  }
+
   bool Full() const { return static_cast<int>(heap_.size()) >= k_; }
 
   /// S_k: the k-th best score so far, +inf until k results exist.

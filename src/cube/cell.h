@@ -42,6 +42,19 @@ bool ProjectPredicates(const std::vector<Predicate>& predicates,
 /// Pretty cell name for diagnostics, e.g. "A0=3,A2=7@p12".
 std::string CellToString(const std::vector<int>& dims, const CellKey& key);
 
+/// Hash over a sorted dimension set; keys the cuboid lookup maps of the
+/// grid cube, the ranking fragments, and the signature cube.
+struct DimSetHash {
+  size_t operator()(const std::vector<int>& dims) const {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (int d : dims) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(d));
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
 }  // namespace rankcube
 
 #endif  // RANKCUBE_CUBE_CELL_H_

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/geometry.h"
+#include "storage/table.h"
 
 namespace rankcube {
 
@@ -41,6 +42,16 @@ class RankingFunction {
 
   /// Exact score of a point (array of R values).
   virtual double Evaluate(const double* point) const = 0;
+
+  /// Exact scores of `n` tuples of `table`: out[i] = f(tuple tids[i]). One
+  /// virtual call per block instead of per tuple. The default loops the
+  /// scalar path (gather + Evaluate) and is bit-identical to it; subclasses
+  /// override with column-direct loops that read table.rank_col(d) per
+  /// involved dimension and never materialize a row. Overrides must keep the
+  /// per-tuple floating-point operation order of Evaluate so batch and
+  /// scalar scores stay bit-identical (the batch parity test enforces this).
+  virtual void EvaluateBatch(const Table& table, const Tid* tids, size_t n,
+                             double* out) const;
 
   /// Lower bound of f over `box` (box has R dims). Must satisfy
   /// LowerBound(box) <= Evaluate(p) for every p in box.
@@ -86,6 +97,8 @@ class LinearFunction : public RankingFunction {
   int num_dims() const override { return static_cast<int>(w_.size()); }
   const std::vector<int>& involved_dims() const override { return dims_; }
   double Evaluate(const double* p) const override;
+  void EvaluateBatch(const Table& table, const Tid* tids, size_t n,
+                     double* out) const override;
   double LowerBound(const Box& box) const override;
   std::vector<double> Minimizer(const Box& box) const override;
   bool convex() const override { return true; }
@@ -110,6 +123,8 @@ class QuadraticDistance : public RankingFunction {
   int num_dims() const override { return static_cast<int>(w_.size()); }
   const std::vector<int>& involved_dims() const override { return dims_; }
   double Evaluate(const double* p) const override;
+  void EvaluateBatch(const Table& table, const Tid* tids, size_t n,
+                     double* out) const override;
   double LowerBound(const Box& box) const override;
   std::vector<double> Minimizer(const Box& box) const override;
   bool convex() const override { return true; }
@@ -130,6 +145,8 @@ class L1Distance : public RankingFunction {
   int num_dims() const override { return static_cast<int>(w_.size()); }
   const std::vector<int>& involved_dims() const override { return dims_; }
   double Evaluate(const double* p) const override;
+  void EvaluateBatch(const Table& table, const Tid* tids, size_t n,
+                     double* out) const override;
   double LowerBound(const Box& box) const override;
   std::vector<double> Minimizer(const Box& box) const override;
   bool convex() const override { return true; }
@@ -152,6 +169,8 @@ class SquaredLinear : public RankingFunction {
   int num_dims() const override { return static_cast<int>(w_.size()); }
   const std::vector<int>& involved_dims() const override { return dims_; }
   double Evaluate(const double* p) const override;
+  void EvaluateBatch(const Table& table, const Tid* tids, size_t n,
+                     double* out) const override;
   double LowerBound(const Box& box) const override;
   std::vector<double> Minimizer(const Box& box) const override;
   bool convex() const override { return true; }

@@ -40,12 +40,13 @@ bool CubeRankedStream::GetNext(Tid* tid, double* score) {
     const RTreeNode& node = rtree.node(e.node_id);
     rtree.ChargeNodeAccess(io_, e.node_id);
     if (node.is_leaf) {
+      ScoreLeafEntries(table_, *f_, node, &leaf_tids_, &leaf_scores_,
+                       stats_);
       for (size_t i = 0; i < node.entries.size(); ++i) {
         Entry t;
-        t.score = f_->Evaluate(node.entries[i].point.data());
-        ++stats_->tuples_evaluated;
+        t.score = leaf_scores_[i];
         t.is_tuple = true;
-        t.tid = node.entries[i].tid;
+        t.tid = leaf_tids_[i];
         t.path = e.path;
         t.path.push_back(static_cast<int>(i) + 1);
         heap_.push(std::move(t));

@@ -58,6 +58,8 @@ class CubeRankedStream : public RankedStream {
   IoSession* io_;
   ExecStats* stats_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<Tid> leaf_tids_;      ///< batch scoring scratch
+  std::vector<double> leaf_scores_;
 };
 
 /// Materialized stream: predicates evaluated up front (boolean-first), all

@@ -7,6 +7,28 @@
 
 namespace rankcube {
 
+namespace {
+
+/// One column-direct batch pass over a qualifying tid list, producing
+/// scored tuples in input order and charging tuples_evaluated.
+std::vector<ScoredTuple> ScoreQualifying(const Table& table,
+                                         const RankingFunction& f,
+                                         const std::vector<Tid>& qualifying,
+                                         ExecStats* stats) {
+  std::vector<double> scores(qualifying.size());
+  f.EvaluateBatch(table, qualifying.data(), qualifying.size(),
+                  scores.data());
+  stats->tuples_evaluated += qualifying.size();
+  std::vector<ScoredTuple> out;
+  out.reserve(qualifying.size());
+  for (size_t i = 0; i < qualifying.size(); ++i) {
+    out.push_back({qualifying[i], scores[i]});
+  }
+  return out;
+}
+
+}  // namespace
+
 int SpjrSystem::AddRelation(const Table& table) {
   auto rel = std::make_unique<Relation>();
   rel->table = &table;
@@ -29,10 +51,9 @@ AccessPlan SpjrSystem::Plan(const SpjrQuery& query, int relation) const {
 std::vector<ScoredTuple> SpjrSystem::MaterializeSorted(
     const Relation& rel, const SpjrRelationQuery& q, IoSession* io,
     ExecStats* stats) const {
-  // Boolean-first: most selective posting list, fetch + verify + score.
-  std::vector<ScoredTuple> out;
+  // Boolean-first: most selective posting list, fetch + verify, then one
+  // column-direct batch scoring pass over the qualifying tids.
   const Table& table = *rel.table;
-  std::vector<double> point(table.num_rank_dims());
   const std::vector<Tid>* list = nullptr;
   if (!q.predicates.empty()) {
     const Predicate* best = &q.predicates.front();
@@ -45,15 +66,12 @@ std::vector<ScoredTuple> SpjrSystem::MaterializeSorted(
     rel.posting->ChargeListScan(io, best->dim, best->value);
     list = &rel.posting->Lookup(best->dim, best->value);
   }
+  std::vector<Tid> qualifying;
   auto consider = [&](Tid t) {
     for (const auto& p : q.predicates) {
       if (table.sel(t, p.dim) != p.value) return;
     }
-    for (int d = 0; d < table.num_rank_dims(); ++d) {
-      point[d] = table.rank(t, d);
-    }
-    out.push_back({t, q.function->Evaluate(point.data())});
-    ++stats->tuples_evaluated;
+    qualifying.push_back(t);
   };
   if (list != nullptr) {
     for (Tid t : *list) {
@@ -64,6 +82,8 @@ std::vector<ScoredTuple> SpjrSystem::MaterializeSorted(
     table.ChargeFullScan(io);
     for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) consider(t);
   }
+  std::vector<ScoredTuple> out =
+      ScoreQualifying(table, *q.function, qualifying, stats);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -123,7 +143,7 @@ Result<std::vector<JoinedResult>> SpjrSystem::BaselineTopK(
     const auto& rq = query.relations[r];
     const Table& table = *relations_[r]->table;
     table.ChargeFullScan(io);
-    std::vector<double> point(table.num_rank_dims());
+    std::vector<Tid> qualifying;
     for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
       bool ok = true;
       for (const auto& p : rq.predicates) {
@@ -132,13 +152,9 @@ Result<std::vector<JoinedResult>> SpjrSystem::BaselineTopK(
           break;
         }
       }
-      if (!ok) continue;
-      for (int d = 0; d < table.num_rank_dims(); ++d) {
-        point[d] = table.rank(t, d);
-      }
-      inputs[r].push_back({t, rq.function->Evaluate(point.data())});
-      ++stats->tuples_evaluated;
+      if (ok) qualifying.push_back(t);
     }
+    inputs[r] = ScoreQualifying(table, *rq.function, qualifying, stats);
   }
 
   // Iteratively hash-join relation 0 with 1, ..., m-2 (materialized), then

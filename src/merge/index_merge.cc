@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/stopwatch.h"
+#include "core/batch_scorer.h"
 
 namespace rankcube {
 
@@ -254,7 +255,7 @@ class Engine {
     if (all_redundant) return;
 
     std::vector<Tid> tids;
-    std::vector<double> point(table_.num_rank_dims());
+    merged_.clear();
     for (size_t i = 0; i < indices_.size(); ++i) {
       if (!retrieved_leaves_[i].insert(s->nodes[i]).second) continue;
       ChargeNodeOnce(i, s->nodes[i]);
@@ -262,16 +263,12 @@ class Engine {
       uint8_t bit = static_cast<uint8_t>(1u << i);
       for (Tid t : tids) {
         uint8_t mask = (seen_mask_[t] |= bit);
-        if (mask == full_mask_) {
-          // Fully merged: all attribute values seen; compute exact score.
-          for (int d = 0; d < table_.num_rank_dims(); ++d) {
-            point[d] = table_.rank(t, d);
-          }
-          topk_.Offer(t, f_->Evaluate(point.data()));
-          ++stats_->tuples_evaluated;
-        }
+        // Fully merged: all attribute values seen; batch the exact scoring.
+        if (mask == full_mask_) merged_.push_back(t);
       }
     }
+    ScoreBlockAndOffer(table_, *f_, merged_.data(), merged_.size(), &scores_,
+                       &topk_, stats_);
   }
 
   const Table& table_;
@@ -293,6 +290,8 @@ class Engine {
   std::unordered_set<uint64_t> signature_loaded_;
   std::vector<uint8_t> seen_mask_;
   uint8_t full_mask_;
+  std::vector<Tid> merged_;      ///< fully-merged tids of one retrieval
+  std::vector<double> scores_;   ///< batch scoring scratch
 };
 
 }  // namespace

@@ -29,6 +29,15 @@ void SkylineTransform::Apply(const double* point,
   }
 }
 
+void SkylineTransform::ApplyRow(const Table& table, Tid tid,
+                                std::vector<double>* out) const {
+  out->resize(dims_);
+  for (int d = 0; d < dims_; ++d) {
+    const double v = table.rank_col(d)[tid];
+    (*out)[d] = dynamic() ? std::abs(v - q_[d]) : v;
+  }
+}
+
 void SkylineTransform::LowerCorner(const Box& box,
                                    std::vector<double>* out) const {
   out->resize(dims_);
@@ -109,8 +118,7 @@ std::vector<Tid> BBSSkyline(const Table& table, const RTree& rtree,
     BBSJournal::Entry& e = he.entry;
 
     if (e.is_tuple) {
-      std::vector<double> row = table.RankRow(e.tid);
-      transform.Apply(row.data(), &probe);
+      transform.ApplyRow(table, e.tid, &probe);
       if (dominated(probe)) {
         if (journal) journal->dominated.push_back(std::move(e));
         continue;
@@ -176,11 +184,9 @@ std::vector<Tid> SkylineOfTuples(const Table& table,
   // dominated by one sorted before it.
   std::vector<std::pair<double, Tid>> order;
   order.reserve(tids.size());
-  std::vector<double> probe;
   std::vector<std::vector<double>> transformed(tids.size());
   for (size_t i = 0; i < tids.size(); ++i) {
-    std::vector<double> row = table.RankRow(tids[i]);
-    transform.Apply(row.data(), &transformed[i]);
+    transform.ApplyRow(table, tids[i], &transformed[i]);
     double s = 0.0;
     for (double v : transformed[i]) s += v;
     order.push_back({s, static_cast<Tid>(i)});

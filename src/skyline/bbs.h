@@ -28,6 +28,9 @@ class SkylineTransform {
 
   /// Transformed coordinates of a point.
   void Apply(const double* point, std::vector<double>* out) const;
+  /// Transformed coordinates of table row `tid`, read column-direct via
+  /// rank_col() — no per-row vector allocation inside dominance loops.
+  void ApplyRow(const Table& table, Tid tid, std::vector<double>* out) const;
   /// Per-dimension minimum of the transformed values over a box (the
   /// box's best corner in preference space).
   void LowerCorner(const Box& box, std::vector<double>* out) const;

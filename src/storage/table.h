@@ -44,6 +44,12 @@ class Table {
 
   /// Copy of the full ranking-vector of a row (size R).
   std::vector<double> RankRow(Tid row) const;
+  /// Allocation-free variant: writes the R ranking values of `row` into
+  /// `out` (caller-provided, size >= R). For build paths that need a dense
+  /// point; query paths should read rank_col() column-direct instead.
+  void CopyRankRow(Tid row, double* out) const {
+    for (size_t d = 0; d < rank_cols_.size(); ++d) out[d] = rank_cols_[d][row];
+  }
   /// Pointer view used on hot paths; valid until the next AddRow.
   const double* rank_col(int dim) const { return rank_cols_[dim].data(); }
 

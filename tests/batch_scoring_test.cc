@@ -1,0 +1,179 @@
+// Batch-vs-scalar parity: EvaluateBatch must be bit-identical to per-tuple
+// Evaluate for every RankingFunction class (the column-direct overrides and
+// the default), and OfferBatch must produce exactly the same top-k as
+// repeated Offer. These are the invariants that let every Execute path run
+// on the batch API without changing a single reported score.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/topk_query.h"
+#include "func/ranking_function.h"
+#include "gen/synthetic.h"
+
+namespace rankcube {
+namespace {
+
+constexpr int kRankDims = 4;
+
+Table MakeTable(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_rows = 3000;
+  spec.num_sel_dims = 2;
+  spec.cardinality = 4;
+  spec.num_rank_dims = kRankDims;
+  spec.seed = seed;
+  return GenerateSynthetic(spec);
+}
+
+std::vector<double> RandomWeights(Rng* rng, bool allow_negative) {
+  std::vector<double> w(kRankDims);
+  for (double& v : w) {
+    v = rng->Uniform(allow_negative ? -2.0 : 0.1, 2.0);
+    if (std::abs(v) < 0.05) v = 0.0;  // exercise uninvolved dims
+  }
+  // At least one involved dimension.
+  if (std::all_of(w.begin(), w.end(), [](double v) { return v == 0.0; })) {
+    w[0] = 1.0;
+  }
+  return w;
+}
+
+std::vector<double> RandomTargets(Rng* rng) {
+  std::vector<double> t(kRankDims);
+  for (double& v : t) v = rng->Uniform01();
+  return t;
+}
+
+/// Every tid once, in a scrambled order, plus some duplicates — batch
+/// callers do not guarantee sorted or unique tids.
+std::vector<Tid> ScrambledTids(const Table& table, Rng* rng) {
+  std::vector<Tid> tids(table.num_rows());
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) tids[t] = t;
+  for (size_t i = tids.size() - 1; i > 0; --i) {
+    std::swap(tids[i], tids[rng->UniformInt(i + 1)]);
+  }
+  for (int i = 0; i < 32; ++i) {
+    tids.push_back(static_cast<Tid>(rng->UniformInt(table.num_rows())));
+  }
+  return tids;
+}
+
+/// Asserts EvaluateBatch == per-tuple Evaluate, bitwise (+inf included).
+void ExpectBatchParity(const RankingFunction& f, const Table& table,
+                       const std::vector<Tid>& tids) {
+  std::vector<double> batch(tids.size());
+  f.EvaluateBatch(table, tids.data(), tids.size(), batch.data());
+
+  std::vector<double> point(table.num_rank_dims());
+  for (size_t i = 0; i < tids.size(); ++i) {
+    table.CopyRankRow(tids[i], point.data());
+    const double scalar = f.Evaluate(point.data());
+    // Bit-identical, not just close: engines report these scores and the
+    // parity tests compare them with ==. EXPECT_EQ handles +-inf.
+    EXPECT_EQ(scalar, batch[i])
+        << f.ToString() << " diverges at tid " << tids[i];
+    EXPECT_FALSE(std::isnan(batch[i])) << f.ToString();
+  }
+}
+
+TEST(EvaluateBatchParityTest, AllFunctionClassesRandomized) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Table table = MakeTable(seed);
+    Rng rng(1000 + seed);
+    std::vector<Tid> tids = ScrambledTids(table, &rng);
+
+    std::vector<std::shared_ptr<const RankingFunction>> funcs;
+    funcs.push_back(
+        std::make_shared<LinearFunction>(RandomWeights(&rng, true)));
+    funcs.push_back(std::make_shared<QuadraticDistance>(
+        RandomWeights(&rng, false), RandomTargets(&rng)));
+    funcs.push_back(std::make_shared<L1Distance>(RandomWeights(&rng, false),
+                                                 RandomTargets(&rng)));
+    funcs.push_back(
+        std::make_shared<SquaredLinear>(RandomWeights(&rng, true)));
+    funcs.push_back(std::make_shared<GeneralAB>(kRankDims, 0, 1));
+    // A tight constraint band so plenty of tuples score +inf.
+    funcs.push_back(
+        std::make_shared<ConstrainedSum>(kRankDims, 0, 1, 0.4, 0.6));
+
+    for (const auto& f : funcs) ExpectBatchParity(*f, table, tids);
+  }
+}
+
+TEST(EvaluateBatchParityTest, ConstrainedSumInfinityHandling) {
+  Table table = MakeTable(7);
+  ConstrainedSum f(kRankDims, 0, 1, 0.25, 0.75);
+  std::vector<Tid> tids(table.num_rows());
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) tids[t] = t;
+  std::vector<double> batch(tids.size());
+  f.EvaluateBatch(table, tids.data(), tids.size(), batch.data());
+  size_t inf_count = 0;
+  for (double s : batch) {
+    ASSERT_FALSE(std::isnan(s));
+    if (s == kInfScore) ++inf_count;
+  }
+  // The band covers half the domain, so both branches must occur.
+  EXPECT_GT(inf_count, 0u);
+  EXPECT_LT(inf_count, batch.size());
+}
+
+TEST(EvaluateBatchParityTest, EmptyAndSingletonBlocks) {
+  Table table = MakeTable(11);
+  LinearFunction f({1.0, 0.5, 0.0, 0.0});
+  f.EvaluateBatch(table, nullptr, 0, nullptr);  // must be a no-op
+  Tid tid = 42;
+  double out = -1.0;
+  f.EvaluateBatch(table, &tid, 1, &out);
+  std::vector<double> point(kRankDims);
+  table.CopyRankRow(tid, point.data());
+  EXPECT_EQ(out, f.Evaluate(point.data()));
+}
+
+TEST(OfferBatchParityTest, MatchesRepeatedOffer) {
+  Rng rng(99);
+  for (int k : {1, 5, 64}) {
+    TopKHeap batched(k);
+    TopKHeap scalar(k);
+    // Several blocks, including scores worse than the running bound and
+    // +inf scores, delivered identically to both heaps.
+    for (int block = 0; block < 20; ++block) {
+      std::vector<Tid> tids;
+      std::vector<double> scores;
+      for (int i = 0; i < 50; ++i) {
+        tids.push_back(static_cast<Tid>(rng.UniformInt(100000)));
+        double s = rng.Uniform(-1.0, 1.0);
+        if (rng.UniformInt(20) == 0) s = kInfScore;
+        scores.push_back(s);
+      }
+      batched.OfferBatch(tids.data(), scores.data(), tids.size());
+      for (size_t i = 0; i < tids.size(); ++i) {
+        scalar.Offer(tids[i], scores[i]);
+      }
+      EXPECT_EQ(batched.KthScore(), scalar.KthScore());
+    }
+    EXPECT_EQ(batched.Sorted(), scalar.Sorted());
+  }
+}
+
+TEST(OfferBatchParityTest, AllWorseThanBoundLeavesHeapUntouched) {
+  TopKHeap heap(2);
+  const Tid tids[] = {1, 2, 3, 4};
+  const double good[] = {0.1, 0.2, 0.3, 0.4};
+  heap.OfferBatch(tids, good, 4);
+  ASSERT_EQ(heap.KthScore(), 0.2);
+  const double worse[] = {0.9, 0.8, 0.7, 0.2};  // 0.2 ties, not better
+  heap.OfferBatch(tids, worse, 4);
+  EXPECT_EQ(heap.KthScore(), 0.2);
+  auto sorted = heap.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].tid, 1u);
+  EXPECT_EQ(sorted[1].tid, 2u);
+}
+
+}  // namespace
+}  // namespace rankcube
