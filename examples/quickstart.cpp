@@ -1,13 +1,15 @@
-// Quickstart: build a relation, pick top-k engines from the EngineRegistry,
-// and answer one multi-dimensionally selected top-k query through the
-// unified RankingEngine::Execute interface — every engine is interchangeable
-// behind the same call.
+// Quickstart: build a relation, open it as a RankCubeDb, and answer
+// multi-dimensionally selected top-k queries without ever naming an
+// engine — the cost-based planner picks the physical access structure
+// (grid cube, fragments, signature cube, R-tree, boolean-first indexes,
+// table scan, ...) per query, builds it lazily, and reports the decision
+// next to the measured I/O.
 //
 //   ./examples/quickstart
 #include <cstdio>
 
 #include "engine/query_builder.h"
-#include "engine/registry.h"
+#include "planner/rank_cube_db.h"
 #include "gen/synthetic.h"
 
 using namespace rankcube;
@@ -22,47 +24,65 @@ int main() {
   spec.num_rank_dims = 2;
   Table table = GenerateSynthetic(spec);
 
-  // 2. Simulated block device: every index/cube structure charges page
-  //    accesses here, so engines can be compared on I/O.
-  PageStore store;
-  IoSession io{&store};
+  // 2. The database facade: owns the table, the simulated block device,
+  //    and a catalog of every registered access structure. Nothing is
+  //    built yet — structures materialize the first time a plan needs
+  //    them.
+  RankCubeDb db(std::move(table));
 
   // 3. "select top 5 * from R where A0 = a and A1 = b
   //     order by N0 + 2*N1"
   TopKQuery query = QueryBuilder()
-                        .Where(0, table.sel(42, 0))
-                        .Where(1, table.sel(42, 1))
+                        .Where(0, db.table().sel(42, 0))
+                        .Where(1, db.table().sel(42, 1))
                         .OrderByLinear({1.0, 2.0})
                         .Limit(5)
                         .Build();
   std::printf("query: %s\n\n", query.ToString().c_str());
 
-  // 4. Any registered engine answers it; the cubes touch a tiny fraction of
-  //    the data the scan reads.
-  for (const char* name : {"grid", "signature", "table_scan"}) {
-    auto engine = EngineRegistry::Global().Create(name, table, io);
-    if (!engine.ok()) {
-      std::printf("error: %s\n", engine.status().ToString().c_str());
-      return 1;
-    }
-    ExecContext ctx;
-    ctx.io = &io;
-    auto result = (*engine)->Execute(query, ctx);
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%-16s", name);
-    for (const auto& r : result->tuples) {
-      std::printf(" (t%u, %.4f)", r.tid, r.score);
-    }
-    std::printf("\n  %-14s %.3f ms, %llu pages, %llu tuples evaluated\n", "",
-                result->stats.time_ms,
-                static_cast<unsigned long long>(result->stats.pages_read),
-                static_cast<unsigned long long>(
-                    result->stats.tuples_evaluated));
+  // 4. EXPLAIN costs nothing: the planner prices every candidate from
+  //    catalog statistics (the paper's block-access analysis) without
+  //    building or executing anything.
+  auto plan = db.Explain(query);
+  if (!plan.ok()) {
+    std::printf("error: %s\n", plan.status().ToString().c_str());
+    return 1;
   }
-  std::printf("\nAll three agree; every engine ran through "
-              "EngineRegistry::Create + RankingEngine::Execute.\n");
+  std::printf("%s\n\n", plan.value().ToString().c_str());
+
+  // 5. Execute. The chosen structure is built lazily; the result carries
+  //    the plan next to the measured counters, so estimated pages can be
+  //    compared with what the execution actually read.
+  auto result = db.Query(query);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("routed to %-12s:", result->plan->chosen_engine.c_str());
+  for (const auto& r : result->tuples) {
+    std::printf(" (t%u, %.4f)", r.tid, r.score);
+  }
+  std::printf("\n  est %.0f pages, measured %llu pages, %.3f ms, "
+              "%llu tuples evaluated\n\n",
+              result->plan->estimated_pages,
+              static_cast<unsigned long long>(result->stats.pages_read),
+              result->stats.time_ms,
+              static_cast<unsigned long long>(result->stats.tuples_evaluated));
+
+  // 6. Every engine stays individually reachable: force one to compare.
+  for (const char* name : {"grid", "signature", "table_scan"}) {
+    QueryOptions force;
+    force.force_engine = name;
+    auto forced = db.Query(query, force);
+    if (!forced.ok()) {
+      std::printf("error: %s\n", forced.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-16s %6llu pages, %.3f ms\n", name,
+                static_cast<unsigned long long>(forced->stats.pages_read),
+                forced->stats.time_ms);
+  }
+  std::printf("\nAll answers agree tuple-for-tuple; the planner simply "
+              "routed to the cheapest structure.\n");
   return 0;
 }

@@ -4,12 +4,13 @@
 // mileage (normalized). Users issue ad hoc top-k queries such as
 //   Q1: top 10 red sedans ordered by price + mileage
 //   Q2: top 5 Ford convertibles closest to ($20k, 10k miles)
-// Both run through the unified engine API against the Ch4 signature cube.
+// Both go to the RankCubeDb facade, which cost-picks the physical access
+// structure per query — the front-end never names an engine.
 #include <cstdio>
 
 #include "engine/query_builder.h"
-#include "engine/registry.h"
 #include "gen/synthetic.h"
+#include "planner/rank_cube_db.h"
 
 using namespace rankcube;
 
@@ -30,15 +31,8 @@ int main() {
   spec.sel_cardinalities = {4, 5, 6, 2, 2, 2};
   spec.num_rank_dims = 2;
   spec.seed = 2026;
-  Table cars = GenerateSynthetic(spec);
-
-  PageStore store;
-  IoSession io{&store};
-  auto engine = EngineRegistry::Global().Create("signature", cars, io);
-  if (!engine.ok()) {
-    std::printf("error: %s\n", engine.status().ToString().c_str());
-    return 1;
-  }
+  RankCubeDb db(GenerateSynthetic(spec));
+  const Table& cars = db.table();
 
   // Q1: select top 10 * from R where type='sedan' and color='red'
   //     order by price + milage asc
@@ -60,9 +54,7 @@ int main() {
                      .Build();
 
   for (const auto* q : {&q1, &q2}) {
-    ExecContext ctx;
-    ctx.io = &io;
-    auto res = (*engine)->Execute(*q, ctx);
+    auto res = db.Query(*q);
     if (!res.ok()) {
       std::printf("error: %s\n", res.status().ToString().c_str());
       return 1;
@@ -74,7 +66,10 @@ int main() {
                   kMakers[cars.sel(car.tid, 1)], kTypes[cars.sel(car.tid, 0)],
                   cars.rank(car.tid, 0), cars.rank(car.tid, 1), car.score);
     }
-    std::printf("  -> %.3f ms, %llu page reads\n\n", res->stats.time_ms,
+    std::printf("  -> routed to %s (est %.0f pages): %.3f ms, %llu page "
+                "reads\n\n",
+                res->plan->chosen_engine.c_str(),
+                res->plan->estimated_pages, res->stats.time_ms,
                 static_cast<unsigned long long>(res->stats.pages_read));
   }
   return 0;

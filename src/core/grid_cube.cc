@@ -257,7 +257,8 @@ GridRankingCube::GridRankingCube(const Table& table, IoSession& io,
                                  GridCubeOptions options)
     : table_(table),
       grid_(table, {.block_size = options.block_size, .min_bins = 1}),
-      base_blocks_(table, grid_) {
+      base_blocks_(table, grid_),
+      block_size_(options.block_size) {
   Stopwatch watch;
   uint64_t pages_before = io.TotalPhysical();
   std::vector<std::vector<int>> sets = options.cuboid_dim_sets;

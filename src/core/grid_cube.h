@@ -134,6 +134,11 @@ class GridRankingCube {
 
   const EquiDepthGrid& grid() const { return grid_; }
   const BaseBlockTable& base_blocks() const { return base_blocks_; }
+  /// All materialized cuboids (dimension sets, pseudo-block geometry, cell
+  /// counts) — the statistics the planner's cost model reads.
+  const std::vector<GridCuboid>& cuboids() const { return cuboids_; }
+  /// The block-size target P the equi-depth partition was built for.
+  int block_size() const { return block_size_; }
   /// Hashed lookup keyed on the sorted dimension set; O(1) per query
   /// instead of a linear scan over 2^S - 1 cuboids.
   const GridCuboid* FindCuboid(const std::vector<int>& dims) const;
@@ -147,6 +152,7 @@ class GridRankingCube {
   const Table& table_;
   EquiDepthGrid grid_;
   BaseBlockTable base_blocks_;
+  int block_size_ = 0;
   std::vector<GridCuboid> cuboids_;
   /// sorted dims -> index into cuboids_.
   std::unordered_map<std::vector<int>, size_t, DimSetHash> cuboid_index_;

@@ -11,7 +11,8 @@ RankingFragments::RankingFragments(const Table& table, IoSession& io,
                                    FragmentsOptions options)
     : table_(table),
       grid_(table, {.block_size = options.block_size, .min_bins = 1}),
-      base_blocks_(table, grid_) {
+      base_blocks_(table, grid_),
+      block_size_(options.block_size) {
   Stopwatch watch;
   uint64_t pages_before = io.TotalPhysical();
   groups_ = options.groups.empty()

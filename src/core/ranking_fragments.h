@@ -38,6 +38,11 @@ class RankingFragments {
   int CoveringCuboidCount(const TopKQuery& query) const;
 
   const std::vector<std::vector<int>>& groups() const { return groups_; }
+  const EquiDepthGrid& grid() const { return grid_; }
+  /// All fragments' cuboids (statistics for the planner's cost model).
+  const std::vector<GridCuboid>& cuboids() const { return cuboids_; }
+  /// The block-size target P the shared equi-depth partition uses.
+  int block_size() const { return block_size_; }
   double construction_ms() const { return construction_ms_; }
   /// Physical pages the construction pass charged (scan + cuboid writes).
   uint64_t construction_pages() const { return construction_pages_; }
@@ -49,6 +54,7 @@ class RankingFragments {
   const Table& table_;
   EquiDepthGrid grid_;
   BaseBlockTable base_blocks_;
+  int block_size_ = 0;
   std::vector<std::vector<int>> groups_;
   std::vector<GridCuboid> cuboids_;          ///< all fragments' cuboids
   std::vector<std::vector<int>> cuboid_dims_;

@@ -68,6 +68,10 @@ class SignatureCube {
 
   const RTree& rtree() const { return *rtree_; }
 
+  /// All materialized signature cuboids (dimension sets + cell counts) —
+  /// the statistics the planner's cost model reads.
+  const std::vector<SignatureCuboid>& cuboids() const { return cuboids_; }
+
   /// Signature of one cell (nullptr = no tuple has this value).
   const Signature* CellSignature(const std::vector<int>& dims,
                                  const CellKey& key) const;

@@ -7,7 +7,7 @@
 #include <queue>
 #include <vector>
 
-#include "func/query.h"
+#include "func/query.h"  // ScoredTuple, TopKHeap, BruteForceTopK
 #include "storage/table.h"
 #include "storage/io_session.h"
 
@@ -45,64 +45,6 @@ struct ExecStats {
     signature_ms += o.signature_ms;
     return *this;
   }
-};
-
-/// Bounded max-heap over scores: keeps the k smallest-scoring tuples seen;
-/// `KthScore()` is the current S_k bound used by every stop condition.
-class TopKHeap {
- public:
-  explicit TopKHeap(int k) : k_(k) {}
-
-  void Offer(Tid tid, double score) {
-    if (static_cast<int>(heap_.size()) < k_) {
-      heap_.push_back({tid, score});
-      std::push_heap(heap_.begin(), heap_.end(), Worse);
-    } else if (!heap_.empty() && score < heap_.front().score) {
-      std::pop_heap(heap_.begin(), heap_.end(), Worse);
-      heap_.back() = {tid, score};
-      std::push_heap(heap_.begin(), heap_.end(), Worse);
-    }
-  }
-
-  /// Offers a block of scored tuples, filtering against the current S_k
-  /// bound before touching the heap: a block whose tuples all score worse
-  /// than KthScore() costs n compares and zero heap operations. Produces
-  /// exactly the same heap state as n repeated Offer() calls.
-  void OfferBatch(const Tid* tids, const double* scores, size_t n) {
-    if (k_ <= 0) return;
-    size_t i = 0;
-    // Fill phase: until k results exist every tuple enters the heap.
-    for (; i < n && static_cast<int>(heap_.size()) < k_; ++i) {
-      Offer(tids[i], scores[i]);
-    }
-    for (; i < n; ++i) {
-      if (scores[i] < heap_.front().score) Offer(tids[i], scores[i]);
-    }
-  }
-
-  bool Full() const { return static_cast<int>(heap_.size()) >= k_; }
-
-  /// S_k: the k-th best score so far, +inf until k results exist.
-  double KthScore() const {
-    return Full() && k_ > 0 ? heap_.front().score : kInfScore;
-  }
-
-  /// Results in ascending score order.
-  std::vector<ScoredTuple> Sorted() const {
-    std::vector<ScoredTuple> v = heap_;
-    std::sort(v.begin(), v.end());
-    return v;
-  }
-
-  size_t size() const { return heap_.size(); }
-
- private:
-  static bool Worse(const ScoredTuple& a, const ScoredTuple& b) {
-    return a.score < b.score;  // max-heap on score
-  }
-
-  int k_;
-  std::vector<ScoredTuple> heap_;
 };
 
 }  // namespace rankcube

@@ -23,10 +23,25 @@ struct QuerySlot {
 
 }  // namespace
 
+Result<TopKResult> BatchExecutor::ExecuteOne(const TopKQuery& query,
+                                             ExecContext& ctx) const {
+  if (router_) {
+    Result<RoutedEngine> routed = router_(query);
+    if (!routed.ok()) return routed.status();
+    if (routed.value().engine == nullptr) {
+      return Status::InvalidArgument("router returned no engine");
+    }
+    Result<TopKResult> r = routed.value().engine->Execute(query, ctx);
+    if (r.ok()) r.value().plan = routed.value().plan;
+    return r;
+  }
+  return engine_->Execute(query, ctx);
+}
+
 Result<BatchReport> BatchExecutor::Run(const std::vector<TopKQuery>& workload,
                                        ExecContext& ctx) const {
-  if (engine_ == nullptr) {
-    return Status::InvalidArgument("BatchExecutor has no engine");
+  if (engine_ == nullptr && !router_) {
+    return Status::InvalidArgument("BatchExecutor has no engine or router");
   }
   if (ctx.io == nullptr) {
     return Status::InvalidArgument("ExecContext has no I/O session");
@@ -36,7 +51,7 @@ Result<BatchReport> BatchExecutor::Run(const std::vector<TopKQuery>& workload,
   report.num_queries = workload.size();
   uint64_t before = ctx.io->TotalPhysical();
   for (const TopKQuery& query : workload) {
-    Result<TopKResult> r = engine_->Execute(query, ctx);
+    Result<TopKResult> r = ExecuteOne(query, ctx);
     ++report.executed;
     if (!r.ok()) {
       if (report.failed == 0) report.first_error = r.status();
@@ -65,8 +80,8 @@ Result<BatchReport> BatchExecutor::ExecuteAll(
 Result<BatchReport> BatchExecutor::ExecuteParallel(
     const std::vector<TopKQuery>& workload, const PageStore& store,
     int num_threads) const {
-  if (engine_ == nullptr) {
-    return Status::InvalidArgument("BatchExecutor has no engine");
+  if (engine_ == nullptr && !router_) {
+    return Status::InvalidArgument("BatchExecutor has no engine or router");
   }
   const size_t n = workload.size();
   size_t workers = num_threads > 1 ? static_cast<size_t>(num_threads) : 1;
@@ -92,7 +107,7 @@ Result<BatchReport> BatchExecutor::ExecuteParallel(
       ExecContext ctx;
       ctx.io = &io;
       ctx.page_budget = options_.page_budget;
-      Result<TopKResult> r = engine_->Execute(workload[i], ctx);
+      Result<TopKResult> r = ExecuteOne(workload[i], ctx);
       sessions[w].MergeFrom(io);
       slot.executed = true;
       if (r.ok()) {

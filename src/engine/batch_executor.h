@@ -1,5 +1,6 @@
-// Runs a workload vector through one RankingEngine and aggregates the
-// ExecStats — the loop every bench binary used to reimplement by hand.
+// Runs a workload vector through one RankingEngine — or, in router mode,
+// through a per-query engine choice — and aggregates the ExecStats: the
+// loop every bench binary used to reimplement by hand.
 //
 // Three entry points:
 //  * Run(workload, ctx)            — sequential, inside a caller-owned
@@ -16,11 +17,30 @@
 #define RANKCUBE_ENGINE_BATCH_EXECUTOR_H_
 
 #include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "engine/engine.h"
 
 namespace rankcube {
+
+/// A router's answer for one query: the engine that should run it, plus
+/// the plan record to attach to the result (may be null for routers that
+/// don't plan).
+struct RoutedEngine {
+  const RankingEngine* engine = nullptr;
+  std::shared_ptr<const PlanInfo> plan;
+};
+
+/// Per-query engine choice — how planner-routed workloads run: RankCubeDb
+/// hands BatchExecutor a router that plans each query and lazily builds
+/// the chosen structure, so one mixed workload may legitimately split
+/// across engines. Must be thread-safe when used with ExecuteParallel.
+/// A routing failure counts as that query's failure, like any engine
+/// error.
+using EngineRouter =
+    std::function<Result<RoutedEngine>(const TopKQuery& query)>;
 
 struct BatchOptions {
   /// Retain each query's TopKResult (memory-heavy for large workloads;
@@ -91,9 +111,17 @@ struct BatchReport {
 
 class BatchExecutor {
  public:
+  /// Single-engine mode: every query runs on `engine`.
   explicit BatchExecutor(const RankingEngine* engine,
                          BatchOptions options = BatchOptions())
       : engine_(engine), options_(options) {}
+
+  /// Router mode: each query is routed individually (thread-safe router
+  /// required for ExecuteParallel); the routed plan is attached to the
+  /// query's TopKResult.
+  explicit BatchExecutor(EngineRouter router,
+                         BatchOptions options = BatchOptions())
+      : router_(std::move(router)), options_(options) {}
 
   /// Executes the workload in order inside `ctx` (the per-query page budget
   /// and trace hook apply to each query individually). Only setup failures
@@ -118,7 +146,12 @@ class BatchExecutor {
                                       int num_threads) const;
 
  private:
-  const RankingEngine* engine_;
+  /// Resolves the engine (fixed or routed) and executes one query.
+  Result<TopKResult> ExecuteOne(const TopKQuery& query,
+                                ExecContext& ctx) const;
+
+  const RankingEngine* engine_ = nullptr;
+  EngineRouter router_;
   BatchOptions options_;
 };
 

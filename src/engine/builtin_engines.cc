@@ -5,12 +5,37 @@
 namespace rankcube {
 namespace {
 
+/// Shared grid-family description: cuboid dim sets + cell counts plus the
+/// equi-depth partition geometry the block-access cost model reads.
+void DescribeGridCuboids(const std::vector<GridCuboid>& cuboids,
+                         const EquiDepthGrid& grid, int block_size,
+                         AccessStructureInfo* info) {
+  info->requires_convex = true;  // neighborhood search needs Lemma 1
+  info->num_cuboids = static_cast<int>(cuboids.size());
+  for (const auto& c : cuboids) {
+    info->covered_dim_sets.push_back(c.dims);
+    info->cuboid_cells += c.cells.size();
+  }
+  info->grid_bins = grid.bins_per_dim();
+  info->grid_blocks = grid.num_blocks();
+  info->block_size = block_size;
+}
+
 class GridCubeEngine final : public RankingEngine {
  public:
   GridCubeEngine(const Table& table, std::shared_ptr<const GridRankingCube> c)
       : RankingEngine("grid", &table), cube_(std::move(c)) {}
 
   size_t SizeBytes() const override { return cube_->SizeBytes(); }
+
+  AccessStructureInfo Describe() const override {
+    AccessStructureInfo info = RankingEngine::Describe();
+    info.coverage = AccessStructureInfo::DimCoverage::kExactSets;
+    DescribeGridCuboids(cube_->cuboids(), cube_->grid(), cube_->block_size(),
+                        &info);
+    info.construction_pages = cube_->construction_pages();
+    return info;
+  }
 
  protected:
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
@@ -32,6 +57,17 @@ class FragmentsEngine final : public RankingEngine {
       : RankingEngine("fragments", &table), fragments_(std::move(f)) {}
 
   size_t SizeBytes() const override { return fragments_->SizeBytes(); }
+
+  AccessStructureInfo Describe() const override {
+    AccessStructureInfo info = RankingEngine::Describe();
+    // Any conjunction is answerable through a covering set (§3.4.2).
+    info.coverage = AccessStructureInfo::DimCoverage::kAnySubset;
+    DescribeGridCuboids(fragments_->cuboids(), fragments_->grid(),
+                        fragments_->block_size(), &info);
+    info.fragment_groups = fragments_->groups();
+    info.construction_pages = fragments_->construction_pages();
+    return info;
+  }
 
  protected:
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
@@ -57,6 +93,23 @@ class SignatureCubeEngine final : public RankingEngine {
 
   size_t SizeBytes() const override {
     return cube_->CompressedBytes() + (lossy_ ? cube_->LossyBloomBytes() : 0);
+  }
+
+  AccessStructureInfo Describe() const override {
+    AccessStructureInfo info = RankingEngine::Describe();
+    // A conjunction needs an exact-match cell or per-dim atomic cuboids for
+    // the online assembly of §4.3.3.
+    info.coverage = AccessStructureInfo::DimCoverage::kAtomicAssembly;
+    info.num_cuboids = static_cast<int>(cube_->cuboids().size());
+    for (const auto& c : cube_->cuboids()) {
+      info.covered_dim_sets.push_back(c.dims);
+      info.cuboid_cells += c.sigs.size();
+    }
+    const RTree& rtree = cube_->rtree();
+    info.tree_fanout = rtree.max_entries();
+    info.tree_depth = rtree.depth();
+    info.tree_leaves = rtree.num_leaves();
+    return info;
   }
 
  protected:
@@ -121,6 +174,16 @@ class RankingFirstEngine final : public RankingEngine {
 
   size_t SizeBytes() const override { return rtree_->SizeBytes(); }
 
+  AccessStructureInfo Describe() const override {
+    AccessStructureInfo info = RankingEngine::Describe();
+    // Predicates verified per candidate by random table access, so any
+    // conjunction is answerable (at a per-candidate page cost).
+    info.tree_fanout = rtree_->max_entries();
+    info.tree_depth = rtree_->depth();
+    info.tree_leaves = rtree_->num_leaves();
+    return info;
+  }
+
  protected:
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
                                  ExecContext& ctx) const override {
@@ -142,6 +205,14 @@ class RankMappingEngine final : public RankingEngine {
       : RankingEngine("rank_mapping", &table), baseline_(std::move(b)) {}
 
   size_t SizeBytes() const override { return baseline_->IndexSizeBytes(); }
+
+  AccessStructureInfo Describe() const override {
+    AccessStructureInfo info = RankingEngine::Describe();
+    // Runs on the exact k-th score from an in-memory oracle (§3.5.1); the
+    // planner never auto-routes to a competitor fed oracle knowledge.
+    info.needs_external_bound = true;
+    return info;
+  }
 
  protected:
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
@@ -177,6 +248,14 @@ class IndexMergeEngine final : public RankingEngine {
 
   /// Ch5's query model carries no boolean selections (§5.1.1).
   bool SupportsPredicates() const override { return false; }
+
+  AccessStructureInfo Describe() const override {
+    AccessStructureInfo info = RankingEngine::Describe();
+    info.coverage = AccessStructureInfo::DimCoverage::kNone;
+    info.num_cuboids = static_cast<int>(indices_.size());
+    info.tree_fanout = indices_.empty() ? 0 : indices_.front()->fanout();
+    return info;
+  }
 
  protected:
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,

@@ -2,6 +2,15 @@
 
 namespace rankcube {
 
+AccessStructureInfo RankingEngine::Describe() const {
+  AccessStructureInfo info;
+  info.engine = name_;
+  info.supports_predicates = SupportsPredicates();
+  info.size_bytes = SizeBytes();
+  info.built = true;
+  return info;
+}
+
 Result<TopKResult> RankingEngine::Execute(const TopKQuery& query,
                                           ExecContext& ctx) const {
   if (ctx.io == nullptr) {

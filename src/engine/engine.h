@@ -12,10 +12,12 @@
 #define RANKCUBE_ENGINE_ENGINE_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/topk_query.h"
+#include "engine/structure_info.h"
 #include "func/query.h"
 #include "storage/io_session.h"
 #include "storage/table.h"
@@ -46,6 +48,10 @@ struct ExecContext {
 struct TopKResult {
   std::vector<ScoredTuple> tuples;
   ExecStats stats;
+  /// The planner's decision when this execution was planner-routed
+  /// (RankCubeDb / router-mode BatchExecutor); null for direct
+  /// RankingEngine::Execute calls.
+  std::shared_ptr<const PlanInfo> plan;
 };
 
 /// Polymorphic top-k engine. Subclasses implement ExecuteImpl; the
@@ -71,6 +77,13 @@ class RankingEngine {
   /// Bytes of auxiliary structures (cuboids, signatures, indices) this
   /// engine queries; 0 for scan-only engines. Drives the space figures.
   virtual size_t SizeBytes() const { return 0; }
+
+  /// Exact self-description for the planner's catalog: capabilities plus
+  /// the statistics the cost model reads (structure_info.h). The base
+  /// implementation fills the fields every engine shares (name, predicate
+  /// support, size, built = true); engines with structure-specific stats
+  /// (grid geometry, cuboid cells, tree shape) extend it.
+  virtual AccessStructureInfo Describe() const;
 
   /// Answers `query` inside `ctx`. Never throws; all failure modes —
   /// malformed query, missing cuboid, exhausted budget — come back as a

@@ -4,9 +4,12 @@
 //                     .OrderByLinear({1.0, 2.0})
 //                     .Limit(10)
 //                     .Build();
-// The builder only assembles the struct; validation happens inside
+// Build() only assembles the struct; validation happens inside
 // RankingEngine::Execute via ValidateQuery, so a malformed build fails with
 // the same Status an engine would report for a hand-rolled query.
+// Front-ends that want to reject malformed input *before* paying planning
+// cost use BuildValidated(schema), which runs the same ValidateQuery up
+// front and hands back Result<TopKQuery>.
 #ifndef RANKCUBE_ENGINE_QUERY_BUILDER_H_
 #define RANKCUBE_ENGINE_QUERY_BUILDER_H_
 
@@ -46,6 +49,15 @@ class QueryBuilder {
                                                        std::move(targets)));
   }
 
+  /// order by sum_i weights[i] * |N_i - targets[i]| : the L1 variant of
+  /// OrderByDistance (one weight/target per ranking dimension; zero weight
+  /// = uninvolved).
+  QueryBuilder& OrderByL1(std::vector<double> weights,
+                          std::vector<double> targets) {
+    return OrderBy(std::make_shared<L1Distance>(std::move(weights),
+                                                std::move(targets)));
+  }
+
   QueryBuilder& Limit(int k) {
     query_.k = k;
     return *this;
@@ -53,6 +65,14 @@ class QueryBuilder {
 
   /// The assembled query; the builder can keep being amended and rebuilt.
   TopKQuery Build() const { return query_; }
+
+  /// The assembled query, validated against `schema` (same ValidateQuery
+  /// every engine applies): a malformed query comes back as the identical
+  /// InvalidArgument Status, but before any planning or execution cost.
+  Result<TopKQuery> BuildValidated(const TableSchema& schema) const {
+    RC_RETURN_IF_ERROR(ValidateQuery(query_, schema));
+    return query_;
+  }
 
  private:
   TopKQuery query_;

@@ -169,7 +169,17 @@ Result<std::unique_ptr<RankingEngine>> EngineRegistry::Create(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = factories_.find(name);
     if (it == factories_.end()) {
-      return Status::NotFound("no engine registered under '" + name + "'");
+      // List what *is* registered: lookups are often composed
+      // programmatically (planner catalogs, --engines flags), where "which
+      // keys exist" is exactly the question the caller needs answered.
+      std::string keys;
+      for (const auto& [key, unused] : factories_) {
+        (void)unused;
+        if (!keys.empty()) keys += ", ";
+        keys += key;
+      }
+      return Status::NotFound("no engine registered under '" + name +
+                              "'; registered engines: " + keys);
     }
     factory = it->second;
   }

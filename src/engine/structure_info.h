@@ -1,0 +1,143 @@
+// Self-description of physical access structures, and the plan record a
+// cost-based choice between them produces.
+//
+// The paper's Ch3-Ch5 structures (grid ranking cube, fragments, signature
+// cube, R-tree, boolean-first indexes, sequential scan, ...) are alternative
+// physical executors of one logical query class, each winning in a different
+// regime of selectivity, predicate count and function shape. To let a
+// planner choose among them, every RankingEngine exports an
+// AccessStructureInfo: its capabilities (which queries it can answer at all)
+// and the statistics the block-access cost model needs (sizes, cell counts,
+// grid geometry, tree shape). The planner's decision is recorded as a
+// PlanInfo and travels inside TopKResult.
+//
+// Both types live in the engine layer (below src/planner/) so that
+// RankingEngine can describe itself and TopKResult can carry the plan
+// without the engine layer depending on the planner.
+#ifndef RANKCUBE_ENGINE_STRUCTURE_INFO_H_
+#define RANKCUBE_ENGINE_STRUCTURE_INFO_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rankcube {
+
+/// What a planner-routed query should minimize.
+enum class OptimizeFor {
+  kPages,    ///< physical page reads (the paper's #disk-accesses series)
+  kLatency,  ///< page reads weighted by device cost plus CPU evaluation cost
+};
+
+/// Capabilities + statistics of one physical access structure, keyed by its
+/// engine registry name. Produced two ways:
+///  * predicted analytically before the structure exists (the planner must
+///    be able to cost a plan without paying construction), and
+///  * exported exactly by a built engine via RankingEngine::Describe(),
+///    which replaces the prediction in the catalog.
+struct AccessStructureInfo {
+  std::string engine;  ///< registry key ("grid", "table_scan", ...)
+
+  // --- capabilities -------------------------------------------------------
+  bool supports_predicates = true;
+  /// Search algorithm is only exact for convex ranking functions (the grid
+  /// neighborhood search of Lemma 1).
+  bool requires_convex = false;
+  /// Needs an externally supplied k-th-score bound (the rank-mapping
+  /// competitor runs on an oracle concession, §3.5.1); never chosen by the
+  /// cost model, only by force_engine.
+  bool needs_external_bound = false;
+
+  /// How predicate dimension sets map onto materialized structure:
+  enum class DimCoverage {
+    kNone,        ///< no boolean access path at all
+    kExactSets,   ///< query dims must equal one of covered_dim_sets (grid
+                  ///< cuboids answer exactly their own dimension set)
+    kAtomicAssembly,  ///< exact-set hit, or online assembly from atomic
+                      ///< (single-dim) cuboids — every query dim must appear
+                      ///< as a singleton in covered_dim_sets (§4.3.3)
+    kAnySubset,   ///< any conjunction answerable (fragments assemble
+                  ///< covering sets online; posting lists exist per dim)
+  };
+  DimCoverage coverage = DimCoverage::kAnySubset;
+  /// Sorted dimension sets materialized, for kExactSets; also consulted for
+  /// structures (signature cube) where an exact-set hit avoids online
+  /// assembly. Single-dim entries double as "this dim has an atomic cuboid".
+  std::vector<std::vector<int>> covered_dim_sets;
+
+  // --- statistics ---------------------------------------------------------
+  bool built = false;           ///< exact stats from a built structure
+  uint64_t size_bytes = 0;      ///< auxiliary-structure footprint
+  uint64_t construction_pages = 0;  ///< build I/O already paid (0 if unbuilt)
+
+  int num_cuboids = 0;          ///< materialized cuboids (grid/frag/signature)
+  uint64_t cuboid_cells = 0;    ///< total materialized cells across cuboids
+
+  // Grid geometry (grid + fragments): bins per ranking dimension, base
+  // blocks, and the block-size target P the equi-depth partition was built
+  // for (§3.2.2/§3.2.3).
+  int grid_bins = 0;
+  uint64_t grid_blocks = 0;
+  int block_size = 0;
+  /// Fragment grouping (fragments only): selection dims per group, so the
+  /// planner can count covering cuboids per query (§3.4.2).
+  std::vector<std::vector<int>> fragment_groups;
+
+  // Tree shape (signature/ranking_first R-tree; index_merge B+-trees).
+  int tree_fanout = 0;
+  int tree_depth = 0;
+  uint64_t tree_leaves = 0;
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << engine << (built ? " [built]" : " [predicted]") << " size="
+       << size_bytes << "B cuboids=" << num_cuboids << " cells="
+       << cuboid_cells;
+    if (grid_blocks > 0) os << " blocks=" << grid_blocks;
+    if (tree_leaves > 0) {
+      os << " leaves=" << tree_leaves << " depth=" << tree_depth;
+    }
+    return os.str();
+  }
+};
+
+/// One costed alternative the planner considered.
+struct PlanCandidate {
+  std::string engine;
+  bool feasible = false;
+  double est_pages = 0.0;   ///< estimated physical page reads
+  double est_cost = 0.0;    ///< objective minimized (pages, or latency us)
+  std::string reason;       ///< why infeasible (empty when feasible)
+};
+
+/// The planner's decision for one query: which engine runs it, what the
+/// cost model expected, and every candidate's estimate (the EXPLAIN
+/// output). Returned by RankCubeDb::Explain and attached to TopKResult for
+/// planner-routed executions, so estimated_pages can be compared against
+/// the measured ExecStats::pages_read.
+struct PlanInfo {
+  std::string chosen_engine;
+  double estimated_pages = 0.0;
+  bool forced = false;  ///< chosen by force_engine, not by cost
+  std::vector<PlanCandidate> candidates;  ///< feasible first, by ascending cost
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "plan: " << chosen_engine << (forced ? " (forced)" : "")
+       << ", est_pages=" << estimated_pages;
+    for (const auto& c : candidates) {
+      os << "\n  " << c.engine << ": ";
+      if (c.feasible) {
+        os << "est_pages=" << c.est_pages << " est_cost=" << c.est_cost;
+      } else {
+        os << "infeasible (" << c.reason << ")";
+      }
+    }
+    return os.str();
+  }
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_ENGINE_STRUCTURE_INFO_H_

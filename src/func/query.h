@@ -93,14 +93,96 @@ struct ScoredTuple {
   bool operator==(const ScoredTuple&) const = default;
 };
 
+/// Bounded max-heap over scores: keeps the k smallest-scoring tuples seen;
+/// `KthScore()` is the current S_k bound used by every stop condition.
+class TopKHeap {
+ public:
+  explicit TopKHeap(int k) : k_(k) {}
+
+  void Offer(Tid tid, double score) {
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push_back({tid, score});
+      std::push_heap(heap_.begin(), heap_.end(), Worse);
+    } else if (!heap_.empty() && score < heap_.front().score) {
+      std::pop_heap(heap_.begin(), heap_.end(), Worse);
+      heap_.back() = {tid, score};
+      std::push_heap(heap_.begin(), heap_.end(), Worse);
+    }
+  }
+
+  /// Offers a block of scored tuples, filtering against the current S_k
+  /// bound before touching the heap: a block whose tuples all score worse
+  /// than KthScore() costs n compares and zero heap operations. Produces
+  /// exactly the same heap state as n repeated Offer() calls.
+  void OfferBatch(const Tid* tids, const double* scores, size_t n) {
+    if (k_ <= 0) return;
+    size_t i = 0;
+    // Fill phase: until k results exist every tuple enters the heap.
+    for (; i < n && static_cast<int>(heap_.size()) < k_; ++i) {
+      Offer(tids[i], scores[i]);
+    }
+    for (; i < n; ++i) {
+      if (scores[i] < heap_.front().score) Offer(tids[i], scores[i]);
+    }
+  }
+
+  bool Full() const { return static_cast<int>(heap_.size()) >= k_; }
+
+  /// S_k: the k-th best score so far, +inf until k results exist.
+  double KthScore() const {
+    return Full() && k_ > 0 ? heap_.front().score : kInfScore;
+  }
+
+  /// Results in ascending score order.
+  std::vector<ScoredTuple> Sorted() const {
+    std::vector<ScoredTuple> v = heap_;
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  static bool Worse(const ScoredTuple& a, const ScoredTuple& b) {
+    return a.score < b.score;  // max-heap on score
+  }
+
+  int k_;
+  std::vector<ScoredTuple> heap_;
+};
+
 /// Exact top-k by full in-memory evaluation; returns ascending scores. The
 /// reference oracle: correctness tests compare every engine against it, and
 /// the rank-mapping engine derives its optimal k-th-score bound from it
 /// (no pages are charged — it reads the in-memory columns directly).
+/// Scores through the same column-direct EvaluateBatch + threshold-aware
+/// OfferBatch pair the engines run, so the oracle exercises the vectorized
+/// path instead of a per-tuple rank() gather.
 inline std::vector<ScoredTuple> BruteForceTopK(const Table& table,
                                                const TopKQuery& query) {
-  std::vector<ScoredTuple> all;
-  std::vector<double> point(table.num_rank_dims());
+  constexpr size_t kBlock = 1024;
+  std::vector<Tid> tids;
+  tids.reserve(kBlock);
+  std::vector<double> scores(kBlock);
+  TopKHeap topk(query.k);
+  auto flush = [&] {
+    scores.resize(tids.size());
+    query.function->EvaluateBatch(table, tids.data(), tids.size(),
+                                  scores.data());
+    // Tuples a constrained function excludes score +inf and never rank
+    // (the heap's fill phase would otherwise admit them); compact them out
+    // before offering.
+    size_t m = 0;
+    for (size_t i = 0; i < tids.size(); ++i) {
+      if (scores[i] < kInfScore) {
+        tids[m] = tids[i];
+        scores[m] = scores[i];
+        ++m;
+      }
+    }
+    topk.OfferBatch(tids.data(), scores.data(), m);
+    tids.clear();
+  };
   for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
     bool ok = true;
     for (const auto& p : query.predicates) {
@@ -110,13 +192,11 @@ inline std::vector<ScoredTuple> BruteForceTopK(const Table& table,
       }
     }
     if (!ok) continue;
-    for (int d = 0; d < table.num_rank_dims(); ++d) point[d] = table.rank(t, d);
-    double s = query.function->Evaluate(point.data());
-    if (s < kInfScore) all.push_back({t, s});
+    tids.push_back(t);
+    if (tids.size() >= kBlock) flush();
   }
-  std::sort(all.begin(), all.end());
-  if (all.size() > static_cast<size_t>(query.k)) all.resize(query.k);
-  return all;
+  flush();
+  return topk.Sorted();
 }
 
 }  // namespace rankcube

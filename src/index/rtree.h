@@ -74,6 +74,13 @@ class RTree {
   const RTreeNode& node(uint32_t id) const { return nodes_[id]; }
   size_t num_tuples() const { return num_tuples_; }
 
+  /// Leaf-node count (tree-shape statistic for the planner's cost model).
+  size_t num_leaves() const {
+    size_t n = 0;
+    for (const auto& node : nodes_) n += node.is_leaf ? 1 : 0;
+    return n;
+  }
+
   /// Levels, root = level 1; leaves are at level depth().
   int depth() const;
 

@@ -1,0 +1,73 @@
+// The planner's knowledge base: table-level statistics plus one
+// AccessStructureInfo per physical access structure.
+//
+// TableStats is computed once per relation (a single in-memory pass) and
+// gives the cost model the quantities the paper's block-access analysis is
+// parameterized on: heap-page geometry and exact per-dimension value
+// frequencies, i.e. the selectivity of any equality predicate. Catalog
+// entries start as analytic predictions (cost_model.h) so queries can be
+// planned before any structure is built, and are replaced by the exact
+// RankingEngine::Describe() output once a structure exists.
+#ifndef RANKCUBE_PLANNER_CATALOG_H_
+#define RANKCUBE_PLANNER_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/structure_info.h"
+#include "func/query.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// Relation-level statistics for cost estimation. Exact, not sampled: the
+/// value-frequency histograms are one pass over the in-memory selection
+/// columns (the same concession every structure's build already gets).
+struct TableStats {
+  uint64_t num_rows = 0;
+  int num_sel_dims = 0;
+  int num_rank_dims = 0;
+  size_t page_size = 4096;
+  size_t row_bytes = 0;
+  size_t rows_per_page = 0;
+  uint64_t table_pages = 0;  ///< heap pages of a full sequential scan
+
+  /// value_counts[dim][value] = number of rows with sel(dim) == value.
+  std::vector<std::vector<uint64_t>> value_counts;
+
+  static TableStats Compute(const Table& table, size_t page_size);
+
+  /// Fraction of rows satisfying `p` (exact, from the histogram).
+  double PredicateSelectivity(const Predicate& p) const;
+
+  /// Fraction of rows satisfying the conjunction, under the independence
+  /// assumption (per-predicate factors are exact, their product is not).
+  double Selectivity(const std::vector<Predicate>& predicates) const;
+
+  /// Expected number of matching rows for the conjunction.
+  double MatchEstimate(const std::vector<Predicate>& predicates) const {
+    return static_cast<double>(num_rows) * Selectivity(predicates);
+  }
+};
+
+/// Keyed set of AccessStructureInfo entries (a handful of engines; linear
+/// lookup). Put() replaces an existing entry with the same engine key —
+/// how predictions get upgraded to exact post-build descriptions.
+class Catalog {
+ public:
+  void Put(AccessStructureInfo info);
+
+  /// Entry for `engine`, or nullptr. The pointer is invalidated by Put().
+  const AccessStructureInfo* Find(const std::string& engine) const;
+
+  const std::vector<AccessStructureInfo>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<AccessStructureInfo> entries_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_PLANNER_CATALOG_H_

@@ -1,0 +1,74 @@
+// Cost-based plan selection: which physical access structure answers a
+// given logical top-k query.
+//
+// The Planner enumerates every catalog entry as a candidate, runs the
+// capability checks and the block-access cost model (cost_model.h) on each,
+// and picks the cheapest feasible candidate under the requested objective.
+// The full candidate table travels back in the PlanInfo — both for
+// db.Explain() and for comparing estimated against measured pages.
+//
+// Planning never touches an engine or charges a page: it reads only
+// TableStats and AccessStructureInfo, so RankCubeDb can plan (and Explain)
+// queries against structures that have not been built yet.
+#ifndef RANKCUBE_PLANNER_PLANNER_H_
+#define RANKCUBE_PLANNER_PLANNER_H_
+
+#include <functional>
+#include <string>
+
+#include "engine/structure_info.h"
+#include "planner/catalog.h"
+#include "planner/cost_model.h"
+
+namespace rankcube {
+
+/// Per-query planner hints + execution knobs, the facade-level analogue of
+/// ExecContext (RankCubeDb copies these into the context it builds).
+struct QueryOptions {
+  /// Bypass the cost model and run this registry key. The key must exist
+  /// in the db's catalog; capability checks are skipped (a forced engine
+  /// may still reject the query at execution, with its own Status).
+  std::string force_engine;
+
+  /// Objective the cost model minimizes: physical pages, or pages weighted
+  /// by device cost plus the CPU evaluation term.
+  OptimizeFor optimize_for = OptimizeFor::kPages;
+
+  /// Physical-page budget per query (0 = unlimited), enforced by
+  /// RankingEngine::Execute exactly as in a direct ExecContext.
+  uint64_t page_budget = 0;
+
+  /// Trace hook; receives planner decisions and engine phase lines.
+  std::function<void(const std::string&)> trace;
+};
+
+struct PlannerOptions {
+  CostModelOptions cost;
+};
+
+class Planner {
+ public:
+  explicit Planner(PlannerOptions options = PlannerOptions())
+      : options_(options) {}
+
+  /// Picks the engine for `query` from `catalog`. Returns NotFound with
+  /// the per-candidate reasons when no structure can answer the query, and
+  /// NotFound listing the catalog keys when opts.force_engine names an
+  /// unknown engine.
+  Result<PlanInfo> Plan(const TopKQuery& query, const TableStats& stats,
+                        const Catalog& catalog,
+                        const QueryOptions& opts) const;
+
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  PlanCandidate MakeCandidate(const std::string& engine,
+                              const CostEstimate& est,
+                              const QueryOptions& opts) const;
+
+  PlannerOptions options_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_PLANNER_PLANNER_H_

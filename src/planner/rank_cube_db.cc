@@ -1,0 +1,126 @@
+#include "planner/rank_cube_db.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "planner/cost_model.h"
+
+namespace rankcube {
+
+RankCubeDb::RankCubeDb(Table table, Options options)
+    : table_(std::move(table)),
+      store_(options.store),
+      stats_(TableStats::Compute(table_, store_.page_size())),
+      options_(std::move(options)),
+      planner_(options_.planner),
+      build_io_(&store_) {
+  std::vector<std::string> names = options_.engines.empty()
+                                       ? EngineRegistry::Global().Names()
+                                       : options_.engines;
+  for (const std::string& name : names) {
+    catalog_.Put(PredictStructureInfo(name, stats_, options_.build));
+  }
+}
+
+Result<const RankingEngine*> RankCubeDb::EngineLocked(
+    const std::string& name) {
+  auto it = engines_.find(name);
+  if (it != engines_.end()) return it->second.get();
+  if (catalog_.Find(name) == nullptr) {
+    return Status::NotFound("engine '" + name +
+                            "' is not cataloged on this db");
+  }
+  auto built = EngineRegistry::Global().Create(name, table_, build_io_,
+                                               options_.build);
+  if (!built.ok()) return built.status();
+  const RankingEngine* engine = built.value().get();
+  engines_.emplace(name, std::move(built).value());
+  // The structure now exists: its exact statistics replace the analytic
+  // prediction for every later plan.
+  catalog_.Put(engine->Describe());
+  return engine;
+}
+
+Result<const RankingEngine*> RankCubeDb::Engine(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EngineLocked(name);
+}
+
+Result<RoutedEngine> RankCubeDb::Route(const TopKQuery& query,
+                                       const QueryOptions& opts) {
+  RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
+  RoutedEngine routed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto plan = planner_.Plan(query, stats_, catalog_, opts);
+    if (!plan.ok()) return plan.status();
+    auto engine = EngineLocked(plan.value().chosen_engine);
+    if (!engine.ok()) return engine.status();
+    routed.engine = engine.value();
+    routed.plan = std::make_shared<const PlanInfo>(std::move(plan).value());
+  }
+  // Outside the lock: a hook that calls back into the db must not
+  // self-deadlock, and parallel workers must not serialize planning
+  // behind user hook latency.
+  if (opts.trace) opts.trace(routed.plan->ToString());
+  return routed;
+}
+
+Result<TopKResult> RankCubeDb::Query(const TopKQuery& query,
+                                     const QueryOptions& opts) {
+  auto routed = Route(query, opts);
+  if (!routed.ok()) return routed.status();
+
+  IoSession io(&store_);
+  ExecContext ctx;
+  ctx.io = &io;
+  ctx.page_budget = opts.page_budget;
+  ctx.trace = opts.trace;
+  Result<TopKResult> result = routed.value().engine->Execute(query, ctx);
+  if (result.ok()) result.value().plan = routed.value().plan;
+  return result;
+}
+
+Result<PlanInfo> RankCubeDb::Explain(const TopKQuery& query,
+                                     const QueryOptions& opts) const {
+  RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
+  std::lock_guard<std::mutex> lock(mu_);
+  return planner_.Plan(query, stats_, catalog_, opts);
+}
+
+Result<BatchReport> RankCubeDb::QueryAll(
+    const std::vector<TopKQuery>& workload, const QueryOptions& opts,
+    BatchOptions batch) {
+  return QueryParallel(workload, 1, opts, batch);
+}
+
+Result<BatchReport> RankCubeDb::QueryParallel(
+    const std::vector<TopKQuery>& workload, int num_threads,
+    const QueryOptions& opts, BatchOptions batch) {
+  if (batch.page_budget == 0) batch.page_budget = opts.page_budget;
+  BatchExecutor executor(
+      [this, opts](const TopKQuery& query) { return Route(query, opts); },
+      batch);
+  return executor.ExecuteParallel(workload, store_, num_threads);
+}
+
+std::vector<AccessStructureInfo> RankCubeDb::CatalogEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.entries();
+}
+
+std::vector<std::string> RankCubeDb::EngineNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(catalog_.size());
+  for (const auto& entry : catalog_.entries()) names.push_back(entry.engine);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+uint64_t RankCubeDb::construction_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return build_io_.TotalPhysical();
+}
+
+}  // namespace rankcube

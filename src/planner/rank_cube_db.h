@@ -1,0 +1,131 @@
+// RankCubeDb: the primary public API of this repository.
+//
+// A RankCubeDb owns a relation, its simulated block device, and a catalog
+// of every registered physical access structure (grid ranking cube,
+// fragments, signature cube, R-tree, boolean-first indexes, table scan,
+// index-merge, ...). Callers submit logical top-k queries —
+//
+//   RankCubeDb db(std::move(table));
+//   auto result = db.Query(QueryBuilder()
+//                              .Where(0, red).Where(2, sedan)
+//                              .OrderByLinear({1.0, 2.0})
+//                              .Limit(10)
+//                              .Build());
+//
+// — and never name an engine: a cost-based Planner estimates the page
+// reads of every cataloged structure (the paper's block-access analysis)
+// and routes the query to the cheapest feasible one. Structures are built
+// lazily, the first time a plan chooses them; their exact statistics then
+// replace the catalog's analytic predictions. The decision is returned in
+// TopKResult::plan, and Explain() exposes it without executing anything.
+//
+// force_engine in QueryOptions pins a specific structure (every engine
+// remains individually reachable, e.g. for the parity tests and figure
+// benches); optimize_for switches the cost objective between raw pages
+// and device-weighted latency.
+#ifndef RANKCUBE_PLANNER_RANK_CUBE_DB_H_
+#define RANKCUBE_PLANNER_RANK_CUBE_DB_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/batch_executor.h"
+#include "engine/registry.h"
+#include "planner/planner.h"
+#include "storage/page_store.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+class RankCubeDb {
+ public:
+  struct Options {
+    /// Block-device geometry shared by the table and every structure.
+    PageStore::Options store;
+    /// Per-family construction knobs handed to the engine factories.
+    EngineBuildOptions build;
+    /// Registry keys to catalog; empty = every registered engine. Keys
+    /// outside this list are not plannable and not forceable on this db.
+    std::vector<std::string> engines;
+    PlannerOptions planner;
+  };
+
+  /// Takes ownership of `table`; computes TableStats (one in-memory pass)
+  /// and catalogs predicted AccessStructureInfo for every engine. Builds
+  /// nothing.
+  explicit RankCubeDb(Table table, Options options = Options());
+
+  RankCubeDb(const RankCubeDb&) = delete;
+  RankCubeDb& operator=(const RankCubeDb&) = delete;
+
+  const Table& table() const { return table_; }
+  const PageStore& store() const { return store_; }
+  const TableStats& table_stats() const { return stats_; }
+
+  /// Plans + executes one query in a fresh I/O session. The result carries
+  /// the chosen plan (TopKResult::plan) next to the measured ExecStats.
+  Result<TopKResult> Query(const TopKQuery& query,
+                           const QueryOptions& opts = QueryOptions());
+
+  /// The plan Query() would run, without building or executing anything.
+  Result<PlanInfo> Explain(const TopKQuery& query,
+                           const QueryOptions& opts = QueryOptions()) const;
+
+  /// Sequential workload execution, one fresh session per query; each
+  /// query is planned individually (a mixed workload may split across
+  /// engines). Per-query failures are tallied in the report.
+  Result<BatchReport> QueryAll(const std::vector<TopKQuery>& workload,
+                               const QueryOptions& opts = QueryOptions(),
+                               BatchOptions batch = BatchOptions());
+
+  /// Parallel workload execution on `num_threads` workers; same routing,
+  /// deterministic workload-order report (BatchExecutor::ExecuteParallel).
+  Result<BatchReport> QueryParallel(const std::vector<TopKQuery>& workload,
+                                    int num_threads,
+                                    const QueryOptions& opts = QueryOptions(),
+                                    BatchOptions batch = BatchOptions());
+
+  /// The engine under `name`, built on first use (thread-safe; build I/O
+  /// is charged to the db's construction session). The pointer stays valid
+  /// for the db's lifetime.
+  Result<const RankingEngine*> Engine(const std::string& name);
+
+  /// Catalog snapshot: predicted entries, upgraded in place to exact
+  /// Describe() output for structures that have been built.
+  std::vector<AccessStructureInfo> CatalogEntries() const;
+
+  /// Registry keys this db catalogs (sorted).
+  std::vector<std::string> EngineNames() const;
+
+  /// Physical pages charged by all lazy structure builds so far.
+  uint64_t construction_pages() const;
+
+ private:
+  /// Plans `query` and returns the built engine + plan (the router body).
+  Result<RoutedEngine> Route(const TopKQuery& query,
+                             const QueryOptions& opts);
+
+  /// Must hold mu_. Builds `name` if needed and returns it.
+  Result<const RankingEngine*> EngineLocked(const std::string& name);
+
+  Table table_;
+  PageStore store_;
+  TableStats stats_;
+  Options options_;
+  Planner planner_;
+
+  /// Guards catalog_, engines_ and build_io_: planning is a pure in-memory
+  /// computation and builds are rare, so one coarse lock suffices; query
+  /// execution itself runs outside the lock on per-query sessions.
+  mutable std::mutex mu_;
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<RankingEngine>> engines_;
+  IoSession build_io_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_PLANNER_RANK_CUBE_DB_H_

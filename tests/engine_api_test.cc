@@ -43,6 +43,13 @@ TEST(EngineRegistryTest, UnknownEngineIsNotFound) {
   auto r = EngineRegistry::Global().Create("no_such_engine", table, io);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+  // The error names every registered key: lookups are composed
+  // programmatically (planner catalogs, CLI flags), and "what exists" is
+  // the answer such callers need.
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    EXPECT_NE(r.status().message().find(name), std::string::npos)
+        << r.status().message();
+  }
 }
 
 TEST(EngineRegistryTest, DuplicateRegistrationFails) {
@@ -70,6 +77,49 @@ TEST(QueryBuilderTest, BuildsTheQueryModel) {
   ASSERT_NE(q.function, nullptr);
   std::vector<double> p{0.5, 0.25};
   EXPECT_DOUBLE_EQ(q.function->Evaluate(p.data()), 1.0);
+}
+
+TEST(QueryBuilderTest, OrderByL1BuildsTheL1Distance) {
+  TopKQuery q = QueryBuilder()
+                    .OrderByL1({2.0, 0.0}, {0.5, 0.0})
+                    .Limit(3)
+                    .Build();
+  ASSERT_NE(q.function, nullptr);
+  std::vector<double> at_target{0.5, 0.9};
+  EXPECT_DOUBLE_EQ(q.function->Evaluate(at_target.data()), 0.0);
+  std::vector<double> off_target{0.75, 0.9};
+  EXPECT_DOUBLE_EQ(q.function->Evaluate(off_target.data()), 0.5);
+  EXPECT_TRUE(q.function->convex());
+}
+
+TEST(QueryBuilderTest, BuildValidatedAcceptsAndRejectsBeforePlanning) {
+  Table table = SmallTable();
+  const auto& schema = table.schema();
+
+  auto ok = QueryBuilder()
+                .Where(0, 1)
+                .OrderByL1({1.0, 1.0}, {0.2, 0.8})
+                .Limit(5)
+                .BuildValidated(schema);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().predicates.size(), 1u);
+  EXPECT_EQ(ok.value().k, 5);
+
+  // Same malformed builds ValidateQuery rejects inside Execute, rejected
+  // up front with the identical code.
+  auto bad_value =
+      QueryBuilder().Where(0, 99).OrderByLinear({1, 1}).BuildValidated(schema);
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_EQ(bad_value.status().code(), Status::Code::kInvalidArgument);
+
+  auto no_fn = QueryBuilder().Where(0, 1).Limit(5).BuildValidated(schema);
+  ASSERT_FALSE(no_fn.ok());
+  EXPECT_EQ(no_fn.status().code(), Status::Code::kInvalidArgument);
+
+  auto bad_k =
+      QueryBuilder().OrderByLinear({1, 1}).Limit(0).BuildValidated(schema);
+  ASSERT_FALSE(bad_k.ok());
+  EXPECT_EQ(bad_k.status().code(), Status::Code::kInvalidArgument);
 }
 
 TEST(ValidateQueryTest, RejectsMalformedQueries) {
