@@ -46,6 +46,10 @@ class BooleanFirst {
 
  private:
   const Table& table_;
+  /// Heap rows at construction: both plans answer over this snapshot (the
+  /// posting lists cover exactly these rows), so the engine-level delta
+  /// overlay can merge in later appends without double counting.
+  Tid built_rows_;
   PostingIndex posting_;
 };
 

@@ -7,7 +7,9 @@
 namespace rankcube {
 
 BooleanFirst::BooleanFirst(const Table& table)
-    : table_(table), posting_(table) {}
+    : table_(table),
+      built_rows_(static_cast<Tid>(table.num_rows())),
+      posting_(table) {}
 
 Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
                                                     IoSession* io,
@@ -29,17 +31,21 @@ Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
       best = &p;
     }
   }
+  // Both plans answer over the construction snapshot [0, built_rows_):
+  // rows appended later belong to the engine-level delta overlay, which
+  // scans the heap tail itself — reading it here too would double count.
   size_t rpp = table_.RowsPerPage(io->page_size());
-  uint64_t scan_cost = table_.NumPages(io->page_size());
+  uint64_t scan_pages = (built_rows_ + rpp - 1) / rpp;
+  uint64_t scan_cost = scan_pages;
   // Index plan: posting pages + one random heap access per candidate.
   uint64_t index_cost =
       best ? 1 + best_len * sizeof(Tid) / io->page_size() + best_len
            : UINT64_MAX;
-  (void)rpp;
 
   if (best == nullptr || index_cost >= scan_cost) {
-    table_.ChargeFullScan(io);
-    for (Tid t = 0; t < static_cast<Tid>(table_.num_rows()); ++t) {
+    if (scan_pages > 0) io->Access(IoCategory::kTable, 0, scan_pages);
+    for (Tid t = 0; t < built_rows_; ++t) {
+      if (!table_.is_live(t)) continue;
       bool ok = true;
       for (const auto& p : query.predicates) {
         if (table_.sel(t, p.dim) != p.value) {

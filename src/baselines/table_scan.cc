@@ -17,6 +17,7 @@ Result<std::vector<ScoredTuple>> TableScanTopK(const Table& table,
   table.ChargeFullScan(io);
   BatchScorer scorer(table, *query.function, &topk, stats);
   for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    if (!table.is_live(t)) continue;
     bool ok = true;
     for (const auto& p : query.predicates) {
       if (table.sel(t, p.dim) != p.value) {

@@ -32,11 +32,24 @@ struct GridCuboid {
   /// Pseudo-block id covering base block `bid`.
   uint32_t PidOfBid(const EquiDepthGrid& grid, Bid bid) const;
 
+  /// Incremental maintenance of one cell: the tuple's (bid, tid) pair is
+  /// inserted into / removed from the cell addressed by its selection
+  /// values + pseudo-block id. `key` is caller scratch (reused across
+  /// cuboids); it holds the touched cell on return.
+  void AddTuple(const Table& table, const EquiDepthGrid& grid, Tid tid,
+                Bid bid, CellKey* key);
+  void RemoveTuple(const Table& table, const EquiDepthGrid& grid, Tid tid,
+                   Bid bid, CellKey* key);
+
   size_t SizeBytes() const;
 
   /// Footprint under §3.6.3 ID-list compression (delta-varint coded tid
   /// runs per base block).
   size_t CompressedSizeBytes() const;
+
+ private:
+  void CellKeyOfTuple(const Table& table, const EquiDepthGrid& grid, Tid tid,
+                      Bid bid, CellKey* key) const;
 };
 
 /// Builds one cuboid over `dims` (§3.2.3 pseudo blocking).
@@ -50,6 +63,19 @@ GridCuboid BuildGridCuboid(const Table& table, const EquiDepthGrid& grid,
 /// and the fragments so their cost models cannot diverge.
 void ChargeCuboidBuild(const Table& table, IoSession& io,
                        const GridCuboid& cuboid, size_t index);
+
+/// Shared incremental-maintenance pass for the grid family (full cube and
+/// fragments share the cuboid representation): absorbs the mutations after
+/// `*built_epoch` into the base blocks and every cuboid, charges a read +
+/// write-back per distinct touched block/cell to `io` (nullptr = uncharged),
+/// and advances `*built_epoch` to the delta's epoch. The equi-depth
+/// partition is frozen meta information — new tuples fall into existing
+/// bins — so maintenance is local to the touched cells (the §3.2 locality
+/// this whole PR leans on).
+Status ApplyGridDelta(const Table& table, const DeltaStore& delta,
+                      const EquiDepthGrid& grid, BaseBlockTable* base_blocks,
+                      std::vector<GridCuboid>* cuboids, uint64_t* built_epoch,
+                      IoSession* io);
 
 /// Source of "which tuples of base block b satisfy the selection" — the
 /// retrieve step. Implementations wrap one cuboid (full cube) or an
@@ -132,6 +158,13 @@ class GridRankingCube {
   Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, IoSession* io,
                                         ExecStats* stats) const;
 
+  /// Absorbs the table mutations after built_epoch(): inserted tuples land
+  /// in their base block + one cell per cuboid, deleted tuples leave
+  /// theirs. Empty delta is a no-op. See ApplyGridDelta for I/O charging.
+  Status ApplyDelta(const DeltaStore& delta, IoSession* io);
+  /// Table epoch this cube's contents reflect.
+  uint64_t built_epoch() const { return built_epoch_; }
+
   const EquiDepthGrid& grid() const { return grid_; }
   const BaseBlockTable& base_blocks() const { return base_blocks_; }
   /// All materialized cuboids (dimension sets, pseudo-block geometry, cell
@@ -153,6 +186,7 @@ class GridRankingCube {
   EquiDepthGrid grid_;
   BaseBlockTable base_blocks_;
   int block_size_ = 0;
+  uint64_t built_epoch_ = 0;
   std::vector<GridCuboid> cuboids_;
   /// sorted dims -> index into cuboids_.
   std::unordered_map<std::vector<int>, size_t, DimSetHash> cuboid_index_;

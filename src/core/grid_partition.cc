@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 
 namespace rankcube {
 
@@ -112,9 +113,26 @@ BaseBlockTable::BaseBlockTable(const Table& table, const EquiDepthGrid& grid)
           tuple_bid_[t] * bins + static_cast<Bid>(grid.BinOf(d, col[t]));
     }
   }
+  // tuple_bid_ covers every heap row (deletes after the build look their
+  // block up here), but only live rows enter the block lists.
   for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    if (!table.is_live(t)) continue;
     blocks_[tuple_bid_[t]].push_back(t);
   }
+}
+
+void BaseBlockTable::AddTuple(Tid tid, Bid bid) {
+  if (tuple_bid_.size() <= tid) tuple_bid_.resize(tid + 1, 0);
+  tuple_bid_[tid] = bid;
+  // Appended tids exceed every existing member, so the block list stays
+  // tid-ascending (the order the intersection merge asserts).
+  blocks_[bid].push_back(tid);
+}
+
+void BaseBlockTable::RemoveTuple(Tid tid) {
+  auto& block = blocks_[tuple_bid_[tid]];
+  auto it = std::find(block.begin(), block.end(), tid);
+  if (it != block.end()) block.erase(it);
 }
 
 const std::vector<Tid>& BaseBlockTable::GetBaseBlock(Bid bid,

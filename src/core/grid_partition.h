@@ -74,6 +74,12 @@ class BaseBlockTable {
   /// Block id of every tuple (the new dimension B of §3.2.2).
   Bid BidOfTuple(Tid tid) const { return tuple_bid_[tid]; }
 
+  /// Incremental maintenance: places an appended tuple in block `bid` /
+  /// removes a deleted tuple from its block. Bin boundaries are part of the
+  /// cube's frozen meta information, so the grid itself never changes.
+  void AddTuple(Tid tid, Bid bid);
+  void RemoveTuple(Tid tid);
+
   size_t SizeBytes() const;
 
  private:

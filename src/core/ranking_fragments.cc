@@ -12,7 +12,8 @@ RankingFragments::RankingFragments(const Table& table, IoSession& io,
     : table_(table),
       grid_(table, {.block_size = options.block_size, .min_bins = 1}),
       base_blocks_(table, grid_),
-      block_size_(options.block_size) {
+      block_size_(options.block_size),
+      built_epoch_(table.epoch()) {
   Stopwatch watch;
   uint64_t pages_before = io.TotalPhysical();
   groups_ = options.groups.empty()
@@ -29,6 +30,11 @@ RankingFragments::RankingFragments(const Table& table, IoSession& io,
   }
   construction_pages_ = io.TotalPhysical() - pages_before;
   construction_ms_ = watch.ElapsedMs();
+}
+
+Status RankingFragments::ApplyDelta(const DeltaStore& delta, IoSession* io) {
+  return ApplyGridDelta(table_, delta, grid_, &base_blocks_, &cuboids_,
+                        &built_epoch_, io);
 }
 
 std::vector<int> RankingFragments::Covering(

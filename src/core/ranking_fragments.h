@@ -34,6 +34,12 @@ class RankingFragments {
   Result<std::vector<ScoredTuple>> TopK(const TopKQuery& query, IoSession* io,
                                         ExecStats* stats) const;
 
+  /// Absorbs the table mutations after built_epoch() into every fragment's
+  /// cuboids (shared ApplyGridDelta pass; empty delta is a no-op).
+  Status ApplyDelta(const DeltaStore& delta, IoSession* io);
+  /// Table epoch these fragments' contents reflect.
+  uint64_t built_epoch() const { return built_epoch_; }
+
   /// Number of cuboids a given query needs (1 = directly covered).
   int CoveringCuboidCount(const TopKQuery& query) const;
 
@@ -55,6 +61,7 @@ class RankingFragments {
   EquiDepthGrid grid_;
   BaseBlockTable base_blocks_;
   int block_size_ = 0;
+  uint64_t built_epoch_ = 0;
   std::vector<std::vector<int>> groups_;
   std::vector<GridCuboid> cuboids_;          ///< all fragments' cuboids
   std::vector<std::vector<int>> cuboid_dims_;

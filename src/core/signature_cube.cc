@@ -8,8 +8,14 @@ namespace rankcube {
 
 SignatureCube::SignatureCube(const Table& table, IoSession& io,
                              SignatureCubeOptions options)
-    : table_(table), page_size_(io.page_size()), alpha_(options.alpha) {
+    : table_(table),
+      page_size_(io.page_size()),
+      alpha_(options.alpha),
+      lossy_bloom_(options.lossy_bloom),
+      bloom_bits_per_entry_(options.bloom_bits_per_entry),
+      built_epoch_(table.epoch()) {
   Stopwatch total;
+  uint64_t pages_before = io.TotalPhysical();
 
   // 1. Partition by R-tree over the ranking dimensions (Algorithm 1 line 1).
   Stopwatch rtree_watch;
@@ -21,10 +27,12 @@ SignatureCube::SignatureCube(const Table& table, IoSession& io,
   } else {
     std::vector<double> point(table.num_rank_dims());
     for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      if (!table.is_live(t)) continue;
       table.CopyRankRow(t, point.data());
       rtree_->Insert(t, point, /*track_updates=*/false);
     }
   }
+  rtree_->ChargeBuild(table, io);
   rtree_build_ms_ = rtree_watch.ElapsedMs();
 
   // 2. Paths for all tuples (Algorithm 1 line 2).
@@ -45,6 +53,7 @@ SignatureCube::SignatureCube(const Table& table, IoSession& io,
     CellKey key;
     key.values.resize(cuboid.dims.size());
     for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      if (!table.is_live(t)) continue;
       for (size_t i = 0; i < cuboid.dims.size(); ++i) {
         key.values[i] = table.sel(t, cuboid.dims[i]);
       }
@@ -78,6 +87,14 @@ SignatureCube::SignatureCube(const Table& table, IoSession& io,
     cuboids_.push_back(std::move(cuboid));
     cuboid_index_.emplace(cuboids_.back().dims, cuboids_.size() - 1);
   }
+  // Honest construction I/O for the signature pass: one relation scan plus
+  // the compressed signatures written (the R-tree part is charged above),
+  // mirroring ChargeCuboidBuild for the grid family.
+  table.ChargeFullScan(&io);
+  uint64_t sig_pages = std::max<uint64_t>(
+      1, (CompressedBytes() + page_size_ - 1) / page_size_);
+  io.Access(IoCategory::kSignature, uint64_t{1} << 56, sig_pages);
+  construction_pages_ = io.TotalPhysical() - pages_before;
   construction_ms_ = cube_watch.ElapsedMs();
   (void)total;
 }
@@ -193,7 +210,11 @@ void SignatureCube::InsertBatch(const std::vector<Tid>& tids, IoSession* io) {
     updates.insert(updates.end(), std::make_move_iterator(u.begin()),
                    std::make_move_iterator(u.end()));
   }
+  ApplyPathUpdates(updates, io);
+}
 
+void SignatureCube::ApplyPathUpdates(const std::vector<PathUpdate>& updates,
+                                     IoSession* io) {
   for (auto& cuboid : cuboids_) {
     // Group updates by cell (lines 2-4 of Algorithm 2).
     std::unordered_map<CellKey, std::vector<const PathUpdate*>, CellKeyHash>
@@ -213,23 +234,60 @@ void SignatureCube::InsertBatch(const std::vector<Tid>& tids, IoSession* io) {
             cuboid.sigs.try_emplace(cell, Signature(rtree_->max_entries()))
                 .first;
       }
-      // Charge read of the cell's partial signatures + write-back.
-      auto stored_it = cuboid.stored.find(cell);
-      uint64_t sig_pages = 1;
-      if (stored_it != cuboid.stored.end()) {
-        sig_pages = std::max<uint64_t>(
-            1, (stored_it->second.CompressedBytes() + page_size_ - 1) /
-                   page_size_);
+      // Charge read of the cell's partial signatures + write-back
+      // (io == nullptr = uncharged maintenance, as in ApplyGridDelta).
+      if (io != nullptr) {
+        auto stored_it = cuboid.stored.find(cell);
+        uint64_t sig_pages = 1;
+        if (stored_it != cuboid.stored.end()) {
+          sig_pages = std::max<uint64_t>(
+              1, (stored_it->second.CompressedBytes() + page_size_ - 1) /
+                     page_size_);
+        }
+        io->Access(IoCategory::kSignature, CellKeyHash{}(cell),
+                   2 * sig_pages);  // read + write back
       }
-      io->Access(IoCategory::kSignature, CellKeyHash{}(cell),
-                    2 * sig_pages);  // read + write back
       for (const PathUpdate* u : cell_updates) {
         if (!u->old_path.empty()) sig_it->second.ClearPath(u->old_path);
         if (!u->new_path.empty()) sig_it->second.SetPath(u->new_path);
       }
       RebuildStored(&cuboid, cell);
+      if (lossy_bloom_) {
+        // The §4.5 blooms must never go false-negative: every SID along a
+        // set path enters the cell's bloom. Cleared paths stay as stale
+        // bits — lossy queries verify candidates against the table, so
+        // extra positives only cost verifications.
+        auto bloom_it = cuboid.blooms.find(cell);
+        if (bloom_it == cuboid.blooms.end()) {
+          size_t bits = std::max<size_t>(
+              64, static_cast<size_t>(bloom_bits_per_entry_ * 64));
+          bloom_it = cuboid.blooms
+                         .emplace(cell, BloomFilter(
+                                            bits, BloomFilter::OptimalHashes(
+                                                      bits, 64)))
+                         .first;
+        }
+        const int M = rtree_->max_entries();
+        for (const PathUpdate* u : cell_updates) {
+          for (size_t l = 1; l <= u->new_path.size(); ++l) {
+            bloom_it->second.Insert(SidOfPath(u->new_path, l, M));
+          }
+        }
+      }
     }
   }
+}
+
+Status SignatureCube::ApplyDelta(const DeltaStore& delta, IoSession* io) {
+  if (built_epoch_ >= delta.epoch()) return Status::OK();  // empty: no-op
+  // Algorithm 2 both ways: the shared R-tree pass (inserts, lazy deletes,
+  // leaf-level I/O charging) collects the path-update sets — clear-only
+  // for removed tuples — and one grouped pass updates every affected cell
+  // signature.
+  std::vector<PathUpdate> updates;
+  ApplyRTreeDelta(rtree_.get(), table_, delta, &built_epoch_, &updates, io);
+  ApplyPathUpdates(updates, io);
+  return Status::OK();
 }
 
 namespace {

@@ -66,6 +66,13 @@ class SignatureCube {
   /// the table; updates the R-tree and all affected cell signatures.
   void InsertBatch(const std::vector<Tid>& tids, IoSession* io);
 
+  /// Absorbs the table mutations after built_epoch(): inserts through the
+  /// R-tree + signature path (Algorithm 2), deletes through lazy R-tree
+  /// removal with §4.2.5 bit clearing. Empty delta is a no-op.
+  Status ApplyDelta(const DeltaStore& delta, IoSession* io);
+  /// Table epoch this cube's contents reflect.
+  uint64_t built_epoch() const { return built_epoch_; }
+
   const RTree& rtree() const { return *rtree_; }
 
   /// All materialized signature cuboids (dimension sets + cell counts) —
@@ -78,6 +85,8 @@ class SignatureCube {
 
   double construction_ms() const { return construction_ms_; }
   double rtree_build_ms() const { return rtree_build_ms_; }
+  /// Physical pages the construction pass charged (scan + tree + sigs).
+  uint64_t construction_pages() const { return construction_pages_; }
   size_t CompressedBytes() const;
   size_t BaselineBytes() const;
   /// Total bytes of the §4.5 lossy bloom signatures (0 unless enabled).
@@ -93,10 +102,16 @@ class SignatureCube {
   friend class SignaturePruner;
   const SignatureCuboid* FindCuboid(const std::vector<int>& dims) const;
   void RebuildStored(SignatureCuboid* cuboid, const CellKey& key);
+  /// Applies R-tree path updates to every affected cell signature, one
+  /// grouped pass per cuboid (shared by InsertBatch and ApplyDelta).
+  void ApplyPathUpdates(const std::vector<PathUpdate>& updates, IoSession* io);
 
   const Table& table_;
   size_t page_size_;
   double alpha_;
+  bool lossy_bloom_ = false;
+  double bloom_bits_per_entry_ = 10.0;
+  uint64_t built_epoch_ = 0;
   std::unique_ptr<RTree> rtree_;
   std::vector<SignatureCuboid> cuboids_;
   /// sorted dims -> index into cuboids_; O(1) FindCuboid per pruner source
@@ -104,6 +119,7 @@ class SignatureCube {
   std::unordered_map<std::vector<int>, size_t, DimSetHash> cuboid_index_;
   double construction_ms_ = 0.0;
   double rtree_build_ms_ = 0.0;
+  uint64_t construction_pages_ = 0;
 };
 
 /// Boolean pruner backed by one or more cell signatures (assembled online

@@ -38,6 +38,19 @@ Result<TopKResult> BatchExecutor::ExecuteOne(const TopKQuery& query,
   return engine_->Execute(query, ctx);
 }
 
+Status BatchExecutor::MaintainIfRequested(IoSession* io,
+                                          uint64_t* pages) const {
+  if (!options_.auto_maintain || maintain_target_ == nullptr ||
+      !maintain_target_->SupportsMaintenance() ||
+      maintain_target_->Freshness().fresh()) {
+    return Status::OK();
+  }
+  uint64_t before = io->TotalPhysical();
+  RC_RETURN_IF_ERROR(maintain_target_->Maintain(io));
+  *pages += io->TotalPhysical() - before;
+  return Status::OK();
+}
+
 Result<BatchReport> BatchExecutor::Run(const std::vector<TopKQuery>& workload,
                                        ExecContext& ctx) const {
   if (engine_ == nullptr && !router_) {
@@ -49,6 +62,7 @@ Result<BatchReport> BatchExecutor::Run(const std::vector<TopKQuery>& workload,
   Stopwatch wall;
   BatchReport report;
   report.num_queries = workload.size();
+  RC_RETURN_IF_ERROR(MaintainIfRequested(ctx.io, &report.maintenance_pages));
   uint64_t before = ctx.io->TotalPhysical();
   for (const TopKQuery& query : workload) {
     Result<TopKResult> r = ExecuteOne(query, ctx);
@@ -88,6 +102,14 @@ Result<BatchReport> BatchExecutor::ExecuteParallel(
   if (workers > n && n > 0) workers = n;
 
   Stopwatch wall;
+  uint64_t maintenance_pages = 0;
+  {
+    // Maintenance runs on the calling thread before any worker spawns —
+    // the only point of the batch with exclusive access to the engine.
+    IoSession maintain_io(&store);
+    Status maintained = MaintainIfRequested(&maintain_io, &maintenance_pages);
+    if (!maintained.ok()) return maintained;
+  }
   std::vector<QuerySlot> slots(n);
   std::vector<IoSession> sessions(workers, IoSession(&store));
   std::atomic<size_t> cursor{0};
@@ -135,6 +157,7 @@ Result<BatchReport> BatchExecutor::ExecuteParallel(
   // join (which orders every worker's writes before these reads).
   BatchReport report;
   report.num_queries = n;
+  report.maintenance_pages = maintenance_pages;
   for (QuerySlot& slot : slots) {
     if (!slot.executed) continue;
     ++report.executed;

@@ -59,6 +59,12 @@ struct BatchOptions {
   /// Record every successful query's latency (ms, workload order) in
   /// BatchReport::latencies_ms, for percentile reporting.
   bool record_latencies = false;
+  /// Bring a stale engine up to date (RankingEngine::Maintain) before the
+  /// workload runs — the safe point between batches where no query is in
+  /// flight. Requires the non-const single-engine constructor and an engine
+  /// with SupportsMaintenance(); otherwise the flag is a no-op (stale
+  /// engines stay exact through the per-query delta overlay, just slower).
+  bool auto_maintain = false;
 };
 
 struct BatchReport {
@@ -71,6 +77,10 @@ struct BatchReport {
 
   ExecStats total;              ///< accumulated over successful queries
   uint64_t physical_pages = 0;  ///< physical pages the batch's sessions read
+  /// Physical pages auto_maintain's pre-batch Maintain charged (not part
+  /// of physical_pages: maintenance is amortized across the batch, the
+  /// benchmarks report it separately).
+  uint64_t maintenance_pages = 0;
   /// Per-category physical/logical counters summed over the batch's
   /// sessions (Run: the context session's delta is not split by category,
   /// so this stays zero there).
@@ -116,6 +126,14 @@ class BatchExecutor {
                          BatchOptions options = BatchOptions())
       : engine_(engine), options_(options) {}
 
+  /// Single-engine mode over a mutable engine: additionally allows
+  /// auto_maintain to trigger RankingEngine::Maintain between batches
+  /// (before each Run/ExecuteAll/ExecuteParallel, while no query is in
+  /// flight).
+  explicit BatchExecutor(RankingEngine* engine,
+                         BatchOptions options = BatchOptions())
+      : engine_(engine), maintain_target_(engine), options_(options) {}
+
   /// Router mode: each query is routed individually (thread-safe router
   /// required for ExecuteParallel); the routed plan is attached to the
   /// query's TopKResult.
@@ -150,7 +168,14 @@ class BatchExecutor {
   Result<TopKResult> ExecuteOne(const TopKQuery& query,
                                 ExecContext& ctx) const;
 
+  /// The between-batches maintenance point: brings a stale maintainable
+  /// engine to the table's epoch inside `io`, reporting the pages charged.
+  /// Errors propagate — running the batch against a half-maintained
+  /// structure would be silent corruption.
+  Status MaintainIfRequested(IoSession* io, uint64_t* pages) const;
+
   const RankingEngine* engine_ = nullptr;
+  RankingEngine* maintain_target_ = nullptr;
   EngineRouter router_;
   BatchOptions options_;
 };

@@ -23,10 +23,22 @@ void DescribeGridCuboids(const std::vector<GridCuboid>& cuboids,
 
 class GridCubeEngine final : public RankingEngine {
  public:
-  GridCubeEngine(const Table& table, std::shared_ptr<const GridRankingCube> c)
-      : RankingEngine("grid", &table), cube_(std::move(c)) {}
+  GridCubeEngine(const Table& table, std::shared_ptr<const GridRankingCube> c,
+                 GridRankingCube* mutable_cube = nullptr)
+      : RankingEngine("grid", &table),
+        cube_(std::move(c)),
+        mutable_cube_(mutable_cube) {}
 
   size_t SizeBytes() const override { return cube_->SizeBytes(); }
+
+  uint64_t BuiltEpoch() const override { return cube_->built_epoch(); }
+  bool SupportsMaintenance() const override {
+    return mutable_cube_ != nullptr;
+  }
+  Status Maintain(IoSession* io) override {
+    if (mutable_cube_ == nullptr) return RankingEngine::Maintain(io);
+    return mutable_cube_->ApplyDelta(table().delta(), io);
+  }
 
   AccessStructureInfo Describe() const override {
     AccessStructureInfo info = RankingEngine::Describe();
@@ -49,14 +61,28 @@ class GridCubeEngine final : public RankingEngine {
 
  private:
   std::shared_ptr<const GridRankingCube> cube_;
+  GridRankingCube* mutable_cube_;  ///< nullptr for read-only wrapping
 };
 
 class FragmentsEngine final : public RankingEngine {
  public:
-  FragmentsEngine(const Table& table, std::shared_ptr<const RankingFragments> f)
-      : RankingEngine("fragments", &table), fragments_(std::move(f)) {}
+  FragmentsEngine(const Table& table,
+                  std::shared_ptr<const RankingFragments> f,
+                  RankingFragments* mutable_fragments = nullptr)
+      : RankingEngine("fragments", &table),
+        fragments_(std::move(f)),
+        mutable_fragments_(mutable_fragments) {}
 
   size_t SizeBytes() const override { return fragments_->SizeBytes(); }
+
+  uint64_t BuiltEpoch() const override { return fragments_->built_epoch(); }
+  bool SupportsMaintenance() const override {
+    return mutable_fragments_ != nullptr;
+  }
+  Status Maintain(IoSession* io) override {
+    if (mutable_fragments_ == nullptr) return RankingEngine::Maintain(io);
+    return mutable_fragments_->ApplyDelta(table().delta(), io);
+  }
 
   AccessStructureInfo Describe() const override {
     AccessStructureInfo info = RankingEngine::Describe();
@@ -81,18 +107,30 @@ class FragmentsEngine final : public RankingEngine {
 
  private:
   std::shared_ptr<const RankingFragments> fragments_;
+  RankingFragments* mutable_fragments_;  ///< nullptr for read-only wrapping
 };
 
 class SignatureCubeEngine final : public RankingEngine {
  public:
   SignatureCubeEngine(const Table& table,
-                      std::shared_ptr<const SignatureCube> c, bool lossy)
+                      std::shared_ptr<const SignatureCube> c, bool lossy,
+                      SignatureCube* mutable_cube = nullptr)
       : RankingEngine(lossy ? "signature_lossy" : "signature", &table),
         cube_(std::move(c)),
+        mutable_cube_(mutable_cube),
         lossy_(lossy) {}
 
   size_t SizeBytes() const override {
     return cube_->CompressedBytes() + (lossy_ ? cube_->LossyBloomBytes() : 0);
+  }
+
+  uint64_t BuiltEpoch() const override { return cube_->built_epoch(); }
+  bool SupportsMaintenance() const override {
+    return mutable_cube_ != nullptr;
+  }
+  Status Maintain(IoSession* io) override {
+    if (mutable_cube_ == nullptr) return RankingEngine::Maintain(io);
+    return mutable_cube_->ApplyDelta(table().delta(), io);
   }
 
   AccessStructureInfo Describe() const override {
@@ -125,6 +163,7 @@ class SignatureCubeEngine final : public RankingEngine {
 
  private:
   std::shared_ptr<const SignatureCube> cube_;
+  SignatureCube* mutable_cube_;  ///< nullptr for read-only wrapping
   bool lossy_;
 };
 
@@ -132,6 +171,12 @@ class TableScanEngine final : public RankingEngine {
  public:
   explicit TableScanEngine(const Table& table)
       : RankingEngine("table_scan", &table) {}
+
+  /// A scan reads the live table directly: always fresh, maintenance is a
+  /// no-op.
+  uint64_t BuiltEpoch() const override { return table().epoch(); }
+  bool SupportsMaintenance() const override { return true; }
+  Status Maintain(IoSession*) override { return Status::OK(); }
 
  protected:
   Result<TopKResult> ExecuteImpl(const TopKQuery& query,
@@ -167,12 +212,29 @@ class BooleanFirstEngine final : public RankingEngine {
 
 class RankingFirstEngine final : public RankingEngine {
  public:
-  RankingFirstEngine(const Table& table, std::shared_ptr<const RTree> rtree)
+  RankingFirstEngine(const Table& table, std::shared_ptr<const RTree> rtree,
+                     RTree* mutable_rtree = nullptr)
       : RankingEngine("ranking_first", &table),
         rtree_(std::move(rtree)),
+        mutable_rtree_(mutable_rtree),
         baseline_(table, rtree_.get()) {}
 
   size_t SizeBytes() const override { return rtree_->SizeBytes(); }
+
+  bool SupportsMaintenance() const override {
+    return mutable_rtree_ != nullptr;
+  }
+  /// The R-tree records no epoch of its own; the engine tracks it and
+  /// delegates to the shared maintenance pass (no path tracking — nothing
+  /// consumes the update sets here).
+  Status Maintain(IoSession* io) override {
+    if (mutable_rtree_ == nullptr) return RankingEngine::Maintain(io);
+    uint64_t epoch = BuiltEpoch();
+    ApplyRTreeDelta(mutable_rtree_, table(), table().delta(), &epoch,
+                    /*updates=*/nullptr, io);
+    set_built_epoch(epoch);
+    return Status::OK();
+  }
 
   AccessStructureInfo Describe() const override {
     AccessStructureInfo info = RankingEngine::Describe();
@@ -196,6 +258,7 @@ class RankingFirstEngine final : public RankingEngine {
 
  private:
   std::shared_ptr<const RTree> rtree_;
+  RTree* mutable_rtree_;  ///< nullptr for read-only wrapping
   RankingFirst baseline_;
 };
 
@@ -279,15 +342,34 @@ std::unique_ptr<RankingEngine> MakeGridCubeEngine(
   return std::make_unique<GridCubeEngine>(table, std::move(cube));
 }
 
+std::unique_ptr<RankingEngine> MakeGridCubeEngine(
+    const Table& table, std::shared_ptr<GridRankingCube> cube) {
+  GridRankingCube* mut = cube.get();
+  return std::make_unique<GridCubeEngine>(table, std::move(cube), mut);
+}
+
 std::unique_ptr<RankingEngine> MakeFragmentsEngine(
     const Table& table, std::shared_ptr<const RankingFragments> fragments) {
   return std::make_unique<FragmentsEngine>(table, std::move(fragments));
+}
+
+std::unique_ptr<RankingEngine> MakeFragmentsEngine(
+    const Table& table, std::shared_ptr<RankingFragments> fragments) {
+  RankingFragments* mut = fragments.get();
+  return std::make_unique<FragmentsEngine>(table, std::move(fragments), mut);
 }
 
 std::unique_ptr<RankingEngine> MakeSignatureCubeEngine(
     const Table& table, std::shared_ptr<const SignatureCube> cube,
     bool lossy) {
   return std::make_unique<SignatureCubeEngine>(table, std::move(cube), lossy);
+}
+
+std::unique_ptr<RankingEngine> MakeSignatureCubeEngine(
+    const Table& table, std::shared_ptr<SignatureCube> cube, bool lossy) {
+  SignatureCube* mut = cube.get();
+  return std::make_unique<SignatureCubeEngine>(table, std::move(cube), lossy,
+                                               mut);
 }
 
 std::unique_ptr<RankingEngine> MakeTableScanEngine(const Table& table) {
@@ -302,6 +384,12 @@ std::unique_ptr<RankingEngine> MakeBooleanFirstEngine(
 std::unique_ptr<RankingEngine> MakeRankingFirstEngine(
     const Table& table, std::shared_ptr<const RTree> rtree) {
   return std::make_unique<RankingFirstEngine>(table, std::move(rtree));
+}
+
+std::unique_ptr<RankingEngine> MakeRankingFirstEngine(
+    const Table& table, std::shared_ptr<RTree> rtree) {
+  RTree* mut = rtree.get();
+  return std::make_unique<RankingFirstEngine>(table, std::move(rtree), mut);
 }
 
 std::unique_ptr<RankingEngine> MakeRankMappingEngine(

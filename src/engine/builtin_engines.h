@@ -17,13 +17,24 @@
 
 namespace rankcube {
 
+// Engines constructed over a non-const structure own the write path too:
+// RankingEngine::Maintain incrementally absorbs table deltas (ApplyDelta /
+// R-tree insert+delete). The const overloads wrap shared read-only
+// structures (the bench harnesses cache cubes across figures); those
+// engines stay exact through the Execute delta overlay and report
+// SupportsMaintenance() == false.
+
 /// Ch3 grid ranking cube ("grid").
 std::unique_ptr<RankingEngine> MakeGridCubeEngine(
     const Table& table, std::shared_ptr<const GridRankingCube> cube);
+std::unique_ptr<RankingEngine> MakeGridCubeEngine(
+    const Table& table, std::shared_ptr<GridRankingCube> cube);
 
 /// Ch3 ranking fragments ("fragments").
 std::unique_ptr<RankingEngine> MakeFragmentsEngine(
     const Table& table, std::shared_ptr<const RankingFragments> fragments);
+std::unique_ptr<RankingEngine> MakeFragmentsEngine(
+    const Table& table, std::shared_ptr<RankingFragments> fragments);
 
 /// Ch4 signature cube ("signature"); `lossy` = query through the §4.5
 /// bloom signatures ("signature_lossy"; the cube must have been built with
@@ -31,8 +42,11 @@ std::unique_ptr<RankingEngine> MakeFragmentsEngine(
 std::unique_ptr<RankingEngine> MakeSignatureCubeEngine(
     const Table& table, std::shared_ptr<const SignatureCube> cube,
     bool lossy = false);
+std::unique_ptr<RankingEngine> MakeSignatureCubeEngine(
+    const Table& table, std::shared_ptr<SignatureCube> cube,
+    bool lossy = false);
 
-/// Sequential-scan oracle ("table_scan").
+/// Sequential-scan oracle ("table_scan"); always fresh by construction.
 std::unique_ptr<RankingEngine> MakeTableScanEngine(const Table& table);
 
 /// Boolean-first baseline ("boolean_first").
@@ -43,6 +57,8 @@ std::unique_ptr<RankingEngine> MakeBooleanFirstEngine(
 /// (e.g. a signature cube's partition template).
 std::unique_ptr<RankingEngine> MakeRankingFirstEngine(
     const Table& table, std::shared_ptr<const RTree> rtree);
+std::unique_ptr<RankingEngine> MakeRankingFirstEngine(
+    const Table& table, std::shared_ptr<RTree> rtree);
 
 /// Rank-mapping baseline ("rank_mapping"). The engine feeds it the optimal
 /// k-th-score bound from an in-memory oracle, the concession the thesis

@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include "common/stopwatch.h"
+
 namespace rankcube {
 
 AccessStructureInfo RankingEngine::Describe() const {
@@ -8,7 +10,102 @@ AccessStructureInfo RankingEngine::Describe() const {
   info.supports_predicates = SupportsPredicates();
   info.size_bytes = SizeBytes();
   info.built = true;
+  info.built_epoch = BuiltEpoch();
   return info;
+}
+
+FreshnessInfo RankingEngine::Freshness() const {
+  const DeltaStore& delta = table_->delta();
+  FreshnessInfo f;
+  f.built_epoch = BuiltEpoch();
+  f.table_epoch = delta.epoch();
+  if (f.built_epoch < f.table_epoch) {
+    f.pending_inserts = delta.InsertsSince(f.built_epoch);
+    f.pending_deletes = delta.DeletesSince(f.built_epoch);
+  }
+  return f;
+}
+
+Status RankingEngine::Maintain(IoSession* io) {
+  (void)io;
+  return Status::NotSupported("engine '" + name_ +
+                              "' has no incremental maintenance; rebuild at "
+                              "compaction");
+}
+
+Result<TopKResult> RankingEngine::ExecuteWithOverlay(const TopKQuery& query,
+                                                     ExecContext& ctx) const {
+  const DeltaStore& delta = table_->delta();
+  std::vector<Tid> inserted, deleted;
+  delta.ChangesSince(BuiltEpoch(), &inserted, &deleted);
+  ctx.Trace(name_ + ": stale (built_epoch=" + std::to_string(BuiltEpoch()) +
+            ", table_epoch=" + std::to_string(delta.epoch()) + "), overlay " +
+            std::to_string(inserted.size()) + " inserts / " +
+            std::to_string(deleted.size()) + " deletes");
+
+  // The structure answers over its own epoch's content. Of its top-(k + D)
+  // at most D tuples can be tombstoned, so the surviving top-k is exactly
+  // the live top-k of the structure's epoch. D counts only deletes of rows
+  // the structure may hold: a row born and deleted inside the suffix (tid
+  // at or past the first appended tid) never reached it, and must not
+  // deepen the search.
+  size_t ephemeral = 0;
+  if (!inserted.empty()) {
+    for (Tid t : deleted) ephemeral += t >= inserted.front() ? 1 : 0;
+  }
+  TopKQuery inner = query;
+  inner.k = query.k + static_cast<int>(deleted.size() - ephemeral);
+  Result<TopKResult> result = ExecuteImpl(inner, ctx);
+  if (!result.ok()) return result;
+
+  Stopwatch watch;
+  uint64_t pages_before = ctx.io->TotalPhysical();
+  TopKHeap topk(query.k);
+  for (const ScoredTuple& st : result.value().tuples) {
+    if (table_->is_live(st.tid)) topk.Offer(st.tid, st.score);
+  }
+
+  // Exact delta scan: the appended rows form the heap tail, read
+  // sequentially (charged), filtered by predicates + liveness, and scored
+  // through the same batch path every engine uses. Tuples a constrained
+  // function excludes score +inf and are compacted out, matching the
+  // oracle.
+  if (!inserted.empty()) {
+    table_->ChargeTailScan(ctx.io, inserted.front());
+    std::vector<Tid> tids;
+    tids.reserve(inserted.size());
+    for (Tid t : inserted) {
+      if (!table_->is_live(t)) continue;
+      bool ok = true;
+      for (const auto& p : query.predicates) {
+        if (table_->sel(t, p.dim) != p.value) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) tids.push_back(t);
+    }
+    if (!tids.empty()) {
+      std::vector<double> scores(tids.size());
+      query.function->EvaluateBatch(*table_, tids.data(), tids.size(),
+                                    scores.data());
+      size_t m = 0;
+      for (size_t i = 0; i < tids.size(); ++i) {
+        if (scores[i] < kInfScore) {
+          tids[m] = tids[i];
+          scores[m] = scores[i];
+          ++m;
+        }
+      }
+      topk.OfferBatch(tids.data(), scores.data(), m);
+      result.value().stats.tuples_evaluated += tids.size();
+    }
+  }
+
+  result.value().tuples = topk.Sorted();
+  result.value().stats.pages_read += ctx.io->TotalPhysical() - pages_before;
+  result.value().stats.time_ms += watch.ElapsedMs();
+  return result;
 }
 
 Result<TopKResult> RankingEngine::Execute(const TopKQuery& query,
@@ -24,7 +121,9 @@ Result<TopKResult> RankingEngine::Execute(const TopKQuery& query,
   ctx.Trace(name_ + ": " + query.ToString());
 
   uint64_t before = ctx.io->TotalPhysical();
-  Result<TopKResult> result = ExecuteImpl(query, ctx);
+  Result<TopKResult> result = BuiltEpoch() >= table_->epoch()
+                                  ? ExecuteImpl(query, ctx)
+                                  : ExecuteWithOverlay(query, ctx);
   uint64_t physical = ctx.io->TotalPhysical() - before;
 
   if (!result.ok()) {

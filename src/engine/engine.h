@@ -54,16 +54,39 @@ struct TopKResult {
   std::shared_ptr<const PlanInfo> plan;
 };
 
+/// How far an engine's structures lag behind the table's mutation log.
+struct FreshnessInfo {
+  uint64_t built_epoch = 0;  ///< epoch the structures reflect
+  uint64_t table_epoch = 0;  ///< the table's current epoch
+  uint64_t pending_inserts = 0;  ///< appended rows the structures miss
+  uint64_t pending_deletes = 0;  ///< tombstones the structures still carry
+
+  bool fresh() const { return built_epoch >= table_epoch; }
+};
+
 /// Polymorphic top-k engine. Subclasses implement ExecuteImpl; the
 /// non-virtual Execute wraps it with the shared contract:
 ///  1. the query is validated (ValidateQuery) against the engine's table,
 ///  2. engines that cannot evaluate boolean predicates reject them,
-///  3. physical page reads are metered against ctx.page_budget,
-///  4. begin/end trace lines are emitted when ctx.trace is set.
+///  3. when the engine's structures are stale (the table mutated after they
+///     were built/maintained), the result is made exact by a delta overlay:
+///     the structure answers top-(k + pending deletes) over its own epoch,
+///     tombstoned tuples are filtered, and the appended rows are scanned
+///     exactly (batch-scored, heap tail pages charged) and merged in,
+///  4. physical page reads are metered against ctx.page_budget,
+///  5. begin/end trace lines are emitted when ctx.trace is set.
+///
+/// Maintenance is explicit and never concurrent with queries: Maintain()
+/// mutates the underlying structures, so callers (RankCubeDb::Compact,
+/// BatchExecutor between batches) must hold exclusive access.
 class RankingEngine {
  public:
+  /// Captures the table's current epoch as the default built_epoch — every
+  /// factory constructs the engine right after its structures.
   RankingEngine(std::string name, const Table* table)
-      : name_(std::move(name)), table_(table) {}
+      : name_(std::move(name)),
+        table_(table),
+        built_epoch_(table->epoch()) {}
   virtual ~RankingEngine() = default;
 
   /// Registry key this engine was created under ("grid", "table_scan", ...).
@@ -81,22 +104,55 @@ class RankingEngine {
   /// Exact self-description for the planner's catalog: capabilities plus
   /// the statistics the cost model reads (structure_info.h). The base
   /// implementation fills the fields every engine shares (name, predicate
-  /// support, size, built = true); engines with structure-specific stats
-  /// (grid geometry, cuboid cells, tree shape) extend it.
+  /// support, size, built = true, built_epoch); engines with
+  /// structure-specific stats (grid geometry, cuboid cells, tree shape)
+  /// extend it.
   virtual AccessStructureInfo Describe() const;
+
+  /// Table epoch this engine's structures reflect. Engines wrapping an
+  /// epoch-tracking structure return the structure's; scan engines return
+  /// the current epoch (a scan is always fresh); the default is the epoch
+  /// captured at engine construction.
+  virtual uint64_t BuiltEpoch() const { return built_epoch_; }
+
+  /// Staleness report against the table's delta store.
+  FreshnessInfo Freshness() const;
+
+  /// True when Maintain() incrementally absorbs deltas (grid, fragments,
+  /// signature, R-tree engines). Engines without an incremental path stay
+  /// correct through the Execute overlay and are rebuilt at compaction.
+  virtual bool SupportsMaintenance() const { return false; }
+
+  /// Incrementally absorbs the mutations after BuiltEpoch(), charging
+  /// maintenance I/O to `io`. Default: NotSupported. Not thread-safe with
+  /// respect to concurrent Execute calls — see the class comment.
+  virtual Status Maintain(IoSession* io);
 
   /// Answers `query` inside `ctx`. Never throws; all failure modes —
   /// malformed query, missing cuboid, exhausted budget — come back as a
-  /// non-ok Status, identically across engines.
+  /// non-ok Status, identically across engines. Results are fresh even
+  /// when the structures are stale (delta overlay, see class comment).
   Result<TopKResult> Execute(const TopKQuery& query, ExecContext& ctx) const;
 
  protected:
   virtual Result<TopKResult> ExecuteImpl(const TopKQuery& query,
                                          ExecContext& ctx) const = 0;
 
+  /// For engines that track their own epoch (e.g. after maintaining a
+  /// wrapped index that does not record one).
+  void set_built_epoch(uint64_t epoch) { built_epoch_ = epoch; }
+
  private:
+  /// Runs ExecuteImpl for a stale engine and overlays the delta: filter
+  /// tombstones out of the (k + D)-deep structure answer, scan + score the
+  /// appended rows, merge. Exact for every engine because each engine is
+  /// exact over its own epoch's content at any k.
+  Result<TopKResult> ExecuteWithOverlay(const TopKQuery& query,
+                                        ExecContext& ctx) const;
+
   std::string name_;
   const Table* table_;
+  uint64_t built_epoch_ = 0;
 };
 
 }  // namespace rankcube

@@ -107,6 +107,7 @@ void RegisterBuiltins(EngineRegistry* registry) {
     }
     auto rtree = std::make_shared<RTree>(table.num_rank_dims(), io);
     rtree->BulkLoadSTR(table);
+    rtree->ChargeBuild(table, io);
     return MakeRankingFirstEngine(table, std::move(rtree));
   });
 
@@ -153,7 +154,7 @@ bool EngineRegistry::Contains(const std::string& name) const {
   return factories_.count(name) > 0;
 }
 
-std::vector<std::string> EngineRegistry::Names() const {
+std::vector<std::string> EngineRegistry::Keys() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(factories_.size());

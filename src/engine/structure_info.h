@@ -68,6 +68,11 @@ struct AccessStructureInfo {
 
   // --- statistics ---------------------------------------------------------
   bool built = false;           ///< exact stats from a built structure
+  /// Table epoch the built structure reflects (see storage/delta_store.h);
+  /// a built entry whose epoch lags the table's pays the delta-overlay
+  /// cost in the planner's estimates. Meaningless when !built (an unbuilt
+  /// structure would be constructed fresh).
+  uint64_t built_epoch = 0;
   uint64_t size_bytes = 0;      ///< auxiliary-structure footprint
   uint64_t construction_pages = 0;  ///< build I/O already paid (0 if unbuilt)
 

@@ -184,6 +184,7 @@ inline std::vector<ScoredTuple> BruteForceTopK(const Table& table,
     tids.clear();
   };
   for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    if (!table.is_live(t)) continue;
     bool ok = true;
     for (const auto& p : query.predicates) {
       if (table.sel(t, p.dim) != p.value) {

@@ -15,9 +15,10 @@ BTree::BTree(const Table& table, int dim, IoSession& io,
                 : std::max<int>(4, static_cast<int>(io.page_size() / 20));
 
   std::vector<std::pair<double, Tid>> sorted;
-  sorted.reserve(table.num_rows());
+  sorted.reserve(table.num_live());
   const double* col = table.rank_col(dim);
   for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    if (!table.is_live(t)) continue;
     sorted.emplace_back(col[t], t);
   }
   std::sort(sorted.begin(), sorted.end());
@@ -93,11 +94,17 @@ std::vector<int> BTree::NodePath(uint32_t id) const {
 
 std::vector<std::vector<int>> BTree::TuplePaths() const {
   std::vector<std::vector<int>> paths;
-  size_t total = 0;
+  // Indexed by tid, which can exceed the stored-entry count once heap rows
+  // are tombstoned (tids are sparse, never reused).
+  size_t max_tid_plus_1 = 0;
   for (const auto& n : nodes_) {
-    if (n.is_leaf) total += n.entries.size();
+    if (!n.is_leaf) continue;
+    for (const auto& [value, tid] : n.entries) {
+      (void)value;
+      max_tid_plus_1 = std::max<size_t>(max_tid_plus_1, size_t{tid} + 1);
+    }
   }
-  paths.resize(total);
+  paths.resize(max_tid_plus_1);
   for (const auto& n : nodes_) {
     if (!n.is_leaf) continue;
     std::vector<int> leaf_path = NodePath(n.id);

@@ -7,8 +7,10 @@ namespace rankcube {
 
 CompositeIndex::CompositeIndex(const Table& table, std::vector<int> sel_dims)
     : table_(table), sel_dims_(std::move(sel_dims)) {
-  order_.resize(table.num_rows());
-  std::iota(order_.begin(), order_.end(), Tid{0});
+  order_.reserve(table.num_live());
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    if (table.is_live(t)) order_.push_back(t);
+  }
   std::sort(order_.begin(), order_.end(), [&](Tid a, Tid b) {
     for (int d : sel_dims_) {
       int32_t va = table_.sel(a, d), vb = table_.sel(b, d);

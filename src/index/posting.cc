@@ -9,6 +9,7 @@ PostingIndex::PostingIndex(const Table& table) {
     lists_[d].resize(schema.sel_cardinality[d]);
   }
   for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    if (!table.is_live(t)) continue;
     for (int d = 0; d < schema.num_sel_dims(); ++d) {
       lists_[d][table.sel(t, d)].push_back(t);
     }

@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace rankcube {
 
@@ -73,9 +74,12 @@ void RTree::BulkLoadSTR(const Table& table, const std::vector<int>* dims) {
     for (int d = 0; d < dims_; ++d) p[d] = coord(t, d);
     return p;
   };
-  const size_t n = table.num_rows();
-  std::vector<Tid> order(n);
-  std::iota(order.begin(), order.end(), Tid{0});
+  std::vector<Tid> order;
+  order.reserve(table.num_live());
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    if (table.is_live(t)) order.push_back(t);
+  }
+  const size_t n = order.size();
 
   // Recursive Sort-Tile: sort by dim, carve into slabs, recurse on the rest.
   const size_t leaf_cap = static_cast<size_t>(max_entries_);
@@ -158,7 +162,9 @@ void RTree::BulkLoadSTR(const Table& table, const std::vector<int>* dims) {
   parent_[root_] = root_;
 
   num_tuples_ = n;
-  leaf_of_.assign(n, 0);
+  // Indexed by tid, which can exceed the stored-tuple count once rows are
+  // tombstoned.
+  leaf_of_.assign(table.num_rows(), 0);
   for (const auto& node : nodes_) {
     if (!node.is_leaf) continue;
     for (const auto& e : node.entries) leaf_of_[e.tid] = node.id;
@@ -230,7 +236,7 @@ std::vector<int> RTree::TuplePath(Tid tid) const {
 }
 
 std::vector<std::vector<int>> RTree::TupleNodePaths() const {
-  std::vector<std::vector<int>> paths(num_tuples_);
+  std::vector<std::vector<int>> paths(leaf_of_.size());
   for (const auto& n : nodes_) {
     if (!n.is_leaf || n.entries.empty()) continue;
     std::vector<int> p = NodePath(n.id);
@@ -436,11 +442,7 @@ std::vector<PathUpdate> RTree::Insert(Tid tid,
     if (cur == top_affected) new_top_siblings.push_back(sibling);
     cur = par;
   }
-  // MBR adjustment up to the root.
-  for (uint32_t walk = cur;; walk = parent_[walk]) {
-    RecomputeMbr(walk);
-    if (walk == root_) break;
-  }
+  TightenToRoot(cur);
 
   if (!track_updates) return {};
 
@@ -475,6 +477,99 @@ std::vector<PathUpdate> RTree::Insert(Tid tid,
     updates.push_back(std::move(u));
   }
   return updates;
+}
+
+void RTree::TightenToRoot(uint32_t id) {
+  for (uint32_t walk = id;; walk = parent_[walk]) {
+    RecomputeMbr(walk);
+    if (walk == root_) break;
+  }
+}
+
+std::vector<PathUpdate> RTree::Delete(Tid tid, bool track_updates) {
+  if (tid >= leaf_of_.size()) return {};
+  uint32_t leaf = leaf_of_[tid];
+  auto& entries = nodes_[leaf].entries;
+  size_t pos = entries.size();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].tid == tid) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == entries.size()) return {};  // tid not stored (already removed)
+
+  // Leaf-entry positions are path components, so every entry after the
+  // removed one shifts down by one: emit old/new paths for the shifted
+  // range and a clear-only update for the removed tuple (§4.2.5).
+  std::vector<PathUpdate> updates;
+  if (track_updates) {
+    std::vector<int> prefix = NodePath(leaf);
+    for (size_t i = pos; i < entries.size(); ++i) {
+      PathUpdate u;
+      u.tid = entries[i].tid;
+      u.old_path = prefix;
+      u.old_path.push_back(static_cast<int>(i) + 1);
+      if (i > pos) {
+        u.new_path = prefix;
+        u.new_path.push_back(static_cast<int>(i));
+      }
+      updates.push_back(std::move(u));
+    }
+  }
+
+  entries.erase(entries.begin() + pos);
+  --num_tuples_;
+  // Lazy deletion: an underfull (even empty) leaf stays in place; its MBR
+  // and the ancestors' tighten, which only improves lower bounds.
+  TightenToRoot(leaf);
+  return updates;
+}
+
+void ApplyRTreeDelta(RTree* rtree, const Table& table, const DeltaStore& delta,
+                     uint64_t* built_epoch, std::vector<PathUpdate>* updates,
+                     IoSession* io) {
+  if (*built_epoch >= delta.epoch()) return;
+  std::vector<Tid> inserted, deleted;
+  delta.ChangesSince(*built_epoch, &inserted, &deleted);
+  if (io != nullptr && !inserted.empty()) {
+    table.ChargeTailScan(io, inserted.front());
+  }
+
+  const bool track = updates != nullptr;
+  std::unordered_set<uint32_t> touched_leaves;
+  std::vector<double> point(rtree->dims());
+  for (Tid t : inserted) {
+    table.CopyRankRow(t, point.data());
+    auto u = rtree->Insert(t, point, track);
+    if (track) {
+      updates->insert(updates->end(), std::make_move_iterator(u.begin()),
+                      std::make_move_iterator(u.end()));
+    }
+    touched_leaves.insert(rtree->LeafOf(t));
+  }
+  for (Tid t : deleted) {
+    touched_leaves.insert(rtree->LeafOf(t));
+    auto u = rtree->Delete(t, track);
+    if (track) {
+      updates->insert(updates->end(), std::make_move_iterator(u.begin()),
+                      std::make_move_iterator(u.end()));
+    }
+  }
+  if (io != nullptr && !touched_leaves.empty()) {
+    io->Access(IoCategory::kRTree, uint64_t{1} << 41, rtree->depth());
+    for (uint32_t leaf : touched_leaves) {
+      io->Access(IoCategory::kRTree, leaf, 2);  // read + write back
+    }
+  }
+  *built_epoch = delta.epoch();
+}
+
+void RTree::ChargeBuild(const Table& table, IoSession& io) const {
+  table.ChargeFullScan(&io);
+  uint64_t pages = std::max<uint64_t>(
+      1, (SizeBytes() + io.page_size() - 1) / io.page_size());
+  io.Access(IoCategory::kRTree, uint64_t{1} << 40, pages);
 }
 
 size_t RTree::SizeBytes() const {

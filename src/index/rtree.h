@@ -42,6 +42,23 @@ struct PathUpdate {
   std::vector<int> new_path;
 };
 
+class RTree;
+
+/// Shared incremental-maintenance pass for R-tree-backed structures
+/// (signature cube, ranking_first): absorbs the table mutations after
+/// `*built_epoch` — appended rows inserted, tombstoned stored rows removed
+/// — and advances `*built_epoch` to the delta's epoch. When `updates` is
+/// non-null the §4.2.5 path-update sets are collected (signature
+/// maintenance needs them; tracking costs extra, pass null otherwise).
+/// I/O charged to `io` (nullptr = uncharged, matching ApplyGridDelta): the
+/// heap-tail read, one root-to-leaf descent per batch, and a read +
+/// write-back per *distinct* touched leaf — billing per mutation would
+/// charge the same leaf page over and over, which is exactly the locality
+/// a clustered live feed exploits.
+void ApplyRTreeDelta(RTree* rtree, const Table& table, const DeltaStore& delta,
+                     uint64_t* built_epoch, std::vector<PathUpdate>* updates,
+                     IoSession* io);
+
 struct RTreeOptions {
   int max_entries = 0;  ///< M; 0 = derive from page size (§4.2.2 sizing)
   int min_entries = 0;  ///< m; 0 = ceil(0.4 * M)
@@ -54,6 +71,7 @@ class RTree {
   /// Bulk-loads with Sort-Tile-Recursive packing; tree must be empty.
   /// `dims` selects which ranking columns feed the tree's coordinates
   /// (nullptr = the first dims() columns); stored points use local order.
+  /// Tombstoned rows of `table` are skipped.
   void BulkLoadSTR(const Table& table, const std::vector<int>* dims = nullptr);
 
   /// Inserts one tuple; returns the update set of tuples whose paths
@@ -63,12 +81,23 @@ class RTree {
   std::vector<PathUpdate> Insert(Tid tid, const std::vector<double>& point,
                                  bool track_updates = true);
 
+  /// Removes a stored tuple (lazy deletion: the leaf may go underfull or
+  /// empty; no rebalancing, MBRs shrink up the path). Returns the update
+  /// set: the removed tuple (new_path empty) plus the same-leaf entries
+  /// whose positions shifted — exactly what signature maintenance (§4.2.5)
+  /// needs to clear/move bits. No-op (empty set) for an absent tid.
+  std::vector<PathUpdate> Delete(Tid tid, bool track_updates = true);
+
   /// All tuple paths (leaf entry position included), via one DFS; indexed
   /// by tid. Much cheaper than per-tuple TuplePath() calls.
   std::vector<std::vector<int>> AllTuplePaths() const;
 
   int dims() const { return dims_; }
   int max_entries() const { return max_entries_; }
+  /// Leaf currently holding `tid` (stale for removed tids; 0 for unknown).
+  uint32_t LeafOf(Tid tid) const {
+    return tid < leaf_of_.size() ? leaf_of_[tid] : 0;
+  }
   uint32_t root() const { return root_; }
   size_t num_nodes() const { return nodes_.size(); }
   const RTreeNode& node(uint32_t id) const { return nodes_[id]; }
@@ -91,6 +120,13 @@ class RTree {
   /// 1-based child positions addressing node `id` from the root.
   std::vector<int> NodePath(uint32_t id) const;
 
+  /// Charge the construction I/O of a freshly built tree to `io`: one
+  /// relation scan (the build reads every tuple) plus the tree's pages
+  /// written (category kRTree). Shared by the signature cube and the
+  /// ranking_first factory so maintain-vs-rebuild page comparisons are
+  /// honest on both sides.
+  void ChargeBuild(const Table& table, IoSession& io) const;
+
   /// Path of a stored tuple, leaf entry position included (§4.2.1).
   std::vector<int> TuplePath(Tid tid) const;
 
@@ -102,6 +138,8 @@ class RTree {
 
  private:
   uint32_t NewNode(bool is_leaf);
+  /// MBR recomputation from `id` up to the root.
+  void TightenToRoot(uint32_t id);
   uint32_t ChooseLeaf(const std::vector<double>& point) const;
   void RecomputeMbr(uint32_t id);
   /// Splits overfull `id`; returns the new sibling (appended to parent).

@@ -80,7 +80,9 @@ std::vector<ScoredTuple> SpjrSystem::MaterializeSorted(
     }
   } else {
     table.ChargeFullScan(io);
-    for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) consider(t);
+    for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      if (table.is_live(t)) consider(t);
+    }
   }
   std::vector<ScoredTuple> out =
       ScoreQualifying(table, *q.function, qualifying, stats);
@@ -145,6 +147,7 @@ Result<std::vector<JoinedResult>> SpjrSystem::BaselineTopK(
     table.ChargeFullScan(io);
     std::vector<Tid> qualifying;
     for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      if (!table.is_live(t)) continue;
       bool ok = true;
       for (const auto& p : rq.predicates) {
         if (table.sel(t, p.dim) != p.value) {

@@ -24,25 +24,27 @@ JoinSignature::JoinSignature(std::vector<const MergeIndex*> indices,
   for (size_t i = 0; i < m; ++i) {
     paths[i] = indices_[i]->TupleNodePaths();
     num_tuples = std::max(num_tuples, paths[i].size());
+    // Balanced index: any *stored* tuple's depth is everyone's depth. Path
+    // arrays are indexed by tid, and tombstoned tids hold empty paths —
+    // skip those (tid 0 being deleted must not zero the signature).
     for (const auto& p : paths[i]) {
+      if (p.empty()) continue;
       max_depth = std::max(max_depth, p.size());
-      break;  // balanced index: first tuple's depth is everyone's depth
+      break;
     }
-  }
-  for (size_t i = 0; i < m; ++i) {
-    if (!paths[i].empty()) max_depth = std::max(max_depth, paths[i][0].size());
   }
 
   // Gather raw coordinate sets first (exact), then finalize representation.
   std::unordered_map<StateKey, std::unordered_set<uint64_t>, StateKeyHash> raw;
   std::vector<std::vector<int>> prefix(m);
   std::vector<int> coords(m);
+  static const std::vector<int> kNoPath;
   for (Tid t = 0; t < num_tuples; ++t) {
     for (size_t i = 0; i < m; ++i) prefix[i].clear();
     for (size_t level = 0; level < max_depth; ++level) {
       bool any = false;
       for (size_t i = 0; i < m; ++i) {
-        const auto& p = paths[i][t];
+        const auto& p = t < paths[i].size() ? paths[i][t] : kNoPath;
         if (level < p.size()) {
           coords[i] = p[level];
           any = true;
@@ -53,7 +55,7 @@ JoinSignature::JoinSignature(std::vector<const MergeIndex*> indices,
       if (!any) break;
       raw[MakeStateKey(prefix)].insert(CoordCode(coords, bases_));
       for (size_t i = 0; i < m; ++i) {
-        const auto& p = paths[i][t];
+        const auto& p = t < paths[i].size() ? paths[i][t] : kNoPath;
         if (level < p.size()) prefix[i].push_back(p[level]);
       }
     }

@@ -1,12 +1,13 @@
 #include "planner/catalog.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace rankcube {
 
 TableStats TableStats::Compute(const Table& table, size_t page_size) {
   TableStats ts;
-  ts.num_rows = table.num_rows();
+  ts.num_rows = table.num_live();
   ts.num_sel_dims = table.num_sel_dims();
   ts.num_rank_dims = table.num_rank_dims();
   ts.page_size = page_size;
@@ -14,14 +15,44 @@ TableStats TableStats::Compute(const Table& table, size_t page_size) {
   ts.rows_per_page = table.RowsPerPage(page_size);
   ts.table_pages = table.NumPages(page_size);
 
+  ts.epoch = table.epoch();
+  ts.delta = &table.delta();
+  std::vector<Tid> inserted, deleted;
+  table.delta().ChangesSince(table.delta().compacted_epoch(), &inserted,
+                             &deleted);
+  ts.delta_rows = inserted.size();
+  ts.deleted_since_compact = deleted.size();
+  if (!inserted.empty()) {
+    ts.delta_first_row = inserted.front();
+    ts.delta_pages = table.TailPages(ts.delta_first_row, page_size);
+  }
+
   ts.value_counts.resize(ts.num_sel_dims);
   for (int d = 0; d < ts.num_sel_dims; ++d) {
     ts.value_counts[d].assign(table.schema().sel_cardinality[d], 0);
     for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      if (!table.is_live(t)) continue;
       ++ts.value_counts[d][table.sel(t, d)];
     }
   }
   return ts;
+}
+
+void TableStats::ApplyInsert(const Table& table, Tid tid) {
+  ++num_rows;
+  for (int d = 0; d < num_sel_dims; ++d) ++value_counts[d][table.sel(tid, d)];
+  table_pages = table.NumPages(page_size);
+  if (delta_rows == 0) delta_first_row = tid;
+  ++delta_rows;
+  delta_pages = table.TailPages(delta_first_row, page_size);
+  epoch = table.epoch();
+}
+
+void TableStats::ApplyDelete(const Table& table, Tid tid) {
+  --num_rows;
+  for (int d = 0; d < num_sel_dims; ++d) --value_counts[d][table.sel(tid, d)];
+  ++deleted_since_compact;
+  epoch = table.epoch();
 }
 
 double TableStats::PredicateSelectivity(const Predicate& p) const {
@@ -55,6 +86,14 @@ const AccessStructureInfo* Catalog::Find(const std::string& engine) const {
     if (entry.engine == engine) return &entry;
   }
   return nullptr;
+}
+
+std::vector<std::string> Catalog::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& entry : entries_) keys.push_back(entry.engine);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 }  // namespace rankcube

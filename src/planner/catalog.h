@@ -23,22 +23,41 @@ namespace rankcube {
 
 /// Relation-level statistics for cost estimation. Exact, not sampled: the
 /// value-frequency histograms are one pass over the in-memory selection
-/// columns (the same concession every structure's build already gets).
+/// columns (the same concession every structure's build already gets), and
+/// RankCubeDb keeps them exact under writes (Insert/Delete adjust the
+/// touched counters; Compact recomputes everything).
 struct TableStats {
-  uint64_t num_rows = 0;
+  uint64_t num_rows = 0;  ///< live rows (tombstones excluded)
   int num_sel_dims = 0;
   int num_rank_dims = 0;
   size_t page_size = 4096;
   size_t row_bytes = 0;
   size_t rows_per_page = 0;
-  uint64_t table_pages = 0;  ///< heap pages of a full sequential scan
+  /// Heap pages of a full sequential scan. Includes tombstoned rows: the
+  /// heap keeps them, so a scan still reads them.
+  uint64_t table_pages = 0;
 
-  /// value_counts[dim][value] = number of rows with sel(dim) == value.
+  // --- delta state (drives the planner's staleness pricing) --------------
+  uint64_t epoch = 0;        ///< table epoch at this snapshot
+  uint64_t delta_rows = 0;   ///< rows appended since the last compaction
+  uint64_t delta_pages = 0;  ///< heap pages of that appended tail
+  uint64_t deleted_since_compact = 0;  ///< tombstones since last compaction
+  Tid delta_first_row = 0;   ///< tail start; meaningful when delta_rows > 0
+  /// The table's live mutation log, for pricing staleness *per structure*
+  /// (a structure built or maintained mid-log owes only the suffix after
+  /// its own built_epoch, not everything since compaction). Not owned;
+  /// valid while the source Table is alive and unmoved — RankCubeDb owns
+  /// both and recomputes stats on compaction. Null for a stats value
+  /// detached from its table; the cost model then falls back to the
+  /// since-compaction aggregates above.
+  const DeltaStore* delta = nullptr;
+
+  /// value_counts[dim][value] = number of live rows with sel(dim) == value.
   std::vector<std::vector<uint64_t>> value_counts;
 
   static TableStats Compute(const Table& table, size_t page_size);
 
-  /// Fraction of rows satisfying `p` (exact, from the histogram).
+  /// Fraction of live rows satisfying `p` (exact, from the histogram).
   double PredicateSelectivity(const Predicate& p) const;
 
   /// Fraction of rows satisfying the conjunction, under the independence
@@ -49,6 +68,11 @@ struct TableStats {
   double MatchEstimate(const std::vector<Predicate>& predicates) const {
     return static_cast<double>(num_rows) * Selectivity(predicates);
   }
+
+  /// Exact incremental adjustments for one mutation (RankCubeDb's write
+  /// path; the heap geometry and delta tail are re-derived from the table).
+  void ApplyInsert(const Table& table, Tid tid);
+  void ApplyDelete(const Table& table, Tid tid);
 };
 
 /// Keyed set of AccessStructureInfo entries (a handful of engines; linear
@@ -60,6 +84,10 @@ class Catalog {
 
   /// Entry for `engine`, or nullptr. The pointer is invalidated by Put().
   const AccessStructureInfo* Find(const std::string& engine) const;
+
+  /// Cataloged engine keys, sorted — the enumeration the planner's error
+  /// paths and RankCubeDb::Keys() report.
+  std::vector<std::string> Keys() const;
 
   const std::vector<AccessStructureInfo>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }

@@ -337,23 +337,12 @@ CostEstimate IndexMergeCost(const AccessStructureInfo& info,
 
 }  // namespace
 
-CostEstimate EstimateCost(const AccessStructureInfo& info,
+namespace {
+
+CostEstimate DispatchCost(const AccessStructureInfo& info,
                           const TopKQuery& query, const TableStats& ts,
                           const CostModelOptions& options) {
   CostEstimate est;
-  if (!query.predicates.empty() && !info.supports_predicates) {
-    est.reason = "engine does not evaluate boolean predicates";
-    return est;
-  }
-  if (info.requires_convex && query.function && !query.function->convex()) {
-    est.reason = "search algorithm requires a convex ranking function";
-    return est;
-  }
-  if (info.needs_external_bound) {
-    est.reason = "requires an oracle k-th-score bound (force_engine only)";
-    return est;
-  }
-
   if (info.engine == "table_scan") return TableScanCost(ts, query);
   if (info.engine == "grid") return GridCost(info, query, ts, options);
   if (info.engine == "fragments") {
@@ -372,6 +361,69 @@ CostEstimate EstimateCost(const AccessStructureInfo& info,
   }
   est.reason = "no cost model for engine '" + info.engine +
                "' (force_engine only)";
+  return est;
+}
+
+}  // namespace
+
+CostEstimate EstimateCost(const AccessStructureInfo& info,
+                          const TopKQuery& query, const TableStats& ts,
+                          const CostModelOptions& options) {
+  CostEstimate est;
+  if (!query.predicates.empty() && !info.supports_predicates) {
+    est.reason = "engine does not evaluate boolean predicates";
+    return est;
+  }
+  if (info.requires_convex && query.function && !query.function->convex()) {
+    est.reason = "search algorithm requires a convex ranking function";
+    return est;
+  }
+  if (info.needs_external_bound) {
+    est.reason = "requires an oracle k-th-score bound (force_engine only)";
+    return est;
+  }
+
+  // Staleness pricing: a built structure lagging the table pays the delta
+  // overlay on top of its own search — the exact sequential scan of the
+  // appended heap tail, plus a deeper (k + pending-deletes) inner search so
+  // tombstone filtering cannot starve the result. An unbuilt structure
+  // would be constructed at the current epoch, and a table scan reads live
+  // data by definition; neither overlays. This is the term that makes the
+  // planner route drifted structures to a scan until compaction.
+  //
+  // What a structure owes is the log suffix after its *own* built_epoch —
+  // one built (or maintained) mid-log must not be billed everything since
+  // compaction. Exact when the stats carry the live log; the
+  // since-compaction aggregates are the (conservative) fallback.
+  const bool stale = info.built && info.engine != "table_scan" &&
+                     ts.epoch > info.built_epoch;
+  if (!stale) return DispatchCost(info, query, ts, options);
+
+  uint64_t pending_inserts = ts.delta_rows;
+  uint64_t pending_deletes = ts.deleted_since_compact;
+  double overlay_pages = static_cast<double>(ts.delta_pages);
+  if (ts.delta != nullptr) {
+    DeltaStore::PendingSummary pending = ts.delta->Pending(info.built_epoch);
+    pending_inserts = pending.inserts;
+    pending_deletes = pending.deletes;
+    overlay_pages =
+        pending.has_insert
+            ? static_cast<double>(
+                  ts.table_pages -
+                  pending.first_insert / std::max<size_t>(1, ts.rows_per_page))
+            : 0.0;
+  }
+  if (pending_inserts == 0 && pending_deletes == 0) {
+    return DispatchCost(info, query, ts, options);
+  }
+
+  TopKQuery effective = query;
+  effective.k = query.k + static_cast<int>(
+                              std::min<uint64_t>(pending_deletes, 1u << 20));
+  est = DispatchCost(info, effective, ts, options);
+  if (!est.feasible) return est;
+  est.pages += overlay_pages;
+  est.tuples += static_cast<double>(pending_inserts);
   return est;
 }
 

@@ -35,9 +35,9 @@ Result<PlanInfo> Planner::Plan(const TopKQuery& query,
     const AccessStructureInfo* info = catalog.Find(opts.force_engine);
     if (info == nullptr) {
       std::string keys;
-      for (const auto& entry : catalog.entries()) {
+      for (const std::string& key : catalog.Keys()) {
         if (!keys.empty()) keys += ", ";
-        keys += entry.engine;
+        keys += key;
       }
       return Status::NotFound("force_engine '" + opts.force_engine +
                               "' is not in the catalog; cataloged engines: " +

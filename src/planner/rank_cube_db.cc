@@ -15,7 +15,7 @@ RankCubeDb::RankCubeDb(Table table, Options options)
       planner_(options_.planner),
       build_io_(&store_) {
   std::vector<std::string> names = options_.engines.empty()
-                                       ? EngineRegistry::Global().Names()
+                                       ? EngineRegistry::Global().Keys()
                                        : options_.engines;
   for (const std::string& name : names) {
     catalog_.Put(PredictStructureInfo(name, stats_, options_.build));
@@ -42,8 +42,73 @@ Result<const RankingEngine*> RankCubeDb::EngineLocked(
 }
 
 Result<const RankingEngine*> RankCubeDb::Engine(const std::string& name) {
+  std::shared_lock<std::shared_mutex> read(ddl_mu_);
   std::lock_guard<std::mutex> lock(mu_);
   return EngineLocked(name);
+}
+
+Result<Tid> RankCubeDb::Insert(const std::vector<int32_t>& sel,
+                               const std::vector<double>& rank) {
+  std::unique_lock<std::shared_mutex> write(ddl_mu_);
+  Result<Tid> tid = table_.Insert(sel, rank);
+  if (!tid.ok()) return tid;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.ApplyInsert(table_, tid.value());
+  return tid;
+}
+
+Status RankCubeDb::Delete(Tid tid) {
+  std::unique_lock<std::shared_mutex> write(ddl_mu_);
+  RC_RETURN_IF_ERROR(table_.Delete(tid));
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.ApplyDelete(table_, tid);
+  return Status::OK();
+}
+
+Result<CompactionReport> RankCubeDb::Compact() {
+  std::unique_lock<std::shared_mutex> write(ddl_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+
+  CompactionReport report;
+  const DeltaStore& delta = table_.delta();
+  report.absorbed_inserts = delta.InsertsSince(delta.compacted_epoch());
+  report.absorbed_deletes = delta.DeletesSince(delta.compacted_epoch());
+  uint64_t pages_before = build_io_.TotalPhysical();
+
+  for (auto& [name, engine] : engines_) {
+    if (engine->Freshness().fresh()) continue;
+    if (engine->SupportsMaintenance()) {
+      RC_RETURN_IF_ERROR(engine->Maintain(&build_io_));
+      ++report.maintained;
+    } else {
+      // No incremental path (boolean_first postings, rank_mapping
+      // composites, index_merge B+-trees): rebuild over the live table.
+      auto rebuilt = EngineRegistry::Global().Create(name, table_, build_io_,
+                                                     options_.build);
+      if (!rebuilt.ok()) return rebuilt.status();
+      engine = std::move(rebuilt).value();
+      ++report.rebuilt;
+    }
+  }
+  // Every built structure is at the current epoch: the log can go, and the
+  // catalog's entries refresh to the maintained structures' exact stats.
+  // Never-built entries get their analytic predictions re-derived from the
+  // post-compaction statistics — geometry frozen at construction time
+  // would misprice them arbitrarily as the relation grows.
+  table_.MarkCompacted();
+  stats_ = TableStats::Compute(table_, store_.page_size());
+  for (const std::string& name : catalog_.Keys()) {
+    if (engines_.count(name) == 0) {
+      catalog_.Put(PredictStructureInfo(name, stats_, options_.build));
+    }
+  }
+  for (const auto& [name, engine] : engines_) {
+    (void)name;
+    catalog_.Put(engine->Describe());
+  }
+  report.epoch = table_.epoch();
+  report.pages = build_io_.TotalPhysical() - pages_before;
+  return report;
 }
 
 Result<RoutedEngine> RankCubeDb::Route(const TopKQuery& query,
@@ -68,6 +133,7 @@ Result<RoutedEngine> RankCubeDb::Route(const TopKQuery& query,
 
 Result<TopKResult> RankCubeDb::Query(const TopKQuery& query,
                                      const QueryOptions& opts) {
+  std::shared_lock<std::shared_mutex> read(ddl_mu_);
   auto routed = Route(query, opts);
   if (!routed.ok()) return routed.status();
 
@@ -84,6 +150,7 @@ Result<TopKResult> RankCubeDb::Query(const TopKQuery& query,
 Result<PlanInfo> RankCubeDb::Explain(const TopKQuery& query,
                                      const QueryOptions& opts) const {
   RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
+  std::shared_lock<std::shared_mutex> read(ddl_mu_);
   std::lock_guard<std::mutex> lock(mu_);
   return planner_.Plan(query, stats_, catalog_, opts);
 }
@@ -97,6 +164,9 @@ Result<BatchReport> RankCubeDb::QueryAll(
 Result<BatchReport> RankCubeDb::QueryParallel(
     const std::vector<TopKQuery>& workload, int num_threads,
     const QueryOptions& opts, BatchOptions batch) {
+  // Held shared for the whole batch: workers read the table concurrently,
+  // writers wait for the batch to drain.
+  std::shared_lock<std::shared_mutex> read(ddl_mu_);
   if (batch.page_budget == 0) batch.page_budget = opts.page_budget;
   BatchExecutor executor(
       [this, opts](const TopKQuery& query) { return Route(query, opts); },
@@ -109,13 +179,20 @@ std::vector<AccessStructureInfo> RankCubeDb::CatalogEntries() const {
   return catalog_.entries();
 }
 
-std::vector<std::string> RankCubeDb::EngineNames() const {
+std::vector<std::string> RankCubeDb::Keys() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::string> names;
-  names.reserve(catalog_.size());
-  for (const auto& entry : catalog_.entries()) names.push_back(entry.engine);
-  std::sort(names.begin(), names.end());
-  return names;
+  return catalog_.Keys();
+}
+
+std::map<std::string, FreshnessInfo> RankCubeDb::FreshnessByEngine() const {
+  // Freshness reads the table's delta store, so exclude writers too.
+  std::shared_lock<std::shared_mutex> read(ddl_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, FreshnessInfo> out;
+  for (const auto& [name, engine] : engines_) {
+    out.emplace(name, engine->Freshness());
+  }
+  return out;
 }
 
 uint64_t RankCubeDb::construction_pages() const {

@@ -19,6 +19,19 @@
 // replace the catalog's analytic predictions. The decision is returned in
 // TopKResult::plan, and Explain() exposes it without executing anything.
 //
+// The db is also the write path. Insert/Delete mutate the owned table and
+// its delta store; every query stays exact immediately (stale structures
+// overlay the delta, see engine/engine.h), and the planner prices that
+// overlay — a structure that drifted far enough loses to a scan until
+// Compact() brings every built structure back to the current epoch
+// (incrementally where the structure supports it, by rebuild otherwise)
+// and refreshes the statistics.
+//
+// Concurrency: reads (Query/QueryAll/QueryParallel/Explain/Engine) share
+// the db; writes (Insert/Delete/Compact) take it exclusively — the
+// standard single-writer/many-readers contract, enforced internally with a
+// shared mutex, so mixed workloads need no external locking.
+//
 // force_engine in QueryOptions pins a specific structure (every engine
 // remains individually reachable, e.g. for the parity tests and figure
 // benches); optimize_for switches the cost objective between raw pages
@@ -29,6 +42,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +53,16 @@
 #include "storage/table.h"
 
 namespace rankcube {
+
+/// What one Compact() call did.
+struct CompactionReport {
+  uint64_t epoch = 0;            ///< epoch every structure now reflects
+  uint64_t absorbed_inserts = 0; ///< log entries folded in
+  uint64_t absorbed_deletes = 0;
+  size_t maintained = 0;  ///< structures incrementally maintained
+  size_t rebuilt = 0;     ///< structures rebuilt from scratch
+  uint64_t pages = 0;     ///< physical maintenance + rebuild I/O
+};
 
 class RankCubeDb {
  public:
@@ -65,6 +89,29 @@ class RankCubeDb {
   const PageStore& store() const { return store_; }
   const TableStats& table_stats() const { return stats_; }
 
+  // --- write path ---------------------------------------------------------
+
+  /// Appends a row (validated like Table::AddRow); returns its tid. Every
+  /// built structure becomes stale by one mutation; queries remain exact
+  /// through the delta overlay, and the exact statistics the planner reads
+  /// are adjusted in place.
+  Result<Tid> Insert(const std::vector<int32_t>& sel,
+                     const std::vector<double>& rank);
+
+  /// Tombstones a live row. Same staleness/overlay story as Insert.
+  Status Delete(Tid tid);
+
+  /// Folds the whole mutation log into every built structure — calling
+  /// RankingEngine::Maintain where supported (grid, fragments, signature,
+  /// ranking_first), rebuilding from scratch otherwise — then truncates
+  /// the log, recomputes TableStats and upgrades every catalog entry to
+  /// the maintained structure's exact Describe(). After Compact, queries
+  /// pay no delta overlay until the next write. Rebuilds invalidate
+  /// pointers previously returned by Engine() for the rebuilt keys.
+  Result<CompactionReport> Compact();
+
+  // --- read path ----------------------------------------------------------
+
   /// Plans + executes one query in a fresh I/O session. The result carries
   /// the chosen plan (TopKResult::plan) next to the measured ExecStats.
   Result<TopKResult> Query(const TopKQuery& query,
@@ -90,15 +137,22 @@ class RankCubeDb {
 
   /// The engine under `name`, built on first use (thread-safe; build I/O
   /// is charged to the db's construction session). The pointer stays valid
-  /// for the db's lifetime.
+  /// until the db dies or Compact() rebuilds that engine.
   Result<const RankingEngine*> Engine(const std::string& name);
 
   /// Catalog snapshot: predicted entries, upgraded in place to exact
   /// Describe() output for structures that have been built.
   std::vector<AccessStructureInfo> CatalogEntries() const;
 
-  /// Registry keys this db catalogs (sorted).
-  std::vector<std::string> EngineNames() const;
+  /// Registry keys this db catalogs (sorted) — the supported way to
+  /// enumerate the candidates Explain() costs, without probing the
+  /// NotFound path.
+  std::vector<std::string> Keys() const;
+  /// Alias of Keys(), kept for existing call sites.
+  std::vector<std::string> EngineNames() const { return Keys(); }
+
+  /// Per-structure freshness snapshot for every *built* engine.
+  std::map<std::string, FreshnessInfo> FreshnessByEngine() const;
 
   /// Physical pages charged by all lazy structure builds so far.
   uint64_t construction_pages() const;
@@ -117,9 +171,17 @@ class RankCubeDb {
   Options options_;
   Planner planner_;
 
-  /// Guards catalog_, engines_ and build_io_: planning is a pure in-memory
-  /// computation and builds are rare, so one coarse lock suffices; query
-  /// execution itself runs outside the lock on per-query sessions.
+  /// Read/write gate: queries and Explain hold it shared for their whole
+  /// duration (QueryParallel's workers run under the caller's shared
+  /// hold), Insert/Delete/Compact hold it exclusively — appending to the
+  /// column vectors or maintaining a structure must never race a reader's
+  /// rank_col() view. Acquired before mu_ everywhere.
+  mutable std::shared_mutex ddl_mu_;
+
+  /// Guards catalog_, engines_, stats_ and build_io_: planning is a pure
+  /// in-memory computation and builds are rare, so one coarse lock
+  /// suffices; query execution itself runs outside the lock on per-query
+  /// sessions.
   mutable std::mutex mu_;
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<RankingEngine>> engines_;

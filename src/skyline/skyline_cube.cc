@@ -62,9 +62,9 @@ std::vector<Tid> SkylineEngine::BooleanFirst(
   std::vector<Tid> candidates;
   if (predicates.empty()) {
     table_.ChargeFullScan(io);
-    candidates.resize(table_.num_rows());
+    candidates.reserve(table_.num_live());
     for (Tid t = 0; t < static_cast<Tid>(table_.num_rows()); ++t) {
-      candidates[t] = t;
+      if (table_.is_live(t)) candidates.push_back(t);
     }
   } else {
     const Predicate* best = &predicates.front();

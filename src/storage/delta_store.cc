@@ -1,0 +1,65 @@
+#include "storage/delta_store.h"
+
+namespace rankcube {
+
+void DeltaStore::ChangesSince(uint64_t since, std::vector<Tid>* inserted,
+                              std::vector<Tid>* deleted) const {
+  inserted->clear();
+  deleted->clear();
+  for (size_t i = SuffixBegin(since); i < log_.size(); ++i) {
+    (log_[i].kind == MutationKind::kInsert ? inserted : deleted)
+        ->push_back(log_[i].tid);
+  }
+}
+
+size_t DeltaStore::InsertsSince(uint64_t since) const {
+  size_t n = 0;
+  for (size_t i = SuffixBegin(since); i < log_.size(); ++i) {
+    n += log_[i].kind == MutationKind::kInsert ? 1 : 0;
+  }
+  return n;
+}
+
+size_t DeltaStore::DeletesSince(uint64_t since) const {
+  size_t n = 0;
+  for (size_t i = SuffixBegin(since); i < log_.size(); ++i) {
+    n += log_[i].kind == MutationKind::kDelete ? 1 : 0;
+  }
+  return n;
+}
+
+DeltaStore::PendingSummary DeltaStore::Pending(uint64_t since) const {
+  PendingSummary p;
+  for (size_t i = SuffixBegin(since); i < log_.size(); ++i) {
+    const Mutation& m = log_[i];
+    if (m.kind == MutationKind::kInsert) {
+      if (!p.has_insert) {
+        p.has_insert = true;
+        p.first_insert = m.tid;
+      }
+      ++p.inserts;
+    } else if (!p.has_insert || m.tid < p.first_insert) {
+      ++p.deletes;
+    }
+  }
+  return p;
+}
+
+bool DeltaStore::FirstInsertSince(uint64_t since, Tid* tid) const {
+  for (size_t i = SuffixBegin(since); i < log_.size(); ++i) {
+    if (log_[i].kind == MutationKind::kInsert) {
+      *tid = log_[i].tid;
+      return true;
+    }
+  }
+  return false;
+}
+
+void DeltaStore::RecordDelete(Tid tid) {
+  if (deleted_.size() <= tid) deleted_.resize(tid + 1, 0);
+  deleted_[tid] = 1;
+  ++num_deleted_;
+  log_.push_back({MutationKind::kDelete, tid});
+}
+
+}  // namespace rankcube

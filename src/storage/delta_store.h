@@ -1,0 +1,106 @@
+// Mutation log + tombstone bitmap that make a Table writable without
+// rebuilding its access structures. The paper's rank-aware organization
+// makes maintenance naturally local — one inserted tuple lands in one base
+// block, one cuboid cell per cuboid, one R-tree leaf — so the storage layer
+// records *which* tuples changed and every structure absorbs exactly the
+// mutations it has not seen yet (ApplyDelta against its built_epoch).
+//
+// Model:
+//  * The epoch is the count of mutations ever applied. Each Table::Insert /
+//    Table::Delete appends one log entry and advances the epoch by one.
+//  * Tids are never reused. Inserts append rows at the heap tail; deletes
+//    set a tombstone bit and leave the heap row in place. A structure built
+//    (or maintained) at epoch E therefore holds exactly the live-at-E rows
+//    among [0, rows-at-E) — "what changed since E" is a log suffix.
+//  * Compaction truncates the log once every built structure has absorbed
+//    it; tombstones persist (the heap still carries the dead rows, and
+//    sequential scans must keep skipping them).
+#ifndef RANKCUBE_STORAGE_DELTA_STORE_H_
+#define RANKCUBE_STORAGE_DELTA_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rankcube {
+
+using Tid = uint32_t;  ///< tuple identifier (dense, 0-based, never reused)
+
+class DeltaStore {
+ public:
+  enum class MutationKind : uint8_t { kInsert, kDelete };
+  struct Mutation {
+    MutationKind kind;
+    Tid tid;
+  };
+
+  /// Mutations ever applied; log entry i happened at epoch
+  /// compacted_epoch() + i + 1.
+  uint64_t epoch() const { return compacted_epoch_ + log_.size(); }
+  /// Epoch of the last compaction; the log holds (epoch() -
+  /// compacted_epoch()) entries.
+  uint64_t compacted_epoch() const { return compacted_epoch_; }
+  size_t log_size() const { return log_.size(); }
+  bool empty() const { return log_.empty(); }
+
+  bool is_deleted(Tid tid) const {
+    return tid < deleted_.size() && deleted_[tid] != 0;
+  }
+  /// Tombstones ever set (they survive compaction).
+  size_t num_deleted() const { return num_deleted_; }
+
+  /// Splits the log suffix after epoch `since` into inserted and deleted
+  /// tids (each in log = tid-ascending order). A tuple born and deleted
+  /// inside the suffix appears in both lists. `since` below the compacted
+  /// epoch is clamped — callers maintain structures at least as fresh as
+  /// the last compaction, so nothing is ever silently lost.
+  void ChangesSince(uint64_t since, std::vector<Tid>* inserted,
+                    std::vector<Tid>* deleted) const;
+  size_t InsertsSince(uint64_t since) const;
+  size_t DeletesSince(uint64_t since) const;
+  /// First tid appended after epoch `since` (the delta tail start); false
+  /// when nothing was inserted since.
+  bool FirstInsertSince(uint64_t since, Tid* tid) const;
+
+  /// What a structure at epoch `since` owes, in one log pass. `deletes`
+  /// counts only rows that existed at `since` — tombstones of rows born
+  /// inside the suffix never reached the structure, so neither the query
+  /// overlay's k + D inflation nor the planner's staleness term should pay
+  /// for them. (Appended tids are monotone, so "existed at since" is
+  /// simply tid < first_insert.)
+  struct PendingSummary {
+    uint64_t inserts = 0;
+    uint64_t deletes = 0;     ///< of rows the structure may actually hold
+    bool has_insert = false;
+    Tid first_insert = 0;     ///< delta tail start; valid when has_insert
+  };
+  PendingSummary Pending(uint64_t since) const;
+
+  /// Recording; called by Table (which owns validation).
+  void RecordInsert(Tid tid) { log_.push_back({MutationKind::kInsert, tid}); }
+  void RecordDelete(Tid tid);
+
+  /// Drops the log (base for future ChangesSince calls becomes the current
+  /// epoch). Tombstones are kept: the heap still holds the dead rows.
+  void Truncate() {
+    compacted_epoch_ += log_.size();
+    log_.clear();
+  }
+
+ private:
+  /// First log index after epoch `since` (clamped).
+  size_t SuffixBegin(uint64_t since) const {
+    return since <= compacted_epoch_
+               ? 0
+               : static_cast<size_t>(since - compacted_epoch_);
+  }
+
+  uint64_t compacted_epoch_ = 0;
+  std::vector<Mutation> log_;
+  std::vector<uint8_t> deleted_;  ///< tombstones; sized lazily on first delete
+  size_t num_deleted_ = 0;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_STORAGE_DELTA_STORE_H_

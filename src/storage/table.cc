@@ -17,10 +17,20 @@ Status Table::AddRow(const std::vector<int32_t>& sel,
   if (static_cast<int>(rank.size()) != schema_.num_rank_dims) {
     return Status::InvalidArgument("ranking arity mismatch");
   }
+  // Validate everything before touching any column, so a rejected row never
+  // leaves a partially appended value behind.
   for (int d = 0; d < schema_.num_sel_dims(); ++d) {
     if (sel[d] < 0 || sel[d] >= schema_.sel_cardinality[d]) {
       return Status::OutOfRange("selection value out of dimension domain");
     }
+  }
+  for (int d = 0; d < schema_.num_rank_dims; ++d) {
+    // Negated comparison also rejects NaN.
+    if (!(rank[d] >= 0.0 && rank[d] <= 1.0)) {
+      return Status::OutOfRange("ranking value outside [0, 1]");
+    }
+  }
+  for (int d = 0; d < schema_.num_sel_dims(); ++d) {
     sel_cols_[d].push_back(sel[d]);
   }
   for (int d = 0; d < schema_.num_rank_dims; ++d) {
@@ -30,10 +40,25 @@ Status Table::AddRow(const std::vector<int32_t>& sel,
   return Status::OK();
 }
 
-std::vector<double> Table::RankRow(Tid row) const {
-  std::vector<double> v(schema_.num_rank_dims);
-  for (int d = 0; d < schema_.num_rank_dims; ++d) v[d] = rank_cols_[d][row];
-  return v;
+Result<Tid> Table::Insert(const std::vector<int32_t>& sel,
+                          const std::vector<double>& rank) {
+  RC_RETURN_IF_ERROR(AddRow(sel, rank));
+  Tid tid = static_cast<Tid>(num_rows_ - 1);
+  delta_.RecordInsert(tid);
+  return tid;
+}
+
+Status Table::Delete(Tid row) {
+  if (row >= num_rows_) {
+    return Status::InvalidArgument("delete of nonexistent tid " +
+                                   std::to_string(row));
+  }
+  if (!is_live(row)) {
+    return Status::NotFound("tid " + std::to_string(row) +
+                            " is already deleted");
+  }
+  delta_.RecordDelete(row);
+  return Status::OK();
 }
 
 size_t Table::RowBytes() const {
@@ -51,12 +76,24 @@ uint64_t Table::NumPages(size_t page_size) const {
   return (num_rows_ + rpp - 1) / rpp;
 }
 
+uint64_t Table::TailPages(Tid first_row, size_t page_size) const {
+  if (first_row >= num_rows_) return 0;
+  return NumPages(page_size) - first_row / RowsPerPage(page_size);
+}
+
 void Table::ChargeRowFetch(IoSession* io, Tid row) const {
   io->Access(IoCategory::kTable, row / RowsPerPage(io->page_size()));
 }
 
 void Table::ChargeFullScan(IoSession* io) const {
   io->Access(IoCategory::kTable, 0, NumPages(io->page_size()));
+}
+
+void Table::ChargeTailScan(IoSession* io, Tid first_row) const {
+  uint64_t pages = TailPages(first_row, io->page_size());
+  if (pages == 0) return;
+  io->Access(IoCategory::kTable, first_row / RowsPerPage(io->page_size()),
+             pages);
 }
 
 }  // namespace rankcube

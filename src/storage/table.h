@@ -2,6 +2,13 @@
 // R real-valued ranking dimensions (§1.2.1 data model). Row fetches are
 // charged to the I/O session as heap-page accesses so baselines that do random
 // tuple lookups pay the same cost profile the thesis measures.
+//
+// The relation is versioned: Insert/Delete advance an epoch and log into a
+// DeltaStore (delta_store.h), so access structures built over an earlier
+// epoch can absorb exactly the missed mutations (ApplyDelta) and query
+// execution can overlay an exact delta scan meanwhile. Deletes are
+// tombstones — tids are never reused and the heap row stays in place — so
+// every sequential scan and structure build must skip non-live rows.
 #ifndef RANKCUBE_STORAGE_TABLE_H_
 #define RANKCUBE_STORAGE_TABLE_H_
 
@@ -9,11 +16,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/delta_store.h"
 #include "storage/io_session.h"
 
 namespace rankcube {
-
-using Tid = uint32_t;  ///< tuple identifier (dense, 0-based)
 
 /// Shape of a relation: cardinality of each selection dimension plus the
 /// number of ranking dimensions. Ranking values live in [0, 1] by convention
@@ -25,7 +31,8 @@ struct TableSchema {
   int num_sel_dims() const { return static_cast<int>(sel_cardinality.size()); }
 };
 
-/// Column-major table. Append-only; rows are identified by insertion order.
+/// Column-major table. Rows are identified by insertion order; deleted rows
+/// stay in the heap as tombstones.
 class Table {
  public:
   explicit Table(TableSchema schema);
@@ -35,22 +42,45 @@ class Table {
   int num_sel_dims() const { return schema_.num_sel_dims(); }
   int num_rank_dims() const { return schema_.num_rank_dims; }
 
-  /// Appends a row; `sel` must have S entries in range, `rank` R entries.
+  /// Appends a row without logging a mutation: the bulk-load path for the
+  /// base relation, used before any access structure exists. Validation is
+  /// all-or-nothing: `sel` must have S entries in domain, `rank` R entries
+  /// in [0, 1]; a rejected row leaves the table untouched.
   Status AddRow(const std::vector<int32_t>& sel,
                 const std::vector<double>& rank);
+
+  // --- write path (logged; drives incremental maintenance) ---------------
+
+  /// Appends a row and records the mutation; returns the new tid. Same
+  /// validation as AddRow. Structures built earlier see the insert through
+  /// ApplyDelta / the engine-level delta overlay.
+  Result<Tid> Insert(const std::vector<int32_t>& sel,
+                     const std::vector<double>& rank);
+
+  /// Tombstones `row` and records the mutation. The heap row remains (tids
+  /// are never reused); scans and builds skip it via is_live().
+  Status Delete(Tid row);
+
+  bool is_live(Tid row) const { return !delta_.is_deleted(row); }
+  /// Rows minus tombstones.
+  size_t num_live() const { return num_rows_ - delta_.num_deleted(); }
+  /// Mutations ever applied (0 for a pure bulk-loaded table).
+  uint64_t epoch() const { return delta_.epoch(); }
+  const DeltaStore& delta() const { return delta_; }
+  /// Truncates the mutation log after every built structure absorbed it
+  /// (RankCubeDb::Compact). Tombstones persist.
+  void MarkCompacted() { delta_.Truncate(); }
 
   int32_t sel(Tid row, int dim) const { return sel_cols_[dim][row]; }
   double rank(Tid row, int dim) const { return rank_cols_[dim][row]; }
 
-  /// Copy of the full ranking-vector of a row (size R).
-  std::vector<double> RankRow(Tid row) const;
-  /// Allocation-free variant: writes the R ranking values of `row` into
+  /// Allocation-free row gather: writes the R ranking values of `row` into
   /// `out` (caller-provided, size >= R). For build paths that need a dense
   /// point; query paths should read rank_col() column-direct instead.
   void CopyRankRow(Tid row, double* out) const {
     for (size_t d = 0; d < rank_cols_.size(); ++d) out[d] = rank_cols_[d][row];
   }
-  /// Pointer view used on hot paths; valid until the next AddRow.
+  /// Pointer view used on hot paths; valid until the next AddRow/Insert.
   const double* rank_col(int dim) const { return rank_cols_[dim].data(); }
 
   /// Bytes a row occupies in the simulated heap file.
@@ -59,17 +89,24 @@ class Table {
   size_t RowsPerPage(size_t page_size) const;
   /// Total heap pages of the relation (used by sequential scans).
   uint64_t NumPages(size_t page_size) const;
+  /// Heap pages a sequential scan of the tail [first_row, num_rows) touches
+  /// — the delta-overlay scan cost.
+  uint64_t TailPages(Tid first_row, size_t page_size) const;
 
   /// Charge a random access fetching `row`'s heap page.
   void ChargeRowFetch(IoSession* io, Tid row) const;
   /// Charge a full sequential scan of the heap file.
   void ChargeFullScan(IoSession* io) const;
+  /// Charge a sequential scan of the heap tail starting at `first_row`
+  /// (the delta rows appended since some epoch).
+  void ChargeTailScan(IoSession* io, Tid first_row) const;
 
  private:
   TableSchema schema_;
   size_t num_rows_ = 0;
   std::vector<std::vector<int32_t>> sel_cols_;
   std::vector<std::vector<double>> rank_cols_;
+  DeltaStore delta_;
 };
 
 }  // namespace rankcube

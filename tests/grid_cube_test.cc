@@ -53,8 +53,9 @@ TEST(EquiDepthGridTest, BlocksAreEquiDepth) {
 TEST(EquiDepthGridTest, PointsLandInTheirBox) {
   Table t = MakeData(3000);
   EquiDepthGrid grid(t, {.block_size = 300});
+  std::vector<double> row(t.num_rank_dims());
   for (Tid i = 0; i < 200; ++i) {
-    auto row = t.RankRow(i);
+    t.CopyRankRow(i, row.data());
     Bid b = grid.BidOfPoint(row.data());
     EXPECT_TRUE(grid.BoxOfBid(b).Contains(row))
         << "tuple " << i << " box " << grid.BoxOfBid(b).ToString();

@@ -155,8 +155,10 @@ TEST(RTreeTest, InsertInvariants) {
   PageStore store;
   IoSession io{&store};
   RTree rt(3, io, {.max_entries = 8});
+  std::vector<double> point(t.num_rank_dims());
   for (Tid i = 0; i < t.num_rows(); ++i) {
-    rt.Insert(i, t.RankRow(i), /*track_updates=*/false);
+    t.CopyRankRow(i, point.data());
+    rt.Insert(i, point, /*track_updates=*/false);
   }
   CheckRTreeInvariants(rt, t.num_rows());
 }
@@ -191,8 +193,10 @@ TEST(RTreeTest, InsertUpdateSetIsAccurate) {
   IoSession io{&store};
   RTree rt(2, io, {.max_entries = 4});  // tiny fanout: many splits
   std::vector<std::vector<int>> shadow;
+  std::vector<double> point(t.num_rank_dims());
   for (Tid i = 0; i < t.num_rows(); ++i) {
-    auto updates = rt.Insert(i, t.RankRow(i));
+    t.CopyRankRow(i, point.data());
+    auto updates = rt.Insert(i, point);
     shadow.resize(std::max(shadow.size(), static_cast<size_t>(i) + 1));
     for (const auto& u : updates) {
       if (u.tid >= shadow.size()) shadow.resize(u.tid + 1);

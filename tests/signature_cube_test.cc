@@ -113,10 +113,10 @@ TEST(SignatureCubeTest, IncrementalInsertMatchesRebuild) {
   // prefix table, then inserting the remaining rows incrementally.
   TableSchema schema = t.schema();
   Table prefix(schema);
+  std::vector<double> rank(t.num_rank_dims());
   for (Tid i = 0; i < 2500; ++i) {
-    ASSERT_TRUE(prefix.AddRow(
-                    {t.sel(i, 0), t.sel(i, 1), t.sel(i, 2)},
-                    t.RankRow(i))
+    t.CopyRankRow(i, rank.data());
+    ASSERT_TRUE(prefix.AddRow({t.sel(i, 0), t.sel(i, 1), t.sel(i, 2)}, rank)
                     .ok());
   }
   PageStore store;
@@ -127,9 +127,8 @@ TEST(SignatureCubeTest, IncrementalInsertMatchesRebuild) {
 
   std::vector<Tid> extra;
   for (Tid i = 2500; i < 3000; ++i) {
-    ASSERT_TRUE(prefix.AddRow(
-                    {t.sel(i, 0), t.sel(i, 1), t.sel(i, 2)},
-                    t.RankRow(i))
+    t.CopyRankRow(i, rank.data());
+    ASSERT_TRUE(prefix.AddRow({t.sel(i, 0), t.sel(i, 1), t.sel(i, 2)}, rank)
                     .ok());
     extra.push_back(i);
   }

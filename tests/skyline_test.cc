@@ -35,8 +35,9 @@ std::set<Tid> OracleSkyline(const Table& t,
     if (ok) qual.push_back(i);
   }
   std::vector<std::vector<double>> tr(qual.size());
+  std::vector<double> row(t.num_rank_dims());
   for (size_t i = 0; i < qual.size(); ++i) {
-    auto row = t.RankRow(qual[i]);
+    t.CopyRankRow(qual[i], row.data());
     tf.Apply(row.data(), &tr[i]);
   }
   std::set<Tid> sky;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -165,7 +166,9 @@ TEST(TableTest, StoresValues) {
   EXPECT_EQ(t.sel(0, 0), 1);
   EXPECT_EQ(t.sel(1, 1), 0);
   EXPECT_DOUBLE_EQ(t.rank(0, 1), 0.25);
-  EXPECT_EQ(t.RankRow(1), (std::vector<double>{0.1, 0.9}));
+  std::vector<double> row(t.num_rank_dims());
+  t.CopyRankRow(1, row.data());
+  EXPECT_EQ(row, (std::vector<double>{0.1, 0.9}));
 }
 
 TEST(TableTest, RejectsBadRows) {
@@ -175,6 +178,110 @@ TEST(TableTest, RejectsBadRows) {
   EXPECT_FALSE(t.AddRow({9, 0}, {0.0, 0.0}).ok());     // out of domain
   EXPECT_FALSE(t.AddRow({-1, 0}, {0.0, 0.0}).ok());    // negative
   EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, RejectsRankOutsideUnitInterval) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.AddRow({1, 2}, {1.5, 0.0}).code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(t.AddRow({1, 2}, {0.0, -0.1}).code(), Status::Code::kOutOfRange);
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(t.AddRow({1, 2}, {nan, 0.0}).code(), Status::Code::kOutOfRange);
+  // The closed boundaries are legal.
+  EXPECT_TRUE(t.AddRow({1, 2}, {0.0, 1.0}).ok());
+}
+
+TEST(TableTest, RejectedRowLeavesNoPartialAppend) {
+  Table t = MakeTable();
+  // Dimension 0 is valid, dimension 1 is out of domain: the row must be
+  // rejected without leaking the already-validated column value.
+  EXPECT_FALSE(t.AddRow({1, 99}, {0.0, 0.0}).ok());
+  EXPECT_FALSE(t.AddRow({1, 2}, {0.5, 7.0}).ok());
+  ASSERT_EQ(t.num_rows(), 2u);
+  ASSERT_TRUE(t.AddRow({2, 1}, {0.25, 0.75}).ok());
+  // A partial append would have shifted this row's column values.
+  EXPECT_EQ(t.sel(2, 0), 2);
+  EXPECT_EQ(t.sel(2, 1), 1);
+  EXPECT_DOUBLE_EQ(t.rank(2, 0), 0.25);
+}
+
+TEST(TableTest, InsertDeleteAdvanceEpochAndLog) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.epoch(), 0u);  // bulk load does not log
+  auto tid = t.Insert({0, 0}, {0.3, 0.3});
+  ASSERT_TRUE(tid.ok());
+  EXPECT_EQ(tid.value(), 2u);
+  EXPECT_EQ(t.epoch(), 1u);
+  ASSERT_TRUE(t.Delete(0).ok());
+  EXPECT_EQ(t.epoch(), 2u);
+  EXPECT_FALSE(t.is_live(0));
+  EXPECT_TRUE(t.is_live(1));
+  EXPECT_EQ(t.num_rows(), 3u);   // tombstone stays in the heap
+  EXPECT_EQ(t.num_live(), 2u);
+
+  // Error paths: invalid insert is not logged; double delete and
+  // out-of-range delete fail.
+  EXPECT_FALSE(t.Insert({0, 0}, {2.0, 0.0}).ok());
+  EXPECT_EQ(t.epoch(), 2u);
+  EXPECT_EQ(t.Delete(0).code(), Status::Code::kNotFound);
+  EXPECT_EQ(t.Delete(99).code(), Status::Code::kInvalidArgument);
+
+  std::vector<Tid> ins, del;
+  t.delta().ChangesSince(0, &ins, &del);
+  EXPECT_EQ(ins, (std::vector<Tid>{2}));
+  EXPECT_EQ(del, (std::vector<Tid>{0}));
+  // Suffix after the insert: only the delete remains.
+  t.delta().ChangesSince(1, &ins, &del);
+  EXPECT_TRUE(ins.empty());
+  EXPECT_EQ(del, (std::vector<Tid>{0}));
+}
+
+TEST(DeltaStoreTest, TruncateKeepsTombstonesAndRebasesEpochs) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({0, 0}, {0.1, 0.1}).ok());
+  ASSERT_TRUE(t.Delete(1).ok());
+  EXPECT_EQ(t.delta().log_size(), 2u);
+
+  t.MarkCompacted();
+  EXPECT_EQ(t.epoch(), 2u);  // epochs keep counting across compactions
+  EXPECT_EQ(t.delta().compacted_epoch(), 2u);
+  EXPECT_EQ(t.delta().log_size(), 0u);
+  EXPECT_FALSE(t.is_live(1));             // tombstone survives
+  EXPECT_EQ(t.delta().num_deleted(), 1u);
+
+  std::vector<Tid> ins, del;
+  t.delta().ChangesSince(0, &ins, &del);  // clamped to the compacted epoch
+  EXPECT_TRUE(ins.empty());
+  EXPECT_TRUE(del.empty());
+
+  ASSERT_TRUE(t.Insert({1, 1}, {0.2, 0.2}).ok());
+  EXPECT_EQ(t.epoch(), 3u);
+  t.delta().ChangesSince(2, &ins, &del);
+  EXPECT_EQ(ins, (std::vector<Tid>{3}));
+  EXPECT_EQ(t.delta().InsertsSince(2), 1u);
+  EXPECT_EQ(t.delta().DeletesSince(2), 0u);
+}
+
+TEST(TableTest, TailScanChargesOnlyDeltaPages) {
+  TableSchema schema;
+  schema.sel_cardinality = {2};
+  schema.num_rank_dims = 1;
+  Table t(schema);  // row = 4 + 4 + 8 = 16 bytes -> 256 rows/page
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(t.AddRow({0}, {0.5}).ok());
+  }
+  Tid first_delta = static_cast<Tid>(t.num_rows());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({1}, {0.5}).ok());
+  }
+  PageStore store;
+  IoSession io{&store};
+  EXPECT_EQ(t.NumPages(io.page_size()), 3u);  // 610 rows / 256
+  EXPECT_EQ(t.TailPages(first_delta, io.page_size()), 1u);
+  t.ChargeTailScan(&io, first_delta);
+  EXPECT_EQ(io.stats(IoCategory::kTable).physical, 1u);
+  // Empty tail charges nothing.
+  t.ChargeTailScan(&io, static_cast<Tid>(t.num_rows()));
+  EXPECT_EQ(io.stats(IoCategory::kTable).physical, 1u);
 }
 
 TEST(TableTest, PageAccounting) {
