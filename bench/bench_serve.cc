@@ -1,0 +1,448 @@
+// End-to-end serving benchmark: drives a RankCubeServer over loopback TCP
+// with N tenants issuing mixed read/write traffic, in two disciplines:
+//
+//  * closed loop — each connection issues its next request the moment the
+//    previous response lands; measures the server's sustainable throughput
+//    and the per-request service latency.
+//  * open loop — requests arrive on a fixed global schedule (--qps)
+//    regardless of completions, and latency is measured from the scheduled
+//    arrival time, so queueing delay is charged honestly (no coordinated
+//    omission).
+//
+// Tenants are quota-limited (--max_inflight per tenant); with more
+// connections per tenant than in-flight slots the bench deliberately drives
+// admission control and reports the typed rejection counts next to the
+// latency percentiles — QUOTA_EXCEEDED responses are the admission design
+// working, not failures.
+//
+// Usage:
+//   bench_serve [--rows=N] [--tenants=N] [--conns=N] [--duration_ms=N]
+//               [--qps=N] [--write_pct=N] [--max_inflight=N]
+//               [--cache_pages=N] [--latency_us=N] [--json=PATH] [--smoke]
+//
+// --smoke shrinks everything for CI (2s total) and exits nonzero unless
+// both disciplines completed requests successfully.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/synthetic.h"
+#include "planner/rank_cube_db.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace rankcube {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Flags {
+  uint64_t rows = 20000;
+  int tenants = 4;
+  int conns = 4;  ///< connections per tenant
+  int duration_ms = 2000;
+  int qps = 2000;       ///< open-loop total arrival rate
+  int write_pct = 10;   ///< % of requests that are INSERT/DELETE
+  uint32_t max_inflight = 2;  ///< per-tenant quota (conns > this => rejections)
+  size_t cache_pages = 4096;
+  uint32_t latency_us = 20;
+  std::string json = "BENCH_serve.json";
+  bool smoke = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--rows=", &v)) {
+      f.rows = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--tenants=", &v)) {
+      f.tenants = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--conns=", &v)) {
+      f.conns = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--duration_ms=", &v)) {
+      f.duration_ms = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--qps=", &v)) {
+      f.qps = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--write_pct=", &v)) {
+      f.write_pct = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--max_inflight=", &v)) {
+      f.max_inflight = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--cache_pages=", &v)) {
+      f.cache_pages = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--latency_us=", &v)) {
+      f.latency_us = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--json=", &v)) {
+      f.json = v;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      f.smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(1);
+    }
+  }
+  if (f.smoke) {
+    f.rows = std::min<uint64_t>(f.rows, 4000);
+    f.duration_ms = std::min(f.duration_ms, 500);
+    f.qps = std::min(f.qps, 500);
+  }
+  if (f.tenants < 1) f.tenants = 1;
+  if (f.conns < 1) f.conns = 1;
+  return f;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Per-worker tally, merged after the run.
+struct Tally {
+  std::vector<double> latencies_ms;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t err_quota = 0;
+  uint64_t err_budget = 0;
+  uint64_t err_deadline = 0;
+  uint64_t err_other = 0;
+  uint64_t transport_errors = 0;
+
+  void Count(const Result<Response>& resp) {
+    ++requests;
+    if (!resp.ok()) {
+      ++transport_errors;
+      return;
+    }
+    switch (resp.value().code) {
+      case WireCode::kOk:
+        ++ok;
+        break;
+      case WireCode::kQuotaExceeded:
+        ++err_quota;
+        break;
+      case WireCode::kBudgetExceeded:
+        ++err_budget;
+        break;
+      case WireCode::kDeadlineExceeded:
+        ++err_deadline;
+        break;
+      default:
+        ++err_other;
+        break;
+    }
+  }
+
+  void Merge(const Tally& o) {
+    latencies_ms.insert(latencies_ms.end(), o.latencies_ms.begin(),
+                        o.latencies_ms.end());
+    requests += o.requests;
+    ok += o.ok;
+    err_quota += o.err_quota;
+    err_budget += o.err_budget;
+    err_deadline += o.err_deadline;
+    err_other += o.err_other;
+    transport_errors += o.transport_errors;
+  }
+};
+
+/// One request generator per connection: mixed reads (random top-k queries
+/// over the synthetic schema) and writes (INSERT, occasionally DELETE of a
+/// tid this worker inserted).
+class RequestGen {
+ public:
+  RequestGen(const TableSchema& schema, int write_pct, uint64_t seed)
+      : schema_(schema), write_pct_(write_pct), rng_(seed) {}
+
+  /// Issues one request on `client` and returns the response.
+  Result<Response> Issue(RankCubeClient& client) {
+    if (static_cast<int>(rng_() % 100) < write_pct_) return IssueWrite(client);
+    return client.Query(RandomQuery());
+  }
+
+ private:
+  WireQuerySpec RandomQuery() {
+    WireQuerySpec spec;
+    spec.k = 10;
+    spec.order = "linear:";
+    for (int d = 0; d < schema_.num_rank_dims; ++d) {
+      if (d > 0) spec.order += ',';
+      spec.order += std::to_string(1 + rng_() % 4);
+    }
+    // 0..2 predicates on distinct dimensions (duplicate dims would be
+    // rejected by query validation).
+    int npreds = static_cast<int>(rng_() % 3);
+    int32_t dim = static_cast<int32_t>(rng_() % schema_.num_sel_dims());
+    for (int i = 0; i < npreds && i < schema_.num_sel_dims(); ++i) {
+      int32_t val =
+          static_cast<int32_t>(rng_() % schema_.sel_cardinality[dim]);
+      spec.where.emplace_back(dim, val);
+      dim = (dim + 1) % schema_.num_sel_dims();
+    }
+    return spec;
+  }
+
+  Result<Response> IssueWrite(RankCubeClient& client) {
+    if (!inserted_.empty() && rng_() % 4 == 0) {
+      // Swap-remove so a tid is deleted at most once (tids are worker-
+      // private, so no other connection can have tombstoned it first).
+      size_t idx = rng_() % inserted_.size();
+      uint32_t tid = inserted_[idx];
+      inserted_[idx] = inserted_.back();
+      inserted_.pop_back();
+      return client.Delete(tid);
+    }
+    std::vector<int32_t> sel(schema_.num_sel_dims());
+    for (int d = 0; d < schema_.num_sel_dims(); ++d) {
+      sel[d] = static_cast<int32_t>(rng_() % schema_.sel_cardinality[d]);
+    }
+    std::vector<double> rank(schema_.num_rank_dims);
+    for (int d = 0; d < schema_.num_rank_dims; ++d) {
+      rank[d] = static_cast<double>(rng_() % 1000) / 1000.0;
+    }
+    Result<Response> resp = client.Insert(sel, rank);
+    if (resp.ok() && resp.value().ok() && !resp.value().lines.empty()) {
+      // "tid=N"
+      const std::string& line = resp.value().lines[0];
+      if (line.rfind("tid=", 0) == 0) {
+        inserted_.push_back(
+            static_cast<uint32_t>(std::strtoul(line.c_str() + 4, nullptr, 10)));
+      }
+    }
+    return resp;
+  }
+
+  TableSchema schema_;
+  int write_pct_;
+  std::mt19937_64 rng_;
+  std::vector<uint32_t> inserted_;
+};
+
+struct LoopResult {
+  Tally tally;
+  double wall_s = 0.0;
+
+  double Qps() const {
+    return wall_s > 0 ? static_cast<double>(tally.requests) / wall_s : 0.0;
+  }
+};
+
+/// Closed loop: every connection keeps exactly one request in flight.
+LoopResult RunClosedLoop(const Flags& flags, const TableSchema& schema,
+                         uint16_t port) {
+  int workers = flags.tenants * flags.conns;
+  std::vector<Tally> tallies(workers);
+  std::vector<std::thread> threads;
+  auto start = Clock::now();
+  auto end = start + std::chrono::milliseconds(flags.duration_ms);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      auto client = RankCubeClient::Connect("127.0.0.1", port);
+      if (!client.ok()) return;
+      std::string tenant = "t" + std::to_string(w % flags.tenants);
+      if (!client.value().Hello(tenant).ok()) return;
+      RequestGen gen(schema, flags.write_pct, 1000 + w);
+      while (Clock::now() < end) {
+        auto t0 = Clock::now();
+        Result<Response> resp = gen.Issue(client.value());
+        auto t1 = Clock::now();
+        tallies[w].Count(resp);
+        if (!resp.ok()) break;  // connection torn down
+        tallies[w].latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoopResult result;
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  for (const Tally& t : tallies) result.tally.Merge(t);
+  return result;
+}
+
+/// Open loop: arrivals on a fixed global schedule; latency includes the
+/// queueing delay behind slow responses (measured from scheduled arrival).
+LoopResult RunOpenLoop(const Flags& flags, const TableSchema& schema,
+                       uint16_t port) {
+  int workers = flags.tenants * flags.conns;
+  std::vector<Tally> tallies(workers);
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> next_arrival{0};
+  double interval_ns = 1e9 / std::max(1, flags.qps);
+  auto start = Clock::now();
+  auto deadline = start + std::chrono::milliseconds(flags.duration_ms);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      auto client = RankCubeClient::Connect("127.0.0.1", port);
+      if (!client.ok()) return;
+      std::string tenant = "t" + std::to_string(w % flags.tenants);
+      if (!client.value().Hello(tenant).ok()) return;
+      RequestGen gen(schema, flags.write_pct, 2000 + w);
+      while (true) {
+        uint64_t i = next_arrival.fetch_add(1, std::memory_order_relaxed);
+        auto arrival =
+            start + std::chrono::nanoseconds(
+                        static_cast<int64_t>(static_cast<double>(i) *
+                                             interval_ns));
+        if (arrival >= deadline) break;
+        std::this_thread::sleep_until(arrival);
+        Result<Response> resp = gen.Issue(client.value());
+        auto done = Clock::now();
+        tallies[w].Count(resp);
+        if (!resp.ok()) break;
+        tallies[w].latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(done - arrival).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoopResult result;
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  for (const Tally& t : tallies) result.tally.Merge(t);
+  return result;
+}
+
+void PrintLoop(const char* name, const LoopResult& r) {
+  std::printf(
+      "%-11s qps=%9.1f  reqs=%-7llu ok=%-7llu quota=%-6llu budget=%-5llu "
+      "deadline=%-5llu other=%-4llu p50=%7.3fms p99=%7.3fms p999=%7.3fms\n",
+      name, r.Qps(), static_cast<unsigned long long>(r.tally.requests),
+      static_cast<unsigned long long>(r.tally.ok),
+      static_cast<unsigned long long>(r.tally.err_quota),
+      static_cast<unsigned long long>(r.tally.err_budget),
+      static_cast<unsigned long long>(r.tally.err_deadline),
+      static_cast<unsigned long long>(r.tally.err_other),
+      Percentile(r.tally.latencies_ms, 0.50),
+      Percentile(r.tally.latencies_ms, 0.99),
+      Percentile(r.tally.latencies_ms, 0.999));
+}
+
+void WriteLoopJson(std::FILE* out, const char* name, const LoopResult& r) {
+  std::fprintf(
+      out,
+      "  \"%s\": {\"qps\": %.1f, \"requests\": %llu, \"ok\": %llu, "
+      "\"rejected_quota\": %llu, \"rejected_budget\": %llu, "
+      "\"rejected_deadline\": %llu, \"err_other\": %llu, "
+      "\"transport_errors\": %llu, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"p999_ms\": %.3f}",
+      name, r.Qps(), static_cast<unsigned long long>(r.tally.requests),
+      static_cast<unsigned long long>(r.tally.ok),
+      static_cast<unsigned long long>(r.tally.err_quota),
+      static_cast<unsigned long long>(r.tally.err_budget),
+      static_cast<unsigned long long>(r.tally.err_deadline),
+      static_cast<unsigned long long>(r.tally.err_other),
+      static_cast<unsigned long long>(r.tally.transport_errors),
+      Percentile(r.tally.latencies_ms, 0.50),
+      Percentile(r.tally.latencies_ms, 0.99),
+      Percentile(r.tally.latencies_ms, 0.999));
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  SyntheticSpec spec;
+  spec.num_rows = flags.rows;
+  spec.num_sel_dims = 3;
+  spec.cardinality = 8;
+  spec.num_rank_dims = 2;
+  spec.seed = 7;
+
+  RankCubeDb::Options db_options;
+  db_options.store.cache_pages = flags.cache_pages;
+  db_options.store.read_latency_us = flags.latency_us;
+  RankCubeDb db(GenerateSynthetic(spec), db_options);
+
+  RankCubeServer::Options server_options;
+  server_options.port = 0;  // ephemeral
+  for (int t = 0; t < flags.tenants; ++t) {
+    server_options.tenant_quotas["t" + std::to_string(t)] =
+        TenantQuota{flags.max_inflight, /*page_budget=*/0, /*deadline_ms=*/0};
+  }
+  RankCubeServer server(&db, server_options);
+  Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "bench_serve: rows=%llu tenants=%d conns/tenant=%d write_pct=%d "
+      "max_inflight=%u duration=%dms port=%u\n",
+      static_cast<unsigned long long>(flags.rows), flags.tenants, flags.conns,
+      flags.write_pct, flags.max_inflight, flags.duration_ms,
+      static_cast<unsigned>(server.port()));
+
+  const TableSchema& schema = db.table().schema();
+
+  // Warm the routed engines once so neither loop pays lazy-build I/O on its
+  // first request.
+  {
+    auto client = RankCubeClient::Connect("127.0.0.1", server.port());
+    if (client.ok()) {
+      RequestGen gen(schema, /*write_pct=*/0, 1);
+      for (int i = 0; i < 10; ++i) (void)gen.Issue(client.value());
+    }
+  }
+
+  LoopResult closed = RunClosedLoop(flags, schema, server.port());
+  PrintLoop("closed-loop", closed);
+  LoopResult open = RunOpenLoop(flags, schema, server.port());
+  PrintLoop("open-loop", open);
+
+  server.Stop();
+
+  std::FILE* out = std::fopen(flags.json.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"config\": {\"rows\": %llu, \"tenants\": %d, "
+               "\"conns_per_tenant\": %d, \"duration_ms\": %d, "
+               "\"open_loop_qps_target\": %d, \"write_pct\": %d, "
+               "\"max_inflight\": %u, \"cache_pages\": %zu, "
+               "\"latency_us\": %u},\n",
+               static_cast<unsigned long long>(flags.rows), flags.tenants,
+               flags.conns, flags.duration_ms, flags.qps, flags.write_pct,
+               flags.max_inflight, flags.cache_pages, flags.latency_us);
+  WriteLoopJson(out, "closed_loop", closed);
+  std::fprintf(out, ",\n");
+  WriteLoopJson(out, "open_loop", open);
+  std::fprintf(out, "\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", flags.json.c_str());
+
+  if (flags.smoke) {
+    bool healthy = closed.tally.ok > 0 && open.tally.ok > 0 &&
+                   closed.tally.transport_errors == 0 &&
+                   open.tally.transport_errors == 0 &&
+                   closed.tally.err_other == 0 && open.tally.err_other == 0;
+    if (!healthy) {
+      std::fprintf(stderr, "smoke check FAILED\n");
+      return 1;
+    }
+    std::printf("smoke check passed\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rankcube
+
+int main(int argc, char** argv) { return rankcube::Main(argc, argv); }

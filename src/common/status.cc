@@ -24,6 +24,15 @@ std::string Status::ToString() const {
     case Code::kOutOfRange:
       name = "OutOfRange";
       break;
+    case Code::kDeadlineExceeded:
+      name = "DeadlineExceeded";
+      break;
+    case Code::kResourceExhausted:
+      name = "ResourceExhausted";
+      break;
+    case Code::kInternal:
+      name = "Internal";
+      break;
   }
   return std::string(name) + ": " + message_;
 }

@@ -24,6 +24,9 @@ class Status {
     kNotSupported,
     kCorruption,
     kOutOfRange,
+    kDeadlineExceeded,
+    kResourceExhausted,
+    kInternal,
   };
 
   Status() : code_(Code::kOk) {}
@@ -43,6 +46,22 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(Code::kOutOfRange, std::move(msg));
+  }
+  /// A wall-clock deadline elapsed before (or while) the operation ran;
+  /// distinct from OutOfRange budget overruns so admission layers can tell
+  /// "too slow" from "too expensive".
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// A quota (tenant in-flight limit, connection limit, ...) rejected the
+  /// operation before it did any work; retrying later may succeed.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  /// An environment failure outside the library's contract (socket errors,
+  /// OS resources); the message carries the errno text.
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -64,6 +64,7 @@ Result<BatchReport> BatchExecutor::Run(const std::vector<TopKQuery>& workload,
   report.num_queries = workload.size();
   RC_RETURN_IF_ERROR(MaintainIfRequested(ctx.io, &report.maintenance_pages));
   uint64_t before = ctx.io->TotalPhysical();
+  uint64_t device_before = ctx.io->TotalDevice();
   for (const TopKQuery& query : workload) {
     Result<TopKResult> r = ExecuteOne(query, ctx);
     ++report.executed;
@@ -82,6 +83,7 @@ Result<BatchReport> BatchExecutor::Run(const std::vector<TopKQuery>& workload,
     }
   }
   report.physical_pages = ctx.io->TotalPhysical() - before;
+  report.device_pages = ctx.io->TotalDevice() - device_before;
   report.wall_ms = wall.ElapsedMs();
   return report;
 }
@@ -129,6 +131,10 @@ Result<BatchReport> BatchExecutor::ExecuteParallel(
       ExecContext ctx;
       ctx.io = &io;
       ctx.page_budget = options_.page_budget;
+      if (options_.deadline_ms > 0) {
+        ctx.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(options_.deadline_ms);
+      }
       Result<TopKResult> r = ExecuteOne(workload[i], ctx);
       sessions[w].MergeFrom(io);
       slot.executed = true;
@@ -176,6 +182,7 @@ Result<BatchReport> BatchExecutor::ExecuteParallel(
   }
   for (const IoSession& io : sessions) {
     report.physical_pages += io.TotalPhysical();
+    report.device_pages += io.TotalDevice();
     for (int c = 0; c < static_cast<int>(IoCategory::kNumCategories); ++c) {
       report.io[c] += io.stats(static_cast<IoCategory>(c));
     }

@@ -52,10 +52,14 @@ struct BatchOptions {
   bool stop_on_error = false;
   /// Physical-page budget applied to every query individually (0 = none);
   /// used by ExecuteAll / ExecuteParallel, which build their own contexts.
-  /// Note: physical counts depend on buffer-cache state, so with a
-  /// cache-enabled store a borderline query's pass/fail can differ between
-  /// schedules (as in any system that admits by physical I/O).
+  /// Charged pages are metered against the query's own session (see
+  /// io_session.h), so a borderline query's pass/fail verdict is identical
+  /// across thread counts and schedules.
   uint64_t page_budget = 0;
+  /// Wall-clock deadline applied to every query individually, measured from
+  /// that query's dispatch (0 = none); enforced by RankingEngine::Execute
+  /// with Status::DeadlineExceeded. Used by ExecuteAll / ExecuteParallel.
+  uint64_t deadline_ms = 0;
   /// Record every successful query's latency (ms, workload order) in
   /// BatchReport::latencies_ms, for percentile reporting.
   bool record_latencies = false;
@@ -76,7 +80,10 @@ struct BatchReport {
                        ///< failed == 0
 
   ExecStats total;              ///< accumulated over successful queries
-  uint64_t physical_pages = 0;  ///< physical pages the batch's sessions read
+  uint64_t physical_pages = 0;  ///< pages charged to the batch's sessions
+                                ///< (deterministic; see io_session.h)
+  uint64_t device_pages = 0;    ///< simulated device reads (shared-cache
+                                ///< misses; schedule-dependent by nature)
   /// Physical pages auto_maintain's pre-batch Maintain charged (not part
   /// of physical_pages: maintenance is amortized across the batch, the
   /// benchmarks report it separately).
@@ -154,11 +161,12 @@ class BatchExecutor {
 
   /// Executes the workload on `num_threads` workers (<= 1 falls back to
   /// ExecuteAll). Queries are claimed from a shared atomic cursor and each
-  /// runs in a fresh IoSession against the shared `store`. Result tuples
-  /// are identical to sequential execution; only cache hit/miss
-  /// attribution (physical_pages — and therefore page_budget verdicts on
-  /// borderline queries, see BatchOptions) may differ, since workers race
-  /// for the shared buffer cache.
+  /// runs in a fresh IoSession against the shared `store`. Result tuples,
+  /// per-query charged pages (physical_pages) and page_budget verdicts are
+  /// all identical to sequential execution regardless of scheduling: each
+  /// session meters its own accounting cache (io_session.h), so workers
+  /// racing for the shared buffer cache affect only wall-clock latency and
+  /// the device_pages figure.
   Result<BatchReport> ExecuteParallel(const std::vector<TopKQuery>& workload,
                                       const PageStore& store,
                                       int num_threads) const;

@@ -118,6 +118,12 @@ Result<TopKResult> RankingEngine::Execute(const TopKQuery& query,
     return Status::NotSupported("engine '" + name_ +
                                 "' does not evaluate boolean predicates");
   }
+  if (ctx.deadline_passed()) {
+    // Rejected before any page is read: a queued query whose deadline
+    // lapsed must not consume I/O it can no longer answer in time.
+    return Status::DeadlineExceeded("engine '" + name_ +
+                                    "' not started: deadline already passed");
+  }
   ctx.Trace(name_ + ": " + query.ToString());
 
   uint64_t before = ctx.io->TotalPhysical();
@@ -131,6 +137,13 @@ Result<TopKResult> RankingEngine::Execute(const TopKQuery& query,
     // layer must not retry-with-larger-budget a query that cannot succeed.
     ctx.Trace(name_ + ": error: " + result.status().ToString());
     return result;
+  }
+  if (ctx.deadline_passed()) {
+    // Checked before the budget: a query that overran both is reported as
+    // too slow — the verdict the caller observed first.
+    return Status::DeadlineExceeded("engine '" + name_ +
+                                    "' finished past the deadline (read " +
+                                    std::to_string(physical) + " pages)");
   }
   if (ctx.page_budget > 0 && physical > ctx.page_budget) {
     return Status::OutOfRange("engine '" + name_ + "' read " +

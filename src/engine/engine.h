@@ -11,6 +11,7 @@
 #ifndef RANKCUBE_ENGINE_ENGINE_H_
 #define RANKCUBE_ENGINE_ENGINE_H_
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
@@ -34,6 +35,21 @@ struct ExecContext {
   /// fails the query with Status::OutOfRange (the result is discarded), the
   /// admission-control contract a serving layer needs.
   uint64_t page_budget = 0;
+
+  /// Wall-clock deadline; default-constructed = none. Checked in the same
+  /// place as page_budget: a query already past its deadline is rejected
+  /// before doing any work, and one that finishes past it fails with
+  /// Status::DeadlineExceeded (distinct from the budget's OutOfRange, so a
+  /// serving layer can tell "too slow" from "too expensive"). The result of
+  /// an overrunning query is discarded, exactly like a budget overrun.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+  bool deadline_passed() const {
+    return has_deadline() && std::chrono::steady_clock::now() >= deadline;
+  }
 
   /// Trace hook; receives one line per execution phase when set.
   std::function<void(const std::string&)> trace;

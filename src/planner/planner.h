@@ -38,6 +38,12 @@ struct QueryOptions {
   /// RankingEngine::Execute exactly as in a direct ExecContext.
   uint64_t page_budget = 0;
 
+  /// Wall-clock deadline per query in milliseconds, measured from dispatch
+  /// (0 = none). Enforced next to the page budget with the distinct
+  /// Status::DeadlineExceeded, so admission layers can tell "too slow"
+  /// from "too expensive".
+  uint64_t deadline_ms = 0;
+
   /// Trace hook; receives planner decisions and engine phase lines.
   std::function<void(const std::string&)> trace;
 };

@@ -1,11 +1,37 @@
 #include "planner/rank_cube_db.h"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
 #include <utility>
 
 #include "planner/cost_model.h"
 
 namespace rankcube {
+
+std::string DbStats::ToString() const {
+  std::ostringstream os;
+  os << "rows=" << rows << "\n"
+     << "live_rows=" << live_rows << "\n"
+     << "epoch=" << epoch << "\n"
+     << "compacted_epoch=" << compacted_epoch << "\n"
+     << "pending_inserts=" << pending_inserts << "\n"
+     << "pending_deletes=" << pending_deletes << "\n"
+     << "engines_cataloged=" << engines_cataloged << "\n"
+     << "engines_built=" << engines_built << "\n"
+     << "construction_pages=" << construction_pages << "\n"
+     << "queries_executed=" << queries_executed << "\n"
+     << "query_failures=" << query_failures << "\n"
+     << "pages_logical=" << pages_logical << "\n"
+     << "pages_charged=" << pages_charged << "\n"
+     << "pages_device=" << pages_device << "\n"
+     << "cache_hit_rate=" << cache_hit_rate << "\n";
+  for (const auto& [name, f] : freshness) {
+    os << "freshness." << name << "=" << f.built_epoch << "/" << f.table_epoch
+       << "+" << f.pending_inserts << "-" << f.pending_deletes << "\n";
+  }
+  return os.str();
+}
 
 RankCubeDb::RankCubeDb(Table table, Options options)
     : table_(std::move(table)),
@@ -135,15 +161,32 @@ Result<TopKResult> RankCubeDb::Query(const TopKQuery& query,
                                      const QueryOptions& opts) {
   std::shared_lock<std::shared_mutex> read(ddl_mu_);
   auto routed = Route(query, opts);
-  if (!routed.ok()) return routed.status();
+  if (!routed.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++traffic_.queries_executed;
+    ++traffic_.query_failures;
+    return routed.status();
+  }
 
   IoSession io(&store_);
   ExecContext ctx;
   ctx.io = &io;
   ctx.page_budget = opts.page_budget;
+  if (opts.deadline_ms > 0) {
+    ctx.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(opts.deadline_ms);
+  }
   ctx.trace = opts.trace;
   Result<TopKResult> result = routed.value().engine->Execute(query, ctx);
   if (result.ok()) result.value().plan = routed.value().plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++traffic_.queries_executed;
+    if (!result.ok()) ++traffic_.query_failures;
+    traffic_.pages_logical += io.TotalLogical();
+    traffic_.pages_charged += io.TotalPhysical();
+    traffic_.pages_device += io.TotalDevice();
+  }
   return result;
 }
 
@@ -168,10 +211,21 @@ Result<BatchReport> RankCubeDb::QueryParallel(
   // writers wait for the batch to drain.
   std::shared_lock<std::shared_mutex> read(ddl_mu_);
   if (batch.page_budget == 0) batch.page_budget = opts.page_budget;
+  if (batch.deadline_ms == 0) batch.deadline_ms = opts.deadline_ms;
   BatchExecutor executor(
       [this, opts](const TopKQuery& query) { return Route(query, opts); },
       batch);
-  return executor.ExecuteParallel(workload, store_, num_threads);
+  auto report = executor.ExecuteParallel(workload, store_, num_threads);
+  if (report.ok()) {
+    const BatchReport& r = report.value();
+    std::lock_guard<std::mutex> lock(mu_);
+    traffic_.queries_executed += r.executed;
+    traffic_.query_failures += r.failed;
+    for (const IoStats& s : r.io) traffic_.pages_logical += s.logical;
+    traffic_.pages_charged += r.physical_pages;
+    traffic_.pages_device += r.device_pages;
+  }
+  return report;
 }
 
 std::vector<AccessStructureInfo> RankCubeDb::CatalogEntries() const {
@@ -193,6 +247,38 @@ std::map<std::string, FreshnessInfo> RankCubeDb::FreshnessByEngine() const {
     out.emplace(name, engine->Freshness());
   }
   return out;
+}
+
+DbStats RankCubeDb::Stats() const {
+  // Writers are excluded for the whole snapshot, so relation counters,
+  // delta drift and per-engine freshness describe one instant.
+  std::shared_lock<std::shared_mutex> read(ddl_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  DbStats s;
+  s.rows = table_.num_rows();
+  s.live_rows = table_.num_live();
+  s.epoch = table_.epoch();
+  const DeltaStore& delta = table_.delta();
+  s.compacted_epoch = delta.compacted_epoch();
+  s.pending_inserts = delta.InsertsSince(delta.compacted_epoch());
+  s.pending_deletes = delta.DeletesSince(delta.compacted_epoch());
+  s.engines_cataloged = catalog_.Keys().size();
+  s.engines_built = engines_.size();
+  for (const auto& [name, engine] : engines_) {
+    s.freshness.emplace(name, engine->Freshness());
+  }
+  s.construction_pages = build_io_.TotalPhysical();
+  s.queries_executed = traffic_.queries_executed;
+  s.query_failures = traffic_.query_failures;
+  s.pages_logical = traffic_.pages_logical;
+  s.pages_charged = traffic_.pages_charged;
+  s.pages_device = traffic_.pages_device;
+  s.cache_hit_rate =
+      s.pages_logical > 0
+          ? 1.0 - static_cast<double>(s.pages_device) /
+                      static_cast<double>(s.pages_logical)
+          : 0.0;
+  return s;
 }
 
 uint64_t RankCubeDb::construction_pages() const {

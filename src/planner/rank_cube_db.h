@@ -54,6 +54,40 @@
 
 namespace rankcube {
 
+/// Consistent point-in-time snapshot of the db: relation size, delta
+/// drift, per-structure freshness, and the cumulative query-traffic
+/// counters (the payload of the server's STATS verb). Taken under the
+/// same reader gate queries hold, so the fields are mutually consistent —
+/// rows/epoch/freshness all reflect one instant.
+struct DbStats {
+  // -- relation --
+  uint64_t rows = 0;       ///< heap rows incl. tombstones
+  uint64_t live_rows = 0;  ///< rows minus tombstones
+  uint64_t epoch = 0;
+  uint64_t compacted_epoch = 0;
+  uint64_t pending_inserts = 0;  ///< log entries since the last compaction
+  uint64_t pending_deletes = 0;  ///< (the delta drift every stale structure
+                                 ///< pays for at query time)
+  // -- structures --
+  size_t engines_cataloged = 0;
+  size_t engines_built = 0;
+  std::map<std::string, FreshnessInfo> freshness;  ///< built engines only
+  uint64_t construction_pages = 0;
+  // -- query traffic since construction --
+  uint64_t queries_executed = 0;
+  uint64_t query_failures = 0;  ///< incl. budget/deadline rejections
+  uint64_t pages_logical = 0;
+  uint64_t pages_charged = 0;  ///< deterministic per-query accounting
+  uint64_t pages_device = 0;   ///< actual simulated device reads
+  /// Shared-buffer-cache hit rate over all query I/O so far
+  /// (1 - device/logical); 0 when no pages were read yet.
+  double cache_hit_rate = 0.0;
+
+  /// "key=value" lines, one per field (freshness flattened per engine);
+  /// the STATS wire payload and a debugging aid.
+  std::string ToString() const;
+};
+
 /// What one Compact() call did.
 struct CompactionReport {
   uint64_t epoch = 0;            ///< epoch every structure now reflects
@@ -154,6 +188,11 @@ class RankCubeDb {
   /// Per-structure freshness snapshot for every *built* engine.
   std::map<std::string, FreshnessInfo> FreshnessByEngine() const;
 
+  /// Consistent snapshot of relation size, delta drift, per-engine
+  /// freshness and cumulative query-traffic counters (see DbStats).
+  /// Excludes writers for the duration of the snapshot.
+  DbStats Stats() const;
+
   /// Physical pages charged by all lazy structure builds so far.
   uint64_t construction_pages() const;
 
@@ -186,6 +225,17 @@ class RankCubeDb {
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<RankingEngine>> engines_;
   IoSession build_io_;
+
+  /// Cumulative query-traffic counters behind Stats(); guarded by mu_
+  /// (bumped once per query / once per batch, never on the page path).
+  struct TrafficCounters {
+    uint64_t queries_executed = 0;
+    uint64_t query_failures = 0;
+    uint64_t pages_logical = 0;
+    uint64_t pages_charged = 0;
+    uint64_t pages_device = 0;
+  };
+  TrafficCounters traffic_;
 };
 
 }  // namespace rankcube

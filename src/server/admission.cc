@@ -1,0 +1,84 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace rankcube {
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->Finish(tenant_, ok_);
+  controller_ = nullptr;
+}
+
+AdmissionController::Tenant& AdmissionController::TenantLocked(
+    const std::string& name) const {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(name, Tenant{default_quota_, TenantCounters{}}).first;
+  }
+  return it->second;
+}
+
+void AdmissionController::SetQuota(const std::string& tenant,
+                                   TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantLocked(tenant).quota = quota;
+}
+
+TenantQuota AdmissionController::QuotaFor(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TenantLocked(tenant).quota;
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = TenantLocked(tenant);
+  if (t.quota.max_inflight > 0 &&
+      t.counters.inflight >= t.quota.max_inflight) {
+    ++t.counters.rejected;
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' at its in-flight limit (" +
+        std::to_string(t.quota.max_inflight) + "); rejected, not queued");
+  }
+  ++t.counters.inflight;
+  ++t.counters.admitted;
+  return Ticket(this, tenant);
+}
+
+std::pair<uint64_t, uint64_t> AdmissionController::Clamp(
+    const std::string& tenant, uint64_t requested_budget,
+    uint64_t requested_deadline_ms) const {
+  TenantQuota quota = QuotaFor(tenant);
+  uint64_t budget = requested_budget;
+  if (quota.page_budget > 0) {
+    budget = budget == 0 ? quota.page_budget
+                         : std::min(budget, quota.page_budget);
+  }
+  uint64_t deadline = requested_deadline_ms;
+  if (quota.deadline_ms > 0) {
+    deadline = deadline == 0 ? quota.deadline_ms
+                             : std::min(deadline, quota.deadline_ms);
+  }
+  return {budget, deadline};
+}
+
+void AdmissionController::Finish(const std::string& tenant, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = TenantLocked(tenant);
+  if (t.counters.inflight > 0) --t.counters.inflight;
+  if (ok) {
+    ++t.counters.completed;
+  } else {
+    ++t.counters.failed;
+  }
+}
+
+std::map<std::string, TenantCounters> AdmissionController::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, TenantCounters> out;
+  for (const auto& [name, t] : tenants_) out.emplace(name, t.counters);
+  return out;
+}
+
+}  // namespace rankcube

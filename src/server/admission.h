@@ -1,0 +1,131 @@
+// Multi-tenant admission control for the serving layer.
+//
+// Every QUERY carries a tenant (set by HELLO); the controller enforces that
+// tenant's quota *before* the query touches the planner or a page:
+//
+//  * max_inflight — concurrent admitted queries. An over-quota query is
+//    rejected immediately with Status::ResourceExhausted (the wire's
+//    QUOTA_EXCEEDED), never queued: under overload a bounded system must
+//    shed load at the edge, not build an unbounded backlog whose entries
+//    will all miss their deadlines anyway.
+//  * page_budget — per-query physical-page cap, clamped onto the request
+//    and enforced by RankingEngine::Execute (deterministically, because
+//    charged pages are metered per session — see io_session.h).
+//  * deadline_ms — per-query wall-clock cap, clamped likewise and enforced
+//    with the distinct Status::DeadlineExceeded.
+//
+// Clamping (rather than rejecting) a request that asks for more than its
+// cap keeps the failure typed and at the enforcement point: the query runs
+// under the tenant's ceiling and fails with BUDGET/DEADLINE if it needed
+// more, which is the verdict an over-entitled request deserves.
+//
+// The controller is engine-agnostic and usable without the server: wrap any
+// RankCubeDb call between Admit() and the returned ticket's destruction.
+#ifndef RANKCUBE_SERVER_ADMISSION_H_
+#define RANKCUBE_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rankcube {
+
+/// Per-tenant serving limits; 0 always means "no limit".
+struct TenantQuota {
+  uint32_t max_inflight = 0;  ///< concurrent admitted queries
+  uint64_t page_budget = 0;   ///< per-query charged-page cap
+  uint64_t deadline_ms = 0;   ///< per-query wall-clock cap
+};
+
+/// What a tenant has done so far (returned by the STATS verb).
+struct TenantCounters {
+  uint32_t inflight = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;   ///< quota rejections (typed, never queued)
+  uint64_t completed = 0;  ///< admitted queries finished OK
+  uint64_t failed = 0;     ///< admitted queries that failed (incl.
+                           ///< budget/deadline overruns)
+};
+
+class AdmissionController {
+ public:
+  /// `default_quota` applies to tenants without an explicit SetQuota.
+  explicit AdmissionController(TenantQuota default_quota = TenantQuota())
+      : default_quota_(default_quota) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  void SetQuota(const std::string& tenant, TenantQuota quota);
+  TenantQuota QuotaFor(const std::string& tenant) const;
+
+  /// RAII in-flight slot: releases the tenant's slot on destruction and
+  /// records the query's outcome (call set_ok(true) on success; the default
+  /// records a failure).
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& o) noexcept { *this = std::move(o); }
+    Ticket& operator=(Ticket&& o) noexcept {
+      Release();
+      controller_ = o.controller_;
+      tenant_ = std::move(o.tenant_);
+      ok_ = o.ok_;
+      o.controller_ = nullptr;
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    void set_ok(bool ok) { ok_ = ok; }
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, std::string tenant)
+        : controller_(controller), tenant_(std::move(tenant)) {}
+    void Release();
+
+    AdmissionController* controller_ = nullptr;
+    std::string tenant_;
+    bool ok_ = false;
+  };
+
+  /// Admits one query for `tenant` or rejects it with ResourceExhausted —
+  /// immediately, never queued. The returned ticket holds the in-flight
+  /// slot until it is destroyed.
+  Result<Ticket> Admit(const std::string& tenant);
+
+  /// The effective per-query limits for a request that asked for
+  /// (`requested_budget`, `requested_deadline_ms`): the request's values
+  /// clamped to the tenant's caps (0 = unlimited on either side).
+  std::pair<uint64_t, uint64_t> Clamp(const std::string& tenant,
+                                      uint64_t requested_budget,
+                                      uint64_t requested_deadline_ms) const;
+
+  /// Counter snapshot for every tenant seen so far.
+  std::map<std::string, TenantCounters> Snapshot() const;
+
+ private:
+  struct Tenant {
+    TenantQuota quota;
+    TenantCounters counters;
+  };
+
+  /// Must hold mu_. Creates the tenant under the default quota on first use.
+  Tenant& TenantLocked(const std::string& name) const;
+
+  void Finish(const std::string& tenant, bool ok);
+
+  mutable std::mutex mu_;
+  TenantQuota default_quota_;
+  mutable std::map<std::string, Tenant> tenants_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_SERVER_ADMISSION_H_

@@ -1,0 +1,163 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace rankcube {
+
+std::string WireQuerySpec::ToArgs() const {
+  std::string args = "k=" + std::to_string(k) + " order=" + order;
+  if (!where.empty()) {
+    args += " where=";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) args += ',';
+      args += std::to_string(where[i].first) + ":" +
+              std::to_string(where[i].second);
+    }
+  }
+  if (budget > 0) args += " budget=" + std::to_string(budget);
+  if (deadline_ms > 0) args += " deadline_ms=" + std::to_string(deadline_ms);
+  if (!engine.empty()) args += " engine=" + engine;
+  return args;
+}
+
+Result<RankCubeClient> RankCubeClient::Connect(const std::string& host,
+                                               uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse host '" + host +
+                                   "' as an IPv4 address");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Internal("connect(" + host + ":" +
+                                std::to_string(port) +
+                                "): " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return RankCubeClient(fd);
+}
+
+RankCubeClient& RankCubeClient::operator=(RankCubeClient&& o) noexcept {
+  if (this != &o) {
+    CloseAbruptly();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+RankCubeClient::~RankCubeClient() { CloseAbruptly(); }
+
+void RankCubeClient::CloseAbruptly() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status RankCubeClient::Send(std::string_view payload) {
+  if (fd_ < 0) return Status::Internal("client is not connected");
+  std::string wire = EncodeFrame(payload);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      CloseAbruptly();
+      return Status::Internal(std::string("send(): ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Response> RankCubeClient::Call(std::string_view payload) {
+  RC_RETURN_IF_ERROR(Send(payload));
+
+  FrameReader reader;
+  char buf[4096];
+  std::string frame;
+  while (true) {
+    Result<bool> has = reader.Next(&frame);
+    if (!has.ok()) {
+      CloseAbruptly();
+      return has.status();
+    }
+    if (has.value()) break;
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      CloseAbruptly();
+      return Status::Internal(n == 0 ? "connection closed by server"
+                                     : std::string("recv(): ") +
+                                           std::strerror(errno));
+    }
+    reader.Feed(buf, static_cast<size_t>(n));
+  }
+  return Response::Parse(frame);
+}
+
+Result<Response> RankCubeClient::Insert(const std::vector<int32_t>& sel,
+                                        const std::vector<double>& rank) {
+  std::string payload = "INSERT sel=";
+  for (size_t i = 0; i < sel.size(); ++i) {
+    if (i > 0) payload += ',';
+    payload += std::to_string(sel[i]);
+  }
+  payload += " rank=";
+  char buf[64];
+  for (size_t i = 0; i < rank.size(); ++i) {
+    if (i > 0) payload += ',';
+    std::snprintf(buf, sizeof(buf), "%.17g", rank[i]);
+    payload += buf;
+  }
+  return Call(payload);
+}
+
+Result<std::vector<ScoredTuple>> RankCubeClient::QueryTuples(
+    const WireQuerySpec& spec) {
+  Result<Response> resp = Query(spec);
+  if (!resp.ok()) return resp.status();
+  const Response& r = resp.value();
+  if (!r.ok()) {
+    return Status::Internal(std::string(WireCodeName(r.code)) + ": " +
+                            r.message);
+  }
+  std::vector<ScoredTuple> tuples;
+  // First payload line is the summary; the rest are "<tid> <score>".
+  for (size_t i = 1; i < r.lines.size(); ++i) {
+    const std::string& line = r.lines[i];
+    size_t sp = line.find(' ');
+    if (sp == std::string::npos) {
+      return Status::Corruption("malformed result line '" + line + "'");
+    }
+    Result<uint64_t> tid = ParseU64Arg(line.substr(0, sp), "tid");
+    if (!tid.ok()) return tid.status();
+    Result<std::vector<double>> score = ParseDoubleList(line.substr(sp + 1));
+    if (!score.ok() || score.value().size() != 1) {
+      return Status::Corruption("malformed result line '" + line + "'");
+    }
+    tuples.push_back({static_cast<uint32_t>(tid.value()), score.value()[0]});
+  }
+  return tuples;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,105 @@
+// Minimal blocking client for the rankcubed wire protocol.
+//
+//   auto client = RankCubeClient::Connect("127.0.0.1", port);
+//   RC_RETURN_IF_ERROR(client.value().Hello("tenant-a").status());
+//   WireQuerySpec spec;
+//   spec.k = 10;
+//   spec.order = "linear:1,2";
+//   spec.where = {{0, 3}};
+//   auto tuples = client.value().QueryTuples(spec);
+//
+// One request in flight per connection (the protocol is strictly
+// request/response); concurrency comes from opening one client per worker,
+// which is exactly how bench_serve and the server tests drive load. Every
+// call surfaces the server's typed wire code through Response::code, and
+// transport-level failures (connection reset, truncated frame) come back as
+// error Statuses — the two are deliberately distinct.
+#ifndef RANKCUBE_SERVER_CLIENT_H_
+#define RANKCUBE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "func/query.h"  // ScoredTuple
+#include "server/protocol.h"
+
+namespace rankcube {
+
+/// A QUERY/EXPLAIN request in wire terms (the client never needs the
+/// engine-side TopKQuery types).
+struct WireQuerySpec {
+  int k = 10;
+  std::string order;  ///< "kind:w0,w1[@t0,t1]" — see protocol.h grammar
+  std::vector<std::pair<int32_t, int32_t>> where;  ///< (dim, value) pairs
+  uint64_t budget = 0;       ///< requested page budget (0 = tenant default)
+  uint64_t deadline_ms = 0;  ///< requested deadline (0 = tenant default)
+  std::string engine;        ///< force a specific structure (tests/benches)
+
+  /// The wire argument string ("k=10 order=linear:1,2 where=0:3 ...").
+  std::string ToArgs() const;
+};
+
+class RankCubeClient {
+ public:
+  /// Opens a blocking TCP connection (IPv4).
+  static Result<RankCubeClient> Connect(const std::string& host,
+                                        uint16_t port);
+
+  RankCubeClient(RankCubeClient&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  RankCubeClient& operator=(RankCubeClient&& o) noexcept;
+  RankCubeClient(const RankCubeClient&) = delete;
+  RankCubeClient& operator=(const RankCubeClient&) = delete;
+  ~RankCubeClient();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request payload and reads one response frame. Transport
+  /// failures return an error Status; server-side failures return a
+  /// Response whose code is the typed wire error.
+  Result<Response> Call(std::string_view payload);
+
+  /// Sends one request frame WITHOUT waiting for the response — the
+  /// fire-and-vanish half of the disconnect tests (follow with
+  /// CloseAbruptly() to leave the server holding an orphaned query).
+  Status Send(std::string_view payload);
+
+  // --- verb helpers --------------------------------------------------------
+  Result<Response> Ping() { return Call("PING"); }
+  Result<Response> Hello(const std::string& tenant) {
+    return Call("HELLO tenant=" + tenant);
+  }
+  Result<Response> Query(const WireQuerySpec& spec) {
+    return Call("QUERY " + spec.ToArgs());
+  }
+  Result<Response> Explain(const WireQuerySpec& spec) {
+    return Call("EXPLAIN " + spec.ToArgs());
+  }
+  Result<Response> Insert(const std::vector<int32_t>& sel,
+                          const std::vector<double>& rank);
+  Result<Response> Delete(uint32_t tid) {
+    return Call("DELETE tid=" + std::to_string(tid));
+  }
+  Result<Response> Compact() { return Call("COMPACT"); }
+  Result<Response> Stats() { return Call("STATS"); }
+
+  /// Query() plus result decoding; a server-side error becomes an error
+  /// Status carrying "<CODE>: <message>".
+  Result<std::vector<ScoredTuple>> QueryTuples(const WireQuerySpec& spec);
+
+  /// Severs the connection without protocol shutdown — simulates a client
+  /// crashing mid-conversation (the disconnect-survival tests).
+  void CloseAbruptly();
+
+ private:
+  explicit RankCubeClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_SERVER_CLIENT_H_

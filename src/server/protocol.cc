@@ -1,0 +1,325 @@
+#include "server/protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+namespace rankcube {
+
+namespace {
+
+struct CodeName {
+  WireCode code;
+  const char* name;
+};
+
+constexpr CodeName kCodeNames[] = {
+    {WireCode::kOk, "OK"},
+    {WireCode::kBadRequest, "BAD_REQUEST"},
+    {WireCode::kTooLarge, "TOO_LARGE"},
+    {WireCode::kNotFound, "NOT_FOUND"},
+    {WireCode::kNotSupported, "NOT_SUPPORTED"},
+    {WireCode::kBudgetExceeded, "BUDGET_EXCEEDED"},
+    {WireCode::kDeadlineExceeded, "DEADLINE_EXCEEDED"},
+    {WireCode::kQuotaExceeded, "QUOTA_EXCEEDED"},
+    {WireCode::kCorruption, "CORRUPTION"},
+    {WireCode::kInternal, "INTERNAL"},
+};
+
+std::vector<std::string_view> SplitOn(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) pos = text.size();
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* WireCodeName(WireCode code) {
+  for (const CodeName& c : kCodeNames) {
+    if (c.code == code) return c.name;
+  }
+  return "INTERNAL";
+}
+
+WireCode WireCodeFromName(std::string_view name) {
+  for (const CodeName& c : kCodeNames) {
+    if (name == c.name) return c.code;
+  }
+  return WireCode::kInternal;
+}
+
+WireCode WireCodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+      return WireCode::kOk;
+    case Status::Code::kInvalidArgument:
+      return WireCode::kBadRequest;
+    case Status::Code::kNotFound:
+      return WireCode::kNotFound;
+    case Status::Code::kNotSupported:
+      return WireCode::kNotSupported;
+    case Status::Code::kCorruption:
+      return WireCode::kCorruption;
+    case Status::Code::kOutOfRange:
+      return WireCode::kBudgetExceeded;
+    case Status::Code::kDeadlineExceeded:
+      return WireCode::kDeadlineExceeded;
+    case Status::Code::kResourceExhausted:
+      return WireCode::kQuotaExceeded;
+    case Status::Code::kInternal:
+      return WireCode::kInternal;
+  }
+  return WireCode::kInternal;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(4 + payload.size());
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>(n & 0xFF));
+  out.append(payload);
+  return out;
+}
+
+Result<bool> FrameReader::Next(std::string* payload) {
+  if (buf_.size() < 4) return false;
+  uint32_t n = (static_cast<uint32_t>(static_cast<uint8_t>(buf_[0])) << 24) |
+               (static_cast<uint32_t>(static_cast<uint8_t>(buf_[1])) << 16) |
+               (static_cast<uint32_t>(static_cast<uint8_t>(buf_[2])) << 8) |
+               static_cast<uint32_t>(static_cast<uint8_t>(buf_[3]));
+  if (n > max_) {
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(n) + " bytes exceeds the " +
+        std::to_string(max_) + "-byte ceiling");
+  }
+  if (buf_.size() < 4 + static_cast<size_t>(n)) return false;
+  payload->assign(buf_, 4, n);
+  buf_.erase(0, 4 + static_cast<size_t>(n));
+  return true;
+}
+
+const std::string* Request::Find(std::string_view key) const {
+  const std::string* found = nullptr;
+  for (const auto& [k, v] : args) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+Result<Request> ParseRequest(std::string_view payload) {
+  Request req;
+  std::istringstream in{std::string(payload)};
+  std::string token;
+  if (!(in >> token)) {
+    return Status::InvalidArgument("empty request");
+  }
+  req.verb = token;
+  std::transform(req.verb.begin(), req.verb.end(), req.verb.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  while (in >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("malformed argument '" + token +
+                                     "' (expected key=value)");
+    }
+    req.args.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return req;
+}
+
+Response Response::Error(WireCode code, std::string message) {
+  Response r;
+  r.code = code;
+  // The status line is line-oriented: embedded newlines would desync the
+  // client's parse, so flatten them.
+  std::replace(message.begin(), message.end(), '\n', ' ');
+  r.message = std::move(message);
+  return r;
+}
+
+Response Response::FromStatus(const Status& status) {
+  if (status.ok()) return Ok();
+  return Error(WireCodeFromStatus(status), status.message());
+}
+
+std::string Response::Encode() const {
+  std::string out;
+  if (ok()) {
+    out = "OK";
+  } else {
+    out = "ERR ";
+    out += WireCodeName(code);
+    out += ' ';
+    out += message;
+  }
+  for (const std::string& line : lines) {
+    out += '\n';
+    out += line;
+  }
+  return out;
+}
+
+Result<Response> Response::Parse(std::string_view payload) {
+  Response r;
+  std::vector<std::string_view> lines = SplitOn(payload, '\n');
+  if (lines.empty() || lines[0].empty()) {
+    return Status::Corruption("response frame has no status line");
+  }
+  std::string_view head = lines[0];
+  if (head == "OK" || head.substr(0, 3) == "OK ") {
+    r.code = WireCode::kOk;
+  } else if (head.substr(0, 4) == "ERR ") {
+    std::string_view rest = head.substr(4);
+    size_t sp = rest.find(' ');
+    std::string_view name = sp == std::string_view::npos ? rest
+                                                         : rest.substr(0, sp);
+    r.code = WireCodeFromName(name);
+    if (r.code == WireCode::kOk) {
+      return Status::Corruption("ERR status line with OK code");
+    }
+    if (sp != std::string_view::npos) r.message = std::string(rest.substr(sp + 1));
+  } else {
+    return Status::Corruption("unrecognized status line '" +
+                              std::string(head) + "'");
+  }
+  for (size_t i = 1; i < lines.size(); ++i) r.lines.emplace_back(lines[i]);
+  return r;
+}
+
+Result<uint64_t> ParseU64Arg(const std::string& value, std::string_view key) {
+  if (value.empty()) {
+    return Status::InvalidArgument(std::string(key) + " is empty");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size() || value[0] == '-') {
+    return Status::InvalidArgument("cannot parse " + std::string(key) + "='" +
+                                   value + "' as an unsigned integer");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<std::vector<double>> ParseDoubleList(std::string_view text) {
+  std::vector<double> out;
+  for (std::string_view part : SplitOn(text, ',')) {
+    std::string s(part);
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || errno != 0 || end != s.c_str() + s.size()) {
+      return Status::InvalidArgument("cannot parse '" + s + "' as a number");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<std::vector<int32_t>> ParseInt32List(std::string_view text) {
+  std::vector<int32_t> out;
+  for (std::string_view part : SplitOn(text, ',')) {
+    std::string s(part);
+    errno = 0;
+    char* end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (s.empty() || errno != 0 || end != s.c_str() + s.size() ||
+        v < INT32_MIN || v > INT32_MAX) {
+      return Status::InvalidArgument("cannot parse '" + s +
+                                     "' as a 32-bit integer");
+    }
+    out.push_back(static_cast<int32_t>(v));
+  }
+  return out;
+}
+
+Result<TopKQuery> ParseWireQuery(const Request& request,
+                                 const TableSchema& schema) {
+  TopKQuery query;
+
+  if (const std::string* k = request.Find("k")) {
+    auto v = ParseU64Arg(*k, "k");
+    if (!v.ok()) return v.status();
+    if (v.value() == 0 || v.value() > 1000000) {
+      return Status::InvalidArgument("k=" + *k + " out of range");
+    }
+    query.k = static_cast<int>(v.value());
+  }
+
+  const std::string* order = request.Find("order");
+  if (order == nullptr) {
+    return Status::InvalidArgument("QUERY requires order=<fn>");
+  }
+  size_t colon = order->find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("order needs kind:weights, got '" + *order +
+                                   "'");
+  }
+  std::string kind = order->substr(0, colon);
+  std::string_view spec = std::string_view(*order).substr(colon + 1);
+  size_t at = spec.find('@');
+  auto weights = ParseDoubleList(spec.substr(0, at));
+  if (!weights.ok()) return weights.status();
+  std::vector<double> targets;
+  if (at != std::string_view::npos) {
+    auto t = ParseDoubleList(spec.substr(at + 1));
+    if (!t.ok()) return t.status();
+    targets = std::move(t).value();
+  }
+  if (kind == "linear") {
+    query.function = std::make_shared<LinearFunction>(std::move(weights).value());
+  } else if (kind == "sqlinear") {
+    query.function = std::make_shared<SquaredLinear>(std::move(weights).value());
+  } else if (kind == "l1" || kind == "dist") {
+    if (targets.size() != weights.value().size()) {
+      return Status::InvalidArgument(
+          "order kind '" + kind + "' needs one target per weight ('w0,w1@t0,t1')");
+    }
+    if (kind == "l1") {
+      query.function = std::make_shared<L1Distance>(std::move(weights).value(),
+                                                    std::move(targets));
+    } else {
+      query.function = std::make_shared<QuadraticDistance>(
+          std::move(weights).value(), std::move(targets));
+    }
+  } else {
+    return Status::InvalidArgument("unknown order kind '" + kind +
+                                   "' (linear|l1|dist|sqlinear)");
+  }
+
+  if (const std::string* where = request.Find("where")) {
+    for (std::string_view part : SplitOn(*where, ',')) {
+      if (part.empty()) continue;
+      size_t c = part.find(':');
+      if (c == std::string_view::npos) {
+        return Status::InvalidArgument("where needs dim:value pairs, got '" +
+                                       std::string(part) + "'");
+      }
+      auto dims = ParseInt32List(part.substr(0, c));
+      auto vals = ParseInt32List(part.substr(c + 1));
+      if (!dims.ok()) return dims.status();
+      if (!vals.ok()) return vals.status();
+      if (dims.value().size() != 1 || vals.value().size() != 1) {
+        return Status::InvalidArgument("where needs dim:value pairs, got '" +
+                                       std::string(part) + "'");
+      }
+      query.predicates.push_back({dims.value()[0], vals.value()[0]});
+    }
+  }
+
+  RC_RETURN_IF_ERROR(ValidateQuery(query, schema));
+  return query;
+}
+
+}  // namespace rankcube

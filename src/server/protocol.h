@@ -1,0 +1,148 @@
+// Wire protocol of rankcubed: length-prefixed text frames.
+//
+// Every message — request or response — is one frame: a 4-byte big-endian
+// payload length followed by that many bytes of UTF-8 text. Inside a
+// request frame, the first whitespace-separated token is the verb and the
+// remaining tokens are key=value arguments:
+//
+//   HELLO   tenant=<name>
+//   PING
+//   QUERY   k=<n> order=<fn> [where=<d>:<v>[,<d>:<v>]...]
+//           [budget=<pages>] [deadline_ms=<ms>] [engine=<key>]
+//   EXPLAIN <same arguments as QUERY>
+//   INSERT  sel=<v0,v1,...> rank=<r0,r1,...>
+//   DELETE  tid=<n>
+//   COMPACT
+//   STATS
+//
+// with the ranking-function grammar
+//
+//   order = kind ':' w0 ',' w1 [',' ...] ['@' t0 ',' t1 [',' ...]]
+//   kind  = "linear" | "l1" | "dist" | "sqlinear"
+//
+// (one weight per ranking dimension, zero = uninvolved; l1/dist require
+// targets after '@'). A response frame's first line is the status —
+// `OK` or `ERR <CODE> <message>` — and any further lines are the payload
+// (result tuples, plan text, stats key=value lines). The typed error codes
+// are the admission-control contract: a client can tell a malformed request
+// (BAD_REQUEST) from a query that was too expensive (BUDGET_EXCEEDED), too
+// slow (DEADLINE_EXCEEDED), or rejected up front by a tenant quota
+// (QUOTA_EXCEEDED, never queued).
+#ifndef RANKCUBE_SERVER_PROTOCOL_H_
+#define RANKCUBE_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "func/query.h"
+
+namespace rankcube {
+
+/// Hard ceiling on one frame's payload; a peer announcing a larger frame is
+/// answered with TOO_LARGE and disconnected (the length header cannot be
+/// trusted as a buffer-size request).
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// Typed wire-level result codes (the protocol's mirror of Status::Code
+/// plus the server-side rejections that never reach the engine).
+enum class WireCode : int {
+  kOk = 0,
+  kBadRequest,        ///< unparsable frame/verb/argument, invalid query
+  kTooLarge,          ///< frame exceeds the size ceiling
+  kNotFound,          ///< unknown engine / tid
+  kNotSupported,      ///< engine cannot answer this query shape
+  kBudgetExceeded,    ///< page budget overrun (Status::kOutOfRange)
+  kDeadlineExceeded,  ///< wall-clock deadline overrun
+  kQuotaExceeded,     ///< tenant admission rejection (never queued)
+  kCorruption,
+  kInternal,          ///< anything else; the message says what
+};
+
+/// Stable wire spelling ("BUDGET_EXCEEDED", ...).
+const char* WireCodeName(WireCode code);
+/// Inverse of WireCodeName; kInternal for unknown spellings.
+WireCode WireCodeFromName(std::string_view name);
+/// Maps a library Status onto the wire (kOutOfRange -> BUDGET_EXCEEDED,
+/// kDeadlineExceeded -> DEADLINE_EXCEEDED, kResourceExhausted ->
+/// QUOTA_EXCEEDED, ...).
+WireCode WireCodeFromStatus(const Status& status);
+
+/// Frames `payload` (4-byte big-endian length + bytes).
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame decoder: feed raw socket bytes, pull complete payloads.
+/// Tolerates any fragmentation (one byte at a time, many frames per chunk).
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_(max_frame_bytes) {}
+
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// Extracts the next complete frame into `payload`. Returns true when one
+  /// was extracted, false when more bytes are needed, and an error Status
+  /// when the stream announced a frame larger than the ceiling — the
+  /// connection is unrecoverable then (the decoder cannot resync).
+  Result<bool> Next(std::string* payload);
+
+  size_t buffered_bytes() const { return buf_.size(); }
+
+ private:
+  size_t max_;
+  std::string buf_;
+};
+
+/// A parsed request: verb plus key=value arguments in wire order.
+struct Request {
+  std::string verb;  ///< uppercased
+  std::vector<std::pair<std::string, std::string>> args;
+
+  /// Last value for `key`, or nullptr.
+  const std::string* Find(std::string_view key) const;
+};
+
+/// Splits a request payload into verb + arguments. Fails (BAD_REQUEST
+/// territory) on an empty payload or an argument without '='.
+Result<Request> ParseRequest(std::string_view payload);
+
+/// A response: status line plus payload lines.
+struct Response {
+  WireCode code = WireCode::kOk;
+  std::string message;             ///< single-line error text when not ok
+  std::vector<std::string> lines;  ///< payload lines after the status line
+
+  bool ok() const { return code == WireCode::kOk; }
+
+  static Response Ok() { return Response{}; }
+  static Response Error(WireCode code, std::string message);
+  /// From a failed library Status (code mapped via WireCodeFromStatus).
+  static Response FromStatus(const Status& status);
+
+  /// Serializes to the unframed wire text ("OK\n..." / "ERR CODE msg\n...").
+  std::string Encode() const;
+  /// Parses wire text back (the client half).
+  static Result<Response> Parse(std::string_view payload);
+};
+
+/// Builds the TopKQuery of a QUERY/EXPLAIN request (k, order, where) and
+/// validates it against `schema` — the same ValidateQuery every engine
+/// runs, but failing before any planning or admission cost. budget /
+/// deadline_ms / engine are execution options, not part of the query; the
+/// server reads them separately.
+Result<TopKQuery> ParseWireQuery(const Request& request,
+                                 const TableSchema& schema);
+
+/// Parses an unsigned integer argument; fails with a message naming `key`.
+Result<uint64_t> ParseU64Arg(const std::string& value, std::string_view key);
+/// Parses a comma-separated list of doubles ("0.5,1,2e-3").
+Result<std::vector<double>> ParseDoubleList(std::string_view text);
+/// Parses a comma-separated list of int32 values.
+Result<std::vector<int32_t>> ParseInt32List(std::string_view text);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_SERVER_PROTOCOL_H_

@@ -1,0 +1,185 @@
+// rankcubed: the ranking-cube network daemon.
+//
+// Loads (or generates) a relation, builds a RankCubeDb over it, and serves
+// the wire protocol (server/protocol.h) until SIGINT/SIGTERM. All state is
+// in-memory — the binary exists to put the full read/write stack (planner
+// routing, lazy builds, delta maintenance, admission control) behind a
+// socket, so multiple tenants can drive one database concurrently.
+//
+// Usage:
+//   rankcubed [--host=127.0.0.1] [--port=0]
+//             [--rows=N] [--sel_dims=S] [--cardinality=C] [--rank_dims=R]
+//             [--zipf=THETA] [--seed=N]
+//             [--cache_pages=N] [--latency_us=N]
+//             [--max_inflight=N] [--page_budget=N] [--deadline_ms=N]
+//             [--tenant=name:inflight:budget:deadline_ms]...
+//
+// --port=0 picks an ephemeral port; the daemon always prints
+// "rankcubed listening on HOST:PORT" once it serves (scripts wait for that
+// line). The quota flags set the default tenant quota; each --tenant flag
+// overrides it for one named tenant (0 fields mean "no limit").
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <semaphore.h>
+#include <string>
+
+#include "gen/synthetic.h"
+#include "planner/rank_cube_db.h"
+#include "server/server.h"
+
+namespace rankcube {
+namespace {
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t rows = 20000;
+  int sel_dims = 3;
+  int32_t cardinality = 20;
+  int rank_dims = 2;
+  double zipf = 0.0;
+  uint64_t seed = 42;
+  size_t cache_pages = 4096;
+  uint32_t latency_us = 100;
+  TenantQuota default_quota{/*max_inflight=*/8, /*page_budget=*/0,
+                            /*deadline_ms=*/0};
+  std::map<std::string, TenantQuota> tenant_quotas;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+/// "name:inflight:budget:deadline_ms" (missing trailing fields = 0).
+bool ParseTenantFlag(const std::string& v, std::string* name,
+                     TenantQuota* quota) {
+  size_t c1 = v.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  *name = v.substr(0, c1);
+  *quota = TenantQuota{};
+  const char* p = v.c_str() + c1 + 1;
+  char* end = nullptr;
+  quota->max_inflight = static_cast<uint32_t>(std::strtoul(p, &end, 10));
+  if (*end == ':') {
+    quota->page_budget = std::strtoull(end + 1, &end, 10);
+    if (*end == ':') quota->deadline_ms = std::strtoull(end + 1, &end, 10);
+  }
+  return *end == '\0';
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host=H] [--port=P] [--rows=N] [--sel_dims=S] "
+               "[--cardinality=C] [--rank_dims=R] [--zipf=T] [--seed=N] "
+               "[--cache_pages=N] [--latency_us=N] [--max_inflight=N] "
+               "[--page_budget=N] [--deadline_ms=N] "
+               "[--tenant=name:inflight:budget:deadline_ms]...\n",
+               argv0);
+  return 2;
+}
+
+sem_t g_shutdown;
+
+void HandleSignal(int) { sem_post(&g_shutdown); }
+
+int Main(int argc, char** argv) {
+  Flags f;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--host=", &v)) {
+      f.host = v;
+    } else if (ParseFlag(argv[i], "--port=", &v)) {
+      f.port = static_cast<uint16_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--rows=", &v)) {
+      f.rows = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--sel_dims=", &v)) {
+      f.sel_dims = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--cardinality=", &v)) {
+      f.cardinality = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--rank_dims=", &v)) {
+      f.rank_dims = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--zipf=", &v)) {
+      f.zipf = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--seed=", &v)) {
+      f.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--cache_pages=", &v)) {
+      f.cache_pages = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--latency_us=", &v)) {
+      f.latency_us = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--max_inflight=", &v)) {
+      f.default_quota.max_inflight =
+          static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--page_budget=", &v)) {
+      f.default_quota.page_budget = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--deadline_ms=", &v)) {
+      f.default_quota.deadline_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--tenant=", &v)) {
+      std::string name;
+      TenantQuota quota;
+      if (!ParseTenantFlag(v, &name, &quota)) {
+        std::fprintf(stderr, "bad --tenant spec '%s'\n", v.c_str());
+        return Usage(argv[0]);
+      }
+      f.tenant_quotas[name] = quota;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+
+  SyntheticSpec spec;
+  spec.num_rows = f.rows;
+  spec.num_sel_dims = f.sel_dims;
+  spec.cardinality = f.cardinality;
+  spec.num_rank_dims = f.rank_dims;
+  spec.sel_zipf_theta = f.zipf;
+  spec.seed = f.seed;
+
+  std::fprintf(stderr,
+               "rankcubed: generating %llu rows (S=%d C=%d R=%d seed=%llu)\n",
+               static_cast<unsigned long long>(f.rows), f.sel_dims,
+               f.cardinality, f.rank_dims,
+               static_cast<unsigned long long>(f.seed));
+
+  RankCubeDb::Options db_options;
+  db_options.store.cache_pages = f.cache_pages;
+  db_options.store.read_latency_us = f.latency_us;
+  RankCubeDb db(GenerateSynthetic(spec), db_options);
+
+  RankCubeServer::Options server_options;
+  server_options.host = f.host;
+  server_options.port = f.port;
+  server_options.default_quota = f.default_quota;
+  server_options.tenant_quotas = f.tenant_quotas;
+  RankCubeServer server(&db, server_options);
+
+  Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "rankcubed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  // stdout + flush: scripts block on this exact line to learn the port.
+  std::printf("rankcubed listening on %s:%u\n", f.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  sem_init(&g_shutdown, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (sem_wait(&g_shutdown) != 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "rankcubed: shutting down\n");
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace rankcube
+
+int main(int argc, char** argv) { return rankcube::Main(argc, argv); }

@@ -1,0 +1,125 @@
+// rankcubed's serving core: a blocking TCP server over one RankCubeDb.
+//
+// Threading model: one accept thread runs a poll() loop on the listening
+// socket (woken at least every ~100ms to observe Stop()); each accepted
+// connection gets a dedicated thread doing blocking recv/send. That is the
+// right shape for this system because the expensive part of every request
+// is a top-k execution — CPU plus simulated device waits — not socket
+// shuffling: an event loop would buy nothing while costing the engine its
+// simple blocking I/O sessions.
+//
+// Request lifecycle per QUERY frame:
+//   parse (protocol.h) -> admit (admission.h, typed rejection, never
+//   queued) -> clamp budget/deadline to the tenant quota -> RankCubeDb
+//   ::Query (shared reader gate, fresh IoSession) -> encode tuples.
+// Writes (INSERT/DELETE/COMPACT) go straight to the db's single-writer
+// gate; admission governs queries only, since writes are serialized by
+// design and their cost is bounded by the mutation itself.
+//
+// A client vanishing mid-query must never hurt the server: sends use
+// MSG_NOSIGNAL (no SIGPIPE), a failed send just ends that connection's
+// thread, and the admission ticket + db locks unwind via RAII.
+#ifndef RANKCUBE_SERVER_SERVER_H_
+#define RANKCUBE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "planner/rank_cube_db.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/session.h"
+
+namespace rankcube {
+
+class RankCubeServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 picks an ephemeral port; read it back via port() after Start().
+    uint16_t port = 0;
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Quota for tenants not named in `tenant_quotas` (0-fields = no limit).
+    TenantQuota default_quota;
+    std::map<std::string, TenantQuota> tenant_quotas;
+  };
+
+  /// `db` must outlive the server. Call Start() to begin serving.
+  RankCubeServer(RankCubeDb* db, Options options);
+  ~RankCubeServer();
+
+  RankCubeServer(const RankCubeServer&) = delete;
+  RankCubeServer& operator=(const RankCubeServer&) = delete;
+
+  /// Binds + listens + launches the accept thread. Fails (kInternal) if the
+  /// address cannot be bound.
+  Status Start();
+
+  /// Stops accepting, shuts down every live connection, joins all threads.
+  /// Idempotent; also runs from the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Lifetime counters for STATS and tests.
+  struct Counters {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_active = 0;
+    uint64_t requests = 0;         ///< frames dispatched
+    uint64_t request_errors = 0;   ///< of those, answered with ERR
+    uint64_t protocol_errors = 0;  ///< connections dropped on framing abuse
+  };
+  Counters counters() const;
+
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(uint64_t conn_id, int fd);
+  /// Parses and executes one request payload against the db.
+  Response Dispatch(std::string_view payload, ServerSession& session);
+
+  Response DoQuery(const Request& req, ServerSession& session);
+  Response DoExplain(const Request& req);
+  Response DoInsert(const Request& req);
+  Response DoDelete(const Request& req);
+  Response DoCompact();
+  Response DoStats();
+
+  /// Join + erase connections whose threads have finished (accept thread),
+  /// or all of them (Stop).
+  void ReapConnections(bool all);
+
+  RankCubeDb* db_;
+  Options options_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;  ///< guards conns_ and counters_
+  std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_SERVER_SERVER_H_

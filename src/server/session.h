@@ -1,0 +1,27 @@
+// Per-connection serving state.
+//
+// One ServerSession lives for the lifetime of one TCP connection. It is the
+// bridge between the connection and the per-query machinery underneath:
+// every QUERY the connection submits runs in its own IoSession/ExecContext
+// (built fresh by RankCubeDb::Query), while the ServerSession carries the
+// state that outlives individual queries — the tenant identity admission
+// control charges (set once via HELLO, "default" until then) and the
+// connection-scoped counters STATS reports.
+#ifndef RANKCUBE_SERVER_SESSION_H_
+#define RANKCUBE_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rankcube {
+
+struct ServerSession {
+  uint64_t id = 0;                 ///< server-assigned connection id
+  std::string tenant = "default";  ///< admission identity (HELLO tenant=...)
+  uint64_t requests = 0;           ///< frames dispatched on this connection
+  uint64_t errors = 0;             ///< of those, answered with ERR
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_SERVER_SESSION_H_

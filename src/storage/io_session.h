@@ -9,12 +9,27 @@
 // Because counters are session-local, "pages this phase read" is a simple
 // snapshot difference on the owning thread — there is no racy delta against
 // a globally shared pager.
+//
+// Attribution: the session runs a *private* accounting cache with exactly
+// the shared cache's geometry (key, shard mapping, per-shard LRU capacity),
+// seeded cold when the session is created. `physical` counts misses against
+// that private cache, so a query's charged page count depends only on its
+// own access string — never on which concurrent query happened to warm the
+// shared cache first. That makes page_budget verdicts and per-query page
+// reports deterministic across thread counts and schedules (the property
+// BatchExecutor::ExecuteParallel and multi-tenant admission rely on). The
+// shared cache still decides `device` (true simulated device reads) and the
+// simulated read-latency waits, so wall-clock latency keeps the benefit of
+// cross-query warmth.
 #ifndef RANKCUBE_STORAGE_IO_SESSION_H_
 #define RANKCUBE_STORAGE_IO_SESSION_H_
 
 #include <array>
 #include <cstdint>
+#include <list>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "storage/page_store.h"
 
@@ -35,13 +50,15 @@ class IoSession {
   void Access(IoCategory cat, uint64_t key, uint64_t npages = 1) {
     IoStats& s = stats_[static_cast<int>(cat)];
     s.logical += npages;
-    uint64_t missed = npages;
-    if (npages == 1 && store_->cache_enabled() &&
-        store_->AdmitOrHit(cat, key)) {
-      missed = 0;
+    uint64_t charged = npages;
+    uint64_t device = npages;
+    if (npages == 1 && store_->cache_enabled()) {
+      if (AccountingHit(PageStore::MakeKey(cat, key))) charged = 0;
+      if (store_->AdmitOrHit(cat, key)) device = 0;
     }
-    s.physical += missed;
-    if (missed > 0 && store_->read_latency_us() > 0) SimulateWait(missed);
+    s.physical += charged;
+    s.device += device;
+    if (device > 0 && store_->read_latency_us() > 0) SimulateWait(device);
   }
 
   const IoStats& stats(IoCategory cat) const {
@@ -49,6 +66,9 @@ class IoSession {
   }
   uint64_t TotalLogical() const;
   uint64_t TotalPhysical() const;
+  /// Shared-cache misses across categories: the simulated device reads this
+  /// session actually waited on (schedule-dependent, unlike TotalPhysical).
+  uint64_t TotalDevice() const;
 
   void ResetStats() { stats_.fill(IoStats{}); }
 
@@ -59,12 +79,24 @@ class IoSession {
   std::string StatsString() const;
 
  private:
+  /// Probe-and-admit on the private accounting cache (same geometry as the
+  /// store's shared cache, session-local so no locking). Out of line: the
+  /// cache-disabled hot path never pays for it.
+  bool AccountingHit(uint64_t cache_key);
+
   /// Sleeps for `pages` worth of simulated device reads (out of line to
   /// keep <thread> out of this header's hot path).
   void SimulateWait(uint64_t pages) const;
 
+  /// One private LRU shard mirroring PageStore::Shard, minus the mutex.
+  struct AccountingShard {
+    std::list<uint64_t> lru;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> in_cache;
+  };
+
   const PageStore* store_;
   std::array<IoStats, static_cast<int>(IoCategory::kNumCategories)> stats_{};
+  std::vector<AccountingShard> accounting_;  ///< sized lazily on first probe
 };
 
 }  // namespace rankcube

@@ -44,8 +44,7 @@ PageStore::PageStore(Options options) : options_(options) {
 PageStore::Shard& PageStore::ShardOf(CacheKey key) const {
   // Multiplicative hash over the full key; the low bits of MakeKey carry the
   // page id, the high bits the category.
-  uint64_t h = key * 0x9E3779B97F4A7C15ull;
-  return shards_[(h >> 32) % shards_.size()];
+  return shards_[ShardHash(key) % shards_.size()];
 }
 
 bool PageStore::AdmitOrHit(IoCategory cat, uint64_t key) const {

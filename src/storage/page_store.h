@@ -46,17 +46,33 @@ const char* IoCategoryName(IoCategory cat);
 
 /// Per-category access counters. Owned by an IoSession (single-threaded);
 /// never shared between queries.
+///
+/// `physical` is *charged* I/O: misses against the session's own private
+/// accounting cache (same geometry as the store's shared cache, seeded cold
+/// at session birth). It depends only on the session's own access string, so
+/// per-query page counts — and the page_budget verdicts derived from them —
+/// are identical no matter which other queries run concurrently or in what
+/// order. `device` is the hardware truth: misses against the *shared* buffer
+/// cache, which is what the simulated read latency waits on and what a
+/// cache-hit-rate figure should report. On a quiet store with one session
+/// the two coincide; under concurrency only `device` varies with schedule.
 struct IoStats {
   uint64_t logical = 0;   ///< accesses requested
-  uint64_t physical = 0;  ///< accesses that missed the buffer cache
+  uint64_t physical = 0;  ///< accesses charged (missed the session's own
+                          ///< accounting cache; schedule-independent)
+  uint64_t device = 0;    ///< accesses that missed the shared buffer cache
+                          ///< (actual simulated device reads)
 
-  /// Buffer-cache hits (multi-page scans bypass the cache and add equally
-  /// to both counters, so the difference is exactly the hit count).
+  /// Accounting-cache hits (multi-page scans bypass the cache and add
+  /// equally to both counters, so the difference is exactly the hit count).
   uint64_t hits() const { return logical - physical; }
+  /// Shared-buffer-cache hits, including pages another session warmed.
+  uint64_t device_hits() const { return logical - device; }
 
   IoStats& operator+=(const IoStats& o) {
     logical += o.logical;
     physical += o.physical;
+    device += o.device;
     return *this;
   }
 };
@@ -89,6 +105,20 @@ class PageStore {
   size_t cache_pages() const { return options_.cache_pages; }
   uint32_t read_latency_us() const { return options_.read_latency_us; }
 
+  /// Cache geometry, exposed so IoSession's private accounting cache can
+  /// replicate the shared cache bit-for-bit (same key, same shard mapping,
+  /// same per-shard LRU capacity): a lone session then charges exactly the
+  /// pages the shared cache would miss.
+  size_t num_shards() const { return shards_.size(); }
+  size_t shard_capacity() const { return shard_capacity_; }
+  using CacheKey = uint64_t;
+  static CacheKey MakeKey(IoCategory cat, uint64_t key) {
+    return (static_cast<uint64_t>(cat) << 56) ^ (key & 0x00FFFFFFFFFFFFFFull);
+  }
+  static uint64_t ShardHash(CacheKey key) {
+    return (key * 0x9E3779B97F4A7C15ull) >> 32;
+  }
+
   /// Probes the cache for page `key` of `cat`. Returns true on a hit (the
   /// entry is refreshed to most-recent); on a miss the page is admitted,
   /// evicting the shard's least-recently-used entry if the shard is full.
@@ -99,11 +129,6 @@ class PageStore {
   void ClearCache() const;
 
  private:
-  using CacheKey = uint64_t;
-  static CacheKey MakeKey(IoCategory cat, uint64_t key) {
-    return (static_cast<uint64_t>(cat) << 56) ^ (key & 0x00FFFFFFFFFFFFFFull);
-  }
-
   /// One LRU shard; `mu` guards `lru` + `in_cache`. Most-recent at front.
   struct Shard {
     std::mutex mu;

@@ -147,5 +147,108 @@ TEST(ParallelParityTest, PerQueryBudgetAppliesPerSession) {
       << par.value().first_error.ToString();
 }
 
+TEST(ParallelParityTest, PageAttributionIsExactUnderSharedCache) {
+  // Regression for the old ExecuteParallel caveat: with a shared cache,
+  // physical_pages used to depend on which thread warmed which page first.
+  // Charged pages are now metered against each session's private
+  // accounting cache, so the count is identical across thread counts and
+  // equal to the sequential run — even on a store whose shared cache is
+  // hot, cold, or contended.
+  Fixture fx;
+  PageStore cached({.page_size = 4096, .cache_pages = 256,
+                    .cache_shards = 4});
+  IoSession build{&cached};
+  auto& registry = EngineRegistry::Global();
+  auto engine = registry.Create("grid", fx.table, build);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto workload = fx.Workload(2, 32);
+  BatchExecutor batch(engine->get(), {});
+  auto seq = batch.ExecuteAll(workload, cached);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_EQ(seq.value().failed, 0u) << seq.value().first_error.ToString();
+  const uint64_t expected = seq.value().physical_pages;
+  EXPECT_GT(expected, 0u);
+
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto par = batch.ExecuteParallel(workload, cached, threads);
+    ASSERT_TRUE(par.ok());
+    ASSERT_EQ(par.value().failed, 0u) << par.value().first_error.ToString();
+    EXPECT_EQ(par.value().physical_pages, expected);
+    // Device reads remain schedule-dependent, but never exceed the charged
+    // total: the private accounting cache is seeded cold, the shared cache
+    // may already be warm.
+    EXPECT_LE(par.value().device_pages, expected);
+  }
+}
+
+TEST(ParallelParityTest, BudgetVerdictsAreScheduleIndependent) {
+  // A budget chosen between two queries' charged footprints must fail the
+  // same queries at every thread count. Under the old shared-cache
+  // attribution a lucky schedule could squeeze an expensive query under
+  // budget; with per-session accounting the verdict is a pure function of
+  // the query.
+  Fixture fx;
+  PageStore cached({.page_size = 4096, .cache_pages = 1024,
+                    .cache_shards = 4});
+  IoSession build{&cached};
+  auto& registry = EngineRegistry::Global();
+  auto engine = registry.Create("grid", fx.table, build);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto workload = fx.Workload(2, 24);
+  // Find a budget that splits the workload: run unconstrained, take the
+  // median per-query charged count.
+  BatchExecutor unconstrained(engine->get(), {.keep_results = true});
+  auto base = unconstrained.ExecuteAll(workload, cached);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base.value().failed, 0u);
+  std::vector<uint64_t> per_query;
+  for (const auto& r : base.value().results) {
+    per_query.push_back(r.stats.pages_read);
+  }
+  std::vector<uint64_t> sorted = per_query;
+  std::sort(sorted.begin(), sorted.end());
+  const uint64_t budget = sorted[sorted.size() / 2];
+
+  // Which queries must fail is known in advance from the sequential run.
+  size_t expected_failures = 0;
+  for (uint64_t pages : per_query) {
+    if (pages > budget) ++expected_failures;
+  }
+  ASSERT_GT(expected_failures, 0u);
+  ASSERT_LT(expected_failures, workload.size());
+
+  BatchExecutor batch(engine->get(), {.page_budget = budget});
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto par = batch.ExecuteParallel(workload, cached, threads);
+    ASSERT_TRUE(par.ok());
+    EXPECT_EQ(par.value().failed, expected_failures);
+    EXPECT_EQ(par.value().first_error.code(), Status::Code::kOutOfRange)
+        << par.value().first_error.ToString();
+  }
+}
+
+TEST(ParallelParityTest, BatchDeadlineProducesTypedError) {
+  Fixture fx;
+  // Make every page cost real time so a 0-ms... rather, a 1-ms deadline
+  // reliably lapses mid-query on a full scan.
+  PageStore slow({.page_size = 4096, .read_latency_us = 500});
+  IoSession build{&slow};
+  auto& registry = EngineRegistry::Global();
+  auto engine = registry.Create("table_scan", fx.table, build);
+  ASSERT_TRUE(engine.ok());
+
+  auto workload = fx.Workload(1, 4);
+  BatchExecutor batch(engine->get(), {.deadline_ms = 1});
+  auto par = batch.ExecuteParallel(workload, slow, 2);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par.value().failed, workload.size());
+  EXPECT_EQ(par.value().first_error.code(), Status::Code::kDeadlineExceeded)
+      << par.value().first_error.ToString();
+}
+
 }  // namespace
 }  // namespace rankcube

@@ -95,19 +95,30 @@ TEST(IoSessionTest, HitMissAccountingIsPerCategory) {
   EXPECT_EQ(io.TotalPhysical(), 2u);
 }
 
-TEST(IoSessionTest, SessionsShareTheStoreCache) {
+TEST(IoSessionTest, SessionsShareTheStoreCacheForDeviceReadsOnly) {
+  // The shared cache decides *device* reads (b's second access of page 7 is
+  // a device hit another session warmed). Charged `physical` pages are
+  // metered per session, so b still pays for its own first touch — the
+  // attribution that makes per-query budgets schedule-independent.
   PageStore store({.page_size = 4096, .cache_pages = 8});
   IoSession a{&store};
   IoSession b{&store};
-  a.Access(IoCategory::kBTree, 7);  // miss, admits the page
-  b.Access(IoCategory::kBTree, 7);  // hit through the shared cache
+  a.Access(IoCategory::kBTree, 7);  // miss everywhere, admits the page
+  b.Access(IoCategory::kBTree, 7);  // device hit, charged miss
   EXPECT_EQ(a.stats(IoCategory::kBTree).physical, 1u);
-  EXPECT_EQ(b.stats(IoCategory::kBTree).physical, 0u);
+  EXPECT_EQ(a.stats(IoCategory::kBTree).device, 1u);
+  EXPECT_EQ(b.stats(IoCategory::kBTree).physical, 1u);
+  EXPECT_EQ(b.stats(IoCategory::kBTree).device, 0u);
+  EXPECT_EQ(b.stats(IoCategory::kBTree).device_hits(), 1u);
+
+  b.Access(IoCategory::kBTree, 7);  // now a hit in b's own accounting cache
+  EXPECT_EQ(b.stats(IoCategory::kBTree).physical, 1u);
   EXPECT_EQ(b.stats(IoCategory::kBTree).hits(), 1u);
 
-  store.ClearCache();
-  b.Access(IoCategory::kBTree, 7);  // cold again
+  store.ClearCache();  // clears the shared cache, not session accounting
+  b.Access(IoCategory::kBTree, 7);  // device-cold again, still charged-warm
   EXPECT_EQ(b.stats(IoCategory::kBTree).physical, 1u);
+  EXPECT_EQ(b.stats(IoCategory::kBTree).device, 1u);
 }
 
 TEST(IoSessionTest, MergeFromAccumulates) {
