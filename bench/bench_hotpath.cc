@@ -1,10 +1,19 @@
 // Scoring hot-path microbenchmark: per RankingFunction class and per block
-// size, compares the scalar inner loop every engine used to run (gather a
-// point vector + one virtual Evaluate per tuple) against the column-direct
-// EvaluateBatch path (one virtual call per block reading rank_col()
-// directly), plus the OfferBatch threshold filter against per-tuple Offer.
-// Like bench_parallel it needs no google-benchmark, always builds, and
-// emits a machine-readable JSON report (BENCH_hotpath.json) so the scoring
+// size, compares three generations of the scoring inner loop —
+//   scalar  the pre-batch loop (gather a point vector + one virtual
+//           Evaluate per tuple),
+//   batch   the column-direct EvaluateBatch path (one virtual call per
+//           block reading rank_col() directly) on a scrambled tid stream,
+//           the access pattern of a random retrieve step,
+//   fused   the specialized kernel layer (func/kernels/) on a scan-order
+//           stream, where every block is a consecutive tid run and takes
+//           the vectorized dense loop — the pattern every scan call site
+//           (table scan, delta overlay, grid blocks) feeds it,
+// plus the OfferBatch threshold filter against per-tuple Offer and a
+// whole-pipeline section (predicate filter + score + threshold offer,
+// fused vs the row-at-a-time loop the engines used to run). Like
+// bench_parallel it needs no google-benchmark, always builds, and emits a
+// machine-readable JSON report (BENCH_hotpath.json) so the scoring
 // throughput trajectory is tracked commit over commit.
 //
 // Usage:
@@ -14,13 +23,13 @@
 // (bench_parallel uses the same 20k-row synthetic relation): columns stay
 // cache-resident, so the figures isolate scoring *compute* throughput —
 // the gather + virtual-dispatch overhead the batch path removes. Larger
-// --rows shifts both paths toward memory-bound random column gathers and
-// compresses the gap; both regimes are real, this benchmark reports the
-// compute one.
+// --rows shifts the scrambled paths toward memory-bound random column
+// gathers and compresses that gap; the dense fused loop reads columns
+// sequentially and keeps vectorizing in either regime.
 //
-// --smoke shrinks rows/reps to a few milliseconds of work; CI runs it to
-// make sure the benchmark binary and the batch paths stay healthy under an
-// optimized build.
+// --smoke shrinks rows/reps to a few milliseconds of work AND enforces
+// floor ratios on the fused-vs-batch speedups; CI runs it so a change that
+// silently knocks a kernel off its specialized loop fails the build.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -33,6 +42,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/topk_query.h"
+#include "func/kernels/kernels.h"
 #include "func/ranking_function.h"
 #include "gen/synthetic.h"
 
@@ -104,7 +114,9 @@ struct Row {
   size_t block_size = 0;
   double scalar_mtps = 0.0;  ///< million tuples scored / second
   double batch_mtps = 0.0;
-  double speedup = 0.0;
+  double fused_mtps = 0.0;  ///< specialized kernel, scan-order stream
+  double speedup = 0.0;     ///< batch vs scalar (the historical column)
+  double fused_vs_batch = 0.0;
 };
 
 struct OfferRow {
@@ -113,6 +125,22 @@ struct OfferRow {
   double offer_batch_mtps = 0.0;
   double speedup = 0.0;
 };
+
+struct PipelineRow {
+  std::string function;
+  double legacy_mtps = 0.0;  ///< row-at-a-time predicate + batch score
+  double fused_mtps = 0.0;   ///< FusedScorer: filter/score/threshold fused
+  double speedup = 0.0;
+};
+
+/// Floor on fused-vs-batch speedup at block 1024, enforced under --smoke.
+/// Generous (roughly half the measured steady-state ratios) so shared CI
+/// runners pass, but tight enough that losing a dense kernel to a codegen
+/// or dispatch regression fails loudly.
+double SmokeFloor(const std::string& function) {
+  if (function == "constrained_sum") return 2.0;
+  return 1.5;
+}
 
 }  // namespace
 
@@ -134,6 +162,14 @@ int Main(int argc, char** argv) {
   for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) tids[t] = t;
   for (size_t i = tids.size() - 1; i > 0; --i) {
     std::swap(tids[i], tids[rng.UniformInt(i + 1)]);
+  }
+
+  // Scan-order stream for the fused column: every scan call site feeds the
+  // kernels consecutive tid runs, which is what unlocks the dense
+  // (vectorized) loops.
+  std::vector<Tid> scan_tids(table.num_rows());
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+    scan_tids[t] = t;
   }
 
   std::vector<std::pair<std::string, RankingFunctionPtr>> funcs;
@@ -158,13 +194,22 @@ int Main(int argc, char** argv) {
   std::vector<Row> rows;
   std::vector<double> scalar_out(tids.size());
   std::vector<double> batch_out(tids.size());
+  std::vector<double> fused_out(tids.size());
   std::vector<double> point;
   double sink = 0.0;
+  bool smoke_failed = false;
 
   for (const auto& [name, f] : funcs) {
+    kernels::BlockEvaluator eval(table, *f);
+    if (!eval.fused()) {
+      std::fprintf(stderr, "DISPATCH FAILURE: %s has no fused kernel\n",
+                   name.c_str());
+      return 1;
+    }
     for (size_t block : block_sizes) {
       // One warm pass each, also used as a correctness check: the batch
-      // path must reproduce the scalar scores bit for bit.
+      // path must reproduce the scalar scores bit for bit, and so must the
+      // fused kernel on the scan-order stream.
       ScalarScore(table, *f, tids.data(), tids.size(), &point,
                   scalar_out.data());
       for (size_t off = 0; off < tids.size(); off += block) {
@@ -181,11 +226,28 @@ int Main(int argc, char** argv) {
           return 1;
         }
       }
+      ScalarScore(table, *f, scan_tids.data(), scan_tids.size(), &point,
+                  scalar_out.data());
+      for (size_t off = 0; off < scan_tids.size(); off += block) {
+        size_t n = std::min(block, scan_tids.size() - off);
+        eval.Score(scan_tids.data() + off, n, fused_out.data() + off);
+      }
+      for (size_t i = 0; i < scan_tids.size(); ++i) {
+        if (scalar_out[i] != fused_out[i]) {
+          std::fprintf(stderr,
+                       "PARITY FAILURE: %s block=%zu tid=%u scalar=%.17g "
+                       "fused=%.17g\n",
+                       name.c_str(), block, scan_tids[i], scalar_out[i],
+                       fused_out[i]);
+          return 1;
+        }
+      }
 
       // Best of N trials per path: the minimum is the least-disturbed
       // measurement on a shared machine.
       double scalar_ms = kInfScore;
       double batch_ms = kInfScore;
+      double fused_ms = kInfScore;
       for (int trial = 0; trial < flags.trials; ++trial) {
         Stopwatch watch;
         for (int rep = 0; rep < flags.reps; ++rep) {
@@ -208,6 +270,16 @@ int Main(int argc, char** argv) {
           sink += batch_out[0];
         }
         batch_ms = std::min(batch_ms, watch.ElapsedMs());
+
+        watch.Restart();
+        for (int rep = 0; rep < flags.reps; ++rep) {
+          for (size_t off = 0; off < scan_tids.size(); off += block) {
+            size_t n = std::min(block, scan_tids.size() - off);
+            eval.Score(scan_tids.data() + off, n, fused_out.data() + off);
+          }
+          sink += fused_out[0];
+        }
+        fused_ms = std::min(fused_ms, watch.ElapsedMs());
       }
 
       const double scored =
@@ -217,12 +289,24 @@ int Main(int argc, char** argv) {
       row.block_size = block;
       row.scalar_mtps = scored / (scalar_ms / 1000.0);
       row.batch_mtps = scored / (batch_ms / 1000.0);
+      row.fused_mtps = scored / (fused_ms / 1000.0);
       row.speedup = scalar_ms / batch_ms;
+      row.fused_vs_batch = batch_ms / fused_ms;
       rows.push_back(row);
       std::printf(
           "%-16s block=%-5zu scalar=%8.1f Mt/s  batch=%8.1f Mt/s  "
-          "speedup=%5.2fx\n",
-          name.c_str(), block, row.scalar_mtps, row.batch_mtps, row.speedup);
+          "fused=%8.1f Mt/s  fused/batch=%5.2fx\n",
+          name.c_str(), block, row.scalar_mtps, row.batch_mtps,
+          row.fused_mtps, row.fused_vs_batch);
+
+      if (flags.smoke && block == 1024 &&
+          row.fused_vs_batch < SmokeFloor(name)) {
+        std::fprintf(stderr,
+                     "SMOKE FAILURE: %s fused/batch %.2fx below floor "
+                     "%.2fx at block 1024\n",
+                     name.c_str(), row.fused_vs_batch, SmokeFloor(name));
+        smoke_failed = true;
+      }
     }
   }
 
@@ -279,6 +363,87 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Whole-pipeline section: predicate filter + score + threshold offer over
+  // the full relation (the table-scan shape), fused vs the row-at-a-time
+  // loop the engines ran before the kernel layer. One equality predicate at
+  // ~1/8 selectivity; k=10.
+  std::vector<PipelineRow> pipeline_rows;
+  {
+    const std::vector<Predicate> preds = {{0, 3}};
+    const int k = 10;
+    const size_t n_rows = table.num_rows();
+    std::vector<Tid> block_tids;
+    std::vector<double> block_scores;
+    ExecStats pipe_stats;
+    for (const auto& [name, f] : funcs) {
+      double legacy_ms = kInfScore;
+      double fused_ms = kInfScore;
+      std::vector<ScoredTuple> legacy_top, fused_top;
+      for (int trial = 0; trial < flags.trials; ++trial) {
+        Stopwatch watch;
+        for (int rep = 0; rep < flags.reps; ++rep) {
+          TopKHeap heap(k);
+          block_tids.clear();
+          for (Tid t = 0; t < static_cast<Tid>(n_rows); ++t) {
+            bool ok = true;
+            for (const auto& p : preds) {
+              if (table.sel(t, p.dim) != p.value) {
+                ok = false;
+                break;
+              }
+            }
+            if (!ok) continue;
+            block_tids.push_back(t);
+            if (block_tids.size() >= 1024) {
+              block_scores.resize(block_tids.size());
+              f->EvaluateBatch(table, block_tids.data(), block_tids.size(),
+                               block_scores.data());
+              heap.OfferBatch(block_tids.data(), block_scores.data(),
+                              block_tids.size());
+              block_tids.clear();
+            }
+          }
+          if (!block_tids.empty()) {
+            block_scores.resize(block_tids.size());
+            f->EvaluateBatch(table, block_tids.data(), block_tids.size(),
+                             block_scores.data());
+            heap.OfferBatch(block_tids.data(), block_scores.data(),
+                            block_tids.size());
+            block_tids.clear();
+          }
+          legacy_top = heap.Sorted();
+        }
+        legacy_ms = std::min(legacy_ms, watch.ElapsedMs());
+
+        watch.Restart();
+        for (int rep = 0; rep < flags.reps; ++rep) {
+          TopKHeap heap(k);
+          kernels::FusedScorer scorer(table, *f, preds, &heap, &pipe_stats);
+          for (Tid t = 0; t < static_cast<Tid>(n_rows); ++t) scorer.Add(t);
+          scorer.Flush();
+          fused_top = heap.Sorted();
+        }
+        fused_ms = std::min(fused_ms, watch.ElapsedMs());
+      }
+      if (legacy_top != fused_top) {
+        std::fprintf(stderr, "PARITY FAILURE: pipeline %s\n", name.c_str());
+        return 1;
+      }
+
+      const double processed = static_cast<double>(n_rows) * flags.reps / 1e6;
+      PipelineRow row;
+      row.function = name;
+      row.legacy_mtps = processed / (legacy_ms / 1000.0);
+      row.fused_mtps = processed / (fused_ms / 1000.0);
+      row.speedup = legacy_ms / fused_ms;
+      pipeline_rows.push_back(row);
+      std::printf(
+          "pipeline %-16s legacy=%8.1f Mt/s  fused=%8.1f Mt/s  "
+          "speedup=%5.2fx\n",
+          name.c_str(), row.legacy_mtps, row.fused_mtps, row.speedup);
+    }
+  }
+
   std::FILE* out = std::fopen(flags.json.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
@@ -296,9 +461,12 @@ int Main(int argc, char** argv) {
     std::fprintf(out,
                  "    {\"function\": \"%s\", \"block_size\": %zu, "
                  "\"scalar_mtuples_per_s\": %.1f, "
-                 "\"batch_mtuples_per_s\": %.1f, \"speedup\": %.3f}%s\n",
+                 "\"batch_mtuples_per_s\": %.1f, "
+                 "\"fused_mtuples_per_s\": %.1f, \"speedup\": %.3f, "
+                 "\"fused_vs_batch\": %.3f}%s\n",
                  r.function.c_str(), r.block_size, r.scalar_mtps,
-                 r.batch_mtps, r.speedup, i + 1 < rows.size() ? "," : "");
+                 r.batch_mtps, r.fused_mtps, r.speedup, r.fused_vs_batch,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n  \"offer\": [\n");
   for (size_t i = 0; i < offer_rows.size(); ++i) {
@@ -310,9 +478,23 @@ int Main(int argc, char** argv) {
                  r.k, r.offer_mtps, r.offer_batch_mtps, r.speedup,
                  i + 1 < offer_rows.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n  \"pipeline\": [\n");
+  for (size_t i = 0; i < pipeline_rows.size(); ++i) {
+    const PipelineRow& r = pipeline_rows[i];
+    std::fprintf(out,
+                 "    {\"function\": \"%s\", "
+                 "\"legacy_mtuples_per_s\": %.1f, "
+                 "\"fused_mtuples_per_s\": %.1f, \"speedup\": %.3f}%s\n",
+                 r.function.c_str(), r.legacy_mtps, r.fused_mtps, r.speedup,
+                 i + 1 < pipeline_rows.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s (sink=%g)\n", flags.json.c_str(), sink);
+  if (smoke_failed) {
+    std::fprintf(stderr, "smoke thresholds not met\n");
+    return 1;
+  }
   return 0;
 }
 

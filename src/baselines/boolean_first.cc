@@ -2,7 +2,7 @@
 
 #include "baselines/baselines.h"
 #include "common/stopwatch.h"
-#include "core/batch_scorer.h"
+#include "func/kernels/kernels.h"
 
 namespace rankcube {
 
@@ -18,7 +18,8 @@ Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
   Stopwatch watch;
   uint64_t pages_before = io->TotalPhysical();
   TopKHeap topk(query.k);
-  BatchScorer scorer(table_, *query.function, &topk, stats);
+  kernels::FusedScorer scorer(table_, *query.function, query.predicates, &topk,
+                              stats);
 
   // Cost-pick index scan (most selective predicate) vs full table scan,
   // as the thesis does ("we report the best performance of the two").
@@ -45,28 +46,13 @@ Result<std::vector<ScoredTuple>> BooleanFirst::TopK(const TopKQuery& query,
   if (best == nullptr || index_cost >= scan_cost) {
     if (scan_pages > 0) io->Access(IoCategory::kTable, 0, scan_pages);
     for (Tid t = 0; t < built_rows_; ++t) {
-      if (!table_.is_live(t)) continue;
-      bool ok = true;
-      for (const auto& p : query.predicates) {
-        if (table_.sel(t, p.dim) != p.value) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) scorer.Add(t);
+      if (table_.is_live(t)) scorer.Add(t);
     }
   } else {
     posting_.ChargeListScan(io, best->dim, best->value);
     for (Tid t : posting_.Lookup(best->dim, best->value)) {
       table_.ChargeRowFetch(io, t);  // random access to the heap page
-      bool ok = true;
-      for (const auto& p : query.predicates) {
-        if (table_.sel(t, p.dim) != p.value) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) scorer.Add(t);
+      scorer.Add(t);
     }
   }
   scorer.Flush();

@@ -3,7 +3,7 @@
 
 #include "baselines/baselines.h"
 #include "common/stopwatch.h"
-#include "core/batch_scorer.h"
+#include "func/kernels/kernels.h"
 
 namespace rankcube {
 
@@ -78,11 +78,11 @@ Result<std::vector<ScoredTuple>> RankMapping::TopK(const TopKQuery& query,
   auto range = best->RangeQuery(query.predicates, bounds, io);
 
   TopKHeap topk(query.k);
-  // The composite index hands back its candidates as one block; score them
-  // with a single column-direct batch call.
-  std::vector<double> scores;
-  ScoreBlockAndOffer(table_, *query.function, range.candidates.data(),
-                     range.candidates.size(), &scores, &topk, stats);
+  // The composite index hands back its candidates as one block; run it
+  // through the fused kernel in one shot (predicates were already applied
+  // by the index prefix match).
+  kernels::FusedScorer scorer(table_, *query.function, &topk, stats);
+  scorer.ScoreBlock(range.candidates.data(), range.candidates.size());
   stats->time_ms += watch.ElapsedMs();
   stats->pages_read += io->TotalPhysical() - pages_before;
   return topk.Sorted();

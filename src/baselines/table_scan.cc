@@ -2,7 +2,7 @@
 
 #include "baselines/baselines.h"
 #include "common/stopwatch.h"
-#include "core/batch_scorer.h"
+#include "func/kernels/kernels.h"
 
 namespace rankcube {
 
@@ -15,17 +15,13 @@ Result<std::vector<ScoredTuple>> TableScanTopK(const Table& table,
   uint64_t pages_before = io->TotalPhysical();
   TopKHeap topk(query.k);
   table.ChargeFullScan(io);
-  BatchScorer scorer(table, *query.function, &topk, stats);
+  // Predicates are evaluated inside the fused scorer (column-direct, per
+  // block) rather than row-at-a-time here; with no tombstones the blocks are
+  // consecutive runs and take the vectorized dense path.
+  kernels::FusedScorer scorer(table, *query.function, query.predicates, &topk,
+                              stats);
   for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
-    if (!table.is_live(t)) continue;
-    bool ok = true;
-    for (const auto& p : query.predicates) {
-      if (table.sel(t, p.dim) != p.value) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) scorer.Add(t);
+    if (table.is_live(t)) scorer.Add(t);
   }
   scorer.Flush();
   stats->time_ms += watch.ElapsedMs();

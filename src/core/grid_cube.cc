@@ -7,7 +7,7 @@
 
 #include "bitmap/tidlist.h"
 #include "common/stopwatch.h"
-#include "core/batch_scorer.h"
+#include "func/kernels/kernels.h"
 #include "cube/fragments.h"
 
 namespace rankcube {
@@ -247,21 +247,20 @@ std::vector<ScoredTuple> GridNeighborhoodTopK(
   inserted.insert(first);
 
   std::vector<Tid> tids;
-  std::vector<double> scores;
+  kernels::FusedScorer scorer(table, f, &topk, stats);
   while (!h.empty()) {
     auto [lb, bid] = h.top();
     h.pop();
     // Stop condition: S_k <= S_unseen (lb of the best remaining block).
     if (topk.Full() && topk.KthScore() <= lb) break;
 
-    // Retrieve + evaluate: the block's tuples are scored in one
-    // column-direct EvaluateBatch call (§3.3.2 hands us tuples per block,
-    // so the batch boundary is free).
+    // Retrieve + evaluate: the block's tuples go through the fused kernel
+    // in one shot (§3.3.2 hands us tuples per block, so the batch boundary
+    // is free).
     source->GetTids(bid, io, stats, &tids);
     if (!tids.empty()) {
       base_blocks.GetBaseBlock(bid, io);  // fetch ranking values
-      ScoreBlockAndOffer(table, f, tids.data(), tids.size(), &scores, &topk,
-                         stats);
+      scorer.ScoreBlock(tids.data(), tids.size());
     }
     // Expand neighborhood (Lemma 1).
     for (Bid nb : grid.Neighbors(bid)) {

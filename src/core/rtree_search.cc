@@ -39,6 +39,7 @@ std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const Table& table,
 
   std::vector<Tid> leaf_tids;
   std::vector<double> leaf_scores;
+  kernels::BlockEvaluator eval(table, f);
   while (!heap.empty()) {
     HeapEntry e = heap.top();
     // Stop: f(topk.root) <= f(c_heap.root) (§4.3.2).
@@ -61,7 +62,7 @@ std::vector<ScoredTuple> RTreeBranchAndBoundTopK(const Table& table,
       // exact scores then enter the candidate heap (tuples stay lazy:
       // they are offered to the top-k only when popped, after boolean
       // verification).
-      ScoreLeafEntries(table, f, node, &leaf_tids, &leaf_scores, stats);
+      ScoreLeafEntries(eval, node, &leaf_tids, &leaf_scores, stats);
       for (size_t i = 0; i < node.entries.size(); ++i) {
         HeapEntry t;
         t.score = leaf_scores[i];

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/topk_query.h"
+#include "func/kernels/kernels.h"
 #include "index/rtree.h"
 
 namespace rankcube {
@@ -42,12 +43,14 @@ class NullPruner : public BooleanPruner {
   }
 };
 
-/// Scores every entry of an R-tree leaf with one column-direct
-/// EvaluateBatch call (entries are exact copies of the table's ranking
-/// rows), filling the parallel tids/scores arrays and charging
-/// stats->tuples_evaluated. Shared by the branch-and-bound search and the
-/// progressive ranked stream so the two leaf paths cannot diverge.
-inline void ScoreLeafEntries(const Table& table, const RankingFunction& f,
+/// Scores every entry of an R-tree leaf through a per-query fused
+/// BlockEvaluator (entries are exact copies of the table's ranking rows, so
+/// the evaluator reads the columns directly), filling the parallel
+/// tids/scores arrays and charging stats->tuples_evaluated. Shared by the
+/// branch-and-bound search and the progressive ranked stream so the two
+/// leaf paths cannot diverge. The evaluator is resolved once per query, not
+/// per leaf.
+inline void ScoreLeafEntries(const kernels::BlockEvaluator& eval,
                              const RTreeNode& node, std::vector<Tid>* tids,
                              std::vector<double>* scores, ExecStats* stats) {
   tids->resize(node.entries.size());
@@ -55,7 +58,7 @@ inline void ScoreLeafEntries(const Table& table, const RankingFunction& f,
     (*tids)[i] = node.entries[i].tid;
   }
   scores->resize(tids->size());
-  f.EvaluateBatch(table, tids->data(), tids->size(), scores->data());
+  if (!tids->empty()) eval.Score(tids->data(), tids->size(), scores->data());
   stats->tuples_evaluated += tids->size();
 }
 

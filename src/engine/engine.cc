@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include "common/stopwatch.h"
+#include "func/kernels/kernels.h"
 
 namespace rankcube {
 
@@ -67,39 +68,18 @@ Result<TopKResult> RankingEngine::ExecuteWithOverlay(const TopKQuery& query,
 
   // Exact delta scan: the appended rows form the heap tail, read
   // sequentially (charged), filtered by predicates + liveness, and scored
-  // through the same batch path every engine uses. Tuples a constrained
-  // function excludes score +inf and are compacted out, matching the
-  // oracle.
+  // through the same fused path every engine uses. Tuples a constrained
+  // function excludes score +inf and are compacted out (drop_inf), matching
+  // the oracle.
   if (!inserted.empty()) {
     table_->ChargeTailScan(ctx.io, inserted.front());
-    std::vector<Tid> tids;
-    tids.reserve(inserted.size());
+    kernels::FusedScorer scorer(*table_, *query.function, query.predicates,
+                                &topk, &result.value().stats,
+                                {.drop_inf = true});
     for (Tid t : inserted) {
-      if (!table_->is_live(t)) continue;
-      bool ok = true;
-      for (const auto& p : query.predicates) {
-        if (table_->sel(t, p.dim) != p.value) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) tids.push_back(t);
+      if (table_->is_live(t)) scorer.Add(t);
     }
-    if (!tids.empty()) {
-      std::vector<double> scores(tids.size());
-      query.function->EvaluateBatch(*table_, tids.data(), tids.size(),
-                                    scores.data());
-      size_t m = 0;
-      for (size_t i = 0; i < tids.size(); ++i) {
-        if (scores[i] < kInfScore) {
-          tids[m] = tids[i];
-          scores[m] = scores[i];
-          ++m;
-        }
-      }
-      topk.OfferBatch(tids.data(), scores.data(), m);
-      result.value().stats.tuples_evaluated += tids.size();
-    }
+    scorer.Flush();
   }
 
   result.value().tuples = topk.Sorted();

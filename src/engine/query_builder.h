@@ -17,7 +17,10 @@
 #include <utility>
 #include <vector>
 
+#include <string>
+
 #include "func/query.h"
+#include "func/score_expr.h"
 
 namespace rankcube {
 
@@ -56,6 +59,19 @@ class QueryBuilder {
                           std::vector<double> targets) {
     return OrderBy(std::make_shared<L1Distance>(std::move(weights),
                                                 std::move(targets)));
+  }
+
+  /// order by a user-defined monotone combination built from the ScoreExpr
+  /// algebra (score_expr.h): any tree over Const/Var/Add/Mul/Sub/Abs/
+  /// Square/Gate. `num_dims` is R, the table's ranking-dimension count.
+  /// Trees matching a built-in shape (linear, quadratic, ...) execute
+  /// through the same fused kernels as the native classes — bit-identical
+  /// scores; anything else runs through the generic tree evaluator with
+  /// interval-arithmetic lower bounds.
+  QueryBuilder& OrderByExpr(int num_dims, ScoreExprPtr expr,
+                            std::string name = "") {
+    return OrderBy(std::make_shared<ExprFunction>(num_dims, std::move(expr),
+                                                  std::move(name)));
   }
 
   QueryBuilder& Limit(int k) {

@@ -23,6 +23,9 @@
 
 namespace rankcube {
 
+class ScoreExpr;  // func/score_expr.h
+using ScoreExprPtr = std::shared_ptr<const ScoreExpr>;
+
 /// Positive infinity; the score of tuples excluded by a constrained function.
 inline constexpr double kInfScore = std::numeric_limits<double>::infinity();
 
@@ -79,6 +82,12 @@ class RankingFunction {
 
   virtual std::string ToString() const = 0;
 
+  /// The function as a ScoreExpr tree (func/score_expr.h) whose fold order
+  /// mirrors Evaluate() exactly, or null when no tree form exists. The fused
+  /// kernel layer classifies this tree to pick a specialized loop; null means
+  /// the generic EvaluateBatch path.
+  virtual ScoreExprPtr Expr() const { return nullptr; }
+
   double Evaluate(const std::vector<double>& p) const {
     return Evaluate(p.data());
   }
@@ -104,6 +113,7 @@ class LinearFunction : public RankingFunction {
   bool convex() const override { return true; }
   std::optional<std::vector<int>> MonotoneDirections() const override;
   std::string ToString() const override;
+  ScoreExprPtr Expr() const override;
 
   const std::vector<double>& weights() const { return w_; }
 
@@ -130,6 +140,7 @@ class QuadraticDistance : public RankingFunction {
   bool convex() const override { return true; }
   std::optional<std::vector<double>> SemiMonotoneCenter() const override;
   std::string ToString() const override;
+  ScoreExprPtr Expr() const override;
 
  private:
   std::vector<double> w_;
@@ -152,6 +163,7 @@ class L1Distance : public RankingFunction {
   bool convex() const override { return true; }
   std::optional<std::vector<double>> SemiMonotoneCenter() const override;
   std::string ToString() const override;
+  ScoreExprPtr Expr() const override;
 
  private:
   std::vector<double> w_;
@@ -175,6 +187,7 @@ class SquaredLinear : public RankingFunction {
   std::vector<double> Minimizer(const Box& box) const override;
   bool convex() const override { return true; }
   std::string ToString() const override;
+  ScoreExprPtr Expr() const override;
 
  private:
   double InnerInterval(const Box& box, double* lo, double* hi) const;
@@ -191,9 +204,12 @@ class GeneralAB : public RankingFunction {
   int num_dims() const override { return r_; }
   const std::vector<int>& involved_dims() const override { return dims_; }
   double Evaluate(const double* p) const override;
+  void EvaluateBatch(const Table& table, const Tid* tids, size_t n,
+                     double* out) const override;
   double LowerBound(const Box& box) const override;
   std::vector<double> Minimizer(const Box& box) const override;
   std::string ToString() const override;
+  ScoreExprPtr Expr() const override;
 
  private:
   int r_;
@@ -211,9 +227,12 @@ class ConstrainedSum : public RankingFunction {
   int num_dims() const override { return r_; }
   const std::vector<int>& involved_dims() const override { return dims_; }
   double Evaluate(const double* p) const override;
+  void EvaluateBatch(const Table& table, const Tid* tids, size_t n,
+                     double* out) const override;
   double LowerBound(const Box& box) const override;
   std::vector<double> Minimizer(const Box& box) const override;
   std::string ToString() const override;
+  ScoreExprPtr Expr() const override;
 
  private:
   int r_;

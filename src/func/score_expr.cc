@@ -1,0 +1,621 @@
+#include "func/score_expr.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "func/kernels/kernels.h"
+
+namespace rankcube {
+
+namespace {
+
+/// Interval product with the IEEE corner cases blunted: any NaN among the
+/// endpoint products (0 * inf from a gated subtree) widens to the
+/// everything-interval, which is still a valid enclosure.
+Interval IntervalMul(const Interval& a, const Interval& b) {
+  const double p[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+  Interval r{p[0], p[0]};
+  for (double v : p) {
+    if (std::isnan(v)) return {-kInfScore, kInfScore};
+    r.lo = std::min(r.lo, v);
+    r.hi = std::max(r.hi, v);
+  }
+  return r;
+}
+
+/// Range of x*x given the range of x (non-negative, unlike IntervalMul of
+/// an interval with itself, which forgets the two factors are equal).
+Interval IntervalSquare(const Interval& x) {
+  const double a = x.lo * x.lo, b = x.hi * x.hi;
+  if (x.lo <= 0.0 && 0.0 <= x.hi) return {0.0, std::max(a, b)};
+  return {std::min(a, b), std::max(a, b)};
+}
+
+Interval IntervalAbs(const Interval& x) {
+  const double a = std::abs(x.lo), b = std::abs(x.hi);
+  if (x.lo <= 0.0 && 0.0 <= x.hi) return {0.0, std::max(a, b)};
+  return {std::min(a, b), std::max(a, b)};
+}
+
+/// Sign of a node over `domain`: +1 when provably >= 0 everywhere, -1 when
+/// provably <= 0, nullopt otherwise.
+std::optional<int> RangeSign(const ScoreExpr& e, const Box& domain) {
+  Interval r = e.Range(domain);
+  if (r.lo >= 0.0) return +1;
+  if (r.hi <= 0.0) return -1;
+  return std::nullopt;
+}
+
+std::optional<int> Flip(std::optional<int> m) {
+  if (!m) return std::nullopt;
+  return -*m;
+}
+
+/// Add-style combination: directions must agree (0 is neutral).
+std::optional<int> CombineMono(std::optional<int> a, std::optional<int> b) {
+  if (!a || !b) return std::nullopt;
+  if (*a == 0) return b;
+  if (*b == 0 || *a == *b) return a;
+  return std::nullopt;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- factories --
+
+ScoreExprPtr ScoreExpr::Const(double value) {
+  auto e = std::shared_ptr<ScoreExpr>(new ScoreExpr());
+  e->kind_ = ExprKind::kConst;
+  e->value_ = value;
+  return e;
+}
+
+ScoreExprPtr ScoreExpr::Var(int dim) {
+  auto e = std::shared_ptr<ScoreExpr>(new ScoreExpr());
+  e->kind_ = ExprKind::kVar;
+  e->dim_ = dim;
+  return e;
+}
+
+ScoreExprPtr ScoreExpr::Add(std::vector<ScoreExprPtr> children) {
+  auto e = std::shared_ptr<ScoreExpr>(new ScoreExpr());
+  e->kind_ = ExprKind::kAdd;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ScoreExprPtr ScoreExpr::Mul(std::vector<ScoreExprPtr> children) {
+  auto e = std::shared_ptr<ScoreExpr>(new ScoreExpr());
+  e->kind_ = ExprKind::kMul;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ScoreExprPtr ScoreExpr::Sub(ScoreExprPtr a, ScoreExprPtr b) {
+  auto e = std::shared_ptr<ScoreExpr>(new ScoreExpr());
+  e->kind_ = ExprKind::kSub;
+  e->children_ = {std::move(a), std::move(b)};
+  return e;
+}
+
+ScoreExprPtr ScoreExpr::Abs(ScoreExprPtr child) {
+  auto e = std::shared_ptr<ScoreExpr>(new ScoreExpr());
+  e->kind_ = ExprKind::kAbs;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ScoreExprPtr ScoreExpr::Square(ScoreExprPtr child) {
+  auto e = std::shared_ptr<ScoreExpr>(new ScoreExpr());
+  e->kind_ = ExprKind::kSquare;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ScoreExprPtr ScoreExpr::Gate(ScoreExprPtr child, int dim, double lo,
+                             double hi) {
+  auto e = std::shared_ptr<ScoreExpr>(new ScoreExpr());
+  e->kind_ = ExprKind::kGate;
+  e->children_ = {std::move(child)};
+  e->dim_ = dim;
+  e->band_lo_ = lo;
+  e->band_hi_ = hi;
+  return e;
+}
+
+// ------------------------------------------------------------ evaluation --
+
+double ScoreExpr::Eval(const double* point) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return value_;
+    case ExprKind::kVar:
+      return point[dim_];
+    case ExprKind::kAdd: {
+      double s = 0.0;
+      for (const auto& c : children_) s += c->Eval(point);
+      return s;
+    }
+    case ExprKind::kMul: {
+      double s = children_[0]->Eval(point);
+      for (size_t i = 1; i < children_.size(); ++i) {
+        s *= children_[i]->Eval(point);
+      }
+      return s;
+    }
+    case ExprKind::kSub:
+      return children_[0]->Eval(point) - children_[1]->Eval(point);
+    case ExprKind::kAbs:
+      return std::abs(children_[0]->Eval(point));
+    case ExprKind::kSquare: {
+      const double v = children_[0]->Eval(point);
+      return v * v;
+    }
+    case ExprKind::kGate: {
+      const double x = point[dim_];
+      if (x < band_lo_ || x > band_hi_) return kInfScore;
+      return children_[0]->Eval(point);
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+Interval ScoreExpr::Range(const Box& box) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return {value_, value_};
+    case ExprKind::kVar:
+      return box[dim_];
+    case ExprKind::kAdd: {
+      Interval r{0.0, 0.0};
+      for (const auto& c : children_) {
+        Interval cr = c->Range(box);
+        r.lo += cr.lo;
+        r.hi += cr.hi;
+      }
+      return r;
+    }
+    case ExprKind::kMul: {
+      // Fold left; a pointer-shared adjacent pair (the w*(x-t)*(x-t) idiom
+      // the built-in quadratic emits) is ranged as one square so the bound
+      // stays non-negative.
+      Interval r{1.0, 1.0};
+      size_t i = 0;
+      if (children_.size() == 1 ||
+          children_[0].get() != children_[1].get()) {
+        r = children_[0]->Range(box);
+        i = 1;
+      }
+      while (i < children_.size()) {
+        if (i + 1 < children_.size() &&
+            children_[i].get() == children_[i + 1].get()) {
+          r = IntervalMul(r, IntervalSquare(children_[i]->Range(box)));
+          i += 2;
+        } else {
+          r = IntervalMul(r, children_[i]->Range(box));
+          i += 1;
+        }
+      }
+      return r;
+    }
+    case ExprKind::kSub: {
+      Interval a = children_[0]->Range(box);
+      Interval b = children_[1]->Range(box);
+      return {a.lo - b.hi, a.hi - b.lo};
+    }
+    case ExprKind::kAbs:
+      return IntervalAbs(children_[0]->Range(box));
+    case ExprKind::kSquare:
+      return IntervalSquare(children_[0]->Range(box));
+    case ExprKind::kGate: {
+      const Interval& iv = box[dim_];
+      if (iv.hi < band_lo_ || iv.lo > band_hi_) {
+        return {kInfScore, kInfScore};
+      }
+      // Inside the box the gate only passes points within the band:
+      // restrict the dimension before bounding the body (the same
+      // tightening the legacy ConstrainedSum::LowerBound applies).
+      Box refined = box;
+      refined[dim_] = {std::max(iv.lo, band_lo_), std::min(iv.hi, band_hi_)};
+      return children_[0]->Range(refined);
+    }
+  }
+  return {-kInfScore, kInfScore};  // unreachable
+}
+
+void ScoreExpr::CollectDims(std::vector<bool>* involved) const {
+  if (kind_ == ExprKind::kVar || kind_ == ExprKind::kGate) {
+    if (dim_ >= 0 && dim_ < static_cast<int>(involved->size())) {
+      (*involved)[dim_] = true;
+    }
+  }
+  for (const auto& c : children_) c->CollectDims(involved);
+}
+
+std::optional<int> ScoreExpr::Monotonicity(int dim, const Box& domain) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return 0;
+    case ExprKind::kVar:
+      return dim_ == dim ? +1 : 0;
+    case ExprKind::kAdd: {
+      std::optional<int> acc = 0;
+      for (const auto& c : children_) {
+        acc = CombineMono(acc, c->Monotonicity(dim, domain));
+        if (!acc) return std::nullopt;
+      }
+      return acc;
+    }
+    case ExprKind::kSub:
+      return CombineMono(children_[0]->Monotonicity(dim, domain),
+                         Flip(children_[1]->Monotonicity(dim, domain)));
+    case ExprKind::kMul: {
+      // Monotone when exactly one factor depends on the dimension and every
+      // other factor has constant sign over the domain.
+      std::optional<int> dep_mono = 0;
+      int sign = +1;
+      for (const auto& c : children_) {
+        std::optional<int> m = c->Monotonicity(dim, domain);
+        if (m.has_value() && *m == 0) {
+          std::optional<int> s = RangeSign(*c, domain);
+          if (!s) return std::nullopt;
+          sign *= *s;
+          continue;
+        }
+        if (dep_mono.has_value() && *dep_mono != 0) return std::nullopt;
+        if (!m) return std::nullopt;
+        dep_mono = m;
+      }
+      if (!dep_mono || *dep_mono == 0) return 0;
+      return *dep_mono * sign;
+    }
+    case ExprKind::kAbs:
+    case ExprKind::kSquare: {
+      std::optional<int> m = children_[0]->Monotonicity(dim, domain);
+      if (m.has_value() && *m == 0) return 0;
+      if (!m) return std::nullopt;
+      std::optional<int> s = RangeSign(*children_[0], domain);
+      if (!s) return std::nullopt;
+      return *m * *s;
+    }
+    case ExprKind::kGate: {
+      if (dim_ == dim) return std::nullopt;  // the gate is a jump
+      return children_[0]->Monotonicity(dim, domain);
+    }
+  }
+  return std::nullopt;  // unreachable
+}
+
+std::string ScoreExpr::ToString() const {
+  std::ostringstream os;
+  auto join = [&](const char* op) {
+    os << "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i) os << " " << op << " ";
+      os << children_[i]->ToString();
+    }
+    os << ")";
+  };
+  switch (kind_) {
+    case ExprKind::kConst:
+      os << value_;
+      break;
+    case ExprKind::kVar:
+      os << "N" << dim_;
+      break;
+    case ExprKind::kAdd:
+      join("+");
+      break;
+    case ExprKind::kMul:
+      join("*");
+      break;
+    case ExprKind::kSub:
+      os << "(" << children_[0]->ToString() << " - "
+         << children_[1]->ToString() << ")";
+      break;
+    case ExprKind::kAbs:
+      os << "|" << children_[0]->ToString() << "|";
+      break;
+    case ExprKind::kSquare:
+      os << children_[0]->ToString() << "^2";
+      break;
+    case ExprKind::kGate:
+      os << "gate(N" << dim_ << " in [" << band_lo_ << "," << band_hi_
+         << "]; " << children_[0]->ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+// -------------------------------------------------------- classification --
+
+namespace {
+
+bool IsConst(const ScoreExpr& e) { return e.kind() == ExprKind::kConst; }
+bool IsVar(const ScoreExpr& e) { return e.kind() == ExprKind::kVar; }
+
+/// w * N_d as Mul[Const, Var] / Mul[Var, Const] / bare Var (w = 1, exact
+/// since 1.0 * x == x).
+bool MatchLinearTerm(const ScoreExpr& e, int* dim, double* w) {
+  if (IsVar(e)) {
+    *dim = e.dim();
+    *w = 1.0;
+    return true;
+  }
+  if (e.kind() != ExprKind::kMul || e.children().size() != 2) return false;
+  const ScoreExpr& a = *e.children()[0];
+  const ScoreExpr& b = *e.children()[1];
+  if (IsConst(a) && IsVar(b)) {
+    *dim = b.dim();
+    *w = a.value();
+    return true;
+  }
+  if (IsVar(a) && IsConst(b)) {
+    *dim = a.dim();
+    *w = b.value();
+    return true;
+  }
+  return false;
+}
+
+/// N_d - t as Sub(Var, Const).
+bool MatchShiftedVar(const ScoreExpr& e, int* dim, double* t) {
+  if (e.kind() != ExprKind::kSub) return false;
+  const ScoreExpr& a = *e.children()[0];
+  const ScoreExpr& b = *e.children()[1];
+  if (!IsVar(a) || !IsConst(b)) return false;
+  *dim = a.dim();
+  *t = b.value();
+  return true;
+}
+
+/// w*(N_d - t)*(N_d - t) as Mul[Const, Sub, Sub] with matching Subs — the
+/// fold order the quadratic kernel reproduces.
+bool MatchQuadTerm(const ScoreExpr& e, int* dim, double* w, double* t) {
+  if (e.kind() != ExprKind::kMul || e.children().size() != 3) return false;
+  if (!IsConst(*e.children()[0])) return false;
+  int d1, d2;
+  double t1, t2;
+  if (!MatchShiftedVar(*e.children()[1], &d1, &t1)) return false;
+  if (!MatchShiftedVar(*e.children()[2], &d2, &t2)) return false;
+  if (d1 != d2 || t1 != t2) return false;
+  *dim = d1;
+  *w = e.children()[0]->value();
+  *t = t1;
+  return true;
+}
+
+/// w*|N_d - t| as Mul[Const, Abs(Sub)] or bare Abs(Sub) (w = 1).
+bool MatchL1Term(const ScoreExpr& e, int* dim, double* w, double* t) {
+  const ScoreExpr* abs_node = nullptr;
+  if (e.kind() == ExprKind::kAbs) {
+    abs_node = &e;
+    *w = 1.0;
+  } else if (e.kind() == ExprKind::kMul && e.children().size() == 2 &&
+             IsConst(*e.children()[0]) &&
+             e.children()[1]->kind() == ExprKind::kAbs) {
+    abs_node = e.children()[1].get();
+    *w = e.children()[0]->value();
+  } else {
+    return false;
+  }
+  return MatchShiftedVar(*abs_node->children()[0], dim, t);
+}
+
+/// Matches a sum (or a single bare term) against a per-term matcher.
+template <typename TermFn>
+bool MatchSum(const ScoreExpr& e, TermFn&& term) {
+  if (e.kind() == ExprKind::kAdd) {
+    if (e.children().empty()) return false;
+    for (const auto& c : e.children()) {
+      if (!term(*c)) return false;
+    }
+    return true;
+  }
+  return term(e);
+}
+
+bool MatchLinear(const ScoreExpr& e, ExprPlan* plan) {
+  return MatchSum(e, [plan](const ScoreExpr& c) {
+    int dim;
+    double w;
+    if (!MatchLinearTerm(c, &dim, &w)) return false;
+    plan->dims.push_back(dim);
+    plan->weights.push_back(w);
+    return true;
+  });
+}
+
+}  // namespace
+
+const char* FuncShapeName(FuncShape shape) {
+  switch (shape) {
+    case FuncShape::kGeneric:
+      return "generic";
+    case FuncShape::kLinear:
+      return "linear";
+    case FuncShape::kQuadratic:
+      return "quadratic";
+    case FuncShape::kL1:
+      return "l1";
+    case FuncShape::kSquaredLinear:
+      return "squared_linear";
+    case FuncShape::kGeneralAB:
+      return "general_ab";
+    case FuncShape::kConstrainedSum:
+      return "constrained_sum";
+  }
+  return "generic";
+}
+
+ExprPlan ClassifyExpr(const ScoreExpr& expr) {
+  ExprPlan plan;
+
+  // constrained-sum: Gate(N_b in band; N_a + N_b).
+  if (expr.kind() == ExprKind::kGate) {
+    const ScoreExpr& body = *expr.children()[0];
+    if (body.kind() == ExprKind::kAdd && body.children().size() == 2 &&
+        IsVar(*body.children()[0]) && IsVar(*body.children()[1]) &&
+        body.children()[1]->dim() == expr.dim()) {
+      plan.shape = FuncShape::kConstrainedSum;
+      plan.dims = {body.children()[0]->dim(), body.children()[1]->dim()};
+      plan.band_lo = expr.band_lo();
+      plan.band_hi = expr.band_hi();
+      return plan;
+    }
+    return plan;  // other gated bodies stay generic
+  }
+
+  if (expr.kind() == ExprKind::kSquare) {
+    const ScoreExpr& inner = *expr.children()[0];
+    // general-AB: (N_a - N_b^2)^2.
+    if (inner.kind() == ExprKind::kSub && IsVar(*inner.children()[0]) &&
+        inner.children()[1]->kind() == ExprKind::kSquare &&
+        IsVar(*inner.children()[1]->children()[0])) {
+      plan.shape = FuncShape::kGeneralAB;
+      plan.dims = {inner.children()[0]->dim(),
+                   inner.children()[1]->children()[0]->dim()};
+      return plan;
+    }
+    // squared-linear: (sum w_i N_i)^2.
+    if (MatchLinear(inner, &plan)) {
+      plan.shape = FuncShape::kSquaredLinear;
+      return plan;
+    }
+    plan = ExprPlan();
+    return plan;
+  }
+
+  if (MatchLinear(expr, &plan)) {
+    plan.shape = FuncShape::kLinear;
+    return plan;
+  }
+  plan = ExprPlan();
+
+  bool quad = MatchSum(expr, [&plan](const ScoreExpr& c) {
+    int dim;
+    double w, t;
+    if (!MatchQuadTerm(c, &dim, &w, &t)) return false;
+    plan.dims.push_back(dim);
+    plan.weights.push_back(w);
+    plan.targets.push_back(t);
+    return true;
+  });
+  if (quad) {
+    plan.shape = FuncShape::kQuadratic;
+    return plan;
+  }
+  plan = ExprPlan();
+
+  bool l1 = MatchSum(expr, [&plan](const ScoreExpr& c) {
+    int dim;
+    double w, t;
+    if (!MatchL1Term(c, &dim, &w, &t)) return false;
+    plan.dims.push_back(dim);
+    plan.weights.push_back(w);
+    plan.targets.push_back(t);
+    return true;
+  });
+  if (l1) {
+    plan.shape = FuncShape::kL1;
+    return plan;
+  }
+  return ExprPlan();
+}
+
+// ---------------------------------------------------------- ExprFunction --
+
+ExprFunction::ExprFunction(int num_dims, ScoreExprPtr expr, std::string name)
+    : r_(num_dims), expr_(std::move(expr)), name_(std::move(name)) {
+  std::vector<bool> involved(r_, false);
+  expr_->CollectDims(&involved);
+  for (int d = 0; d < r_; ++d) {
+    if (involved[d]) dims_.push_back(d);
+  }
+  plan_ = ClassifyExpr(*expr_);
+
+  bool weights_nonneg = true;
+  for (double w : plan_.weights) weights_nonneg &= w >= 0.0;
+  switch (plan_.shape) {
+    case FuncShape::kLinear:
+    case FuncShape::kSquaredLinear:
+      convex_ = true;
+      break;
+    case FuncShape::kQuadratic:
+    case FuncShape::kL1:
+      convex_ = weights_nonneg;
+      break;
+    default:
+      convex_ = false;
+  }
+
+  // Structural monotone directions over the normalized [0,1]^R domain; a
+  // single unknown dimension forfeits the claim (conservative: engines that
+  // need monotonicity simply are not offered it).
+  Box unit = Box::Unit(static_cast<size_t>(r_));
+  std::vector<int> dirs;
+  dirs.reserve(dims_.size());
+  bool all_known = true;
+  for (int d : dims_) {
+    std::optional<int> m = expr_->Monotonicity(d, unit);
+    if (!m) {
+      all_known = false;
+      break;
+    }
+    dirs.push_back(*m == 0 ? +1 : *m);  // constant-in-dim is trivially both
+  }
+  if (all_known && !dims_.empty()) monotone_ = std::move(dirs);
+
+  // Semi-monotone center for recognized distance shapes with non-negative
+  // weights and one term per dimension.
+  if ((plan_.shape == FuncShape::kQuadratic ||
+       plan_.shape == FuncShape::kL1) &&
+      weights_nonneg && plan_.dims.size() == dims_.size()) {
+    std::vector<double> center(dims_.size(), 0.0);
+    bool unique = true;
+    std::vector<bool> seen(r_, false);
+    for (size_t j = 0; j < plan_.dims.size(); ++j) {
+      int d = plan_.dims[j];
+      if (d < 0 || d >= r_ || seen[d]) {
+        unique = false;
+        break;
+      }
+      seen[d] = true;
+      size_t pos = 0;
+      while (dims_[pos] != d) ++pos;
+      center[pos] = plan_.targets[j];
+    }
+    if (unique) semi_center_ = std::move(center);
+  }
+}
+
+void ExprFunction::EvaluateBatch(const Table& table, const Tid* tids,
+                                 size_t n, double* out) const {
+  // A classified tree runs the same specialized column-direct kernel the
+  // fused scorer dispatches to; unrecognized trees take the generic
+  // gather-and-walk path. Both are bit-identical to Eval.
+  if (plan_.shape != FuncShape::kGeneric &&
+      kernels::EvalDispatch(plan_, table, tids, n, out)) {
+    return;
+  }
+  RankingFunction::EvaluateBatch(table, tids, n, out);
+}
+
+double ExprFunction::LowerBound(const Box& box) const {
+  return expr_->Range(box).lo;
+}
+
+std::optional<std::vector<int>> ExprFunction::MonotoneDirections() const {
+  return monotone_;
+}
+
+std::optional<std::vector<double>> ExprFunction::SemiMonotoneCenter() const {
+  return semi_center_;
+}
+
+std::string ExprFunction::ToString() const {
+  if (!name_.empty()) return name_ + "(" + expr_->ToString() + ")";
+  return "expr(" + expr_->ToString() + ")";
+}
+
+}  // namespace rankcube

@@ -1,0 +1,182 @@
+// Ranking functions as a small expression tree (the "algorithm" half of the
+// Halide-style split the ROADMAP calls for): a ScoreExpr is a closed algebra
+// of arithmetic nodes over the R ranking dimensions, and every built-in
+// RankingFunction class describes itself as one (RankingFunction::Expr()).
+// Two consumers read the tree:
+//
+//  * ExprFunction wraps any tree as a full RankingFunction — Evaluate walks
+//    the tree, LowerBound comes from interval arithmetic (always a valid
+//    box bound, so every pruning engine stays correct), and monotone /
+//    semi-monotone / convex metadata is derived structurally. This is the
+//    user-defined-function entry point: any monotone combination a caller
+//    assembles becomes a first-class query the planner can route.
+//
+//  * ClassifyExpr pattern-matches the tree against the kernel-specializable
+//    shapes (linear / quadratic / L1 / squared-linear / general-AB /
+//    constrained-sum) and flattens it into an ExprPlan, which the fused
+//    kernel layer (func/kernels/) binds to table columns. A user tree that
+//    happens to be, say, linear is dispatched to the same fused loop as
+//    LinearFunction itself; anything unrecognized falls back to the generic
+//    batch path and is merely slower, never wrong.
+//
+// Bit-exactness contract: Eval() uses fixed left-to-right folds, and the
+// trees emitted by the legacy classes mirror their Evaluate() operation
+// order exactly, so tree evaluation, the legacy scalar path, the
+// column-direct EvaluateBatch overrides, and the specialized kernels all
+// produce identical doubles (the parity tests compare with ==).
+#ifndef RANKCUBE_FUNC_SCORE_EXPR_H_
+#define RANKCUBE_FUNC_SCORE_EXPR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "func/ranking_function.h"
+
+namespace rankcube {
+
+/// Node kinds of the score algebra. Add and Mul are n-ary with defined
+/// left-to-right folding; everything else is unary/binary.
+enum class ExprKind {
+  kConst,   ///< literal
+  kVar,     ///< ranking dimension N_d
+  kAdd,     ///< left fold of + over children, starting at 0.0
+  kMul,     ///< left fold of * over children, starting at children[0]
+  kSub,     ///< children[0] - children[1]
+  kAbs,     ///< |child|
+  kSquare,  ///< child * child (child evaluated once)
+  kGate,    ///< +inf when N_dim outside [band_lo, band_hi], else child
+};
+
+class ScoreExpr;
+// ScoreExprPtr is declared in ranking_function.h next to Expr().
+
+/// Immutable expression node. Build with the static factories; nodes are
+/// shared freely (shared_ptr) and never mutated after construction.
+class ScoreExpr {
+ public:
+  static ScoreExprPtr Const(double value);
+  static ScoreExprPtr Var(int dim);
+  static ScoreExprPtr Add(std::vector<ScoreExprPtr> children);
+  static ScoreExprPtr Mul(std::vector<ScoreExprPtr> children);
+  static ScoreExprPtr Sub(ScoreExprPtr a, ScoreExprPtr b);
+  static ScoreExprPtr Abs(ScoreExprPtr child);
+  static ScoreExprPtr Square(ScoreExprPtr child);
+  /// The constrained-function gate of §5.4.2: +inf outside the band.
+  static ScoreExprPtr Gate(ScoreExprPtr child, int dim, double lo, double hi);
+
+  ExprKind kind() const { return kind_; }
+  double value() const { return value_; }
+  int dim() const { return dim_; }
+  double band_lo() const { return band_lo_; }
+  double band_hi() const { return band_hi_; }
+  const std::vector<ScoreExprPtr>& children() const { return children_; }
+
+  /// Exact score of a point (array of R values); deterministic fold order.
+  double Eval(const double* point) const;
+
+  /// Interval arithmetic over `box`: the true range of the node over the
+  /// box is contained in the returned interval, so .lo is always a valid
+  /// LowerBound. Adjacent structurally-shared (pointer-equal) Mul children
+  /// are ranged as squares, keeping w*(x-t)*(x-t) bounds non-negative.
+  Interval Range(const Box& box) const;
+
+  /// Marks every ranking dimension the subtree reads in `involved`
+  /// (caller-sized to R).
+  void CollectDims(std::vector<bool>* involved) const;
+
+  /// Monotonicity of the node in dimension `dim` over `domain`:
+  /// +1 non-decreasing, -1 non-increasing, 0 independent of the dimension.
+  /// nullopt = unknown (the conservative answer; never wrong, only weaker
+  /// routing). Gated dimensions are always unknown (the gate is a jump).
+  std::optional<int> Monotonicity(int dim, const Box& domain) const;
+
+  std::string ToString() const;
+
+ private:
+  ScoreExpr() = default;
+
+  ExprKind kind_ = ExprKind::kConst;
+  double value_ = 0.0;  ///< kConst
+  int dim_ = -1;        ///< kVar / kGate
+  double band_lo_ = 0.0, band_hi_ = 0.0;  ///< kGate
+  std::vector<ScoreExprPtr> children_;
+};
+
+/// Function shapes the kernel layer specializes. kGeneric means "no fused
+/// kernel; use the generic EvaluateBatch path".
+enum class FuncShape {
+  kGeneric,
+  kLinear,
+  kQuadratic,
+  kL1,
+  kSquaredLinear,
+  kGeneralAB,
+  kConstrainedSum,
+};
+
+const char* FuncShapeName(FuncShape shape);
+
+/// A classified tree, flattened to the per-term arrays a kernel consumes.
+/// `dims/weights/targets` run in evaluation (fold) order — the kernel
+/// accumulates terms in exactly this order to stay bit-identical to Eval.
+/// For kGeneralAB / kConstrainedSum, dims = {a, b} and the band applies to
+/// dims[1].
+struct ExprPlan {
+  FuncShape shape = FuncShape::kGeneric;
+  std::vector<int> dims;
+  std::vector<double> weights;
+  std::vector<double> targets;
+  double band_lo = 0.0;
+  double band_hi = 0.0;
+};
+
+/// Structural pattern match against the specializable shapes. Strict on
+/// operation order (only trees whose fold order matches the kernel's are
+/// accepted), so a specialized kernel is bit-identical to Eval by
+/// construction. Unrecognized trees come back kGeneric.
+ExprPlan ClassifyExpr(const ScoreExpr& expr);
+
+/// Any ScoreExpr tree as a RankingFunction over R dimensions. The entry
+/// point for user-defined ranking functions: monotone combinations get
+/// exact MonotoneDirections (enabling the Ch5 monotone search), recognized
+/// shapes get convex()/SemiMonotoneCenter() and the fused kernels, and
+/// everything else still executes correctly through interval lower bounds
+/// and the generic scan paths.
+class ExprFunction : public RankingFunction {
+ public:
+  /// `num_dims` is R, the table's ranking dimensionality; `name` appears in
+  /// ToString() (defaults to the tree's own rendering).
+  ExprFunction(int num_dims, ScoreExprPtr expr, std::string name = "");
+
+  int num_dims() const override { return r_; }
+  const std::vector<int>& involved_dims() const override { return dims_; }
+  double Evaluate(const double* p) const override { return expr_->Eval(p); }
+  void EvaluateBatch(const Table& table, const Tid* tids, size_t n,
+                     double* out) const override;
+  double LowerBound(const Box& box) const override;
+  bool convex() const override { return convex_; }
+  std::optional<std::vector<int>> MonotoneDirections() const override;
+  std::optional<std::vector<double>> SemiMonotoneCenter() const override;
+  std::string ToString() const override;
+  ScoreExprPtr Expr() const override { return expr_; }
+
+  /// The classification the kernel layer dispatches on.
+  const ExprPlan& plan() const { return plan_; }
+
+ private:
+  int r_;
+  ScoreExprPtr expr_;
+  std::string name_;
+  std::vector<int> dims_;  ///< ascending involved dimensions
+  ExprPlan plan_;
+  bool convex_ = false;
+  std::optional<std::vector<int>> monotone_;
+  std::optional<std::vector<double>> semi_center_;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_FUNC_SCORE_EXPR_H_

@@ -10,6 +10,7 @@ CubeRankedStream::CubeRankedStream(const Table& table,
     : table_(table),
       cube_(cube),
       f_(std::move(function)),
+      eval_(table, *f_),
       pruner_(std::move(pruner)),
       io_(io),
       stats_(stats) {
@@ -40,8 +41,7 @@ bool CubeRankedStream::GetNext(Tid* tid, double* score) {
     const RTreeNode& node = rtree.node(e.node_id);
     rtree.ChargeNodeAccess(io_, e.node_id);
     if (node.is_leaf) {
-      ScoreLeafEntries(table_, *f_, node, &leaf_tids_, &leaf_scores_,
-                       stats_);
+      ScoreLeafEntries(eval_, node, &leaf_tids_, &leaf_scores_, stats_);
       for (size_t i = 0; i < node.entries.size(); ++i) {
         Entry t;
         t.score = leaf_scores_[i];

@@ -54,6 +54,7 @@ class CubeRankedStream : public RankedStream {
   const Table& table_;
   const SignatureCube& cube_;
   RankingFunctionPtr f_;
+  kernels::BlockEvaluator eval_;  ///< fused leaf scoring (after f_: init order)
   std::unique_ptr<BooleanPruner> pruner_;
   IoSession* io_;
   ExecStats* stats_;

@@ -4,20 +4,23 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "func/kernels/kernels.h"
 
 namespace rankcube {
 
 namespace {
 
-/// One column-direct batch pass over a qualifying tid list, producing
-/// scored tuples in input order and charging tuples_evaluated.
+/// One fused-kernel pass over a qualifying tid list, producing scored
+/// tuples in input order and charging tuples_evaluated.
 std::vector<ScoredTuple> ScoreQualifying(const Table& table,
                                          const RankingFunction& f,
                                          const std::vector<Tid>& qualifying,
                                          ExecStats* stats) {
   std::vector<double> scores(qualifying.size());
-  f.EvaluateBatch(table, qualifying.data(), qualifying.size(),
-                  scores.data());
+  kernels::BlockEvaluator eval(table, f);
+  if (!qualifying.empty()) {
+    eval.Score(qualifying.data(), qualifying.size(), scores.data());
+  }
   stats->tuples_evaluated += qualifying.size();
   std::vector<ScoredTuple> out;
   out.reserve(qualifying.size());

@@ -6,7 +6,7 @@
 #include <unordered_set>
 
 #include "common/stopwatch.h"
-#include "core/batch_scorer.h"
+#include "func/kernels/kernels.h"
 
 namespace rankcube {
 
@@ -42,6 +42,7 @@ class Engine {
         io_(io),
         stats_(stats),
         topk_(k),
+        scorer_(table, *function, &topk_, stats),
         accessed_(indices.size()),
         retrieved_leaves_(indices.size()),
         seen_mask_(table.num_rows(), 0) {
@@ -267,8 +268,7 @@ class Engine {
         if (mask == full_mask_) merged_.push_back(t);
       }
     }
-    ScoreBlockAndOffer(table_, *f_, merged_.data(), merged_.size(), &scores_,
-                       &topk_, stats_);
+    scorer_.ScoreBlock(merged_.data(), merged_.size());
   }
 
   const Table& table_;
@@ -278,6 +278,7 @@ class Engine {
   IoSession* io_;
   ExecStats* stats_;
   TopKHeap topk_;
+  kernels::FusedScorer scorer_;
 
   std::deque<std::unique_ptr<State>> arena_;
   std::priority_queue<GlobalEntry, std::vector<GlobalEntry>, std::greater<>>
@@ -290,8 +291,7 @@ class Engine {
   std::unordered_set<uint64_t> signature_loaded_;
   std::vector<uint8_t> seen_mask_;
   uint8_t full_mask_;
-  std::vector<Tid> merged_;      ///< fully-merged tids of one retrieval
-  std::vector<double> scores_;   ///< batch scoring scratch
+  std::vector<Tid> merged_;  ///< fully-merged tids of one retrieval
 };
 
 }  // namespace

@@ -82,6 +82,8 @@ class Table {
   }
   /// Pointer view used on hot paths; valid until the next AddRow/Insert.
   const double* rank_col(int dim) const { return rank_cols_[dim].data(); }
+  /// Same for selection columns (the fused kernels' predicate pass).
+  const int32_t* sel_col(int dim) const { return sel_cols_[dim].data(); }
 
   /// Bytes a row occupies in the simulated heap file.
   size_t RowBytes() const;

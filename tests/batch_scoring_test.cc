@@ -7,12 +7,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <iterator>
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/topk_query.h"
+#include "func/kernels/kernels.h"
 #include "func/ranking_function.h"
+#include "func/score_expr.h"
 #include "gen/synthetic.h"
 
 namespace rankcube {
@@ -157,6 +161,275 @@ TEST(OfferBatchParityTest, MatchesRepeatedOffer) {
       EXPECT_EQ(batched.KthScore(), scalar.KthScore());
     }
     EXPECT_EQ(batched.Sorted(), scalar.Sorted());
+  }
+}
+
+/// The six built-in function classes with randomized parameters: the full
+/// set of kernel-specializable shapes.
+std::vector<std::shared_ptr<const RankingFunction>> AllShapeFunctions(
+    Rng* rng) {
+  std::vector<std::shared_ptr<const RankingFunction>> funcs;
+  funcs.push_back(std::make_shared<LinearFunction>(RandomWeights(rng, true)));
+  funcs.push_back(std::make_shared<QuadraticDistance>(
+      RandomWeights(rng, false), RandomTargets(rng)));
+  funcs.push_back(std::make_shared<L1Distance>(RandomWeights(rng, false),
+                                               RandomTargets(rng)));
+  funcs.push_back(std::make_shared<SquaredLinear>(RandomWeights(rng, true)));
+  funcs.push_back(std::make_shared<GeneralAB>(kRankDims, 0, 1));
+  funcs.push_back(
+      std::make_shared<ConstrainedSum>(kRankDims, 0, 1, 0.4, 0.6));
+  return funcs;
+}
+
+/// Scalar oracle: per-tuple Evaluate over the table's rank rows.
+std::vector<double> ScalarOracle(const RankingFunction& f, const Table& table,
+                                 const std::vector<Tid>& tids) {
+  std::vector<double> out(tids.size());
+  std::vector<double> point(table.num_rank_dims());
+  for (size_t i = 0; i < tids.size(); ++i) {
+    table.CopyRankRow(tids[i], point.data());
+    out[i] = f.Evaluate(point.data());
+  }
+  return out;
+}
+
+TEST(FusedKernelParityTest, IndexedAndDenseMatchScalarOracle) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Table table = MakeTable(seed);
+    Rng rng(2000 + seed);
+    std::vector<Tid> scrambled = ScrambledTids(table, &rng);
+    std::vector<Tid> consecutive(table.num_rows());
+    for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      consecutive[t] = t;
+    }
+
+    for (const auto& f : AllShapeFunctions(&rng)) {
+      ScoreExprPtr expr = f->Expr();
+      ASSERT_NE(expr, nullptr) << f->ToString();
+      ExprPlan plan = ClassifyExpr(*expr);
+      ASSERT_NE(plan.shape, FuncShape::kGeneric)
+          << f->ToString() << " tree did not classify: "
+          << expr->ToString();
+      kernels::BoundPlan bound;
+      ASSERT_TRUE(kernels::Bind(plan, table, &bound)) << f->ToString();
+      kernels::Kernel kernel = kernels::Resolve(bound);
+      ASSERT_NE(kernel.indexed, nullptr) << f->ToString();
+      ASSERT_NE(kernel.dense, nullptr) << f->ToString();
+
+      // Indexed loop on an arbitrary (scrambled, duplicated) tid stream.
+      std::vector<double> expect = ScalarOracle(*f, table, scrambled);
+      std::vector<double> got(scrambled.size());
+      kernel.indexed(bound, scrambled.data(), scrambled.size(), got.data());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(expect[i], got[i])
+            << f->ToString() << " indexed kernel diverges at tid "
+            << scrambled[i];
+      }
+
+      // Dense loop on the consecutive run, plus RunKernel's dispatch to it.
+      expect = ScalarOracle(*f, table, consecutive);
+      got.assign(consecutive.size(), -1.0);
+      kernel.dense(bound, 0, consecutive.size(), got.data());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(expect[i], got[i])
+            << f->ToString() << " dense kernel diverges at tid " << i;
+      }
+      std::vector<double> via_dispatch(consecutive.size(), -1.0);
+      kernels::RunKernel(kernel, bound, consecutive.data(),
+                         consecutive.size(), via_dispatch.data());
+      EXPECT_EQ(got, via_dispatch) << f->ToString();
+    }
+  }
+}
+
+TEST(FusedKernelParityTest, ConsecutiveRunDetection) {
+  std::vector<Tid> run = {5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_TRUE(kernels::IsConsecutiveRun(run.data(), run.size()));
+  Tid one = 42;
+  EXPECT_TRUE(kernels::IsConsecutiveRun(&one, 1));
+  std::vector<Tid> broken = run;
+  broken[5] = 99;
+  EXPECT_FALSE(kernels::IsConsecutiveRun(broken.data(), broken.size()));
+  std::vector<Tid> reversed(run.rbegin(), run.rend());
+  EXPECT_FALSE(kernels::IsConsecutiveRun(reversed.data(), reversed.size()));
+  std::vector<Tid> dup = {3, 3, 4, 5};
+  EXPECT_FALSE(kernels::IsConsecutiveRun(dup.data(), dup.size()));
+}
+
+TEST(FusedScorerTest, PredicatesMatchScalarFilterLoop) {
+  Table table = MakeTable(5);
+  Rng rng(77);
+  std::vector<Predicate> preds = {{0, 1}, {1, 2}};
+  for (const auto& f : AllShapeFunctions(&rng)) {
+    TopKHeap fused_heap(10);
+    ExecStats fused_stats;
+    kernels::FusedScorer scorer(table, *f, preds, &fused_heap, &fused_stats);
+    for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      scorer.Add(t);
+    }
+    scorer.Flush();
+
+    TopKHeap scalar_heap(10);
+    uint64_t survivors = 0;
+    std::vector<double> point(kRankDims);
+    for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) {
+      bool ok = true;
+      for (const auto& p : preds) {
+        if (table.sel(t, p.dim) != p.value) ok = false;
+      }
+      if (!ok) continue;
+      ++survivors;
+      table.CopyRankRow(t, point.data());
+      scalar_heap.Offer(t, f->Evaluate(point.data()));
+    }
+
+    EXPECT_EQ(fused_heap.Sorted(), scalar_heap.Sorted()) << f->ToString();
+    EXPECT_EQ(fused_stats.tuples_evaluated, survivors) << f->ToString();
+  }
+}
+
+TEST(FusedScorerTest, EmptyAndAllFilteredBlocks) {
+  Table table = MakeTable(9);
+  LinearFunction f({1.0, 0.25, 0.0, 0.5});
+  // Contradictory predicates: no tuple can satisfy A0=0 and A0=1.
+  std::vector<Predicate> preds = {{0, 0}, {0, 1}};
+  TopKHeap topk(5);
+  ExecStats stats;
+  kernels::FusedScorer scorer(table, f, preds, &topk, &stats);
+  scorer.ScoreBlock(nullptr, 0);  // empty block: no-op
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) scorer.Add(t);
+  scorer.Flush();
+  EXPECT_TRUE(topk.Sorted().empty());
+  EXPECT_EQ(stats.tuples_evaluated, 0u);
+}
+
+TEST(FusedScorerTest, BlockExactlyAtThresholdLeavesHeapUntouched) {
+  Table table = MakeTable(13);
+  LinearFunction f({0.5, 0.5, 0.25, 0.25});
+  TopKHeap topk(10);
+  ExecStats stats;
+  kernels::FusedScorer scorer(table, f, &topk, &stats);
+  for (Tid t = 0; t < static_cast<Tid>(table.num_rows()); ++t) scorer.Add(t);
+  scorer.Flush();
+  auto before = topk.Sorted();
+  const double sk = topk.KthScore();
+  ASSERT_EQ(before.back().score, sk);
+  // A block scoring exactly S_k throughout: the threshold test is strict
+  // (score < S_k), so ties must not displace or duplicate the incumbent.
+  std::vector<Tid> at_threshold(64, before.back().tid);
+  scorer.ScoreBlock(at_threshold.data(), at_threshold.size());
+  EXPECT_EQ(topk.Sorted(), before);
+  EXPECT_EQ(topk.KthScore(), sk);
+}
+
+TEST(FusedScorerTest, DropInfCompactsConstrainedTuples) {
+  Table table = MakeTable(17);
+  ConstrainedSum f(kRankDims, 0, 1, 0.4, 0.6);
+  const Tid n = static_cast<Tid>(table.num_rows());
+  TopKHeap drop_heap(static_cast<int>(n));
+  ExecStats stats;
+  kernels::FusedScorer scorer(table, f, &drop_heap, &stats,
+                              {.drop_inf = true});
+  for (Tid t = 0; t < n; ++t) scorer.Add(t);
+  scorer.Flush();
+  // With k = num_rows and drop_inf, the heap holds exactly the in-band
+  // tuples: no +inf score may survive the compaction.
+  std::vector<double> expect = ScalarOracle(
+      f, table, [n] {
+        std::vector<Tid> all(n);
+        for (Tid t = 0; t < n; ++t) all[t] = t;
+        return all;
+      }());
+  size_t finite = 0;
+  for (double s : expect) finite += (s < kInfScore);
+  auto sorted = drop_heap.Sorted();
+  ASSERT_EQ(sorted.size(), finite);
+  for (const auto& st : sorted) EXPECT_LT(st.score, kInfScore);
+}
+
+TEST(ExprRoundTripTest, LegacyFunctionsRoundTripThroughExprFunction) {
+  Table table = MakeTable(21);
+  Rng rng(555);
+  std::vector<Tid> tids = ScrambledTids(table, &rng);
+  const FuncShape expected_shapes[] = {
+      FuncShape::kLinear,        FuncShape::kQuadratic,
+      FuncShape::kL1,            FuncShape::kSquaredLinear,
+      FuncShape::kGeneralAB,     FuncShape::kConstrainedSum,
+  };
+  auto funcs = AllShapeFunctions(&rng);
+  ASSERT_EQ(funcs.size(), std::size(expected_shapes));
+  for (size_t fi = 0; fi < funcs.size(); ++fi) {
+    const RankingFunction& legacy = *funcs[fi];
+    ExprFunction roundtrip(kRankDims, legacy.Expr());
+    EXPECT_EQ(roundtrip.plan().shape, expected_shapes[fi])
+        << legacy.ToString();
+    EXPECT_EQ(roundtrip.involved_dims(), legacy.involved_dims())
+        << legacy.ToString();
+    EXPECT_EQ(roundtrip.convex(), legacy.convex()) << legacy.ToString();
+    // The tree may derive *more* metadata than the legacy class (e.g. a
+    // squared-linear with all-positive weights is structurally monotone);
+    // whatever the legacy class claims, the round-trip must agree with.
+    if (auto legacy_mono = legacy.MonotoneDirections()) {
+      EXPECT_EQ(roundtrip.MonotoneDirections(), legacy_mono)
+          << legacy.ToString();
+    }
+
+    // Tree evaluation, scalar evaluation, and both batch paths all agree.
+    std::vector<double> expect = ScalarOracle(legacy, table, tids);
+    std::vector<double> got(tids.size());
+    roundtrip.EvaluateBatch(table, tids.data(), tids.size(), got.data());
+    for (size_t i = 0; i < tids.size(); ++i) {
+      ASSERT_EQ(expect[i], got[i])
+          << legacy.ToString() << " round-trip diverges at tid " << tids[i];
+    }
+    // Interval lower bounds stay valid bounds under the tree.
+    Box unit = Box::Unit(kRankDims);
+    const double lb = roundtrip.LowerBound(unit);
+    for (double s : expect) ASSERT_GE(s, lb) << legacy.ToString();
+  }
+}
+
+TEST(ExprRoundTripTest, UserDefinedTreeExecutesGenerically) {
+  Table table = MakeTable(23);
+  // Mul(Var0, Var1): monotone over [0,1]^2 but matching no kernel shape.
+  ScoreExprPtr tree =
+      ScoreExpr::Mul({ScoreExpr::Var(0), ScoreExpr::Var(1)});
+  ExprFunction f(kRankDims, tree, "product");
+  EXPECT_EQ(f.plan().shape, FuncShape::kGeneric);
+  kernels::BlockEvaluator eval(table, f);
+  EXPECT_FALSE(eval.fused());
+
+  std::vector<Tid> tids = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> got(tids.size());
+  eval.Score(tids.data(), tids.size(), got.data());
+  for (size_t i = 0; i < tids.size(); ++i) {
+    EXPECT_EQ(got[i], table.rank(tids[i], 0) * table.rank(tids[i], 1));
+  }
+  // Structural metadata: the product of two nonnegative dims is
+  // non-decreasing in both (one entry per involved dimension).
+  EXPECT_EQ(f.involved_dims(), (std::vector<int>{0, 1}));
+  auto mono = f.MonotoneDirections();
+  ASSERT_TRUE(mono.has_value());
+  EXPECT_EQ(*mono, (std::vector<int>{1, 1}));
+}
+
+TEST(ExprRoundTripTest, KernelKillSwitchIsBitIdentical) {
+  Table table = MakeTable(29);
+  Rng rng(888);
+  std::vector<Tid> tids = ScrambledTids(table, &rng);
+  for (const auto& f : AllShapeFunctions(&rng)) {
+    ASSERT_EQ(setenv("RANKCUBE_FUSED_KERNELS", "0", 1), 0);
+    kernels::BlockEvaluator off(table, *f);
+    EXPECT_FALSE(off.fused()) << f->ToString();
+    std::vector<double> off_scores(tids.size());
+    off.Score(tids.data(), tids.size(), off_scores.data());
+    ASSERT_EQ(unsetenv("RANKCUBE_FUSED_KERNELS"), 0);
+
+    kernels::BlockEvaluator on(table, *f);
+    EXPECT_TRUE(on.fused()) << f->ToString();
+    std::vector<double> on_scores(tids.size());
+    on.Score(tids.data(), tids.size(), on_scores.data());
+    EXPECT_EQ(off_scores, on_scores) << f->ToString();
   }
 }
 

@@ -4,6 +4,7 @@
 // executable form of the thesis's interchangeability claim.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,6 +73,33 @@ TEST(EngineParityTest, EveryRegisteredEngineMatchesTableScanOracle) {
       auto want = (*oracle_engine)->Execute(query, ctx);
       ASSERT_TRUE(want.ok()) << want.status().ToString();
       EXPECT_EQ(got.value().tuples, want.value().tuples);
+    }
+  }
+}
+
+TEST(EngineParityTest, FusedKernelsOnAndOffAreTupleIdentical) {
+  // The fused-kernel dispatch (RANKCUBE_FUSED_KERNELS) is read when an
+  // engine constructs its scorers, so flipping the environment between
+  // sequential executions exercises both code paths; results must be
+  // tuple-identical, not merely score-close.
+  Fixture fx;
+  auto& registry = EngineRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    SCOPED_TRACE("engine: " + name);
+    auto engine = registry.Create(name, fx.table, fx.io);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    auto workload = fx.Workload((*engine)->SupportsPredicates() ? 2 : 0);
+    for (const TopKQuery& query : workload) {
+      SCOPED_TRACE(query.ToString());
+      ExecContext ctx;
+      ctx.io = &fx.io;
+      auto fused = (*engine)->Execute(query, ctx);
+      ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+      ASSERT_EQ(setenv("RANKCUBE_FUSED_KERNELS", "0", 1), 0);
+      auto generic = (*engine)->Execute(query, ctx);
+      ASSERT_EQ(unsetenv("RANKCUBE_FUSED_KERNELS"), 0);
+      ASSERT_TRUE(generic.ok()) << generic.status().ToString();
+      EXPECT_EQ(fused.value().tuples, generic.value().tuples);
     }
   }
 }
