@@ -1,0 +1,428 @@
+// Durability benchmark + crash-loop driver.
+//
+// Default mode (real disk, PosixFs under --workdir):
+//  * insert throughput under --fsync=always vs batch vs off — the price of
+//    the no-acked-write-lost guarantee, reported as a qps penalty;
+//  * recovery time as a function of WAL length — write N records, reopen
+//    the directory, report RecoveryInfo::recovery_ms and replay rate.
+// Results land in BENCH_recovery.json. --smoke shrinks everything for CI
+// and exits nonzero unless every invariant held (recovery replayed exactly
+// what was written, fsync=always acked everything it reported).
+//
+// Harness modes for tools/crash_recovery_loop.sh (no measurement, just
+// deterministic load + invariant checks against a live rankcubed):
+//  * --hammer --port=P --journal=F : issue INSERTs as fast as the server
+//    acks them, appending each acked tid to the journal; exits cleanly
+//    when the server dies mid-conversation (that is the point: the loop
+//    kill -9s the daemon underneath us).
+//  * --verify --port=P --journal=F : after the daemon restarts, assert the
+//    durability invariant — tids are dense and never reused, so every
+//    acked tid must be < the recovered row count — and that queries work.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "planner/rank_cube_db.h"
+#include "server/client.h"
+#include "storage/fs.h"
+
+namespace rankcube {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Flags {
+  std::string workdir = "/tmp/rankcube_bench_recovery";
+  uint64_t seed_rows = 2000;
+  uint64_t inserts = 3000;  ///< throughput-phase mutations per policy
+  std::vector<uint64_t> wal_lengths = {500, 2000, 8000};
+  std::string json = "BENCH_recovery.json";
+  bool smoke = false;
+  // harness modes
+  bool hammer = false;
+  bool verify = false;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string journal;
+  int sel_dims = 3;       ///< must match the daemon's schema (--hammer)
+  int32_t cardinality = 20;
+  int rank_dims = 2;
+  uint64_t max_ops = 0;  ///< optional hammer cap (0 = until the server dies)
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+std::vector<uint64_t> ParseU64List(const std::string& v) {
+  std::vector<uint64_t> out;
+  const char* p = v.c_str();
+  char* end = nullptr;
+  while (*p != '\0') {
+    out.push_back(std::strtoull(p, &end, 10));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--workdir=", &v)) {
+      f.workdir = v;
+    } else if (ParseFlag(argv[i], "--seed_rows=", &v)) {
+      f.seed_rows = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--inserts=", &v)) {
+      f.inserts = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--wal_lengths=", &v)) {
+      f.wal_lengths = ParseU64List(v);
+    } else if (ParseFlag(argv[i], "--json=", &v)) {
+      f.json = v;
+    } else if (ParseFlag(argv[i], "--host=", &v)) {
+      f.host = v;
+    } else if (ParseFlag(argv[i], "--port=", &v)) {
+      f.port = static_cast<uint16_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--journal=", &v)) {
+      f.journal = v;
+    } else if (ParseFlag(argv[i], "--sel_dims=", &v)) {
+      f.sel_dims = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--cardinality=", &v)) {
+      f.cardinality = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--rank_dims=", &v)) {
+      f.rank_dims = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--max_ops=", &v)) {
+      f.max_ops = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      f.smoke = true;
+    } else if (std::strcmp(argv[i], "--hammer") == 0) {
+      f.hammer = true;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      f.verify = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(1);
+    }
+  }
+  if (f.smoke) {
+    f.seed_rows = std::min<uint64_t>(f.seed_rows, 500);
+    f.inserts = std::min<uint64_t>(f.inserts, 400);
+    f.wal_lengths = {100, 400};
+  }
+  return f;
+}
+
+Table MakeSeed(uint64_t rows) {
+  TableSchema schema;
+  schema.sel_cardinality = {8, 8, 8};
+  schema.num_rank_dims = 2;
+  Table table(schema);
+  Rng rng(7);
+  for (uint64_t i = 0; i < rows; ++i) {
+    (void)table.AddRow({static_cast<int32_t>(rng.UniformInt(8)),
+                        static_cast<int32_t>(rng.UniformInt(8)),
+                        static_cast<int32_t>(rng.UniformInt(8))},
+                       {rng.Uniform01(), rng.Uniform01()});
+  }
+  return table;
+}
+
+/// Removes every file in `dir` so RankCubeDb::Open sees a fresh directory.
+void WipeDir(const std::string& dir) {
+  Fs* fs = Fs::Posix();
+  auto names = fs->ListDir(dir);
+  if (!names.ok()) return;  // does not exist yet
+  for (const std::string& name : names.value()) {
+    (void)fs->RemoveFile(JoinPath(dir, name));
+  }
+}
+
+RankCubeDb::Options DurableOptions(const std::string& dir,
+                                   FsyncPolicy fsync) {
+  RankCubeDb::Options options;
+  options.engines = {"table_scan"};  // writes only; skip structure builds
+  options.durability.data_dir = dir;
+  options.durability.fsync = fsync;
+  return options;
+}
+
+struct PolicyResult {
+  const char* name;
+  double insert_qps = 0.0;
+  bool ok = false;
+};
+
+/// Times `inserts` durable writes under one fsync policy on a fresh dir.
+PolicyResult BenchPolicy(const Flags& flags, FsyncPolicy fsync) {
+  PolicyResult r;
+  r.name = FsyncPolicyName(fsync);
+  const std::string dir = flags.workdir + "/policy_" + r.name;
+  WipeDir(dir);
+  auto db = RankCubeDb::Open(MakeSeed(flags.seed_rows),
+                             DurableOptions(dir, fsync));
+  if (!db.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                 db.status().ToString().c_str());
+    return r;
+  }
+  Rng rng(13);
+  auto t0 = Clock::now();
+  for (uint64_t i = 0; i < flags.inserts; ++i) {
+    auto tid = db.value()->Insert({static_cast<int32_t>(rng.UniformInt(8)),
+                                   static_cast<int32_t>(rng.UniformInt(8)),
+                                   static_cast<int32_t>(rng.UniformInt(8))},
+                                  {rng.Uniform01(), rng.Uniform01()});
+    if (!tid.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n",
+                   tid.status().ToString().c_str());
+      return r;
+    }
+  }
+  double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.insert_qps = secs > 0 ? static_cast<double>(flags.inserts) / secs : 0.0;
+  r.ok = db.value()->table().epoch() == flags.inserts;
+  return r;
+}
+
+struct RecoveryPoint {
+  uint64_t wal_records = 0;
+  double recovery_ms = 0.0;
+  uint64_t replayed = 0;
+  bool ok = false;
+};
+
+/// Writes `wal_records` mutations (fsync=off: WAL length is what matters,
+/// not commit latency), closes, reopens, and reports the replay cost.
+RecoveryPoint BenchRecovery(const Flags& flags, uint64_t wal_records) {
+  RecoveryPoint point;
+  point.wal_records = wal_records;
+  const std::string dir =
+      flags.workdir + "/recovery_" + std::to_string(wal_records);
+  WipeDir(dir);
+  {
+    auto db = RankCubeDb::Open(MakeSeed(flags.seed_rows),
+                               DurableOptions(dir, FsyncPolicy::kOff));
+    if (!db.ok()) return point;
+    Rng rng(17);
+    for (uint64_t i = 0; i < wal_records; ++i) {
+      auto tid =
+          db.value()->Insert({static_cast<int32_t>(rng.UniformInt(8)),
+                              static_cast<int32_t>(rng.UniformInt(8)),
+                              static_cast<int32_t>(rng.UniformInt(8))},
+                             {rng.Uniform01(), rng.Uniform01()});
+      if (!tid.ok()) return point;
+    }
+  }  // clean process exit, dirty WAL: the whole log replays at open
+  auto db = RankCubeDb::Open(MakeSeed(flags.seed_rows),
+                             DurableOptions(dir, FsyncPolicy::kOff));
+  if (!db.ok()) {
+    std::fprintf(stderr, "recover %s: %s\n", dir.c_str(),
+                 db.status().ToString().c_str());
+    return point;
+  }
+  const RecoveryInfo& info = db.value()->recovery();
+  point.recovery_ms = info.recovery_ms;
+  point.replayed = info.replayed;
+  point.ok = info.recovered && !info.read_only &&
+             info.replayed == wal_records &&
+             db.value()->table().epoch() == wal_records;
+  return point;
+}
+
+int RunBench(const Flags& flags) {
+  (void)Fs::Posix()->CreateDir(flags.workdir);
+
+  std::vector<PolicyResult> policies;
+  for (FsyncPolicy p :
+       {FsyncPolicy::kAlways, FsyncPolicy::kBatch, FsyncPolicy::kOff}) {
+    PolicyResult r = BenchPolicy(flags, p);
+    std::printf("fsync=%-7s insert_qps=%10.1f %s\n", r.name, r.insert_qps,
+                r.ok ? "" : "FAILED");
+    policies.push_back(r);
+  }
+
+  std::vector<RecoveryPoint> points;
+  for (uint64_t n : flags.wal_lengths) {
+    RecoveryPoint point = BenchRecovery(flags, n);
+    std::printf("wal_records=%-8llu recovery_ms=%9.2f replayed=%llu %s\n",
+                static_cast<unsigned long long>(point.wal_records),
+                point.recovery_ms,
+                static_cast<unsigned long long>(point.replayed),
+                point.ok ? "" : "FAILED");
+    points.push_back(point);
+  }
+
+  std::FILE* out = std::fopen(flags.json.c_str(), "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"fsync_policies\": {");
+    for (size_t i = 0; i < policies.size(); ++i) {
+      std::fprintf(out, "%s\n    \"%s\": {\"insert_qps\": %.1f}",
+                   i > 0 ? "," : "", policies[i].name,
+                   policies[i].insert_qps);
+    }
+    double always = policies[0].insert_qps;
+    double batch = policies[1].insert_qps;
+    std::fprintf(out,
+                 "\n  },\n  \"fsync_always_penalty_vs_batch\": %.3f,\n"
+                 "  \"recovery\": [",
+                 batch > 0 ? always / batch : 0.0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(out,
+                   "%s\n    {\"wal_records\": %llu, \"recovery_ms\": %.2f, "
+                   "\"replay_per_s\": %.0f}",
+                   i > 0 ? "," : "",
+                   static_cast<unsigned long long>(points[i].wal_records),
+                   points[i].recovery_ms,
+                   points[i].recovery_ms > 0
+                       ? 1000.0 * static_cast<double>(points[i].replayed) /
+                             points[i].recovery_ms
+                       : 0.0);
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", flags.json.c_str());
+  }
+
+  for (const PolicyResult& r : policies) {
+    if (!r.ok) return 1;
+  }
+  for (const RecoveryPoint& p : points) {
+    if (!p.ok) return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Crash-loop harness modes
+
+int RunHammer(const Flags& flags) {
+  if (flags.port == 0 || flags.journal.empty()) {
+    std::fprintf(stderr, "--hammer needs --port and --journal\n");
+    return 2;
+  }
+  auto client = RankCubeClient::Connect(flags.host, flags.port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 2;
+  }
+  std::FILE* journal = std::fopen(flags.journal.c_str(), "a");
+  if (journal == nullptr) {
+    std::fprintf(stderr, "cannot open journal %s\n", flags.journal.c_str());
+    return 2;
+  }
+  Rng rng(static_cast<uint64_t>(flags.port));
+  uint64_t acked = 0;
+  while (flags.max_ops == 0 || acked < flags.max_ops) {
+    std::vector<int32_t> sel;
+    for (int d = 0; d < flags.sel_dims; ++d) {
+      sel.push_back(static_cast<int32_t>(
+          rng.UniformInt(static_cast<uint64_t>(flags.cardinality))));
+    }
+    std::vector<double> rank;
+    for (int d = 0; d < flags.rank_dims; ++d) rank.push_back(rng.Uniform01());
+    auto resp = client.value().Insert(sel, rank);
+    if (!resp.ok()) break;  // server died under us — the loop's kill -9
+    if (!resp.value().ok()) {
+      // Typed rejection (e.g. read-only after degradation): record nothing.
+      break;
+    }
+    // "tid=N": only what the server ACKED goes in the journal.
+    for (const std::string& line : resp.value().lines) {
+      if (line.rfind("tid=", 0) == 0) {
+        std::fprintf(journal, "%s\n", line.c_str() + 4);
+        ++acked;
+      }
+    }
+    std::fflush(journal);
+  }
+  std::fclose(journal);
+  std::printf("hammer: %llu acked inserts journaled\n",
+              static_cast<unsigned long long>(acked));
+  return 0;
+}
+
+int RunVerify(const Flags& flags) {
+  if (flags.port == 0 || flags.journal.empty()) {
+    std::fprintf(stderr, "--verify needs --port and --journal\n");
+    return 2;
+  }
+  // Highest acked tid across all hammer runs.
+  uint64_t max_tid = 0;
+  uint64_t acked = 0;
+  std::FILE* journal = std::fopen(flags.journal.c_str(), "r");
+  if (journal != nullptr) {
+    char line[64];
+    while (std::fgets(line, sizeof(line), journal) != nullptr) {
+      uint64_t tid = std::strtoull(line, nullptr, 10);
+      max_tid = std::max(max_tid, tid);
+      ++acked;
+    }
+    std::fclose(journal);
+  }
+
+  auto client = RankCubeClient::Connect(flags.host, flags.port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 2;
+  }
+  auto stats = client.value().Stats();
+  if (!stats.ok() || !stats.value().ok()) {
+    std::fprintf(stderr, "STATS failed\n");
+    return 1;
+  }
+  uint64_t rows = 0;
+  bool read_only = false;
+  for (const std::string& line : stats.value().lines) {
+    if (line.rfind("rows=", 0) == 0) {
+      rows = std::strtoull(line.c_str() + 5, nullptr, 10);
+    } else if (line == "read_only=1") {
+      read_only = true;
+    }
+  }
+  // Tids are dense and never reused: an acked tid that did not survive
+  // recovery would leave rows <= max_tid.
+  if (acked > 0 && rows <= max_tid) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATED: max acked tid %llu but only %llu rows "
+                 "after recovery\n",
+                 static_cast<unsigned long long>(max_tid),
+                 static_cast<unsigned long long>(rows));
+    return 1;
+  }
+  WireQuerySpec spec;
+  spec.k = 5;
+  spec.order = "linear:1,1";
+  auto tuples = client.value().QueryTuples(spec);
+  if (!tuples.ok()) {
+    std::fprintf(stderr, "post-recovery query failed: %s\n",
+                 tuples.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "verify: OK (acked=%llu max_tid=%llu rows=%llu read_only=%d)\n",
+      static_cast<unsigned long long>(acked),
+      static_cast<unsigned long long>(max_tid),
+      static_cast<unsigned long long>(rows), read_only ? 1 : 0);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  if (flags.hammer) return RunHammer(flags);
+  if (flags.verify) return RunVerify(flags);
+  return RunBench(flags);
+}
+
+}  // namespace
+}  // namespace rankcube
+
+int main(int argc, char** argv) { return rankcube::Main(argc, argv); }

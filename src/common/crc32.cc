@@ -1,0 +1,36 @@
+#include "common/crc32.h"
+
+namespace rankcube {
+
+namespace {
+
+// Reflected CRC-32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Crc32cTable {
+  uint32_t t[256];
+  constexpr Crc32cTable() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+constexpr Crc32cTable kTable;
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable.t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace rankcube

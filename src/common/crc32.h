@@ -1,0 +1,32 @@
+// CRC-32C (Castagnoli) over byte ranges; the integrity check framing every
+// durable artifact in the storage layer: WAL records, checkpoint pages, and
+// the manifest. Software table-driven implementation — the durability tests
+// must behave identically on every build arch, so no hardware dispatch.
+#ifndef RANKCUBE_COMMON_CRC32_H_
+#define RANKCUBE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rankcube {
+
+/// CRC-32C of `data`, optionally continuing from a previous value (pass the
+/// prior return value as `seed` to checksum a message in pieces).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+/// A checksum that is never stored: masking (RocksDB-style rotation + offset)
+/// would be overkill here, but 0 is reserved as "unset" in page headers, so
+/// stored checksums use this (maps 0 -> 1, collision-harmless).
+inline uint32_t StoredCrc32c(std::string_view data) {
+  uint32_t c = Crc32c(data);
+  return c == 0 ? 1u : c;
+}
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_COMMON_CRC32_H_

@@ -25,7 +25,21 @@ std::string DbStats::ToString() const {
      << "pages_logical=" << pages_logical << "\n"
      << "pages_charged=" << pages_charged << "\n"
      << "pages_device=" << pages_device << "\n"
-     << "cache_hit_rate=" << cache_hit_rate << "\n";
+     << "cache_hit_rate=" << cache_hit_rate << "\n"
+     << "durable=" << (durable ? 1 : 0) << "\n"
+     << "read_only=" << (read_only ? 1 : 0) << "\n";
+  if (durable) {
+    if (!degraded_reason.empty()) {
+      os << "degraded_reason=" << degraded_reason << "\n";
+    }
+    os << "checkpoint_epoch=" << checkpoint_epoch << "\n"
+       << "wal_records=" << wal_records << "\n"
+       << "wal_bytes=" << wal_bytes << "\n"
+       << "backing_reads=" << backing_reads << "\n"
+       << "backing_corruptions=" << backing_corruptions << "\n"
+       << "recovered_records=" << recovered_records << "\n"
+       << "recovery_ms=" << recovery_ms << "\n";
+  }
   for (const auto& [name, f] : freshness) {
     os << "freshness." << name << "=" << f.built_epoch << "/" << f.table_epoch
        << "+" << f.pending_inserts << "-" << f.pending_deletes << "\n";
@@ -46,6 +60,41 @@ RankCubeDb::RankCubeDb(Table table, Options options)
   for (const std::string& name : names) {
     catalog_.Put(PredictStructureInfo(name, stats_, options_.build));
   }
+}
+
+Result<std::unique_ptr<RankCubeDb>> RankCubeDb::Open(Table seed,
+                                                     Options options) {
+  if (options.durability.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "RankCubeDb::Open needs options.durability.data_dir (use the "
+        "constructor for an ephemeral db)");
+  }
+  auto opened = DurabilityManager::Open(options.durability, seed);
+  if (!opened.ok()) return opened.status();
+  Table table = opened.value().table.has_value()
+                    ? std::move(*opened.value().table)
+                    : std::move(seed);
+  auto db = std::unique_ptr<RankCubeDb>(
+      new RankCubeDb(std::move(table), std::move(options)));
+  db->durability_ = std::move(opened.value().manager);
+  db->recovery_ = opened.value().info;
+  db->read_only_ = db->recovery_.read_only;
+  // kTable device misses now pread + CRC-verify the checkpoint file.
+  db->store_.AttachTableBacking(db->durability_->checkpoint_pages());
+  return db;
+}
+
+void RankCubeDb::DegradeLocked(const std::string& reason) {
+  read_only_ = true;
+  recovery_.read_only = true;
+  if (recovery_.degraded_reason.empty()) {
+    recovery_.degraded_reason = reason;
+  }
+}
+
+bool RankCubeDb::read_only() const {
+  std::shared_lock<std::shared_mutex> read(ddl_mu_);
+  return read_only_;
 }
 
 Result<const RankingEngine*> RankCubeDb::EngineLocked(
@@ -76,6 +125,22 @@ Result<const RankingEngine*> RankCubeDb::Engine(const std::string& name) {
 Result<Tid> RankCubeDb::Insert(const std::vector<int32_t>& sel,
                                const std::vector<double>& rank) {
   std::unique_lock<std::shared_mutex> write(ddl_mu_);
+  if (read_only_) {
+    return Status::NotSupported("db is read-only (" +
+                                recovery_.degraded_reason + ")");
+  }
+  if (durability_ != nullptr) {
+    // Write-ahead ordering: validate (so replay can never hit a validation
+    // error the live path didn't), log + fsync, only then apply. A WAL
+    // failure leaves the table untouched and latches read-only — memory
+    // and disk stay consistent, we just refuse to diverge further.
+    RC_RETURN_IF_ERROR(table_.ValidateRow(sel, rank));
+    Status logged = durability_->LogInsert(table_.epoch() + 1, sel, rank);
+    if (!logged.ok()) {
+      DegradeLocked("wal append failed: " + logged.message());
+      return logged;
+    }
+  }
   Result<Tid> tid = table_.Insert(sel, rank);
   if (!tid.ok()) return tid;
   std::lock_guard<std::mutex> lock(mu_);
@@ -85,14 +150,45 @@ Result<Tid> RankCubeDb::Insert(const std::vector<int32_t>& sel,
 
 Status RankCubeDb::Delete(Tid tid) {
   std::unique_lock<std::shared_mutex> write(ddl_mu_);
+  if (read_only_) {
+    return Status::NotSupported("db is read-only (" +
+                                recovery_.degraded_reason + ")");
+  }
+  if (durability_ != nullptr) {
+    RC_RETURN_IF_ERROR(table_.CanDelete(tid));
+    Status logged = durability_->LogDelete(table_.epoch() + 1, tid);
+    if (!logged.ok()) {
+      DegradeLocked("wal append failed: " + logged.message());
+      return logged;
+    }
+  }
   RC_RETURN_IF_ERROR(table_.Delete(tid));
   std::lock_guard<std::mutex> lock(mu_);
   stats_.ApplyDelete(table_, tid);
   return Status::OK();
 }
 
+Status RankCubeDb::Checkpoint() {
+  std::unique_lock<std::shared_mutex> write(ddl_mu_);
+  if (durability_ == nullptr) {
+    return Status::NotSupported("ephemeral db has nothing to checkpoint");
+  }
+  if (read_only_) {
+    return Status::NotSupported("db is read-only (" +
+                                recovery_.degraded_reason + ")");
+  }
+  RC_RETURN_IF_ERROR(durability_->SyncWal());
+  RC_RETURN_IF_ERROR(durability_->Checkpoint(table_));
+  store_.AttachTableBacking(durability_->checkpoint_pages());
+  return Status::OK();
+}
+
 Result<CompactionReport> RankCubeDb::Compact() {
   std::unique_lock<std::shared_mutex> write(ddl_mu_);
+  if (read_only_) {
+    return Status::NotSupported("db is read-only (" +
+                                recovery_.degraded_reason + ")");
+  }
   std::lock_guard<std::mutex> lock(mu_);
 
   CompactionReport report;
@@ -134,6 +230,16 @@ Result<CompactionReport> RankCubeDb::Compact() {
   }
   report.epoch = table_.epoch();
   report.pages = build_io_.TotalPhysical() - pages_before;
+
+  if (durability_ != nullptr) {
+    // The delta log is truncated, so the compaction point is exactly the
+    // state a checkpoint should capture: snapshot it, rotate the WAL, and
+    // let recovery start from here. On failure the previous checkpoint +
+    // WAL remain the recovery source — consistent, just longer to replay.
+    RC_RETURN_IF_ERROR(durability_->SyncWal());
+    RC_RETURN_IF_ERROR(durability_->Checkpoint(table_));
+    store_.AttachTableBacking(durability_->checkpoint_pages());
+  }
   return report;
 }
 
@@ -278,6 +384,18 @@ DbStats RankCubeDb::Stats() const {
           ? 1.0 - static_cast<double>(s.pages_device) /
                       static_cast<double>(s.pages_logical)
           : 0.0;
+  s.durable = durability_ != nullptr;
+  if (durability_ != nullptr) {
+    s.read_only = read_only_;
+    s.degraded_reason = recovery_.degraded_reason;
+    s.checkpoint_epoch = durability_->checkpoint_epoch();
+    s.wal_records = durability_->wal_records();
+    s.wal_bytes = durability_->wal_bytes();
+    s.backing_reads = store_.backing_reads();
+    s.backing_corruptions = store_.backing_corruptions();
+    s.recovered_records = recovery_.replayed;
+    s.recovery_ms = recovery_.recovery_ms;
+  }
   return s;
 }
 

@@ -49,6 +49,7 @@
 #include "engine/batch_executor.h"
 #include "engine/registry.h"
 #include "planner/planner.h"
+#include "storage/durability.h"
 #include "storage/page_store.h"
 #include "storage/table.h"
 
@@ -82,6 +83,18 @@ struct DbStats {
   /// Shared-buffer-cache hit rate over all query I/O so far
   /// (1 - device/logical); 0 when no pages were read yet.
   double cache_hit_rate = 0.0;
+  // -- durability (all zero for an ephemeral db) --
+  bool durable = false;    ///< opened with a data_dir (WAL + checkpoints)
+  bool read_only = false;  ///< degraded: serving last good state, writes
+                           ///< refused with kNotSupported
+  std::string degraded_reason;     ///< set iff read_only
+  uint64_t checkpoint_epoch = 0;   ///< epoch of the live checkpoint file
+  uint64_t wal_records = 0;        ///< records in the live WAL segment
+  uint64_t wal_bytes = 0;
+  uint64_t backing_reads = 0;         ///< verified checkpoint preads
+  uint64_t backing_corruptions = 0;   ///< CRC failures on those reads
+  uint64_t recovered_records = 0;     ///< WAL records replayed at open
+  double recovery_ms = 0.0;
 
   /// "key=value" lines, one per field (freshness flattened per engine);
   /// the STATS wire payload and a debugging aid.
@@ -109,12 +122,26 @@ class RankCubeDb {
     /// outside this list are not plannable and not forceable on this db.
     std::vector<std::string> engines;
     PlannerOptions planner;
+    /// Durable-storage knobs; used only by Open() (data_dir must be set
+    /// there). The plain constructor ignores this and stays ephemeral.
+    DurabilityOptions durability;
   };
 
   /// Takes ownership of `table`; computes TableStats (one in-memory pass)
   /// and catalogs predicted AccessStructureInfo for every engine. Builds
-  /// nothing.
+  /// nothing. The db is EPHEMERAL: no WAL, no checkpoints — the historical
+  /// in-memory behavior every existing caller gets unchanged.
   explicit RankCubeDb(Table table, Options options = Options());
+
+  /// Opens a DURABLE db against options.durability.data_dir, running the
+  /// crash-recovery state machine (storage/durability.h). A fresh directory
+  /// is seeded from `seed` (checkpoint + empty WAL); an existing one
+  /// recovers its own state and ignores `seed`. After unrecoverable WAL
+  /// damage the db comes up read-only at the last consistent state —
+  /// Stats().read_only / degraded_reason carry the typed flag, and every
+  /// write returns kNotSupported. Hard-fails (kCorruption) only when the
+  /// manifest or checkpoint is too damaged to serve anything.
+  static Result<std::unique_ptr<RankCubeDb>> Open(Table seed, Options options);
 
   RankCubeDb(const RankCubeDb&) = delete;
   RankCubeDb& operator=(const RankCubeDb&) = delete;
@@ -193,6 +220,21 @@ class RankCubeDb {
   /// Excludes writers for the duration of the snapshot.
   DbStats Stats() const;
 
+  // --- durability ---------------------------------------------------------
+
+  bool durable() const { return durability_ != nullptr; }
+  /// Degraded mode: serving the last consistent state, writes refused.
+  bool read_only() const;
+  /// What Open() found and did (default-constructed for ephemeral dbs).
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  /// Durable-shutdown barrier: forces the WAL to stable storage and takes
+  /// a checkpoint at the current epoch, WITHOUT touching the delta log —
+  /// built engines still need their ChangesSince suffix, so this is safe
+  /// to call at any point (rankcubed runs it on SIGTERM). Compact() also
+  /// checkpoints, after it truncates the log.
+  Status Checkpoint();
+
   /// Physical pages charged by all lazy structure builds so far.
   uint64_t construction_pages() const;
 
@@ -204,11 +246,23 @@ class RankCubeDb {
   /// Must hold mu_. Builds `name` if needed and returns it.
   Result<const RankingEngine*> EngineLocked(const std::string& name);
 
+  /// Must hold ddl_mu_ exclusively. Latches degraded read-only mode after
+  /// a WAL failure (the mutation was never applied, so memory and disk
+  /// stay consistent — we just refuse to diverge further).
+  void DegradeLocked(const std::string& reason);
+
   Table table_;
   PageStore store_;
   TableStats stats_;
   Options options_;
   Planner planner_;
+
+  /// Set only by Open(); null = ephemeral. Mutated (Log*/Checkpoint) under
+  /// ddl_mu_ exclusive; read-side getters take ddl_mu_ shared.
+  std::unique_ptr<DurabilityManager> durability_;
+  RecoveryInfo recovery_;
+  /// Guarded by ddl_mu_ (written under exclusive, read under shared).
+  bool read_only_ = false;
 
   /// Read/write gate: queries and Explain hold it shared for their whole
   /// duration (QueryParallel's workers run under the caller's shared

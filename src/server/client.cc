@@ -6,9 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 namespace rankcube {
 
@@ -28,8 +31,10 @@ std::string WireQuerySpec::ToArgs() const {
   return args;
 }
 
-Result<RankCubeClient> RankCubeClient::Connect(const std::string& host,
-                                               uint16_t port) {
+namespace {
+
+/// Dials host:port; returns the connected fd.
+Result<int> Dial(const std::string& host, uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket(): ") + std::strerror(errno));
@@ -51,7 +56,16 @@ Result<RankCubeClient> RankCubeClient::Connect(const std::string& host,
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return RankCubeClient(fd);
+  return fd;
+}
+
+}  // namespace
+
+Result<RankCubeClient> RankCubeClient::Connect(const std::string& host,
+                                               uint16_t port) {
+  auto fd = Dial(host, port);
+  if (!fd.ok()) return fd.status();
+  return RankCubeClient(fd.value(), host, port);
 }
 
 RankCubeClient& RankCubeClient::operator=(RankCubeClient&& o) noexcept {
@@ -59,6 +73,12 @@ RankCubeClient& RankCubeClient::operator=(RankCubeClient&& o) noexcept {
     CloseAbruptly();
     fd_ = o.fd_;
     o.fd_ = -1;
+    host_ = std::move(o.host_);
+    port_ = o.port_;
+    tenant_ = std::move(o.tenant_);
+    policy_ = o.policy_;
+    reconnects_ = o.reconnects_;
+    rng_ = o.rng_;
   }
   return *this;
 }
@@ -113,6 +133,54 @@ Result<Response> RankCubeClient::Call(std::string_view payload) {
     reader.Feed(buf, static_cast<size_t>(n));
   }
   return Response::Parse(frame);
+}
+
+uint32_t RankCubeClient::BackoffMs(int attempt) {
+  uint64_t delay = policy_.base_delay_ms;
+  for (int i = 1; i < attempt && delay < policy_.max_delay_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min<uint64_t>(delay, policy_.max_delay_ms);
+  // Jitter the upper half (xorshift64) so a herd of clients that lost the
+  // same server doesn't redial in lockstep.
+  if (rng_ == 0) rng_ = policy_.jitter_seed | 1;
+  rng_ ^= rng_ << 13;
+  rng_ ^= rng_ >> 7;
+  rng_ ^= rng_ << 17;
+  uint64_t half = delay / 2;
+  return static_cast<uint32_t>(half + (half > 0 ? rng_ % (half + 1) : 0));
+}
+
+Status RankCubeClient::Reconnect() {
+  CloseAbruptly();
+  auto fd = Dial(host_, port_);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  if (!tenant_.empty()) {
+    // Rebind the tenant on the raw path — CallIdempotent would recurse.
+    auto hello = Call("HELLO tenant=" + tenant_);
+    if (!hello.ok()) return hello.status();
+    if (!hello.value().ok()) {
+      return Status::Internal("HELLO replay rejected: " +
+                              hello.value().message);
+    }
+  }
+  ++reconnects_;
+  return Status::OK();
+}
+
+Result<Response> RankCubeClient::CallIdempotent(const std::string& payload) {
+  Result<Response> resp = Call(payload);
+  if (resp.ok() || !policy_.enabled || port_ == 0) return resp;
+  // Transport failure (typed server errors arrive as ok() Responses): the
+  // request is read-only, so redial and resend until the policy runs out.
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs(attempt)));
+    if (!Reconnect().ok()) continue;
+    resp = Call(payload);
+    if (resp.ok()) return resp;
+  }
+  return resp;
 }
 
 Result<Response> RankCubeClient::Insert(const std::vector<int32_t>& sel,

@@ -43,19 +43,49 @@ struct WireQuerySpec {
   std::string ToArgs() const;
 };
 
+/// Automatic-reconnect knobs. On a TRANSPORT failure (reset, refused,
+/// truncated frame — never a typed server error) of an IDEMPOTENT verb, the
+/// client redials with bounded exponential backoff + jitter, replays its
+/// HELLO so the tenant binding survives, and retries the request.
+/// Non-idempotent verbs (INSERT/DELETE/COMPACT) are NEVER auto-retried: the
+/// original request may have committed before the connection died, and a
+/// blind resend would double-apply it. They fail fast; the caller decides.
+struct ReconnectPolicy {
+  bool enabled = true;
+  int max_attempts = 5;          ///< redial attempts per failed call
+  uint32_t base_delay_ms = 10;   ///< first backoff step
+  uint32_t max_delay_ms = 1000;  ///< backoff ceiling
+  uint64_t jitter_seed = 1;      ///< deterministic jitter stream (tests)
+};
+
 class RankCubeClient {
  public:
-  /// Opens a blocking TCP connection (IPv4).
+  /// Opens a blocking TCP connection (IPv4). The host/port are remembered
+  /// for automatic reconnects (see ReconnectPolicy).
   static Result<RankCubeClient> Connect(const std::string& host,
                                         uint16_t port);
 
-  RankCubeClient(RankCubeClient&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  RankCubeClient(RankCubeClient&& o) noexcept
+      : fd_(o.fd_),
+        host_(std::move(o.host_)),
+        port_(o.port_),
+        tenant_(std::move(o.tenant_)),
+        policy_(o.policy_),
+        reconnects_(o.reconnects_),
+        rng_(o.rng_) {
+    o.fd_ = -1;
+  }
   RankCubeClient& operator=(RankCubeClient&& o) noexcept;
   RankCubeClient(const RankCubeClient&) = delete;
   RankCubeClient& operator=(const RankCubeClient&) = delete;
   ~RankCubeClient();
 
   bool connected() const { return fd_ >= 0; }
+
+  void set_reconnect_policy(ReconnectPolicy policy) { policy_ = policy; }
+  const ReconnectPolicy& reconnect_policy() const { return policy_; }
+  /// Successful automatic reconnects performed so far.
+  uint64_t reconnects() const { return reconnects_; }
 
   /// Sends one request payload and reads one response frame. Transport
   /// failures return an error Status; server-side failures return a
@@ -68,15 +98,19 @@ class RankCubeClient {
   Status Send(std::string_view payload);
 
   // --- verb helpers --------------------------------------------------------
-  Result<Response> Ping() { return Call("PING"); }
+  // Read-only verbs go through the reconnecting path; mutating verbs
+  // (INSERT/DELETE/COMPACT) deliberately do not (see ReconnectPolicy).
+  Result<Response> Ping() { return CallIdempotent("PING"); }
+  /// Binds the connection's tenant; remembered so reconnects re-bind it.
   Result<Response> Hello(const std::string& tenant) {
-    return Call("HELLO tenant=" + tenant);
+    tenant_ = tenant;
+    return CallIdempotent("HELLO tenant=" + tenant);
   }
   Result<Response> Query(const WireQuerySpec& spec) {
-    return Call("QUERY " + spec.ToArgs());
+    return CallIdempotent("QUERY " + spec.ToArgs());
   }
   Result<Response> Explain(const WireQuerySpec& spec) {
-    return Call("EXPLAIN " + spec.ToArgs());
+    return CallIdempotent("EXPLAIN " + spec.ToArgs());
   }
   Result<Response> Insert(const std::vector<int32_t>& sel,
                           const std::vector<double>& rank);
@@ -84,7 +118,7 @@ class RankCubeClient {
     return Call("DELETE tid=" + std::to_string(tid));
   }
   Result<Response> Compact() { return Call("COMPACT"); }
-  Result<Response> Stats() { return Call("STATS"); }
+  Result<Response> Stats() { return CallIdempotent("STATS"); }
 
   /// Query() plus result decoding; a server-side error becomes an error
   /// Status carrying "<CODE>: <message>".
@@ -95,9 +129,25 @@ class RankCubeClient {
   void CloseAbruptly();
 
  private:
-  explicit RankCubeClient(int fd) : fd_(fd) {}
+  RankCubeClient(int fd, std::string host, uint16_t port)
+      : fd_(fd), host_(std::move(host)), port_(port) {}
+
+  /// Call() with transport-failure retry: redial (+ HELLO replay) under the
+  /// backoff policy, then resend. Only safe for idempotent payloads.
+  Result<Response> CallIdempotent(const std::string& payload);
+  /// Redials host_:port_ and replays HELLO; used by CallIdempotent.
+  Status Reconnect();
+  /// Backoff for redial `attempt` (1-based): exponential from base_delay_ms
+  /// capped at max_delay_ms, with the upper half jittered.
+  uint32_t BackoffMs(int attempt);
 
   int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
+  std::string tenant_;  ///< last HELLO, replayed after reconnect
+  ReconnectPolicy policy_;
+  uint64_t reconnects_ = 0;
+  uint64_t rng_ = 0;  ///< jitter stream state (lazily seeded)
 };
 
 }  // namespace rankcube

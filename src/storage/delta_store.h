@@ -87,6 +87,20 @@ class DeltaStore {
     log_.clear();
   }
 
+  /// Checkpoint restore: stamps the compacted epoch and tombstone set a
+  /// snapshot recorded. The snapshotted log suffix is irrelevant after a
+  /// restart (no built structure survives the process), so the restored
+  /// store starts with an empty log at `compacted_epoch`. Only valid on a
+  /// store that has recorded nothing yet.
+  void RestoreForRecovery(uint64_t compacted_epoch,
+                          const std::vector<Tid>& tombstones) {
+    compacted_epoch_ = compacted_epoch;
+    for (Tid tid : tombstones) {
+      if (!is_deleted(tid)) RecordDelete(tid);
+    }
+    log_.clear();
+  }
+
  private:
   /// First log index after epoch `since` (clamped).
   size_t SuffixBegin(uint64_t since) const {

@@ -1,0 +1,240 @@
+#include "storage/fault_fs.h"
+
+#include <algorithm>
+
+namespace rankcube {
+
+namespace {
+
+Status Crashed() {
+  return Status::Internal("simulated power loss (FaultFs kill point)");
+}
+
+}  // namespace
+
+// Holds a shared_ptr to the state so a handle stays valid across renames of
+// its path (exactly like a POSIX fd does).
+class FaultFs::FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultFs* fs, std::shared_ptr<FileState> state)
+      : fs_(fs), state_(std::move(state)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    bool short_write = false;
+    Status s = fs_->ChargeOpLocked(/*is_sync=*/false, &short_write);
+    if (!s.ok()) return s;
+    if (short_write) {
+      state_->data.append(data.data(), data.size() / 2);
+      return Crashed();
+    }
+    state_->data.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    Status s = fs_->ChargeOpLocked(/*is_sync=*/true, nullptr);
+    if (!s.ok()) return s;
+    state_->synced = state_->data.size();
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FaultFs* fs_;
+  std::shared_ptr<FileState> state_;
+};
+
+class FaultFs::FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(const FaultFs* fs, std::shared_ptr<FileState> state)
+      : fs_(fs), state_(std::move(state)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    out->clear();
+    if (offset >= state_->data.size()) return Status::OK();
+    size_t take = std::min<uint64_t>(n, state_->data.size() - offset);
+    out->assign(state_->data, offset, take);
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    return static_cast<uint64_t>(state_->data.size());
+  }
+
+ private:
+  const FaultFs* fs_;
+  std::shared_ptr<FileState> state_;
+};
+
+Status FaultFs::ChargeOpLocked(bool is_sync, bool* short_write) {
+  if (crashed_) return Crashed();
+  int64_t op = ops_++;
+  if (!is_sync && short_write != nullptr && plan_.short_write_at >= 0 &&
+      op == plan_.short_write_at) {
+    crashed_ = true;
+    *short_write = true;
+    return Status::OK();  // the caller tears the write, then reports crash
+  }
+  if (is_sync && plan_.fail_sync_at >= 0 && op == plan_.fail_sync_at) {
+    return Status::Internal("fsync: Input/output error (injected)");
+  }
+  if (plan_.crash_after_ops >= 0 && op >= plan_.crash_after_ops) {
+    crashed_ = true;
+    return Crashed();
+  }
+  return Status::OK();
+}
+
+FaultFs::FileState* FaultFs::FindLocked(const std::string& path) {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultFs::NewWritableFile(
+    const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Crashed();
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    it = files_.emplace(path, std::make_shared<FileState>()).first;
+  } else if (truncate) {
+    it->second->data.clear();
+    it->second->synced = 0;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, it->second));
+}
+
+Result<std::unique_ptr<RandomAccessFile>> FaultFs::NewRandomAccessFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState* state = FindLocked(path);
+  if (state == nullptr) return Status::NotFound("no such file: " + path);
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<FaultRandomAccessFile>(this, files_[path]));
+}
+
+Result<std::string> FaultFs::ReadFileToString(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState* state = FindLocked(path);
+  if (state == nullptr) return Status::NotFound("no such file: " + path);
+  return state->data;
+}
+
+Result<bool> FaultFs::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(path) != nullptr;
+}
+
+Result<uint64_t> FaultFs::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState* state = FindLocked(path);
+  if (state == nullptr) return Status::NotFound("no such file: " + path);
+  return static_cast<uint64_t>(state->data.size());
+}
+
+Status FaultFs::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Crashed();
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = it->second;  // overwrite-atomic, like POSIX rename
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status FaultFs::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Crashed();
+  if (files_.erase(path) == 0) return Status::NotFound("no such file: " + path);
+  return Status::OK();
+}
+
+Status FaultFs::TruncateFile(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Crashed();
+  FileState* state = FindLocked(path);
+  if (state == nullptr) return Status::NotFound("no such file: " + path);
+  if (size < state->data.size()) state->data.resize(size);
+  state->synced = std::min<uint64_t>(state->synced, size);
+  return Status::OK();
+}
+
+Status FaultFs::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Crashed();
+  dirs_.insert(path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FaultFs::ListDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string prefix = path;
+  if (prefix.empty() || prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [file_path, state] : files_) {
+    (void)state;
+    if (file_path.rfind(prefix, 0) == 0 &&
+        file_path.find('/', prefix.size()) == std::string::npos) {
+      names.push_back(file_path.substr(prefix.size()));
+    }
+  }
+  return names;
+}
+
+Status FaultFs::SyncDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Crashed();
+  // Metadata is modeled durable-on-commit; nothing further to do.
+  (void)path;
+  return Status::OK();
+}
+
+void FaultFs::SetPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  ops_ = 0;
+  crashed_ = false;
+}
+
+void FaultFs::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, state] : files_) {
+    (void)path;
+    uint64_t keep = std::min<uint64_t>(
+        state->data.size(), state->synced + plan_.torn_tail_bytes);
+    state->data.resize(keep);
+    state->synced = std::min<uint64_t>(state->synced, keep);
+  }
+  plan_ = FaultPlan{};
+  ops_ = 0;
+  crashed_ = false;
+}
+
+bool FaultFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+int64_t FaultFs::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+Status FaultFs::CorruptByte(const std::string& path, uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState* state = FindLocked(path);
+  if (state == nullptr) return Status::NotFound("no such file: " + path);
+  if (offset >= state->data.size()) {
+    return Status::OutOfRange("corrupt offset beyond file size");
+  }
+  state->data[offset] = static_cast<char>(state->data[offset] ^ 0x5A);
+  return Status::OK();
+}
+
+}  // namespace rankcube

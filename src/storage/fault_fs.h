@@ -1,0 +1,107 @@
+// FaultFs: an in-memory Fs with power-loss semantics and fault injection —
+// the harness behind every kill-mid-write recovery test.
+//
+// Crash model. Each file tracks its full ("OS cache") contents and a
+// synced_len watermark advanced only by WritableFile::Sync. Crash() reverts
+// the whole filesystem to what stable storage would hold after a kill -9 /
+// power cut: every file truncates to its watermark (plus an optional torn
+// tail of unsynced bytes, modeling a partially flushed sector). Metadata
+// ops (create, rename, remove, truncate) are modeled as immediately durable
+// — the journaled-metadata assumption every mainstream fs gives you — so
+// the interesting failure surface is exactly the one the WAL and checkpoint
+// CRCs must cover: lost and torn unsynced data.
+//
+// Fault plan. Appends and Syncs count as mutation ops (reads are free):
+//  * crash_after_ops=N  — the (N+1)-th op fails and latches the "crashed"
+//    state; every later mutation fails too. Sweeping N over a workload
+//    visits every kill point between two writes.
+//  * short_write_at=N   — that op (an Append) persists only half its bytes
+//    into the cache view, then latches crashed: a torn write.
+//  * fail_sync_at=N     — that op (a Sync) returns an error WITHOUT
+//    advancing the watermark, modeling fsync EIO; not latched, so the test
+//    can observe graceful degradation rather than crash recovery.
+// CorruptByte flips one stored byte in place — bit rot for the
+// torn-vs-corrupt recovery distinction.
+//
+// Thread-safe (single mutex); intended op rates are test-sized.
+#ifndef RANKCUBE_STORAGE_FAULT_FS_H_
+#define RANKCUBE_STORAGE_FAULT_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "storage/fs.h"
+
+namespace rankcube {
+
+struct FaultPlan {
+  int64_t crash_after_ops = -1;  ///< mutation-op budget; < 0 = unlimited
+  int64_t short_write_at = -1;   ///< op index whose Append tears in half
+  int64_t fail_sync_at = -1;     ///< op index whose Sync reports EIO
+  uint32_t torn_tail_bytes = 0;  ///< unsynced bytes Crash() leaves behind
+};
+
+class FaultFs : public Fs {
+ public:
+  FaultFs() = default;
+
+  // --- Fs interface --------------------------------------------------------
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+  // --- fault harness -------------------------------------------------------
+  /// Installs a plan and resets the op counter (not the stored data).
+  void SetPlan(const FaultPlan& plan);
+  /// Simulates the machine dying and rebooting: every file reverts to its
+  /// synced watermark (+ the plan's torn tail), the crashed latch and plan
+  /// clear. The fs is then reusable for the recovery run.
+  void Crash();
+  /// True once an injected kill point fired; all mutations fail until
+  /// Crash() "reboots".
+  bool crashed() const;
+  /// Mutation ops executed since the last SetPlan.
+  int64_t ops() const;
+  /// Flips one byte of `path` in both the cache and durable views.
+  Status CorruptByte(const std::string& path, uint64_t offset);
+
+ private:
+  struct FileState {
+    std::string data;       ///< OS-cache view (what reads see pre-crash)
+    uint64_t synced = 0;    ///< crash-durable watermark
+  };
+
+  class FaultWritableFile;
+  class FaultRandomAccessFile;
+
+  /// Must hold mu_. Charges one mutation op; returns an error when a kill
+  /// point fires. `is_sync` selects which injections apply.
+  Status ChargeOpLocked(bool is_sync, bool* short_write);
+
+  FileState* FindLocked(const std::string& path);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  std::set<std::string> dirs_;
+  FaultPlan plan_;
+  int64_t ops_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_STORAGE_FAULT_FS_H_

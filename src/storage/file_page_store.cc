@@ -1,0 +1,177 @@
+#include "storage/file_page_store.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace rankcube {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'P', 'G'};
+constexpr uint32_t kVersion = 1;
+// magic + version + page_size + reserved + num_data_pages + payload_bytes
+// + epoch + crc
+constexpr size_t kHeaderBytes = 4 + 4 + 4 + 4 + 8 + 8 + 8 + 4;
+constexpr size_t kPageOverhead = 4 + 8;  // crc + page_index
+constexpr size_t kMinPageSize = 64;
+constexpr size_t kMaxPageSize = 1 << 20;
+
+template <typename T>
+void PutPod(std::string* out, const T& v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T GetPod(const std::string& in, size_t* pos) {
+  T v;
+  std::memcpy(&v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+Status FilePageStore::WriteBlobFile(Fs* fs, const std::string& path,
+                                    std::string_view blob, size_t page_size,
+                                    uint64_t epoch) {
+  if (page_size < kMinPageSize || page_size > kMaxPageSize) {
+    return Status::InvalidArgument("page_size out of range");
+  }
+  const size_t payload_per_page = page_size - kPageOverhead;
+  const uint64_t num_pages =
+      (blob.size() + payload_per_page - 1) / payload_per_page;
+
+  auto file = fs->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+
+  std::string header;
+  header.reserve(page_size);
+  header.append(kMagic, sizeof(kMagic));
+  PutPod(&header, kVersion);
+  PutPod(&header, static_cast<uint32_t>(page_size));
+  PutPod(&header, uint32_t{0});  // reserved
+  PutPod(&header, num_pages);
+  PutPod(&header, static_cast<uint64_t>(blob.size()));
+  PutPod(&header, epoch);
+  PutPod(&header, StoredCrc32c(std::string_view(header)));
+  header.resize(page_size, '\0');
+  RC_RETURN_IF_ERROR(file.value()->Append(header));
+
+  std::string page;
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    const size_t off = i * payload_per_page;
+    const size_t take = std::min(payload_per_page, blob.size() - off);
+    page.clear();
+    page.reserve(page_size);
+    PutPod(&page, i + 1);
+    page.append(blob.data() + off, take);
+    page.resize(page_size - 4, '\0');
+    uint32_t crc = StoredCrc32c(std::string_view(page));
+    std::string framed;
+    framed.reserve(page_size);
+    PutPod(&framed, crc);
+    framed += page;
+    RC_RETURN_IF_ERROR(file.value()->Append(framed));
+  }
+  RC_RETURN_IF_ERROR(file.value()->Sync());
+  return file.value()->Close();
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    Fs* fs, const std::string& path) {
+  auto file = fs->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+
+  std::string header;
+  RC_RETURN_IF_ERROR(file.value()->Read(0, kHeaderBytes, &header));
+  if (header.size() < kHeaderBytes ||
+      std::memcmp(header.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("checkpoint '" + path + "': bad magic");
+  }
+  size_t pos = sizeof(kMagic);
+  uint32_t version = GetPod<uint32_t>(header, &pos);
+  uint32_t page_size = GetPod<uint32_t>(header, &pos);
+  pos += 4;  // reserved
+  uint64_t num_pages = GetPod<uint64_t>(header, &pos);
+  uint64_t payload_bytes = GetPod<uint64_t>(header, &pos);
+  uint64_t epoch = GetPod<uint64_t>(header, &pos);
+  uint32_t crc = GetPod<uint32_t>(header, &pos);
+  if (version != kVersion ||
+      StoredCrc32c(std::string_view(header.data(), kHeaderBytes - 4)) != crc) {
+    return Status::Corruption("checkpoint '" + path +
+                              "': header checksum mismatch");
+  }
+  if (page_size < kMinPageSize || page_size > kMaxPageSize) {
+    return Status::Corruption("checkpoint '" + path + "': bad page size");
+  }
+  const uint64_t payload_per_page = page_size - kPageOverhead;
+  if (payload_bytes > num_pages * payload_per_page ||
+      (num_pages > 0 && payload_bytes <= (num_pages - 1) * payload_per_page)) {
+    return Status::Corruption("checkpoint '" + path +
+                              "': page count / payload size disagree");
+  }
+  auto size = file.value()->Size();
+  if (!size.ok()) return size.status();
+  const uint64_t want = (num_pages + 1) * static_cast<uint64_t>(page_size);
+  if (size.value() < want) {
+    return Status::Corruption("checkpoint '" + path + "': truncated (" +
+                              std::to_string(size.value()) + " of " +
+                              std::to_string(want) + " bytes)");
+  }
+
+  auto store = std::unique_ptr<FilePageStore>(
+      new FilePageStore(std::move(file).value(), path));
+  store->page_size_ = page_size;
+  store->num_data_pages_ = num_pages;
+  store->payload_bytes_ = payload_bytes;
+  store->epoch_ = epoch;
+  return store;
+}
+
+Status FilePageStore::ReadPage(uint64_t index, std::string* payload) const {
+  if (index == 0 || index > num_data_pages_) {
+    return Status::OutOfRange("page index " + std::to_string(index) +
+                              " not in [1, " +
+                              std::to_string(num_data_pages_) + "]");
+  }
+  std::string page;
+  RC_RETURN_IF_ERROR(file_->Read(index * page_size_, page_size_, &page));
+  if (page.size() != page_size_) {
+    return Status::Corruption("checkpoint '" + path_ + "' page " +
+                              std::to_string(index) + ": short read");
+  }
+  size_t pos = 0;
+  uint32_t crc = GetPod<uint32_t>(page, &pos);
+  if (StoredCrc32c(std::string_view(page.data() + 4, page_size_ - 4)) != crc) {
+    return Status::Corruption("checkpoint '" + path_ + "' page " +
+                              std::to_string(index) + ": checksum mismatch");
+  }
+  uint64_t stored_index = GetPod<uint64_t>(page, &pos);
+  if (stored_index != index) {
+    return Status::Corruption("checkpoint '" + path_ + "' page " +
+                              std::to_string(index) +
+                              ": misdirected write (stored index " +
+                              std::to_string(stored_index) + ")");
+  }
+  const size_t payload_per_page = page_size_ - kPageOverhead;
+  const uint64_t off = (index - 1) * payload_per_page;
+  const size_t take =
+      static_cast<size_t>(std::min<uint64_t>(payload_per_page,
+                                             payload_bytes_ - off));
+  payload->assign(page, pos, take);
+  return Status::OK();
+}
+
+Result<std::string> FilePageStore::ReadBlob() const {
+  std::string blob;
+  blob.reserve(payload_bytes_);
+  std::string payload;
+  for (uint64_t i = 1; i <= num_data_pages_; ++i) {
+    RC_RETURN_IF_ERROR(ReadPage(i, &payload));
+    blob += payload;
+  }
+  return blob;
+}
+
+}  // namespace rankcube

@@ -1,0 +1,68 @@
+// Checkpoint files: a blob stored as fixed-size pages, each carrying its
+// own CRC and page index, so recovery can detect a torn or misdirected
+// write down to the page and report exactly where. This is the real-file
+// half of the PageStore story — once a checkpoint exists, the shared
+// buffer cache's kTable misses are served by pread against this file
+// (PageStore::AttachTableBacking), verifying page checksums on the way in.
+//
+// Layout (page_size-aligned):
+//   page 0        : "RCPG" | u32 version | u32 page_size | u32 reserved
+//                   | u64 num_data_pages | u64 payload_bytes | u64 epoch
+//                   | u32 crc(all previous) | zero padding
+//   page 1..N     : u32 crc(index+payload) | u64 page_index (1-based)
+//                   | payload (page_size - 12 bytes; last page zero-padded)
+//
+// Files are written once (checkpoints are immutable); atomicity comes from
+// the caller writing to a temp name and renaming after Sync.
+#ifndef RANKCUBE_STORAGE_FILE_PAGE_STORE_H_
+#define RANKCUBE_STORAGE_FILE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/fs.h"
+
+namespace rankcube {
+
+class FilePageStore {
+ public:
+  /// Writes `blob` to `path` in the paged format and syncs it. Overwrites.
+  static Status WriteBlobFile(Fs* fs, const std::string& path,
+                              std::string_view blob, size_t page_size,
+                              uint64_t epoch);
+
+  /// Opens + validates the header (the per-page payload is validated on
+  /// read). Fails with kCorruption when the header is damaged.
+  static Result<std::unique_ptr<FilePageStore>> Open(Fs* fs,
+                                                     const std::string& path);
+
+  /// Reads + CRC-verifies data page `index` (1-based); kCorruption names
+  /// the page on mismatch — torn writes and bit rot land here.
+  Status ReadPage(uint64_t index, std::string* payload) const;
+
+  /// Reassembles the whole blob, verifying every page.
+  Result<std::string> ReadBlob() const;
+
+  uint64_t num_data_pages() const { return num_data_pages_; }
+  uint64_t payload_bytes() const { return payload_bytes_; }
+  size_t page_size() const { return page_size_; }
+  uint64_t epoch() const { return epoch_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  FilePageStore(std::unique_ptr<RandomAccessFile> file, std::string path)
+      : file_(std::move(file)), path_(std::move(path)) {}
+
+  std::unique_ptr<RandomAccessFile> file_;
+  std::string path_;
+  size_t page_size_ = 0;
+  uint64_t num_data_pages_ = 0;
+  uint64_t payload_bytes_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_STORAGE_FILE_PAGE_STORE_H_

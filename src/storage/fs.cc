@@ -1,0 +1,226 @@
+#include "storage/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rankcube {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + "(" + path + "): " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    size_t written = 0;
+    while (written < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      written += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pread", path_);
+      }
+      if (r == 0) break;  // EOF
+      got += static_cast<size_t>(r);
+    }
+    out->resize(got);
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return Errno("fstat", path_);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFs : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | O_CLOEXEC |
+                (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<PosixRandomAccessFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    auto file = NewRandomAccessFile(path);
+    if (!file.ok()) return file.status();
+    auto size = file.value()->Size();
+    if (!size.ok()) return size.status();
+    std::string out;
+    RC_RETURN_IF_ERROR(file.value()->Read(0, size.value(), &out));
+    return out;
+  }
+
+  Result<bool> FileExists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) return true;
+    if (errno == ENOENT) return false;
+    return Errno("stat", path);
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    // mkdir -p: create each component, tolerating ones that exist.
+    std::string prefix;
+    size_t start = 0;
+    if (!path.empty() && path[0] == '/') {
+      prefix = "/";
+      start = 1;
+    }
+    while (start <= path.size()) {
+      size_t slash = path.find('/', start);
+      if (slash == std::string::npos) slash = path.size();
+      if (slash > start) {
+        prefix.append(path, start, slash - start);
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+          return Errno("mkdir", prefix);
+        }
+        prefix += '/';
+      }
+      start = slash + 1;
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return Errno("opendir", path);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    return names;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return Errno("open", path);
+    Status s = Status::OK();
+    if (::fsync(fd) != 0) s = Errno("fsync", path);
+    ::close(fd);
+    return s;
+  }
+};
+
+}  // namespace
+
+Fs* Fs::Posix() {
+  static PosixFs* fs = new PosixFs();
+  return fs;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+Status WriteFileAtomic(Fs* fs, const std::string& dir,
+                       const std::string& filename, std::string_view data) {
+  const std::string tmp = JoinPath(dir, filename + ".tmp");
+  const std::string target = JoinPath(dir, filename);
+  auto file = fs->NewWritableFile(tmp, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  RC_RETURN_IF_ERROR(file.value()->Append(data));
+  RC_RETURN_IF_ERROR(file.value()->Sync());
+  RC_RETURN_IF_ERROR(file.value()->Close());
+  RC_RETURN_IF_ERROR(fs->RenameFile(tmp, target));
+  return fs->SyncDir(dir);
+}
+
+}  // namespace rankcube

@@ -1,0 +1,90 @@
+// Filesystem abstraction the durability layer writes through. Every durable
+// artifact (WAL segments, checkpoint files, the manifest) goes through an Fs
+// so the crash-recovery tests can substitute FaultFs (fault_fs.h) — an
+// in-memory filesystem with precise power-loss semantics: data survives a
+// crash only up to the last Sync, and injected faults (short writes, fsync
+// failures, kill points) land at deterministic operation counts. Production
+// code uses Fs::Posix().
+//
+// Durability contract (matches what POSIX actually promises):
+//  * WritableFile::Append buffers in the OS; only Sync() makes bytes
+//    crash-durable. A crash may keep any prefix of unsynced appends — torn
+//    writes included — which is why every record and page carries a CRC.
+//  * Metadata ops (create, rename, remove) become durable with SyncDir() on
+//    the containing directory; RenameFile over an existing target is atomic
+//    (the reader sees the old file or the new one, never a mix).
+#ifndef RANKCUBE_STORAGE_FS_H_
+#define RANKCUBE_STORAGE_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rankcube {
+
+/// Sequential append handle. Not thread-safe; one writer owns it.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  /// Makes every appended byte crash-durable (fsync). An error here means
+  /// the bytes may or may not be on stable storage — callers must treat the
+  /// file as suspect (the WAL latches read-only).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Positional read handle; Read is thread-safe (pread semantics), which is
+/// what lets the shared PageStore serve concurrent backing reads.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to `n` bytes at `offset`; short only at end-of-file.
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+  virtual Result<uint64_t> Size() const = 0;
+};
+
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// `truncate` false opens for append (creating if missing).
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Creates `path` (and parents); succeeds if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+  /// File names (not paths) in `path`, unsorted; excludes "." / "..".
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+  /// Makes metadata ops inside `path` crash-durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// The real filesystem; process-lifetime singleton.
+  static Fs* Posix();
+};
+
+/// Writes `data` as `dir`/`filename` atomically: temp file in the same
+/// directory, Sync, rename over the target, SyncDir. A crash leaves either
+/// the old file or the complete new one — the manifest update primitive.
+Status WriteFileAtomic(Fs* fs, const std::string& dir,
+                       const std::string& filename, std::string_view data);
+
+/// `dir` + "/" + `name` (no trailing-slash surprises).
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_STORAGE_FS_H_

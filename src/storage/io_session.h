@@ -59,6 +59,12 @@ class IoSession {
     s.physical += charged;
     s.device += device;
     if (device > 0 && store_->read_latency_us() > 0) SimulateWait(device);
+    // With a durable checkpoint attached, a single-page heap miss performs a
+    // real verified pread (multi-page scans stay modeled; see page_store.h).
+    if (device > 0 && npages == 1 && cat == IoCategory::kTable &&
+        store_->has_table_backing()) {
+      store_->ReadBackingPage(key);
+    }
   }
 
   const IoStats& stats(IoCategory cat) const {

@@ -1,5 +1,7 @@
 #include "storage/page_store.h"
 
+#include "storage/file_page_store.h"
+
 namespace rankcube {
 
 const char* IoCategoryName(IoCategory cat) {
@@ -72,6 +74,27 @@ void PageStore::ClearCache() const {
     shard.lru.clear();
     shard.in_cache.clear();
   }
+}
+
+void PageStore::AttachTableBacking(
+    std::shared_ptr<const FilePageStore> backing) {
+  std::lock_guard<std::mutex> lock(backing_mu_);
+  bool attached = backing != nullptr && backing->num_data_pages() > 0;
+  backing_ = std::move(backing);
+  has_backing_.store(attached, std::memory_order_relaxed);
+}
+
+void PageStore::ReadBackingPage(uint64_t key) const {
+  std::shared_ptr<const FilePageStore> backing;
+  {
+    std::lock_guard<std::mutex> lock(backing_mu_);
+    backing = backing_;
+  }
+  if (backing == nullptr || backing->num_data_pages() == 0) return;
+  std::string payload;
+  backing_reads_.fetch_add(1, std::memory_order_relaxed);
+  Status s = backing->ReadPage(key % backing->num_data_pages() + 1, &payload);
+  if (!s.ok()) backing_corruptions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace rankcube

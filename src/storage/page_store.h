@@ -19,13 +19,17 @@
 #ifndef RANKCUBE_STORAGE_PAGE_STORE_H_
 #define RANKCUBE_STORAGE_PAGE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 namespace rankcube {
+
+class FilePageStore;
 
 /// Which subsystem a page belongs to; stats are reported per category.
 enum class IoCategory : int {
@@ -128,6 +132,37 @@ class PageStore {
   /// Drops every cached page (does not touch any session's counters).
   void ClearCache() const;
 
+  // --- checkpoint-file backing --------------------------------------------
+  // When a durable checkpoint exists, kTable misses against the shared
+  // cache stop being pure simulation: each one performs a verified pread
+  // from the checkpoint file (per-page CRC + stored page index), so disk
+  // corruption surfaces on the read path the moment a query touches it.
+  // The heap-page key is folded onto the checkpoint's data pages — the
+  // snapshot blob's geometry differs from the simulated heap's — so the
+  // property delivered is "every device miss reads and verifies real
+  // checkpoint bytes", not a byte-per-byte heap mapping.
+
+  /// Attaches (or, with nullptr, detaches) the checkpoint backing. Called
+  /// on open and after each checkpoint rotation; safe against concurrent
+  /// readers.
+  void AttachTableBacking(std::shared_ptr<const FilePageStore> backing);
+  bool has_table_backing() const {
+    return has_backing_.load(std::memory_order_relaxed);
+  }
+  /// One verified backing pread for heap page `key`; counts the read and,
+  /// on CRC mismatch, latches the corruption flag (queries keep running on
+  /// the in-memory relation; STATS exposes the latch).
+  void ReadBackingPage(uint64_t key) const;
+  uint64_t backing_reads() const {
+    return backing_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t backing_corruptions() const {
+    return backing_corruptions_.load(std::memory_order_relaxed);
+  }
+  bool backing_corrupt() const {
+    return backing_corruptions() > 0;
+  }
+
  private:
   /// One LRU shard; `mu` guards `lru` + `in_cache`. Most-recent at front.
   struct Shard {
@@ -141,6 +176,12 @@ class PageStore {
   Options options_;
   size_t shard_capacity_ = 0;  ///< pages per shard
   mutable std::vector<Shard> shards_;
+
+  mutable std::mutex backing_mu_;  ///< guards backing_ swap vs. readers
+  std::shared_ptr<const FilePageStore> backing_;
+  std::atomic<bool> has_backing_{false};
+  mutable std::atomic<uint64_t> backing_reads_{0};
+  mutable std::atomic<uint64_t> backing_corruptions_{0};
 };
 
 }  // namespace rankcube

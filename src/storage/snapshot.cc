@@ -1,0 +1,131 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+#include <vector>
+
+namespace rankcube {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'S', 'N'};
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kMaxDims = 1 << 10;
+
+template <typename T>
+void PutPod(std::string* out, const T& v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool GetPod(const std::string& in, size_t* pos, T* v) {
+  if (in.size() - *pos < sizeof(T)) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+Status Corrupt(const char* what) {
+  return Status::Corruption(std::string("table snapshot: ") + what);
+}
+
+}  // namespace
+
+std::string EncodeTableSnapshot(const Table& table) {
+  const TableSchema& schema = table.schema();
+  const size_t rows = table.num_rows();
+
+  std::vector<Tid> tombstones;
+  for (size_t r = 0; r < rows; ++r) {
+    if (!table.is_live(static_cast<Tid>(r))) {
+      tombstones.push_back(static_cast<Tid>(r));
+    }
+  }
+
+  std::string out;
+  out.reserve(64 + rows * table.RowBytes());
+  out.append(kMagic, sizeof(kMagic));
+  PutPod(&out, kVersion);
+  PutPod(&out, static_cast<uint32_t>(schema.num_sel_dims()));
+  PutPod(&out, static_cast<uint32_t>(schema.num_rank_dims));
+  for (int32_t card : schema.sel_cardinality) PutPod(&out, card);
+  PutPod(&out, static_cast<uint64_t>(rows));
+  PutPod(&out, table.epoch());
+  PutPod(&out, static_cast<uint64_t>(tombstones.size()));
+  for (Tid tid : tombstones) PutPod(&out, tid);
+  for (int d = 0; d < schema.num_sel_dims(); ++d) {
+    out.append(reinterpret_cast<const char*>(table.sel_col(d)),
+               rows * sizeof(int32_t));
+  }
+  for (int d = 0; d < schema.num_rank_dims; ++d) {
+    out.append(reinterpret_cast<const char*>(table.rank_col(d)),
+               rows * sizeof(double));
+  }
+  return out;
+}
+
+Result<Table> DecodeTableSnapshot(const std::string& blob) {
+  size_t pos = 0;
+  if (blob.size() < sizeof(kMagic) ||
+      std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic");
+  }
+  pos = sizeof(kMagic);
+  uint32_t version = 0;
+  uint32_t num_sel = 0;
+  uint32_t num_rank = 0;
+  if (!GetPod(blob, &pos, &version) || version != kVersion) {
+    return Corrupt("unknown version");
+  }
+  if (!GetPod(blob, &pos, &num_sel) || !GetPod(blob, &pos, &num_rank) ||
+      num_sel > kMaxDims || num_rank > kMaxDims) {
+    return Corrupt("implausible dimension counts");
+  }
+  TableSchema schema;
+  schema.sel_cardinality.resize(num_sel);
+  schema.num_rank_dims = static_cast<int>(num_rank);
+  for (auto& card : schema.sel_cardinality) {
+    if (!GetPod(blob, &pos, &card) || card <= 0) {
+      return Corrupt("bad dimension cardinality");
+    }
+  }
+  uint64_t rows = 0;
+  uint64_t epoch = 0;
+  uint64_t num_tombstones = 0;
+  if (!GetPod(blob, &pos, &rows) || !GetPod(blob, &pos, &epoch) ||
+      !GetPod(blob, &pos, &num_tombstones) || num_tombstones > rows) {
+    return Corrupt("bad row / tombstone counts");
+  }
+  const uint64_t want = pos + num_tombstones * sizeof(Tid) +
+                        rows * (num_sel * sizeof(int32_t)) +
+                        rows * (num_rank * sizeof(double));
+  if (blob.size() != want) return Corrupt("size mismatch");
+
+  std::vector<Tid> tombstones(num_tombstones);
+  for (auto& tid : tombstones) {
+    if (!GetPod(blob, &pos, &tid) || tid >= rows) {
+      return Corrupt("tombstone tid out of range");
+    }
+  }
+
+  // Column-major in the blob; AddRow wants rows. Gather per row.
+  const char* sel_base = blob.data() + pos;
+  const char* rank_base = sel_base + rows * num_sel * sizeof(int32_t);
+  Table table(schema);
+  std::vector<int32_t> sel(num_sel);
+  std::vector<double> rank(num_rank);
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint32_t d = 0; d < num_sel; ++d) {
+      std::memcpy(&sel[d], sel_base + (d * rows + r) * sizeof(int32_t),
+                  sizeof(int32_t));
+    }
+    for (uint32_t d = 0; d < num_rank; ++d) {
+      std::memcpy(&rank[d], rank_base + (d * rows + r) * sizeof(double),
+                  sizeof(double));
+    }
+    RC_RETURN_IF_ERROR(table.AddRow(sel, rank));
+  }
+  table.RestoreRecoveryState(epoch, tombstones);
+  return table;
+}
+
+}  // namespace rankcube

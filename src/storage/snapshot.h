@@ -1,0 +1,30 @@
+// Table snapshot codec: the byte blob a checkpoint file stores. Captures
+// everything needed to reconstruct the relation exactly — schema, the full
+// column heap (tombstoned rows included, since tids are positional and never
+// reused), the tombstone set, and the epoch. Access structures are NOT
+// snapshotted: they are derived state, rebuilt lazily on first use, which
+// keeps checkpoints small and recovery code trivial.
+//
+// The blob is wrapped in a FilePageStore file (per-page CRCs), so this codec
+// does integrity-free plain serialization; structural validation on decode
+// still guards against version skew.
+#ifndef RANKCUBE_STORAGE_SNAPSHOT_H_
+#define RANKCUBE_STORAGE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace rankcube {
+
+/// Serializes `table` (rows, tombstones, epoch) into a blob.
+std::string EncodeTableSnapshot(const Table& table);
+
+/// Rebuilds a Table from a blob produced by EncodeTableSnapshot. The result
+/// has an empty mutation log at compacted_epoch = the snapshotted epoch.
+Result<Table> DecodeTableSnapshot(const std::string& blob);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_STORAGE_SNAPSHOT_H_

@@ -9,16 +9,14 @@ Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   rank_cols_.resize(schema_.num_rank_dims);
 }
 
-Status Table::AddRow(const std::vector<int32_t>& sel,
-                     const std::vector<double>& rank) {
+Status Table::ValidateRow(const std::vector<int32_t>& sel,
+                          const std::vector<double>& rank) const {
   if (static_cast<int>(sel.size()) != schema_.num_sel_dims()) {
     return Status::InvalidArgument("selection arity mismatch");
   }
   if (static_cast<int>(rank.size()) != schema_.num_rank_dims) {
     return Status::InvalidArgument("ranking arity mismatch");
   }
-  // Validate everything before touching any column, so a rejected row never
-  // leaves a partially appended value behind.
   for (int d = 0; d < schema_.num_sel_dims(); ++d) {
     if (sel[d] < 0 || sel[d] >= schema_.sel_cardinality[d]) {
       return Status::OutOfRange("selection value out of dimension domain");
@@ -30,6 +28,14 @@ Status Table::AddRow(const std::vector<int32_t>& sel,
       return Status::OutOfRange("ranking value outside [0, 1]");
     }
   }
+  return Status::OK();
+}
+
+Status Table::AddRow(const std::vector<int32_t>& sel,
+                     const std::vector<double>& rank) {
+  // Validate everything before touching any column, so a rejected row never
+  // leaves a partially appended value behind.
+  RC_RETURN_IF_ERROR(ValidateRow(sel, rank));
   for (int d = 0; d < schema_.num_sel_dims(); ++d) {
     sel_cols_[d].push_back(sel[d]);
   }
@@ -48,7 +54,7 @@ Result<Tid> Table::Insert(const std::vector<int32_t>& sel,
   return tid;
 }
 
-Status Table::Delete(Tid row) {
+Status Table::CanDelete(Tid row) const {
   if (row >= num_rows_) {
     return Status::InvalidArgument("delete of nonexistent tid " +
                                    std::to_string(row));
@@ -57,8 +63,18 @@ Status Table::Delete(Tid row) {
     return Status::NotFound("tid " + std::to_string(row) +
                             " is already deleted");
   }
+  return Status::OK();
+}
+
+Status Table::Delete(Tid row) {
+  RC_RETURN_IF_ERROR(CanDelete(row));
   delta_.RecordDelete(row);
   return Status::OK();
+}
+
+void Table::RestoreRecoveryState(uint64_t epoch,
+                                 const std::vector<Tid>& tombstones) {
+  delta_.RestoreForRecovery(epoch, tombstones);
 }
 
 size_t Table::RowBytes() const {

@@ -49,6 +49,21 @@ class Table {
   Status AddRow(const std::vector<int32_t>& sel,
                 const std::vector<double>& rank);
 
+  // --- durability hooks (write-ahead ordering) ----------------------------
+
+  /// The validation half of AddRow with no side effects. The durable write
+  /// path must know a mutation will apply BEFORE logging it to the WAL —
+  /// otherwise replay would re-hit the validation error and diverge.
+  Status ValidateRow(const std::vector<int32_t>& sel,
+                     const std::vector<double>& rank) const;
+  /// Same for Delete: OK iff Delete(row) would succeed right now.
+  Status CanDelete(Tid row) const;
+
+  /// Snapshot restore: stamps the epoch and tombstone set recorded by a
+  /// checkpoint onto a freshly bulk-loaded table. Only valid before any
+  /// logged mutation (the delta log must be empty).
+  void RestoreRecoveryState(uint64_t epoch, const std::vector<Tid>& tombstones);
+
   // --- write path (logged; drives incremental maintenance) ---------------
 
   /// Appends a row and records the mutation; returns the new tid. Same

@@ -314,7 +314,11 @@ TEST_F(ServerTest, OversizedFrameIsRejectedThenDisconnected) {
   auto resp = client.Call(std::string(65, 'x'));
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   EXPECT_EQ(resp.value().code, WireCode::kTooLarge);
-  // The server hangs up after the error (it cannot resync the stream).
+  // The server hangs up after the error (it cannot resync the stream) — a
+  // reconnect-disabled client observes the raw disconnect.
+  ReconnectPolicy no_retry;
+  no_retry.enabled = false;
+  client.set_reconnect_policy(no_retry);
   auto after = client.Ping();
   EXPECT_FALSE(after.ok());
 
@@ -444,6 +448,71 @@ TEST_F(ServerTest, StopUnblocksIdleConnections) {
   EXPECT_FALSE(server_->running());
   auto after = client.Ping();
   EXPECT_FALSE(after.ok());
+}
+
+TEST_F(ServerTest, PortZeroBindsEphemeralAndIsReadBack) {
+  RankCubeServer::Options options;
+  options.port = 0;  // the OS picks; port() must report the real one
+  StartServer(options);
+  ASSERT_NE(server_->port(), 0);
+  auto client = RankCubeClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto ping = client.value().Ping();
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(ping.value().ok());
+}
+
+TEST_F(ServerTest, IdempotentVerbsReconnectAfterHangupAndReplayHello) {
+  // An oversized frame makes the server hang up on us — a deterministic
+  // server-side disconnect. The next idempotent verb must redial, replay
+  // the HELLO tenant binding, and succeed without the caller noticing.
+  RankCubeServer::Options options;
+  options.max_frame_bytes = 64;
+  StartServer(options);
+  RankCubeClient client = Connect();
+  ReconnectPolicy fast;
+  fast.base_delay_ms = 1;
+  fast.max_delay_ms = 4;
+  client.set_reconnect_policy(fast);
+  ASSERT_TRUE(client.Hello("tenant-r").ok());
+
+  for (uint64_t round = 1; round <= 2; ++round) {
+    auto resp = client.Call(std::string(65, 'x'));
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp.value().code, WireCode::kTooLarge);
+
+    WireQuerySpec spec;
+    spec.k = 3;
+    spec.order = "linear:1,2";
+    auto query = client.Query(spec);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    EXPECT_TRUE(query.value().ok()) << query.value().message;
+    EXPECT_EQ(client.reconnects(), round);
+  }
+  // The replayed HELLO kept the tenant binding: the admission controller
+  // accounted this traffic to "tenant-r", not the default tenant.
+  auto snapshot = server_->admission().Snapshot();
+  EXPECT_GT(snapshot["tenant-r"].admitted, 0u);
+}
+
+TEST_F(ServerTest, MutatingVerbsAreNeverAutoRetried) {
+  StartServer({});
+  RankCubeClient client = Connect();
+  ASSERT_TRUE(client.Ping().ok());
+  // Sever the transport: an idempotent verb would transparently redial
+  // here, but INSERT must fail fast — the original may have committed, and
+  // a blind resend would double-apply it.
+  client.CloseAbruptly();
+  auto insert = client.Insert({1, 1, 1}, {0.5, 0.5});
+  EXPECT_FALSE(insert.ok());
+  auto del = client.Delete(0);
+  EXPECT_FALSE(del.ok());
+  EXPECT_EQ(client.reconnects(), 0u);
+  // The same client then recovers via the next idempotent verb.
+  auto ping = client.Ping();
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_TRUE(ping.value().ok());
+  EXPECT_EQ(client.reconnects(), 1u);
 }
 
 // RankCubeDb::Stats consistency through the server-independent API.
