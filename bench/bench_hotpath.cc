@@ -17,7 +17,7 @@
 // throughput trajectory is tracked commit over commit.
 //
 // Usage:
-//   bench_hotpath [--rows=N] [--reps=N] [--json=PATH] [--smoke]
+//   bench_hotpath [--rows=N] [--reps=N] [--seed=N] [--json=PATH] [--smoke]
 //
 // The default --rows matches the repository's laptop-scale bench convention
 // (bench_parallel uses the same 20k-row synthetic relation): columns stay
@@ -56,6 +56,7 @@ struct Flags {
   int reps = 10;       ///< passes over the tid stream per trial
   int trials = 5;      ///< best-of-N trials per cell (noise robustness)
   bool smoke = false;  ///< tiny sizes for CI health checks
+  uint64_t seed = 7;   ///< data-generator seed (recorded in the JSON)
   std::string json = "BENCH_hotpath.json";
 };
 
@@ -76,6 +77,8 @@ Flags ParseFlags(int argc, char** argv) {
       f.reps = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--trials=", &v)) {
       f.trials = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--seed=", &v)) {
+      f.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       f.smoke = true;
     } else if (ParseFlag(argv[i], "--json=", &v)) {
@@ -152,7 +155,7 @@ int Main(int argc, char** argv) {
   spec.num_sel_dims = 2;
   spec.cardinality = 8;
   spec.num_rank_dims = kRankDims;
-  spec.seed = 7;
+  spec.seed = flags.seed;
   Table table = GenerateSynthetic(spec);
 
   // Tuple stream: every tid once, scrambled, so block starts are not
@@ -451,10 +454,11 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(out,
                "{\n  \"bench\": \"scoring_hotpath\",\n"
-               "  \"rows\": %llu,\n  \"reps\": %d,\n"
+               "  \"rows\": %llu,\n  \"seed\": %llu,\n  \"reps\": %d,\n"
                "  \"trials\": %d,\n"
                "  \"rank_dims\": %d,\n  \"results\": [\n",
-               static_cast<unsigned long long>(flags.rows), flags.reps,
+               static_cast<unsigned long long>(flags.rows),
+               static_cast<unsigned long long>(flags.seed), flags.reps,
                flags.trials, kRankDims);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

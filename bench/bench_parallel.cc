@@ -7,7 +7,8 @@
 //
 // Usage:
 //   bench_parallel [--threads=N] [--rows=N] [--queries=N] [--k=N]
-//                  [--cache_pages=N] [--engines=a,b,c] [--json=PATH]
+//                  [--cache_pages=N] [--engines=a,b,c] [--seed=N]
+//                  [--json=PATH]
 //
 // --threads gives the maximum worker count; the harness sweeps
 // {1, 2, 4, ...} powers of two up to it. Output goes to stdout (one line
@@ -39,6 +40,7 @@ struct Flags {
   /// 0.1 ms/page disk-weighted cost bench_common has always reported.
   uint32_t latency_us = 100;
   std::string engines;  // comma-separated; empty = all registered
+  uint64_t seed = 7;    ///< data-generator seed (recorded in the JSON)
   std::string json = "BENCH_parallel.json";
 };
 
@@ -67,6 +69,8 @@ Flags ParseFlags(int argc, char** argv) {
       f.latency_us = static_cast<uint32_t>(std::atoi(v.c_str()));
     } else if (ParseFlag(argv[i], "--engines=", &v)) {
       f.engines = v;
+    } else if (ParseFlag(argv[i], "--seed=", &v)) {
+      f.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--json=", &v)) {
       f.json = v;
     } else {
@@ -119,7 +123,7 @@ int Main(int argc, char** argv) {
   spec.num_sel_dims = 3;
   spec.cardinality = 8;
   spec.num_rank_dims = 2;
-  spec.seed = 7;
+  spec.seed = flags.seed;
   Table table = GenerateSynthetic(spec);
 
   PageStore store({.page_size = 4096,
@@ -203,11 +207,13 @@ int Main(int argc, char** argv) {
   std::fprintf(out,
                "{\n  \"bench\": \"parallel_scaling\",\n"
                "  \"scoring\": \"batch\",\n"
-               "  \"rows\": %llu,\n  \"queries\": %d,\n  \"k\": %d,\n"
+               "  \"rows\": %llu,\n  \"seed\": %llu,\n"
+               "  \"queries\": %d,\n  \"k\": %d,\n"
                "  \"cache_pages\": %llu,\n  \"read_latency_us\": %u,\n"
                "  \"max_threads\": %d,\n"
                "  \"results\": [\n",
-               static_cast<unsigned long long>(flags.rows), flags.queries,
+               static_cast<unsigned long long>(flags.rows),
+               static_cast<unsigned long long>(flags.seed), flags.queries,
                flags.k, static_cast<unsigned long long>(flags.cache_pages),
                flags.latency_us, flags.threads);
   for (size_t i = 0; i < rows.size(); ++i) {

@@ -1,0 +1,277 @@
+// Partitioned ranking cubes: the pruning payoff and its safety proof.
+//
+// Models the deployment partitioning exists for — a time-windowed relation
+// (dimension 0 is the arrival window, rank values drift so recent rows
+// score best) managed as one partition per window. Two workloads:
+//
+//  * windowed: top-k with an equality predicate on a recent window (the
+//    dashboard query). Partition pruning reduces the working set to one
+//    partition; the headline series is pages/query, partitioned-16 vs one
+//    unpartitioned database over the identical rows.
+//  * scatter: no predicate — every partition is a candidate, and the
+//    merge's S_k threshold prunes the cold ones (pruned_by_bound).
+//
+// Every query's answer is checked tuple-identical against the
+// unpartitioned oracle (global tid = concatenation order), so the reported
+// speedup can never come from a wrong answer. Results land in
+// BENCH_partition.json. --smoke shrinks the dataset for CI and exits
+// nonzero unless the pruning envelope held (>= 3x pages cut on windowed
+// queries) and every parity check passed.
+//
+//   bench_partition [--rows=N] [--windows=N] [--queries=N] [--seed=N]
+//                   [--json=PATH] [--smoke]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/query_builder.h"
+#include "partition/partitioned_db.h"
+#include "planner/rank_cube_db.h"
+
+namespace rankcube {
+namespace {
+
+struct Flags {
+  uint64_t rows = 64000;
+  int windows = 16;
+  int queries = 80;
+  uint64_t seed = 7;  ///< data-generator seed (recorded in the JSON)
+  std::string json = "BENCH_partition.json";
+  bool smoke = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--rows=", &v)) {
+      f.rows = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--windows=", &v)) {
+      f.windows = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--queries=", &v)) {
+      f.queries = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--seed=", &v)) {
+      f.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--json=", &v)) {
+      f.json = v;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      f.smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(1);
+    }
+  }
+  if (f.smoke) {
+    f.rows = std::min<uint64_t>(f.rows, 16000);
+    f.queries = std::min(f.queries, 24);
+  }
+  if (f.windows < 2) f.windows = 2;
+  return f;
+}
+
+struct Harness {
+  std::unique_ptr<PartitionedDb> pdb;
+  std::unique_ptr<RankCubeDb> oracle;
+  /// (partition name, local tid) -> oracle tid (concatenation order).
+  std::map<std::pair<std::string, Tid>, Tid> to_global;
+};
+
+/// Time-windowed relation: window w holds rows/windows rows whose rank
+/// values drift downward with recency (recent windows score best under the
+/// ascending top-k), the rank-cube shape a retention deployment sees.
+Harness Build(const Flags& flags) {
+  TableSchema schema;
+  schema.sel_cardinality = {flags.windows, 8, 4};
+  schema.num_rank_dims = 2;
+
+  PartitionedDb::Options popts;
+  popts.schema = schema;
+  popts.partition_dim = 0;
+  Harness h;
+  h.pdb = PartitionedDb::Open(std::move(popts)).value();
+
+  Table oracle_table(schema);
+  Rng rng(flags.seed);
+  const uint64_t per_window = flags.rows / flags.windows;
+  for (int w = 0; w < flags.windows; ++w) {
+    std::string name = "w" + std::to_string(w);
+    Table seed(schema);
+    // Recency drift: window w's scores center on (windows-1-w)/windows.
+    double base = static_cast<double>(flags.windows - 1 - w) / flags.windows;
+    for (uint64_t i = 0; i < per_window; ++i) {
+      std::vector<int32_t> sel = {w, static_cast<int32_t>(rng.UniformInt(8)),
+                                  static_cast<int32_t>(rng.UniformInt(4))};
+      auto drift = [&] {
+        double v = 0.8 * base + 0.25 * rng.Uniform01();
+        return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+      };
+      std::vector<double> rank = {drift(), drift()};
+      h.to_global[{name, static_cast<Tid>(seed.num_rows())}] =
+          static_cast<Tid>(oracle_table.num_rows());
+      (void)seed.AddRow(sel, rank);
+      (void)oracle_table.AddRow(sel, rank);
+    }
+    Status s = h.pdb->CreatePartition(name, {w, w + 1}, std::move(seed));
+    if (!s.ok()) {
+      std::fprintf(stderr, "create %s: %s\n", name.c_str(),
+                   s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  h.oracle = std::make_unique<RankCubeDb>(std::move(oracle_table));
+  return h;
+}
+
+/// True iff the scatter answer maps exactly onto the oracle answer.
+bool Identical(const Harness& h, const PartitionedTopK& got,
+               const std::vector<ScoredTuple>& want) {
+  if (got.tuples.size() != want.size()) return false;
+  for (size_t i = 0; i < want.size(); ++i) {
+    auto it = h.to_global.find({got.tuples[i].partition, got.tuples[i].tid});
+    if (it == h.to_global.end()) return false;
+    if (it->second != want[i].tid || got.tuples[i].score != want[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Series {
+  uint64_t queries = 0;
+  uint64_t pages_partitioned = 0;
+  uint64_t pages_unpartitioned = 0;
+  uint64_t pruned_by_bound = 0;
+  uint64_t pruned_by_predicate = 0;
+  bool parity_ok = true;
+};
+
+int Main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  std::fprintf(stderr,
+               "bench_partition: %llu rows, %d windows, %d queries, "
+               "seed=%llu\n",
+               static_cast<unsigned long long>(flags.rows), flags.windows,
+               flags.queries,
+               static_cast<unsigned long long>(flags.seed));
+  Harness h = Build(flags);
+  Rng rng(flags.seed * 1000 + 99);
+
+  auto run = [&](const TopKQuery& q, Series* s) {
+    auto part = h.pdb->Query(q);
+    auto whole = h.oracle->Query(q);
+    if (!part.ok() || !whole.ok()) {
+      std::fprintf(stderr, "query failed: %s / %s\n",
+                   part.status().ToString().c_str(),
+                   whole.status().ToString().c_str());
+      std::exit(1);
+    }
+    s->queries++;
+    s->pages_partitioned += part.value().stats.pages_read;
+    s->pages_unpartitioned += whole.value().stats.pages_read;
+    s->pruned_by_bound += part.value().scatter.pruned_by_bound;
+    s->pruned_by_predicate += part.value().scatter.pruned_by_predicate;
+    if (!Identical(h, part.value(), whole.value().tuples)) {
+      s->parity_ok = false;
+      std::fprintf(stderr, "PARITY FAILURE: query #%llu in series\n",
+                   static_cast<unsigned long long>(s->queries));
+    }
+  };
+
+  // Workload A: the dashboard query — top-k inside one recent window,
+  // sometimes refined by a second predicate.
+  Series windowed;
+  for (int i = 0; i < flags.queries; ++i) {
+    int w = flags.windows - 1 - static_cast<int>(rng.UniformInt(4));
+    QueryBuilder qb;
+    qb.Where(0, w);
+    if (i % 2 == 0) qb.Where(1, static_cast<int32_t>(rng.UniformInt(8)));
+    run(qb.OrderByLinear({1.0, 0.5}).Limit(10).Build(), &windowed);
+  }
+
+  // Workload B: no predicate — the scatter sweeps every partition and the
+  // S_k threshold prunes the cold (old, high-scoring) windows.
+  Series scatter;
+  for (int i = 0; i < std::max(flags.queries / 4, 4); ++i) {
+    run(QueryBuilder().OrderByLinear({1.0, 1.0}).Limit(10).Build(),
+        &scatter);
+  }
+
+  double pq_part =
+      static_cast<double>(windowed.pages_partitioned) / windowed.queries;
+  double pq_whole =
+      static_cast<double>(windowed.pages_unpartitioned) / windowed.queries;
+  double ratio = pq_part > 0 ? pq_whole / pq_part : 0.0;
+  double bound_avg =
+      static_cast<double>(scatter.pruned_by_bound) / scatter.queries;
+
+  std::printf(
+      "windowed: %.1f pages/query partitioned vs %.1f unpartitioned "
+      "(%.2fx cut), parity %s\n",
+      pq_part, pq_whole, ratio, windowed.parity_ok ? "ok" : "FAILED");
+  std::printf(
+      "scatter:  %.1f partitions/query pruned by S_k bound, parity %s\n",
+      bound_avg, scatter.parity_ok ? "ok" : "FAILED");
+
+  std::FILE* out = std::fopen(flags.json.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n  \"bench\": \"partition_pruning\",\n"
+      "  \"rows\": %llu,\n  \"windows\": %d,\n  \"seed\": %llu,\n"
+      "  \"windowed\": {\"queries\": %llu,\n"
+      "    \"pages_per_query_partitioned\": %.2f,\n"
+      "    \"pages_per_query_unpartitioned\": %.2f,\n"
+      "    \"pages_cut_ratio\": %.3f,\n"
+      "    \"pruned_by_predicate_per_query\": %.2f,\n"
+      "    \"tuple_identical\": %s},\n"
+      "  \"scatter\": {\"queries\": %llu,\n"
+      "    \"pruned_by_bound_per_query\": %.2f,\n"
+      "    \"tuple_identical\": %s}\n}\n",
+      static_cast<unsigned long long>(flags.rows), flags.windows,
+      static_cast<unsigned long long>(flags.seed),
+      static_cast<unsigned long long>(windowed.queries), pq_part, pq_whole,
+      ratio,
+      static_cast<double>(windowed.pruned_by_predicate) / windowed.queries,
+      windowed.parity_ok ? "true" : "false",
+      static_cast<unsigned long long>(scatter.queries), bound_avg,
+      scatter.parity_ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", flags.json.c_str());
+
+  if (flags.smoke) {
+    // The CI envelope: partition pruning must cut windowed pages >= 3x and
+    // never change an answer.
+    if (!windowed.parity_ok || !scatter.parity_ok) {
+      std::fprintf(stderr, "SMOKE FAILURE: scatter answers diverged\n");
+      return 1;
+    }
+    if (ratio < 3.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAILURE: pages cut %.2fx < 3x envelope\n", ratio);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rankcube
+
+int main(int argc, char** argv) { return rankcube::Main(argc, argv); }

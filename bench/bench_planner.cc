@@ -24,7 +24,8 @@
 // emits BENCH_planner.json. --smoke shrinks the workload for CI.
 //
 // Usage:
-//   bench_planner [--rows=N] [--per_class=N] [--json=PATH] [--smoke]
+//   bench_planner [--rows=N] [--per_class=N] [--seed=N] [--json=PATH]
+//                 [--smoke]
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -45,6 +46,7 @@ namespace {
 struct Flags {
   uint64_t rows = 30000;
   int per_class = 25;  ///< queries per workload class
+  uint64_t seed = 7;   ///< data-generator seed (recorded in the JSON)
   bool smoke = false;
   std::string json = "BENCH_planner.json";
 };
@@ -64,6 +66,8 @@ Flags ParseFlags(int argc, char** argv) {
       f.rows = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--per_class=", &v)) {
       f.per_class = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--seed=", &v)) {
+      f.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--json=", &v)) {
       f.json = v;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -218,7 +222,7 @@ int Main(int argc, char** argv) {
   spec.num_sel_dims = 8;
   spec.sel_cardinalities = {2000, 200, 20, 12, 8, 4, 2, 2};
   spec.num_rank_dims = 2;
-  spec.seed = 7;
+  spec.seed = flags.seed;
   Table table = GenerateSynthetic(spec);
 
   RankCubeDb::Options options;
@@ -398,7 +402,7 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(out,
                "{\n  \"bench\": \"planner_routing\",\n"
-               "  \"rows\": %llu,\n  \"queries\": %zu,\n"
+               "  \"rows\": %llu,\n  \"seed\": %llu,\n  \"queries\": %zu,\n"
                "  \"planner_total_pages\": %.0f,\n"
                "  \"per_query_best_pages\": %.0f,\n"
                "  \"planner_vs_best_ratio\": %.4f,\n"
@@ -407,7 +411,8 @@ int Main(int argc, char** argv) {
                "  \"best_static\": {\"engine\": \"%s\", \"pages\": %.0f},\n"
                "  \"worst_static\": {\"engine\": \"%s\", \"pages\": %.0f},\n"
                "  \"estimate_geomean_ratio\": %.3f,\n",
-               static_cast<unsigned long long>(flags.rows), total_queries,
+               static_cast<unsigned long long>(flags.rows),
+               static_cast<unsigned long long>(flags.seed), total_queries,
                planner_total, oracle_total, vs_oracle,
                within_15 ? "true" : "false",
                beats_best_static ? "true" : "false", best_engine.c_str(),

@@ -40,6 +40,7 @@ using Clock = std::chrono::steady_clock;
 struct Flags {
   std::string workdir = "/tmp/rankcube_bench_recovery";
   uint64_t seed_rows = 2000;
+  uint64_t seed = 7;        ///< data-generator seed (recorded in the JSON)
   uint64_t inserts = 3000;  ///< throughput-phase mutations per policy
   std::vector<uint64_t> wal_lengths = {500, 2000, 8000};
   std::string json = "BENCH_recovery.json";
@@ -82,6 +83,8 @@ Flags ParseFlags(int argc, char** argv) {
       f.workdir = v;
     } else if (ParseFlag(argv[i], "--seed_rows=", &v)) {
       f.seed_rows = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--seed=", &v)) {
+      f.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--inserts=", &v)) {
       f.inserts = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--wal_lengths=", &v)) {
@@ -121,12 +124,12 @@ Flags ParseFlags(int argc, char** argv) {
   return f;
 }
 
-Table MakeSeed(uint64_t rows) {
+Table MakeSeed(uint64_t rows, uint64_t seed) {
   TableSchema schema;
   schema.sel_cardinality = {8, 8, 8};
   schema.num_rank_dims = 2;
   Table table(schema);
-  Rng rng(7);
+  Rng rng(seed);
   for (uint64_t i = 0; i < rows; ++i) {
     (void)table.AddRow({static_cast<int32_t>(rng.UniformInt(8)),
                         static_cast<int32_t>(rng.UniformInt(8)),
@@ -167,7 +170,7 @@ PolicyResult BenchPolicy(const Flags& flags, FsyncPolicy fsync) {
   r.name = FsyncPolicyName(fsync);
   const std::string dir = flags.workdir + "/policy_" + r.name;
   WipeDir(dir);
-  auto db = RankCubeDb::Open(MakeSeed(flags.seed_rows),
+  auto db = RankCubeDb::Open(MakeSeed(flags.seed_rows, flags.seed),
                              DurableOptions(dir, fsync));
   if (!db.ok()) {
     std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
@@ -209,7 +212,7 @@ RecoveryPoint BenchRecovery(const Flags& flags, uint64_t wal_records) {
       flags.workdir + "/recovery_" + std::to_string(wal_records);
   WipeDir(dir);
   {
-    auto db = RankCubeDb::Open(MakeSeed(flags.seed_rows),
+    auto db = RankCubeDb::Open(MakeSeed(flags.seed_rows, flags.seed),
                                DurableOptions(dir, FsyncPolicy::kOff));
     if (!db.ok()) return point;
     Rng rng(17);
@@ -222,7 +225,7 @@ RecoveryPoint BenchRecovery(const Flags& flags, uint64_t wal_records) {
       if (!tid.ok()) return point;
     }
   }  // clean process exit, dirty WAL: the whole log replays at open
-  auto db = RankCubeDb::Open(MakeSeed(flags.seed_rows),
+  auto db = RankCubeDb::Open(MakeSeed(flags.seed_rows, flags.seed),
                              DurableOptions(dir, FsyncPolicy::kOff));
   if (!db.ok()) {
     std::fprintf(stderr, "recover %s: %s\n", dir.c_str(),
@@ -263,7 +266,8 @@ int RunBench(const Flags& flags) {
 
   std::FILE* out = std::fopen(flags.json.c_str(), "w");
   if (out != nullptr) {
-    std::fprintf(out, "{\n  \"fsync_policies\": {");
+    std::fprintf(out, "{\n  \"seed\": %llu,\n  \"fsync_policies\": {",
+                 static_cast<unsigned long long>(flags.seed));
     for (size_t i = 0; i < policies.size(); ++i) {
       std::fprintf(out, "%s\n    \"%s\": {\"insert_qps\": %.1f}",
                    i > 0 ? "," : "", policies[i].name,

@@ -18,7 +18,8 @@
 // Usage:
 //   bench_serve [--rows=N] [--tenants=N] [--conns=N] [--duration_ms=N]
 //               [--qps=N] [--write_pct=N] [--max_inflight=N]
-//               [--cache_pages=N] [--latency_us=N] [--json=PATH] [--smoke]
+//               [--cache_pages=N] [--latency_us=N] [--seed=N] [--json=PATH]
+//               [--smoke]
 //
 // --smoke shrinks everything for CI (2s total) and exits nonzero unless
 // both disciplines completed requests successfully.
@@ -55,6 +56,7 @@ struct Flags {
   uint32_t max_inflight = 2;  ///< per-tenant quota (conns > this => rejections)
   size_t cache_pages = 4096;
   uint32_t latency_us = 20;
+  uint64_t seed = 7;  ///< data-generator seed (recorded in the JSON)
   std::string json = "BENCH_serve.json";
   bool smoke = false;
 };
@@ -88,6 +90,8 @@ Flags ParseFlags(int argc, char** argv) {
       f.cache_pages = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--latency_us=", &v)) {
       f.latency_us = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--seed=", &v)) {
+      f.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--json=", &v)) {
       f.json = v;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -362,7 +366,7 @@ int Main(int argc, char** argv) {
   spec.num_sel_dims = 3;
   spec.cardinality = 8;
   spec.num_rank_dims = 2;
-  spec.seed = 7;
+  spec.seed = flags.seed;
 
   RankCubeDb::Options db_options;
   db_options.store.cache_pages = flags.cache_pages;
@@ -417,10 +421,11 @@ int Main(int argc, char** argv) {
                "\"conns_per_tenant\": %d, \"duration_ms\": %d, "
                "\"open_loop_qps_target\": %d, \"write_pct\": %d, "
                "\"max_inflight\": %u, \"cache_pages\": %zu, "
-               "\"latency_us\": %u},\n",
+               "\"latency_us\": %u, \"seed\": %llu},\n",
                static_cast<unsigned long long>(flags.rows), flags.tenants,
                flags.conns, flags.duration_ms, flags.qps, flags.write_pct,
-               flags.max_inflight, flags.cache_pages, flags.latency_us);
+               flags.max_inflight, flags.cache_pages, flags.latency_us,
+               static_cast<unsigned long long>(flags.seed));
   WriteLoopJson(out, "closed_loop", closed);
   std::fprintf(out, ",\n");
   WriteLoopJson(out, "open_loop", open);

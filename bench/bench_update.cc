@@ -26,7 +26,7 @@
 // non-zero if the 5x maintenance gate fails.
 //
 // Usage:
-//   bench_update [--rows=N] [--json=PATH] [--smoke]
+//   bench_update [--rows=N] [--seed=N] [--json=PATH] [--smoke]
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -48,6 +48,7 @@ namespace {
 struct Flags {
   uint64_t rows = 60000;
   double delta_fraction = 0.01;
+  uint64_t seed = 11;  ///< data-generator seed (recorded in the JSON)
   bool smoke = false;
   std::string json = "BENCH_update.json";
 };
@@ -65,6 +66,8 @@ Flags ParseFlags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argv[i], "--rows=", &v)) {
       f.rows = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--seed=", &v)) {
+      f.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--json=", &v)) {
       f.json = v;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -81,13 +84,13 @@ Flags ParseFlags(int argc, char** argv) {
   return f;
 }
 
-Table MakeBase(uint64_t rows) {
+Table MakeBase(uint64_t rows, uint64_t seed) {
   SyntheticSpec spec;
   spec.num_rows = rows;
   spec.num_sel_dims = 3;
   spec.sel_cardinalities = {8, 6, 4};
   spec.num_rank_dims = 2;
-  spec.seed = 11;
+  spec.seed = seed;
   return GenerateSynthetic(spec);
 }
 
@@ -188,7 +191,7 @@ int Main(int argc, char** argv) {
                           flags.delta_fraction);
 
   // ---- Part A: maintain vs rebuild --------------------------------------
-  Table table = MakeBase(flags.rows);
+  Table table = MakeBase(flags.rows, flags.seed);
   PageStore store;
   std::map<std::string, std::unique_ptr<RankingEngine>> engines;
   std::vector<MaintRow> rows;
@@ -258,7 +261,7 @@ int Main(int argc, char** argv) {
               num_inserts, min_ratio);
 
   // ---- Part B: query overhead vs delta fraction --------------------------
-  RankCubeDb db(MakeBase(flags.rows), RankCubeDb::Options());
+  RankCubeDb db(MakeBase(flags.rows, flags.seed), RankCubeDb::Options());
   const std::vector<std::string> query_engines = {"grid", "fragments",
                                                   "signature", "table_scan"};
   for (const std::string& name : query_engines) {
@@ -341,11 +344,13 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(out,
                "{\n  \"bench\": \"update_maintenance\",\n"
-               "  \"rows\": %llu,\n  \"delta_fraction\": %.3f,\n"
+               "  \"rows\": %llu,\n  \"seed\": %llu,\n"
+               "  \"delta_fraction\": %.3f,\n"
                "  \"delta_inserts\": %zu,\n"
                "  \"min_rebuild_over_maintain\": %.2f,\n"
                "  \"maintenance\": [\n",
                static_cast<unsigned long long>(flags.rows),
+               static_cast<unsigned long long>(flags.seed),
                flags.delta_fraction, num_inserts, min_ratio);
   for (size_t i = 0; i < rows.size(); ++i) {
     const MaintRow& row = rows[i];

@@ -1,0 +1,79 @@
+// The partition manifest is the single source of truth for which partitions
+// constitute a partitioned database: an ordered list of (name, key range)
+// entries plus the selection dimension the ranges cover. Like the storage
+// manifest it is a tiny CRC'd text file replaced atomically
+// (WriteFileAtomic), which is what makes DropPartition an O(1) commit: the
+// drop is durable the instant the rename lands, and the partition's files
+// become garbage to collect at leisure.
+//
+// Format (trailing crc line covers everything before it):
+//   rankcube-partitions v1
+//   dim=0
+//   partition=hot 0 4
+//   partition=warm 4 12
+//   crc=3735928559
+//
+// Entry order is creation order and is preserved across store/load cycles —
+// the scatter-gather merge uses it as the deterministic tie-break between
+// equal scores from different partitions.
+#ifndef RANKCUBE_PARTITION_PARTITION_MANIFEST_H_
+#define RANKCUBE_PARTITION_PARTITION_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/fs.h"
+
+namespace rankcube {
+
+/// Half-open key range [lo, hi) over the partitioning selection dimension.
+/// Time-window partitions are ranges over a time-like dimension (one window
+/// id per value, or a span of them).
+struct PartitionRange {
+  int32_t lo = 0;
+  int32_t hi = 0;  ///< exclusive
+
+  bool Contains(int32_t v) const { return lo <= v && v < hi; }
+  bool Overlaps(const PartitionRange& o) const {
+    return lo < o.hi && o.lo < hi;
+  }
+  bool empty() const { return hi <= lo; }
+  std::string ToString() const {
+    return "[" + std::to_string(lo) + "," + std::to_string(hi) + ")";
+  }
+  bool operator==(const PartitionRange&) const = default;
+};
+
+struct PartitionManifestEntry {
+  std::string name;  ///< also the partition's subdirectory name
+  PartitionRange range;
+  bool operator==(const PartitionManifestEntry&) const = default;
+};
+
+struct PartitionManifest {
+  int partition_dim = 0;  ///< selection dimension the ranges cover
+  std::vector<PartitionManifestEntry> partitions;  ///< creation order
+};
+
+/// Name of the manifest file inside the root data dir.
+inline const char* PartitionManifestFileName() { return "PARTITIONS"; }
+
+/// Partition names double as directory names and manifest tokens, so they
+/// are restricted to [A-Za-z0-9_.-], non-empty, not starting with '.'.
+bool IsValidPartitionName(const std::string& name);
+
+/// Atomically replaces `dir`/PARTITIONS.
+Status StorePartitionManifest(Fs* fs, const std::string& dir,
+                              const PartitionManifest& manifest);
+
+/// Loads + validates `dir`/PARTITIONS. kNotFound when missing (fresh dir);
+/// kCorruption when present but damaged — a hard stop, same contract as
+/// the storage manifest: guessing could resurrect dropped partitions.
+Result<PartitionManifest> LoadPartitionManifest(Fs* fs,
+                                                const std::string& dir);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_PARTITION_PARTITION_MANIFEST_H_

@@ -1,0 +1,40 @@
+#include "partition/pruning.h"
+
+#include <algorithm>
+
+namespace rankcube {
+
+ScatterPlan BuildScatterPlan(const TopKQuery& query, int partition_dim,
+                             const std::vector<PartitionView>& parts) {
+  ScatterPlan plan;
+  // An equality predicate on the partitioning dimension, if any. Duplicate
+  // predicates are rejected by ValidateQuery, so the first match is the
+  // only one.
+  const Predicate* key_pred = nullptr;
+  for (const Predicate& p : query.predicates) {
+    if (p.dim == partition_dim) {
+      key_pred = &p;
+      break;
+    }
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const PartitionView& v = parts[i];
+    if (key_pred != nullptr && !v.range.Contains(key_pred->value)) {
+      ++plan.pruned_by_predicate;
+      continue;
+    }
+    if (!v.has_rows) {
+      ++plan.skipped_empty;
+      continue;
+    }
+    plan.candidates.push_back({i, query.function->LowerBound(*v.rank_box)});
+  }
+  std::sort(plan.candidates.begin(), plan.candidates.end(),
+            [](const PartitionCandidate& a, const PartitionCandidate& b) {
+              if (a.bound != b.bound) return a.bound < b.bound;
+              return a.index < b.index;
+            });
+  return plan;
+}
+
+}  // namespace rankcube

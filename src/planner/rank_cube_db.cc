@@ -33,6 +33,7 @@ std::string DbStats::ToString() const {
       os << "degraded_reason=" << degraded_reason << "\n";
     }
     os << "checkpoint_epoch=" << checkpoint_epoch << "\n"
+       << "checkpoint_generation=" << checkpoint_generation << "\n"
        << "wal_records=" << wal_records << "\n"
        << "wal_bytes=" << wal_bytes << "\n"
        << "backing_reads=" << backing_reads << "\n"
@@ -389,6 +390,7 @@ DbStats RankCubeDb::Stats() const {
     s.read_only = read_only_;
     s.degraded_reason = recovery_.degraded_reason;
     s.checkpoint_epoch = durability_->checkpoint_epoch();
+    s.checkpoint_generation = durability_->checkpoint_generation();
     s.wal_records = durability_->wal_records();
     s.wal_bytes = durability_->wal_bytes();
     s.backing_reads = store_.backing_reads();

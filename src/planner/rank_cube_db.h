@@ -89,7 +89,12 @@ struct DbStats {
                            ///< refused with kNotSupported
   std::string degraded_reason;     ///< set iff read_only
   uint64_t checkpoint_epoch = 0;   ///< epoch of the live checkpoint file
-  uint64_t wal_records = 0;        ///< records in the live WAL segment
+  /// Checkpoints committed over the data dir's lifetime (1 = seed);
+  /// advances on every Checkpoint()/Compact() even when the epoch did not.
+  uint64_t checkpoint_generation = 0;
+  uint64_t wal_records = 0;  ///< records in the live WAL segment — i.e.
+                             ///< since the last checkpoint (the recovery
+                             ///< exposure an operator watches)
   uint64_t wal_bytes = 0;
   uint64_t backing_reads = 0;         ///< verified checkpoint preads
   uint64_t backing_corruptions = 0;   ///< CRC failures on those reads

@@ -210,7 +210,8 @@ Result<std::vector<ScoredTuple>> RankCubeClient::QueryTuples(
                             r.message);
   }
   std::vector<ScoredTuple> tuples;
-  // First payload line is the summary; the rest are "<tid> <score>".
+  // First payload line is the summary; the rest are "<tid> <score>" with an
+  // optional trailing "<partition>" token on partitioned servers.
   for (size_t i = 1; i < r.lines.size(); ++i) {
     const std::string& line = r.lines[i];
     size_t sp = line.find(' ');
@@ -219,7 +220,10 @@ Result<std::vector<ScoredTuple>> RankCubeClient::QueryTuples(
     }
     Result<uint64_t> tid = ParseU64Arg(line.substr(0, sp), "tid");
     if (!tid.ok()) return tid.status();
-    Result<std::vector<double>> score = ParseDoubleList(line.substr(sp + 1));
+    size_t end = line.find(' ', sp + 1);
+    size_t len = end == std::string::npos ? std::string::npos : end - (sp + 1);
+    Result<std::vector<double>> score =
+        ParseDoubleList(line.substr(sp + 1, len));
     if (!score.ok() || score.value().size() != 1) {
       return Status::Corruption("malformed result line '" + line + "'");
     }

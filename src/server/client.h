@@ -120,6 +120,26 @@ class RankCubeClient {
   Result<Response> Compact() { return Call("COMPACT"); }
   Result<Response> Stats() { return CallIdempotent("STATS"); }
 
+  // --- partitioned servers (PARTITION_* verbs) -----------------------------
+  // Create/Drop mutate and are never auto-retried; List/Stats reconnect.
+  Result<Response> PartitionCreate(const std::string& name, int32_t lo,
+                                   int32_t hi) {
+    return Call("PARTITION_CREATE name=" + name + " lo=" + std::to_string(lo) +
+                " hi=" + std::to_string(hi));
+  }
+  Result<Response> PartitionDrop(const std::string& name) {
+    return Call("PARTITION_DROP name=" + name);
+  }
+  Result<Response> PartitionList() { return CallIdempotent("PARTITION_LIST"); }
+  Result<Response> PartitionStats(const std::string& name) {
+    return CallIdempotent("STATS partition=" + name);
+  }
+  /// Partitioned DELETE: tids are dense per partition.
+  Result<Response> DeleteIn(const std::string& partition, uint32_t tid) {
+    return Call("DELETE tid=" + std::to_string(tid) +
+                " partition=" + partition);
+  }
+
   /// Query() plus result decoding; a server-side error becomes an error
   /// Status carrying "<CODE>: <message>".
   Result<std::vector<ScoredTuple>> QueryTuples(const WireQuerySpec& spec);

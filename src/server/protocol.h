@@ -11,9 +11,24 @@
 //           [budget=<pages>] [deadline_ms=<ms>] [engine=<key>]
 //   EXPLAIN <same arguments as QUERY>
 //   INSERT  sel=<v0,v1,...> rank=<r0,r1,...>
-//   DELETE  tid=<n>
+//   DELETE  tid=<n> [partition=<name>]
 //   COMPACT
-//   STATS
+//   STATS   [partition=<name>]
+//
+// Partitioned servers (rankcubed --partition=...) add three verbs and bend
+// the shapes above:
+//
+//   PARTITION_CREATE name=<name> lo=<n> hi=<n>   (half-open [lo, hi))
+//   PARTITION_DROP   name=<name>
+//   PARTITION_LIST
+//
+// QUERY result lines gain the home partition as a third token
+// ("<tid> <score> <partition>" — tids are dense PER PARTITION), DELETE
+// requires partition=<name>, INSERT answers with the routed partition, and
+// STATS partition=<name> returns one partition's counters. PARTITION_LIST
+// answers one "partition=<name> range=[lo,hi) rows=... live_rows=...
+// epoch=... read_only=..." line per partition in creation order. On an
+// unpartitioned server the PARTITION_* verbs fail with NOT_SUPPORTED.
 //
 // with the ranking-function grammar
 //

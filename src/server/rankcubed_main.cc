@@ -14,11 +14,23 @@
 //             [--max_inflight=N] [--page_budget=N] [--deadline_ms=N]
 //             [--tenant=name:inflight:budget:deadline_ms]...
 //             [--data_dir=PATH] [--fsync=always|batch|off]
+//             [--partition_dim=D] [--partition=name:lo:hi]...
 //
 // --port=0 picks an ephemeral port; the daemon always prints
 // "rankcubed listening on HOST:PORT" once it serves (scripts wait for that
 // line). The quota flags set the default tenant quota; each --tenant flag
 // overrides it for one named tenant (0 fields mean "no limit").
+//
+// Any --partition flag switches the daemon to PARTITIONED serving: the
+// generated relation is split by selection dimension --partition_dim into
+// the named half-open ranges [lo, hi), each partition gets its own engines
+// and (with --data_dir) its own WAL/checkpoint subdirectory, and the wire
+// protocol gains the PARTITION_CREATE/PARTITION_DROP/PARTITION_LIST verbs.
+// Rows whose partition-dim value no range covers are dropped with a
+// warning. On a durable restart the recovered manifest wins and the
+// --partition flags are ignored, exactly like the generator flags; a
+// data_dir holding a PARTITIONS manifest always reboots partitioned,
+// even with no --partition flags on the command line.
 //
 // With --data_dir the database is DURABLE: the first boot seeds the
 // directory from the generated relation (checkpoint + WAL), later boots
@@ -34,10 +46,14 @@
 #include <cstring>
 #include <semaphore.h>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gen/synthetic.h"
+#include "partition/partitioned_db.h"
 #include "planner/rank_cube_db.h"
 #include "server/server.h"
+#include "storage/fs.h"
 
 namespace rankcube {
 namespace {
@@ -58,6 +74,9 @@ struct Flags {
   std::map<std::string, TenantQuota> tenant_quotas;
   std::string data_dir;  ///< empty = ephemeral (historical behavior)
   FsyncPolicy fsync = FsyncPolicy::kBatch;
+  int partition_dim = 0;
+  /// (name, [lo, hi)) per --partition flag; non-empty = partitioned mode.
+  std::vector<std::pair<std::string, PartitionRange>> partitions;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -84,13 +103,33 @@ bool ParseTenantFlag(const std::string& v, std::string* name,
   return *end == '\0';
 }
 
+/// "name:lo:hi" — a half-open partition range on the partition dimension.
+bool ParsePartitionFlag(const std::string& v, std::string* name,
+                        PartitionRange* range) {
+  size_t c1 = v.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  *name = v.substr(0, c1);
+  const char* p = v.c_str() + c1 + 1;
+  char* end = nullptr;
+  long lo = std::strtol(p, &end, 10);
+  if (end == p || *end != ':') return false;
+  p = end + 1;
+  long hi = std::strtol(p, &end, 10);
+  if (end == p || *end != '\0') return false;
+  range->lo = static_cast<int32_t>(lo);
+  range->hi = static_cast<int32_t>(hi);
+  return true;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host=H] [--port=P] [--rows=N] [--sel_dims=S] "
                "[--cardinality=C] [--rank_dims=R] [--zipf=T] [--seed=N] "
                "[--cache_pages=N] [--latency_us=N] [--max_inflight=N] "
                "[--page_budget=N] [--deadline_ms=N] "
-               "[--tenant=name:inflight:budget:deadline_ms]...\n",
+               "[--tenant=name:inflight:budget:deadline_ms]... "
+               "[--data_dir=PATH] [--fsync=always|batch|off] "
+               "[--partition_dim=D] [--partition=name:lo:hi]...\n",
                argv0);
   return 2;
 }
@@ -139,6 +178,16 @@ int Main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       f.fsync = policy.value();
+    } else if (ParseFlag(argv[i], "--partition_dim=", &v)) {
+      f.partition_dim = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--partition=", &v)) {
+      std::string name;
+      PartitionRange range;
+      if (!ParsePartitionFlag(v, &name, &range)) {
+        std::fprintf(stderr, "bad --partition spec '%s'\n", v.c_str());
+        return Usage(argv[0]);
+      }
+      f.partitions.emplace_back(name, range);
     } else if (ParseFlag(argv[i], "--tenant=", &v)) {
       std::string name;
       TenantQuota quota;
@@ -171,8 +220,83 @@ int Main(int argc, char** argv) {
   db_options.store.cache_pages = f.cache_pages;
   db_options.store.read_latency_us = f.latency_us;
 
+  // A data_dir that already holds a partition manifest must reboot through
+  // the partitioned path even if no --partition flags were given — opening
+  // it as a plain durable db would lay a second, unpartitioned database
+  // over the partitioned layout.
+  bool recovering_partitioned = false;
+  if (!f.data_dir.empty()) {
+    auto exists = Fs::Posix()->FileExists(f.data_dir + "/" +
+                                          PartitionManifestFileName());
+    recovering_partitioned = exists.ok() && exists.value();
+  }
+
   std::unique_ptr<RankCubeDb> db;
-  if (f.data_dir.empty()) {
+  std::unique_ptr<PartitionedDb> pdb;
+  if (!f.partitions.empty() || recovering_partitioned) {
+    Table base = GenerateSynthetic(spec);
+    if (f.partition_dim < 0 || f.partition_dim >= base.num_sel_dims()) {
+      std::fprintf(stderr, "rankcubed: --partition_dim=%d out of range [0,%d)\n",
+                   f.partition_dim, base.num_sel_dims());
+      return 1;
+    }
+    PartitionedDb::Options popts;
+    popts.schema = base.schema();
+    popts.partition_dim = f.partition_dim;
+    popts.db = db_options;
+    popts.data_dir = f.data_dir;
+    popts.fsync = f.fsync;
+    auto opened = PartitionedDb::Open(std::move(popts));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "rankcubed: open partitioned %s: %s\n",
+                   f.data_dir.c_str(), opened.status().ToString().c_str());
+      return 1;
+    }
+    pdb = std::move(opened).value();
+    if (pdb->ListPartitions().empty()) {
+      // Fresh instance: materialize the flag partitions, each seeded with
+      // its slice of the generated relation.
+      uint64_t covered = 0;
+      std::vector<int32_t> sel(base.num_sel_dims());
+      std::vector<double> rank(base.num_rank_dims());
+      for (const auto& [name, range] : f.partitions) {
+        Table seed(base.schema());
+        for (Tid row = 0; row < static_cast<Tid>(base.num_rows()); ++row) {
+          if (!range.Contains(base.sel(row, f.partition_dim))) continue;
+          for (int d = 0; d < base.num_sel_dims(); ++d)
+            sel[d] = base.sel(row, d);
+          for (int d = 0; d < base.num_rank_dims(); ++d)
+            rank[d] = base.rank(row, d);
+          Status add = seed.AddRow(sel, rank);
+          if (!add.ok()) {
+            std::fprintf(stderr, "rankcubed: seed row: %s\n",
+                         add.ToString().c_str());
+            return 1;
+          }
+          ++covered;
+        }
+        std::fprintf(stderr, "rankcubed: partition %s %s: %zu rows\n",
+                     name.c_str(), range.ToString().c_str(), seed.num_rows());
+        Status created = pdb->CreatePartition(name, range, std::move(seed));
+        if (!created.ok()) {
+          std::fprintf(stderr, "rankcubed: create partition %s: %s\n",
+                       name.c_str(), created.ToString().c_str());
+          return 1;
+        }
+      }
+      if (covered < base.num_rows()) {
+        std::fprintf(stderr,
+                     "rankcubed: warning: %llu rows outside every partition "
+                     "range were dropped\n",
+                     static_cast<unsigned long long>(base.num_rows() - covered));
+      }
+    } else {
+      std::fprintf(stderr,
+                   "rankcubed: recovered %zu partitions from %s "
+                   "(--partition flags ignored)\n",
+                   pdb->ListPartitions().size(), f.data_dir.c_str());
+    }
+  } else if (f.data_dir.empty()) {
     db = std::make_unique<RankCubeDb>(GenerateSynthetic(spec), db_options);
   } else {
     db_options.durability.data_dir = f.data_dir;
@@ -201,16 +325,21 @@ int Main(int argc, char** argv) {
   server_options.port = f.port;
   server_options.default_quota = f.default_quota;
   server_options.tenant_quotas = f.tenant_quotas;
-  RankCubeServer server(db.get(), server_options);
+  std::unique_ptr<RankCubeServer> server;
+  if (pdb != nullptr) {
+    server = std::make_unique<RankCubeServer>(pdb.get(), server_options);
+  } else {
+    server = std::make_unique<RankCubeServer>(db.get(), server_options);
+  }
 
-  Status s = server.Start();
+  Status s = server->Start();
   if (!s.ok()) {
     std::fprintf(stderr, "rankcubed: %s\n", s.ToString().c_str());
     return 1;
   }
   // stdout + flush: scripts block on this exact line to learn the port.
   std::printf("rankcubed listening on %s:%u\n", f.host.c_str(),
-              static_cast<unsigned>(server.port()));
+              static_cast<unsigned>(server->port()));
   std::fflush(stdout);
 
   sem_init(&g_shutdown, 0, 0);
@@ -219,8 +348,23 @@ int Main(int argc, char** argv) {
   while (sem_wait(&g_shutdown) != 0 && errno == EINTR) {
   }
   std::fprintf(stderr, "rankcubed: shutting down\n");
-  server.Stop();
-  if (db->durable() && !db->read_only()) {
+  server->Stop();
+  if (pdb != nullptr) {
+    bool read_only = false;
+    for (const PartitionInfo& info : pdb->ListPartitions()) {
+      read_only = read_only || info.read_only;
+    }
+    if (pdb->durable() && !read_only) {
+      Status ckpt = pdb->Checkpoint();
+      if (!ckpt.ok()) {
+        std::fprintf(stderr, "rankcubed: shutdown checkpoint: %s\n",
+                     ckpt.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "rankcubed: checkpointed %zu partitions\n",
+                   pdb->ListPartitions().size());
+    }
+  } else if (db->durable() && !db->read_only()) {
     // Listener drained: flush the WAL and leave a clean checkpoint so the
     // next boot replays nothing.
     Status ckpt = db->Checkpoint();

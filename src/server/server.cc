@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -57,6 +59,15 @@ std::string FormatDouble(double v) {
 
 RankCubeServer::RankCubeServer(RankCubeDb* db, Options options)
     : db_(db),
+      options_(std::move(options)),
+      admission_(options_.default_quota) {
+  for (const auto& [tenant, quota] : options_.tenant_quotas) {
+    admission_.SetQuota(tenant, quota);
+  }
+}
+
+RankCubeServer::RankCubeServer(PartitionedDb* db, Options options)
+    : pdb_(db),
       options_(std::move(options)),
       admission_(options_.default_quota) {
   for (const auto& [tenant, quota] : options_.tenant_quotas) {
@@ -264,14 +275,24 @@ Response RankCubeServer::Dispatch(std::string_view payload,
   if (req.verb == "INSERT") return DoInsert(req);
   if (req.verb == "DELETE") return DoDelete(req);
   if (req.verb == "COMPACT") return DoCompact();
-  if (req.verb == "STATS") return DoStats();
+  if (req.verb == "STATS") return DoStats(req);
+  if (req.verb == "PARTITION_CREATE" || req.verb == "PARTITION_DROP" ||
+      req.verb == "PARTITION_LIST") {
+    if (pdb_ == nullptr) {
+      return Response::Error(WireCode::kNotSupported,
+                             "server is not partitioned");
+    }
+    if (req.verb == "PARTITION_CREATE") return DoPartitionCreate(req);
+    if (req.verb == "PARTITION_DROP") return DoPartitionDrop(req);
+    return DoPartitionList();
+  }
   return Response::Error(WireCode::kBadRequest,
                          "unknown verb '" + req.verb + "'");
 }
 
 Response RankCubeServer::DoQuery(const Request& req, ServerSession& session) {
   // Parse before admitting: a malformed request must not consume a slot.
-  Result<TopKQuery> query = ParseWireQuery(req, db_->table().schema());
+  Result<TopKQuery> query = ParseWireQuery(req, Schema());
   if (!query.ok()) return Response::FromStatus(query.status());
 
   uint64_t budget = 0;
@@ -297,6 +318,29 @@ Response RankCubeServer::DoQuery(const Request& req, ServerSession& session) {
     opts.force_engine = *engine;
   }
 
+  if (pdb_ != nullptr) {
+    Result<PartitionedTopK> result = pdb_->Query(query.value(), opts);
+    if (!result.ok()) return Response::FromStatus(result.status());
+    ticket.value().set_ok(true);
+
+    const PartitionedTopK& r = result.value();
+    Response resp;
+    char head[200];
+    std::snprintf(head, sizeof(head),
+                  "tuples=%zu engine=scatter pages=%llu time_ms=%.3f "
+                  "queried=%zu pruned=%zu",
+                  r.tuples.size(),
+                  static_cast<unsigned long long>(r.stats.pages_read),
+                  r.stats.time_ms, r.scatter.queried,
+                  r.scatter.pruned_by_predicate + r.scatter.pruned_by_bound);
+    resp.lines.emplace_back(head);
+    for (const PartitionedTuple& t : r.tuples) {
+      resp.lines.push_back(std::to_string(t.tid) + " " +
+                           FormatDouble(t.score) + " " + t.partition);
+    }
+    return resp;
+  }
+
   Result<TopKResult> result = db_->Query(query.value(), opts);
   if (!result.ok()) return Response::FromStatus(result.status());
   ticket.value().set_ok(true);
@@ -317,11 +361,18 @@ Response RankCubeServer::DoQuery(const Request& req, ServerSession& session) {
 }
 
 Response RankCubeServer::DoExplain(const Request& req) {
-  Result<TopKQuery> query = ParseWireQuery(req, db_->table().schema());
+  Result<TopKQuery> query = ParseWireQuery(req, Schema());
   if (!query.ok()) return Response::FromStatus(query.status());
   QueryOptions opts;
   if (const std::string* engine = req.Find("engine")) {
     opts.force_engine = *engine;
+  }
+  if (pdb_ != nullptr) {
+    Result<std::string> scatter = pdb_->ExplainScatter(query.value(), opts);
+    if (!scatter.ok()) return Response::FromStatus(scatter.status());
+    Response resp;
+    resp.lines = SplitLines(scatter.value());
+    return resp;
   }
   Result<PlanInfo> plan = db_->Explain(query.value(), opts);
   if (!plan.ok()) return Response::FromStatus(plan.status());
@@ -341,6 +392,15 @@ Response RankCubeServer::DoInsert(const Request& req) {
   if (!sel_vals.ok()) return Response::FromStatus(sel_vals.status());
   Result<std::vector<double>> rank_vals = ParseDoubleList(*rank);
   if (!rank_vals.ok()) return Response::FromStatus(rank_vals.status());
+  if (pdb_ != nullptr) {
+    Result<PartitionedRowRef> ref =
+        pdb_->Insert(sel_vals.value(), rank_vals.value());
+    if (!ref.ok()) return Response::FromStatus(ref.status());
+    Response resp;
+    resp.lines.push_back("tid=" + std::to_string(ref.value().tid));
+    resp.lines.push_back("partition=" + ref.value().partition);
+    return resp;
+  }
   Result<Tid> tid = db_->Insert(sel_vals.value(), rank_vals.value());
   if (!tid.ok()) return Response::FromStatus(tid.status());
   Response resp;
@@ -359,13 +419,26 @@ Response RankCubeServer::DoDelete(const Request& req) {
     return Response::Error(WireCode::kBadRequest,
                            "tid=" + *tid + " out of range");
   }
+  if (pdb_ != nullptr) {
+    const std::string* partition = req.Find("partition");
+    if (partition == nullptr) {
+      return Response::Error(
+          WireCode::kBadRequest,
+          "partitioned DELETE requires partition=<name> (tids are dense per "
+          "partition)");
+    }
+    Status s = pdb_->Delete(*partition, static_cast<Tid>(v.value()));
+    if (!s.ok()) return Response::FromStatus(s);
+    return Response::Ok();
+  }
   Status s = db_->Delete(static_cast<Tid>(v.value()));
   if (!s.ok()) return Response::FromStatus(s);
   return Response::Ok();
 }
 
 Response RankCubeServer::DoCompact() {
-  Result<CompactionReport> report = db_->Compact();
+  Result<CompactionReport> report =
+      pdb_ != nullptr ? pdb_->Compact() : db_->Compact();
   if (!report.ok()) return Response::FromStatus(report.status());
   const CompactionReport& r = report.value();
   Response resp;
@@ -378,9 +451,22 @@ Response RankCubeServer::DoCompact() {
   return resp;
 }
 
-Response RankCubeServer::DoStats() {
+Response RankCubeServer::DoStats(const Request& req) {
   Response resp;
-  resp.lines = SplitLines(db_->Stats().ToString());
+  if (pdb_ != nullptr) {
+    if (const std::string* partition = req.Find("partition")) {
+      // One partition's counters — including its own durability exposure
+      // (wal_records since its checkpoint, checkpoint_generation,
+      // backing_reads).
+      Result<DbStats> stats = pdb_->PartitionStats(*partition);
+      if (!stats.ok()) return Response::FromStatus(stats.status());
+      resp.lines = SplitLines(stats.value().ToString());
+      return resp;
+    }
+    resp.lines = SplitLines(pdb_->Stats().ToString());
+  } else {
+    resp.lines = SplitLines(db_->Stats().ToString());
+  }
   for (const auto& [tenant, c] : admission_.Snapshot()) {
     const std::string prefix = "tenant." + tenant + ".";
     resp.lines.push_back(prefix + "inflight=" + std::to_string(c.inflight));
@@ -399,6 +485,60 @@ Response RankCubeServer::DoStats() {
                        std::to_string(c.request_errors));
   resp.lines.push_back("server.protocol_errors=" +
                        std::to_string(c.protocol_errors));
+  return resp;
+}
+
+Response RankCubeServer::DoPartitionCreate(const Request& req) {
+  const std::string* name = req.Find("name");
+  const std::string* lo = req.Find("lo");
+  const std::string* hi = req.Find("hi");
+  if (name == nullptr || lo == nullptr || hi == nullptr) {
+    return Response::Error(
+        WireCode::kBadRequest,
+        "PARTITION_CREATE requires name=<id> lo=<n> hi=<n>");
+  }
+  auto parse_i32 = [](const std::string& s, int32_t* out) {
+    char* end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (s.empty() || *end != '\0' || v < INT32_MIN || v > INT32_MAX) {
+      return false;
+    }
+    *out = static_cast<int32_t>(v);
+    return true;
+  };
+  PartitionRange range;
+  if (!parse_i32(*lo, &range.lo) || !parse_i32(*hi, &range.hi)) {
+    return Response::Error(WireCode::kBadRequest,
+                           "bad lo/hi value in PARTITION_CREATE");
+  }
+  Status s = pdb_->CreatePartition(*name, range);
+  if (!s.ok()) return Response::FromStatus(s);
+  Response resp;
+  resp.lines.push_back("partition=" + *name + " range=" + range.ToString());
+  return resp;
+}
+
+Response RankCubeServer::DoPartitionDrop(const Request& req) {
+  const std::string* name = req.Find("name");
+  if (name == nullptr) {
+    return Response::Error(WireCode::kBadRequest,
+                           "PARTITION_DROP requires name=<id>");
+  }
+  Status s = pdb_->DropPartition(*name);
+  if (!s.ok()) return Response::FromStatus(s);
+  return Response::Ok();
+}
+
+Response RankCubeServer::DoPartitionList() {
+  Response resp;
+  for (const PartitionInfo& p : pdb_->ListPartitions()) {
+    resp.lines.push_back("partition=" + p.name + " range=" +
+                         p.range.ToString() + " rows=" +
+                         std::to_string(p.rows) + " live_rows=" +
+                         std::to_string(p.live_rows) + " epoch=" +
+                         std::to_string(p.epoch) + " read_only=" +
+                         (p.read_only ? "1" : "0"));
+  }
   return resp;
 }
 

@@ -31,6 +31,7 @@
 #include <thread>
 
 #include "common/status.h"
+#include "partition/partitioned_db.h"
 #include "planner/rank_cube_db.h"
 #include "server/admission.h"
 #include "server/protocol.h"
@@ -52,6 +53,13 @@ class RankCubeServer {
 
   /// `db` must outlive the server. Call Start() to begin serving.
   RankCubeServer(RankCubeDb* db, Options options);
+
+  /// Partitioned serving: same protocol plus the PARTITION_* verbs;
+  /// QUERY/EXPLAIN run the scatter-gather path, result lines gain the home
+  /// partition as a third token, DELETE takes partition=<name>, and STATS
+  /// accepts partition=<name> for one partition's counters. `db` must
+  /// outlive the server.
+  RankCubeServer(PartitionedDb* db, Options options);
   ~RankCubeServer();
 
   RankCubeServer(const RankCubeServer&) = delete;
@@ -98,13 +106,21 @@ class RankCubeServer {
   Response DoInsert(const Request& req);
   Response DoDelete(const Request& req);
   Response DoCompact();
-  Response DoStats();
+  Response DoStats(const Request& req);
+  Response DoPartitionCreate(const Request& req);
+  Response DoPartitionDrop(const Request& req);
+  Response DoPartitionList();
+
+  const TableSchema& Schema() const {
+    return pdb_ != nullptr ? pdb_->schema() : db_->table().schema();
+  }
 
   /// Join + erase connections whose threads have finished (accept thread),
   /// or all of them (Stop).
   void ReapConnections(bool all);
 
-  RankCubeDb* db_;
+  RankCubeDb* db_ = nullptr;        ///< exactly one of db_/pdb_ is set
+  PartitionedDb* pdb_ = nullptr;
   Options options_;
   AdmissionController admission_;
 

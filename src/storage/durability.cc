@@ -76,6 +76,7 @@ Result<DurabilityManager::Opened> DurabilityManager::Open(
     mgr.manifest_.epoch = seed.epoch();
     mgr.manifest_.checkpoint_file = CheckpointFileName(seed.epoch());
     mgr.manifest_.wal_file = WalFileName(seed.epoch());
+    mgr.manifest_.generation = 1;  // the seed checkpoint
     RC_RETURN_IF_ERROR(WriteCheckpointFile(fs, opts.data_dir,
                                            mgr.manifest_.checkpoint_file, seed,
                                            opts.page_size));
@@ -193,6 +194,7 @@ Status DurabilityManager::Checkpoint(const Table& table) {
   next.epoch = epoch;
   next.checkpoint_file = CheckpointFileName(epoch);
   next.wal_file = WalFileName(epoch);
+  next.generation = manifest_.generation + 1;
   RC_RETURN_IF_ERROR(WriteCheckpointFile(fs, options_.data_dir,
                                          next.checkpoint_file, table,
                                          options_.page_size));

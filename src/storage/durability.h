@@ -103,6 +103,8 @@ class DurabilityManager {
   }
 
   uint64_t checkpoint_epoch() const { return manifest_.epoch; }
+  /// Checkpoints committed over the directory's lifetime (see Manifest).
+  uint64_t checkpoint_generation() const { return manifest_.generation; }
   uint64_t wal_bytes() const { return wal_ ? wal_->bytes() : 0; }
   uint64_t wal_records() const { return wal_ ? wal_->records() : 0; }
   const std::string& data_dir() const { return options_.data_dir; }

@@ -63,6 +63,7 @@ Status StoreManifest(Fs* fs, const std::string& dir,
   body += "checkpoint=" + manifest.checkpoint_file + "\n";
   body += "epoch=" + std::to_string(manifest.epoch) + "\n";
   body += "wal=" + manifest.wal_file + "\n";
+  body += "generation=" + std::to_string(manifest.generation) + "\n";
   std::string text = body + "crc=" + std::to_string(StoredCrc32c(body)) + "\n";
   return WriteFileAtomic(fs, dir, ManifestFileName(), text);
 }
@@ -99,6 +100,17 @@ Result<Manifest> LoadManifest(Fs* fs, const std::string& dir) {
   }
   if (!TakeLine(data, &pos, "wal", &m.wal_file)) {
     return corrupt("missing wal line");
+  }
+  // Optional (absent from pre-generation manifests, which still verify:
+  // the crc covers whatever lines are present).
+  size_t before_generation = pos;
+  if (TakeLine(data, &pos, "generation", &value)) {
+    m.generation = std::strtoull(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value.empty()) {
+      return corrupt("bad generation value");
+    }
+  } else {
+    pos = before_generation;
   }
   const std::string body = data.substr(0, pos);
   if (!TakeLine(data, &pos, "crc", &value)) {

@@ -25,6 +25,12 @@ struct Manifest {
   std::string checkpoint_file;  ///< file name inside the data dir
   uint64_t epoch = 0;           ///< epoch captured by that checkpoint
   std::string wal_file;         ///< segment starting at that epoch
+  /// Monotone count of checkpoints committed over the directory's
+  /// lifetime (1 = the seed checkpoint). Unlike `epoch` it advances even
+  /// when no mutations happened between checkpoints, so operators can tell
+  /// "checkpointing is running" from "nothing changed". Absent from
+  /// legacy manifests, which load as 0.
+  uint64_t generation = 0;
 };
 
 /// Name of the manifest file inside a data dir.
