@@ -12,9 +12,13 @@
 //   * per_query_best: sum over queries of the cheapest static engine —
 //     the routing oracle the planner tries to approximate;
 //   * best/worst single static engine totals;
-//   * planner total + chosen-engine distribution + estimate accuracy.
+//   * planner total + chosen-engine distribution + estimate accuracy,
+//     globally and per engine family (CostFeedback::Family);
+//   * the same workload re-run after the true-cost feedback loop has
+//     observed one training pass — the post-feedback estimate accuracy.
 // The acceptance bar (ISSUE 4): planner within 15% of per_query_best and
-// cheaper than the best single static engine.
+// cheaper than the best single static engine. ISSUE 10 adds: the
+// post-feedback estimate geomean ratio must land in [0.85, 1.15].
 //
 // signature_lossy (a strictly space-for-time variant of signature) and
 // rank_mapping (runs on an oracle-provided k-th score, §3.5.1) are not
@@ -35,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/feedback.h"
 #include "common/rng.h"
 #include "engine/query_builder.h"
 #include "gen/synthetic.h"
@@ -238,6 +243,10 @@ int Main(int argc, char** argv) {
   options.build.grid.cuboid_dim_sets.push_back({0, 1, 2});
   options.build.grid.cuboid_dim_sets.push_back({1, 2, 3});
   RankCubeDb db(std::move(table), options);
+  // The baseline passes measure the RAW cost model (the historical
+  // estimate_geomean_ratio); feedback is re-enabled afterwards for the
+  // post-feedback passes.
+  db.SetFeedbackEnabled(false);
 
   std::vector<ClassSpec> classes =
       MakeWorkload(db.table(), flags.per_class, /*seed=*/4242);
@@ -373,27 +382,93 @@ int Main(int argc, char** argv) {
     class_lines.push_back(buf);
   }
 
-  // Estimate accuracy: geometric mean of max(est,1)/max(measured,1).
-  double log_ratio = 0;
-  for (size_t i = 0; i < total_queries; ++i) {
-    log_ratio += std::log(std::max(planner_estimates[i], 1.0) /
-                          std::max(planner_pages[i], 1.0));
+  // Estimate accuracy: geometric mean of max(est,1)/max(measured,1),
+  // globally and grouped by the feedback family of the chosen engine.
+  auto geomean = [](const std::vector<double>& est,
+                    const std::vector<double>& measured) {
+    double log_ratio = 0;
+    for (size_t i = 0; i < est.size(); ++i) {
+      log_ratio +=
+          std::log(std::max(est[i], 1.0) / std::max(measured[i], 1.0));
+    }
+    return std::exp(log_ratio / std::max<size_t>(1, est.size()));
+  };
+  auto geomean_by_family = [&](const std::vector<double>& est,
+                               const std::vector<double>& measured,
+                               const std::vector<std::string>& choice) {
+    std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+        grouped;
+    for (size_t i = 0; i < est.size(); ++i) {
+      auto& g = grouped[CostFeedback::Family(choice[i])];
+      g.first.push_back(est[i]);
+      g.second.push_back(measured[i]);
+    }
+    std::map<std::string, double> out;
+    for (const auto& [family, g] : grouped) {
+      out[family] = geomean(g.first, g.second);
+    }
+    return out;
+  };
+  double est_geo_ratio = geomean(planner_estimates, planner_pages);
+  std::map<std::string, double> est_geo_by_family =
+      geomean_by_family(planner_estimates, planner_pages, planner_choice);
+
+  // Post-feedback accuracy: let the correction loop observe one training
+  // pass over the workload, then measure the same queries again with the
+  // learned per-family factors applied.
+  db.SetFeedbackEnabled(true);
+  db.ResetFeedback();
+  for (const auto& c : classes) {
+    for (const auto& q : c.queries) {
+      auto r = db.Query(q);
+      if (!r.ok()) {
+        std::fprintf(stderr, "feedback training failed on %s: %s\n",
+                     q.ToString().c_str(), r.status().ToString().c_str());
+        return 1;
+      }
+    }
   }
-  double est_geo_ratio =
-      std::exp(log_ratio / std::max<size_t>(1, total_queries));
+  std::vector<double> post_pages, post_estimates;
+  std::vector<std::string> post_choice;
+  for (const auto& c : classes) {
+    for (const auto& q : c.queries) {
+      auto r = db.Query(q);
+      if (!r.ok()) {
+        std::fprintf(stderr, "post-feedback pass failed on %s: %s\n",
+                     q.ToString().c_str(), r.status().ToString().c_str());
+        return 1;
+      }
+      post_pages.push_back(static_cast<double>(r.value().stats.pages_read));
+      post_estimates.push_back(r.value().plan->estimated_pages);
+      post_choice.push_back(r.value().plan->chosen_engine);
+    }
+  }
+  double post_geo_ratio = geomean(post_estimates, post_pages);
+  std::map<std::string, double> post_geo_by_family =
+      geomean_by_family(post_estimates, post_pages, post_choice);
+  double post_total = total(post_pages);
 
   double vs_oracle = planner_total / std::max(oracle_total, 1.0);
   bool within_15 = vs_oracle <= 1.15;
   bool beats_best_static = planner_total < best_total;
+  bool post_calibrated = post_geo_ratio >= 0.85 && post_geo_ratio <= 1.15;
   std::printf(
       "\nqueries=%zu\nplanner_total=%.0f  per_query_best=%.0f "
       "(%.3fx)\nbest_static=%s (%.0f)  worst_static=%s (%.0f)\n"
-      "estimate_geomean_ratio=%.2f\nwithin_15pct_of_oracle=%s  "
-      "beats_best_static=%s\n",
+      "estimate_geomean_ratio=%.2f  post_feedback=%.2f (total %.0f)\n"
+      "within_15pct_of_oracle=%s  beats_best_static=%s  "
+      "post_feedback_calibrated=%s\n",
       total_queries, planner_total, oracle_total, vs_oracle,
       best_engine.c_str(), best_total, worst_engine.c_str(), worst_total,
-      est_geo_ratio, within_15 ? "yes" : "NO",
-      beats_best_static ? "yes" : "NO");
+      est_geo_ratio, post_geo_ratio, post_total, within_15 ? "yes" : "NO",
+      beats_best_static ? "yes" : "NO", post_calibrated ? "yes" : "NO");
+  for (const auto& [family, ratio] : est_geo_by_family) {
+    double post = post_geo_by_family.count(family)
+                      ? post_geo_by_family[family]
+                      : 0.0;
+    std::printf("  family %-14s estimate_ratio=%.2f post_feedback=%.2f\n",
+                family.c_str(), ratio, post);
+  }
 
   std::FILE* out = std::fopen(flags.json.c_str(), "w");
   if (out == nullptr) {
@@ -417,6 +492,25 @@ int Main(int argc, char** argv) {
                within_15 ? "true" : "false",
                beats_best_static ? "true" : "false", best_engine.c_str(),
                best_total, worst_engine.c_str(), worst_total, est_geo_ratio);
+  auto emit_family_map = [&](const char* key,
+                             const std::map<std::string, double>& m) {
+    std::fprintf(out, "  \"%s\": {", key);
+    bool first_f = true;
+    for (const auto& [family, ratio] : m) {
+      std::fprintf(out, "%s\"%s\": %.3f", first_f ? "" : ", ", family.c_str(),
+                   ratio);
+      first_f = false;
+    }
+    std::fprintf(out, "},\n");
+  };
+  emit_family_map("estimate_geomean_ratio_by_family", est_geo_by_family);
+  std::fprintf(out,
+               "  \"post_feedback_estimate_geomean_ratio\": %.3f,\n"
+               "  \"post_feedback_planner_total_pages\": %.0f,\n"
+               "  \"post_feedback_calibrated\": %s,\n",
+               post_geo_ratio, post_total, post_calibrated ? "true" : "false");
+  emit_family_map("post_feedback_estimate_geomean_ratio_by_family",
+                  post_geo_by_family);
   std::fprintf(out, "  \"static_totals\": {");
   bool first = true;
   for (const auto& [engine, pages] : static_pages) {
@@ -451,6 +545,12 @@ int Main(int argc, char** argv) {
   // the acceptance envelope even on the shrunken workload.
   if (flags.smoke && (!within_15 || !beats_best_static)) {
     std::fprintf(stderr, "planner outside acceptance envelope\n");
+    return 1;
+  }
+  if (flags.smoke && !post_calibrated) {
+    std::fprintf(stderr,
+                 "post-feedback estimate ratio %.3f outside [0.85, 1.15]\n",
+                 post_geo_ratio);
     return 1;
   }
   return 0;

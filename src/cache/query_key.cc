@@ -1,0 +1,113 @@
+#include "cache/query_key.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace rankcube {
+
+namespace {
+
+/// %.17g round-trips every double, so two constants render equal iff they
+/// are the same double (modulo -0.0/0.0, which Eval treats identically in
+/// every fold position the algebra allows).
+std::string RenderDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Splices a same-kind subtree out of the first child position, recursively:
+/// the only n-ary rewrite whose fold order — and therefore every
+/// intermediate double — is unchanged (see file comment in query_key.h).
+void FlattenFirstChild(const ScoreExpr& e, ExprKind kind,
+                       std::vector<const ScoreExpr*>* out) {
+  const auto& children = e.children();
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i == 0 && children[i]->kind() == kind) {
+      FlattenFirstChild(*children[i], kind, out);
+    } else {
+      out->push_back(children[i].get());
+    }
+  }
+}
+
+void Render(const ScoreExpr& e, std::string* out) {
+  switch (e.kind()) {
+    case ExprKind::kConst:
+      *out += RenderDouble(e.value());
+      return;
+    case ExprKind::kVar:
+      *out += "N" + std::to_string(e.dim());
+      return;
+    case ExprKind::kAdd:
+    case ExprKind::kMul: {
+      std::vector<const ScoreExpr*> flat;
+      FlattenFirstChild(e, e.kind(), &flat);
+      *out += e.kind() == ExprKind::kAdd ? "add(" : "mul(";
+      for (size_t i = 0; i < flat.size(); ++i) {
+        if (i) *out += ",";
+        Render(*flat[i], out);
+      }
+      *out += ")";
+      return;
+    }
+    case ExprKind::kSub:
+      *out += "sub(";
+      Render(*e.children()[0], out);
+      *out += ",";
+      Render(*e.children()[1], out);
+      *out += ")";
+      return;
+    case ExprKind::kAbs:
+      *out += "abs(";
+      Render(*e.children()[0], out);
+      *out += ")";
+      return;
+    case ExprKind::kSquare:
+      *out += "sq(";
+      Render(*e.children()[0], out);
+      *out += ")";
+      return;
+    case ExprKind::kGate:
+      *out += "gate[N" + std::to_string(e.dim()) + "," +
+              RenderDouble(e.band_lo()) + "," + RenderDouble(e.band_hi()) +
+              "](";
+      Render(*e.children()[0], out);
+      *out += ")";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string CanonicalExprKey(const ScoreExpr& expr) {
+  std::string out;
+  Render(expr, &out);
+  return out;
+}
+
+CanonicalQuery CanonicalizeQuery(const TopKQuery& query) {
+  CanonicalQuery out;
+  if (!query.function) return out;
+  ScoreExprPtr expr = query.function->Expr();
+  if (expr == nullptr) return out;
+
+  std::vector<Predicate> preds = query.predicates;
+  std::sort(preds.begin(), preds.end(),
+            [](const Predicate& a, const Predicate& b) {
+              return a.dim < b.dim;
+            });
+  out.sibling_key = "k=" + std::to_string(query.k) + "|p=";
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i) out.sibling_key += ",";
+    out.sibling_key +=
+        std::to_string(preds[i].dim) + ":" + std::to_string(preds[i].value);
+  }
+  out.function_key = CanonicalExprKey(*expr);
+  out.full_key = out.sibling_key + "|f=" + out.function_key;
+  out.cacheable = true;
+  return out;
+}
+
+}  // namespace rankcube

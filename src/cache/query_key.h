@@ -1,0 +1,54 @@
+// Canonical cache keys for logical top-k queries.
+//
+// Two queries share a full key exactly when the uncached execution path is
+// guaranteed to produce bit-identical answers for them: same k, same
+// predicate set (order-insensitive — conjunction is commutative and
+// ValidateQuery rejects duplicate dimensions, so sorting by dimension is a
+// total order), and ranking functions whose ScoreExpr trees are
+// Eval-identical under the one rewrite that is bit-exact by construction:
+// flattening a nested Add/Mul out of the FIRST child position. Eval folds
+// Add from 0.0 and Mul from children[0] strictly left to right, so
+// Add[Add[a,b],c] computes ((0+a)+b)+c — the very doubles Add[a,b,c]
+// computes — while Add[c,Add[a,b]] does not and is deliberately NOT
+// coalesced. No reordering, constant folding or algebraic identity is
+// applied: a weaker key only costs a cache miss, a stronger one would cost
+// a wrong answer.
+//
+// The sibling key drops the function: entries under the same sibling key
+// answer the same selection at the same k and differ only in ranking
+// function — the candidate set for the certified near-duplicate reuse in
+// rank_cube_db.cc.
+//
+// Functions without a ScoreExpr tree (RankingFunction::Expr() == nullptr)
+// are not canonicalizable — structural identity cannot be proven — and such
+// queries bypass the cache entirely.
+#ifndef RANKCUBE_CACHE_QUERY_KEY_H_
+#define RANKCUBE_CACHE_QUERY_KEY_H_
+
+#include <string>
+
+#include "func/query.h"
+#include "func/score_expr.h"
+
+namespace rankcube {
+
+/// A query's cache identity. `cacheable` is false when the ranking function
+/// exposes no expression tree; the other fields are empty then.
+struct CanonicalQuery {
+  bool cacheable = false;
+  /// "k=<k>|p=<dim>:<val>,..." — predicates sorted by dimension.
+  std::string sibling_key;
+  /// Canonical rendering of the ScoreExpr tree (first-child-flattened).
+  std::string function_key;
+  /// sibling_key + "|f=" + function_key; the exact-hit key.
+  std::string full_key;
+};
+
+/// Canonical rendering of one expression tree (exposed for tests).
+std::string CanonicalExprKey(const ScoreExpr& expr);
+
+CanonicalQuery CanonicalizeQuery(const TopKQuery& query);
+
+}  // namespace rankcube
+
+#endif  // RANKCUBE_CACHE_QUERY_KEY_H_

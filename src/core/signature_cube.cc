@@ -215,13 +215,37 @@ void SignatureCube::InsertBatch(const std::vector<Tid>& tids, IoSession* io) {
 
 void SignatureCube::ApplyPathUpdates(const std::vector<PathUpdate>& updates,
                                      IoSession* io) {
+  // Net each tuple's moves across the batch first: a split shifts the
+  // stay-behind entries down while the movers' OLD positions alias the
+  // stayers' NEW ones, so applying clear/set per update in batch order can
+  // clear a bit another tuple just set (and a tuple touched by several
+  // operations must not materialize its intermediate positions). Chain
+  // per-tid to (first old -> last new), drop no-ops, and below apply every
+  // clear before any set.
+  std::vector<PathUpdate> net;
+  {
+    std::unordered_map<Tid, size_t> slot;
+    for (const auto& u : updates) {
+      auto [it, fresh] = slot.try_emplace(u.tid, net.size());
+      if (fresh) {
+        net.push_back(u);
+      } else {
+        net[it->second].new_path = u.new_path;
+      }
+    }
+    net.erase(std::remove_if(net.begin(), net.end(),
+                             [](const PathUpdate& u) {
+                               return u.old_path == u.new_path;
+                             }),
+              net.end());
+  }
   for (auto& cuboid : cuboids_) {
     // Group updates by cell (lines 2-4 of Algorithm 2).
     std::unordered_map<CellKey, std::vector<const PathUpdate*>, CellKeyHash>
         by_cell;
     CellKey key;
     key.values.resize(cuboid.dims.size());
-    for (const auto& u : updates) {
+    for (const auto& u : net) {
       for (size_t i = 0; i < cuboid.dims.size(); ++i) {
         key.values[i] = table_.sel(u.tid, cuboid.dims[i]);
       }
@@ -247,8 +271,11 @@ void SignatureCube::ApplyPathUpdates(const std::vector<PathUpdate>& updates,
         io->Access(IoCategory::kSignature, CellKeyHash{}(cell),
                    2 * sig_pages);  // read + write back
       }
+      // Two phases: every clear before any set (see the netting above).
       for (const PathUpdate* u : cell_updates) {
         if (!u->old_path.empty()) sig_it->second.ClearPath(u->old_path);
+      }
+      for (const PathUpdate* u : cell_updates) {
         if (!u->new_path.empty()) sig_it->second.SetPath(u->new_path);
       }
       RebuildStored(&cuboid, cell);

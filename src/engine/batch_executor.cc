@@ -25,6 +25,7 @@ struct QuerySlot {
 
 Result<TopKResult> BatchExecutor::ExecuteOne(const TopKQuery& query,
                                              ExecContext& ctx) const {
+  if (executor_) return executor_(query, ctx);
   if (router_) {
     Result<RoutedEngine> routed = router_(query);
     if (!routed.ok()) return routed.status();
@@ -53,7 +54,7 @@ Status BatchExecutor::MaintainIfRequested(IoSession* io,
 
 Result<BatchReport> BatchExecutor::Run(const std::vector<TopKQuery>& workload,
                                        ExecContext& ctx) const {
-  if (engine_ == nullptr && !router_) {
+  if (engine_ == nullptr && !router_ && !executor_) {
     return Status::InvalidArgument("BatchExecutor has no engine or router");
   }
   if (ctx.io == nullptr) {
@@ -96,7 +97,7 @@ Result<BatchReport> BatchExecutor::ExecuteAll(
 Result<BatchReport> BatchExecutor::ExecuteParallel(
     const std::vector<TopKQuery>& workload, const PageStore& store,
     int num_threads) const {
-  if (engine_ == nullptr && !router_) {
+  if (engine_ == nullptr && !router_ && !executor_) {
     return Status::InvalidArgument("BatchExecutor has no engine or router");
   }
   const size_t n = workload.size();

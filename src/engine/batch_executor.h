@@ -42,6 +42,14 @@ struct RoutedEngine {
 using EngineRouter =
     std::function<Result<RoutedEngine>(const TopKQuery& query)>;
 
+/// Full per-query executor — how facades with their own execution pipeline
+/// (result cache, planner feedback) run workloads: BatchExecutor still owns
+/// scheduling, sessions and the deterministic merge, but the callback owns
+/// everything between "here is a query and its context" and "here is its
+/// result". Must be thread-safe when used with ExecuteParallel.
+using QueryExecutor =
+    std::function<Result<TopKResult>(const TopKQuery& query, ExecContext& ctx)>;
+
 struct BatchOptions {
   /// Retain each query's TopKResult (memory-heavy for large workloads;
   /// off = counters only). Results are always in workload order.
@@ -148,6 +156,12 @@ class BatchExecutor {
                          BatchOptions options = BatchOptions())
       : router_(std::move(router)), options_(options) {}
 
+  /// Executor mode: the callback runs each query end to end inside the
+  /// context BatchExecutor built (fresh session, batch budget/deadline).
+  explicit BatchExecutor(QueryExecutor executor,
+                         BatchOptions options = BatchOptions())
+      : executor_(std::move(executor)), options_(options) {}
+
   /// Executes the workload in order inside `ctx` (the per-query page budget
   /// and trace hook apply to each query individually). Only setup failures
   /// (no I/O session) fail the whole batch; per-query errors are tallied in
@@ -185,6 +199,7 @@ class BatchExecutor {
   const RankingEngine* engine_ = nullptr;
   RankingEngine* maintain_target_ = nullptr;
   EngineRouter router_;
+  QueryExecutor executor_;
   BatchOptions options_;
 };
 

@@ -223,6 +223,104 @@ Interval ScoreExpr::Range(const Box& box) const {
   return {-kInfScore, kInfScore};  // unreachable
 }
 
+namespace {
+
+/// max |e(x)| over the box, from interval arithmetic; kInfScore when the
+/// range is unbounded (gate outside its band).
+double MaxAbs(const ScoreExpr& e, const Box& box) {
+  Interval r = e.Range(box);
+  if (!std::isfinite(r.lo) || !std::isfinite(r.hi)) return kInfScore;
+  return std::max(std::abs(r.lo), std::abs(r.hi));
+}
+
+/// The structure-oblivious fallback: |a - b| <= the widest separation of
+/// the two ranges. Sound but loose — only reached when the trees stop
+/// being structurally parallel.
+double RangeDiff(const ScoreExpr& a, const ScoreExpr& b, const Box& box) {
+  Interval ra = a.Range(box);
+  Interval rb = b.Range(box);
+  if (!std::isfinite(ra.lo) || !std::isfinite(ra.hi) ||
+      !std::isfinite(rb.lo) || !std::isfinite(rb.hi)) {
+    return kInfScore;
+  }
+  return std::max(std::abs(ra.hi - rb.lo), std::abs(rb.hi - ra.lo));
+}
+
+}  // namespace
+
+double MaxAbsDiff(const ScoreExpr& a, const ScoreExpr& b, const Box& box) {
+  if (&a == &b) return 0.0;  // shared subtree: identical by construction
+  if (a.kind() != b.kind() || a.children().size() != b.children().size()) {
+    return RangeDiff(a, b, box);
+  }
+  switch (a.kind()) {
+    case ExprKind::kConst:
+      return std::abs(a.value() - b.value());
+    case ExprKind::kVar:
+      return a.dim() == b.dim() ? 0.0 : RangeDiff(a, b, box);
+    case ExprKind::kAdd: {
+      // |sum a_i - sum b_i| <= sum |a_i - b_i| pairwise.
+      double d = 0.0;
+      for (size_t i = 0; i < a.children().size(); ++i) {
+        d += MaxAbsDiff(*a.children()[i], *b.children()[i], box);
+      }
+      return std::min(d, kInfScore);
+    }
+    case ExprKind::kSub: {
+      double d = MaxAbsDiff(*a.children()[0], *b.children()[0], box) +
+                 MaxAbsDiff(*a.children()[1], *b.children()[1], box);
+      return std::min(d, kInfScore);
+    }
+    case ExprKind::kAbs:
+      // ||x| - |y|| <= |x - y|.
+      return MaxAbsDiff(*a.children()[0], *b.children()[0], box);
+    case ExprKind::kSquare: {
+      // |x^2 - y^2| = |x - y| * |x + y|.
+      double d = MaxAbsDiff(*a.children()[0], *b.children()[0], box);
+      if (d == 0.0) return 0.0;
+      double scale =
+          MaxAbs(*a.children()[0], box) + MaxAbs(*b.children()[0], box);
+      return std::min(d * scale, kInfScore);
+    }
+    case ExprKind::kMul: {
+      // Telescope: prod(a) - prod(b) = sum_i prod(a_{<i}) * (a_i - b_i)
+      // * prod(b_{>i}); bound each factor by its max magnitude. A zero
+      // pairwise diff zeroes its term exactly, whatever the scales.
+      const size_t n = a.children().size();
+      double total = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double d = MaxAbsDiff(*a.children()[i], *b.children()[i], box);
+        if (d == 0.0) continue;
+        double term = d;
+        for (size_t j = 0; j < i; ++j) {
+          term *= MaxAbs(*a.children()[j], box);
+        }
+        for (size_t j = i + 1; j < n; ++j) {
+          term *= MaxAbs(*b.children()[j], box);
+        }
+        total += term;
+      }
+      return std::min(total, kInfScore);
+    }
+    case ExprKind::kGate: {
+      // Identical gates agree (+inf == +inf) outside the band and differ
+      // only through their bodies inside it; different gates have a region
+      // where one side is +inf and the other finite — unboundable.
+      if (a.dim() != b.dim() || a.band_lo() != b.band_lo() ||
+          a.band_hi() != b.band_hi()) {
+        return kInfScore;
+      }
+      const Interval& iv = box[a.dim()];
+      if (iv.hi < a.band_lo() || iv.lo > a.band_hi()) return 0.0;
+      Box refined = box;
+      refined[a.dim()] = {std::max(iv.lo, a.band_lo()),
+                         std::min(iv.hi, a.band_hi())};
+      return MaxAbsDiff(*a.children()[0], *b.children()[0], refined);
+    }
+  }
+  return kInfScore;  // unreachable
+}
+
 void ScoreExpr::CollectDims(std::vector<bool>* involved) const {
   if (kind_ == ExprKind::kVar || kind_ == ExprKind::kGate) {
     if (dim_ >= 0 && dim_ < static_cast<int>(involved->size())) {

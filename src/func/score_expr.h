@@ -105,6 +105,17 @@ class ScoreExpr {
   std::vector<ScoreExprPtr> children_;
 };
 
+/// Sound upper bound on max over `box` of |a(x) - b(x)|. Walks the two
+/// trees in parallel, exploiting shared structure: plain interval
+/// subtraction (Range(a) - Range(b)) loses the correlation through the
+/// shared variables and returns bounds as wide as the score range itself,
+/// useless for certifying near-duplicate reuse. Structurally parallel nodes
+/// telescope instead — two linear functions bound to sum(|dw_d|) over the
+/// unit box. Returns kInfScore when no finite bound is provable (gates with
+/// different bands, mismatched shapes over unbounded boxes); never returns
+/// an underestimate.
+double MaxAbsDiff(const ScoreExpr& a, const ScoreExpr& b, const Box& box);
+
 /// Function shapes the kernel layer specializes. kGeneric means "no fused
 /// kernel; use the generic EvaluateBatch path".
 enum class FuncShape {

@@ -65,6 +65,13 @@ std::string PartitionedDbStats::ToString() const {
       "scatter.partitions_queried=" + std::to_string(partitions_queried) + "\n";
   out +=
       "scatter.partitions_pruned=" + std::to_string(partitions_pruned) + "\n";
+  out += "cache_hits=" + std::to_string(cache_hits) + "\n";
+  out += "cache_misses=" + std::to_string(cache_misses) + "\n";
+  out += "cache_entries=" + std::to_string(cache_entries) + "\n";
+  out += "cache_bytes=" + std::to_string(cache_bytes) + "\n";
+  out += "cache_max_bytes=" + std::to_string(cache_max_bytes) + "\n";
+  out += "cache_evictions=" + std::to_string(cache_evictions) + "\n";
+  out += "cache_invalidations=" + std::to_string(cache_invalidations) + "\n";
   for (const auto& [name, stats] : per_partition) {
     const std::string prefix = "partition." + name + ".";
     auto range = ranges.find(name);
@@ -83,7 +90,8 @@ std::string PartitionedDbStats::ToString() const {
   return out;
 }
 
-PartitionedDb::PartitionedDb(Options options) : options_(std::move(options)) {
+PartitionedDb::PartitionedDb(Options options)
+    : options_(std::move(options)), cache_(options_.cache) {
   if (durable()) {
     fs_ = options_.fs != nullptr ? options_.fs : Fs::Posix();
   }
@@ -410,6 +418,29 @@ Status PartitionedDb::Checkpoint() {
   return Status::OK();
 }
 
+std::string PartitionedDb::EpochTagLocked(const TopKQuery& query) const {
+  bool pinned = false;
+  int32_t pin_value = 0;
+  for (const Predicate& p : query.predicates) {
+    if (p.dim == options_.partition_dim) {
+      pinned = true;
+      pin_value = p.value;
+      break;
+    }
+  }
+  std::string tag;
+  for (const auto& part : partitions_) {
+    // Statically excluded partitions (the same test BuildScatterPlan's
+    // predicate pruning applies) can never contribute to the answer, so
+    // their epochs stay out of the tag. Bound-pruned and empty partitions
+    // stay IN: a write there can change the answer.
+    if (pinned && !part->range.Contains(pin_value)) continue;
+    tag += std::to_string(part->seq) + ":" +
+           std::to_string(part->db->table().epoch()) + ";";
+  }
+  return tag;
+}
+
 Result<PartitionedTopK> PartitionedDb::Query(const TopKQuery& query,
                                              const QueryOptions& opts) {
   std::shared_lock<std::shared_mutex> lock(mu_);
@@ -418,6 +449,31 @@ Result<PartitionedTopK> PartitionedDb::Query(const TopKQuery& query,
     std::lock_guard<std::mutex> t(traffic_mu_);
     ++query_failures_;
     return valid;
+  }
+  // Scatter-level cache: exact hits only (no overfetch, no sibling reuse —
+  // the per-partition exclusion bounds don't compose across the merge).
+  CanonicalQuery cache_key;
+  std::string epoch_tag;
+  bool cacheable = false;
+  if (cache_.enabled() && opts.force_engine.empty()) {
+    cache_key = CanonicalizeQuery(query);
+    if (cache_key.cacheable) {
+      cacheable = true;
+      epoch_tag = EpochTagLocked(query);
+      if (std::optional<CachedResult> hit =
+              cache_.Lookup(cache_key, epoch_tag)) {
+        PartitionedTopK out;
+        out.scatter.partitions = partitions_.size();
+        out.tuples.reserve(hit->tuples.size());
+        for (size_t i = 0; i < hit->tuples.size(); ++i) {
+          out.tuples.push_back(
+              {hit->partitions[i], hit->tuples[i].tid, hit->tuples[i].score});
+        }
+        std::lock_guard<std::mutex> t(traffic_mu_);
+        ++queries_executed_;
+        return out;
+      }
+    }
   }
   Stopwatch watch;
   std::vector<PartitionView> views;
@@ -512,6 +568,17 @@ Result<PartitionedTopK> PartitionedDb::Query(const TopKQuery& query,
     out.tuples.push_back(
         {partitions_[t.part_index]->name, t.tid, t.score});
   }
+  if (cacheable) {
+    cache_.RecordMiss();
+    CachedResult entry;
+    entry.tuples.reserve(out.tuples.size());
+    entry.partitions.reserve(out.tuples.size());
+    for (const PartitionedTuple& t : out.tuples) {
+      entry.tuples.push_back({t.tid, t.score});
+      entry.partitions.push_back(t.partition);
+    }
+    cache_.Insert(cache_key, epoch_tag, std::move(entry));
+  }
   return out;
 }
 
@@ -578,6 +645,14 @@ PartitionedDbStats PartitionedDb::Stats() const {
     out.ranges[part->name] = part->range;
     out.per_partition.emplace_back(part->name, std::move(stats));
   }
+  ResultCacheStats cs = cache_.Stats();
+  out.cache_hits = cs.hits;
+  out.cache_misses = cs.misses;
+  out.cache_entries = cs.entries;
+  out.cache_bytes = cs.bytes;
+  out.cache_max_bytes = cs.max_bytes;
+  out.cache_evictions = cs.evictions;
+  out.cache_invalidations = cs.invalidations;
   std::lock_guard<std::mutex> t(traffic_mu_);
   out.queries_executed = queries_executed_;
   out.query_failures = query_failures_;

@@ -110,6 +110,14 @@ struct PartitionedDbStats {
   uint64_t query_failures = 0;
   uint64_t partitions_queried = 0;
   uint64_t partitions_pruned = 0;  ///< predicate + bound, cumulative
+  // -- scatter result cache (all zero when Options::cache.max_bytes == 0) --
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_max_bytes = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;
   std::vector<std::pair<std::string, DbStats>> per_partition;  ///< seq order
   std::map<std::string, PartitionRange> ranges;
 
@@ -140,6 +148,12 @@ class PartitionedDb {
     /// threads (1 = sequential, fully utilizing the bound-order early
     /// termination; results are identical either way).
     int scatter_threads = 4;
+    /// Scatter-level result cache (exact hits only; disabled by default).
+    /// The epoch tag folds the (seq, epoch) of every partition the query's
+    /// predicates could touch, so a write to one partition invalidates
+    /// only the entries whose answer could have read it. Inner
+    /// per-partition caches stay governed by `db.cache`.
+    ResultCacheOptions cache;
   };
 
   /// Creates an empty partitioned db (ephemeral), or opens `data_dir`:
@@ -216,6 +230,13 @@ class PartitionedDb {
   PartitionedDbStats Stats() const;
   Result<DbStats> PartitionStats(const std::string& name) const;
 
+  // --- scatter result cache ------------------------------------------------
+
+  bool cache_enabled() const { return cache_.enabled(); }
+  ResultCacheStats CacheStats() const { return cache_.Stats(); }
+  void ClearCache() { cache_.Clear(); }
+  void ResizeCache(size_t max_bytes) { cache_.Resize(max_bytes); }
+
   /// The partition's database, for tests and read-only inspection; valid
   /// until the partition is dropped.
   Result<const RankCubeDb*> Partition(const std::string& name) const;
@@ -249,7 +270,16 @@ class PartitionedDb {
 
   const Part* FindLocked(const std::string& name) const;
 
+  /// Must hold mu_ (shared suffices). The cache epoch tag for `query`:
+  /// "seq:epoch;" of every partition whose range a predicate on the
+  /// partition dimension does not statically exclude — membership changes
+  /// (create/drop, seqs never reused) and relevant writes both change the
+  /// tag, writes to excluded partitions do not.
+  std::string EpochTagLocked(const TopKQuery& query) const;
+
   Options options_;
+  /// Internally synchronized; populated under the shared read gate.
+  ResultCache cache_;
   Fs* fs_ = nullptr;  ///< resolved (Posix when options_.fs is null)
   uint64_t next_seq_ = 0;
 

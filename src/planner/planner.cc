@@ -26,10 +26,21 @@ PlanCandidate Planner::MakeCandidate(const std::string& engine,
 Result<PlanInfo> Planner::Plan(const TopKQuery& query,
                                const TableStats& stats,
                                const Catalog& catalog,
-                               const QueryOptions& opts) const {
+                               const QueryOptions& opts,
+                               const CostFeedback* feedback) const {
   if (catalog.size() == 0) {
     return Status::NotFound("planner catalog is empty");
   }
+
+  // Learned per-family correction, applied to the analytic page estimate
+  // before costing so the objective (and the reported estimated_pages)
+  // reflect measured I/O, not just the model.
+  auto correct = [feedback](const std::string& engine, CostEstimate est) {
+    if (feedback != nullptr && est.feasible) {
+      est.pages *= feedback->Correction(engine);
+    }
+    return est;
+  };
 
   if (!opts.force_engine.empty()) {
     const AccessStructureInfo* info = catalog.Find(opts.force_engine);
@@ -46,7 +57,8 @@ Result<PlanInfo> Planner::Plan(const TopKQuery& query,
     PlanInfo plan;
     plan.forced = true;
     plan.chosen_engine = opts.force_engine;
-    CostEstimate est = EstimateCost(*info, query, stats, options_.cost);
+    CostEstimate est =
+        correct(info->engine, EstimateCost(*info, query, stats, options_.cost));
     plan.estimated_pages = est.feasible ? est.pages : 0.0;
     plan.candidates.push_back(MakeCandidate(info->engine, est, opts));
     return plan;
@@ -55,7 +67,9 @@ Result<PlanInfo> Planner::Plan(const TopKQuery& query,
   PlanInfo plan;
   for (const auto& info : catalog.entries()) {
     plan.candidates.push_back(MakeCandidate(
-        info.engine, EstimateCost(info, query, stats, options_.cost), opts));
+        info.engine,
+        correct(info.engine, EstimateCost(info, query, stats, options_.cost)),
+        opts));
   }
 
   // Feasible candidates first, each group by ascending objective; ties

@@ -16,6 +16,7 @@
 #include <functional>
 #include <string>
 
+#include "cache/feedback.h"
 #include "engine/structure_info.h"
 #include "planner/catalog.h"
 #include "planner/cost_model.h"
@@ -60,10 +61,13 @@ class Planner {
   /// Picks the engine for `query` from `catalog`. Returns NotFound with
   /// the per-candidate reasons when no structure can answer the query, and
   /// NotFound listing the catalog keys when opts.force_engine names an
-  /// unknown engine.
+  /// unknown engine. When `feedback` is non-null, each candidate's page
+  /// estimate is multiplied by the learned per-family correction before
+  /// costing, so measured I/O steers both the choice and the reported
+  /// estimated_pages.
   Result<PlanInfo> Plan(const TopKQuery& query, const TableStats& stats,
-                        const Catalog& catalog,
-                        const QueryOptions& opts) const;
+                        const Catalog& catalog, const QueryOptions& opts,
+                        const CostFeedback* feedback = nullptr) const;
 
   const PlannerOptions& options() const { return options_; }
 

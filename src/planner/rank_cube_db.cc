@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 #include <utility>
 
+#include "common/stopwatch.h"
+#include "func/score_expr.h"
 #include "planner/cost_model.h"
 
 namespace rankcube {
@@ -26,6 +29,14 @@ std::string DbStats::ToString() const {
      << "pages_charged=" << pages_charged << "\n"
      << "pages_device=" << pages_device << "\n"
      << "cache_hit_rate=" << cache_hit_rate << "\n"
+     << "cache_hits=" << cache_hits << "\n"
+     << "cache_reuse_hits=" << cache_reuse_hits << "\n"
+     << "cache_misses=" << cache_misses << "\n"
+     << "cache_entries=" << cache_entries << "\n"
+     << "cache_bytes=" << cache_bytes << "\n"
+     << "cache_max_bytes=" << cache_max_bytes << "\n"
+     << "cache_evictions=" << cache_evictions << "\n"
+     << "cache_invalidations=" << cache_invalidations << "\n"
      << "durable=" << (durable ? 1 : 0) << "\n"
      << "read_only=" << (read_only ? 1 : 0) << "\n";
   if (durable) {
@@ -54,6 +65,8 @@ RankCubeDb::RankCubeDb(Table table, Options options)
       stats_(TableStats::Compute(table_, store_.page_size())),
       options_(std::move(options)),
       planner_(options_.planner),
+      cache_(options_.cache),
+      feedback_(options_.feedback),
       build_io_(&store_) {
   std::vector<std::string> names = options_.engines.empty()
                                        ? EngineRegistry::Global().Keys()
@@ -250,7 +263,7 @@ Result<RoutedEngine> RankCubeDb::Route(const TopKQuery& query,
   RoutedEngine routed;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto plan = planner_.Plan(query, stats_, catalog_, opts);
+    auto plan = planner_.Plan(query, stats_, catalog_, opts, &feedback_);
     if (!plan.ok()) return plan.status();
     auto engine = EngineLocked(plan.value().chosen_engine);
     if (!engine.ok()) return engine.status();
@@ -264,17 +277,173 @@ Result<RoutedEngine> RankCubeDb::Route(const TopKQuery& query,
   return routed;
 }
 
+std::optional<TopKResult> RankCubeDb::TryReuseLocked(
+    const TopKQuery& query, const CanonicalQuery& key,
+    const std::string& epoch_tag, const CachedResult& entry,
+    ExecContext& ctx) {
+  if (entry.expr == nullptr) return std::nullopt;
+  ScoreExprPtr g = query.function->Expr();  // non-null: key.cacheable
+  const Box domain = Box::Unit(table_.schema().num_rank_dims);
+
+  // Certification budget: every matching row NOT in the candidate set has
+  // f >= exclusion_bound, so under g it scores >= exclusion_bound - delta
+  // where delta bounds |g - f| over the normalized ranking domain. A
+  // complete entry (all matching rows listed) needs no delta — re-ranking
+  // it IS brute force over the filter set — but only if f is finite on the
+  // domain (a gated f silently dropped its out-of-band rows, which g might
+  // admit).
+  double delta = 0.0;
+  if (entry.complete) {
+    if (!std::isfinite(entry.expr->Range(domain).hi)) return std::nullopt;
+  } else {
+    delta = MaxAbsDiff(*g, *entry.expr, domain);
+    if (!std::isfinite(delta)) return std::nullopt;
+    // Pre-certify on the cached f-scores alone, before paying any candidate
+    // I/O: each candidate's g is within delta of its f, so the k-th best g
+    // over the candidates is at most F_k + delta, and every non-candidate
+    // scores >= exclusion_bound - delta under g. F_k + 2*delta <
+    // exclusion_bound therefore already proves the re-ranked top-k exact —
+    // and when it fails, the post-rescore check below almost certainly
+    // would too, so bailing here keeps a failed reuse attempt free.
+    if (entry.tuples.size() < static_cast<size_t>(query.k)) {
+      return std::nullopt;
+    }
+    double f_k = entry.tuples[static_cast<size_t>(query.k) - 1].score;
+    if (!(f_k + 2.0 * delta < entry.exclusion_bound)) return std::nullopt;
+  }
+
+  Stopwatch timer;
+  const size_t n = entry.tuples.size();
+  std::vector<Tid> tids(n);
+  for (size_t i = 0; i < n; ++i) tids[i] = entry.tuples[i].tid;
+  std::vector<double> scores(n);
+  query.function->EvaluateBatch(table_, tids.data(), n, scores.data());
+  TopKHeap heap(query.k);
+  for (size_t i = 0; i < n; ++i) {
+    // Cost honesty: re-ranking touches each candidate row, so it pays the
+    // same per-row page charge the scan paths do.
+    table_.ChargeRowFetch(ctx.io, tids[i]);
+    if (scores[i] < kInfScore) heap.Offer(tids[i], scores[i]);
+  }
+  if (!entry.complete) {
+    // Exactness requires k results strictly better than anything the
+    // candidate set could be missing.
+    if (!heap.Full()) return std::nullopt;
+    if (!(heap.KthScore() < entry.exclusion_bound - delta)) {
+      return std::nullopt;
+    }
+  }
+
+  TopKResult out;
+  out.tuples = heap.Sorted();
+  out.stats.tuples_evaluated = n;
+  out.stats.pages_read = ctx.io->TotalPhysical();
+  out.stats.time_ms = timer.ElapsedMs();
+  out.plan = entry.plan;
+
+  // The certified answer is a valid cache entry under the NEW function:
+  // dropped candidates score >= G_k and (non-complete case) non-candidates
+  // score >= exclusion_bound - delta > G_k, so G_k is a sound exclusion
+  // bound for the k tuples listed.
+  CachedResult fresh;
+  fresh.tuples = out.tuples;
+  fresh.complete = !heap.Full();
+  fresh.exclusion_bound = heap.Full() ? heap.KthScore() : kInfScore;
+  fresh.expr = g;
+  fresh.plan = entry.plan;
+  cache_.Insert(key, epoch_tag, std::move(fresh));
+  return out;
+}
+
+Result<TopKResult> RankCubeDb::ExecuteQueryLocked(const TopKQuery& query,
+                                                  const QueryOptions& opts,
+                                                  ExecContext& ctx) {
+  // Budget- or deadline-constrained queries still take exact hits (they
+  // cost ~0 pages) but never overfetch or re-rank — the cached path must
+  // not charge pages the uncached path wouldn't.
+  const bool unconstrained = ctx.page_budget == 0 && !ctx.has_deadline();
+  CanonicalQuery key;
+  std::string epoch_tag;
+  bool cacheable = false;
+  if (cache_.enabled() && opts.force_engine.empty()) {
+    // Validate before serving from cache so a malformed query fails
+    // identically hot or cold.
+    RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
+    key = CanonicalizeQuery(query);
+    if (key.cacheable) {
+      cacheable = true;
+      epoch_tag = std::to_string(table_.epoch());
+      if (std::optional<CachedResult> hit = cache_.Lookup(key, epoch_tag)) {
+        TopKResult out;
+        size_t n = std::min(hit->tuples.size(), static_cast<size_t>(query.k));
+        out.tuples.assign(hit->tuples.begin(), hit->tuples.begin() + n);
+        out.plan = hit->plan;
+        return out;
+      }
+      if (unconstrained) {
+        // One sibling key can hold several distinct functions; try each
+        // candidate set until one certifies. Failed attempts cost only a
+        // delta-bound tree walk (the pre-certification bails before I/O).
+        for (const CachedResult& sibling :
+             cache_.FindSiblings(key, epoch_tag)) {
+          if (std::optional<TopKResult> reused =
+                  TryReuseLocked(query, key, epoch_tag, sibling, ctx)) {
+            cache_.RecordReuseHit();
+            return std::move(*reused);
+          }
+        }
+      }
+    }
+  }
+
+  // Full execution. A cacheable miss overfetches (k' = overfetch * k) so
+  // the cached prefix doubles as the reuse candidate set; the caller is
+  // still served exactly k. Overfetch is adaptive: only families the cache
+  // has seen before pay the deeper execution — a one-off query would buy a
+  // candidate set nobody ever re-ranks.
+  TopKQuery exec_query = query;
+  if (cacheable && unconstrained && cache_.overfetch() > 1.0 &&
+      cache_.FamilySeen(key)) {
+    exec_query.k = std::max(
+        query.k, static_cast<int>(cache_.overfetch() *
+                                  static_cast<double>(query.k)));
+  }
+  auto routed = Route(exec_query, opts);
+  if (!routed.ok()) return routed.status();
+  Result<TopKResult> result = routed.value().engine->Execute(exec_query, ctx);
+  if (!result.ok()) return result;
+  result.value().plan = routed.value().plan;
+
+  // True-cost feedback: the plan's (already corrected) page estimate
+  // against this query's measured physical reads.
+  if (feedback_.enabled() && routed.value().plan != nullptr) {
+    feedback_.Observe(routed.value().plan->chosen_engine,
+                      routed.value().plan->estimated_pages,
+                      static_cast<double>(ctx.io->TotalPhysical()));
+  }
+
+  if (cacheable) {
+    cache_.RecordMiss();
+    TopKResult& full = result.value();
+    CachedResult entry;
+    entry.tuples = full.tuples;
+    // The heap never filled => every matching (finite-score) row is listed.
+    entry.complete = static_cast<int>(full.tuples.size()) < exec_query.k;
+    entry.exclusion_bound =
+        entry.complete ? kInfScore : full.tuples.back().score;
+    entry.expr = query.function->Expr();
+    entry.plan = full.plan;
+    cache_.Insert(key, epoch_tag, std::move(entry));
+    if (full.tuples.size() > static_cast<size_t>(query.k)) {
+      full.tuples.resize(static_cast<size_t>(query.k));
+    }
+  }
+  return result;
+}
+
 Result<TopKResult> RankCubeDb::Query(const TopKQuery& query,
                                      const QueryOptions& opts) {
   std::shared_lock<std::shared_mutex> read(ddl_mu_);
-  auto routed = Route(query, opts);
-  if (!routed.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++traffic_.queries_executed;
-    ++traffic_.query_failures;
-    return routed.status();
-  }
-
   IoSession io(&store_);
   ExecContext ctx;
   ctx.io = &io;
@@ -284,8 +453,7 @@ Result<TopKResult> RankCubeDb::Query(const TopKQuery& query,
                    std::chrono::milliseconds(opts.deadline_ms);
   }
   ctx.trace = opts.trace;
-  Result<TopKResult> result = routed.value().engine->Execute(query, ctx);
-  if (result.ok()) result.value().plan = routed.value().plan;
+  Result<TopKResult> result = ExecuteQueryLocked(query, opts, ctx);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++traffic_.queries_executed;
@@ -302,7 +470,7 @@ Result<PlanInfo> RankCubeDb::Explain(const TopKQuery& query,
   RC_RETURN_IF_ERROR(ValidateQuery(query, table_.schema()));
   std::shared_lock<std::shared_mutex> read(ddl_mu_);
   std::lock_guard<std::mutex> lock(mu_);
-  return planner_.Plan(query, stats_, catalog_, opts);
+  return planner_.Plan(query, stats_, catalog_, opts, &feedback_);
 }
 
 Result<BatchReport> RankCubeDb::QueryAll(
@@ -320,7 +488,9 @@ Result<BatchReport> RankCubeDb::QueryParallel(
   if (batch.page_budget == 0) batch.page_budget = opts.page_budget;
   if (batch.deadline_ms == 0) batch.deadline_ms = opts.deadline_ms;
   BatchExecutor executor(
-      [this, opts](const TopKQuery& query) { return Route(query, opts); },
+      QueryExecutor([this, opts](const TopKQuery& query, ExecContext& ctx) {
+        return ExecuteQueryLocked(query, opts, ctx);
+      }),
       batch);
   auto report = executor.ExecuteParallel(workload, store_, num_threads);
   if (report.ok()) {
@@ -385,6 +555,15 @@ DbStats RankCubeDb::Stats() const {
           ? 1.0 - static_cast<double>(s.pages_device) /
                       static_cast<double>(s.pages_logical)
           : 0.0;
+  ResultCacheStats cs = cache_.Stats();
+  s.cache_hits = cs.hits;
+  s.cache_reuse_hits = cs.reuse_hits;
+  s.cache_misses = cs.misses;
+  s.cache_entries = cs.entries;
+  s.cache_bytes = cs.bytes;
+  s.cache_max_bytes = cs.max_bytes;
+  s.cache_evictions = cs.evictions;
+  s.cache_invalidations = cs.invalidations;
   s.durable = durability_ != nullptr;
   if (durability_ != nullptr) {
     s.read_only = read_only_;

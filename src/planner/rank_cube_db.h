@@ -42,10 +42,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "cache/feedback.h"
+#include "cache/query_key.h"
+#include "cache/result_cache.h"
 #include "engine/batch_executor.h"
 #include "engine/registry.h"
 #include "planner/planner.h"
@@ -83,6 +87,15 @@ struct DbStats {
   /// Shared-buffer-cache hit rate over all query I/O so far
   /// (1 - device/logical); 0 when no pages were read yet.
   double cache_hit_rate = 0.0;
+  // -- result cache (all zero when Options::cache.max_bytes == 0) --
+  uint64_t cache_hits = 0;        ///< exact (query, epoch) hits
+  uint64_t cache_reuse_hits = 0;  ///< certified near-duplicate reuses
+  uint64_t cache_misses = 0;      ///< cacheable queries executed in full
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_max_bytes = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;
   // -- durability (all zero for an ephemeral db) --
   bool durable = false;    ///< opened with a data_dir (WAL + checkpoints)
   bool read_only = false;  ///< degraded: serving last good state, writes
@@ -130,6 +143,14 @@ class RankCubeDb {
     /// Durable-storage knobs; used only by Open() (data_dir must be set
     /// there). The plain constructor ignores this and stays ephemeral.
     DurabilityOptions durability;
+    /// Workload-aware result cache (cache/result_cache.h). Disabled by
+    /// default (max_bytes == 0): existing callers keep the exact page
+    /// accounting of the uncached path; rankcubed opts in via --cache_mb.
+    ResultCacheOptions cache;
+    /// True-cost planner feedback (cache/feedback.h); on by default —
+    /// corrections start at 1.0, so routing is unchanged until measured
+    /// I/O says otherwise.
+    CostFeedbackOptions feedback;
   };
 
   /// Takes ownership of `table`; computes TableStats (one in-memory pass)
@@ -225,6 +246,23 @@ class RankCubeDb {
   /// Excludes writers for the duration of the snapshot.
   DbStats Stats() const;
 
+  // --- result cache + planner feedback ------------------------------------
+
+  bool cache_enabled() const { return cache_.enabled(); }
+  ResultCacheStats CacheStats() const { return cache_.Stats(); }
+  void ClearCache() { cache_.Clear(); }
+  /// Adjusts the cache byte budget at runtime (0 disables).
+  void ResizeCache(size_t max_bytes) { cache_.Resize(max_bytes); }
+
+  /// Learned per-engine-family cost corrections (empty until queries ran).
+  std::map<std::string, CostFeedback::FamilyState> FeedbackSnapshot() const {
+    return feedback_.Snapshot();
+  }
+  void ResetFeedback() { feedback_.Reset(); }
+  /// Runtime feedback toggle (benches measure the raw cost model with it
+  /// off, then re-enable to learn).
+  void SetFeedbackEnabled(bool on) { feedback_.set_enabled(on); }
+
   // --- durability ---------------------------------------------------------
 
   bool durable() const { return durability_ != nullptr; }
@@ -248,6 +286,25 @@ class RankCubeDb {
   Result<RoutedEngine> Route(const TopKQuery& query,
                              const QueryOptions& opts);
 
+  /// The full read pipeline for one query — cache lookup, certified
+  /// sibling reuse, planner-routed execution with overfetch, cache insert,
+  /// feedback observation — inside `ctx`. Caller must hold ddl_mu_ shared
+  /// and own ctx.io (fresh per query). Query() and QueryParallel's workers
+  /// both funnel through here, so cached and parallel paths cannot drift.
+  Result<TopKResult> ExecuteQueryLocked(const TopKQuery& query,
+                                        const QueryOptions& opts,
+                                        ExecContext& ctx);
+
+  /// Attempts to answer `query` exactly from a cached sibling entry (same
+  /// predicates and k, different ranking function) by re-ranking its
+  /// candidate set and certifying with the interval bound on |g - f|.
+  /// nullopt = certification failed; caller falls back to full execution.
+  std::optional<TopKResult> TryReuseLocked(const TopKQuery& query,
+                                           const CanonicalQuery& key,
+                                           const std::string& epoch_tag,
+                                           const CachedResult& entry,
+                                           ExecContext& ctx);
+
   /// Must hold mu_. Builds `name` if needed and returns it.
   Result<const RankingEngine*> EngineLocked(const std::string& name);
 
@@ -261,6 +318,10 @@ class RankCubeDb {
   TableStats stats_;
   Options options_;
   Planner planner_;
+  /// Both internally synchronized; populated on the read path under the
+  /// shared ddl gate (readers race each other, never a writer).
+  ResultCache cache_;
+  CostFeedback feedback_;
 
   /// Set only by Open(); null = ephemeral. Mutated (Log*/Checkpoint) under
   /// ddl_mu_ exclusive; read-side getters take ddl_mu_ shared.

@@ -120,6 +120,20 @@ class RankCubeClient {
   Result<Response> Compact() { return Call("COMPACT"); }
   Result<Response> Stats() { return CallIdempotent("STATS"); }
 
+  // --- result cache --------------------------------------------------------
+  // A server started with --cache_mb=0 answers these with the typed
+  // NOT_SUPPORTED wire code (Response::code), not a transport error.
+  /// "key=value" counter lines: hits, reuse_hits, misses, entries, bytes...
+  Result<Response> CacheStats() { return CallIdempotent("CACHE op=stats"); }
+  /// Drops every cached entry (idempotent, but mutates serving state — no
+  /// auto-retry, matching the other mutating verbs).
+  Result<Response> CacheClear() { return Call("CACHE op=clear"); }
+  /// Adjusts the byte budget at runtime (0 disables; a resize can also
+  /// re-enable a cache started at 0).
+  Result<Response> CacheResize(uint64_t bytes) {
+    return Call("CACHE op=resize bytes=" + std::to_string(bytes));
+  }
+
   // --- partitioned servers (PARTITION_* verbs) -----------------------------
   // Create/Drop mutate and are never auto-retried; List/Stats reconnect.
   Result<Response> PartitionCreate(const std::string& name, int32_t lo,

@@ -14,6 +14,12 @@
 //   DELETE  tid=<n> [partition=<name>]
 //   COMPACT
 //   STATS   [partition=<name>]
+//   CACHE   [op=stats|clear|resize] [bytes=<n>]
+//
+// CACHE defaults to op=stats (result-cache counter lines); op=clear drops
+// every entry and op=resize sets the byte budget (bytes= required, 0
+// disables). On a server started with --cache_mb=0 every CACHE op except
+// resize answers NOT_SUPPORTED.
 //
 // Partitioned servers (rankcubed --partition=...) add three verbs and bend
 // the shapes above:

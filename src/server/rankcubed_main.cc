@@ -10,7 +10,7 @@
 //   rankcubed [--host=127.0.0.1] [--port=0]
 //             [--rows=N] [--sel_dims=S] [--cardinality=C] [--rank_dims=R]
 //             [--zipf=THETA] [--seed=N]
-//             [--cache_pages=N] [--latency_us=N]
+//             [--cache_pages=N] [--latency_us=N] [--cache_mb=N]
 //             [--max_inflight=N] [--page_budget=N] [--deadline_ms=N]
 //             [--tenant=name:inflight:budget:deadline_ms]...
 //             [--data_dir=PATH] [--fsync=always|batch|off]
@@ -20,6 +20,11 @@
 // "rankcubed listening on HOST:PORT" once it serves (scripts wait for that
 // line). The quota flags set the default tenant quota; each --tenant flag
 // overrides it for one named tenant (0 fields mean "no limit").
+//
+// --cache_mb sizes the workload-aware result cache (default 64 MiB;
+// 0 disables it, and the CACHE verb then answers NOT_SUPPORTED). The
+// cache serves repeated and near-duplicate queries without touching the
+// engines and invalidates itself on every write via table epochs.
 //
 // Any --partition flag switches the daemon to PARTITIONED serving: the
 // generated relation is split by selection dimension --partition_dim into
@@ -69,6 +74,7 @@ struct Flags {
   uint64_t seed = 42;
   size_t cache_pages = 4096;
   uint32_t latency_us = 100;
+  uint64_t cache_mb = 64;  ///< result cache budget; 0 disables caching
   TenantQuota default_quota{/*max_inflight=*/8, /*page_budget=*/0,
                             /*deadline_ms=*/0};
   std::map<std::string, TenantQuota> tenant_quotas;
@@ -125,7 +131,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host=H] [--port=P] [--rows=N] [--sel_dims=S] "
                "[--cardinality=C] [--rank_dims=R] [--zipf=T] [--seed=N] "
-               "[--cache_pages=N] [--latency_us=N] [--max_inflight=N] "
+               "[--cache_pages=N] [--latency_us=N] [--cache_mb=N] "
+               "[--max_inflight=N] "
                "[--page_budget=N] [--deadline_ms=N] "
                "[--tenant=name:inflight:budget:deadline_ms]... "
                "[--data_dir=PATH] [--fsync=always|batch|off] "
@@ -162,6 +169,8 @@ int Main(int argc, char** argv) {
       f.cache_pages = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--latency_us=", &v)) {
       f.latency_us = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--cache_mb=", &v)) {
+      f.cache_mb = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--max_inflight=", &v)) {
       f.default_quota.max_inflight =
           static_cast<uint32_t>(std::atoi(v.c_str()));
@@ -219,6 +228,7 @@ int Main(int argc, char** argv) {
   RankCubeDb::Options db_options;
   db_options.store.cache_pages = f.cache_pages;
   db_options.store.read_latency_us = f.latency_us;
+  db_options.cache.max_bytes = static_cast<size_t>(f.cache_mb) << 20;
 
   // A data_dir that already holds a partition manifest must reboot through
   // the partitioned path even if no --partition flags were given — opening
@@ -244,6 +254,11 @@ int Main(int argc, char** argv) {
     popts.schema = base.schema();
     popts.partition_dim = f.partition_dim;
     popts.db = db_options;
+    // Partitioned serving caches merged results at the scatter-gather
+    // layer (per-partition epoch tags); per-partition caches would only
+    // duplicate the same entries.
+    popts.db.cache.max_bytes = 0;
+    popts.cache.max_bytes = static_cast<size_t>(f.cache_mb) << 20;
     popts.data_dir = f.data_dir;
     popts.fsync = f.fsync;
     auto opened = PartitionedDb::Open(std::move(popts));

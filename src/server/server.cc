@@ -276,6 +276,7 @@ Response RankCubeServer::Dispatch(std::string_view payload,
   if (req.verb == "DELETE") return DoDelete(req);
   if (req.verb == "COMPACT") return DoCompact();
   if (req.verb == "STATS") return DoStats(req);
+  if (req.verb == "CACHE") return DoCache(req);
   if (req.verb == "PARTITION_CREATE" || req.verb == "PARTITION_DROP" ||
       req.verb == "PARTITION_LIST") {
     if (pdb_ == nullptr) {
@@ -485,6 +486,58 @@ Response RankCubeServer::DoStats(const Request& req) {
                        std::to_string(c.request_errors));
   resp.lines.push_back("server.protocol_errors=" +
                        std::to_string(c.protocol_errors));
+  return resp;
+}
+
+Response RankCubeServer::DoCache(const Request& req) {
+  const bool enabled =
+      pdb_ != nullptr ? pdb_->cache_enabled() : db_->cache_enabled();
+  const std::string* op_arg = req.Find("op");
+  const std::string op = op_arg != nullptr ? *op_arg : "stats";
+  // resize may (re-)enable a disabled cache; everything else needs one.
+  if (!enabled && op != "resize") {
+    return Response::Error(WireCode::kNotSupported,
+                           "result cache is disabled (--cache_mb=0)");
+  }
+  if (op == "clear") {
+    if (pdb_ != nullptr) {
+      pdb_->ClearCache();
+    } else {
+      db_->ClearCache();
+    }
+    return Response::Ok();
+  }
+  if (op == "resize") {
+    const std::string* bytes = req.Find("bytes");
+    if (bytes == nullptr) {
+      return Response::Error(WireCode::kBadRequest,
+                             "CACHE op=resize requires bytes=<n>");
+    }
+    Result<uint64_t> v = ParseU64Arg(*bytes, "bytes");
+    if (!v.ok()) return Response::FromStatus(v.status());
+    if (pdb_ != nullptr) {
+      pdb_->ResizeCache(static_cast<size_t>(v.value()));
+    } else {
+      db_->ResizeCache(static_cast<size_t>(v.value()));
+    }
+    return Response::Ok();
+  }
+  if (op != "stats") {
+    return Response::Error(WireCode::kBadRequest,
+                           "CACHE op must be stats, clear or resize");
+  }
+  ResultCacheStats s =
+      pdb_ != nullptr ? pdb_->CacheStats() : db_->CacheStats();
+  Response resp;
+  resp.lines.push_back("hits=" + std::to_string(s.hits));
+  resp.lines.push_back("reuse_hits=" + std::to_string(s.reuse_hits));
+  resp.lines.push_back("misses=" + std::to_string(s.misses));
+  resp.lines.push_back("insertions=" + std::to_string(s.insertions));
+  resp.lines.push_back("invalidations=" + std::to_string(s.invalidations));
+  resp.lines.push_back("evictions=" + std::to_string(s.evictions));
+  resp.lines.push_back("entries=" + std::to_string(s.entries));
+  resp.lines.push_back("bytes=" + std::to_string(s.bytes));
+  resp.lines.push_back("max_bytes=" + std::to_string(s.max_bytes));
   return resp;
 }
 

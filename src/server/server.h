@@ -107,6 +107,7 @@ class RankCubeServer {
   Response DoDelete(const Request& req);
   Response DoCompact();
   Response DoStats(const Request& req);
+  Response DoCache(const Request& req);
   Response DoPartitionCreate(const Request& req);
   Response DoPartitionDrop(const Request& req);
   Response DoPartitionList();

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/baselines.h"
+#include "common/rng.h"
 #include "core/signature_cube.h"
 #include "gen/queries.h"
 #include "gen/synthetic.h"
@@ -142,6 +143,54 @@ TEST(SignatureCubeTest, IncrementalInsertMatchesRebuild) {
     ASSERT_TRUE(res.ok());
     EXPECT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(prefix, q)))
         << q.ToString();
+  }
+}
+
+// Regression: an R-tree leaf split moves some entries to a sibling while
+// the stay-behind entries compact to lower positions, so within one
+// update batch a mover's OLD position can alias a stayer's NEW one.
+// Applying clear/set per update in batch order then let the mover's
+// ClearPath erase the bit the stayer had just set — the base row silently
+// vanished from the cell signature and from every later answer.
+// ApplyPathUpdates must net per-tuple moves and apply every clear before
+// any set. Tiny fan-out forces a split every few inserts, and verifying
+// after EVERY insert catches the first lost row instead of hoping a
+// workload query lands on it.
+TEST(SignatureCubeTest, LeafSplitsNeverLoseRowsUnderIncrementalInsert) {
+  TableSchema schema;
+  schema.sel_cardinality = {2, 2};
+  schema.num_rank_dims = 2;
+  Table t(schema);
+  Rng rng(13);
+  auto add_row = [&] {
+    ASSERT_TRUE(t.AddRow({static_cast<int32_t>(rng.UniformInt(2)),
+                          static_cast<int32_t>(rng.UniformInt(2))},
+                         {rng.Uniform01(), rng.Uniform01()})
+                    .ok());
+  };
+  for (int i = 0; i < 8; ++i) add_row();
+
+  PageStore store;
+  IoSession io{&store};
+  SignatureCubeOptions opt;
+  opt.bulk_load = false;
+  opt.rtree_max_entries = 4;  // a split every few inserts
+  SignatureCube cube(t, io, opt);
+
+  TopKQuery probe;
+  probe.k = 1000;  // every live row must surface
+  probe.function = std::make_shared<LinearFunction>(std::vector<double>{1, 2});
+  for (int i = 0; i < 120; ++i) {
+    add_row();
+    cube.InsertBatch({static_cast<Tid>(t.num_rows() - 1)}, &io);
+    for (int32_t v = 0; v < 2; ++v) {
+      probe.predicates = {{0, v}};
+      ExecStats stats;
+      auto res = cube.TopK(probe, &io, &stats);
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      ASSERT_EQ(ScoresOf(*res), ScoresOf(BruteForceTopK(t, probe)))
+          << "row lost after insert " << i << " in cell A0=" << v;
+    }
   }
 }
 
